@@ -1,0 +1,104 @@
+// Experiment E2 — the Figure 2 algorithm: federated linear regression.
+//
+// Checks (i) exactness: the federated fit equals the pooled fit to machine
+// precision on the plain path and to fixed-point precision on the secure
+// path; (ii) scaling: wall time and bytes as the federation grows from 1 to
+// 8 workers at constant total data.
+
+#include <cmath>
+#include <cstdio>
+
+#include "algorithms/linear_regression.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "federation/master.h"
+
+namespace {
+
+using mip::engine::DataType;
+using mip::engine::Schema;
+using mip::engine::Table;
+using mip::engine::Value;
+
+Schema MakeSchema() {
+  Schema s;
+  (void)s.AddField({"x1", DataType::kFloat64});
+  (void)s.AddField({"x2", DataType::kFloat64});
+  (void)s.AddField({"x3", DataType::kFloat64});
+  (void)s.AddField({"y", DataType::kFloat64});
+  return s;
+}
+
+Table MakeRows(mip::Rng* rng, int n) {
+  Table t = Table::Empty(MakeSchema());
+  for (int i = 0; i < n; ++i) {
+    const double x1 = rng->NextGaussian();
+    const double x2 = rng->NextGaussian();
+    const double x3 = rng->NextGaussian();
+    const double y = 1.0 + 0.5 * x1 - 2.0 * x2 + 0.25 * x3 +
+                     rng->NextGaussian(0, 0.5);
+    (void)t.AppendRow({Value::Double(x1), Value::Double(x2), Value::Double(x3),
+                       Value::Double(y)});
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E2: federated linear regression (paper Figure 2) ===\n\n");
+  const int kTotalRows = 40000;
+
+  mip::algorithms::LinearRegressionResult pooled_fit;
+  std::printf("%8s %12s %12s %14s %16s %12s\n", "workers", "plain ms",
+              "secure ms", "max|b-pooled|", "secure|b-plain|", "bus bytes");
+
+  for (int workers : {1, 2, 4, 8}) {
+    mip::Rng rng(777);  // same data stream regardless of the split
+    mip::federation::MasterNode master;
+    for (int w = 0; w < workers; ++w) {
+      (void)master.AddWorker("w" + std::to_string(w));
+      (void)master.LoadDataset("w" + std::to_string(w), "d",
+                               MakeRows(&rng, kTotalRows / workers));
+    }
+    mip::algorithms::LinearRegressionSpec spec;
+    spec.datasets = {"d"};
+    spec.covariates = {"x1", "x2", "x3"};
+    spec.target = "y";
+
+    auto s1 = master.StartSession({"d"});
+    mip::Stopwatch sw;
+    auto plain = mip::algorithms::RunLinearRegression(&s1.ValueOrDie(), spec);
+    const double plain_ms = sw.ElapsedMillis();
+    if (!plain.ok()) return 1;
+    if (workers == 1) pooled_fit = plain.ValueOrDie();
+
+    spec.mode = mip::federation::AggregationMode::kSecure;
+    auto s2 = master.StartSession({"d"});
+    sw.Reset();
+    auto secure = mip::algorithms::RunLinearRegression(&s2.ValueOrDie(),
+                                                       spec);
+    const double secure_ms = sw.ElapsedMillis();
+    if (!secure.ok()) return 1;
+
+    double coef_diff = 0, secure_diff = 0;
+    for (size_t i = 0; i < pooled_fit.coefficients.size(); ++i) {
+      coef_diff = std::max(
+          coef_diff, std::fabs(plain.ValueOrDie().coefficients[i].estimate -
+                               pooled_fit.coefficients[i].estimate));
+      secure_diff = std::max(
+          secure_diff,
+          std::fabs(secure.ValueOrDie().coefficients[i].estimate -
+                    plain.ValueOrDie().coefficients[i].estimate));
+    }
+    std::printf("%8d %12.2f %12.2f %14.2e %16.2e %12llu\n", workers, plain_ms,
+                secure_ms, coef_diff, secure_diff,
+                static_cast<unsigned long long>(master.bus().stats().bytes));
+  }
+  std::printf(
+      "\nShape vs paper: the federated fit is exact (sufficient statistics "
+      "are sums);\nper-worker time shrinks with the split while coordination "
+      "cost stays constant-size\n(one (p+1)^2 aggregate per worker, "
+      "independent of row count).\n");
+  return 0;
+}

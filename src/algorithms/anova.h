@@ -1,0 +1,79 @@
+#ifndef MIP_ALGORITHMS_ANOVA_H_
+#define MIP_ALGORITHMS_ANOVA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// \brief One-way ANOVA of a numeric outcome across the levels of one
+/// categorical factor. Workers ship per-level (n, sum, sumsq).
+///
+/// `levels` may be left empty on the plain path (levels are discovered from
+/// the workers' transfers); the secure path requires them up front so every
+/// worker produces an identically-shaped vector for the SMPC sum.
+struct AnovaOneWaySpec {
+  std::vector<std::string> datasets;
+  std::string outcome;
+  std::string factor;
+  std::vector<std::string> levels;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct AnovaOneWayResult {
+  std::vector<std::string> levels;
+  std::vector<int64_t> level_counts;
+  std::vector<double> level_means;
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  double df_between = 0.0;
+  double df_within = 0.0;
+  double f_statistic = 0.0;
+  double p_value = 0.0;
+
+  std::string ToString() const;
+};
+
+Result<AnovaOneWayResult> RunAnovaOneWay(federation::FederationSession* session,
+                                         const AnovaOneWaySpec& spec);
+
+/// \brief Two-way ANOVA (factors A and B with interaction) using the
+/// unweighted cell-means decomposition. Level lists are required (the cell
+/// grid must be fixed across workers).
+struct AnovaTwoWaySpec {
+  std::vector<std::string> datasets;
+  std::string outcome;
+  std::string factor_a;
+  std::string factor_b;
+  std::vector<std::string> levels_a;
+  std::vector<std::string> levels_b;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct AnovaEffect {
+  std::string name;
+  double sum_of_squares = 0.0;
+  double df = 0.0;
+  double f_statistic = 0.0;
+  double p_value = 0.0;
+};
+
+struct AnovaTwoWayResult {
+  AnovaEffect effect_a;
+  AnovaEffect effect_b;
+  AnovaEffect interaction;
+  double ss_error = 0.0;
+  double df_error = 0.0;
+
+  std::string ToString() const;
+};
+
+Result<AnovaTwoWayResult> RunAnovaTwoWay(federation::FederationSession* session,
+                                         const AnovaTwoWaySpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_ANOVA_H_

@@ -1,0 +1,189 @@
+#include "algorithms/calibration_belt.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "stats/distributions.h"
+#include "stats/linalg.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double Logit(double p) {
+  const double q = std::min(std::max(p, 1e-8), 1.0 - 1e-8);
+  return std::log(q / (1.0 - q));
+}
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // IRLS step on the polynomial-in-logit design: features are
+  // [1, l, l^2, ..., l^degree] with l = logit(p_hat).
+  return EnsureLocal(
+      registry, "calbelt.step",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(double degree_d, args.GetScalar("degree"));
+        MIP_ASSIGN_OR_RETURN(std::vector<double> beta,
+                             args.GetVector("beta"));
+        const int degree = static_cast<int>(degree_d);
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        const size_t p = static_cast<size_t>(degree) + 1;
+        std::vector<double> grad(p, 0.0);
+        stats::Matrix hess(p, p);
+        double ll = 0.0, n = 0.0;
+        std::vector<double> x(p);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          const double prob = data.numeric(r, 0);
+          const double y = data.numeric(r, 1) >= 0.5 ? 1.0 : 0.0;
+          const double l = Logit(prob);
+          x[0] = 1.0;
+          for (size_t j = 1; j < p; ++j) x[j] = x[j - 1] * l;
+          double z = 0.0;
+          for (size_t j = 0; j < p; ++j) z += beta[j] * x[j];
+          const double mu = Sigmoid(z);
+          ll += y * std::log(std::max(mu, 1e-300)) +
+                (1 - y) * std::log(std::max(1 - mu, 1e-300));
+          const double w = mu * (1 - mu);
+          for (size_t j = 0; j < p; ++j) {
+            grad[j] += (y - mu) * x[j];
+            for (size_t k = 0; k < p; ++k) hess(j, k) += w * x[j] * x[k];
+          }
+          n += 1;
+        }
+        federation::TransferData out;
+        out.PutVector("grad", std::move(grad));
+        out.PutMatrix("hess", std::move(hess));
+        out.PutScalar("ll", ll);
+        out.PutScalar("n", n);
+        return out;
+      });
+}
+
+struct PolyFit {
+  std::vector<double> beta;
+  stats::Matrix cov;  // inverse Hessian
+  double ll = 0.0;
+  double n = 0.0;
+};
+
+Result<PolyFit> FitDegree(federation::FederationSession* session,
+                          const CalibrationBeltSpec& spec, int degree) {
+  const size_t p = static_cast<size_t>(degree) + 1;
+  PolyFit fit;
+  fit.beta.assign(p, 0.0);
+  federation::TransferData args =
+      MakeArgs(spec.datasets,
+               {spec.probability_variable, spec.outcome_variable});
+  args.PutScalar("degree", degree);
+  for (int iter = 0; iter < 30; ++iter) {
+    args.PutVector("beta", fit.beta);
+    MIP_ASSIGN_OR_RETURN(
+        federation::TransferData agg,
+        session->LocalRunAndAggregate("calbelt.step", args, spec.mode));
+    MIP_ASSIGN_OR_RETURN(std::vector<double> grad, agg.GetVector("grad"));
+    MIP_ASSIGN_OR_RETURN(stats::Matrix hess, agg.GetMatrix("hess"));
+    MIP_ASSIGN_OR_RETURN(fit.ll, agg.GetScalar("ll"));
+    MIP_ASSIGN_OR_RETURN(fit.n, agg.GetScalar("n"));
+    for (size_t j = 0; j < p; ++j) hess(j, j) += 1e-9;
+    MIP_ASSIGN_OR_RETURN(std::vector<double> step,
+                         stats::SolveSpd(hess, grad));
+    double norm = 0.0;
+    for (size_t j = 0; j < p; ++j) {
+      fit.beta[j] += step[j];
+      norm += step[j] * step[j];
+    }
+    MIP_ASSIGN_OR_RETURN(fit.cov, stats::InverseSpd(hess));
+    if (std::sqrt(norm) < 1e-9) break;
+  }
+  return fit;
+}
+
+}  // namespace
+
+Result<CalibrationBeltResult> RunCalibrationBelt(
+    federation::FederationSession* session, const CalibrationBeltSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+
+  // Forward selection: start at degree 1, extend while the LR test accepts.
+  MIP_ASSIGN_OR_RETURN(PolyFit current, FitDegree(session, spec, 1));
+  int degree = 1;
+  for (int d = 2; d <= spec.max_degree; ++d) {
+    MIP_ASSIGN_OR_RETURN(PolyFit next, FitDegree(session, spec, d));
+    const double lr = 2.0 * (next.ll - current.ll);
+    const double crit = stats::ChiSquaredCdf(lr, 1.0);
+    if (crit >= spec.lr_test_alpha) {
+      current = std::move(next);
+      degree = d;
+    } else {
+      break;
+    }
+  }
+
+  CalibrationBeltResult out;
+  out.degree = degree;
+  out.coefficients = current.beta;
+  out.n = static_cast<int64_t>(std::llround(current.n));
+
+  const size_t p = current.beta.size();
+  const double z80 = 1.2815515655446004;  // one-sided 90% => 80% band
+  const double z95 = 1.959963984540054;
+  for (int g = 0; g < spec.grid_points; ++g) {
+    const double prob =
+        (static_cast<double>(g) + 0.5) / static_cast<double>(spec.grid_points);
+    const double l = Logit(prob);
+    std::vector<double> x(p);
+    x[0] = 1.0;
+    for (size_t j = 1; j < p; ++j) x[j] = x[j - 1] * l;
+    double eta = 0.0;
+    for (size_t j = 0; j < p; ++j) eta += current.beta[j] * x[j];
+    // Delta-method variance of the linear predictor.
+    double var = 0.0;
+    for (size_t i = 0; i < p; ++i) {
+      for (size_t j = 0; j < p; ++j) {
+        var += x[i] * current.cov(i, j) * x[j];
+      }
+    }
+    const double se = std::sqrt(std::max(var, 0.0));
+    CalibrationBeltPoint pt;
+    pt.predicted = prob;
+    pt.observed = Sigmoid(eta);
+    pt.ci80_low = Sigmoid(eta - z80 * se);
+    pt.ci80_high = Sigmoid(eta + z80 * se);
+    pt.ci95_low = Sigmoid(eta - z95 * se);
+    pt.ci95_high = Sigmoid(eta + z95 * se);
+    if (prob < pt.ci95_low || prob > pt.ci95_high) {
+      out.covers_diagonal_95 = false;
+    }
+    out.belt.push_back(pt);
+  }
+  return out;
+}
+
+std::string CalibrationBeltResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "Calibration belt (n=" << n << ", degree=" << degree << ", "
+     << (covers_diagonal_95 ? "well calibrated at 95%"
+                            : "MIScalibrated at 95%")
+     << ")\n";
+  for (const CalibrationBeltPoint& p : belt) {
+    os << "  p=" << p.predicted << " obs=" << p.observed << " 95% ["
+       << p.ci95_low << ", " << p.ci95_high << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace mip::algorithms

@@ -1,0 +1,56 @@
+#ifndef MIP_ALGORITHMS_CALIBRATION_BELT_H_
+#define MIP_ALGORITHMS_CALIBRATION_BELT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated Calibration Belt (GiViTI): assesses the calibration of a
+/// probabilistic classifier by fitting a polynomial logistic recalibration
+/// of the outcome on logit(predicted probability). The polynomial degree is
+/// chosen by forward likelihood-ratio tests; the belt is the pointwise
+/// confidence band of the fitted calibration curve over a probability grid.
+///
+/// Every fitting iteration ships only gradient/Hessian sums — the same
+/// federated IRLS machinery as logistic regression.
+struct CalibrationBeltSpec {
+  std::vector<std::string> datasets;
+  std::string probability_variable;  ///< predicted probability in (0, 1)
+  std::string outcome_variable;      ///< numeric 0/1 outcome
+  int max_degree = 3;
+  double lr_test_alpha = 0.95;  ///< significance for the forward LR test
+  int grid_points = 20;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct CalibrationBeltPoint {
+  double predicted = 0.0;  ///< grid probability
+  double observed = 0.0;   ///< fitted calibration curve
+  double ci80_low = 0.0;
+  double ci80_high = 0.0;
+  double ci95_low = 0.0;
+  double ci95_high = 0.0;
+};
+
+struct CalibrationBeltResult {
+  int degree = 1;  ///< selected polynomial degree
+  std::vector<double> coefficients;
+  std::vector<CalibrationBeltPoint> belt;
+  int64_t n = 0;
+  /// True when the 95% belt contains the diagonal everywhere (the model is
+  /// well calibrated).
+  bool covers_diagonal_95 = true;
+
+  std::string ToString() const;
+};
+
+Result<CalibrationBeltResult> RunCalibrationBelt(
+    federation::FederationSession* session, const CalibrationBeltSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_CALIBRATION_BELT_H_

@@ -1,0 +1,99 @@
+#include "algorithms/common.h"
+
+#include <cmath>
+
+namespace mip::algorithms {
+
+Status EnsureLocal(federation::LocalFunctionRegistry* registry,
+                   const std::string& name, federation::LocalFn fn) {
+  if (registry->Has(name)) return Status::OK();
+  return registry->Register(name, std::move(fn));
+}
+
+std::vector<std::string> WorkerDatasets(
+    federation::WorkerContext& ctx, const federation::TransferData& args) {
+  const std::vector<std::string> filter =
+      args.GetStringListOrEmpty("datasets");
+  std::vector<std::string> out;
+  for (const std::string& hosted : ctx.datasets()) {
+    if (filter.empty()) {
+      out.push_back(hosted);
+      continue;
+    }
+    for (const std::string& f : filter) {
+      if (f == hosted) {
+        out.push_back(hosted);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<LocalData> GatherData(
+    federation::WorkerContext& ctx, const std::vector<std::string>& datasets,
+    const std::vector<std::string>& numeric_vars,
+    const std::vector<std::string>& categorical_vars) {
+  LocalData out;
+  std::vector<std::vector<double>> numeric_rows;
+  out.categorical.resize(categorical_vars.size());
+
+  for (const std::string& ds : datasets) {
+    MIP_ASSIGN_OR_RETURN(engine::Table table, ctx.db().GetTable(ds));
+    std::vector<const engine::Column*> num_cols;
+    for (const std::string& v : numeric_vars) {
+      MIP_ASSIGN_OR_RETURN(const engine::Column* c, table.ColumnByName(v));
+      num_cols.push_back(c);
+    }
+    std::vector<const engine::Column*> cat_cols;
+    for (const std::string& v : categorical_vars) {
+      MIP_ASSIGN_OR_RETURN(const engine::Column* c, table.ColumnByName(v));
+      cat_cols.push_back(c);
+    }
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      bool complete = true;
+      std::vector<double> row(num_cols.size());
+      for (size_t j = 0; j < num_cols.size(); ++j) {
+        const double v = num_cols[j]->AsDoubleAt(r);
+        if (std::isnan(v)) {
+          complete = false;
+          break;
+        }
+        row[j] = v;
+      }
+      if (!complete) continue;
+      for (size_t j = 0; j < cat_cols.size(); ++j) {
+        if (!cat_cols[j]->IsValid(r)) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) continue;
+      numeric_rows.push_back(std::move(row));
+      for (size_t j = 0; j < cat_cols.size(); ++j) {
+        out.categorical[j].push_back(cat_cols[j]->ValueAt(r).ToString());
+      }
+    }
+  }
+  out.num_rows = numeric_rows.size();
+  out.numeric = stats::Matrix(out.num_rows, numeric_vars.size());
+  for (size_t r = 0; r < numeric_rows.size(); ++r) {
+    for (size_t c = 0; c < numeric_vars.size(); ++c) {
+      out.numeric(r, c) = numeric_rows[r][c];
+    }
+  }
+  return out;
+}
+
+federation::TransferData MakeArgs(
+    const std::vector<std::string>& datasets,
+    const std::vector<std::string>& numeric_vars,
+    const std::vector<std::string>& categorical_vars) {
+  federation::TransferData args;
+  args.PutStringList("datasets", datasets);
+  args.PutStringList("numeric_vars", numeric_vars);
+  args.PutStringList("categorical_vars", categorical_vars);
+  return args;
+}
+
+}  // namespace mip::algorithms

@@ -1,0 +1,50 @@
+#ifndef MIP_ALGORITHMS_COMMON_H_
+#define MIP_ALGORITHMS_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+#include "federation/worker.h"
+#include "stats/matrix.h"
+
+namespace mip::algorithms {
+
+/// Registers a local step if it is not registered yet (algorithms are
+/// re-runnable; shipping the same code twice is a no-op).
+Status EnsureLocal(federation::LocalFunctionRegistry* registry,
+                   const std::string& name, federation::LocalFn fn);
+
+/// \brief A worker's view of the requested data: numeric design matrix plus
+/// aligned categorical columns, gathered across the datasets the worker
+/// hosts (restricted to `datasets` when non-empty).
+struct LocalData {
+  stats::Matrix numeric;                          ///< rows x numeric vars
+  std::vector<std::vector<std::string>> categorical;  ///< [var][row]
+  size_t num_rows = 0;
+};
+
+/// Gathers `numeric_vars` and `categorical_vars` from the worker's hosted
+/// datasets. Rows with a missing value in ANY requested variable are
+/// dropped (complete-case analysis, MIP's default).
+Result<LocalData> GatherData(federation::WorkerContext& ctx,
+                             const std::vector<std::string>& datasets,
+                             const std::vector<std::string>& numeric_vars,
+                             const std::vector<std::string>& categorical_vars);
+
+/// Builds the standard args transfer: datasets filter + variable lists.
+federation::TransferData MakeArgs(
+    const std::vector<std::string>& datasets,
+    const std::vector<std::string>& numeric_vars,
+    const std::vector<std::string>& categorical_vars = {});
+
+/// Datasets a worker should scan: the args filter intersected with what the
+/// worker hosts (all hosted datasets when the filter is empty).
+std::vector<std::string> WorkerDatasets(
+    federation::WorkerContext& ctx,
+    const federation::TransferData& args);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_COMMON_H_

@@ -1,0 +1,486 @@
+#include "algorithms/decision_tree.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "common/string_util.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+double Entropy(const std::map<std::string, double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [cls, n] : counts) {
+    if (n <= 0) continue;
+    const double p = n / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double Gini(const std::map<std::string, double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double g = 1.0;
+  for (const auto& [cls, n] : counts) {
+    const double p = n / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+// Does row r satisfy the ID3 path constraints?
+bool SatisfiesCategorical(const LocalData& data,
+                          const std::vector<std::string>& all_features,
+                          size_t r,
+                          const std::vector<std::string>& path_features,
+                          const std::vector<std::string>& path_values) {
+  for (size_t c = 0; c < path_features.size(); ++c) {
+    int idx = -1;
+    for (size_t j = 0; j < all_features.size(); ++j) {
+      if (all_features[j] == path_features[c]) {
+        idx = static_cast<int>(j);
+        break;
+      }
+    }
+    if (idx < 0) return false;
+    if (data.categorical[static_cast<size_t>(idx)][r] != path_values[c]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesNumeric(const LocalData& data,
+                      const std::vector<std::string>& all_features, size_t r,
+                      const std::vector<std::string>& path_features,
+                      const std::vector<double>& path_thresholds,
+                      const std::vector<double>& path_dirs) {
+  for (size_t c = 0; c < path_features.size(); ++c) {
+    int idx = -1;
+    for (size_t j = 0; j < all_features.size(); ++j) {
+      if (all_features[j] == path_features[c]) {
+        idx = static_cast<int>(j);
+        break;
+      }
+    }
+    if (idx < 0) return false;
+    const double v = data.numeric(r, static_cast<size_t>(idx));
+    if (path_dirs[c] < 0.5) {
+      if (!(v <= path_thresholds[c])) return false;
+    } else {
+      if (!(v > path_thresholds[c])) return false;
+    }
+  }
+  return true;
+}
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // ID3: class histogram overall and per (feature, value) at the node
+  // selected by the path constraints.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "id3.histogram",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> features,
+                             args.GetStringList("categorical_vars"));
+        MIP_ASSIGN_OR_RETURN(std::string target, args.GetString("target"));
+        const std::vector<std::string> path_features =
+            args.GetStringListOrEmpty("path_features");
+        const std::vector<std::string> path_values =
+            args.GetStringListOrEmpty("path_values");
+        std::vector<std::string> cats = features;
+        cats.push_back(target);
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), {}, cats));
+        const size_t target_idx = features.size();
+        std::map<std::string, double> out_counts;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          if (!SatisfiesCategorical(data, features, r, path_features,
+                                    path_values)) {
+            continue;
+          }
+          const std::string& cls = data.categorical[target_idx][r];
+          out_counts["cls/" + cls] += 1;
+          for (size_t j = 0; j < features.size(); ++j) {
+            out_counts["h/" + features[j] + "/" + data.categorical[j][r] +
+                       "/" + cls] += 1;
+          }
+        }
+        federation::TransferData out;
+        for (const auto& [k, v] : out_counts) out.PutVector(k, {v});
+        return out;
+      }));
+
+  // CART: class histogram overall and cumulative (x <= threshold)
+  // histograms for each candidate (feature, threshold) at the node.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "cart.histogram",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> features,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(std::string target, args.GetString("target"));
+        const std::vector<std::string> path_features =
+            args.GetStringListOrEmpty("path_features");
+        std::vector<double> path_thresholds;
+        std::vector<double> path_dirs;
+        if (args.HasVector("path_thresholds")) {
+          MIP_ASSIGN_OR_RETURN(path_thresholds,
+                               args.GetVector("path_thresholds"));
+          MIP_ASSIGN_OR_RETURN(path_dirs, args.GetVector("path_dirs"));
+        }
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), features, {target}));
+        std::map<std::string, double> out_counts;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          if (!SatisfiesNumeric(data, features, r, path_features,
+                                path_thresholds, path_dirs)) {
+            continue;
+          }
+          const std::string& cls = data.categorical[0][r];
+          out_counts["cls/" + cls] += 1;
+          for (size_t j = 0; j < features.size(); ++j) {
+            MIP_ASSIGN_OR_RETURN(
+                std::vector<double> grid,
+                args.GetVector("thr/" + features[j]));
+            for (size_t t = 0; t < grid.size(); ++t) {
+              if (data.numeric(r, j) <= grid[t]) {
+                out_counts["le/" + features[j] + "/" + std::to_string(t) +
+                           "/" + cls] += 1;
+              }
+            }
+          }
+        }
+        federation::TransferData out;
+        for (const auto& [k, v] : out_counts) out.PutVector(k, {v});
+        return out;
+      }));
+
+  // Per-feature min/max for the CART threshold grid.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "cart.ranges",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> features,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), features, {}));
+        federation::TransferData out;
+        for (size_t j = 0; j < features.size(); ++j) {
+          double lo = 1e300, hi = -1e300;
+          for (size_t r = 0; r < data.num_rows; ++r) {
+            lo = std::min(lo, data.numeric(r, j));
+            hi = std::max(hi, data.numeric(r, j));
+          }
+          out.PutVector("range/" + features[j], {lo, hi});
+        }
+        return out;
+      }));
+  return Status::OK();
+}
+
+// Merges dynamic count keys across workers' transfers.
+std::map<std::string, double> MergeCounts(
+    const std::vector<federation::TransferData>& parts) {
+  std::map<std::string, double> merged;
+  for (const auto& part : parts) {
+    for (const auto& [k, v] : part.vectors()) merged[k] += v[0];
+  }
+  return merged;
+}
+
+std::string MajorityClass(const std::map<std::string, double>& counts) {
+  std::string best;
+  double best_n = -1;
+  for (const auto& [cls, n] : counts) {
+    if (n > best_n) {
+      best_n = n;
+      best = cls;
+    }
+  }
+  return best;
+}
+
+struct TreeMetrics {
+  int nodes = 0;
+  int depth = 0;
+};
+
+// --- ID3 recursion ---------------------------------------------------------
+
+Result<std::unique_ptr<TreeNode>> GrowId3(
+    federation::FederationSession* session, const Id3Spec& spec,
+    std::vector<std::string> remaining,
+    const std::vector<std::string>& path_features,
+    const std::vector<std::string>& path_values, int depth,
+    TreeMetrics* metrics) {
+  federation::TransferData args = MakeArgs(spec.datasets, {}, remaining);
+  args.PutString("target", spec.target);
+  args.PutStringList("path_features", path_features);
+  args.PutStringList("path_values", path_values);
+  MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                       session->LocalRun("id3.histogram", args));
+  const std::map<std::string, double> merged = MergeCounts(parts);
+
+  std::map<std::string, double> cls_counts;
+  double total = 0;
+  for (const auto& [k, v] : merged) {
+    if (StartsWith(k, "cls/")) {
+      cls_counts[k.substr(4)] = v;
+      total += v;
+    }
+  }
+  auto node = std::make_unique<TreeNode>();
+  node->n = static_cast<int64_t>(std::llround(total));
+  node->impurity = Entropy(cls_counts, total);
+  node->prediction = MajorityClass(cls_counts);
+  ++metrics->nodes;
+  metrics->depth = std::max(metrics->depth, depth);
+
+  if (depth >= spec.max_depth || node->n < spec.min_samples_split ||
+      node->impurity <= 1e-12 || remaining.empty()) {
+    return node;
+  }
+
+  // Pick the feature with the highest information gain.
+  std::string best_feature;
+  double best_gain = 1e-9;
+  std::vector<std::string> best_values;
+  for (const std::string& f : remaining) {
+    // value -> (class -> count)
+    std::map<std::string, std::map<std::string, double>> by_value;
+    for (const auto& [k, v] : merged) {
+      if (!StartsWith(k, "h/" + f + "/")) continue;
+      const std::vector<std::string> bits = Split(k, '/');
+      if (bits.size() != 4) continue;
+      by_value[bits[2]][bits[3]] += v;
+    }
+    if (by_value.size() < 2) continue;
+    double cond = 0.0;
+    for (const auto& [value, counts] : by_value) {
+      double n_v = 0;
+      for (const auto& [cls, n] : counts) n_v += n;
+      cond += (n_v / total) * Entropy(counts, n_v);
+    }
+    const double gain = node->impurity - cond;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = f;
+      best_values.clear();
+      for (const auto& [value, counts] : by_value) {
+        best_values.push_back(value);
+      }
+    }
+  }
+  if (best_feature.empty()) return node;
+
+  node->is_leaf = false;
+  node->categorical_split = true;
+  node->split_feature = best_feature;
+  node->split_values = best_values;
+  std::vector<std::string> child_remaining;
+  for (const std::string& f : remaining) {
+    if (f != best_feature) child_remaining.push_back(f);
+  }
+  for (const std::string& value : best_values) {
+    std::vector<std::string> pf = path_features;
+    std::vector<std::string> pv = path_values;
+    pf.push_back(best_feature);
+    pv.push_back(value);
+    MIP_ASSIGN_OR_RETURN(
+        std::unique_ptr<TreeNode> child,
+        GrowId3(session, spec, child_remaining, pf, pv, depth + 1, metrics));
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+// --- CART recursion --------------------------------------------------------
+
+Result<std::unique_ptr<TreeNode>> GrowCart(
+    federation::FederationSession* session, const CartSpec& spec,
+    const std::map<std::string, std::vector<double>>& grids,
+    const std::vector<std::string>& path_features,
+    const std::vector<double>& path_thresholds,
+    const std::vector<double>& path_dirs, int depth, TreeMetrics* metrics) {
+  federation::TransferData args = MakeArgs(spec.datasets, spec.features);
+  args.PutString("target", spec.target);
+  args.PutStringList("path_features", path_features);
+  args.PutVector("path_thresholds", path_thresholds);
+  args.PutVector("path_dirs", path_dirs);
+  for (const auto& [f, grid] : grids) args.PutVector("thr/" + f, grid);
+  MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                       session->LocalRun("cart.histogram", args));
+  const std::map<std::string, double> merged = MergeCounts(parts);
+
+  std::map<std::string, double> cls_counts;
+  double total = 0;
+  for (const auto& [k, v] : merged) {
+    if (StartsWith(k, "cls/")) {
+      cls_counts[k.substr(4)] = v;
+      total += v;
+    }
+  }
+  auto node = std::make_unique<TreeNode>();
+  node->n = static_cast<int64_t>(std::llround(total));
+  node->impurity = Gini(cls_counts, total);
+  node->prediction = MajorityClass(cls_counts);
+  ++metrics->nodes;
+  metrics->depth = std::max(metrics->depth, depth);
+
+  if (depth >= spec.max_depth || node->n < spec.min_samples_split ||
+      node->impurity <= 1e-12) {
+    return node;
+  }
+
+  std::string best_feature;
+  double best_threshold = 0.0;
+  double best_score = node->impurity - 1e-9;
+  for (const std::string& f : spec.features) {
+    const std::vector<double>& grid = grids.at(f);
+    for (size_t t = 0; t < grid.size(); ++t) {
+      std::map<std::string, double> left;
+      double n_left = 0;
+      for (const auto& [cls, n] : cls_counts) {
+        auto it =
+            merged.find("le/" + f + "/" + std::to_string(t) + "/" + cls);
+        const double c = it != merged.end() ? it->second : 0.0;
+        left[cls] = c;
+        n_left += c;
+      }
+      const double n_right = total - n_left;
+      if (n_left < 1 || n_right < 1) continue;
+      std::map<std::string, double> right;
+      for (const auto& [cls, n] : cls_counts) right[cls] = n - left[cls];
+      const double score = (n_left / total) * Gini(left, n_left) +
+                           (n_right / total) * Gini(right, n_right);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = grid[t];
+      }
+    }
+  }
+  if (best_feature.empty()) return node;
+
+  node->is_leaf = false;
+  node->categorical_split = false;
+  node->split_feature = best_feature;
+  node->threshold = best_threshold;
+  for (double dir : {0.0, 1.0}) {
+    std::vector<std::string> pf = path_features;
+    std::vector<double> pt = path_thresholds;
+    std::vector<double> pd = path_dirs;
+    pf.push_back(best_feature);
+    pt.push_back(best_threshold);
+    pd.push_back(dir);
+    MIP_ASSIGN_OR_RETURN(
+        std::unique_ptr<TreeNode> child,
+        GrowCart(session, spec, grids, pf, pt, pd, depth + 1, metrics));
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<DecisionTreeResult> RunId3(federation::FederationSession* session,
+                                  const Id3Spec& spec) {
+  if (spec.mode == federation::AggregationMode::kSecure) {
+    return Status::NotImplemented(
+        "ID3 currently supports the plain aggregation path (dynamic "
+        "histogram shapes)");
+  }
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  DecisionTreeResult out;
+  TreeMetrics metrics;
+  MIP_ASSIGN_OR_RETURN(out.root, GrowId3(session, spec, spec.features, {}, {},
+                                         0, &metrics));
+  out.nodes = metrics.nodes;
+  out.depth = metrics.depth;
+  return out;
+}
+
+Result<DecisionTreeResult> RunCart(federation::FederationSession* session,
+                                   const CartSpec& spec) {
+  if (spec.mode == federation::AggregationMode::kSecure) {
+    return Status::NotImplemented(
+        "CART currently supports the plain aggregation path");
+  }
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+
+  // Build the per-feature threshold grid once from federated ranges.
+  federation::TransferData range_args = MakeArgs(spec.datasets, spec.features);
+  MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                       session->LocalRun("cart.ranges", range_args));
+  std::map<std::string, std::vector<double>> grids;
+  for (const std::string& f : spec.features) {
+    double lo = 1e300, hi = -1e300;
+    for (const auto& part : parts) {
+      if (!part.HasVector("range/" + f)) continue;
+      MIP_ASSIGN_OR_RETURN(std::vector<double> range,
+                           part.GetVector("range/" + f));
+      lo = std::min(lo, range[0]);
+      hi = std::max(hi, range[1]);
+    }
+    std::vector<double> grid;
+    const int k = std::max(1, spec.candidate_thresholds);
+    for (int t = 1; t <= k; ++t) {
+      grid.push_back(lo + (hi - lo) * static_cast<double>(t) /
+                              static_cast<double>(k + 1));
+    }
+    grids[f] = std::move(grid);
+  }
+
+  DecisionTreeResult out;
+  TreeMetrics metrics;
+  MIP_ASSIGN_OR_RETURN(out.root,
+                       GrowCart(session, spec, grids, {}, {}, {}, 0,
+                                &metrics));
+  out.nodes = metrics.nodes;
+  out.depth = metrics.depth;
+  return out;
+}
+
+std::string TreeNode::ToString(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (is_leaf) {
+    os << pad << "leaf -> " << prediction << " (n=" << n
+       << ", impurity=" << impurity << ")\n";
+    return os.str();
+  }
+  if (categorical_split) {
+    os << pad << "split on " << split_feature << " (n=" << n << ")\n";
+    for (size_t i = 0; i < children.size(); ++i) {
+      os << pad << " = " << split_values[i] << ":\n"
+         << children[i]->ToString(indent + 1);
+    }
+  } else {
+    os << pad << "split on " << split_feature << " <= " << threshold
+       << " (n=" << n << ")\n";
+    os << children[0]->ToString(indent + 1);
+    os << pad << " > " << threshold << ":\n"
+       << children[1]->ToString(indent + 1);
+  }
+  return os.str();
+}
+
+std::string DecisionTreeResult::ToString() const {
+  std::ostringstream os;
+  os << "Decision tree: " << nodes << " nodes, depth " << depth << "\n";
+  if (root != nullptr) os << root->ToString(1);
+  return os.str();
+}
+
+}  // namespace mip::algorithms

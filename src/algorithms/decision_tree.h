@@ -1,0 +1,74 @@
+#ifndef MIP_ALGORITHMS_DECISION_TREE_H_
+#define MIP_ALGORITHMS_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// \brief Node of a federated decision tree (shared by ID3 and CART).
+struct TreeNode {
+  bool is_leaf = true;
+  std::string prediction;  ///< majority class at this node
+
+  // ID3 split: categorical feature, one child per domain value.
+  // CART split: numeric feature with threshold, two children (<=, >).
+  bool categorical_split = true;
+  std::string split_feature;
+  std::vector<std::string> split_values;  ///< ID3 child labels
+  double threshold = 0.0;                 ///< CART
+  std::vector<std::unique_ptr<TreeNode>> children;
+
+  int64_t n = 0;
+  double impurity = 0.0;  ///< entropy (ID3) or Gini (CART) at the node
+
+  /// Renders the subtree with indentation.
+  std::string ToString(int indent = 0) const;
+};
+
+/// \brief Federated ID3: categorical features, categorical target, splits by
+/// information gain. At every node the Master asks the Workers for class
+/// histograms of each candidate feature conditioned on the path constraints
+/// — only counts (sums) ever leave a hospital.
+struct Id3Spec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> features;  ///< categorical features
+  std::string target;                 ///< categorical class variable
+  int max_depth = 4;
+  int64_t min_samples_split = 10;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct DecisionTreeResult {
+  std::unique_ptr<TreeNode> root;
+  int nodes = 0;
+  int depth = 0;
+
+  std::string ToString() const;
+};
+
+Result<DecisionTreeResult> RunId3(federation::FederationSession* session,
+                                  const Id3Spec& spec);
+
+/// \brief Federated CART: numeric features, binary splits on thresholds
+/// drawn from a per-feature quantile grid, Gini impurity.
+struct CartSpec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> features;  ///< numeric features
+  std::string target;                 ///< categorical class variable
+  int max_depth = 4;
+  int64_t min_samples_split = 10;
+  int candidate_thresholds = 8;  ///< grid size per feature
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+Result<DecisionTreeResult> RunCart(federation::FederationSession* session,
+                                   const CartSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_DECISION_TREE_H_

@@ -1,0 +1,43 @@
+#ifndef MIP_ALGORITHMS_DESCRIPTIVE_H_
+#define MIP_ALGORITHMS_DESCRIPTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+#include "stats/summary.h"
+
+namespace mip::algorithms {
+
+/// \brief Spec for the dashboard's "Descriptive Analysis" (paper Figure 3):
+/// per-dataset statistics for each variable of interest, plus a federated
+/// row across all selected datasets.
+struct DescriptiveSpec {
+  std::vector<std::string> datasets;   ///< empty = all in the federation
+  std::vector<std::string> variables;  ///< numeric CDE variables
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct DescriptiveResult {
+  /// One row per (variable, dataset) — quartiles included (dataset-local
+  /// statistics, computed where the dataset lives, exactly as the MIP
+  /// dashboard renders them).
+  std::vector<stats::DescriptiveRow> per_dataset;
+  /// One row per variable across all datasets. On the secure path these
+  /// moments come out of the SMPC cluster (sum aggregation + secure
+  /// min/max); quartiles are not exactly computable from aggregates and are
+  /// reported as NaN.
+  std::vector<stats::DescriptiveRow> federated;
+
+  /// Dashboard-like fixed-width rendering.
+  std::string ToString() const;
+};
+
+/// Runs the descriptive analysis over the session's workers.
+Result<DescriptiveResult> RunDescriptive(federation::FederationSession* session,
+                                         const DescriptiveSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_DESCRIPTIVE_H_

@@ -1,0 +1,236 @@
+#include "algorithms/histogram.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "common/string_util.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // Local min/max for the numeric grid.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "hist.range",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        double lo = 1e300, hi = -1e300;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          lo = std::min(lo, data.numeric(r, 0));
+          hi = std::max(hi, data.numeric(r, 0));
+        }
+        federation::TransferData out;
+        out.PutVector("range", {lo, hi});
+        return out;
+      }));
+
+  // Fixed-grid numeric bin counts (identically shaped -> SMPC-capable).
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "hist.counts",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(std::vector<double> edges,
+                             args.GetVector("edges"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        const size_t bins = edges.size() - 1;
+        std::vector<double> counts(bins, 0.0);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          const double v = data.numeric(r, 0);
+          if (v < edges.front() || v > edges.back()) continue;
+          size_t b = bins - 1;
+          for (size_t e = 1; e < edges.size(); ++e) {
+            if (v < edges[e]) {
+              b = e - 1;
+              break;
+            }
+          }
+          counts[b] += 1;
+        }
+        federation::TransferData out;
+        out.PutVector("counts", std::move(counts));
+        return out;
+      }));
+
+  // Nominal counts: fixed levels -> vector; otherwise dynamic keys.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "hist.nominal",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::string variable,
+                             args.GetString("variable"));
+        const std::vector<std::string> levels =
+            args.GetStringListOrEmpty("levels");
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), {}, {variable}));
+        federation::TransferData out;
+        if (!levels.empty()) {
+          std::vector<double> counts(levels.size(), 0.0);
+          for (size_t r = 0; r < data.num_rows; ++r) {
+            for (size_t l = 0; l < levels.size(); ++l) {
+              if (data.categorical[0][r] == levels[l]) {
+                counts[l] += 1;
+                break;
+              }
+            }
+          }
+          out.PutVector("counts", std::move(counts));
+        } else {
+          std::map<std::string, double> counts;
+          for (size_t r = 0; r < data.num_rows; ++r) {
+            counts[data.categorical[0][r]] += 1;
+          }
+          for (const auto& [level, n] : counts) {
+            out.PutVector("lvl/" + level, {n});
+          }
+        }
+        return out;
+      }));
+  return Status::OK();
+}
+
+void ApplySuppression(HistogramResult* result, int64_t threshold) {
+  for (HistogramBin& bin : result->bins) {
+    if (bin.count > 0 && bin.count < threshold) {
+      bin.suppressed = true;
+      bin.count = 0;
+      ++result->suppressed_bins;
+    }
+    result->total += bin.count;
+  }
+}
+
+}  // namespace
+
+Result<HistogramResult> RunHistogram(federation::FederationSession* session,
+                                     const HistogramSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  HistogramResult result;
+  result.variable = spec.variable;
+
+  if (spec.nominal) {
+    federation::TransferData args = MakeArgs(spec.datasets, {});
+    args.PutString("variable", spec.variable);
+    if (!spec.levels.empty()) args.PutStringList("levels", spec.levels);
+    if (spec.levels.empty()) {
+      if (spec.mode == federation::AggregationMode::kSecure) {
+        return Status::InvalidArgument(
+            "secure nominal histograms need the level list up front");
+      }
+      MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                           session->LocalRun("hist.nominal", args));
+      std::map<std::string, int64_t> merged;
+      for (const auto& part : parts) {
+        for (const auto& [key, v] : part.vectors()) {
+          if (StartsWith(key, "lvl/")) {
+            merged[key.substr(4)] +=
+                static_cast<int64_t>(std::llround(v[0]));
+          }
+        }
+      }
+      for (const auto& [level, count] : merged) {
+        HistogramBin bin;
+        bin.label = level;
+        bin.count = count;
+        result.bins.push_back(bin);
+      }
+    } else {
+      MIP_ASSIGN_OR_RETURN(
+          federation::TransferData agg,
+          session->LocalRunAndAggregate("hist.nominal", args, spec.mode));
+      MIP_ASSIGN_OR_RETURN(std::vector<double> counts,
+                           agg.GetVector("counts"));
+      for (size_t l = 0; l < spec.levels.size(); ++l) {
+        HistogramBin bin;
+        bin.label = spec.levels[l];
+        bin.count = static_cast<int64_t>(std::llround(counts[l]));
+        result.bins.push_back(bin);
+      }
+    }
+    ApplySuppression(&result, spec.privacy_threshold);
+    return result;
+  }
+
+  // Numeric path: federated range, then fixed-grid counts.
+  if (spec.bins < 1) return Status::InvalidArgument("bins must be >= 1");
+  federation::TransferData range_args = MakeArgs(spec.datasets,
+                                                 {spec.variable});
+  MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                       session->LocalRun("hist.range", range_args));
+  double lo = 1e300, hi = -1e300;
+  for (const auto& part : parts) {
+    MIP_ASSIGN_OR_RETURN(std::vector<double> range, part.GetVector("range"));
+    lo = std::min(lo, range[0]);
+    hi = std::max(hi, range[1]);
+  }
+  if (lo > hi) return Status::ExecutionError("no data for histogram");
+  if (lo == hi) hi = lo + 1.0;
+
+  std::vector<double> edges(static_cast<size_t>(spec.bins) + 1);
+  for (int e = 0; e <= spec.bins; ++e) {
+    edges[static_cast<size_t>(e)] =
+        lo + (hi - lo) * static_cast<double>(e) /
+                 static_cast<double>(spec.bins);
+  }
+  federation::TransferData count_args = MakeArgs(spec.datasets,
+                                                 {spec.variable});
+  count_args.PutVector("edges", edges);
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("hist.counts", count_args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> counts, agg.GetVector("counts"));
+  for (int b = 0; b < spec.bins; ++b) {
+    HistogramBin bin;
+    bin.lo = edges[static_cast<size_t>(b)];
+    bin.hi = edges[static_cast<size_t>(b) + 1];
+    std::ostringstream label;
+    label.precision(3);
+    label << std::fixed << "[" << bin.lo << ", " << bin.hi
+          << (b + 1 == spec.bins ? "]" : ")");
+    bin.label = label.str();
+    bin.count = static_cast<int64_t>(std::llround(counts[static_cast<size_t>(b)]));
+    result.bins.push_back(bin);
+  }
+  ApplySuppression(&result, spec.privacy_threshold);
+  return result;
+}
+
+std::string HistogramResult::ToString() const {
+  std::ostringstream os;
+  os << "Histogram of " << variable << " (total " << total;
+  if (suppressed_bins > 0) {
+    os << ", " << suppressed_bins << " small bins suppressed";
+  }
+  os << ")\n";
+  int64_t max_count = 1;
+  for (const HistogramBin& b : bins) max_count = std::max(max_count, b.count);
+  for (const HistogramBin& b : bins) {
+    os << "  " << b.label << " ";
+    if (b.suppressed) {
+      os << "<suppressed>";
+    } else {
+      const int width = static_cast<int>(40 * b.count / max_count);
+      for (int i = 0; i < width; ++i) os << '#';
+      os << " " << b.count;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mip::algorithms

@@ -1,0 +1,56 @@
+#ifndef MIP_ALGORITHMS_HISTOGRAM_H_
+#define MIP_ALGORITHMS_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated histogram — the dashboard's variable-exploration panel.
+///
+/// Numeric variables are bucketed on a fixed grid derived from the
+/// federated range; nominal variables count categories. Bin counts are sums
+/// (SMPC-compatible for numeric / fixed-level nominal). Disclosure control:
+/// bins whose count is positive but below `privacy_threshold` are
+/// suppressed before leaving the Master (MIP never displays small cells
+/// that could identify patients).
+struct HistogramSpec {
+  std::vector<std::string> datasets;
+  std::string variable;
+  /// true = categorical variable (counts per level).
+  bool nominal = false;
+  int bins = 10;  ///< numeric path
+  /// Nominal levels; required on the secure path, discovered when empty on
+  /// the plain path.
+  std::vector<std::string> levels;
+  /// Counts in (0, privacy_threshold) are suppressed.
+  int64_t privacy_threshold = 10;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct HistogramBin {
+  std::string label;  ///< "[lo, hi)" or the category value
+  double lo = 0.0;
+  double hi = 0.0;
+  int64_t count = 0;
+  bool suppressed = false;  ///< small cell withheld (count forced to 0)
+};
+
+struct HistogramResult {
+  std::string variable;
+  std::vector<HistogramBin> bins;
+  int64_t total = 0;            ///< displayed total (post suppression)
+  int64_t suppressed_bins = 0;
+
+  std::string ToString() const;
+};
+
+Result<HistogramResult> RunHistogram(federation::FederationSession* session,
+                                     const HistogramSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_HISTOGRAM_H_

@@ -1,0 +1,224 @@
+#include "algorithms/kaplan_meier.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "common/string_util.h"
+#include "stats/special.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // Per (group, time): [events, censored] — the classic life-table
+  // aggregate. Individual follow-up times do leave as table rows; MIP
+  // treats these as aggregates (they carry no identifiers), matching the
+  // plain path. Secure grids would bucket times first.
+  return EnsureLocal(
+      registry, "km.table",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        std::vector<std::string> cats;
+        if (args.HasString("group_variable")) {
+          MIP_ASSIGN_OR_RETURN(std::string g,
+                               args.GetString("group_variable"));
+          cats.push_back(g);
+        }
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, cats));
+        // key: (group, time) -> [events, censored]
+        std::map<std::string, std::map<double, std::pair<double, double>>>
+            tables;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          const std::string group =
+              cats.empty() ? "(all)" : data.categorical[0][r];
+          const double t = data.numeric(r, 0);
+          const bool event = data.numeric(r, 1) >= 0.5;
+          auto& cell = tables[group][t];
+          if (event) {
+            cell.first += 1;
+          } else {
+            cell.second += 1;
+          }
+        }
+        federation::TransferData out;
+        for (const auto& [group, table] : tables) {
+          std::vector<double> flat;
+          for (const auto& [t, dc] : table) {
+            flat.push_back(t);
+            flat.push_back(dc.first);
+            flat.push_back(dc.second);
+          }
+          out.PutVector("km/" + group, std::move(flat));
+        }
+        return out;
+      });
+}
+
+}  // namespace
+
+Result<KaplanMeierResult> RunKaplanMeier(
+    federation::FederationSession* session, const KaplanMeierSpec& spec) {
+  if (spec.mode == federation::AggregationMode::kSecure) {
+    return Status::NotImplemented(
+        "Kaplan-Meier currently ships life tables on the plain path");
+  }
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  federation::TransferData args =
+      MakeArgs(spec.datasets, {spec.time_variable, spec.event_variable});
+  if (!spec.group_variable.empty()) {
+    args.PutString("group_variable", spec.group_variable);
+  }
+  MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                       session->LocalRun("km.table", args));
+
+  // Merge: (group, time) -> (events, censored).
+  std::map<std::string, std::map<double, std::pair<double, double>>> merged;
+  for (const auto& part : parts) {
+    for (const auto& [key, flat] : part.vectors()) {
+      if (!StartsWith(key, "km/")) continue;
+      auto& table = merged[key.substr(3)];
+      for (size_t i = 0; i + 2 < flat.size(); i += 3) {
+        table[flat[i]].first += flat[i + 1];
+        table[flat[i]].second += flat[i + 2];
+      }
+    }
+  }
+
+  KaplanMeierResult out;
+
+  // --- Log-rank test across groups (conservative (O-E)^2/E form) -------
+  if (merged.size() >= 2) {
+    // Union of event times.
+    std::set<double> event_times;
+    for (const auto& [group, table] : merged) {
+      for (const auto& [t, dc] : table) {
+        if (dc.first > 0) event_times.insert(t);
+      }
+    }
+    // Per-group totals and a cursor to maintain at-risk counts.
+    std::vector<const std::map<double, std::pair<double, double>>*> tables;
+    std::vector<double> at_risk;
+    std::vector<std::map<double, std::pair<double, double>>::const_iterator>
+        cursors;
+    for (const auto& [group, table] : merged) {
+      double total = 0;
+      for (const auto& [t, dc] : table) total += dc.first + dc.second;
+      tables.push_back(&table);
+      at_risk.push_back(total);
+      cursors.push_back(table.begin());
+    }
+    std::vector<double> observed(tables.size(), 0.0);
+    std::vector<double> expected(tables.size(), 0.0);
+    for (double t : event_times) {
+      // Advance cursors: remove subjects with events/censorings BEFORE t.
+      for (size_t j = 0; j < tables.size(); ++j) {
+        while (cursors[j] != tables[j]->end() && cursors[j]->first < t) {
+          at_risk[j] -= cursors[j]->second.first + cursors[j]->second.second;
+          ++cursors[j];
+        }
+      }
+      double total_at_risk = 0, total_deaths = 0;
+      std::vector<double> deaths(tables.size(), 0.0);
+      for (size_t j = 0; j < tables.size(); ++j) {
+        total_at_risk += at_risk[j];
+        auto it = tables[j]->find(t);
+        if (it != tables[j]->end()) deaths[j] = it->second.first;
+        total_deaths += deaths[j];
+      }
+      if (total_at_risk <= 0 || total_deaths <= 0) continue;
+      for (size_t j = 0; j < tables.size(); ++j) {
+        observed[j] += deaths[j];
+        expected[j] += total_deaths * at_risk[j] / total_at_risk;
+      }
+    }
+    double chi2 = 0;
+    for (size_t j = 0; j < tables.size(); ++j) {
+      if (expected[j] > 0) {
+        chi2 += (observed[j] - expected[j]) * (observed[j] - expected[j]) /
+                expected[j];
+      }
+    }
+    out.log_rank_chi2 = chi2;
+    out.log_rank_df = static_cast<double>(tables.size()) - 1.0;
+    out.log_rank_p = 1.0 - stats::RegularizedGammaP(out.log_rank_df / 2.0,
+                                                    chi2 / 2.0);
+  }
+
+  for (const auto& [group, table] : merged) {
+    KaplanMeierCurve curve;
+    curve.group = group;
+    double n_at_risk = 0;
+    for (const auto& [t, dc] : table) n_at_risk += dc.first + dc.second;
+
+    double survival = 1.0;
+    double greenwood = 0.0;
+    curve.median_survival_time = std::numeric_limits<double>::quiet_NaN();
+    for (const auto& [t, dc] : table) {
+      const double d = dc.first;
+      const double c = dc.second;
+      KaplanMeierPoint pt;
+      pt.time = t;
+      pt.at_risk = static_cast<int64_t>(std::llround(n_at_risk));
+      pt.events = static_cast<int64_t>(std::llround(d));
+      pt.censored = static_cast<int64_t>(std::llround(c));
+      if (d > 0 && n_at_risk > 0) {
+        survival *= 1.0 - d / n_at_risk;
+        if (n_at_risk > d) {
+          greenwood += d / (n_at_risk * (n_at_risk - d));
+        }
+      }
+      pt.survival = survival;
+      pt.std_error = survival * std::sqrt(greenwood);
+      // Log-log CI (stays inside [0, 1]).
+      if (survival > 0 && survival < 1) {
+        const double z = stats::NormalQuantile(0.975);
+        const double theta =
+            z * std::sqrt(greenwood) / std::log(survival);
+        pt.ci_low = std::pow(survival, std::exp(theta));
+        pt.ci_high = std::pow(survival, std::exp(-theta));
+        if (pt.ci_low > pt.ci_high) std::swap(pt.ci_low, pt.ci_high);
+      } else {
+        pt.ci_low = pt.ci_high = survival;
+      }
+      if (std::isnan(curve.median_survival_time) && survival <= 0.5) {
+        curve.median_survival_time = t;
+      }
+      curve.points.push_back(pt);
+      n_at_risk -= d + c;
+    }
+    out.curves.push_back(std::move(curve));
+  }
+  return out;
+}
+
+std::string KaplanMeierResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  if (curves.size() >= 2) {
+    os << "Log-rank: chi2(" << log_rank_df << ") = " << log_rank_chi2
+       << ", p = " << log_rank_p << "\n";
+  }
+  for (const KaplanMeierCurve& curve : curves) {
+    os << "Kaplan-Meier curve for " << curve.group
+       << " (median survival time = " << curve.median_survival_time << ")\n";
+    for (const KaplanMeierPoint& p : curve.points) {
+      os << "  t=" << p.time << " at_risk=" << p.at_risk
+         << " events=" << p.events << " S=" << p.survival << " [" << p.ci_low
+         << ", " << p.ci_high << "]\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mip::algorithms

@@ -1,0 +1,58 @@
+#ifndef MIP_ALGORITHMS_KAPLAN_MEIER_H_
+#define MIP_ALGORITHMS_KAPLAN_MEIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated Kaplan-Meier estimator: Workers ship per-time-point
+/// event/censoring counts; the Master merges the event tables and computes
+/// the product-limit survival curve with Greenwood confidence intervals.
+struct KaplanMeierSpec {
+  std::vector<std::string> datasets;
+  std::string time_variable;    ///< numeric follow-up time
+  std::string event_variable;   ///< numeric: 1 = event, 0 = censored
+  /// Optional categorical variable; one curve per level.
+  std::string group_variable;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct KaplanMeierPoint {
+  double time = 0.0;
+  int64_t at_risk = 0;
+  int64_t events = 0;
+  int64_t censored = 0;
+  double survival = 1.0;
+  double std_error = 0.0;  ///< Greenwood
+  double ci_low = 1.0;
+  double ci_high = 1.0;
+};
+
+struct KaplanMeierCurve {
+  std::string group;  ///< "(all)" when ungrouped
+  std::vector<KaplanMeierPoint> points;
+  double median_survival_time = 0.0;  ///< NaN when never below 0.5
+};
+
+struct KaplanMeierResult {
+  std::vector<KaplanMeierCurve> curves;
+  /// Log-rank test across the groups (only when >= 2 curves): H0 = equal
+  /// hazard in all groups. Computed from the same merged life tables — no
+  /// extra federation round.
+  double log_rank_chi2 = 0.0;
+  double log_rank_df = 0.0;
+  double log_rank_p = 1.0;
+
+  std::string ToString() const;
+};
+
+Result<KaplanMeierResult> RunKaplanMeier(federation::FederationSession* session,
+                                         const KaplanMeierSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_KAPLAN_MEIER_H_

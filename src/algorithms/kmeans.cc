@@ -1,0 +1,202 @@
+#include "algorithms/kmeans.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "common/rng.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // Per-variable moments for initialization / standardization.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "kmeans.moments",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        const size_t d = vars.size();
+        std::vector<double> sum(d, 0.0), sumsq(d, 0.0);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          for (size_t j = 0; j < d; ++j) {
+            sum[j] += data.numeric(r, j);
+            sumsq[j] += data.numeric(r, j) * data.numeric(r, j);
+          }
+        }
+        federation::TransferData out;
+        out.PutScalar("n", static_cast<double>(data.num_rows));
+        out.PutVector("sum", std::move(sum));
+        out.PutVector("sumsq", std::move(sumsq));
+        return out;
+      }));
+
+  // Lloyd assignment step: per-cluster sums, counts, and inertia.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "kmeans.assign",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(stats::Matrix centroids,
+                             args.GetMatrix("centroids"));
+        MIP_ASSIGN_OR_RETURN(std::vector<double> mean,
+                             args.GetVector("standardize_mean"));
+        MIP_ASSIGN_OR_RETURN(std::vector<double> scale,
+                             args.GetVector("standardize_scale"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        const size_t d = vars.size();
+        const size_t k = centroids.rows();
+        stats::Matrix sums(k, d);
+        std::vector<double> counts(k, 0.0);
+        double inertia = 0.0;
+        std::vector<double> x(d);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          for (size_t j = 0; j < d; ++j) {
+            x[j] = (data.numeric(r, j) - mean[j]) / scale[j];
+          }
+          size_t best = 0;
+          double best_dist = 1e300;
+          for (size_t c = 0; c < k; ++c) {
+            double dist = 0.0;
+            for (size_t j = 0; j < d; ++j) {
+              const double diff = x[j] - centroids(c, j);
+              dist += diff * diff;
+            }
+            if (dist < best_dist) {
+              best_dist = dist;
+              best = c;
+            }
+          }
+          for (size_t j = 0; j < d; ++j) sums(best, j) += x[j];
+          counts[best] += 1.0;
+          inertia += best_dist;
+        }
+        federation::TransferData out;
+        out.PutMatrix("sums", std::move(sums));
+        out.PutVector("counts", std::move(counts));
+        out.PutScalar("inertia", inertia);
+        return out;
+      }));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(federation::FederationSession* session,
+                               const KMeansSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  const size_t d = spec.variables.size();
+  const size_t k = static_cast<size_t>(spec.k);
+
+  federation::TransferData args = MakeArgs(spec.datasets, spec.variables);
+
+  // Federated moments for init ranges and (optionally) standardization.
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData mom,
+      session->LocalRunAndAggregate("kmeans.moments", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(double n_total, mom.GetScalar("n"));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> sum, mom.GetVector("sum"));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> sumsq, mom.GetVector("sumsq"));
+  if (n_total < static_cast<double>(k)) {
+    return Status::ExecutionError("fewer rows than clusters");
+  }
+  std::vector<double> mean(d), stddev(d);
+  for (size_t j = 0; j < d; ++j) {
+    mean[j] = sum[j] / n_total;
+    const double var =
+        std::max(0.0, (sumsq[j] - sum[j] * sum[j] / n_total) /
+                          std::max(1.0, n_total - 1.0));
+    stddev[j] = std::sqrt(var);
+    if (stddev[j] <= 0) stddev[j] = 1.0;
+  }
+  std::vector<double> std_mean(d, 0.0), std_scale(d, 1.0);
+  if (spec.standardize) {
+    std_mean = mean;
+    std_scale = stddev;
+  }
+
+  // Initialize centroids: spread across +-2 sd around the federated mean in
+  // standardized space (deterministic given the seed).
+  Rng rng(spec.seed);
+  stats::Matrix centroids(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      const double m = spec.standardize ? 0.0 : mean[j];
+      const double s = spec.standardize ? 1.0 : stddev[j];
+      centroids(c, j) = m + s * rng.NextUniform(-2.0, 2.0);
+    }
+  }
+
+  KMeansResult result;
+  args.PutVector("standardize_mean", std_mean);
+  args.PutVector("standardize_scale", std_scale);
+
+  for (int iter = 0; iter < spec.max_iterations; ++iter) {
+    args.PutMatrix("centroids", centroids);
+    MIP_ASSIGN_OR_RETURN(
+        federation::TransferData agg,
+        session->LocalRunAndAggregate("kmeans.assign", args, spec.mode));
+    MIP_ASSIGN_OR_RETURN(stats::Matrix sums, agg.GetMatrix("sums"));
+    MIP_ASSIGN_OR_RETURN(std::vector<double> counts,
+                         agg.GetVector("counts"));
+    MIP_ASSIGN_OR_RETURN(result.inertia, agg.GetScalar("inertia"));
+
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] < 0.5) continue;  // empty cluster keeps its centroid
+      for (size_t j = 0; j < d; ++j) {
+        const double next = sums(c, j) / counts[c];
+        movement += std::fabs(next - centroids(c, j));
+        centroids(c, j) = next;
+      }
+    }
+    result.iterations = iter + 1;
+    result.cluster_sizes.assign(k, 0);
+    for (size_t c = 0; c < k; ++c) {
+      result.cluster_sizes[c] = static_cast<int64_t>(std::llround(counts[c]));
+    }
+    if (movement < spec.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Report centroids in original units.
+  result.centroids = stats::Matrix(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      result.centroids(c, j) = centroids(c, j) * std_scale[j] + std_mean[j];
+    }
+  }
+  return result;
+}
+
+std::string KMeansResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "k-means: " << centroids.rows() << " clusters, inertia=" << inertia
+     << ", iterations=" << iterations
+     << (converged ? " (converged)" : " (max iterations)") << "\n";
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    os << "  cluster " << c << " (n=" << cluster_sizes[c] << "): [";
+    for (size_t j = 0; j < centroids.cols(); ++j) {
+      if (j > 0) os << ", ";
+      os << centroids(c, j);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace mip::algorithms

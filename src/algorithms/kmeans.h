@@ -1,0 +1,47 @@
+#ifndef MIP_ALGORITHMS_KMEANS_H_
+#define MIP_ALGORITHMS_KMEANS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+#include "stats/matrix.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated Lloyd k-means: the Master ships the current centroids;
+/// each Worker assigns its local rows and returns per-cluster sums and
+/// counts (sums — SMPC-aggregatable); the Master recomputes centroids until
+/// movement falls below `tolerance`.
+///
+/// This is one of the two algorithms powering the paper's Alzheimer's case
+/// study (clusters on Abeta42, pTau and left entorhinal volume).
+struct KMeansSpec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> variables;
+  int k = 3;
+  int max_iterations = 100;
+  double tolerance = 1e-6;
+  /// When true, variables are standardized with federated mean/std first.
+  bool standardize = false;
+  uint64_t seed = 0xC1;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct KMeansResult {
+  stats::Matrix centroids;  ///< k x d (original variable units)
+  std::vector<int64_t> cluster_sizes;
+  double inertia = 0.0;  ///< total within-cluster sum of squares
+  int iterations = 0;
+  bool converged = false;
+
+  std::string ToString() const;
+};
+
+Result<KMeansResult> RunKMeans(federation::FederationSession* session,
+                               const KMeansSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_KMEANS_H_

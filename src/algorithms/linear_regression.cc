@@ -1,0 +1,294 @@
+#include "algorithms/linear_regression.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "stats/distributions.h"
+#include "stats/linalg.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+// Deterministic fold assignment: every worker hashes its rows the same way,
+// using the row's feature bytes, so folds are stable across steps without
+// any coordination.
+size_t FoldOfRow(const double* row, size_t width, int folds) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < width; ++i) {
+    uint64_t bits;
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    std::memcpy(&bits, &row[i], sizeof(bits));
+    h = (h ^ bits) * 0x100000001b3ull;
+  }
+  return static_cast<size_t>(h % static_cast<uint64_t>(folds));
+}
+
+// Builds the design matrix row (optionally with leading 1 for intercept).
+void FillDesignRow(const stats::Matrix& data, size_t r, bool intercept,
+                   size_t p_x, std::vector<double>* row) {
+  size_t k = 0;
+  if (intercept) (*row)[k++] = 1.0;
+  for (size_t j = 0; j < p_x; ++j) (*row)[k++] = data(r, j);
+}
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // Sufficient statistics for the normal equations; optionally restricted
+  // to rows outside fold `holdout` (for CV training passes).
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "linreg.fit_local",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> x_vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(std::string target, args.GetString("target"));
+        const bool intercept = args.HasScalar("intercept");
+        const int folds =
+            args.HasScalar("folds")
+                ? static_cast<int>(args.GetScalar("folds").ValueOrDie())
+                : 0;
+        const int holdout =
+            args.HasScalar("holdout")
+                ? static_cast<int>(args.GetScalar("holdout").ValueOrDie())
+                : -1;
+
+        std::vector<std::string> all_vars = x_vars;
+        all_vars.push_back(target);
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), all_vars, {}));
+        const size_t p_x = x_vars.size();
+        const size_t p = p_x + (intercept ? 1 : 0);
+
+        stats::Matrix xtx(p, p);
+        std::vector<double> xty(p, 0.0);
+        double yty = 0.0;
+        double y_sum = 0.0;
+        double n = 0.0;
+        std::vector<double> xrow(p);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          if (folds > 0 &&
+              static_cast<int>(FoldOfRow(data.numeric.row(r),
+                                         data.numeric.cols(), folds)) ==
+                  holdout) {
+            continue;
+          }
+          FillDesignRow(data.numeric, r, intercept, p_x, &xrow);
+          const double y = data.numeric(r, p_x);
+          for (size_t i = 0; i < p; ++i) {
+            for (size_t j = 0; j < p; ++j) {
+              xtx(i, j) += xrow[i] * xrow[j];
+            }
+            xty[i] += xrow[i] * y;
+          }
+          yty += y * y;
+          y_sum += y;
+          n += 1.0;
+        }
+        federation::TransferData out;
+        out.PutMatrix("xtx", std::move(xtx));
+        out.PutVector("xty", std::move(xty));
+        out.PutScalar("yty", yty);
+        out.PutScalar("y_sum", y_sum);
+        out.PutScalar("n", n);
+        return out;
+      }));
+
+  // Held-out scoring for CV: SSE / SAE on rows inside fold `holdout` given
+  // the fitted coefficients.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "linreg.score_local",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> x_vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(std::string target, args.GetString("target"));
+        MIP_ASSIGN_OR_RETURN(std::vector<double> beta,
+                             args.GetVector("beta"));
+        const bool intercept = args.HasScalar("intercept");
+        MIP_ASSIGN_OR_RETURN(double folds_d, args.GetScalar("folds"));
+        MIP_ASSIGN_OR_RETURN(double holdout_d, args.GetScalar("holdout"));
+        const int folds = static_cast<int>(folds_d);
+        const int holdout = static_cast<int>(holdout_d);
+
+        std::vector<std::string> all_vars = x_vars;
+        all_vars.push_back(target);
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), all_vars, {}));
+        const size_t p_x = x_vars.size();
+        const size_t p = p_x + (intercept ? 1 : 0);
+        std::vector<double> xrow(p);
+        double sse = 0.0, sae = 0.0, n = 0.0;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          if (static_cast<int>(FoldOfRow(data.numeric.row(r),
+                                         data.numeric.cols(), folds)) !=
+              holdout) {
+            continue;
+          }
+          FillDesignRow(data.numeric, r, intercept, p_x, &xrow);
+          double pred = 0.0;
+          for (size_t i = 0; i < p; ++i) pred += beta[i] * xrow[i];
+          const double err = data.numeric(r, p_x) - pred;
+          sse += err * err;
+          sae += std::fabs(err);
+          n += 1.0;
+        }
+        federation::TransferData out;
+        out.PutScalar("sse", sse);
+        out.PutScalar("sae", sae);
+        out.PutScalar("n", n);
+        return out;
+      }));
+  return Status::OK();
+}
+
+struct FitInternals {
+  std::vector<double> beta;
+  stats::Matrix xtx_inv;
+  double sse = 0.0;
+  double sst = 0.0;
+  double n = 0.0;
+};
+
+Result<FitInternals> SolveFromAggregates(const federation::TransferData& agg) {
+  MIP_ASSIGN_OR_RETURN(stats::Matrix xtx, agg.GetMatrix("xtx"));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> xty, agg.GetVector("xty"));
+  MIP_ASSIGN_OR_RETURN(double yty, agg.GetScalar("yty"));
+  MIP_ASSIGN_OR_RETURN(double y_sum, agg.GetScalar("y_sum"));
+  MIP_ASSIGN_OR_RETURN(double n, agg.GetScalar("n"));
+
+  FitInternals fit;
+  fit.n = n;
+  MIP_ASSIGN_OR_RETURN(fit.beta, stats::SolveSpd(xtx, xty));
+  MIP_ASSIGN_OR_RETURN(fit.xtx_inv, stats::InverseSpd(xtx));
+  // SSE = y'y - beta' X'y (normal-equation identity).
+  double bxty = 0.0;
+  for (size_t i = 0; i < fit.beta.size(); ++i) bxty += fit.beta[i] * xty[i];
+  fit.sse = yty - bxty;
+  fit.sst = yty - y_sum * y_sum / n;
+  return fit;
+}
+
+}  // namespace
+
+Result<LinearRegressionResult> RunLinearRegression(
+    federation::FederationSession* session,
+    const LinearRegressionSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+
+  federation::TransferData args = MakeArgs(spec.datasets, spec.covariates);
+  args.PutString("target", spec.target);
+  if (spec.intercept) args.PutScalar("intercept", 1.0);
+
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("linreg.fit_local", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(FitInternals fit, SolveFromAggregates(agg));
+
+  const size_t p = fit.beta.size();
+  const double df = fit.n - static_cast<double>(p);
+  if (df <= 0) {
+    return Status::ExecutionError("not enough rows for the requested model");
+  }
+  const double sigma2 = fit.sse / df;
+
+  LinearRegressionResult out;
+  out.n = static_cast<int64_t>(std::llround(fit.n));
+  out.residual_std_error = std::sqrt(sigma2);
+  out.r_squared = fit.sst > 0 ? 1.0 - fit.sse / fit.sst : 0.0;
+  const double p_model =
+      static_cast<double>(p) - (spec.intercept ? 1.0 : 0.0);
+  out.adjusted_r_squared =
+      1.0 - (1.0 - out.r_squared) * (fit.n - 1.0) / df;
+  if (p_model > 0) {
+    out.f_statistic =
+        (fit.sst - fit.sse) / p_model / sigma2;
+    out.f_p_value = stats::FSf(out.f_statistic, p_model, df);
+  }
+
+  std::vector<std::string> names;
+  if (spec.intercept) names.push_back("(intercept)");
+  for (const std::string& v : spec.covariates) names.push_back(v);
+  for (size_t i = 0; i < p; ++i) {
+    CoefficientStat c;
+    c.name = names[i];
+    c.estimate = fit.beta[i];
+    c.std_error = std::sqrt(sigma2 * fit.xtx_inv(i, i));
+    c.t_value = c.estimate / c.std_error;
+    c.p_value = stats::StudentTTwoSidedP(c.t_value, df);
+    out.coefficients.push_back(c);
+  }
+  return out;
+}
+
+Result<LinearRegressionCvResult> RunLinearRegressionCv(
+    federation::FederationSession* session, const LinearRegressionSpec& spec,
+    int folds) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+
+  LinearRegressionCvResult out;
+  out.folds = folds;
+  for (int fold = 0; fold < folds; ++fold) {
+    federation::TransferData args = MakeArgs(spec.datasets, spec.covariates);
+    args.PutString("target", spec.target);
+    if (spec.intercept) args.PutScalar("intercept", 1.0);
+    args.PutScalar("folds", folds);
+    args.PutScalar("holdout", fold);
+
+    MIP_ASSIGN_OR_RETURN(
+        federation::TransferData agg,
+        session->LocalRunAndAggregate("linreg.fit_local", args, spec.mode));
+    MIP_ASSIGN_OR_RETURN(FitInternals fit, SolveFromAggregates(agg));
+
+    federation::TransferData score_args = args;
+    score_args.PutVector("beta", fit.beta);
+    MIP_ASSIGN_OR_RETURN(
+        federation::TransferData score,
+        session->LocalRunAndAggregate("linreg.score_local", score_args,
+                                      spec.mode));
+    MIP_ASSIGN_OR_RETURN(double sse, score.GetScalar("sse"));
+    MIP_ASSIGN_OR_RETURN(double sae, score.GetScalar("sae"));
+    MIP_ASSIGN_OR_RETURN(double n, score.GetScalar("n"));
+    if (n <= 0) continue;
+    out.rmse_per_fold.push_back(std::sqrt(sse / n));
+    out.mae_per_fold.push_back(sae / n);
+  }
+  for (double v : out.rmse_per_fold) out.mean_rmse += v;
+  for (double v : out.mae_per_fold) out.mean_mae += v;
+  if (!out.rmse_per_fold.empty()) {
+    out.mean_rmse /= static_cast<double>(out.rmse_per_fold.size());
+    out.mean_mae /= static_cast<double>(out.mae_per_fold.size());
+  }
+  return out;
+}
+
+std::string LinearRegressionResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "Linear regression (n=" << n << ", R^2=" << r_squared
+     << ", adj R^2=" << adjusted_r_squared << ", F=" << f_statistic
+     << " p=" << f_p_value << ")\n";
+  for (const CoefficientStat& c : coefficients) {
+    os << "  " << c.name << ": " << c.estimate << " (se=" << c.std_error
+       << ", t=" << c.t_value << ", p=" << c.p_value << ")\n";
+  }
+  return os.str();
+}
+
+std::string LinearRegressionCvResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "Linear regression " << folds << "-fold CV: mean RMSE=" << mean_rmse
+     << ", mean MAE=" << mean_mae << "\n";
+  return os.str();
+}
+
+}  // namespace mip::algorithms

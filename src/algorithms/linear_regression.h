@@ -1,0 +1,69 @@
+#ifndef MIP_ALGORITHMS_LINEAR_REGRESSION_H_
+#define MIP_ALGORITHMS_LINEAR_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated ordinary least squares (the paper's Figure 2 algorithm).
+///
+/// Each Worker computes the sufficient statistics (X'X, X'y, y'y, n) on its
+/// local rows; the Master aggregates them (plainly or through SMPC — the
+/// statistics are sums, exactly what the SMPC engine supports) and solves
+/// the normal equations. The fit is bit-for-bit the one a pooled dataset
+/// would give, which the equivalence tests assert.
+struct LinearRegressionSpec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> covariates;  ///< numeric x variables
+  std::string target;                   ///< numeric y variable
+  bool intercept = true;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct CoefficientStat {
+  std::string name;
+  double estimate = 0.0;
+  double std_error = 0.0;
+  double t_value = 0.0;
+  double p_value = 0.0;
+};
+
+struct LinearRegressionResult {
+  std::vector<CoefficientStat> coefficients;
+  int64_t n = 0;
+  double r_squared = 0.0;
+  double adjusted_r_squared = 0.0;
+  double f_statistic = 0.0;
+  double f_p_value = 0.0;
+  double residual_std_error = 0.0;
+
+  std::string ToString() const;
+};
+
+Result<LinearRegressionResult> RunLinearRegression(
+    federation::FederationSession* session, const LinearRegressionSpec& spec);
+
+/// \brief k-fold cross-validated federated OLS: rows are assigned to folds
+/// by a deterministic hash; for each fold the model is fitted on the
+/// complement (federated) and scored on the held-out rows (federated).
+struct LinearRegressionCvResult {
+  int folds = 0;
+  std::vector<double> rmse_per_fold;
+  std::vector<double> mae_per_fold;
+  double mean_rmse = 0.0;
+  double mean_mae = 0.0;
+
+  std::string ToString() const;
+};
+
+Result<LinearRegressionCvResult> RunLinearRegressionCv(
+    federation::FederationSession* session, const LinearRegressionSpec& spec,
+    int folds);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_LINEAR_REGRESSION_H_

@@ -1,0 +1,69 @@
+#ifndef MIP_ALGORITHMS_LOGISTIC_REGRESSION_H_
+#define MIP_ALGORITHMS_LOGISTIC_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+#include "algorithms/linear_regression.h"  // CoefficientStat
+
+namespace mip::algorithms {
+
+/// \brief Federated binary logistic regression via iterated Newton-Raphson:
+/// each round, Workers compute the local gradient and Hessian at the current
+/// coefficients; the Master aggregates (plain or SMPC — both are sums) and
+/// takes the Newton step. Iterations stop when the step norm falls below
+/// `tolerance`.
+struct LogisticRegressionSpec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> covariates;
+  /// Numeric 0/1 outcome, or a categorical variable with `positive_class`.
+  std::string target;
+  std::string positive_class;  ///< empty = target is already numeric 0/1
+  bool intercept = true;
+  int max_iterations = 25;
+  double tolerance = 1e-8;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct LogisticRegressionResult {
+  std::vector<CoefficientStat> coefficients;  ///< z-statistics in t_value
+  int64_t n = 0;
+  int iterations = 0;
+  bool converged = false;
+  double log_likelihood = 0.0;
+  double null_log_likelihood = 0.0;
+  /// McFadden pseudo-R^2.
+  double pseudo_r_squared = 0.0;
+  /// Training accuracy at threshold 0.5.
+  double accuracy = 0.0;
+
+  std::string ToString() const;
+};
+
+Result<LogisticRegressionResult> RunLogisticRegression(
+    federation::FederationSession* session,
+    const LogisticRegressionSpec& spec);
+
+/// \brief k-fold cross-validated logistic regression; reports held-out
+/// accuracy and the pooled confusion matrix.
+struct LogisticRegressionCvResult {
+  int folds = 0;
+  std::vector<double> accuracy_per_fold;
+  double mean_accuracy = 0.0;
+  int64_t true_positive = 0;
+  int64_t true_negative = 0;
+  int64_t false_positive = 0;
+  int64_t false_negative = 0;
+
+  std::string ToString() const;
+};
+
+Result<LogisticRegressionCvResult> RunLogisticRegressionCv(
+    federation::FederationSession* session, const LogisticRegressionSpec& spec,
+    int folds);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,410 @@
+#include "algorithms/naive_bayes.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "common/string_util.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+uint64_t HashRow(const stats::Matrix& numeric, size_t r,
+                 const std::vector<std::vector<std::string>>& cats) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t j = 0; j < numeric.cols(); ++j) {
+    uint64_t bits;
+    const double v = numeric(r, j);
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = (h ^ bits) * 0x100000001b3ull;
+  }
+  for (const auto& col : cats) {
+    for (char c : col[r]) {
+      h = (h ^ static_cast<uint64_t>(static_cast<unsigned char>(c))) *
+          0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+struct NbGathered {
+  LocalData data;
+  std::vector<std::string> numeric_vars;
+  std::vector<std::string> cat_vars;  // categorical features (target last
+                                      // in data.categorical)
+};
+
+Result<NbGathered> GatherNb(federation::WorkerContext& ctx,
+                            const federation::TransferData& args) {
+  NbGathered out;
+  MIP_ASSIGN_OR_RETURN(out.numeric_vars, args.GetStringList("numeric_vars"));
+  MIP_ASSIGN_OR_RETURN(out.cat_vars, args.GetStringList("categorical_vars"));
+  MIP_ASSIGN_OR_RETURN(std::string target, args.GetString("target"));
+  std::vector<std::string> cats = out.cat_vars;
+  cats.push_back(target);
+  MIP_ASSIGN_OR_RETURN(out.data, GatherData(ctx, WorkerDatasets(ctx, args),
+                                            out.numeric_vars, cats));
+  return out;
+}
+
+bool InHoldout(const NbGathered& g, size_t r,
+               const federation::TransferData& args) {
+  if (!args.HasScalar("folds")) return false;
+  const int folds =
+      static_cast<int>(args.GetScalar("folds").ValueOrDie());
+  const int holdout =
+      static_cast<int>(args.GetScalar("holdout").ValueOrDie());
+  return static_cast<int>(HashRow(g.data.numeric, r, g.data.categorical) %
+                          static_cast<uint64_t>(folds)) == holdout;
+}
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // Per-class statistics. Dynamic keys (plain path): "cls/<c>",
+  // "g/<c>/<i>" = [sum, sumsq], "c/<c>/<j>/<value>" = [count].
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "nb.stats",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(NbGathered g, GatherNb(ctx, args));
+        const size_t target_idx = g.cat_vars.size();
+        federation::TransferData out;
+        std::map<std::string, double> cls;
+        std::map<std::string, std::vector<double>> gaussians;
+        std::map<std::string, double> counts;
+        for (size_t r = 0; r < g.data.num_rows; ++r) {
+          if (InHoldout(g, r, args)) continue;
+          const std::string& c = g.data.categorical[target_idx][r];
+          cls[c] += 1;
+          for (size_t i = 0; i < g.numeric_vars.size(); ++i) {
+            auto& acc = gaussians["g/" + c + "/" + std::to_string(i)];
+            if (acc.empty()) acc.assign(2, 0.0);
+            const double v = g.data.numeric(r, i);
+            acc[0] += v;
+            acc[1] += v * v;
+          }
+          for (size_t j = 0; j < g.cat_vars.size(); ++j) {
+            counts["c/" + c + "/" + std::to_string(j) + "/" +
+                   g.data.categorical[j][r]] += 1;
+          }
+        }
+        for (const auto& [k, v] : cls) out.PutVector("cls/" + k, {v});
+        for (const auto& [k, v] : gaussians) out.PutVector(k, v);
+        for (const auto& [k, v] : counts) out.PutVector(k, {v});
+        return out;
+      }));
+
+  // Held-out evaluation given a flattened model.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "nb.eval",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(NbGathered g, GatherNb(ctx, args));
+        const size_t target_idx = g.cat_vars.size();
+
+        NaiveBayesModel model;
+        MIP_ASSIGN_OR_RETURN(model.classes, args.GetStringList("m_classes"));
+        MIP_ASSIGN_OR_RETURN(model.priors, args.GetVector("m_priors"));
+        model.numeric_features = g.numeric_vars;
+        model.categorical_features = g.cat_vars;
+        const size_t nc = model.classes.size();
+        const size_t nf = g.numeric_vars.size();
+        MIP_ASSIGN_OR_RETURN(std::vector<double> means,
+                             args.GetVector("m_means"));
+        MIP_ASSIGN_OR_RETURN(std::vector<double> vars,
+                             args.GetVector("m_vars"));
+        model.gaussian_mean.assign(nc, std::vector<double>(nf));
+        model.gaussian_var.assign(nc, std::vector<double>(nf));
+        for (size_t c = 0; c < nc; ++c) {
+          for (size_t i = 0; i < nf; ++i) {
+            model.gaussian_mean[c][i] = means[c * nf + i];
+            model.gaussian_var[c][i] = vars[c * nf + i];
+          }
+        }
+        MIP_ASSIGN_OR_RETURN(std::vector<double> logp_flat,
+                             args.GetVector("m_logp"));
+        // Domains come in as "dom<j>" string lists.
+        model.categorical_domains.resize(g.cat_vars.size());
+        size_t pos = 0;
+        model.categorical_logp.assign(
+            nc, std::vector<std::vector<double>>(g.cat_vars.size()));
+        for (size_t j = 0; j < g.cat_vars.size(); ++j) {
+          MIP_ASSIGN_OR_RETURN(model.categorical_domains[j],
+                               args.GetStringList("dom" + std::to_string(j)));
+        }
+        for (size_t c = 0; c < nc; ++c) {
+          for (size_t j = 0; j < g.cat_vars.size(); ++j) {
+            const size_t dom = model.categorical_domains[j].size();
+            model.categorical_logp[c][j].assign(
+                logp_flat.begin() + static_cast<long>(pos),
+                logp_flat.begin() + static_cast<long>(pos + dom));
+            pos += dom;
+          }
+        }
+
+        double correct = 0, total = 0;
+        std::vector<double> xnum(nf);
+        std::vector<std::string> xcat(g.cat_vars.size());
+        for (size_t r = 0; r < g.data.num_rows; ++r) {
+          if (!InHoldout(g, r, args)) continue;
+          for (size_t i = 0; i < nf; ++i) xnum[i] = g.data.numeric(r, i);
+          for (size_t j = 0; j < g.cat_vars.size(); ++j) {
+            xcat[j] = g.data.categorical[j][r];
+          }
+          MIP_ASSIGN_OR_RETURN(std::string pred, model.Predict(xnum, xcat));
+          if (pred == g.data.categorical[target_idx][r]) correct += 1;
+          total += 1;
+        }
+        federation::TransferData out;
+        out.PutScalar("correct", correct);
+        out.PutScalar("total", total);
+        return out;
+      }));
+  return Status::OK();
+}
+
+federation::TransferData BaseArgs(const NaiveBayesSpec& spec) {
+  federation::TransferData args = MakeArgs(spec.datasets,
+                                           spec.numeric_features,
+                                           spec.categorical_features);
+  args.PutString("target", spec.target);
+  return args;
+}
+
+Result<NaiveBayesModel> BuildModel(
+    const NaiveBayesSpec& spec,
+    const std::vector<federation::TransferData>& parts) {
+  // Merge dynamic keys across workers.
+  std::map<std::string, std::vector<double>> merged;
+  for (const auto& part : parts) {
+    for (const auto& [k, v] : part.vectors()) {
+      auto& acc = merged[k];
+      if (acc.empty()) acc.assign(v.size(), 0.0);
+      for (size_t i = 0; i < v.size(); ++i) acc[i] += v[i];
+    }
+  }
+
+  NaiveBayesModel model;
+  model.numeric_features = spec.numeric_features;
+  model.categorical_features = spec.categorical_features;
+
+  // Classes: from spec or discovered.
+  if (!spec.classes.empty()) {
+    model.classes = spec.classes;
+  } else {
+    for (const auto& [k, v] : merged) {
+      if (StartsWith(k, "cls/")) model.classes.push_back(k.substr(4));
+    }
+  }
+  const size_t nc = model.classes.size();
+  if (nc < 2) return Status::ExecutionError("need at least two classes");
+  const size_t nf = spec.numeric_features.size();
+
+  // Domains: from spec or discovered.
+  model.categorical_domains.resize(spec.categorical_features.size());
+  if (!spec.categorical_domains.empty()) {
+    model.categorical_domains = spec.categorical_domains;
+  } else {
+    for (size_t j = 0; j < spec.categorical_features.size(); ++j) {
+      std::set<std::string> domain;
+      for (const auto& [k, v] : merged) {
+        if (!StartsWith(k, "c/")) continue;
+        // key: c/<class>/<j>/<value>
+        const std::vector<std::string> bits = Split(k, '/');
+        if (bits.size() == 4 && bits[2] == std::to_string(j)) {
+          domain.insert(bits[3]);
+        }
+      }
+      model.categorical_domains[j].assign(domain.begin(), domain.end());
+    }
+  }
+
+  double n_total = 0;
+  std::vector<double> class_n(nc, 0.0);
+  for (size_t c = 0; c < nc; ++c) {
+    auto it = merged.find("cls/" + model.classes[c]);
+    class_n[c] = it != merged.end() ? it->second[0] : 0.0;
+    n_total += class_n[c];
+  }
+  if (n_total < 1) return Status::ExecutionError("no training rows");
+  model.n = static_cast<int64_t>(std::llround(n_total));
+  for (size_t c = 0; c < nc; ++c) {
+    model.priors.push_back(class_n[c] / n_total);
+  }
+
+  model.gaussian_mean.assign(nc, std::vector<double>(nf, 0.0));
+  model.gaussian_var.assign(nc, std::vector<double>(nf, 1.0));
+  for (size_t c = 0; c < nc; ++c) {
+    for (size_t i = 0; i < nf; ++i) {
+      auto it = merged.find("g/" + model.classes[c] + "/" +
+                            std::to_string(i));
+      if (it == merged.end() || class_n[c] < 2) continue;
+      const double sum = it->second[0];
+      const double sumsq = it->second[1];
+      const double n = class_n[c];
+      model.gaussian_mean[c][i] = sum / n;
+      model.gaussian_var[c][i] =
+          std::max(1e-9, (sumsq - sum * sum / n) / (n - 1.0));
+    }
+  }
+
+  model.categorical_logp.assign(
+      nc, std::vector<std::vector<double>>(spec.categorical_features.size()));
+  for (size_t c = 0; c < nc; ++c) {
+    for (size_t j = 0; j < spec.categorical_features.size(); ++j) {
+      const auto& domain = model.categorical_domains[j];
+      std::vector<double>& logp = model.categorical_logp[c][j];
+      logp.resize(domain.size());
+      const double denom =
+          class_n[c] +
+          spec.laplace_alpha * static_cast<double>(domain.size());
+      for (size_t v = 0; v < domain.size(); ++v) {
+        double count = 0;
+        auto it = merged.find("c/" + model.classes[c] + "/" +
+                              std::to_string(j) + "/" + domain[v]);
+        if (it != merged.end()) count = it->second[0];
+        logp[v] = std::log((count + spec.laplace_alpha) / denom);
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+Result<NaiveBayesModel> RunNaiveBayes(federation::FederationSession* session,
+                                      const NaiveBayesSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  if (spec.mode == federation::AggregationMode::kSecure &&
+      (spec.classes.empty() || (spec.categorical_domains.empty() &&
+                                !spec.categorical_features.empty()))) {
+    return Status::InvalidArgument(
+        "secure Naive Bayes requires classes and categorical domains up "
+        "front (fixed transfer shape)");
+  }
+  MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                       session->LocalRun("nb.stats", BaseArgs(spec)));
+  return BuildModel(spec, parts);
+}
+
+Result<NaiveBayesCvResult> RunNaiveBayesCv(
+    federation::FederationSession* session, const NaiveBayesSpec& spec,
+    int folds) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+
+  NaiveBayesCvResult out;
+  out.folds = folds;
+  for (int fold = 0; fold < folds; ++fold) {
+    federation::TransferData args = BaseArgs(spec);
+    args.PutScalar("folds", folds);
+    args.PutScalar("holdout", fold);
+    MIP_ASSIGN_OR_RETURN(std::vector<federation::TransferData> parts,
+                         session->LocalRun("nb.stats", args));
+    MIP_ASSIGN_OR_RETURN(NaiveBayesModel model, BuildModel(spec, parts));
+
+    // Ship the flattened model for held-out evaluation.
+    federation::TransferData eval_args = BaseArgs(spec);
+    eval_args.PutScalar("folds", folds);
+    eval_args.PutScalar("holdout", fold);
+    eval_args.PutStringList("m_classes", model.classes);
+    eval_args.PutVector("m_priors", model.priors);
+    const size_t nc = model.classes.size();
+    const size_t nf = model.numeric_features.size();
+    std::vector<double> means(nc * nf), vars(nc * nf), logp;
+    for (size_t c = 0; c < nc; ++c) {
+      for (size_t i = 0; i < nf; ++i) {
+        means[c * nf + i] = model.gaussian_mean[c][i];
+        vars[c * nf + i] = model.gaussian_var[c][i];
+      }
+      for (size_t j = 0; j < model.categorical_features.size(); ++j) {
+        logp.insert(logp.end(), model.categorical_logp[c][j].begin(),
+                    model.categorical_logp[c][j].end());
+      }
+    }
+    eval_args.PutVector("m_means", means);
+    eval_args.PutVector("m_vars", vars);
+    eval_args.PutVector("m_logp", logp);
+    for (size_t j = 0; j < model.categorical_domains.size(); ++j) {
+      eval_args.PutStringList("dom" + std::to_string(j),
+                              model.categorical_domains[j]);
+    }
+    MIP_ASSIGN_OR_RETURN(
+        federation::TransferData eval,
+        session->LocalRunAndAggregate("nb.eval", eval_args,
+                                      federation::AggregationMode::kPlain));
+    MIP_ASSIGN_OR_RETURN(double correct, eval.GetScalar("correct"));
+    MIP_ASSIGN_OR_RETURN(double total, eval.GetScalar("total"));
+    if (total > 0) out.accuracy_per_fold.push_back(correct / total);
+  }
+  for (double a : out.accuracy_per_fold) out.mean_accuracy += a;
+  if (!out.accuracy_per_fold.empty()) {
+    out.mean_accuracy /= static_cast<double>(out.accuracy_per_fold.size());
+  }
+  return out;
+}
+
+Result<std::string> NaiveBayesModel::Predict(
+    const std::vector<double>& numeric,
+    const std::vector<std::string>& categorical) const {
+  if (numeric.size() != numeric_features.size() ||
+      categorical.size() != categorical_features.size()) {
+    return Status::InvalidArgument("feature count mismatch in Predict");
+  }
+  double best_score = -1e300;
+  size_t best = 0;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    double score = std::log(std::max(priors[c], 1e-300));
+    for (size_t i = 0; i < numeric.size(); ++i) {
+      const double mu = gaussian_mean[c][i];
+      const double var = gaussian_var[c][i];
+      score += -0.5 * std::log(2.0 * M_PI * var) -
+               (numeric[i] - mu) * (numeric[i] - mu) / (2.0 * var);
+    }
+    for (size_t j = 0; j < categorical.size(); ++j) {
+      const auto& domain = categorical_domains[j];
+      bool found = false;
+      for (size_t v = 0; v < domain.size(); ++v) {
+        if (domain[v] == categorical[j]) {
+          score += categorical_logp[c][j][v];
+          found = true;
+          break;
+        }
+      }
+      if (!found) score += std::log(1e-6);  // unseen value
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return classes[best];
+}
+
+std::string NaiveBayesModel::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "Naive Bayes (n=" << n << "): classes";
+  for (size_t c = 0; c < classes.size(); ++c) {
+    os << " " << classes[c] << "(prior=" << priors[c] << ")";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string NaiveBayesCvResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "Naive Bayes " << folds
+     << "-fold CV: mean accuracy=" << mean_accuracy << "\n";
+  return os.str();
+}
+
+}  // namespace mip::algorithms

@@ -1,0 +1,72 @@
+#ifndef MIP_ALGORITHMS_NAIVE_BAYES_H_
+#define MIP_ALGORITHMS_NAIVE_BAYES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated Naive Bayes: Gaussian likelihoods for numeric features,
+/// multinomial (Laplace-smoothed) likelihoods for categorical features.
+/// Workers ship per-class counts / sums / sums-of-squares and per-(feature,
+/// value, class) counts — all sums.
+struct NaiveBayesSpec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> numeric_features;
+  std::vector<std::string> categorical_features;
+  std::string target;  ///< categorical class variable
+  /// Class labels; required for the secure path, discovered when empty on
+  /// the plain path.
+  std::vector<std::string> classes;
+  /// Categorical feature domains (parallel to categorical_features);
+  /// required for the secure path.
+  std::vector<std::vector<std::string>> categorical_domains;
+  double laplace_alpha = 1.0;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct NaiveBayesModel {
+  std::vector<std::string> classes;
+  std::vector<double> priors;  ///< per class
+  std::vector<std::string> numeric_features;
+  /// [class][feature] Gaussian parameters.
+  std::vector<std::vector<double>> gaussian_mean;
+  std::vector<std::vector<double>> gaussian_var;
+  std::vector<std::string> categorical_features;
+  std::vector<std::vector<std::string>> categorical_domains;
+  /// [class][feature][domain value] smoothed log-probabilities.
+  std::vector<std::vector<std::vector<double>>> categorical_logp;
+  int64_t n = 0;
+
+  /// Predicts the class for one example (numeric + categorical values in
+  /// feature order).
+  Result<std::string> Predict(const std::vector<double>& numeric,
+                              const std::vector<std::string>& categorical)
+      const;
+
+  std::string ToString() const;
+};
+
+Result<NaiveBayesModel> RunNaiveBayes(federation::FederationSession* session,
+                                      const NaiveBayesSpec& spec);
+
+/// \brief k-fold cross-validated Naive Bayes; held-out accuracy per fold.
+struct NaiveBayesCvResult {
+  int folds = 0;
+  std::vector<double> accuracy_per_fold;
+  double mean_accuracy = 0.0;
+
+  std::string ToString() const;
+};
+
+Result<NaiveBayesCvResult> RunNaiveBayesCv(
+    federation::FederationSession* session, const NaiveBayesSpec& spec,
+    int folds);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_NAIVE_BAYES_H_

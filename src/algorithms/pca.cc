@@ -1,0 +1,103 @@
+#include "algorithms/pca.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "stats/linalg.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  return EnsureLocal(
+      registry, "pca.gram",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        const size_t d = vars.size();
+        stats::Matrix gram(d, d);
+        std::vector<double> sum(d, 0.0);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          for (size_t i = 0; i < d; ++i) {
+            sum[i] += data.numeric(r, i);
+            for (size_t j = 0; j < d; ++j) {
+              gram(i, j) += data.numeric(r, i) * data.numeric(r, j);
+            }
+          }
+        }
+        federation::TransferData out;
+        out.PutScalar("n", static_cast<double>(data.num_rows));
+        out.PutVector("sum", std::move(sum));
+        out.PutMatrix("gram", std::move(gram));
+        return out;
+      });
+}
+
+}  // namespace
+
+Result<PcaResult> RunPca(federation::FederationSession* session,
+                         const PcaSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  federation::TransferData args = MakeArgs(spec.datasets, spec.variables);
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("pca.gram", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(double n, agg.GetScalar("n"));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> sum, agg.GetVector("sum"));
+  MIP_ASSIGN_OR_RETURN(stats::Matrix gram, agg.GetMatrix("gram"));
+  const size_t d = spec.variables.size();
+  if (n < 2) return Status::ExecutionError("not enough rows for PCA");
+
+  // Covariance from the aggregated Gram matrix.
+  stats::Matrix cov(d, d);
+  std::vector<double> mean(d);
+  for (size_t i = 0; i < d; ++i) mean[i] = sum[i] / n;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      cov(i, j) = (gram(i, j) - n * mean[i] * mean[j]) / (n - 1.0);
+    }
+  }
+  if (spec.scale) {
+    std::vector<double> sd(d);
+    for (size_t i = 0; i < d; ++i) {
+      sd[i] = std::sqrt(std::max(cov(i, i), 1e-300));
+    }
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) cov(i, j) /= sd[i] * sd[j];
+    }
+  }
+
+  MIP_ASSIGN_OR_RETURN(stats::EigenResult eig, stats::EigenSymmetric(cov));
+  PcaResult out;
+  out.n = static_cast<int64_t>(std::llround(n));
+  out.eigenvalues = eig.eigenvalues;
+  out.components = eig.eigenvectors;
+  out.means = std::move(mean);
+  double total = 0.0;
+  for (double v : out.eigenvalues) total += std::max(v, 0.0);
+  for (double v : out.eigenvalues) {
+    out.explained_ratio.push_back(total > 0 ? std::max(v, 0.0) / total : 0.0);
+  }
+  return out;
+}
+
+std::string PcaResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "PCA (n=" << n << "):\n";
+  for (size_t i = 0; i < eigenvalues.size(); ++i) {
+    os << "  PC" << i + 1 << ": eigenvalue=" << eigenvalues[i]
+       << " explained=" << explained_ratio[i] * 100 << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace mip::algorithms

@@ -1,0 +1,39 @@
+#ifndef MIP_ALGORITHMS_PCA_H_
+#define MIP_ALGORITHMS_PCA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+#include "stats/matrix.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated principal components analysis: Workers ship n, the sum
+/// vector and the Gram matrix X'X (all sums); the Master assembles the
+/// covariance (or correlation) matrix and eigendecomposes it.
+struct PcaSpec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> variables;
+  /// true = correlation-matrix PCA (standardized variables).
+  bool scale = true;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct PcaResult {
+  std::vector<double> eigenvalues;       ///< descending
+  stats::Matrix components;              ///< columns = principal axes
+  std::vector<double> explained_ratio;   ///< eigenvalue / total
+  std::vector<double> means;             ///< federated variable means
+  int64_t n = 0;
+
+  std::string ToString() const;
+};
+
+Result<PcaResult> RunPca(federation::FederationSession* session,
+                         const PcaSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_PCA_H_

@@ -1,0 +1,112 @@
+#include "algorithms/pearson.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "stats/distributions.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  return EnsureLocal(
+      registry, "pearson.sums",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        const size_t d = vars.size();
+        stats::Matrix cross(d, d);
+        std::vector<double> sum(d, 0.0);
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          for (size_t i = 0; i < d; ++i) {
+            sum[i] += data.numeric(r, i);
+            for (size_t j = 0; j < d; ++j) {
+              cross(i, j) += data.numeric(r, i) * data.numeric(r, j);
+            }
+          }
+        }
+        federation::TransferData out;
+        out.PutScalar("n", static_cast<double>(data.num_rows));
+        out.PutVector("sum", std::move(sum));
+        out.PutMatrix("cross", std::move(cross));
+        return out;
+      });
+}
+
+}  // namespace
+
+Result<PearsonResult> RunPearson(federation::FederationSession* session,
+                                 const PearsonSpec& spec) {
+  if (spec.variables.size() < 2) {
+    return Status::InvalidArgument("Pearson needs at least two variables");
+  }
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  federation::TransferData args = MakeArgs(spec.datasets, spec.variables);
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("pearson.sums", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(double n, agg.GetScalar("n"));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> sum, agg.GetVector("sum"));
+  MIP_ASSIGN_OR_RETURN(stats::Matrix cross, agg.GetMatrix("cross"));
+  if (n < 3) return Status::ExecutionError("not enough rows for correlation");
+
+  const size_t d = spec.variables.size();
+  PearsonResult out;
+  out.variables = spec.variables;
+  out.n = static_cast<int64_t>(std::llround(n));
+  out.correlations = stats::Matrix(d, d);
+  out.p_values = stats::Matrix(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double cov = cross(i, j) - sum[i] * sum[j] / n;
+      const double var_i = cross(i, i) - sum[i] * sum[i] / n;
+      const double var_j = cross(j, j) - sum[j] * sum[j] / n;
+      double r = i == j ? 1.0 : cov / std::sqrt(var_i * var_j);
+      r = std::max(-1.0, std::min(1.0, r));
+      out.correlations(i, j) = r;
+      if (i == j) {
+        out.p_values(i, j) = 0.0;
+      } else {
+        const double df = n - 2.0;
+        const double t =
+            r * std::sqrt(df / std::max(1e-300, 1.0 - r * r));
+        out.p_values(i, j) = stats::StudentTTwoSidedP(t, df);
+      }
+    }
+  }
+  return out;
+}
+
+Result<double> PearsonResult::Correlation(const std::string& a,
+                                          const std::string& b) const {
+  int ia = -1, ib = -1;
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (variables[i] == a) ia = static_cast<int>(i);
+    if (variables[i] == b) ib = static_cast<int>(i);
+  }
+  if (ia < 0 || ib < 0) return Status::NotFound("variable not in result");
+  return correlations(static_cast<size_t>(ia), static_cast<size_t>(ib));
+}
+
+std::string PearsonResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "Pearson correlation (n=" << n << "):\n";
+  for (size_t i = 0; i < variables.size(); ++i) {
+    for (size_t j = i + 1; j < variables.size(); ++j) {
+      os << "  " << variables[i] << " ~ " << variables[j] << ": r="
+         << correlations(i, j) << " p=" << p_values(i, j) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mip::algorithms

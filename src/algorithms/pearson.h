@@ -1,0 +1,39 @@
+#ifndef MIP_ALGORITHMS_PEARSON_H_
+#define MIP_ALGORITHMS_PEARSON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+#include "stats/matrix.h"
+
+namespace mip::algorithms {
+
+/// \brief Federated Pearson correlation over a set of variables: Workers
+/// ship n, sums and the cross-product matrix; the Master derives the full
+/// correlation matrix with per-pair t statistics and p-values.
+struct PearsonSpec {
+  std::vector<std::string> datasets;
+  std::vector<std::string> variables;  ///< >= 2 numeric variables
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+
+struct PearsonResult {
+  std::vector<std::string> variables;
+  stats::Matrix correlations;  ///< symmetric, unit diagonal
+  stats::Matrix p_values;
+  int64_t n = 0;
+
+  /// Correlation and p for one pair by variable name.
+  Result<double> Correlation(const std::string& a, const std::string& b) const;
+
+  std::string ToString() const;
+};
+
+Result<PearsonResult> RunPearson(federation::FederationSession* session,
+                                 const PearsonSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_PEARSON_H_

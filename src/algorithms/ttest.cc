@@ -1,0 +1,205 @@
+#include "algorithms/ttest.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "algorithms/common.h"
+#include "stats/distributions.h"
+
+namespace mip::algorithms {
+
+namespace {
+
+Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
+  // Moments of one variable: [n, sum, sumsq].
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "ttest.moments",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        double n = 0, sum = 0, sumsq = 0;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          const double v = data.numeric(r, 0);
+          n += 1;
+          sum += v;
+          sumsq += v * v;
+        }
+        federation::TransferData out;
+        out.PutVector("m", {n, sum, sumsq});
+        return out;
+      }));
+
+  // Per-group moments of `variable` for the two requested levels of the
+  // grouping variable: [n1, s1, ss1, n2, s2, ss2].
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "ttest.group_moments",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(std::string group_var,
+                             args.GetString("group_variable"));
+        MIP_ASSIGN_OR_RETURN(std::string ga, args.GetString("group_a"));
+        MIP_ASSIGN_OR_RETURN(std::string gb, args.GetString("group_b"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {group_var}));
+        double m[6] = {0, 0, 0, 0, 0, 0};
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          const double v = data.numeric(r, 0);
+          const std::string& g = data.categorical[0][r];
+          if (g == ga) {
+            m[0] += 1;
+            m[1] += v;
+            m[2] += v * v;
+          } else if (g == gb) {
+            m[3] += 1;
+            m[4] += v;
+            m[5] += v * v;
+          }
+        }
+        federation::TransferData out;
+        out.PutVector("m", {m[0], m[1], m[2], m[3], m[4], m[5]});
+        return out;
+      }));
+
+  // Moments of the pairwise difference a - b.
+  MIP_RETURN_NOT_OK(EnsureLocal(
+      registry, "ttest.diff_moments",
+      [](federation::WorkerContext& ctx,
+         const federation::TransferData& args)
+          -> Result<federation::TransferData> {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vars,
+                             args.GetStringList("numeric_vars"));
+        MIP_ASSIGN_OR_RETURN(
+            LocalData data,
+            GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
+        double n = 0, sum = 0, sumsq = 0;
+        for (size_t r = 0; r < data.num_rows; ++r) {
+          const double d = data.numeric(r, 0) - data.numeric(r, 1);
+          n += 1;
+          sum += d;
+          sumsq += d * d;
+        }
+        federation::TransferData out;
+        out.PutVector("m", {n, sum, sumsq});
+        return out;
+      }));
+  return Status::OK();
+}
+
+// One-sample machinery shared by the one-sample and paired tests.
+TTestResult OneSampleFromMoments(double n, double sum, double sumsq,
+                                 double mu0) {
+  TTestResult out;
+  const double mean = sum / n;
+  const double var = (sumsq - sum * sum / n) / (n - 1.0);
+  const double se = std::sqrt(var / n);
+  out.n1 = static_cast<int64_t>(std::llround(n));
+  out.mean_difference = mean - mu0;
+  out.t_statistic = out.mean_difference / se;
+  out.degrees_of_freedom = n - 1.0;
+  out.p_value =
+      stats::StudentTTwoSidedP(out.t_statistic, out.degrees_of_freedom);
+  const double tcrit = stats::StudentTQuantile(0.975, out.degrees_of_freedom);
+  out.ci_low = out.mean_difference - tcrit * se;
+  out.ci_high = out.mean_difference + tcrit * se;
+  return out;
+}
+
+}  // namespace
+
+Result<TTestResult> RunTTestOneSample(federation::FederationSession* session,
+                                      const TTestOneSampleSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  federation::TransferData args = MakeArgs(spec.datasets, {spec.variable});
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("ttest.moments", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> m, agg.GetVector("m"));
+  if (m[0] < 2) return Status::ExecutionError("not enough observations");
+  return OneSampleFromMoments(m[0], m[1], m[2], spec.mu0);
+}
+
+Result<TTestResult> RunTTestIndependent(
+    federation::FederationSession* session,
+    const TTestIndependentSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  federation::TransferData args = MakeArgs(spec.datasets, {spec.variable});
+  args.PutString("group_variable", spec.group_variable);
+  args.PutString("group_a", spec.group_a);
+  args.PutString("group_b", spec.group_b);
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("ttest.group_moments", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> m, agg.GetVector("m"));
+  const double n1 = m[0], s1 = m[1], ss1 = m[2];
+  const double n2 = m[3], s2 = m[4], ss2 = m[5];
+  if (n1 < 2 || n2 < 2) {
+    return Status::ExecutionError("each group needs at least 2 observations");
+  }
+  const double mean1 = s1 / n1;
+  const double mean2 = s2 / n2;
+  const double var1 = (ss1 - s1 * s1 / n1) / (n1 - 1.0);
+  const double var2 = (ss2 - s2 * s2 / n2) / (n2 - 1.0);
+
+  TTestResult out;
+  out.n1 = static_cast<int64_t>(std::llround(n1));
+  out.n2 = static_cast<int64_t>(std::llround(n2));
+  out.mean_difference = mean1 - mean2;
+  double se;
+  if (spec.pooled) {
+    const double sp2 =
+        ((n1 - 1.0) * var1 + (n2 - 1.0) * var2) / (n1 + n2 - 2.0);
+    se = std::sqrt(sp2 * (1.0 / n1 + 1.0 / n2));
+    out.degrees_of_freedom = n1 + n2 - 2.0;
+  } else {
+    // Welch-Satterthwaite.
+    const double a = var1 / n1;
+    const double b = var2 / n2;
+    se = std::sqrt(a + b);
+    out.degrees_of_freedom =
+        (a + b) * (a + b) /
+        (a * a / (n1 - 1.0) + b * b / (n2 - 1.0));
+  }
+  out.t_statistic = out.mean_difference / se;
+  out.p_value =
+      stats::StudentTTwoSidedP(out.t_statistic, out.degrees_of_freedom);
+  const double tcrit = stats::StudentTQuantile(0.975, out.degrees_of_freedom);
+  out.ci_low = out.mean_difference - tcrit * se;
+  out.ci_high = out.mean_difference + tcrit * se;
+  return out;
+}
+
+Result<TTestResult> RunTTestPaired(federation::FederationSession* session,
+                                   const TTestPairedSpec& spec) {
+  MIP_RETURN_NOT_OK(RegisterSteps(session->master().functions().get()));
+  federation::TransferData args =
+      MakeArgs(spec.datasets, {spec.variable_a, spec.variable_b});
+  MIP_ASSIGN_OR_RETURN(
+      federation::TransferData agg,
+      session->LocalRunAndAggregate("ttest.diff_moments", args, spec.mode));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> m, agg.GetVector("m"));
+  if (m[0] < 2) return Status::ExecutionError("not enough pairs");
+  return OneSampleFromMoments(m[0], m[1], m[2], 0.0);
+}
+
+std::string TTestResult::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed;
+  os << "t = " << t_statistic << ", df = " << degrees_of_freedom
+     << ", p = " << p_value << ", diff = " << mean_difference << " [95% CI "
+     << ci_low << ", " << ci_high << "], n1 = " << n1;
+  if (n2 > 0) os << ", n2 = " << n2;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace mip::algorithms

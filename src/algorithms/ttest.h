@@ -1,0 +1,63 @@
+#ifndef MIP_ALGORITHMS_TTEST_H_
+#define MIP_ALGORITHMS_TTEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+
+/// Shared result shape of the three federated t-tests.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 0.0;
+  double mean_difference = 0.0;  ///< mean (or mean - mu0, or group diff)
+  double ci_low = 0.0;           ///< 95% confidence interval
+  double ci_high = 0.0;
+  int64_t n1 = 0;
+  int64_t n2 = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief One-sample t-test: H0: mean(variable) == mu0. Workers ship
+/// (n, sum, sumsq).
+struct TTestOneSampleSpec {
+  std::vector<std::string> datasets;
+  std::string variable;
+  double mu0 = 0.0;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+Result<TTestResult> RunTTestOneSample(federation::FederationSession* session,
+                                      const TTestOneSampleSpec& spec);
+
+/// \brief Independent two-sample t-test of `variable` between the two
+/// levels of `group_variable` (Welch by default, pooled optional).
+struct TTestIndependentSpec {
+  std::vector<std::string> datasets;
+  std::string variable;
+  std::string group_variable;
+  std::string group_a;  ///< level treated as group 1
+  std::string group_b;  ///< level treated as group 2
+  bool pooled = false;  ///< false = Welch (unequal variances)
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+Result<TTestResult> RunTTestIndependent(federation::FederationSession* session,
+                                        const TTestIndependentSpec& spec);
+
+/// \brief Paired t-test of two numeric variables measured on the same rows.
+struct TTestPairedSpec {
+  std::vector<std::string> datasets;
+  std::string variable_a;
+  std::string variable_b;
+  federation::AggregationMode mode = federation::AggregationMode::kPlain;
+};
+Result<TTestResult> RunTTestPaired(federation::FederationSession* session,
+                                   const TTestPairedSpec& spec);
+
+}  // namespace mip::algorithms
+
+#endif  // MIP_ALGORITHMS_TTEST_H_

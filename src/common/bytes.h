@@ -1,0 +1,163 @@
+#ifndef MIP_COMMON_BYTES_H_
+#define MIP_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mip {
+
+/// \brief Append-only binary buffer used to serialize every payload that
+/// crosses a federation link (Worker <-> Master <-> SMPC cluster).
+///
+/// All integers are encoded little-endian fixed-width; strings and blobs are
+/// length-prefixed with a uint32. The byte counts reported by the federation
+/// cost model are exactly the sizes produced here.
+class BufferWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { AppendRaw(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    AppendRaw(s.data(), s.size());
+  }
+
+  void WriteDoubleVector(const std::vector<double>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size() * sizeof(double));
+  }
+
+  void WriteU64Vector(const std::vector<uint64_t>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size() * sizeof(uint64_t));
+  }
+
+  void WriteI64Vector(const std::vector<int64_t>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size() * sizeof(int64_t));
+  }
+
+  /// Appends raw bytes verbatim.
+  void AppendRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Sequential reader over a byte span produced by BufferWriter.
+///
+/// All reads are bounds-checked and return Status on truncated input, so a
+/// malformed message from a (simulated) remote peer can never corrupt memory.
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BufferReader(const std::vector<uint8_t>& buf)
+      : BufferReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> ReadU8() {
+    uint8_t v = 0;
+    MIP_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint32_t> ReadU32() {
+    uint32_t v = 0;
+    MIP_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> ReadU64() {
+    uint64_t v = 0;
+    MIP_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<int64_t> ReadI64() {
+    int64_t v = 0;
+    MIP_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<double> ReadDouble() {
+    double v = 0.0;
+    MIP_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<bool> ReadBool() {
+    MIP_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+    return v != 0;
+  }
+
+  Result<std::string> ReadString() {
+    MIP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (n > Remaining()) return TruncatedError();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Result<std::vector<double>> ReadDoubleVector() {
+    MIP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (static_cast<size_t>(n) * sizeof(double) > Remaining()) {
+      return TruncatedError();
+    }
+    std::vector<double> v(n);
+    if (n > 0) MIP_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(double)));
+    return v;
+  }
+
+  Result<std::vector<uint64_t>> ReadU64Vector() {
+    MIP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (static_cast<size_t>(n) * sizeof(uint64_t) > Remaining()) {
+      return TruncatedError();
+    }
+    std::vector<uint64_t> v(n);
+    if (n > 0) MIP_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(uint64_t)));
+    return v;
+  }
+
+  Result<std::vector<int64_t>> ReadI64Vector() {
+    MIP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (static_cast<size_t>(n) * sizeof(int64_t) > Remaining()) {
+      return TruncatedError();
+    }
+    std::vector<int64_t> v(n);
+    if (n > 0) MIP_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(int64_t)));
+    return v;
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (n > Remaining()) return TruncatedError();
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  static Status TruncatedError() {
+    return Status::IOError("truncated buffer while deserializing");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mip
+
+#endif  // MIP_COMMON_BYTES_H_

@@ -1,0 +1,48 @@
+#ifndef MIP_COMMON_LOGGING_H_
+#define MIP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mip {
+
+/// \brief Severity levels for the MIP logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The global minimum level defaults to kWarning so tests and benchmarks stay
+/// quiet; examples raise it to kInfo to narrate the federation rounds.
+class Logger {
+ public:
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mip
+
+#define MIP_LOG(level)                                                  \
+  ::mip::internal::LogMessage(::mip::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // MIP_COMMON_LOGGING_H_

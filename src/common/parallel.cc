@@ -1,0 +1,36 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace mip {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  const size_t threads = static_cast<size_t>(std::max(1, num_threads));
+  // Below ~4k elements thread startup dominates any win.
+  if (threads == 1 || n < 4096) {
+    body(0, n);
+    return;
+  }
+  const size_t used = std::min(threads, n);
+  const size_t chunk = (n + used - 1) / used;
+  std::vector<std::thread> pool;
+  pool.reserve(used);
+  for (size_t t = 0; t < used; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace mip

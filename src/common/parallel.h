@@ -1,0 +1,24 @@
+#ifndef MIP_COMMON_PARALLEL_H_
+#define MIP_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace mip {
+
+/// \brief Number of hardware threads (>= 1).
+int HardwareThreads();
+
+/// \brief Runs `body(begin, end)` over `num_threads` contiguous slices of
+/// [0, n). With num_threads <= 1 (or n small) the body runs inline on the
+/// calling thread. Slices are disjoint, so bodies may write to disjoint
+/// ranges of shared output without synchronization.
+///
+/// This is the engine's parallelization primitive (one of the paper's
+/// claimed in-engine features); callers own any reduction across slices.
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t begin, size_t end)>& body);
+
+}  // namespace mip
+
+#endif  // MIP_COMMON_PARALLEL_H_

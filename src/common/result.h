@@ -1,0 +1,76 @@
+#ifndef MIP_COMMON_RESULT_H_
+#define MIP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mip {
+
+/// \brief Either a value of type T or a non-ok Status.
+///
+/// The canonical usage is
+///
+///   Result<Table> r = MakeTable(...);
+///   MIP_ASSIGN_OR_RETURN(Table t, MakeTable(...));
+///
+/// Accessing the value of a failed Result is a programming error and aborts
+/// in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. `status` must not be ok.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(repr_).ok());
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status (OK if the result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out of the result (result must be ok).
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace mip
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns its Status, otherwise
+/// binds the value to `lhs`.
+#define MIP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).MoveValueUnsafe()
+
+#define MIP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MIP_ASSIGN_OR_RETURN_IMPL(MIP_CONCAT(_mip_result_, __LINE__), lhs, rexpr)
+
+#endif  // MIP_COMMON_RESULT_H_

@@ -1,0 +1,109 @@
+#ifndef MIP_COMMON_STATUS_H_
+#define MIP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mip {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeError,
+  kParseError,
+  kExecutionError,
+  kSecurityError,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns the canonical lower-case name of a status code
+/// (e.g. "invalid argument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result status of a fallible operation.
+///
+/// MIP never throws exceptions across public API boundaries; every fallible
+/// operation returns a Status (or a Result<T>, see result.h). The idiom
+/// follows Apache Arrow / RocksDB:
+///
+///   MIP_RETURN_NOT_OK(DoThing());
+///
+/// An ok status carries no allocation.
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status SecurityError(std::string msg) {
+    return Status(StatusCode::kSecurityError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace mip
+
+/// Propagates a non-ok Status to the caller.
+#define MIP_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::mip::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define MIP_CONCAT_IMPL(x, y) x##y
+#define MIP_CONCAT(x, y) MIP_CONCAT_IMPL(x, y)
+
+#endif  // MIP_COMMON_STATUS_H_

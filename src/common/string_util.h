@@ -1,0 +1,32 @@
+#ifndef MIP_COMMON_STRING_UTIL_H_
+#define MIP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mip {
+
+/// Splits `s` on `delim`; adjacent delimiters produce empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// ASCII lower-casing (SQL keywords, identifiers).
+std::string ToLower(const std::string& s);
+
+/// ASCII upper-casing.
+std::string ToUpper(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+}  // namespace mip
+
+#endif  // MIP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,295 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mip::data {
+
+namespace {
+
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+
+Value MaybeMissing(double v, double missing_rate, Rng* rng) {
+  if (rng->NextDouble() < missing_rate) return Value::Null();
+  return Value::Double(v);
+}
+
+}  // namespace
+
+Result<Table> GenerateDementiaCohort(const DementiaCohortConfig& config) {
+  Rng rng(config.seed);
+  Schema schema;
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"subject_id", DataType::kString}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"diagnosis", DataType::kString}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"age", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"sex", DataType::kString}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"mmse", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"left_hippocampus", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"right_hippocampus", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"left_entorhinal_area", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"lateral_ventricles", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"abeta42", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"p_tau", DataType::kFloat64}));
+  if (config.with_survival) {
+    MIP_RETURN_NOT_OK(
+        schema.AddField(Field{"followup_months", DataType::kFloat64}));
+    MIP_RETURN_NOT_OK(schema.AddField(Field{"event", DataType::kFloat64}));
+  }
+  Table table = Table::Empty(std::move(schema));
+
+  for (int64_t i = 0; i < config.num_patients; ++i) {
+    const double u = rng.NextDouble();
+    // 0 = CN, 1 = MCI, 2 = AD — the per-class shifts below follow the
+    // well-replicated ordering the case study visualizes.
+    int dx = 2;
+    std::string dx_name = "AD";
+    if (u < config.frac_cn) {
+      dx = 0;
+      dx_name = "CN";
+    } else if (u < config.frac_cn + config.frac_mci) {
+      dx = 1;
+      dx_name = "MCI";
+    }
+    const double severity = static_cast<double>(dx);  // 0, 1, 2
+
+    const double age = std::min(95.0, std::max(55.0,
+        rng.NextGaussian(68.0 + 3.0 * severity, 7.0)));
+    const bool male = rng.NextDouble() < 0.47;
+    const double mmse = std::min(
+        30.0, std::max(2.0, rng.NextGaussian(28.5 - 4.5 * severity, 2.0)));
+
+    // Volumes: atrophy with severity and age; shared subject-level factor
+    // couples left/right hippocampus.
+    const double subject_factor = rng.NextGaussian(0.0, 0.15);
+    const double age_effect = -0.012 * (age - 68.0);
+    const double hippo_mean = 3.2 - 0.45 * severity + age_effect;
+    const double lh = std::max(0.8, hippo_mean + subject_factor +
+                                        rng.NextGaussian(0.0, 0.12) +
+                                        config.site_volume_bias);
+    const double rh = std::max(0.8, hippo_mean + 0.05 + subject_factor +
+                                        rng.NextGaussian(0.0, 0.12) +
+                                        config.site_volume_bias);
+    const double ent = std::max(
+        0.3, 1.9 - 0.35 * severity + 0.5 * age_effect +
+                 rng.NextGaussian(0.0, 0.18) + config.site_volume_bias);
+    const double vent = std::max(
+        4.0, 22.0 + 9.0 * severity - 2.5 * age_effect +
+                 rng.NextGaussian(0.0, 6.0));
+
+    // CSF biomarkers: the Abeta42 / pTau cluster structure (low Abeta42 +
+    // high pTau in AD).
+    const double abeta = std::max(
+        120.0, rng.NextGaussian(1050.0 - 260.0 * severity, 140.0));
+    const double ptau = std::max(
+        6.0, rng.NextGaussian(18.0 + 14.0 * severity, 6.0));
+
+    std::vector<Value> row;
+    row.push_back(Value::String("subj_" + std::to_string(config.seed % 997) +
+                                "_" + std::to_string(i)));
+    row.push_back(Value::String(dx_name));
+    row.push_back(Value::Double(age));
+    row.push_back(Value::String(male ? "M" : "F"));
+    row.push_back(MaybeMissing(mmse, config.missing_rate, &rng));
+    row.push_back(MaybeMissing(lh, config.missing_rate, &rng));
+    row.push_back(MaybeMissing(rh, config.missing_rate, &rng));
+    row.push_back(MaybeMissing(ent, config.missing_rate, &rng));
+    row.push_back(MaybeMissing(vent, config.missing_rate, &rng));
+    row.push_back(MaybeMissing(abeta, config.missing_rate, &rng));
+    row.push_back(MaybeMissing(ptau, config.missing_rate, &rng));
+    if (config.with_survival) {
+      // Time to conversion/death: exponential with rate rising in severity;
+      // administrative censoring at 60 months.
+      const double rate = 0.006 * std::exp(0.9 * severity);
+      const double t = rng.NextExponential(rate);
+      const double censor_t = 60.0;
+      const bool event = t <= censor_t;
+      row.push_back(Value::Double(std::min(t, censor_t)));
+      row.push_back(Value::Double(event ? 1.0 : 0.0));
+    }
+    MIP_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> GeneratePpmiCohort(int64_t num_patients, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"subject_id", DataType::kString}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"diagnosis", DataType::kString}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"age", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"updrs_total", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"datscan_putamen", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"datscan_caudate", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"left_entorhinal_area", DataType::kFloat64}));
+  Table table = Table::Empty(std::move(schema));
+  for (int64_t i = 0; i < num_patients; ++i) {
+    const bool pd = rng.NextDouble() < 0.65;
+    const double age = std::min(90.0, std::max(35.0,
+        rng.NextGaussian(pd ? 63.0 : 60.0, 9.0)));
+    const double updrs =
+        std::max(0.0, rng.NextGaussian(pd ? 32.0 : 4.0, pd ? 12.0 : 3.0));
+    const double putamen =
+        std::max(0.3, rng.NextGaussian(pd ? 0.85 : 2.1, 0.3));
+    const double caudate =
+        std::max(0.4, rng.NextGaussian(pd ? 1.9 : 2.9, 0.4));
+    const double ent =
+        std::max(0.4, rng.NextGaussian(1.7, 0.22) - 0.01 * (age - 60.0));
+    MIP_RETURN_NOT_OK(table.AppendRow(
+        {Value::String("ppmi_" + std::to_string(i)),
+         Value::String(pd ? "PD" : "HC"), Value::Double(age),
+         Value::Double(updrs), Value::Double(putamen), Value::Double(caudate),
+         Value::Double(ent)}));
+  }
+  return table;
+}
+
+Result<Table> GenerateRiskCohort(int64_t num_patients, uint64_t seed,
+                                 double miscalibration) {
+  Rng rng(seed);
+  Schema schema;
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"subject_id", DataType::kString}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"predicted_prob", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"outcome", DataType::kFloat64}));
+  Table table = Table::Empty(std::move(schema));
+  for (int64_t i = 0; i < num_patients; ++i) {
+    // Latent severity -> predicted probability via a logistic model.
+    const double z = rng.NextGaussian(-1.0, 1.3);
+    const double predicted = 1.0 / (1.0 + std::exp(-z));
+    // True probability deviates by the miscalibration parameter (shift on
+    // the logit scale proportional to z).
+    const double true_logit = z * (1.0 + miscalibration);
+    const double p_true = 1.0 / (1.0 + std::exp(-true_logit));
+    const double outcome = rng.NextDouble() < p_true ? 1.0 : 0.0;
+    MIP_RETURN_NOT_OK(table.AppendRow({Value::String("r_" + std::to_string(i)),
+                                       Value::Double(predicted),
+                                       Value::Double(outcome)}));
+  }
+  return table;
+}
+
+Result<Table> GenerateEpilepsyCohort(int64_t num_patients, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"subject_id", DataType::kString}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"age", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"age_at_onset", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"seizure_frequency", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"ieeg_spike_rate", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"ieeg_hfo_rate", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"mri_lesional", DataType::kString}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"engel_class", DataType::kString}));
+  Table table = Table::Empty(std::move(schema));
+  for (int64_t i = 0; i < num_patients; ++i) {
+    const double age = std::min(75.0, std::max(8.0,
+        rng.NextGaussian(34.0, 12.0)));
+    const double onset = std::min(
+        age, std::max(0.5, rng.NextGaussian(age - 14.0, 8.0)));
+    const bool lesional = rng.NextDouble() < 0.55;
+    // Focal epilepsies: lesional cases show higher, more localized HFO
+    // rates; non-lesional cases more diffuse spiking.
+    const double hfo = std::max(
+        0.0, rng.NextGaussian(lesional ? 28.0 : 12.0, 8.0));
+    const double spikes = std::max(
+        0.5, rng.NextGaussian(lesional ? 18.0 : 26.0, 9.0));
+    const double freq = std::max(
+        0.2, rng.NextGamma(2.0, lesional ? 3.0 : 5.0));
+    // Surgical outcome: lesional + high HFO concentration -> Engel I.
+    const double z = (lesional ? 1.2 : -0.4) + 0.04 * (hfo - 20.0) -
+                     0.015 * (freq - 8.0) + rng.NextGaussian(0, 0.8);
+    const char* engel = z > 0.8 ? "I" : (z > 0.0 ? "II"
+                                                 : (z > -0.8 ? "III" : "IV"));
+    MIP_RETURN_NOT_OK(table.AppendRow(
+        {Value::String("epi_" + std::to_string(i)), Value::Double(age),
+         Value::Double(onset), Value::Double(freq), Value::Double(spikes),
+         Value::Double(hfo), Value::String(lesional ? "yes" : "no"),
+         Value::String(engel)}));
+  }
+  return table;
+}
+
+Result<Table> GenerateTbiCohort(int64_t num_patients, uint64_t seed,
+                                double model_miscalibration) {
+  Rng rng(seed);
+  Schema schema;
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"subject_id", DataType::kString}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"age", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"gcs_total", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(schema.AddField(Field{"pupils", DataType::kString}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"predicted_mortality", DataType::kFloat64}));
+  MIP_RETURN_NOT_OK(
+      schema.AddField(Field{"mortality_6m", DataType::kFloat64}));
+  Table table = Table::Empty(std::move(schema));
+  for (int64_t i = 0; i < num_patients; ++i) {
+    const double age = std::min(95.0, std::max(16.0,
+        rng.NextGaussian(45.0, 19.0)));
+    const double gcs = std::min(15.0, std::max(3.0,
+        std::round(rng.NextGaussian(9.0, 3.5))));
+    const double pupil_draw = rng.NextDouble();
+    const char* pupils =
+        pupil_draw < 0.7 ? "both" : (pupil_draw < 0.88 ? "one" : "none");
+    // IMPACT-like linear predictor of 6-month mortality.
+    const double lp = -1.0 + 0.035 * (age - 45.0) - 0.25 * (gcs - 9.0) +
+                      (pupils[0] == 'o' ? 0.9 : (pupils[0] == 'n' ? 1.8
+                                                                  : 0.0));
+    const double p_true = 1.0 / (1.0 + std::exp(-lp));
+    const double outcome = rng.NextDouble() < p_true ? 1.0 : 0.0;
+    // The "model" predicts from the same predictor, optionally
+    // miscalibrated on the logit scale.
+    const double p_model =
+        1.0 / (1.0 + std::exp(-lp * (1.0 + model_miscalibration)));
+    MIP_RETURN_NOT_OK(table.AppendRow(
+        {Value::String("tbi_" + std::to_string(i)), Value::Double(age),
+         Value::Double(gcs), Value::String(pupils), Value::Double(p_model),
+         Value::Double(outcome)}));
+  }
+  return table;
+}
+
+std::vector<AlzheimerSite> AlzheimerCaseStudySites() {
+  return {
+      {"brescia", "edsd_brescia", 1960},
+      {"lausanne", "edsd_lausanne", 1032},
+      {"lille", "edsd_lille", 1103},
+      {"adni_node", "adni", 1066},
+  };
+}
+
+Status SetupAlzheimerFederation(federation::MasterNode* master,
+                                uint64_t seed) {
+  const std::vector<AlzheimerSite> sites = AlzheimerCaseStudySites();
+  for (size_t s = 0; s < sites.size(); ++s) {
+    MIP_RETURN_NOT_OK(master->AddWorker(sites[s].worker_id).status());
+    DementiaCohortConfig config;
+    config.num_patients = sites[s].patients;
+    config.seed = seed + 1000 * s;
+    // Mild per-site scanner bias, the kind harmonization cannot remove.
+    config.site_volume_bias = 0.03 * (static_cast<double>(s) - 1.5);
+    MIP_ASSIGN_OR_RETURN(Table cohort, GenerateDementiaCohort(config));
+    MIP_RETURN_NOT_OK(master->LoadDataset(sites[s].worker_id,
+                                          sites[s].dataset,
+                                          std::move(cohort)));
+  }
+  return Status::OK();
+}
+
+}  // namespace mip::data

@@ -1,0 +1,85 @@
+#ifndef MIP_DATA_SYNTHETIC_H_
+#define MIP_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+#include "federation/master.h"
+
+namespace mip::data {
+
+/// \brief Generator for dementia cohorts shaped like the datasets of the
+/// paper's Alzheimer's case study (EDSD / ADNI / hospital memory clinics).
+///
+/// Real clinical records are GDPR-gated; these cohorts reproduce the
+/// distributional structure the case study analyses: diagnosis-dependent
+/// brain-volume repartition (hippocampus / entorhinal atrophy and
+/// ventricular enlargement in AD), the Abeta42 / pTau biomarker clusters,
+/// and a linear age/diagnosis signal in the volumes. Each site can carry a
+/// site effect (scanner bias) and a missingness rate.
+struct DementiaCohortConfig {
+  int64_t num_patients = 1000;
+  uint64_t seed = 42;
+  /// Mixture weights for CN / MCI / AD.
+  double frac_cn = 0.35;
+  double frac_mci = 0.35;
+  /// Additive site bias on volumes (cm3), simulating scanner differences.
+  double site_volume_bias = 0.0;
+  /// Probability that any one biomarker/volume cell is missing.
+  double missing_rate = 0.05;
+  /// When true the cohort also carries survival columns
+  /// (followup_months, event) for Kaplan-Meier.
+  bool with_survival = true;
+};
+
+/// Columns: subject_id, diagnosis (CN/MCI/AD), age, sex, mmse,
+/// left_hippocampus, right_hippocampus, left_entorhinal_area,
+/// lateral_ventricles, abeta42, p_tau [, followup_months, event].
+Result<engine::Table> GenerateDementiaCohort(const DementiaCohortConfig& config);
+
+/// \brief PPMI-like Parkinson's cohort: diagnosis (PD/HC), age, updrs_total,
+/// datscan_putamen, datscan_caudate, left_entorhinal_area (the dashboard's
+/// PPMI panel includes it).
+Result<engine::Table> GeneratePpmiCohort(int64_t num_patients, uint64_t seed);
+
+/// \brief Cohort for the Calibration Belt: a severity score, a predicted
+/// mortality probability produced by a (mis)calibrated model, and the
+/// observed outcome. `miscalibration` of 0 means perfectly calibrated;
+/// positive values inflate predictions at high risk.
+Result<engine::Table> GenerateRiskCohort(int64_t num_patients, uint64_t seed,
+                                         double miscalibration);
+
+/// \brief Epilepsy surgery cohort with iEEG features: seizure frequency,
+/// spike/HFO rates, lesional status and Engel outcome. Good surgical
+/// outcomes (Engel I) correlate with lesional MRI and focal (high) HFO
+/// rates — the structure a federated CART/logistic analysis should find.
+Result<engine::Table> GenerateEpilepsyCohort(int64_t num_patients,
+                                             uint64_t seed);
+
+/// \brief TBI cohort: GCS, pupils and age drive true 6-month mortality; a
+/// predicted-mortality column comes from an IMPACT-like logistic model so
+/// the Calibration Belt has something clinically shaped to assess.
+Result<engine::Table> GenerateTbiCohort(int64_t num_patients, uint64_t seed,
+                                        double model_miscalibration = 0.0);
+
+/// \brief One hospital of the paper's federated Alzheimer's analysis.
+struct AlzheimerSite {
+  std::string worker_id;
+  std::string dataset;
+  int64_t patients;
+};
+
+/// The four sites of the case study (Brescia 1960, Lausanne 1032,
+/// Lille 1103, ADNI 1066).
+std::vector<AlzheimerSite> AlzheimerCaseStudySites();
+
+/// Builds the full case-study federation: creates one Worker per site and
+/// loads its synthetic cohort (site-specific seed and scanner bias).
+Status SetupAlzheimerFederation(federation::MasterNode* master,
+                                uint64_t seed = 2024);
+
+}  // namespace mip::data
+
+#endif  // MIP_DATA_SYNTHETIC_H_

@@ -1,0 +1,77 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+
+namespace mip::dp {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double sensitivity)
+    : epsilon_(epsilon), scale_(sensitivity / epsilon) {}
+
+double LaplaceMechanism::Apply(double value, Rng* rng) const {
+  return value + rng->NextLaplace(scale_);
+}
+
+std::vector<double> LaplaceMechanism::ApplyVector(
+    const std::vector<double>& values, Rng* rng) const {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out[i] = Apply(values[i], rng);
+  return out;
+}
+
+GaussianMechanism::GaussianMechanism(double epsilon, double delta,
+                                     double sensitivity)
+    : epsilon_(epsilon),
+      delta_(delta),
+      sigma_(sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) /
+             epsilon) {}
+
+double GaussianMechanism::Apply(double value, Rng* rng) const {
+  return value + rng->NextGaussian(0.0, sigma_);
+}
+
+std::vector<double> GaussianMechanism::ApplyVector(
+    const std::vector<double>& values, Rng* rng) const {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out[i] = Apply(values[i], rng);
+  return out;
+}
+
+std::vector<double> ClipL2(const std::vector<double>& v, double bound) {
+  double norm_sq = 0.0;
+  for (double x : v) norm_sq += x * x;
+  const double norm = std::sqrt(norm_sq);
+  if (norm <= bound || norm == 0.0) return v;
+  std::vector<double> out(v.size());
+  const double f = bound / norm;
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * f;
+  return out;
+}
+
+void PrivacyAccountant::Spend(double epsilon, double delta) {
+  events_.push_back({epsilon, delta});
+}
+
+double PrivacyAccountant::TotalEpsilonBasic() const {
+  double total = 0.0;
+  for (const Event& e : events_) total += e.epsilon;
+  return total;
+}
+
+double PrivacyAccountant::TotalDeltaBasic() const {
+  double total = 0.0;
+  for (const Event& e : events_) total += e.delta;
+  return total;
+}
+
+double PrivacyAccountant::TotalEpsilonAdvanced(double delta_prime) const {
+  if (events_.empty()) return 0.0;
+  const double eps = events_[0].epsilon;
+  for (const Event& e : events_) {
+    if (e.epsilon != eps) return TotalEpsilonBasic();
+  }
+  const double k = static_cast<double>(events_.size());
+  return eps * std::sqrt(2.0 * k * std::log(1.0 / delta_prime)) +
+         k * eps * (std::exp(eps) - 1.0);
+}
+
+}  // namespace mip::dp

@@ -1,0 +1,95 @@
+#ifndef MIP_DP_MECHANISMS_H_
+#define MIP_DP_MECHANISMS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace mip::dp {
+
+/// \brief Laplace mechanism: for a query with L1 sensitivity `sensitivity`,
+/// adding Laplace(sensitivity / epsilon) noise gives epsilon-DP.
+class LaplaceMechanism {
+ public:
+  LaplaceMechanism(double epsilon, double sensitivity);
+
+  double epsilon() const { return epsilon_; }
+  double scale() const { return scale_; }
+
+  /// Releases value + Laplace noise.
+  double Apply(double value, Rng* rng) const;
+
+  /// Releases each coordinate with independent noise (sensitivity must be
+  /// the L1 sensitivity of the whole vector).
+  std::vector<double> ApplyVector(const std::vector<double>& values,
+                                  Rng* rng) const;
+
+ private:
+  double epsilon_;
+  double scale_;
+};
+
+/// \brief Gaussian mechanism: for L2 sensitivity `sensitivity`, noise with
+/// sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon gives
+/// (epsilon, delta)-DP (classic analysis, epsilon <= 1).
+class GaussianMechanism {
+ public:
+  GaussianMechanism(double epsilon, double delta, double sensitivity);
+
+  double epsilon() const { return epsilon_; }
+  double delta() const { return delta_; }
+  double sigma() const { return sigma_; }
+
+  double Apply(double value, Rng* rng) const;
+  std::vector<double> ApplyVector(const std::vector<double>& values,
+                                  Rng* rng) const;
+
+ private:
+  double epsilon_;
+  double delta_;
+  double sigma_;
+};
+
+/// \brief Clips a vector to L2 norm at most `bound` (gradient clipping for
+/// DP federated training); returns the clipped vector.
+std::vector<double> ClipL2(const std::vector<double>& v, double bound);
+
+/// \brief Tracks cumulative privacy loss over a sequence of mechanism
+/// applications on the same data (per-Worker accountant).
+///
+/// Supports basic composition (sum of epsilons / deltas) and the advanced
+/// composition bound of Dwork-Rothblum-Vadhan for k-fold composition of
+/// (eps, delta) mechanisms.
+class PrivacyAccountant {
+ public:
+  /// Records one (epsilon, delta) release.
+  void Spend(double epsilon, double delta = 0.0);
+
+  int64_t num_releases() const { return static_cast<int64_t>(events_.size()); }
+
+  /// Basic composition: (sum eps, sum delta).
+  double TotalEpsilonBasic() const;
+  double TotalDeltaBasic() const;
+
+  /// Advanced composition total epsilon at slack `delta_prime` when all
+  /// releases used the same epsilon (heterogeneous releases fall back to
+  /// basic). eps_total = eps*sqrt(2k ln(1/d')) + k*eps*(e^eps - 1).
+  double TotalEpsilonAdvanced(double delta_prime) const;
+
+  /// True once basic-composition epsilon exceeds `budget`.
+  bool ExceedsBudget(double budget) const {
+    return TotalEpsilonBasic() > budget;
+  }
+
+ private:
+  struct Event {
+    double epsilon;
+    double delta;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace mip::dp
+
+#endif  // MIP_DP_MECHANISMS_H_

@@ -1,0 +1,35 @@
+#include "engine/bitmap.h"
+
+#include <bit>
+
+namespace mip::engine {
+
+Bitmap::Bitmap(size_t length, bool valid) : length_(length) {
+  words_.assign((length + 63) / 64, valid ? ~0ull : 0ull);
+  if (valid && length % 64 != 0 && !words_.empty()) {
+    // Clear bits past the logical end so CountSet stays exact.
+    words_.back() &= (1ull << (length % 64)) - 1;
+  }
+}
+
+void Bitmap::Append(bool valid) {
+  if (length_ % 64 == 0) words_.push_back(0);
+  if (valid) words_.back() |= (1ull << (length_ % 64));
+  ++length_;
+}
+
+size_t Bitmap::CountSet() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+Bitmap Bitmap::And(const Bitmap& a, const Bitmap& b) {
+  Bitmap out(a.length_, true);
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = a.words_[i] & b.words_[i];
+  }
+  return out;
+}
+
+}  // namespace mip::engine

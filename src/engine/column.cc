@@ -1,0 +1,218 @@
+#include "engine/column.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mip::engine {
+
+Column Column::FromDoubles(std::vector<double> values) {
+  Column c(DataType::kFloat64);
+  c.length_ = values.size();
+  c.doubles_ = std::move(values);
+  return c;
+}
+
+Column Column::FromInts(std::vector<int64_t> values) {
+  Column c(DataType::kInt64);
+  c.length_ = values.size();
+  c.ints_ = std::move(values);
+  return c;
+}
+
+Column Column::FromBools(std::vector<uint8_t> values) {
+  Column c(DataType::kBool);
+  c.length_ = values.size();
+  c.bools_ = std::move(values);
+  return c;
+}
+
+Column Column::FromStrings(std::vector<std::string> values) {
+  Column c(DataType::kString);
+  c.length_ = values.size();
+  c.strings_ = std::move(values);
+  return c;
+}
+
+double Column::AsDoubleAt(size_t i) const {
+  if (!IsValid(i)) return std::numeric_limits<double>::quiet_NaN();
+  switch (type_) {
+    case DataType::kBool:
+      return bools_[i] ? 1.0 : 0.0;
+    case DataType::kInt64:
+      return static_cast<double>(ints_[i]);
+    case DataType::kFloat64:
+      return doubles_[i];
+    case DataType::kString:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+Value Column::ValueAt(size_t i) const {
+  if (!IsValid(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(bools_[i] != 0);
+    case DataType::kInt64:
+      return Value::Int(ints_[i]);
+    case DataType::kFloat64:
+      return Value::Double(doubles_[i]);
+    case DataType::kString:
+      return Value::String(strings_[i]);
+  }
+  return Value::Null();
+}
+
+void Column::EnsureValidity() {
+  if (!has_validity()) validity_ = Bitmap(length_, true);
+}
+
+void Column::AppendNull() {
+  EnsureValidity();
+  switch (type_) {
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kFloat64:
+      doubles_.push_back(std::numeric_limits<double>::quiet_NaN());
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  validity_.Append(false);
+  ++length_;
+}
+
+void Column::AppendInt(int64_t v) {
+  ints_.push_back(v);
+  if (has_validity()) validity_.Append(true);
+  ++length_;
+}
+
+void Column::AppendDouble(double v) {
+  doubles_.push_back(v);
+  if (has_validity()) validity_.Append(true);
+  ++length_;
+}
+
+void Column::AppendBool(bool v) {
+  bools_.push_back(v ? 1 : 0);
+  if (has_validity()) validity_.Append(true);
+  ++length_;
+}
+
+void Column::AppendString(std::string v) {
+  strings_.push_back(std::move(v));
+  if (has_validity()) validity_.Append(true);
+  ++length_;
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kBool:
+      AppendBool(v.AsBool());
+      return Status::OK();
+    case DataType::kInt64:
+      if (v.kind() == Value::Kind::kString) {
+        return Status::TypeError("cannot append string to bigint column");
+      }
+      AppendInt(v.AsInt());
+      return Status::OK();
+    case DataType::kFloat64:
+      if (v.kind() == Value::Kind::kString) {
+        return Status::TypeError("cannot append string to double column");
+      }
+      AppendDouble(v.AsDouble());
+      return Status::OK();
+    case DataType::kString:
+      if (v.kind() != Value::Kind::kString) {
+        AppendString(v.ToString());
+      } else {
+        AppendString(v.string_value());
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown column type");
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kBool:
+      bools_.reserve(n);
+      break;
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kFloat64:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+Column Column::Take(const std::vector<int64_t>& indices) const {
+  Column out(type_);
+  out.Reserve(indices.size());
+  for (int64_t idx : indices) {
+    const size_t i = static_cast<size_t>(idx);
+    if (!IsValid(i)) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kBool:
+        out.AppendBool(bools_[i] != 0);
+        break;
+      case DataType::kInt64:
+        out.AppendInt(ints_[i]);
+        break;
+      case DataType::kFloat64:
+        out.AppendDouble(doubles_[i]);
+        break;
+      case DataType::kString:
+        out.AppendString(strings_[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+Column Column::Slice(size_t offset, size_t count) const {
+  std::vector<int64_t> idx;
+  idx.reserve(count);
+  for (size_t i = offset; i < offset + count && i < length_; ++i) {
+    idx.push_back(static_cast<int64_t>(i));
+  }
+  return Take(idx);
+}
+
+Status Column::SetValidity(Bitmap validity) {
+  if (validity.length() != length_) {
+    return Status::InvalidArgument("validity length mismatch");
+  }
+  validity_ = std::move(validity);
+  return Status::OK();
+}
+
+std::vector<double> Column::NonNullDoubles() const {
+  std::vector<double> out;
+  out.reserve(length_);
+  for (size_t i = 0; i < length_; ++i) {
+    if (!IsValid(i)) continue;
+    const double v = AsDoubleAt(i);
+    if (!std::isnan(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace mip::engine

@@ -1,0 +1,118 @@
+#ifndef MIP_ENGINE_DATABASE_H_
+#define MIP_ENGINE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/function_registry.h"
+#include "engine/sql_ast.h"
+#include "engine/table.h"
+
+namespace mip::engine {
+
+/// \brief An in-memory analytics database instance: catalog + SQL executor +
+/// UDF registry.
+///
+/// Every federation Worker hosts one Database (the MonetDB stand-in). It
+/// supports base tables, MonetDB-style REMOTE tables (scans served by
+/// another node through a pluggable fetcher) and MERGE tables
+/// (non-materialized UNION ALL views over parts) — the two features MIP's
+/// non-secure aggregation path is built on.
+class Database {
+ public:
+  explicit Database(std::string name = "mipdb") : name_(std::move(name)) {}
+
+  /// Non-copyable (owns a function registry with closures), movable.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Resolves REMOTE table scans: (location, remote_table_name) -> Table.
+  /// The federation layer installs a fetcher that routes through the message
+  /// bus (and its cost model).
+  using RemoteFetcher = std::function<Result<Table>(
+      const std::string& location, const std::string& remote_name)>;
+  void SetRemoteFetcher(RemoteFetcher fetcher) {
+    fetcher_ = std::move(fetcher);
+  }
+
+  /// Runs a SQL statement ON the remote node and returns its result —
+  /// enables aggregate pushdown through REMOTE tables (only the partial
+  /// aggregate crosses the network instead of the full relation).
+  using RemoteQueryRunner = std::function<Result<Table>(
+      const std::string& location, const std::string& sql)>;
+  void SetRemoteQueryRunner(RemoteQueryRunner runner) {
+    query_runner_ = std::move(runner);
+  }
+
+  /// Disables merge-table aggregate pushdown (ablation switch for the E5
+  /// benchmark; on by default).
+  void set_aggregate_pushdown(bool enabled) {
+    aggregate_pushdown_ = enabled;
+  }
+  bool aggregate_pushdown() const { return aggregate_pushdown_; }
+
+  /// Creates an empty base table.
+  Status CreateTable(const std::string& table_name, Schema schema);
+
+  /// Registers (or replaces) a fully built base table — the ETL entry point.
+  Status PutTable(const std::string& table_name, Table table);
+
+  Status DropTable(const std::string& table_name);
+  bool HasTable(const std::string& table_name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Materializes the named table. Base tables are returned as stored;
+  /// remote tables are fetched; merge tables concatenate their parts
+  /// (conceptually non-materialized — the executor only calls this when it
+  /// actually scans).
+  Result<Table> GetTable(const std::string& table_name) const;
+
+  /// Schema without materializing (remote tables are fetched once and the
+  /// schema cached is NOT implemented; merge uses first part).
+  Result<Schema> GetSchema(const std::string& table_name) const;
+
+  /// Executes one SQL statement. DDL/DML return an empty table.
+  Result<Table> ExecuteSql(const std::string& sql);
+
+  /// Executes a parsed SELECT.
+  Result<Table> ExecuteSelect(const SelectStmt& stmt);
+
+  FunctionRegistry* functions() { return &functions_; }
+  const FunctionRegistry* functions() const { return &functions_; }
+
+ private:
+  struct Entry {
+    enum class Kind { kBase, kRemote, kMerge };
+    Kind kind = Kind::kBase;
+    Table table;              // kBase
+    std::string location;     // kRemote
+    std::string remote_name;  // kRemote
+    std::vector<std::string> parts;  // kMerge
+  };
+
+  Result<Table> ResolveTableRef(const TableRef& ref);
+
+  /// Merge-table aggregate pushdown: computes per-part partial aggregates
+  /// (remotely when a query runner is installed) and combines them. Returns
+  /// NotImplemented when the query shape does not decompose; the caller
+  /// falls back to materialization.
+  Result<Table> TryMergeAggregatePushdown(const SelectStmt& stmt);
+
+  std::string name_;
+  std::map<std::string, Entry> tables_;
+  FunctionRegistry functions_;
+  RemoteFetcher fetcher_;
+  RemoteQueryRunner query_runner_;
+  bool aggregate_pushdown_ = true;
+};
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_DATABASE_H_

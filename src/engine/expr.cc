@@ -1,0 +1,413 @@
+#include "engine/expr.h"
+
+#include "common/string_util.h"
+#include "engine/function_registry.h"
+
+namespace mip::engine {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kCountDistinct:
+      return "count_distinct";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kVarSamp:
+      return "var_samp";
+    case AggFunc::kStddevSamp:
+      return "stddev_samp";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlString();
+    case ExprKind::kColumnRef:
+      return ToLower(column_name);
+    case ExprKind::kUnary:
+      switch (unary_op) {
+        case UnaryOp::kNeg:
+          return "(-" + args[0]->ToString() + ")";
+        case UnaryOp::kNot:
+          return "(not " + args[0]->ToString() + ")";
+        case UnaryOp::kIsNull:
+          return "(" + args[0]->ToString() + " is null)";
+        case UnaryOp::kIsNotNull:
+          return "(" + args[0]->ToString() + " is not null)";
+      }
+      return "?";
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + BinaryOpName(binary_op) + " " +
+             args[1]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string s = ToLower(func_name) + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kAggregate:
+      if (agg == AggFunc::kCountStar) return "count(*)";
+      if (agg == AggFunc::kCountDistinct) {
+        return "count(distinct " + args[0]->ToString() + ")";
+      }
+      return std::string(AggFuncName(agg)) + "(" + args[0]->ToString() + ")";
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kCase: {
+      std::string s = "case";
+      size_t i = 0;
+      for (; i + 1 < args.size(); i += 2) {
+        s += " when " + args[i]->ToString() + " then " +
+             args[i + 1]->ToString();
+      }
+      if (i < args.size()) s += " else " + args[i]->ToString();
+      return s + " end";
+    }
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregate) return true;
+  for (const auto& a : args) {
+    if (a->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+ExprPtr MakeExpr(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+}  // namespace
+
+ExprPtr Lit(Value v) {
+  auto e = MakeExpr(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+ExprPtr LitString(std::string v) { return Lit(Value::String(std::move(v))); }
+
+ExprPtr Col(std::string name) {
+  auto e = MakeExpr(ExprKind::kColumnRef);
+  e->column_name = std::move(name);
+  return e;
+}
+
+ExprPtr Unary(UnaryOp op, ExprPtr a) {
+  auto e = MakeExpr(ExprKind::kUnary);
+  e->unary_op = op;
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr a, ExprPtr b) {
+  auto e = MakeExpr(ExprKind::kBinary);
+  e->binary_op = op;
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAdd, a, b); }
+ExprPtr Sub(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kSub, a, b); }
+ExprPtr Mul(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kMul, a, b); }
+ExprPtr Div(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kDiv, a, b); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kEq, a, b); }
+ExprPtr Lt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLt, a, b); }
+ExprPtr Gt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGt, a, b); }
+ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAnd, a, b); }
+ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kOr, a, b); }
+
+ExprPtr Call(std::string func, std::vector<ExprPtr> args) {
+  auto e = MakeExpr(ExprKind::kCall);
+  e->func_name = std::move(func);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Aggregate(AggFunc func, ExprPtr arg) {
+  auto e = MakeExpr(ExprKind::kAggregate);
+  e->agg = func;
+  if (arg) e->args = {std::move(arg)};
+  return e;
+}
+
+ExprPtr CountStar() { return Aggregate(AggFunc::kCountStar, nullptr); }
+
+ExprPtr CaseWhen(std::vector<ExprPtr> args) {
+  auto e = MakeExpr(ExprKind::kCase);
+  e->args = std::move(args);
+  return e;
+}
+
+namespace {
+
+struct BuiltinInfo {
+  const char* name;
+  int arity;  // -1 variadic (>= 1)
+};
+
+constexpr BuiltinInfo kBuiltins[] = {
+    {"abs", 1},   {"sqrt", 1},  {"ln", 1},        {"log", 1},
+    {"exp", 1},   {"pow", 2},   {"floor", 1},     {"ceil", 1},
+    {"round", 1}, {"sign", 1},  {"coalesce", -1}, {"least", -1},
+    {"greatest", -1},
+    // string predicate / casts (CAST(x AS t) parses to these).
+    {"like", 2},  {"cast_double", 1}, {"cast_bigint", 1},
+    {"cast_varchar", 1},
+};
+
+const BuiltinInfo* FindBuiltin(const std::string& lower_name) {
+  for (const auto& b : kBuiltins) {
+    if (lower_name == b.name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status BindExpr(Expr* expr, const Schema& schema,
+                const FunctionRegistry* registry) {
+  for (auto& a : expr->args) {
+    MIP_RETURN_NOT_OK(BindExpr(a.get(), schema, registry));
+  }
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      switch (expr->literal.kind()) {
+        case Value::Kind::kBool:
+          expr->result_type = DataType::kBool;
+          break;
+        case Value::Kind::kInt:
+          expr->result_type = DataType::kInt64;
+          break;
+        case Value::Kind::kString:
+          expr->result_type = DataType::kString;
+          break;
+        default:
+          expr->result_type = DataType::kFloat64;
+          break;
+      }
+      break;
+    case ExprKind::kColumnRef: {
+      const int idx = schema.FieldIndex(expr->column_name);
+      if (idx < 0) {
+        return Status::NotFound("unknown column '" + expr->column_name +
+                                "' in schema " + schema.ToString());
+      }
+      expr->bound_index = idx;
+      expr->result_type = schema.field(static_cast<size_t>(idx)).type;
+      break;
+    }
+    case ExprKind::kUnary:
+      switch (expr->unary_op) {
+        case UnaryOp::kNeg:
+          if (!IsNumeric(expr->args[0]->result_type)) {
+            return Status::TypeError("negation of non-numeric expression");
+          }
+          expr->result_type = expr->args[0]->result_type == DataType::kFloat64
+                                  ? DataType::kFloat64
+                                  : DataType::kInt64;
+          break;
+        case UnaryOp::kNot:
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull:
+          expr->result_type = DataType::kBool;
+          break;
+      }
+      break;
+    case ExprKind::kBinary: {
+      const DataType lt = expr->args[0]->result_type;
+      const DataType rt = expr->args[1]->result_type;
+      switch (expr->binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kMod:
+          if (!IsNumeric(lt) || !IsNumeric(rt)) {
+            return Status::TypeError("arithmetic on non-numeric operands in " +
+                                     expr->ToString());
+          }
+          expr->result_type = PromoteNumeric(lt, rt);
+          if (expr->result_type == DataType::kBool) {
+            expr->result_type = DataType::kInt64;
+          }
+          break;
+        case BinaryOp::kDiv:
+          if (!IsNumeric(lt) || !IsNumeric(rt)) {
+            return Status::TypeError("division on non-numeric operands");
+          }
+          expr->result_type = DataType::kFloat64;
+          break;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if ((lt == DataType::kString) != (rt == DataType::kString)) {
+            return Status::TypeError(
+                "comparison between string and non-string in " +
+                expr->ToString());
+          }
+          expr->result_type = DataType::kBool;
+          break;
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          expr->result_type = DataType::kBool;
+          break;
+      }
+      break;
+    }
+    case ExprKind::kCall: {
+      const std::string lower = ToLower(expr->func_name);
+      const BuiltinInfo* builtin = FindBuiltin(lower);
+      if (builtin != nullptr) {
+        if (builtin->arity >= 0 &&
+            static_cast<int>(expr->args.size()) != builtin->arity) {
+          return Status::InvalidArgument(
+              "function " + lower + " expects " +
+              std::to_string(builtin->arity) + " argument(s)");
+        }
+        if (builtin->arity < 0 && expr->args.empty()) {
+          return Status::InvalidArgument("function " + lower +
+                                         " expects at least one argument");
+        }
+        if (lower == "coalesce" || lower == "least" || lower == "greatest") {
+          expr->result_type = expr->args[0]->result_type;
+        } else if (lower == "like") {
+          if (expr->args[0]->result_type != DataType::kString ||
+              expr->args[1]->result_type != DataType::kString) {
+            return Status::TypeError("LIKE needs string operands");
+          }
+          expr->result_type = DataType::kBool;
+        } else if (lower == "cast_bigint") {
+          expr->result_type = DataType::kInt64;
+        } else if (lower == "cast_varchar") {
+          expr->result_type = DataType::kString;
+        } else {
+          expr->result_type = DataType::kFloat64;
+        }
+        break;
+      }
+      if (registry != nullptr) {
+        const auto* udf = registry->FindScalar(lower);
+        if (udf != nullptr) {
+          if (udf->arity >= 0 &&
+              static_cast<int>(expr->args.size()) != udf->arity) {
+            return Status::InvalidArgument(
+                "UDF " + lower + " expects " + std::to_string(udf->arity) +
+                " argument(s), got " + std::to_string(expr->args.size()));
+          }
+          expr->result_type = udf->result_type;
+          break;
+        }
+      }
+      return Status::NotFound("unknown function '" + expr->func_name + "'");
+    }
+    case ExprKind::kAggregate:
+      switch (expr->agg) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+        case AggFunc::kCountDistinct:
+          expr->result_type = DataType::kInt64;
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          expr->result_type =
+              expr->args.empty() ? DataType::kFloat64
+                                 : expr->args[0]->result_type;
+          break;
+        default:
+          expr->result_type = DataType::kFloat64;
+          break;
+      }
+      break;
+    case ExprKind::kStar:
+      break;
+    case ExprKind::kCase: {
+      if (expr->args.size() < 2) {
+        return Status::InvalidArgument("CASE needs at least one WHEN/THEN");
+      }
+      // Result type: promotion over THEN/ELSE branches.
+      DataType result = DataType::kBool;
+      bool first = true;
+      size_t i = 0;
+      auto merge = [&](DataType t) -> Status {
+        if (first) {
+          result = t;
+          first = false;
+          return Status::OK();
+        }
+        if (t == result) return Status::OK();
+        if (IsNumeric(t) && IsNumeric(result)) {
+          result = PromoteNumeric(t, result);
+          return Status::OK();
+        }
+        return Status::TypeError("CASE branches have incompatible types");
+      };
+      for (; i + 1 < expr->args.size(); i += 2) {
+        MIP_RETURN_NOT_OK(merge(expr->args[i + 1]->result_type));
+      }
+      if (i < expr->args.size()) {
+        MIP_RETURN_NOT_OK(merge(expr->args[i]->result_type));
+      }
+      expr->result_type = result;
+      break;
+    }
+  }
+  expr->bound = true;
+  return Status::OK();
+}
+
+}  // namespace mip::engine

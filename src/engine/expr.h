@@ -1,0 +1,136 @@
+#ifndef MIP_ENGINE_EXPR_H_
+#define MIP_ENGINE_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+#include "engine/value.h"
+
+namespace mip::engine {
+
+class FunctionRegistry;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kCall,       ///< scalar function (built-in or registered UDF)
+  kAggregate,  ///< aggregate function; only valid in select lists
+  kStar,       ///< `*` inside COUNT(*)
+  /// CASE WHEN c1 THEN v1 [WHEN c2 THEN v2 ...] [ELSE e] END.
+  /// args = [c1, v1, c2, v2, ..., else?]; odd arg count means an ELSE is
+  /// present as the last entry.
+  kCase,
+};
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp {
+  kNeg,
+  kNot,
+  kIsNull,
+  kIsNotNull,
+};
+
+enum class AggFunc {
+  kCountStar,
+  kCount,
+  kCountDistinct,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kVarSamp,
+  kStddevSamp,
+};
+
+const char* BinaryOpName(BinaryOp op);
+const char* AggFuncName(AggFunc func);
+
+/// \brief Scalar expression tree.
+///
+/// Expressions are built with the factory helpers below (or by the SQL
+/// parser), then bound against a Schema, then executed by one of three
+/// engines: the row interpreter (engine/row_interpreter.h), the vectorized
+/// evaluator (engine/vectorized.h), or a compiled VectorProgram
+/// (engine/vector_program.h).
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;            ///< kLiteral
+  std::string column_name;  ///< kColumnRef
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNeg;
+  std::string func_name;  ///< kCall
+  AggFunc agg = AggFunc::kCountStar;
+  std::vector<std::shared_ptr<Expr>> args;
+
+  // Filled by BindExpr:
+  int bound_index = -1;  ///< column ordinal for kColumnRef
+  DataType result_type = DataType::kFloat64;
+  bool bound = false;
+
+  /// Canonical text form; also used to match GROUP BY keys against
+  /// select-list items.
+  std::string ToString() const;
+
+  /// True if any node in the tree is an aggregate.
+  bool ContainsAggregate() const;
+};
+
+using ExprPtr = std::shared_ptr<Expr>;
+
+// --- Factory helpers -------------------------------------------------------
+
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr Col(std::string name);
+ExprPtr Unary(UnaryOp op, ExprPtr a);
+ExprPtr Binary(BinaryOp op, ExprPtr a, ExprPtr b);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Call(std::string func, std::vector<ExprPtr> args);
+ExprPtr Aggregate(AggFunc func, ExprPtr arg);
+ExprPtr CountStar();
+/// args as documented on ExprKind::kCase.
+ExprPtr CaseWhen(std::vector<ExprPtr> args);
+
+/// \brief Resolves column references against `schema`, type-checks the tree,
+/// and annotates every node with its result type.
+///
+/// `registry` resolves scalar UDF calls; pass nullptr if only built-ins
+/// (abs, sqrt, ln, exp, pow, floor, ceil, round, coalesce, least, greatest)
+/// may appear.
+Status BindExpr(Expr* expr, const Schema& schema,
+                const FunctionRegistry* registry = nullptr);
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_EXPR_H_

@@ -1,0 +1,362 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "engine/vectorized.h"
+
+namespace mip::engine {
+
+namespace {
+
+/// Streaming state for one aggregate output.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  Value min_value;  // typed min/max (strings supported)
+  Value max_value;
+  std::set<std::string> distinct;  // only populated for COUNT(DISTINCT)
+
+  void Add(const Value& v, AggFunc func) {
+    if (v.is_null()) return;
+    ++count;
+    if (func == AggFunc::kCountDistinct) {
+      std::string key;
+      key.push_back(static_cast<char>(v.kind()));
+      key += v.ToString();
+      distinct.insert(std::move(key));
+      return;
+    }
+    if (v.kind() == Value::Kind::kString) {
+      if (min_value.is_null() ||
+          v.string_value() < min_value.string_value()) {
+        min_value = v;
+      }
+      if (max_value.is_null() ||
+          v.string_value() > max_value.string_value()) {
+        max_value = v;
+      }
+      return;
+    }
+    const double x = v.AsDouble();
+    sum += x;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
+    if (x < min) {
+      min = x;
+      min_value = v;
+    }
+    if (x > max) {
+      max = x;
+      max_value = v;
+    }
+  }
+
+  Value Finish(AggFunc func, int64_t group_rows) const {
+    switch (func) {
+      case AggFunc::kCountStar:
+        return Value::Int(group_rows);
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kCountDistinct:
+        return Value::Int(static_cast<int64_t>(distinct.size()));
+      case AggFunc::kSum:
+        return count > 0 ? Value::Double(sum) : Value::Null();
+      case AggFunc::kAvg:
+        return count > 0 ? Value::Double(mean) : Value::Null();
+      case AggFunc::kMin:
+        return min_value;
+      case AggFunc::kMax:
+        return max_value;
+      case AggFunc::kVarSamp:
+        return count > 1
+                   ? Value::Double(m2 / static_cast<double>(count - 1))
+                   : Value::Null();
+      case AggFunc::kStddevSamp:
+        return count > 1
+                   ? Value::Double(
+                         std::sqrt(m2 / static_cast<double>(count - 1)))
+                   : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+DataType AggOutputType(const AggregateSpec& spec) {
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+    case AggFunc::kCountDistinct:
+      return DataType::kInt64;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return spec.arg != nullptr ? spec.arg->result_type
+                                 : DataType::kFloat64;
+    default:
+      return DataType::kFloat64;
+  }
+}
+
+// Encodes a grouping key tuple into a hashable string with type tags.
+std::string EncodeKey(const std::vector<Column>& key_cols, size_t row) {
+  std::string key;
+  for (const Column& c : key_cols) {
+    const Value v = c.ValueAt(row);
+    key.push_back(static_cast<char>(v.kind()));
+    key += v.ToString();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Table> Filter(const Table& table, const Expr& predicate,
+                     const FunctionRegistry* registry) {
+  MIP_ASSIGN_OR_RETURN(std::vector<int64_t> sel,
+                       EvalPredicate(predicate, table, registry));
+  return table.Take(sel);
+}
+
+Result<Table> Project(const Table& table, const std::vector<ExprPtr>& exprs,
+                      const std::vector<std::string>& names,
+                      const FunctionRegistry* registry) {
+  if (exprs.size() != names.size()) {
+    return Status::InvalidArgument("project exprs/names size mismatch");
+  }
+  Schema schema;
+  std::vector<Column> columns;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    MIP_ASSIGN_OR_RETURN(Column col,
+                         EvalVectorized(*exprs[i], table, registry));
+    MIP_RETURN_NOT_OK(schema.AddField(Field{names[i], col.type()}));
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+Result<Table> AggregateAll(const Table& table,
+                           const std::vector<AggregateSpec>& aggs,
+                           const FunctionRegistry* registry) {
+  std::vector<AggState> states(aggs.size());
+  std::vector<Column> arg_cols;
+  arg_cols.reserve(aggs.size());
+  for (const AggregateSpec& a : aggs) {
+    if (a.arg != nullptr) {
+      MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a.arg, table, registry));
+      arg_cols.push_back(std::move(c));
+    } else {
+      arg_cols.emplace_back(DataType::kFloat64);
+    }
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].arg != nullptr) {
+        states[i].Add(arg_cols[i].ValueAt(r), aggs[i].func);
+      }
+    }
+  }
+  Schema schema;
+  std::vector<Column> columns;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const DataType type = AggOutputType(aggs[i]);
+    MIP_RETURN_NOT_OK(schema.AddField(Field{aggs[i].output_name, type}));
+    Column col(type);
+    MIP_RETURN_NOT_OK(col.AppendValue(states[i].Finish(
+        aggs[i].func, static_cast<int64_t>(table.num_rows()))));
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+Result<Table> GroupByAggregate(const Table& table,
+                               const std::vector<ExprPtr>& keys,
+                               const std::vector<std::string>& key_names,
+                               const std::vector<AggregateSpec>& aggs,
+                               const FunctionRegistry* registry) {
+  if (keys.empty()) return AggregateAll(table, aggs, registry);
+  if (keys.size() != key_names.size()) {
+    return Status::InvalidArgument("group keys/names size mismatch");
+  }
+
+  std::vector<Column> key_cols;
+  for (const ExprPtr& k : keys) {
+    MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*k, table, registry));
+    key_cols.push_back(std::move(c));
+  }
+  std::vector<Column> arg_cols;
+  for (const AggregateSpec& a : aggs) {
+    if (a.arg != nullptr) {
+      MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a.arg, table, registry));
+      arg_cols.push_back(std::move(c));
+    } else {
+      arg_cols.emplace_back(DataType::kFloat64);
+    }
+  }
+
+  struct Group {
+    size_t first_row;
+    int64_t rows = 0;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<std::string, size_t> index;
+  std::vector<Group> groups;
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const std::string key = EncodeKey(key_cols, r);
+    auto [it, inserted] = index.emplace(key, groups.size());
+    if (inserted) {
+      Group g;
+      g.first_row = r;
+      g.states.resize(aggs.size());
+      groups.push_back(std::move(g));
+    }
+    Group& g = groups[it->second];
+    ++g.rows;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].arg != nullptr) {
+        g.states[i].Add(arg_cols[i].ValueAt(r), aggs[i].func);
+      }
+    }
+  }
+
+  Schema schema;
+  std::vector<Column> out_cols;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    MIP_RETURN_NOT_OK(
+        schema.AddField(Field{key_names[i], key_cols[i].type()}));
+    Column col(key_cols[i].type());
+    for (const Group& g : groups) {
+      MIP_RETURN_NOT_OK(col.AppendValue(key_cols[i].ValueAt(g.first_row)));
+    }
+    out_cols.push_back(std::move(col));
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const DataType type = AggOutputType(aggs[i]);
+    MIP_RETURN_NOT_OK(schema.AddField(Field{aggs[i].output_name, type}));
+    Column col(type);
+    for (const Group& g : groups) {
+      MIP_RETURN_NOT_OK(
+          col.AppendValue(g.states[i].Finish(aggs[i].func, g.rows)));
+    }
+    out_cols.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(out_cols));
+}
+
+Result<Table> SortBy(const Table& table, const std::vector<std::string>& keys,
+                     const std::vector<bool>& ascending) {
+  if (keys.size() != ascending.size()) {
+    return Status::InvalidArgument("sort keys/direction size mismatch");
+  }
+  std::vector<const Column*> cols;
+  for (const std::string& k : keys) {
+    MIP_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(k));
+    cols.push_back(c);
+  }
+  std::vector<int64_t> idx(table.num_rows());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int64_t>(i);
+
+  auto compare_rows = [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const Column& c = *cols[k];
+      const bool av = c.IsValid(static_cast<size_t>(a));
+      const bool bv = c.IsValid(static_cast<size_t>(b));
+      if (!av && !bv) continue;
+      if (!av) return false;  // NULLs last
+      if (!bv) return true;
+      int cmp = 0;
+      if (c.type() == DataType::kString) {
+        cmp = c.StringAt(static_cast<size_t>(a))
+                  .compare(c.StringAt(static_cast<size_t>(b)));
+      } else {
+        const double x = c.AsDoubleAt(static_cast<size_t>(a));
+        const double y = c.AsDoubleAt(static_cast<size_t>(b));
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  };
+  std::stable_sort(idx.begin(), idx.end(), compare_rows);
+  return table.Take(idx);
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_key,
+                       const std::string& right_key, JoinType type) {
+  MIP_ASSIGN_OR_RETURN(const Column* lkey, left.ColumnByName(left_key));
+  MIP_ASSIGN_OR_RETURN(const Column* rkey, right.ColumnByName(right_key));
+
+  // Build phase over the right input.
+  std::unordered_map<std::string, std::vector<int64_t>> build;
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (!rkey->IsValid(r)) continue;  // NULL keys never match
+    const Value v = rkey->ValueAt(r);
+    std::string key;
+    key.push_back(static_cast<char>(v.kind()));
+    key += v.ToString();
+    build[key].push_back(static_cast<int64_t>(r));
+  }
+
+  std::vector<int64_t> left_idx;
+  std::vector<int64_t> right_idx;  // -1 => unmatched (left join)
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    bool matched = false;
+    if (lkey->IsValid(l)) {
+      const Value v = lkey->ValueAt(l);
+      std::string key;
+      key.push_back(static_cast<char>(v.kind()));
+      key += v.ToString();
+      auto it = build.find(key);
+      if (it != build.end()) {
+        for (int64_t r : it->second) {
+          left_idx.push_back(static_cast<int64_t>(l));
+          right_idx.push_back(r);
+        }
+        matched = true;
+      }
+    }
+    if (!matched && type == JoinType::kLeft) {
+      left_idx.push_back(static_cast<int64_t>(l));
+      right_idx.push_back(-1);
+    }
+  }
+
+  Schema schema;
+  std::vector<Column> columns;
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    MIP_RETURN_NOT_OK(schema.AddField(left.schema().field(c)));
+    columns.push_back(left.column(c).Take(left_idx));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    Field f = right.schema().field(c);
+    if (schema.FieldIndex(f.name) >= 0) f.name += "_r";
+    MIP_RETURN_NOT_OK(schema.AddField(f));
+    Column col(right.column(c).type());
+    for (int64_t r : right_idx) {
+      if (r < 0) {
+        col.AppendNull();
+      } else {
+        MIP_RETURN_NOT_OK(
+            col.AppendValue(right.column(c).ValueAt(static_cast<size_t>(r))));
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+Table Limit(const Table& table, size_t limit, size_t offset) {
+  return table.Slice(offset, limit);
+}
+
+}  // namespace mip::engine

@@ -1,0 +1,286 @@
+#include "engine/row_interpreter.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "engine/function_registry.h"
+
+namespace mip::engine {
+
+namespace {
+
+// SQL LIKE with % (any run) and _ (any one char), via backtracking.
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               size_t ti = 0, size_t pi = 0) {
+  while (pi < pattern.size()) {
+    const char pc = pattern[pi];
+    if (pc == '%') {
+      // Collapse consecutive %.
+      while (pi + 1 < pattern.size() && pattern[pi + 1] == '%') ++pi;
+      if (pi + 1 == pattern.size()) return true;
+      for (size_t skip = ti; skip <= text.size(); ++skip) {
+        if (LikeMatch(text, pattern, skip, pi + 1)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (pc != '_' && pc != text[ti]) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+Result<Value> EvalBuiltinCallImpl(const std::string& lower,
+                                  const std::vector<Value>& argv) {
+  if (lower == "like") {
+    if (argv[0].is_null() || argv[1].is_null()) return Value::Null();
+    return Value::Bool(
+        LikeMatch(argv[0].string_value(), argv[1].string_value()));
+  }
+  if (lower == "cast_double") {
+    if (argv[0].is_null()) return Value::Null();
+    if (argv[0].kind() == Value::Kind::kString) {
+      char* end = nullptr;
+      const std::string& s = argv[0].string_value();
+      const double v = std::strtod(s.c_str(), &end);
+      if (s.empty() || end != s.c_str() + s.size()) return Value::Null();
+      return Value::Double(v);
+    }
+    return Value::Double(argv[0].AsDouble());
+  }
+  if (lower == "cast_bigint") {
+    if (argv[0].is_null()) return Value::Null();
+    if (argv[0].kind() == Value::Kind::kString) {
+      char* end = nullptr;
+      const std::string& s = argv[0].string_value();
+      const long long v = std::strtoll(s.c_str(), &end, 10);
+      if (s.empty() || end != s.c_str() + s.size()) return Value::Null();
+      return Value::Int(v);
+    }
+    return Value::Int(argv[0].AsInt());
+  }
+  if (lower == "cast_varchar") {
+    if (argv[0].is_null()) return Value::Null();
+    return Value::String(argv[0].ToString());
+  }
+  if (lower == "coalesce") {
+    for (const Value& v : argv) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (lower == "least" || lower == "greatest") {
+    Value best = Value::Null();
+    for (const Value& v : argv) {
+      if (v.is_null()) continue;
+      if (best.is_null()) {
+        best = v;
+        continue;
+      }
+      const bool smaller = v.AsDouble() < best.AsDouble();
+      if ((lower == "least") == smaller) best = v;
+    }
+    return best;
+  }
+  // Numeric unary/binary builtins: NULL in -> NULL out.
+  for (const Value& v : argv) {
+    if (v.is_null()) return Value::Null();
+  }
+  const double x = argv[0].AsDouble();
+  if (lower == "abs") return Value::Double(std::fabs(x));
+  if (lower == "sqrt") return Value::Double(std::sqrt(x));
+  if (lower == "ln" || lower == "log") return Value::Double(std::log(x));
+  if (lower == "exp") return Value::Double(std::exp(x));
+  if (lower == "floor") return Value::Double(std::floor(x));
+  if (lower == "ceil") return Value::Double(std::ceil(x));
+  if (lower == "round") return Value::Double(std::round(x));
+  if (lower == "sign") {
+    return Value::Double(x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0));
+  }
+  if (lower == "pow") return Value::Double(std::pow(x, argv[1].AsDouble()));
+  return Status::NotFound("unknown function '" + lower + "'");
+}
+
+Value CompareValues(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  int cmp;
+  if (l.kind() == Value::Kind::kString || r.kind() == Value::Kind::kString) {
+    cmp = l.string_value().compare(r.string_value());
+  } else {
+    const double a = l.AsDouble();
+    const double b = r.AsDouble();
+    cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(cmp == 0);
+    case BinaryOp::kNe:
+      return Value::Bool(cmp != 0);
+    case BinaryOp::kLt:
+      return Value::Bool(cmp < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(cmp <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(cmp > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(cmp >= 0);
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalScalarBuiltin(const std::string& lower_name,
+                                const std::vector<Value>& argv) {
+  return EvalBuiltinCallImpl(lower_name, argv);
+}
+
+Result<Value> EvalRow(const Expr& expr, const Table& table, size_t row,
+                      const FunctionRegistry* registry) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      if (expr.bound_index < 0) {
+        return Status::Internal("unbound column reference '" +
+                                expr.column_name + "'");
+      }
+      return table.column(static_cast<size_t>(expr.bound_index)).ValueAt(row);
+    }
+    case ExprKind::kUnary: {
+      MIP_ASSIGN_OR_RETURN(Value a, EvalRow(*expr.args[0], table, row,
+                                            registry));
+      switch (expr.unary_op) {
+        case UnaryOp::kNeg:
+          if (a.is_null()) return Value::Null();
+          if (a.kind() == Value::Kind::kInt) return Value::Int(-a.int_value());
+          return Value::Double(-a.AsDouble());
+        case UnaryOp::kNot:
+          if (a.is_null()) return Value::Null();
+          return Value::Bool(!a.AsBool());
+        case UnaryOp::kIsNull:
+          return Value::Bool(a.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Bool(!a.is_null());
+      }
+      return Status::Internal("bad unary op");
+    }
+    case ExprKind::kBinary: {
+      // AND/OR need 3-valued short-circuit semantics.
+      if (expr.binary_op == BinaryOp::kAnd || expr.binary_op == BinaryOp::kOr) {
+        MIP_ASSIGN_OR_RETURN(Value l,
+                             EvalRow(*expr.args[0], table, row, registry));
+        MIP_ASSIGN_OR_RETURN(Value r,
+                             EvalRow(*expr.args[1], table, row, registry));
+        const bool is_and = expr.binary_op == BinaryOp::kAnd;
+        if (!l.is_null() && !r.is_null()) {
+          return Value::Bool(is_and ? (l.AsBool() && r.AsBool())
+                                    : (l.AsBool() || r.AsBool()));
+        }
+        // NULL AND false = false; NULL OR true = true; otherwise NULL.
+        if (is_and) {
+          if ((!l.is_null() && !l.AsBool()) || (!r.is_null() && !r.AsBool())) {
+            return Value::Bool(false);
+          }
+        } else {
+          if ((!l.is_null() && l.AsBool()) || (!r.is_null() && r.AsBool())) {
+            return Value::Bool(true);
+          }
+        }
+        return Value::Null();
+      }
+      MIP_ASSIGN_OR_RETURN(Value l,
+                           EvalRow(*expr.args[0], table, row, registry));
+      MIP_ASSIGN_OR_RETURN(Value r,
+                           EvalRow(*expr.args[1], table, row, registry));
+      switch (expr.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kMod: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          if (expr.result_type == DataType::kInt64) {
+            const int64_t a = l.AsInt();
+            const int64_t b = r.AsInt();
+            switch (expr.binary_op) {
+              case BinaryOp::kAdd:
+                return Value::Int(a + b);
+              case BinaryOp::kSub:
+                return Value::Int(a - b);
+              case BinaryOp::kMul:
+                return Value::Int(a * b);
+              case BinaryOp::kMod:
+                if (b == 0) return Value::Null();
+                return Value::Int(a % b);
+              default:
+                break;
+            }
+          }
+          const double a = l.AsDouble();
+          const double b = r.AsDouble();
+          switch (expr.binary_op) {
+            case BinaryOp::kAdd:
+              return Value::Double(a + b);
+            case BinaryOp::kSub:
+              return Value::Double(a - b);
+            case BinaryOp::kMul:
+              return Value::Double(a * b);
+            case BinaryOp::kMod:
+              return Value::Double(std::fmod(a, b));
+            default:
+              break;
+          }
+          return Status::Internal("bad arithmetic op");
+        }
+        case BinaryOp::kDiv: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          const double b = r.AsDouble();
+          if (b == 0.0) return Value::Null();  // SQL: division by zero -> NULL
+          return Value::Double(l.AsDouble() / b);
+        }
+        default:
+          return CompareValues(expr.binary_op, l, r);
+      }
+    }
+    case ExprKind::kCall: {
+      std::vector<Value> argv;
+      argv.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        MIP_ASSIGN_OR_RETURN(Value v, EvalRow(*a, table, row, registry));
+        argv.push_back(std::move(v));
+      }
+      const std::string lower = ToLower(expr.func_name);
+      if (registry != nullptr) {
+        const auto* udf = registry->FindScalar(lower);
+        if (udf != nullptr) return udf->fn(argv);
+      }
+      return EvalBuiltinCallImpl(lower, argv);
+    }
+    case ExprKind::kAggregate:
+      return Status::ExecutionError(
+          "aggregate expression in row context: " + expr.ToString());
+    case ExprKind::kStar:
+      return Status::ExecutionError("'*' outside COUNT(*)");
+    case ExprKind::kCase: {
+      size_t i = 0;
+      for (; i + 1 < expr.args.size(); i += 2) {
+        MIP_ASSIGN_OR_RETURN(Value cond,
+                             EvalRow(*expr.args[i], table, row, registry));
+        // A NULL condition does not match (SQL semantics).
+        if (!cond.is_null() && cond.AsBool()) {
+          return EvalRow(*expr.args[i + 1], table, row, registry);
+        }
+      }
+      if (i < expr.args.size()) {
+        return EvalRow(*expr.args[i], table, row, registry);
+      }
+      return Value::Null();  // no ELSE -> NULL
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+}  // namespace mip::engine

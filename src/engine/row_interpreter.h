@@ -1,0 +1,30 @@
+#ifndef MIP_ENGINE_ROW_INTERPRETER_H_
+#define MIP_ENGINE_ROW_INTERPRETER_H_
+
+#include "common/result.h"
+#include "engine/expr.h"
+#include "engine/table.h"
+
+namespace mip::engine {
+
+class FunctionRegistry;
+
+/// \brief Tuple-at-a-time expression evaluation (the textbook Volcano-style
+/// baseline).
+///
+/// Every call boxes operands into Value and walks the expression tree, which
+/// is exactly the overhead vectorized and JIT-fused execution eliminate —
+/// this function exists as the baseline for experiment E6 (bench_engine) and
+/// as the semantic reference the fast paths are property-tested against.
+Result<Value> EvalRow(const Expr& expr, const Table& table, size_t row,
+                      const FunctionRegistry* registry = nullptr);
+
+/// \brief Evaluates one built-in scalar function on boxed arguments
+/// (shared by the row interpreter and the vectorized evaluator's generic
+/// fallback). `lower_name` must already be lower-cased.
+Result<Value> EvalScalarBuiltin(const std::string& lower_name,
+                                const std::vector<Value>& argv);
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_ROW_INTERPRETER_H_

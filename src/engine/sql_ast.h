@@ -1,0 +1,91 @@
+#ifndef MIP_ENGINE_SQL_AST_H_
+#define MIP_ENGINE_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace mip::engine {
+
+/// One entry of a select list: an expression with an optional alias, or `*`.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool star = false;
+};
+
+/// FROM-clause source: a named table, a table-function call, or a two-way
+/// equi-join of named sources.
+struct TableRef {
+  enum class Kind { kNamed, kFunction, kJoin };
+  Kind kind = Kind::kNamed;
+
+  std::string name;  // kNamed
+
+  std::string func_name;  // kFunction
+  std::vector<Value> func_args;
+
+  std::shared_ptr<TableRef> left;  // kJoin
+  std::shared_ptr<TableRef> right;
+  std::string left_key;
+  std::string right_key;
+  JoinType join_type = JoinType::kInner;
+};
+
+struct OrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::shared_ptr<TableRef> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<Field> fields;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// MonetDB-style remote table: a local name whose scans are served by
+/// another node's table. `location` identifies the remote database (a worker
+/// id in the federation), `remote_name` the table there.
+struct CreateRemoteTableStmt {
+  std::string name;
+  std::string location;
+  std::string remote_name;
+};
+
+/// MonetDB-style merge table: a non-materialized UNION ALL view over parts.
+struct CreateMergeTableStmt {
+  std::string name;
+  std::vector<std::string> parts;
+};
+
+struct DropTableStmt {
+  std::string name;
+};
+
+using SqlStatement =
+    std::variant<SelectStmt, CreateTableStmt, InsertStmt,
+                 CreateRemoteTableStmt, CreateMergeTableStmt, DropTableStmt>;
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_SQL_AST_H_

@@ -1,0 +1,110 @@
+#include "engine/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mip::engine {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> LexSql(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      t.type = TokenType::kIdentifier;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_float = true;
+        ++j;
+      }
+      t.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      t.type = TokenType::kString;
+      t.text = std::move(value);
+      i = j;
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+            two == "==") {
+          t.type = TokenType::kSymbol;
+          t.text = two == "!=" ? "<>" : (two == "==" ? "=" : two);
+          tokens.push_back(t);
+          i += 2;
+          continue;
+        }
+      }
+      static const std::string kSingles = "()+-*/%,=<>.;";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+      }
+      t.type = TokenType::kSymbol;
+      t.text = std::string(1, c);
+      i += 1;
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace mip::engine

@@ -1,0 +1,37 @@
+#ifndef MIP_ENGINE_SQL_LEXER_H_
+#define MIP_ENGINE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mip::engine {
+
+enum class TokenType {
+  kIdentifier,  ///< bare word (keywords are matched case-insensitively later)
+  kInteger,
+  kFloat,
+  kString,  ///< single-quoted literal, quotes stripped
+  kSymbol,  ///< punctuation / operator, text holds the exact spelling
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  ///< byte offset in the statement, for error messages
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword check against an identifier token.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// \brief Tokenizes one SQL statement. Comments (`-- ...`) are skipped.
+Result<std::vector<Token>> LexSql(const std::string& sql);
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_SQL_LEXER_H_

@@ -1,0 +1,234 @@
+#include "engine/table.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mip::engine {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddField(Field field) {
+  if (FieldIndex(field.name) >= 0) {
+    return Status::AlreadyExists("duplicate field '" + field.name + "'");
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Result<Table> Table::Make(Schema schema, std::vector<Column> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return Status::InvalidArgument("schema/column count mismatch");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.field(i).type) {
+      return Status::TypeError("column " + std::to_string(i) +
+                               " type does not match schema field '" +
+                               schema.field(i).name + "'");
+    }
+    if (columns[i].length() != rows) {
+      return Status::InvalidArgument("column lengths differ");
+    }
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  t.num_rows_ = rows;
+  return t;
+}
+
+Table Table::Empty(Schema schema) {
+  Table t;
+  for (const Field& f : schema.fields()) t.columns_.emplace_back(f.type);
+  t.schema_ = std::move(schema);
+  return t;
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  const int idx = schema_.FieldIndex(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row width mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    MIP_RETURN_NOT_OK(columns_[i].AppendValue(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Table Table::Take(const std::vector<int64_t>& indices) const {
+  Table t;
+  t.schema_ = schema_;
+  for (const Column& c : columns_) t.columns_.push_back(c.Take(indices));
+  t.num_rows_ = indices.size();
+  return t;
+}
+
+Table Table::Slice(size_t offset, size_t count) const {
+  std::vector<int64_t> idx;
+  for (size_t i = offset; i < offset + count && i < num_rows_; ++i) {
+    idx.push_back(static_cast<int64_t>(i));
+  }
+  return Take(idx);
+}
+
+Result<Table> Table::Concat(const std::vector<Table>& parts) {
+  if (parts.empty()) return Status::InvalidArgument("Concat of zero tables");
+  Table out = Table::Empty(parts[0].schema());
+  for (const Table& part : parts) {
+    if (part.num_columns() != out.num_columns()) {
+      return Status::TypeError("Concat schema mismatch (column count)");
+    }
+    for (size_t c = 0; c < part.num_columns(); ++c) {
+      if (part.column(c).type() != out.column(c).type()) {
+        return Status::TypeError("Concat schema mismatch (column type)");
+      }
+    }
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(part.num_columns());
+      for (size_t c = 0; c < part.num_columns(); ++c) {
+        row.push_back(part.At(r, c));
+      }
+      MIP_RETURN_NOT_OK(out.AppendRow(row));
+    }
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    if (i > 0) os << " | ";
+    os << schema_.field(i).name;
+  }
+  os << "\n";
+  const size_t rows = std::min(num_rows_, max_rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << At(r, c).ToString();
+    }
+    os << "\n";
+  }
+  if (num_rows_ > rows) {
+    os << "... (" << num_rows_ - rows << " more rows)\n";
+  }
+  return os.str();
+}
+
+void SerializeTable(const Table& table, BufferWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(table.num_columns()));
+  w->WriteU64(table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema().field(c);
+    w->WriteString(f.name);
+    w->WriteU8(static_cast<uint8_t>(f.type));
+    const Column& col = table.column(c);
+    w->WriteBool(col.has_validity());
+    if (col.has_validity()) {
+      std::vector<uint64_t> words = col.validity().words();
+      w->WriteU64Vector(words);
+    }
+    switch (f.type) {
+      case DataType::kBool: {
+        w->WriteU32(static_cast<uint32_t>(col.bools().size()));
+        w->AppendRaw(col.bools().data(), col.bools().size());
+        break;
+      }
+      case DataType::kInt64:
+        w->WriteI64Vector(col.ints());
+        break;
+      case DataType::kFloat64:
+        w->WriteDoubleVector(col.doubles());
+        break;
+      case DataType::kString: {
+        w->WriteU32(static_cast<uint32_t>(col.strings().size()));
+        for (const std::string& s : col.strings()) w->WriteString(s);
+        break;
+      }
+    }
+  }
+}
+
+Result<Table> DeserializeTable(BufferReader* r) {
+  MIP_ASSIGN_OR_RETURN(uint32_t num_cols, r->ReadU32());
+  MIP_ASSIGN_OR_RETURN(uint64_t num_rows, r->ReadU64());
+  Schema schema;
+  std::vector<Column> columns;
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    MIP_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    MIP_ASSIGN_OR_RETURN(uint8_t type_byte, r->ReadU8());
+    const DataType type = static_cast<DataType>(type_byte);
+    MIP_RETURN_NOT_OK(schema.AddField(Field{name, type}));
+    MIP_ASSIGN_OR_RETURN(bool has_validity, r->ReadBool());
+    Bitmap validity;
+    if (has_validity) {
+      MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> words, r->ReadU64Vector());
+      validity = Bitmap(num_rows, true);
+      for (size_t i = 0; i < num_rows; ++i) {
+        const bool bit = (words[i >> 6] >> (i & 63)) & 1ull;
+        validity.Set(i, bit);
+      }
+    }
+    Column col(type);
+    switch (type) {
+      case DataType::kBool: {
+        MIP_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+        std::vector<uint8_t> vals(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          MIP_ASSIGN_OR_RETURN(vals[i], r->ReadU8());
+        }
+        col = Column::FromBools(std::move(vals));
+        break;
+      }
+      case DataType::kInt64: {
+        MIP_ASSIGN_OR_RETURN(std::vector<int64_t> vals, r->ReadI64Vector());
+        col = Column::FromInts(std::move(vals));
+        break;
+      }
+      case DataType::kFloat64: {
+        MIP_ASSIGN_OR_RETURN(std::vector<double> vals, r->ReadDoubleVector());
+        col = Column::FromDoubles(std::move(vals));
+        break;
+      }
+      case DataType::kString: {
+        MIP_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+        std::vector<std::string> vals(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          MIP_ASSIGN_OR_RETURN(vals[i], r->ReadString());
+        }
+        col = Column::FromStrings(std::move(vals));
+        break;
+      }
+    }
+    if (has_validity) MIP_RETURN_NOT_OK(col.SetValidity(std::move(validity)));
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+}  // namespace mip::engine

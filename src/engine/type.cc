@@ -1,0 +1,32 @@
+#include "engine/type.h"
+
+namespace mip::engine {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "boolean";
+    case DataType::kInt64:
+      return "bigint";
+    case DataType::kFloat64:
+      return "double";
+    case DataType::kString:
+      return "varchar";
+  }
+  return "unknown";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kBool || type == DataType::kInt64 ||
+         type == DataType::kFloat64;
+}
+
+DataType PromoteNumeric(DataType a, DataType b) {
+  if (a == DataType::kFloat64 || b == DataType::kFloat64) {
+    return DataType::kFloat64;
+  }
+  if (a == DataType::kInt64 || b == DataType::kInt64) return DataType::kInt64;
+  return DataType::kBool;
+}
+
+}  // namespace mip::engine

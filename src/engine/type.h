@@ -1,0 +1,29 @@
+#ifndef MIP_ENGINE_TYPE_H_
+#define MIP_ENGINE_TYPE_H_
+
+namespace mip::engine {
+
+/// \brief Physical column types supported by the MIP analytics engine.
+///
+/// The engine is deliberately small: the clinical CDE model used by MIP only
+/// needs integers, reals, booleans and (enumerated) text. Strings cover
+/// nominal variables such as diagnosis categories.
+enum class DataType {
+  kBool,
+  kInt64,
+  kFloat64,
+  kString,
+};
+
+/// Canonical lower-case SQL-ish name ("bigint", "double", ...).
+const char* DataTypeName(DataType type);
+
+/// True for kInt64 / kFloat64 / kBool (bool promotes to 0/1 in arithmetic).
+bool IsNumeric(DataType type);
+
+/// Binary numeric promotion: double wins over int wins over bool.
+DataType PromoteNumeric(DataType a, DataType b);
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_TYPE_H_

@@ -1,0 +1,100 @@
+#include "engine/value.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mip::engine {
+
+double Value::AsDouble() const {
+  switch (kind_) {
+    case Kind::kBool:
+      return bool_ ? 1.0 : 0.0;
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+int64_t Value::AsInt() const {
+  switch (kind_) {
+    case Kind::kBool:
+      return bool_ ? 1 : 0;
+    case Kind::kInt:
+      return int_;
+    case Kind::kDouble:
+      return static_cast<int64_t>(double_);
+    default:
+      return 0;
+  }
+}
+
+bool Value::AsBool() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return false;
+    case Kind::kBool:
+      return bool_;
+    case Kind::kInt:
+      return int_ != 0;
+    case Kind::kDouble:
+      return double_ != 0.0;
+    case Kind::kString:
+      return !string_.empty();
+  }
+  return false;
+}
+
+std::string Value::ToSqlString() const {
+  if (kind_ == Kind::kString) return "'" + string_ + "'";
+  return ToString();
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << double_;
+      return os.str();
+    }
+    case Kind::kString:
+      return string_;
+  }
+  return "";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (kind_ != other.kind_) {
+    // Numeric cross-kind comparison (int vs double).
+    if ((kind_ == Kind::kInt || kind_ == Kind::kDouble) &&
+        (other.kind_ == Kind::kInt || other.kind_ == Kind::kDouble)) {
+      return AsDouble() == other.AsDouble();
+    }
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kInt:
+      return int_ == other.int_;
+    case Kind::kDouble:
+      return double_ == other.double_ ||
+             (std::isnan(double_) && std::isnan(other.double_));
+    case Kind::kString:
+      return string_ == other.string_;
+  }
+  return false;
+}
+
+}  // namespace mip::engine

@@ -1,0 +1,82 @@
+#ifndef MIP_ENGINE_VALUE_H_
+#define MIP_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/type.h"
+
+namespace mip::engine {
+
+/// \brief A single scalar cell: SQL literal, row element, or UDF scalar
+/// argument. NULL is a first-class state.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.kind_ = Kind::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Numeric coercion (bool -> 0/1, int -> double). NULL/string -> NaN.
+  double AsDouble() const;
+
+  /// Integer coercion; doubles are truncated. NULL/string -> 0.
+  int64_t AsInt() const;
+
+  /// Truthiness for predicates: NULL -> false, 0 / 0.0 / "" -> false.
+  bool AsBool() const;
+
+  /// SQL rendering ("NULL", "3.14", "'text'").
+  std::string ToSqlString() const;
+
+  /// Plain rendering (no string quoting).
+  std::string ToString() const;
+
+  /// SQL equality semantics except NULL == NULL is true here (used for
+  /// group-by keys and test assertions, not for WHERE).
+  bool Equals(const Value& other) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_VALUE_H_

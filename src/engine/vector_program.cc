@@ -1,0 +1,541 @@
+#include "engine/vector_program.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+
+namespace mip::engine {
+
+struct VectorProgram::Compiler {
+  const Schema& schema;
+  std::vector<Instr> instrs;
+  std::vector<int> free_regs;
+  int next_reg = 0;
+
+  explicit Compiler(const Schema& s) : schema(s) {}
+
+  int AllocReg() {
+    if (!free_regs.empty()) {
+      const int r = free_regs.back();
+      free_regs.pop_back();
+      return r;
+    }
+    return next_reg++;
+  }
+
+  void FreeReg(int r) { free_regs.push_back(r); }
+
+  Result<int> CompileNode(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral: {
+        if (expr.literal.kind() == Value::Kind::kString) {
+          return Status::NotImplemented("string literal in vector program");
+        }
+        const int dst = AllocReg();
+        Instr in;
+        in.op = OpCode::kLoadConst;
+        in.dst = dst;
+        in.konst = expr.literal.is_null()
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : expr.literal.AsDouble();
+        instrs.push_back(in);
+        return dst;
+      }
+      case ExprKind::kColumnRef: {
+        if (expr.bound_index < 0) {
+          return Status::Internal("unbound column in vector program");
+        }
+        if (expr.result_type == DataType::kString) {
+          return Status::NotImplemented("string column in vector program");
+        }
+        const int dst = AllocReg();
+        Instr in;
+        in.op = OpCode::kLoadCol;
+        in.dst = dst;
+        in.col = expr.bound_index;
+        instrs.push_back(in);
+        return dst;
+      }
+      case ExprKind::kUnary: {
+        MIP_ASSIGN_OR_RETURN(int a, CompileNode(*expr.args[0]));
+        OpCode op = OpCode::kNeg;
+        switch (expr.unary_op) {
+          case UnaryOp::kNeg:
+            op = OpCode::kNeg;
+            break;
+          case UnaryOp::kNot:
+            op = OpCode::kNot;
+            break;
+          case UnaryOp::kIsNull:
+            op = OpCode::kIsNull;
+            break;
+          case UnaryOp::kIsNotNull:
+            op = OpCode::kIsNotNull;
+            break;
+        }
+        Instr in;
+        in.op = op;
+        in.dst = a;  // unary ops run in place
+        in.a = a;
+        instrs.push_back(in);
+        return a;
+      }
+      case ExprKind::kBinary: {
+        MIP_ASSIGN_OR_RETURN(int a, CompileNode(*expr.args[0]));
+        MIP_ASSIGN_OR_RETURN(int b, CompileNode(*expr.args[1]));
+        OpCode op = OpCode::kAdd;
+        switch (expr.binary_op) {
+          case BinaryOp::kAdd:
+            op = OpCode::kAdd;
+            break;
+          case BinaryOp::kSub:
+            op = OpCode::kSub;
+            break;
+          case BinaryOp::kMul:
+            op = OpCode::kMul;
+            break;
+          case BinaryOp::kDiv:
+            op = OpCode::kDiv;
+            break;
+          case BinaryOp::kMod:
+            op = OpCode::kMod;
+            break;
+          case BinaryOp::kEq:
+            op = OpCode::kCmpEq;
+            break;
+          case BinaryOp::kNe:
+            op = OpCode::kCmpNe;
+            break;
+          case BinaryOp::kLt:
+            op = OpCode::kCmpLt;
+            break;
+          case BinaryOp::kLe:
+            op = OpCode::kCmpLe;
+            break;
+          case BinaryOp::kGt:
+            op = OpCode::kCmpGt;
+            break;
+          case BinaryOp::kGe:
+            op = OpCode::kCmpGe;
+            break;
+          case BinaryOp::kAnd:
+            op = OpCode::kAnd;
+            break;
+          case BinaryOp::kOr:
+            op = OpCode::kOr;
+            break;
+        }
+        Instr in;
+        in.op = op;
+        in.dst = a;  // result overwrites the left operand register
+        in.a = a;
+        in.b = b;
+        instrs.push_back(in);
+        FreeReg(b);
+        return a;
+      }
+      case ExprKind::kCall: {
+        const std::string lower = ToLower(expr.func_name);
+        OpCode op;
+        if (lower == "abs") {
+          op = OpCode::kAbs;
+        } else if (lower == "sqrt") {
+          op = OpCode::kSqrt;
+        } else if (lower == "ln" || lower == "log") {
+          op = OpCode::kLog;
+        } else if (lower == "exp") {
+          op = OpCode::kExp;
+        } else if (lower == "floor") {
+          op = OpCode::kFloor;
+        } else if (lower == "ceil") {
+          op = OpCode::kCeil;
+        } else if (lower == "round") {
+          op = OpCode::kRound;
+        } else if (lower == "sign") {
+          op = OpCode::kSign;
+        } else if (lower == "pow") {
+          MIP_ASSIGN_OR_RETURN(int a, CompileNode(*expr.args[0]));
+          MIP_ASSIGN_OR_RETURN(int b, CompileNode(*expr.args[1]));
+          Instr in;
+          in.op = OpCode::kPow;
+          in.dst = a;
+          in.a = a;
+          in.b = b;
+          instrs.push_back(in);
+          FreeReg(b);
+          return a;
+        } else {
+          return Status::NotImplemented("function '" + lower +
+                                        "' not compilable; use EvalVectorized");
+        }
+        MIP_ASSIGN_OR_RETURN(int a, CompileNode(*expr.args[0]));
+        Instr in;
+        in.op = op;
+        in.dst = a;
+        in.a = a;
+        instrs.push_back(in);
+        return a;
+      }
+      case ExprKind::kAggregate:
+      case ExprKind::kStar:
+        return Status::NotImplemented("aggregate in vector program");
+      case ExprKind::kCase: {
+        // Fold from the tail: acc = else (or NULL), then for each WHEN pair
+        // (right to left): acc = select(cond, then, acc).
+        int acc;
+        size_t pairs = expr.args.size() / 2;
+        const bool has_else = expr.args.size() % 2 == 1;
+        if (has_else) {
+          MIP_ASSIGN_OR_RETURN(acc, CompileNode(*expr.args.back()));
+        } else {
+          acc = AllocReg();
+          Instr in;
+          in.op = OpCode::kLoadConst;
+          in.dst = acc;
+          in.konst = std::numeric_limits<double>::quiet_NaN();
+          instrs.push_back(in);
+        }
+        for (size_t p = pairs; p > 0; --p) {
+          MIP_ASSIGN_OR_RETURN(int cond, CompileNode(*expr.args[2 * p - 2]));
+          MIP_ASSIGN_OR_RETURN(int then, CompileNode(*expr.args[2 * p - 1]));
+          Instr in;
+          in.op = OpCode::kSelect;
+          in.dst = cond;  // result reuses the condition register
+          in.a = cond;
+          in.b = then;
+          in.c = acc;
+          instrs.push_back(in);
+          FreeReg(then);
+          FreeReg(acc);
+          acc = cond;
+        }
+        return acc;
+      }
+    }
+    return Status::Internal("bad expr kind");
+  }
+};
+
+Result<VectorProgram> VectorProgram::Compile(const Expr& expr,
+                                             const Schema& schema) {
+  Compiler c(schema);
+  MIP_ASSIGN_OR_RETURN(int result_reg, c.CompileNode(expr));
+  VectorProgram p;
+  p.instrs_ = std::move(c.instrs);
+  p.num_registers_ = c.next_reg;
+  p.result_reg_ = result_reg;
+  p.result_type_ =
+      expr.result_type == DataType::kString ? DataType::kFloat64
+                                            : expr.result_type;
+  return p;
+}
+
+namespace {
+
+// NaN-propagating boolean encode: definite true -> 1, definite false -> 0,
+// unknown -> NaN.
+inline double CmpResult(bool b, double a_val, double b_val) {
+  if (std::isnan(a_val) || std::isnan(b_val)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return b ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+Result<Column> VectorProgram::Execute(const Table& table,
+                                      const ExecOptions& options) const {
+  const size_t n = table.num_rows();
+  const size_t batch = options.batch_size == 0 ? kBatchSize
+                                               : options.batch_size;
+  std::vector<double> result(n);
+
+  auto run_range = [this, &table, batch, &result](size_t range_begin,
+                                                  size_t range_end) {
+    // Preallocated cache-resident registers, one set per thread.
+    std::vector<std::vector<double>> regs(
+        static_cast<size_t>(num_registers_), std::vector<double>(batch));
+    for (size_t base = range_begin; base < range_end; base += batch) {
+      const size_t len = std::min(batch, range_end - base);
+    for (const Instr& in : instrs_) {
+      double* dst = regs[static_cast<size_t>(in.dst)].data();
+      const double* a =
+          in.a >= 0 ? regs[static_cast<size_t>(in.a)].data() : nullptr;
+      const double* b =
+          in.b >= 0 ? regs[static_cast<size_t>(in.b)].data() : nullptr;
+      switch (in.op) {
+        case OpCode::kLoadConst:
+          for (size_t i = 0; i < len; ++i) dst[i] = in.konst;
+          break;
+        case OpCode::kLoadCol: {
+          const Column& col = table.column(static_cast<size_t>(in.col));
+          if (col.type() == DataType::kFloat64 && !col.has_validity()) {
+            const double* src = col.doubles().data() + base;
+            for (size_t i = 0; i < len; ++i) dst[i] = src[i];
+          } else {
+            for (size_t i = 0; i < len; ++i) {
+              dst[i] = col.AsDoubleAt(base + i);
+            }
+          }
+          break;
+        }
+        case OpCode::kAdd:
+          for (size_t i = 0; i < len; ++i) dst[i] = a[i] + b[i];
+          break;
+        case OpCode::kSub:
+          for (size_t i = 0; i < len; ++i) dst[i] = a[i] - b[i];
+          break;
+        case OpCode::kMul:
+          for (size_t i = 0; i < len; ++i) dst[i] = a[i] * b[i];
+          break;
+        case OpCode::kDiv:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = b[i] == 0.0 ? std::numeric_limits<double>::quiet_NaN()
+                                 : a[i] / b[i];
+          }
+          break;
+        case OpCode::kMod:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::fmod(a[i], b[i]);
+          break;
+        case OpCode::kNeg:
+          for (size_t i = 0; i < len; ++i) dst[i] = -a[i];
+          break;
+        case OpCode::kAbs:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::fabs(a[i]);
+          break;
+        case OpCode::kSqrt:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::sqrt(a[i]);
+          break;
+        case OpCode::kLog:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::log(a[i]);
+          break;
+        case OpCode::kExp:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::exp(a[i]);
+          break;
+        case OpCode::kFloor:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::floor(a[i]);
+          break;
+        case OpCode::kCeil:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::ceil(a[i]);
+          break;
+        case OpCode::kRound:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::round(a[i]);
+          break;
+        case OpCode::kSign:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = a[i] > 0 ? 1.0 : (a[i] < 0 ? -1.0 : a[i]);
+          }
+          break;
+        case OpCode::kPow:
+          for (size_t i = 0; i < len; ++i) dst[i] = std::pow(a[i], b[i]);
+          break;
+        case OpCode::kCmpEq:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = CmpResult(a[i] == b[i], a[i], b[i]);
+          }
+          break;
+        case OpCode::kCmpNe:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = CmpResult(a[i] != b[i], a[i], b[i]);
+          }
+          break;
+        case OpCode::kCmpLt:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = CmpResult(a[i] < b[i], a[i], b[i]);
+          }
+          break;
+        case OpCode::kCmpLe:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = CmpResult(a[i] <= b[i], a[i], b[i]);
+          }
+          break;
+        case OpCode::kCmpGt:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = CmpResult(a[i] > b[i], a[i], b[i]);
+          }
+          break;
+        case OpCode::kCmpGe:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = CmpResult(a[i] >= b[i], a[i], b[i]);
+          }
+          break;
+        case OpCode::kAnd:
+          for (size_t i = 0; i < len; ++i) {
+            const bool a_nan = std::isnan(a[i]);
+            const bool b_nan = std::isnan(b[i]);
+            if (!a_nan && !b_nan) {
+              dst[i] = (a[i] != 0.0 && b[i] != 0.0) ? 1.0 : 0.0;
+            } else if ((!a_nan && a[i] == 0.0) || (!b_nan && b[i] == 0.0)) {
+              dst[i] = 0.0;  // definite false dominates NULL
+            } else {
+              dst[i] = std::numeric_limits<double>::quiet_NaN();
+            }
+          }
+          break;
+        case OpCode::kOr:
+          for (size_t i = 0; i < len; ++i) {
+            const bool a_nan = std::isnan(a[i]);
+            const bool b_nan = std::isnan(b[i]);
+            if (!a_nan && !b_nan) {
+              dst[i] = (a[i] != 0.0 || b[i] != 0.0) ? 1.0 : 0.0;
+            } else if ((!a_nan && a[i] != 0.0) || (!b_nan && b[i] != 0.0)) {
+              dst[i] = 1.0;  // definite true dominates NULL
+            } else {
+              dst[i] = std::numeric_limits<double>::quiet_NaN();
+            }
+          }
+          break;
+        case OpCode::kNot:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = std::isnan(a[i])
+                         ? a[i]
+                         : (a[i] != 0.0 ? 0.0 : 1.0);
+          }
+          break;
+        case OpCode::kIsNull:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = std::isnan(a[i]) ? 1.0 : 0.0;
+          }
+          break;
+        case OpCode::kIsNotNull:
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = std::isnan(a[i]) ? 0.0 : 1.0;
+          }
+          break;
+        case OpCode::kSelect: {
+          const double* sel_else =
+              regs[static_cast<size_t>(in.c)].data();
+          for (size_t i = 0; i < len; ++i) {
+            const bool taken = !std::isnan(a[i]) && a[i] != 0.0;
+            dst[i] = taken ? b[i] : sel_else[i];
+          }
+          break;
+        }
+      }
+    }
+      const double* out = regs[static_cast<size_t>(result_reg_)].data();
+      std::copy(out, out + len, result.begin() + static_cast<long>(base));
+    }
+  };
+  ParallelFor(n, options.num_threads, run_range);
+
+  // Convert NaN back to NULL validity; booleans to a bool column.
+  std::vector<uint8_t> valid(n, 1);
+  bool any_null = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(result[i])) {
+      valid[i] = 0;
+      any_null = true;
+    }
+  }
+  Column col(DataType::kFloat64);
+  if (result_type_ == DataType::kBool) {
+    std::vector<uint8_t> bits(n);
+    for (size_t i = 0; i < n; ++i) bits[i] = result[i] != 0.0 ? 1 : 0;
+    col = Column::FromBools(std::move(bits));
+  } else if (result_type_ == DataType::kInt64) {
+    std::vector<int64_t> ints(n);
+    for (size_t i = 0; i < n; ++i) {
+      ints[i] = valid[i] ? static_cast<int64_t>(result[i]) : 0;
+    }
+    col = Column::FromInts(std::move(ints));
+  } else {
+    col = Column::FromDoubles(std::move(result));
+  }
+  if (any_null) {
+    Bitmap bm(n, true);
+    for (size_t i = 0; i < n; ++i) {
+      if (!valid[i]) bm.Set(i, false);
+    }
+    MIP_RETURN_NOT_OK(col.SetValidity(std::move(bm)));
+  }
+  return col;
+}
+
+const char* VectorProgram::OpName(OpCode op) {
+  switch (op) {
+    case OpCode::kLoadCol:
+      return "load_col";
+    case OpCode::kLoadConst:
+      return "load_const";
+    case OpCode::kAdd:
+      return "add";
+    case OpCode::kSub:
+      return "sub";
+    case OpCode::kMul:
+      return "mul";
+    case OpCode::kDiv:
+      return "div";
+    case OpCode::kMod:
+      return "mod";
+    case OpCode::kNeg:
+      return "neg";
+    case OpCode::kAbs:
+      return "abs";
+    case OpCode::kSqrt:
+      return "sqrt";
+    case OpCode::kLog:
+      return "log";
+    case OpCode::kExp:
+      return "exp";
+    case OpCode::kFloor:
+      return "floor";
+    case OpCode::kCeil:
+      return "ceil";
+    case OpCode::kRound:
+      return "round";
+    case OpCode::kSign:
+      return "sign";
+    case OpCode::kPow:
+      return "pow";
+    case OpCode::kCmpEq:
+      return "cmp_eq";
+    case OpCode::kCmpNe:
+      return "cmp_ne";
+    case OpCode::kCmpLt:
+      return "cmp_lt";
+    case OpCode::kCmpLe:
+      return "cmp_le";
+    case OpCode::kCmpGt:
+      return "cmp_gt";
+    case OpCode::kCmpGe:
+      return "cmp_ge";
+    case OpCode::kAnd:
+      return "and";
+    case OpCode::kOr:
+      return "or";
+    case OpCode::kNot:
+      return "not";
+    case OpCode::kIsNull:
+      return "is_null";
+    case OpCode::kIsNotNull:
+      return "is_not_null";
+    case OpCode::kSelect:
+      return "select";
+  }
+  return "?";
+}
+
+std::string VectorProgram::Disassemble() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < instrs_.size(); ++i) {
+    const Instr& in = instrs_[i];
+    os << i << ": r" << in.dst << " = " << OpName(in.op);
+    if (in.op == OpCode::kLoadCol) {
+      os << " col#" << in.col;
+    } else if (in.op == OpCode::kLoadConst) {
+      os << " " << in.konst;
+    } else {
+      if (in.a >= 0) os << " r" << in.a;
+      if (in.b >= 0) os << " r" << in.b;
+    }
+    os << "\n";
+  }
+  os << "result: r" << result_reg_ << " (" << DataTypeName(result_type_)
+     << ")\n";
+  return os.str();
+}
+
+}  // namespace mip::engine

@@ -1,0 +1,466 @@
+#include "engine/vectorized.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "engine/function_registry.h"
+#include "engine/row_interpreter.h"
+
+namespace mip::engine {
+
+namespace {
+
+// Dense double view of a column: values where valid, NaN elsewhere.
+std::vector<double> DenseDoubles(const Column& col) {
+  std::vector<double> out(col.length());
+  for (size_t i = 0; i < col.length(); ++i) out[i] = col.AsDoubleAt(i);
+  return out;
+}
+
+// Dense validity view (1 = valid).
+std::vector<uint8_t> DenseValidity(const Column& col) {
+  std::vector<uint8_t> out(col.length(), 1);
+  if (col.has_validity()) {
+    for (size_t i = 0; i < col.length(); ++i) {
+      out[i] = col.validity().Get(i) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+Column MakeDoubleColumn(std::vector<double> values,
+                        const std::vector<uint8_t>& valid) {
+  const size_t n = values.size();
+  Column out = Column::FromDoubles(std::move(values));
+  bool any_null = false;
+  for (uint8_t v : valid) {
+    if (!v) {
+      any_null = true;
+      break;
+    }
+  }
+  if (any_null) {
+    Bitmap bm(n, true);
+    for (size_t i = 0; i < n; ++i) {
+      if (!valid[i]) bm.Set(i, false);
+    }
+    (void)out.SetValidity(std::move(bm));
+  }
+  return out;
+}
+
+Column MakeIntColumn(std::vector<int64_t> values,
+                     const std::vector<uint8_t>& valid) {
+  const size_t n = values.size();
+  Column out = Column::FromInts(std::move(values));
+  bool any_null = false;
+  for (uint8_t v : valid) {
+    if (!v) {
+      any_null = true;
+      break;
+    }
+  }
+  if (any_null) {
+    Bitmap bm(n, true);
+    for (size_t i = 0; i < n; ++i) {
+      if (!valid[i]) bm.Set(i, false);
+    }
+    (void)out.SetValidity(std::move(bm));
+  }
+  return out;
+}
+
+Column MakeBoolColumn(std::vector<uint8_t> values,
+                      const std::vector<uint8_t>& valid) {
+  const size_t n = values.size();
+  Column out = Column::FromBools(std::move(values));
+  bool any_null = false;
+  for (uint8_t v : valid) {
+    if (!v) {
+      any_null = true;
+      break;
+    }
+  }
+  if (any_null) {
+    Bitmap bm(n, true);
+    for (size_t i = 0; i < n; ++i) {
+      if (!valid[i]) bm.Set(i, false);
+    }
+    (void)out.SetValidity(std::move(bm));
+  }
+  return out;
+}
+
+Column BroadcastLiteral(const Value& v, size_t n) {
+  switch (v.kind()) {
+    case Value::Kind::kNull: {
+      Column c(DataType::kFloat64);
+      for (size_t i = 0; i < n; ++i) c.AppendNull();
+      return c;
+    }
+    case Value::Kind::kBool:
+      return Column::FromBools(
+          std::vector<uint8_t>(n, v.bool_value() ? 1 : 0));
+    case Value::Kind::kInt:
+      return Column::FromInts(std::vector<int64_t>(n, v.int_value()));
+    case Value::Kind::kDouble:
+      return Column::FromDoubles(std::vector<double>(n, v.double_value()));
+    case Value::Kind::kString:
+      return Column::FromStrings(
+          std::vector<std::string>(n, v.string_value()));
+  }
+  return Column(DataType::kFloat64);
+}
+
+Result<Column> EvalArithmetic(const Expr& expr, const Column& l,
+                              const Column& r) {
+  const size_t n = l.length();
+  std::vector<uint8_t> valid(n, 1);
+  const std::vector<uint8_t> lv = DenseValidity(l);
+  const std::vector<uint8_t> rv = DenseValidity(r);
+  for (size_t i = 0; i < n; ++i) valid[i] = lv[i] & rv[i];
+
+  if (expr.result_type == DataType::kInt64 &&
+      expr.binary_op != BinaryOp::kDiv) {
+    std::vector<int64_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = l.type() == DataType::kInt64
+                 ? l.IntAt(i)
+                 : static_cast<int64_t>(l.AsDoubleAt(i));
+      b[i] = r.type() == DataType::kInt64
+                 ? r.IntAt(i)
+                 : static_cast<int64_t>(r.AsDoubleAt(i));
+    }
+    std::vector<int64_t> out(n);
+    switch (expr.binary_op) {
+      case BinaryOp::kAdd:
+        for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+        break;
+      case BinaryOp::kSub:
+        for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+        break;
+      case BinaryOp::kMul:
+        for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+        break;
+      case BinaryOp::kMod:
+        for (size_t i = 0; i < n; ++i) {
+          if (b[i] == 0) {
+            valid[i] = 0;
+            out[i] = 0;
+          } else {
+            out[i] = a[i] % b[i];
+          }
+        }
+        break;
+      default:
+        return Status::Internal("bad int arithmetic op");
+    }
+    return MakeIntColumn(std::move(out), valid);
+  }
+
+  const std::vector<double> a = DenseDoubles(l);
+  const std::vector<double> b = DenseDoubles(r);
+  std::vector<double> out(n);
+  switch (expr.binary_op) {
+    case BinaryOp::kAdd:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+      break;
+    case BinaryOp::kSub:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+      break;
+    case BinaryOp::kMul:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+      break;
+    case BinaryOp::kDiv:
+      for (size_t i = 0; i < n; ++i) {
+        if (b[i] == 0.0) {
+          valid[i] = 0;
+          out[i] = 0.0;
+        } else {
+          out[i] = a[i] / b[i];
+        }
+      }
+      break;
+    case BinaryOp::kMod:
+      for (size_t i = 0; i < n; ++i) out[i] = std::fmod(a[i], b[i]);
+      break;
+    default:
+      return Status::Internal("bad arithmetic op");
+  }
+  return MakeDoubleColumn(std::move(out), valid);
+}
+
+Result<Column> EvalComparison(const Expr& expr, const Column& l,
+                              const Column& r) {
+  const size_t n = l.length();
+  std::vector<uint8_t> out(n, 0);
+  std::vector<uint8_t> valid(n, 1);
+  const std::vector<uint8_t> lv = DenseValidity(l);
+  const std::vector<uint8_t> rv = DenseValidity(r);
+
+  const bool strings =
+      l.type() == DataType::kString || r.type() == DataType::kString;
+  for (size_t i = 0; i < n; ++i) {
+    if (!(lv[i] & rv[i])) {
+      valid[i] = 0;
+      continue;
+    }
+    int cmp;
+    if (strings) {
+      cmp = l.StringAt(i).compare(r.StringAt(i));
+    } else {
+      const double a = l.AsDoubleAt(i);
+      const double b = r.AsDoubleAt(i);
+      cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+    }
+    bool res = false;
+    switch (expr.binary_op) {
+      case BinaryOp::kEq:
+        res = cmp == 0;
+        break;
+      case BinaryOp::kNe:
+        res = cmp != 0;
+        break;
+      case BinaryOp::kLt:
+        res = cmp < 0;
+        break;
+      case BinaryOp::kLe:
+        res = cmp <= 0;
+        break;
+      case BinaryOp::kGt:
+        res = cmp > 0;
+        break;
+      case BinaryOp::kGe:
+        res = cmp >= 0;
+        break;
+      default:
+        return Status::Internal("bad comparison op");
+    }
+    out[i] = res ? 1 : 0;
+  }
+  return MakeBoolColumn(std::move(out), valid);
+}
+
+Result<Column> EvalLogical(const Expr& expr, const Column& l,
+                           const Column& r) {
+  const size_t n = l.length();
+  std::vector<uint8_t> out(n, 0);
+  std::vector<uint8_t> valid(n, 1);
+  const std::vector<uint8_t> lv = DenseValidity(l);
+  const std::vector<uint8_t> rv = DenseValidity(r);
+  const bool is_and = expr.binary_op == BinaryOp::kAnd;
+  for (size_t i = 0; i < n; ++i) {
+    const bool lb = lv[i] && l.ValueAt(i).AsBool();
+    const bool rb = rv[i] && r.ValueAt(i).AsBool();
+    if (lv[i] && rv[i]) {
+      out[i] = (is_and ? (lb && rb) : (lb || rb)) ? 1 : 0;
+      continue;
+    }
+    // Three-valued logic with at least one NULL operand.
+    if (is_and) {
+      if ((lv[i] && !lb) || (rv[i] && !rb)) {
+        out[i] = 0;  // definite false
+      } else {
+        valid[i] = 0;
+      }
+    } else {
+      if ((lv[i] && lb) || (rv[i] && rb)) {
+        out[i] = 1;  // definite true
+      } else {
+        valid[i] = 0;
+      }
+    }
+  }
+  return MakeBoolColumn(std::move(out), valid);
+}
+
+using UnaryMathFn = double (*)(double);
+
+Result<Column> EvalBuiltinMath(const std::string& lower,
+                               const std::vector<Column>& argv) {
+  const Column& a = argv[0];
+  const size_t n = a.length();
+  std::vector<double> x = DenseDoubles(a);
+  std::vector<uint8_t> valid = DenseValidity(a);
+  std::vector<double> out(n);
+
+  UnaryMathFn fn = nullptr;
+  if (lower == "abs") fn = [](double v) { return std::fabs(v); };
+  else if (lower == "sqrt") fn = [](double v) { return std::sqrt(v); };
+  else if (lower == "ln" || lower == "log") fn = [](double v) { return std::log(v); };
+  else if (lower == "exp") fn = [](double v) { return std::exp(v); };
+  else if (lower == "floor") fn = [](double v) { return std::floor(v); };
+  else if (lower == "ceil") fn = [](double v) { return std::ceil(v); };
+  else if (lower == "round") fn = [](double v) { return std::round(v); };
+  else if (lower == "sign") fn = [](double v) { return v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0); };
+
+  if (fn != nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = fn(x[i]);
+    return MakeDoubleColumn(std::move(out), valid);
+  }
+  if (lower == "pow") {
+    const std::vector<double> y = DenseDoubles(argv[1]);
+    const std::vector<uint8_t> yv = DenseValidity(argv[1]);
+    for (size_t i = 0; i < n; ++i) {
+      valid[i] &= yv[i];
+      out[i] = std::pow(x[i], y[i]);
+    }
+    return MakeDoubleColumn(std::move(out), valid);
+  }
+  return Status::NotFound("unknown vectorized builtin '" + lower + "'");
+}
+
+}  // namespace
+
+Result<Column> EvalVectorized(const Expr& expr, const Table& table,
+                              const FunctionRegistry* registry) {
+  const size_t n = table.num_rows();
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return BroadcastLiteral(expr.literal, n);
+    case ExprKind::kColumnRef:
+      if (expr.bound_index < 0) {
+        return Status::Internal("unbound column '" + expr.column_name + "'");
+      }
+      return table.column(static_cast<size_t>(expr.bound_index));
+    case ExprKind::kUnary: {
+      MIP_ASSIGN_OR_RETURN(Column a,
+                           EvalVectorized(*expr.args[0], table, registry));
+      switch (expr.unary_op) {
+        case UnaryOp::kNeg: {
+          std::vector<uint8_t> valid = DenseValidity(a);
+          if (expr.result_type == DataType::kInt64) {
+            std::vector<int64_t> out(n);
+            for (size_t i = 0; i < n; ++i) out[i] = -a.IntAt(i);
+            return MakeIntColumn(std::move(out), valid);
+          }
+          std::vector<double> out = DenseDoubles(a);
+          for (double& v : out) v = -v;
+          return MakeDoubleColumn(std::move(out), valid);
+        }
+        case UnaryOp::kNot: {
+          std::vector<uint8_t> valid = DenseValidity(a);
+          std::vector<uint8_t> out(n, 0);
+          for (size_t i = 0; i < n; ++i) {
+            out[i] = a.ValueAt(i).AsBool() ? 0 : 1;
+          }
+          return MakeBoolColumn(std::move(out), valid);
+        }
+        case UnaryOp::kIsNull: {
+          std::vector<uint8_t> out(n, 0);
+          for (size_t i = 0; i < n; ++i) out[i] = a.IsValid(i) ? 0 : 1;
+          return Column::FromBools(std::move(out));
+        }
+        case UnaryOp::kIsNotNull: {
+          std::vector<uint8_t> out(n, 0);
+          for (size_t i = 0; i < n; ++i) out[i] = a.IsValid(i) ? 1 : 0;
+          return Column::FromBools(std::move(out));
+        }
+      }
+      return Status::Internal("bad unary op");
+    }
+    case ExprKind::kBinary: {
+      MIP_ASSIGN_OR_RETURN(Column l,
+                           EvalVectorized(*expr.args[0], table, registry));
+      MIP_ASSIGN_OR_RETURN(Column r,
+                           EvalVectorized(*expr.args[1], table, registry));
+      switch (expr.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return EvalArithmetic(expr, l, r);
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          return EvalLogical(expr, l, r);
+        default:
+          return EvalComparison(expr, l, r);
+      }
+    }
+    case ExprKind::kCall: {
+      const std::string lower = ToLower(expr.func_name);
+      std::vector<Column> argv;
+      argv.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a, table, registry));
+        argv.push_back(std::move(c));
+      }
+      // Generic variadic/string builtins and registered UDFs fall back to a
+      // row loop over the already-evaluated argument columns.
+      const bool generic = lower == "coalesce" || lower == "least" ||
+                           lower == "greatest" || lower == "like" ||
+                           StartsWith(lower, "cast_") ||
+                           (registry != nullptr &&
+                            registry->FindScalar(lower) != nullptr);
+      if (!generic) return EvalBuiltinMath(lower, argv);
+
+      Column out(expr.result_type);
+      std::vector<Value> row_args(argv.size());
+      const auto* udf =
+          registry != nullptr ? registry->FindScalar(lower) : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < argv.size(); ++j) {
+          row_args[j] = argv[j].ValueAt(i);
+        }
+        Value v;
+        if (udf != nullptr) {
+          v = udf->fn(row_args);
+        } else {
+          MIP_ASSIGN_OR_RETURN(v, EvalScalarBuiltin(lower, row_args));
+        }
+        MIP_RETURN_NOT_OK(out.AppendValue(v));
+      }
+      return out;
+    }
+    case ExprKind::kAggregate:
+      return Status::ExecutionError("aggregate in scalar vectorized context");
+    case ExprKind::kStar:
+      return Status::ExecutionError("'*' outside COUNT(*)");
+    case ExprKind::kCase: {
+      // Evaluate all conditions and branches column-wise, then select.
+      std::vector<Column> evaluated;
+      evaluated.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a, table, registry));
+        evaluated.push_back(std::move(c));
+      }
+      Column out(expr.result_type);
+      for (size_t r = 0; r < n; ++r) {
+        Value v;  // NULL when nothing matches and no ELSE
+        bool matched = false;
+        size_t i = 0;
+        for (; i + 1 < evaluated.size(); i += 2) {
+          if (evaluated[i].IsValid(r) &&
+              evaluated[i].ValueAt(r).AsBool()) {
+            v = evaluated[i + 1].ValueAt(r);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched && i < evaluated.size()) {
+          v = evaluated[i].ValueAt(r);
+        }
+        MIP_RETURN_NOT_OK(out.AppendValue(v));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<std::vector<int64_t>> EvalPredicate(const Expr& expr,
+                                           const Table& table,
+                                           const FunctionRegistry* registry) {
+  MIP_ASSIGN_OR_RETURN(Column pred, EvalVectorized(expr, table, registry));
+  std::vector<int64_t> sel;
+  sel.reserve(table.num_rows());
+  for (size_t i = 0; i < pred.length(); ++i) {
+    if (pred.IsValid(i) && pred.ValueAt(i).AsBool()) {
+      sel.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return sel;
+}
+
+}  // namespace mip::engine

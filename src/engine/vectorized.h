@@ -1,0 +1,33 @@
+#ifndef MIP_ENGINE_VECTORIZED_H_
+#define MIP_ENGINE_VECTORIZED_H_
+
+#include "common/result.h"
+#include "engine/expr.h"
+#include "engine/table.h"
+
+namespace mip::engine {
+
+class FunctionRegistry;
+
+/// \brief Column-at-a-time expression evaluation.
+///
+/// Each operator node materializes a full intermediate column and applies a
+/// tight loop over raw arrays — the execution model of columnar engines like
+/// the one MIP deploys on each Worker. Fast for analytics; intermediates are
+/// full-column sized (the JIT-fused VectorProgram removes that memory
+/// traffic, see engine/vector_program.h).
+///
+/// The expression must have been bound with BindExpr against the table's
+/// schema.
+Result<Column> EvalVectorized(const Expr& expr, const Table& table,
+                              const FunctionRegistry* registry = nullptr);
+
+/// \brief Evaluates a predicate expression to a selection vector: indices of
+/// rows where the predicate is non-null and true.
+Result<std::vector<int64_t>> EvalPredicate(
+    const Expr& expr, const Table& table,
+    const FunctionRegistry* registry = nullptr);
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_VECTORIZED_H_

@@ -1,0 +1,274 @@
+#include "etl/cde.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mip::etl {
+
+Status CdeCatalog::AddVariable(CdeVariable variable) {
+  for (const CdeVariable& v : variables_) {
+    if (EqualsIgnoreCase(v.name, variable.name)) {
+      return Status::AlreadyExists("CDE '" + variable.name +
+                                   "' already defined");
+    }
+  }
+  variables_.push_back(std::move(variable));
+  return Status::OK();
+}
+
+Result<const CdeVariable*> CdeCatalog::GetVariable(
+    const std::string& name) const {
+  for (const CdeVariable& v : variables_) {
+    if (EqualsIgnoreCase(v.name, name)) return &v;
+  }
+  return Status::NotFound("no CDE named '" + name + "'");
+}
+
+const CdeVariable* CdeCatalog::Resolve(const std::string& source_name) const {
+  for (const CdeVariable& v : variables_) {
+    if (EqualsIgnoreCase(v.name, source_name)) return &v;
+    for (const std::string& alias : v.aliases) {
+      if (EqualsIgnoreCase(alias, source_name)) return &v;
+    }
+  }
+  return nullptr;
+}
+
+CdeCatalog DementiaCatalog() {
+  CdeCatalog catalog("dementia");
+  auto add = [&catalog](const std::string& name, const std::string& label,
+                        engine::DataType type, bool required, double min_v,
+                        double max_v, std::vector<std::string> enumeration,
+                        std::vector<std::string> aliases) {
+    CdeVariable v;
+    v.name = name;
+    v.label = label;
+    v.type = type;
+    v.required = required;
+    v.min_value = min_v;
+    v.max_value = max_v;
+    v.enumeration = std::move(enumeration);
+    v.aliases = std::move(aliases);
+    (void)catalog.AddVariable(std::move(v));
+  };
+
+  add("subject_id", "Pseudonymized subject identifier",
+      engine::DataType::kString, true, 0, 0, {}, {"id", "patient_id"});
+  add("diagnosis", "Clinical diagnosis", engine::DataType::kString, true, 0,
+      0, {"CN", "MCI", "AD", "Other"}, {"dx", "alzheimerbroadcategory"});
+  add("age", "Age at visit (years)", engine::DataType::kFloat64, false, 18,
+      110, {}, {"subjectage", "age_value"});
+  add("sex", "Biological sex", engine::DataType::kString, false, 0, 0,
+      {"M", "F"}, {"gender"});
+  add("mmse", "Mini Mental State Examination total",
+      engine::DataType::kFloat64, false, 0, 30, {}, {"minimentalstate"});
+  add("left_hippocampus", "Left hippocampus volume (cm3)",
+      engine::DataType::kFloat64, false, 0.5, 8, {}, {"lefthippocampus"});
+  add("right_hippocampus", "Right hippocampus volume (cm3)",
+      engine::DataType::kFloat64, false, 0.5, 8, {}, {"righthippocampus"});
+  add("left_entorhinal_area", "Left entorhinal area volume (cm3)",
+      engine::DataType::kFloat64, false, 0.2, 5, {},
+      {"leftententorhinalarea"});
+  add("lateral_ventricles", "Lateral ventricles volume (cm3)",
+      engine::DataType::kFloat64, false, 2, 200, {},
+      {"rightinflatvent", "lateralventricles"});
+  add("abeta42", "CSF amyloid beta 1-42 (pg/ml)",
+      engine::DataType::kFloat64, false, 50, 2500, {},
+      {"ab42", "csf_abeta42"});
+  add("p_tau", "CSF phosphorylated tau (pg/ml)", engine::DataType::kFloat64,
+      false, 3, 400, {}, {"ptau", "csf_ptau"});
+  return catalog;
+}
+
+CdeCatalog EpilepsyCatalog() {
+  CdeCatalog catalog("epilepsy");
+  auto add = [&catalog](const std::string& name, const std::string& label,
+                        engine::DataType type, bool required, double min_v,
+                        double max_v, std::vector<std::string> enumeration,
+                        std::vector<std::string> aliases) {
+    CdeVariable v;
+    v.name = name;
+    v.label = label;
+    v.type = type;
+    v.required = required;
+    v.min_value = min_v;
+    v.max_value = max_v;
+    v.enumeration = std::move(enumeration);
+    v.aliases = std::move(aliases);
+    (void)catalog.AddVariable(std::move(v));
+  };
+  add("subject_id", "Pseudonymized subject identifier",
+      engine::DataType::kString, true, 0, 0, {}, {"id"});
+  add("age", "Age at evaluation (years)", engine::DataType::kFloat64, false,
+      1, 100, {}, {});
+  add("age_at_onset", "Age at first seizure (years)",
+      engine::DataType::kFloat64, false, 0, 100, {}, {"onset_age"});
+  add("seizure_frequency", "Seizures per month",
+      engine::DataType::kFloat64, false, 0, 3000, {}, {"sz_freq"});
+  add("ieeg_spike_rate", "Intracerebral EEG spikes per minute",
+      engine::DataType::kFloat64, false, 0, 1000, {}, {"spike_rate"});
+  add("ieeg_hfo_rate", "High-frequency oscillations per minute (iEEG)",
+      engine::DataType::kFloat64, false, 0, 500, {}, {"hfo_rate"});
+  add("mri_lesional", "Lesion visible on MRI", engine::DataType::kString,
+      false, 0, 0, {"yes", "no"}, {"lesional"});
+  add("engel_class", "Engel surgical outcome class",
+      engine::DataType::kString, false, 0, 0, {"I", "II", "III", "IV"},
+      {"engel"});
+  return catalog;
+}
+
+CdeCatalog TbiCatalog() {
+  CdeCatalog catalog("traumatic_brain_injury");
+  auto add = [&catalog](const std::string& name, const std::string& label,
+                        engine::DataType type, bool required, double min_v,
+                        double max_v, std::vector<std::string> enumeration,
+                        std::vector<std::string> aliases) {
+    CdeVariable v;
+    v.name = name;
+    v.label = label;
+    v.type = type;
+    v.required = required;
+    v.min_value = min_v;
+    v.max_value = max_v;
+    v.enumeration = std::move(enumeration);
+    v.aliases = std::move(aliases);
+    (void)catalog.AddVariable(std::move(v));
+  };
+  add("subject_id", "Pseudonymized subject identifier",
+      engine::DataType::kString, true, 0, 0, {}, {"id"});
+  add("age", "Age at injury (years)", engine::DataType::kFloat64, false, 0,
+      110, {}, {});
+  add("gcs_total", "Glasgow Coma Scale total (3-15)",
+      engine::DataType::kFloat64, false, 3, 15, {}, {"gcs"});
+  add("pupils", "Pupillary reactivity", engine::DataType::kString, false, 0,
+      0, {"both", "one", "none"}, {"pupil_react"});
+  add("predicted_mortality", "Model-predicted 6-month mortality",
+      engine::DataType::kFloat64, false, 0, 1, {}, {"pred_mort"});
+  add("mortality_6m", "Observed 6-month mortality (0/1)",
+      engine::DataType::kFloat64, false, 0, 1, {}, {"died"});
+  return catalog;
+}
+
+Result<engine::Table> Harmonize(const engine::Table& source,
+                                const CdeCatalog& catalog,
+                                HarmonizationReport* report) {
+  HarmonizationReport local_report;
+  HarmonizationReport* rep = report != nullptr ? report : &local_report;
+  *rep = HarmonizationReport();
+  rep->rows_in = static_cast<int64_t>(source.num_rows());
+
+  // Map source columns to CDEs, preserving catalog order in the output.
+  struct Mapping {
+    const CdeVariable* cde;
+    size_t source_col;
+  };
+  std::vector<Mapping> mappings;
+  std::vector<bool> cde_used(catalog.variables().size(), false);
+  for (size_t c = 0; c < source.num_columns(); ++c) {
+    const std::string& name = source.schema().field(c).name;
+    const CdeVariable* cde = catalog.Resolve(name);
+    if (cde == nullptr) {
+      rep->unmapped_columns.push_back(name);
+      continue;
+    }
+    mappings.push_back({cde, c});
+  }
+  // Order mappings by catalog position.
+  std::vector<Mapping> ordered;
+  for (const CdeVariable& v : catalog.variables()) {
+    for (const Mapping& m : mappings) {
+      if (m.cde == &v) {
+        ordered.push_back(m);
+        break;
+      }
+    }
+  }
+
+  engine::Schema schema;
+  for (const Mapping& m : ordered) {
+    MIP_RETURN_NOT_OK(
+        schema.AddField(engine::Field{m.cde->name, m.cde->type}));
+  }
+  engine::Table out = engine::Table::Empty(std::move(schema));
+
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    std::vector<engine::Value> row;
+    row.reserve(ordered.size());
+    bool drop = false;
+    for (const Mapping& m : ordered) {
+      engine::Value v = source.At(r, m.source_col);
+      // Type coercion.
+      if (!v.is_null()) {
+        if (m.cde->type == engine::DataType::kFloat64 ||
+            m.cde->type == engine::DataType::kInt64) {
+          if (v.kind() == engine::Value::Kind::kString) {
+            char* end = nullptr;
+            const double parsed = std::strtod(v.string_value().c_str(), &end);
+            if (end == v.string_value().c_str() + v.string_value().size() &&
+                !v.string_value().empty()) {
+              v = engine::Value::Double(parsed);
+            } else {
+              v = engine::Value::Null();
+              ++rep->cells_nulled_bad_enum;
+            }
+          }
+          if (!v.is_null() && m.cde->min_value != m.cde->max_value) {
+            const double x = v.AsDouble();
+            if (x < m.cde->min_value || x > m.cde->max_value) {
+              v = engine::Value::Null();
+              ++rep->cells_nulled_out_of_range;
+            }
+          }
+          if (!v.is_null() && m.cde->type == engine::DataType::kInt64) {
+            v = engine::Value::Int(v.AsInt());
+          }
+        } else if (m.cde->type == engine::DataType::kString) {
+          if (v.kind() != engine::Value::Kind::kString) {
+            v = engine::Value::String(v.ToString());
+          }
+          if (!m.cde->enumeration.empty()) {
+            bool ok = false;
+            for (const std::string& e : m.cde->enumeration) {
+              if (EqualsIgnoreCase(e, v.string_value())) {
+                v = engine::Value::String(e);  // canonical casing
+                ok = true;
+                break;
+              }
+            }
+            if (!ok) {
+              v = engine::Value::Null();
+              ++rep->cells_nulled_bad_enum;
+            }
+          }
+        }
+      }
+      if (v.is_null() && m.cde->required) {
+        drop = true;
+        break;
+      }
+      row.push_back(std::move(v));
+    }
+    if (drop) {
+      ++rep->rows_dropped_missing_required;
+      continue;
+    }
+    MIP_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  rep->rows_out = static_cast<int64_t>(out.num_rows());
+  return out;
+}
+
+std::string HarmonizationReport::ToString() const {
+  std::ostringstream os;
+  os << "Harmonization: " << rows_in << " rows in, " << rows_out
+     << " rows out, " << rows_dropped_missing_required
+     << " dropped (missing required), " << cells_nulled_out_of_range
+     << " cells nulled (range), " << cells_nulled_bad_enum
+     << " cells nulled (enumeration), " << unmapped_columns.size()
+     << " unmapped columns\n";
+  return os.str();
+}
+
+}  // namespace mip::etl

@@ -1,0 +1,88 @@
+#ifndef MIP_ETL_CDE_H_
+#define MIP_ETL_CDE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace mip::etl {
+
+/// \brief A Common Data Element: the harmonized definition of one clinical
+/// variable that every federated hospital must conform to before its data
+/// enters the Worker engine.
+struct CdeVariable {
+  std::string name;        ///< harmonized name
+  std::string label;       ///< human-readable description
+  engine::DataType type = engine::DataType::kFloat64;
+  bool required = false;   ///< rows missing it are dropped
+  /// Accepted range for numerics (ignored when min == max == 0).
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// Accepted values for categoricals (empty = anything).
+  std::vector<std::string> enumeration;
+  /// Source-column aliases this CDE harmonizes from (e.g. "ptau" for
+  /// "p_tau").
+  std::vector<std::string> aliases;
+};
+
+/// \brief A CDE catalog for one pathology domain (dementia, epilepsy, ...).
+class CdeCatalog {
+ public:
+  explicit CdeCatalog(std::string domain) : domain_(std::move(domain)) {}
+
+  const std::string& domain() const { return domain_; }
+
+  Status AddVariable(CdeVariable variable);
+  Result<const CdeVariable*> GetVariable(const std::string& name) const;
+  const std::vector<CdeVariable>& variables() const { return variables_; }
+
+  /// Resolves a source-column name (exact or alias, case-insensitive) to
+  /// the harmonized variable, or nullptr.
+  const CdeVariable* Resolve(const std::string& source_name) const;
+
+ private:
+  std::string domain_;
+  std::vector<CdeVariable> variables_;
+};
+
+/// \brief The dementia CDE catalog used by the examples and benchmarks —
+/// the variables visible in the paper's dashboard (Figure 3): brain
+/// volumes, CSF biomarkers, diagnosis, demographics.
+CdeCatalog DementiaCatalog();
+
+/// \brief Epilepsy CDEs (the paper: pathologies include epilepsy; data
+/// types include intracerebral EEG): seizure burden, iEEG spike metrics,
+/// surgery outcome (Engel class).
+CdeCatalog EpilepsyCatalog();
+
+/// \brief Traumatic-brain-injury CDEs (GCS, pupils, predicted mortality) —
+/// the domain the Calibration Belt was built for.
+CdeCatalog TbiCatalog();
+
+/// \brief Outcome of a harmonization pass over one source table.
+struct HarmonizationReport {
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  int64_t cells_nulled_out_of_range = 0;
+  int64_t cells_nulled_bad_enum = 0;
+  int64_t rows_dropped_missing_required = 0;
+  std::vector<std::string> unmapped_columns;  ///< ignored source columns
+
+  std::string ToString() const;
+};
+
+/// \brief Harmonizes a raw source table against a CDE catalog: renames
+/// aliased columns, coerces types, nulls out-of-range numerics and
+/// out-of-enumeration categoricals, drops rows missing required variables.
+/// Output columns follow the catalog's order (only variables present in the
+/// source appear).
+Result<engine::Table> Harmonize(const engine::Table& source,
+                                const CdeCatalog& catalog,
+                                HarmonizationReport* report = nullptr);
+
+}  // namespace mip::etl
+
+#endif  // MIP_ETL_CDE_H_

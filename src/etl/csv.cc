@@ -1,0 +1,208 @@
+#include "etl/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mip::etl {
+
+namespace {
+
+// Splits one CSV record honoring quotes; returns false on unterminated
+// quote.
+bool SplitRecord(const std::string& line, char delim,
+                 std::vector<std::string>* out) {
+  out->clear();
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      out->push_back(cell);
+      cell.clear();
+    } else if (c == '\r') {
+      // ignore
+    } else {
+      cell.push_back(c);
+    }
+  }
+  out->push_back(cell);
+  return !in_quotes;
+}
+
+bool IsNullToken(const std::string& cell, const CsvOptions& options) {
+  for (const std::string& t : options.null_tokens) {
+    if (cell == t) return true;
+  }
+  return false;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Result<engine::Table> ReadCsvString(const std::string& text,
+                                    const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    if (!SplitRecord(line, options.delimiter, &cells)) {
+      return Status::ParseError("unterminated quote in CSV record");
+    }
+    records.push_back(std::move(cells));
+  }
+  if (records.empty()) return Status::ParseError("empty CSV input");
+
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      names.push_back("col" + std::to_string(i));
+    }
+  }
+  const size_t width = names.size();
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::ParseError("CSV row " + std::to_string(r) + " has " +
+                                std::to_string(records[r].size()) +
+                                " cells, expected " + std::to_string(width));
+    }
+  }
+
+  // Type inference per column.
+  std::vector<engine::DataType> types(width, engine::DataType::kString);
+  if (options.infer_types) {
+    for (size_t c = 0; c < width; ++c) {
+      bool all_int = true;
+      bool all_double = true;
+      bool any_value = false;
+      for (size_t r = first_data; r < records.size(); ++r) {
+        const std::string& cell = records[r][c];
+        if (IsNullToken(cell, options)) continue;
+        any_value = true;
+        if (!LooksLikeInt(cell)) all_int = false;
+        if (!LooksLikeDouble(cell)) all_double = false;
+      }
+      if (any_value && all_int) {
+        types[c] = engine::DataType::kInt64;
+      } else if (any_value && all_double) {
+        types[c] = engine::DataType::kFloat64;
+      }
+    }
+  }
+
+  engine::Schema schema;
+  for (size_t c = 0; c < width; ++c) {
+    MIP_RETURN_NOT_OK(schema.AddField(engine::Field{names[c], types[c]}));
+  }
+  engine::Table table = engine::Table::Empty(std::move(schema));
+  for (size_t r = first_data; r < records.size(); ++r) {
+    std::vector<engine::Value> row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& cell = records[r][c];
+      if (IsNullToken(cell, options)) {
+        row.push_back(engine::Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case engine::DataType::kInt64:
+          row.push_back(
+              engine::Value::Int(std::strtoll(cell.c_str(), nullptr, 10)));
+          break;
+        case engine::DataType::kFloat64:
+          row.push_back(
+              engine::Value::Double(std::strtod(cell.c_str(), nullptr)));
+          break;
+        default:
+          row.push_back(engine::Value::String(cell));
+          break;
+      }
+    }
+    MIP_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<engine::Table> ReadCsvFile(const std::string& path,
+                                  const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const engine::Table& table, char delimiter) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) os << delimiter;
+    os << table.schema().field(c).name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << delimiter;
+      const engine::Value v = table.At(r, c);
+      if (v.is_null()) continue;
+      std::string s = v.ToString();
+      if (s.find(delimiter) != std::string::npos ||
+          s.find('"') != std::string::npos) {
+        std::string quoted = "\"";
+        for (char ch : s) {
+          if (ch == '"') quoted += "\"\"";
+          else quoted.push_back(ch);
+        }
+        quoted += "\"";
+        s = quoted;
+      }
+      os << s;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const engine::Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table, delimiter);
+  return Status::OK();
+}
+
+}  // namespace mip::etl

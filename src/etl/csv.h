@@ -1,0 +1,42 @@
+#ifndef MIP_ETL_CSV_H_
+#define MIP_ETL_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace mip::etl {
+
+/// \brief Options for CSV ingestion (hospital source data arrives as CSV in
+/// MIP deployments; the ETL uploads it into the analytics engine).
+struct CsvOptions {
+  char delimiter = ',';
+  bool header = true;
+  /// Cells equal to any of these become NULL.
+  std::vector<std::string> null_tokens = {"", "NA", "null", "NULL", "NaN"};
+  /// When true, column types are inferred (int -> double -> string);
+  /// otherwise everything is read as string.
+  bool infer_types = true;
+};
+
+/// Parses CSV text into a table. Quoted fields ("a,b", doubled quotes)
+/// are supported.
+Result<engine::Table> ReadCsvString(const std::string& text,
+                                    const CsvOptions& options = CsvOptions());
+
+/// Reads a CSV file from disk.
+Result<engine::Table> ReadCsvFile(const std::string& path,
+                                  const CsvOptions& options = CsvOptions());
+
+/// Renders a table as CSV text (header + rows, NULL as empty cell).
+std::string WriteCsvString(const engine::Table& table,
+                           char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const engine::Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace mip::etl
+
+#endif  // MIP_ETL_CSV_H_

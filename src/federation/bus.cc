@@ -1,0 +1,34 @@
+#include "federation/bus.h"
+
+namespace mip::federation {
+
+Status MessageBus::RegisterEndpoint(const std::string& node_id,
+                                    Handler handler) {
+  if (endpoints_.count(node_id) > 0) {
+    return Status::AlreadyExists("endpoint '" + node_id +
+                                 "' already registered");
+  }
+  endpoints_.emplace(node_id, std::move(handler));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> MessageBus::Send(Envelope envelope) {
+  auto it = endpoints_.find(envelope.to);
+  if (it == endpoints_.end()) {
+    return Status::NotFound("no endpoint '" + envelope.to + "' on the bus");
+  }
+  const uint64_t request_bytes = envelope.payload.size();
+  stats_.messages += 1;
+  stats_.bytes += request_bytes;
+  Result<std::vector<uint8_t>> reply = it->second(envelope);
+  if (!reply.ok()) return reply;
+  stats_.messages += 1;
+  stats_.bytes += reply.ValueOrDie().size();
+  if (keep_log_) {
+    log_.push_back({envelope.from, envelope.to, envelope.type, request_bytes,
+                    reply.ValueOrDie().size()});
+  }
+  return reply;
+}
+
+}  // namespace mip::federation

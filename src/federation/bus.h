@@ -1,0 +1,82 @@
+#ifndef MIP_FEDERATION_BUS_H_
+#define MIP_FEDERATION_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mip::federation {
+
+/// \brief One message on the federation bus (the Celery/RabbitMQ stand-in).
+struct Envelope {
+  std::string from;
+  std::string to;
+  std::string type;  ///< message kind (e.g. "local_run", "fetch_table")
+  std::string job_id;
+  std::vector<uint8_t> payload;
+};
+
+/// \brief Per-link traffic accounting plus a simple latency model, so
+/// experiments can report simulated network time for inter-hospital links.
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  /// latency-per-message + bytes/bandwidth.
+  double SimulatedSeconds(double latency_ms_per_message,
+                          double bandwidth_mbps) const {
+    return static_cast<double>(messages) * latency_ms_per_message / 1e3 +
+           static_cast<double>(bytes) * 8.0 / (bandwidth_mbps * 1e6);
+  }
+};
+
+/// \brief In-process, synchronous message bus connecting the Master, the
+/// Workers and the SMPC cluster front end.
+///
+/// Every payload that crosses a node boundary goes through Send() as
+/// serialized bytes — there is no back door — so the byte counts are honest
+/// and "only aggregated, encrypted data leaves the hospital" is checkable
+/// in tests by inspecting the traffic log.
+class MessageBus {
+ public:
+  /// A handler consumes an envelope and produces a serialized reply payload.
+  using Handler =
+      std::function<Result<std::vector<uint8_t>>(const Envelope&)>;
+
+  /// Registers an endpoint (node id must be unique).
+  Status RegisterEndpoint(const std::string& node_id, Handler handler);
+
+  /// Sends a request and returns the reply payload. Both directions are
+  /// metered.
+  Result<std::vector<uint8_t>> Send(Envelope envelope);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats(); }
+
+  /// Log of (from, to, type, bytes) for traffic-audit tests.
+  struct LogEntry {
+    std::string from;
+    std::string to;
+    std::string type;
+    uint64_t request_bytes;
+    uint64_t reply_bytes;
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+  void ClearLog() { log_.clear(); }
+  /// When false (default) the log is not kept (hot paths stay cheap).
+  void set_keep_log(bool keep) { keep_log_ = keep; }
+
+ private:
+  std::map<std::string, Handler> endpoints_;
+  NetworkStats stats_;
+  std::vector<LogEntry> log_;
+  bool keep_log_ = false;
+};
+
+}  // namespace mip::federation
+
+#endif  // MIP_FEDERATION_BUS_H_

@@ -1,0 +1,216 @@
+#include "federation/master.h"
+
+#include <set>
+
+namespace mip::federation {
+
+Result<std::vector<TransferData>> FederationSession::LocalRun(
+    const std::string& func, const TransferData& args) {
+  std::vector<TransferData> results;
+  results.reserve(worker_ids_.size());
+  for (const std::string& wid : worker_ids_) {
+    BufferWriter writer;
+    writer.WriteString(func);
+    writer.WriteString("");  // no SMPC job on the plain path
+    args.Serialize(&writer);
+    Envelope envelope{"master", wid, "local_run", job_id_,
+                      writer.TakeBytes()};
+    MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                         master_->bus_.Send(std::move(envelope)));
+    BufferReader reader(reply);
+    MIP_ASSIGN_OR_RETURN(TransferData t, TransferData::Deserialize(&reader));
+    results.push_back(std::move(t));
+  }
+  return results;
+}
+
+Result<TransferData> FederationSession::LocalRunAndAggregate(
+    const std::string& func, const TransferData& args, AggregationMode mode,
+    const smpc::NoiseSpec& noise) {
+  if (mode == AggregationMode::kPlain) {
+    MIP_ASSIGN_OR_RETURN(std::vector<TransferData> parts,
+                         LocalRun(func, args));
+    return TransferData::SumMerge(parts);
+  }
+  // Secure path: each worker imports its transfer into the SMPC cluster;
+  // only shapes travel on the bus.
+  const std::string smpc_job = NextSmpcJobId();
+  std::vector<TransferData> shapes;
+  for (const std::string& wid : worker_ids_) {
+    BufferWriter writer;
+    writer.WriteString(func);
+    writer.WriteString(smpc_job);
+    args.Serialize(&writer);
+    Envelope envelope{"master", wid, "local_run_secure", job_id_,
+                      writer.TakeBytes()};
+    MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                         master_->bus_.Send(std::move(envelope)));
+    BufferReader reader(reply);
+    MIP_ASSIGN_OR_RETURN(TransferData shape,
+                         TransferData::Deserialize(&reader));
+    shapes.push_back(std::move(shape));
+  }
+  if (shapes.empty()) {
+    return Status::ExecutionError("no workers in session");
+  }
+  MIP_RETURN_NOT_OK(
+      master_->smpc_.Compute(smpc_job, smpc::SmpcOp::kSum, noise));
+  MIP_ASSIGN_OR_RETURN(std::vector<double> flat,
+                       master_->smpc_.GetResult(smpc_job));
+  return shapes[0].UnflattenNumeric(flat);
+}
+
+Result<std::vector<double>> FederationSession::LocalRunSecureOp(
+    const std::string& func, const TransferData& args,
+    const std::string& vector_key, smpc::SmpcOp op) {
+  const std::string smpc_job = NextSmpcJobId();
+  for (const std::string& wid : worker_ids_) {
+    // Run plainly on the worker but import only the requested vector.
+    WorkerNode* worker = master_->GetWorker(wid);
+    if (worker == nullptr) return Status::NotFound("worker " + wid);
+    MIP_ASSIGN_OR_RETURN(TransferData result,
+                         worker->RunLocal(func, job_id_, args));
+    MIP_ASSIGN_OR_RETURN(std::vector<double> vec,
+                         result.GetVector(vector_key));
+    MIP_RETURN_NOT_OK(master_->smpc_.ImportShares(smpc_job, vec));
+  }
+  MIP_RETURN_NOT_OK(master_->smpc_.Compute(smpc_job, op));
+  return master_->smpc_.GetResult(smpc_job);
+}
+
+MasterNode::MasterNode(MasterConfig config)
+    : config_(config),
+      smpc_(config.smpc),
+      local_db_("master_db"),
+      functions_(std::make_shared<LocalFunctionRegistry>()),
+      rng_(config.seed) {
+  // The Master's local engine resolves REMOTE tables over the bus.
+  local_db_.SetRemoteFetcher(
+      [this](const std::string& location,
+             const std::string& remote_name) -> Result<engine::Table> {
+        BufferWriter writer;
+        writer.WriteString(remote_name);
+        Envelope envelope{"master", location, "fetch_table", "",
+                          writer.TakeBytes()};
+        MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                             bus_.Send(std::move(envelope)));
+        BufferReader reader(reply);
+        return engine::DeserializeTable(&reader);
+      });
+  // ... and pushes partial aggregates to the data when it can.
+  local_db_.SetRemoteQueryRunner(
+      [this](const std::string& location,
+             const std::string& sql) -> Result<engine::Table> {
+        BufferWriter writer;
+        writer.WriteString(sql);
+        Envelope envelope{"master", location, "run_sql", "",
+                          writer.TakeBytes()};
+        MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                             bus_.Send(std::move(envelope)));
+        BufferReader reader(reply);
+        return engine::DeserializeTable(&reader);
+      });
+}
+
+Result<WorkerNode*> MasterNode::AddWorker(const std::string& worker_id) {
+  for (const auto& w : workers_) {
+    if (w->id() == worker_id) {
+      return Status::AlreadyExists("worker '" + worker_id + "' exists");
+    }
+  }
+  auto worker = std::make_unique<WorkerNode>(worker_id, functions_,
+                                             rng_.NextUint64());
+  MIP_RETURN_NOT_OK(worker->AttachToBus(&bus_));
+  worker->SetSmpcCluster(&smpc_);
+  workers_.push_back(std::move(worker));
+  return workers_.back().get();
+}
+
+WorkerNode* MasterNode::GetWorker(const std::string& worker_id) {
+  for (const auto& w : workers_) {
+    if (w->id() == worker_id) return w.get();
+  }
+  return nullptr;
+}
+
+Status MasterNode::LoadDataset(const std::string& worker_id,
+                               const std::string& dataset_name,
+                               engine::Table data) {
+  WorkerNode* worker = GetWorker(worker_id);
+  if (worker == nullptr) {
+    return Status::NotFound("no worker '" + worker_id + "'");
+  }
+  MIP_RETURN_NOT_OK(worker->LoadDataset(dataset_name, std::move(data)));
+  auto& holders = catalog_[dataset_name];
+  for (const std::string& h : holders) {
+    if (h == worker_id) return Status::OK();
+  }
+  holders.push_back(worker_id);
+  return Status::OK();
+}
+
+std::vector<std::string> MasterNode::WorkersWithDatasets(
+    const std::vector<std::string>& datasets) const {
+  if (datasets.empty()) {
+    std::vector<std::string> all;
+    for (const auto& w : workers_) all.push_back(w->id());
+    return all;
+  }
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const std::string& ds : datasets) {
+    auto it = catalog_.find(ds);
+    if (it == catalog_.end()) continue;
+    for (const std::string& wid : it->second) {
+      if (seen.insert(wid).second) out.push_back(wid);
+    }
+  }
+  return out;
+}
+
+Result<FederationSession> MasterNode::StartSession(
+    const std::vector<std::string>& datasets) {
+  std::vector<std::string> workers = WorkersWithDatasets(datasets);
+  if (workers.empty()) {
+    return Status::NotFound("no workers hold the requested datasets");
+  }
+  const std::string job_id =
+      "job-" + std::to_string(++job_counter_) + "-" +
+      std::to_string(rng_.NextUint64() & 0xFFFFFFull);
+  return FederationSession(this, job_id, std::move(workers), datasets);
+}
+
+Result<std::string> MasterNode::CreateFederatedView(
+    const std::string& dataset_name) {
+  auto it = catalog_.find(dataset_name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("dataset '" + dataset_name +
+                            "' not in the catalog");
+  }
+  std::vector<std::string> part_names;
+  for (const std::string& wid : it->second) {
+    const std::string part = dataset_name + "_" + wid;
+    if (!local_db_.HasTable(part)) {
+      MIP_ASSIGN_OR_RETURN(
+          engine::Table ignored,
+          local_db_.ExecuteSql("CREATE REMOTE TABLE " + part + " ON '" + wid +
+                               "' AS " + dataset_name));
+      (void)ignored;
+    }
+    part_names.push_back(part);
+  }
+  const std::string merge_name = dataset_name + "_federated";
+  if (!local_db_.HasTable(merge_name)) {
+    std::string sql = "CREATE MERGE TABLE " + merge_name + " (";
+    for (size_t i = 0; i < part_names.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += part_names[i];
+    }
+    sql += ")";
+    MIP_ASSIGN_OR_RETURN(engine::Table ignored, local_db_.ExecuteSql(sql));
+    (void)ignored;
+  }
+  return merge_name;
+}
+
+}  // namespace mip::federation

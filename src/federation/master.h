@@ -1,0 +1,147 @@
+#ifndef MIP_FEDERATION_MASTER_H_
+#define MIP_FEDERATION_MASTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "federation/bus.h"
+#include "federation/worker.h"
+#include "smpc/cluster.h"
+
+namespace mip::federation {
+
+/// How local results are combined on (or on behalf of) the Master.
+enum class AggregationMode {
+  /// Remote/merge-table style transfer: local aggregates travel to the
+  /// Master in the clear. For non-sensitive data.
+  kPlain,
+  /// SMPC secure aggregation: workers import secret shares; only the
+  /// aggregate (optionally noised) is ever opened.
+  kSecure,
+};
+
+struct MasterConfig {
+  smpc::SmpcConfig smpc;
+  /// Link model for reporting simulated inter-hospital latency.
+  double link_latency_ms = 5.0;
+  double link_bandwidth_mbps = 100.0;
+  uint64_t seed = 0xFEDE7A7E5EEDull;
+};
+
+class MasterNode;
+
+/// \brief One algorithm execution against a set of datasets: a globally
+/// unique job id, the participating workers, and the local-run /
+/// aggregate primitives of the paper's Figure 2.
+class FederationSession {
+ public:
+  const std::string& job_id() const { return job_id_; }
+  const std::vector<std::string>& worker_ids() const { return worker_ids_; }
+  size_t num_workers() const { return worker_ids_.size(); }
+  MasterNode& master() { return *master_; }
+
+  /// The dataset filter this session was opened with (workers' local steps
+  /// read it from the args transfer under key "datasets" if needed).
+  const std::vector<std::string>& datasets() const { return datasets_; }
+
+  /// Runs the named local step on every participating worker, returning
+  /// each worker's transfer (plain path).
+  Result<std::vector<TransferData>> LocalRun(const std::string& func,
+                                             const TransferData& args);
+
+  /// Runs the named local step on every worker and aggregates the
+  /// transfers: kPlain sums on the Master; kSecure routes the values
+  /// through the SMPC cluster (only shares cross the network) with optional
+  /// in-protocol DP noise.
+  Result<TransferData> LocalRunAndAggregate(
+      const std::string& func, const TransferData& args, AggregationMode mode,
+      const smpc::NoiseSpec& noise = smpc::NoiseSpec());
+
+  /// Secure aggregation with a non-sum SMPC op (min/max/product/union) over
+  /// a single named vector produced by the local step.
+  Result<std::vector<double>> LocalRunSecureOp(const std::string& func,
+                                               const TransferData& args,
+                                               const std::string& vector_key,
+                                               smpc::SmpcOp op);
+
+ private:
+  friend class MasterNode;
+  FederationSession(MasterNode* master, std::string job_id,
+                    std::vector<std::string> worker_ids,
+                    std::vector<std::string> datasets)
+      : master_(master),
+        job_id_(std::move(job_id)),
+        worker_ids_(std::move(worker_ids)),
+        datasets_(std::move(datasets)) {}
+
+  std::string NextSmpcJobId() {
+    return job_id_ + "/step" + std::to_string(step_counter_++);
+  }
+
+  MasterNode* master_;
+  std::string job_id_;
+  std::vector<std::string> worker_ids_;
+  std::vector<std::string> datasets_;
+  int step_counter_ = 0;
+};
+
+/// \brief The Master node: governs worker communication, tracks dataset
+/// availability for algorithm shipping, orchestrates algorithm flows, and
+/// merges aggregates. Also hosts a local engine instance (the paper:
+/// "it is also possible to perform computations locally as well").
+class MasterNode {
+ public:
+  explicit MasterNode(MasterConfig config = MasterConfig());
+
+  MessageBus& bus() { return bus_; }
+  smpc::SmpcCluster& smpc() { return smpc_; }
+  engine::Database& local_db() { return local_db_; }
+  const MasterConfig& config() const { return config_; }
+  std::shared_ptr<LocalFunctionRegistry> functions() { return functions_; }
+
+  /// Creates a worker, attaches it to the bus and the SMPC cluster.
+  Result<WorkerNode*> AddWorker(const std::string& worker_id);
+
+  WorkerNode* GetWorker(const std::string& worker_id);
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Loads a dataset onto a worker and records availability in the catalog.
+  Status LoadDataset(const std::string& worker_id,
+                     const std::string& dataset_name, engine::Table data);
+
+  /// Workers holding (any of) the requested datasets — the Master's
+  /// dataset-availability tracking for efficient algorithm shipping.
+  std::vector<std::string> WorkersWithDatasets(
+      const std::vector<std::string>& datasets) const;
+
+  /// Opens a session over the workers that hold the requested datasets
+  /// (all workers when `datasets` is empty). Generates the globally unique
+  /// job id used to index local state and SMPC shares.
+  Result<FederationSession> StartSession(
+      const std::vector<std::string>& datasets = {});
+
+  /// Builds, on the Master's local engine, a REMOTE table per participating
+  /// worker plus a MERGE table over them — the non-secure data-aggregation
+  /// machinery. Returns the merge-table name.
+  Result<std::string> CreateFederatedView(const std::string& dataset_name);
+
+ private:
+  friend class FederationSession;
+
+  MasterConfig config_;
+  MessageBus bus_;
+  smpc::SmpcCluster smpc_;
+  engine::Database local_db_;
+  std::shared_ptr<LocalFunctionRegistry> functions_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  std::map<std::string, std::vector<std::string>> catalog_;  // dataset->workers
+  Rng rng_;
+  int64_t job_counter_ = 0;
+};
+
+}  // namespace mip::federation
+
+#endif  // MIP_FEDERATION_MASTER_H_

@@ -1,0 +1,89 @@
+#ifndef MIP_FEDERATION_TRAINING_H_
+#define MIP_FEDERATION_TRAINING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/mechanisms.h"
+#include "federation/master.h"
+
+namespace mip::federation {
+
+/// Privacy regime of the federated training loop (paper §2 "Training"):
+/// local DP (each Worker noises its update before it leaves the hospital)
+/// or secure aggregation (updates are secret-shared; noise is injected once,
+/// inside the SMPC protocol, on the aggregate).
+enum class TrainingPrivacy { kNone, kLocalDp, kSecureAggregation };
+
+/// Aggregation rule of the training loop. kFedSgd: Workers return the
+/// gradient sum at the current weights and the Master takes one step per
+/// round. kFedAvg: Workers run `local_epochs` of local SGD and return the
+/// (example-weighted) model delta; the Master averages the deltas —
+/// McMahan-style FederatedAveraging, one of the "other methods" the paper
+/// alludes to.
+enum class TrainingAlgorithm { kFedSgd, kFedAvg };
+
+struct TrainingConfig {
+  TrainingAlgorithm algorithm = TrainingAlgorithm::kFedSgd;
+  int rounds = 30;
+  double learning_rate = 0.5;
+  /// kFedAvg only: local passes and local step size per round.
+  int local_epochs = 1;
+  double local_learning_rate = 0.1;
+  TrainingPrivacy privacy = TrainingPrivacy::kNone;
+  /// Total (epsilon, delta) privacy budget across all rounds.
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  /// L2 clip bound applied to each worker's update before noising.
+  double clip_norm = 1.0;
+  uint64_t seed = 0x7EA1A1A17EA1ull;
+};
+
+struct TrainingRound {
+  int round = 0;
+  double loss = 0.0;
+  double grad_norm = 0.0;
+};
+
+struct TrainingResult {
+  std::vector<double> weights;
+  std::vector<TrainingRound> history;
+  double spent_epsilon = 0.0;
+  int64_t total_examples = 0;
+};
+
+/// \brief The federated-learning loop: Master ships current parameters,
+/// Workers compute local updates next to their data, updates come back
+/// noised (local DP) or secret-shared (SA), Master applies them and starts
+/// the next cycle.
+///
+/// The model is abstract: callers register a local step named `grad_func`
+/// that reads "weights" (vector) from the args transfer and returns
+/// "loss" (sum of per-example losses), "n" (local example count), and
+/// either "grad" (kFedSgd: sum of per-example gradients) or "delta"
+/// (kFedAvg: (w_local - w_global) * n after "local_epochs" local passes at
+/// "local_lr", both provided in the args transfer).
+class FederatedTrainer {
+ public:
+  FederatedTrainer(MasterNode* master, TrainingConfig config);
+
+  /// Trains for config.rounds rounds over the session's workers.
+  /// `dim` is the parameter dimension; initial weights are zero unless
+  /// `init` is non-empty.
+  Result<TrainingResult> Train(FederationSession* session,
+                               const std::string& grad_func, int dim,
+                               const std::vector<double>& init = {});
+
+  const dp::PrivacyAccountant& accountant() const { return accountant_; }
+
+ private:
+  MasterNode* master_;
+  TrainingConfig config_;
+  dp::PrivacyAccountant accountant_;
+  Rng rng_;
+};
+
+}  // namespace mip::federation
+
+#endif  // MIP_FEDERATION_TRAINING_H_

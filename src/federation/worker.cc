@@ -1,0 +1,127 @@
+#include "federation/worker.h"
+
+namespace mip::federation {
+
+engine::Database& WorkerContext::db() { return worker_->db(); }
+TransferData& WorkerContext::state() { return worker_->JobState(job_id_); }
+Rng& WorkerContext::rng() { return worker_->rng(); }
+const std::string& WorkerContext::worker_id() const { return worker_->id(); }
+const std::vector<std::string>& WorkerContext::datasets() const {
+  return worker_->datasets();
+}
+
+Status LocalFunctionRegistry::Register(const std::string& name, LocalFn fn) {
+  if (fns_.count(name) > 0) {
+    return Status::AlreadyExists("local function '" + name +
+                                 "' already registered");
+  }
+  fns_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+Result<const LocalFn*> LocalFunctionRegistry::Find(
+    const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("no local function '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> LocalFunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [k, v] : fns_) names.push_back(k);
+  return names;
+}
+
+WorkerNode::WorkerNode(std::string id,
+                       std::shared_ptr<LocalFunctionRegistry> functions,
+                       uint64_t seed)
+    : id_(std::move(id)),
+      db_("db_" + id_),
+      functions_(std::move(functions)),
+      rng_(seed) {}
+
+Status WorkerNode::LoadDataset(const std::string& dataset_name,
+                               engine::Table data) {
+  MIP_RETURN_NOT_OK(db_.PutTable(dataset_name, std::move(data)));
+  if (!HasDataset(dataset_name)) datasets_.push_back(dataset_name);
+  return Status::OK();
+}
+
+bool WorkerNode::HasDataset(const std::string& dataset_name) const {
+  for (const std::string& d : datasets_) {
+    if (d == dataset_name) return true;
+  }
+  return false;
+}
+
+Result<TransferData> WorkerNode::RunLocal(const std::string& func,
+                                          const std::string& job_id,
+                                          const TransferData& args) {
+  MIP_ASSIGN_OR_RETURN(const LocalFn* fn, functions_->Find(func));
+  WorkerContext ctx(this, job_id);
+  return (*fn)(ctx, args);
+}
+
+Status WorkerNode::AttachToBus(MessageBus* bus) {
+  return bus->RegisterEndpoint(
+      id_, [this](const Envelope& e) { return HandleEnvelope(e); });
+}
+
+Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
+    const Envelope& envelope) {
+  BufferReader reader(envelope.payload);
+  if (envelope.type == "local_run" || envelope.type == "local_run_secure") {
+    MIP_ASSIGN_OR_RETURN(std::string func, reader.ReadString());
+    MIP_ASSIGN_OR_RETURN(std::string smpc_job, reader.ReadString());
+    MIP_ASSIGN_OR_RETURN(TransferData args,
+                         TransferData::Deserialize(&reader));
+    MIP_ASSIGN_OR_RETURN(TransferData result,
+                         RunLocal(func, envelope.job_id, args));
+    BufferWriter writer;
+    if (envelope.type == "local_run_secure") {
+      if (smpc_ == nullptr) {
+        return Status::ExecutionError("worker " + id_ +
+                                      " has no SMPC cluster attached");
+      }
+      if (result.HasTables()) {
+        return Status::SecurityError(
+            "table payloads cannot ride the secure aggregation path");
+      }
+      // The actual values go to the SMPC cluster as secret shares; only the
+      // SHAPE (keys + zeroed numerics) crosses the bus back to the Master.
+      MIP_RETURN_NOT_OK(smpc_->ImportShares(smpc_job,
+                                            result.FlattenNumeric()));
+      const std::vector<double> zeros(result.FlattenNumeric().size(), 0.0);
+      MIP_ASSIGN_OR_RETURN(TransferData shape,
+                           result.UnflattenNumeric(zeros));
+      shape.Serialize(&writer);
+      return writer.TakeBytes();
+    }
+    result.Serialize(&writer);
+    return writer.TakeBytes();
+  }
+  if (envelope.type == "fetch_table") {
+    MIP_ASSIGN_OR_RETURN(std::string table_name, reader.ReadString());
+    MIP_ASSIGN_OR_RETURN(engine::Table table, db_.GetTable(table_name));
+    BufferWriter writer;
+    engine::SerializeTable(table, &writer);
+    return writer.TakeBytes();
+  }
+  if (envelope.type == "run_sql") {
+    // Remote query execution: lets the Master push partial aggregates to
+    // the data instead of pulling relations (merge-table pushdown).
+    MIP_ASSIGN_OR_RETURN(std::string sql, reader.ReadString());
+    MIP_ASSIGN_OR_RETURN(engine::Table table, db_.ExecuteSql(sql));
+    BufferWriter writer;
+    engine::SerializeTable(table, &writer);
+    return writer.TakeBytes();
+  }
+  return Status::InvalidArgument("worker " + id_ +
+                                 ": unknown message type '" + envelope.type +
+                                 "'");
+}
+
+}  // namespace mip::federation

@@ -1,0 +1,290 @@
+#include "algorithms/anova.h"
+#include "algorithms/calibration_belt.h"
+#include "algorithms/decision_tree.h"
+#include "algorithms/descriptive.h"
+#include "algorithms/histogram.h"
+#include "algorithms/kaplan_meier.h"
+#include "algorithms/kmeans.h"
+#include "algorithms/linear_regression.h"
+#include "algorithms/logistic_regression.h"
+#include "algorithms/naive_bayes.h"
+#include "algorithms/pca.h"
+#include "algorithms/pearson.h"
+#include "algorithms/ttest.h"
+#include "platform/experiment.h"
+
+namespace mip::platform {
+
+namespace {
+
+using federation::FederationSession;
+
+// Parameter plumbing shared by the regression-style runners.
+template <typename Spec>
+void FillCommon(Spec* spec, const ExperimentSpec& e) {
+  spec->datasets = e.datasets;
+  spec->mode = e.mode;
+}
+
+}  // namespace
+
+Status RegisterBuiltinAlgorithms(AlgorithmRegistry* registry) {
+  MIP_RETURN_NOT_OK(registry->Register(
+      "descriptive",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::DescriptiveSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variables, e.RequireListParam("variables"));
+        MIP_ASSIGN_OR_RETURN(auto r, RunDescriptive(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "histogram",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::HistogramSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variable, e.RequireParam("variable"));
+        spec.bins = static_cast<int>(e.GetNumericParam("bins", 10));
+        spec.nominal = e.GetParam("nominal") == "true";
+        spec.levels = e.GetListParam("levels");
+        spec.privacy_threshold =
+            static_cast<int64_t>(e.GetNumericParam("privacy_threshold", 10));
+        MIP_ASSIGN_OR_RETURN(auto r, RunHistogram(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "pearson_correlation",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::PearsonSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variables, e.RequireListParam("variables"));
+        MIP_ASSIGN_OR_RETURN(auto r, RunPearson(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "ttest_onesample",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::TTestOneSampleSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variable, e.RequireParam("variable"));
+        spec.mu0 = e.GetNumericParam("mu0", 0.0);
+        MIP_ASSIGN_OR_RETURN(auto r, RunTTestOneSample(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "ttest_independent",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::TTestIndependentSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variable, e.RequireParam("variable"));
+        MIP_ASSIGN_OR_RETURN(spec.group_variable,
+                             e.RequireParam("group_variable"));
+        MIP_ASSIGN_OR_RETURN(spec.group_a, e.RequireParam("group_a"));
+        MIP_ASSIGN_OR_RETURN(spec.group_b, e.RequireParam("group_b"));
+        spec.pooled = e.GetParam("pooled") == "true";
+        MIP_ASSIGN_OR_RETURN(auto r, RunTTestIndependent(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "ttest_paired",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::TTestPairedSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variable_a, e.RequireParam("variable_a"));
+        MIP_ASSIGN_OR_RETURN(spec.variable_b, e.RequireParam("variable_b"));
+        MIP_ASSIGN_OR_RETURN(auto r, RunTTestPaired(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "anova_oneway",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::AnovaOneWaySpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.outcome, e.RequireParam("outcome"));
+        MIP_ASSIGN_OR_RETURN(spec.factor, e.RequireParam("factor"));
+        spec.levels = e.GetListParam("levels");
+        MIP_ASSIGN_OR_RETURN(auto r, RunAnovaOneWay(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "anova_twoway",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::AnovaTwoWaySpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.outcome, e.RequireParam("outcome"));
+        MIP_ASSIGN_OR_RETURN(spec.factor_a, e.RequireParam("factor_a"));
+        MIP_ASSIGN_OR_RETURN(spec.factor_b, e.RequireParam("factor_b"));
+        MIP_ASSIGN_OR_RETURN(spec.levels_a, e.RequireListParam("levels_a"));
+        MIP_ASSIGN_OR_RETURN(spec.levels_b, e.RequireListParam("levels_b"));
+        MIP_ASSIGN_OR_RETURN(auto r, RunAnovaTwoWay(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "linear_regression",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::LinearRegressionSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.covariates,
+                             e.RequireListParam("covariates"));
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        spec.intercept = e.GetParam("intercept", "true") != "false";
+        MIP_ASSIGN_OR_RETURN(auto r, RunLinearRegression(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "linear_regression_cv",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::LinearRegressionSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.covariates,
+                             e.RequireListParam("covariates"));
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        const int folds = static_cast<int>(e.GetNumericParam("folds", 5));
+        MIP_ASSIGN_OR_RETURN(auto r, RunLinearRegressionCv(s, spec, folds));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "logistic_regression",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::LogisticRegressionSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.covariates,
+                             e.RequireListParam("covariates"));
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        spec.positive_class = e.GetParam("positive_class");
+        MIP_ASSIGN_OR_RETURN(auto r, RunLogisticRegression(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "logistic_regression_cv",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::LogisticRegressionSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.covariates,
+                             e.RequireListParam("covariates"));
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        spec.positive_class = e.GetParam("positive_class");
+        const int folds = static_cast<int>(e.GetNumericParam("folds", 5));
+        MIP_ASSIGN_OR_RETURN(auto r, RunLogisticRegressionCv(s, spec, folds));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "kmeans",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::KMeansSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variables, e.RequireListParam("variables"));
+        spec.k = static_cast<int>(e.GetNumericParam("k", 3));
+        spec.max_iterations =
+            static_cast<int>(e.GetNumericParam("iterations_max_number", 100));
+        spec.standardize = e.GetParam("standardize") == "true";
+        spec.seed = static_cast<uint64_t>(e.GetNumericParam("seed", 0xC1));
+        MIP_ASSIGN_OR_RETURN(auto r, RunKMeans(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "pca",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::PcaSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.variables, e.RequireListParam("variables"));
+        spec.scale = e.GetParam("scale", "true") != "false";
+        MIP_ASSIGN_OR_RETURN(auto r, RunPca(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "naive_bayes",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::NaiveBayesSpec spec;
+        FillCommon(&spec, e);
+        spec.numeric_features = e.GetListParam("numeric_features");
+        spec.categorical_features = e.GetListParam("categorical_features");
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        MIP_ASSIGN_OR_RETURN(auto r, RunNaiveBayes(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "naive_bayes_cv",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::NaiveBayesSpec spec;
+        FillCommon(&spec, e);
+        spec.numeric_features = e.GetListParam("numeric_features");
+        spec.categorical_features = e.GetListParam("categorical_features");
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        const int folds = static_cast<int>(e.GetNumericParam("folds", 4));
+        MIP_ASSIGN_OR_RETURN(auto r, RunNaiveBayesCv(s, spec, folds));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "id3",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::Id3Spec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.features, e.RequireListParam("features"));
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        spec.max_depth = static_cast<int>(e.GetNumericParam("max_depth", 4));
+        MIP_ASSIGN_OR_RETURN(auto r, RunId3(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "cart",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::CartSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.features, e.RequireListParam("features"));
+        MIP_ASSIGN_OR_RETURN(spec.target, e.RequireParam("target"));
+        spec.max_depth = static_cast<int>(e.GetNumericParam("max_depth", 4));
+        MIP_ASSIGN_OR_RETURN(auto r, RunCart(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "kaplan_meier",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::KaplanMeierSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.time_variable,
+                             e.RequireParam("time_variable"));
+        MIP_ASSIGN_OR_RETURN(spec.event_variable,
+                             e.RequireParam("event_variable"));
+        spec.group_variable = e.GetParam("group_variable");
+        MIP_ASSIGN_OR_RETURN(auto r, RunKaplanMeier(s, spec));
+        return r.ToString();
+      }));
+
+  MIP_RETURN_NOT_OK(registry->Register(
+      "calibration_belt",
+      [](FederationSession* s, const ExperimentSpec& e) -> Result<std::string> {
+        algorithms::CalibrationBeltSpec spec;
+        FillCommon(&spec, e);
+        MIP_ASSIGN_OR_RETURN(spec.probability_variable,
+                             e.RequireParam("probability_variable"));
+        MIP_ASSIGN_OR_RETURN(spec.outcome_variable,
+                             e.RequireParam("outcome_variable"));
+        spec.max_degree =
+            static_cast<int>(e.GetNumericParam("max_degree", 3));
+        MIP_ASSIGN_OR_RETURN(auto r, RunCalibrationBelt(s, spec));
+        return r.ToString();
+      }));
+
+  return Status::OK();
+}
+
+}  // namespace mip::platform

@@ -1,0 +1,400 @@
+#include "smpc/cluster.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "smpc/field.h"
+
+namespace mip::smpc {
+
+double SmpcCostStats::SimulatedNetworkSeconds(const SmpcConfig& config) const {
+  const double latency = static_cast<double>(rounds) *
+                         config.round_latency_ms / 1e3;
+  const double transfer = static_cast<double>(bytes_transferred) * 8.0 /
+                          (config.bandwidth_mbps * 1e6);
+  return latency + transfer;
+}
+
+SmpcCluster::SmpcCluster(SmpcConfig config)
+    : config_(config),
+      rng_(config.seed),
+      codec_(config.frac_bits),
+      dealer_(config.num_nodes, config.seed ^ 0xD15EA5E0FF1CE000ull),
+      shamir_(config.threshold, config.num_nodes) {}
+
+void SmpcCluster::PrecomputeTriples(size_t count) {
+  Stopwatch sw;
+  dealer_.PrecomputeTriples(count);
+  stats_.offline_seconds += sw.ElapsedSeconds();
+}
+
+void SmpcCluster::AccountTransfer(uint64_t bytes, uint64_t rounds) {
+  stats_.bytes_transferred += bytes;
+  stats_.rounds += rounds;
+}
+
+Status SmpcCluster::ImportShares(const std::string& job_id,
+                                 const std::vector<double>& values) {
+  Stopwatch sw;
+  MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
+                       codec_.EncodeVector(values));
+  const uint64_t n = static_cast<uint64_t>(values.size());
+  const uint64_t nodes = static_cast<uint64_t>(config_.num_nodes);
+  if (config_.scheme == SmpcScheme::kFullThreshold) {
+    // Authenticated sharing per the active-security import mechanism:
+    // every node receives a value share plus a MAC share (16 bytes/element).
+    ft_jobs_[job_id].contributions.push_back(dealer_.ShareVector(encoded));
+    AccountTransfer(nodes * n * 16, 1);
+  } else {
+    shamir_jobs_[job_id].contributions.push_back(
+        shamir_.ShareVector(encoded, &rng_));
+    AccountTransfer(nodes * n * 8, 1);
+  }
+  stats_.online_seconds += sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+size_t SmpcCluster::NumContributions(const std::string& job_id) const {
+  if (config_.scheme == SmpcScheme::kFullThreshold) {
+    auto it = ft_jobs_.find(job_id);
+    return it == ft_jobs_.end() ? 0 : it->second.contributions.size();
+  }
+  auto it = shamir_jobs_.find(job_id);
+  return it == shamir_jobs_.end() ? 0 : it->second.contributions.size();
+}
+
+Status SmpcCluster::Compute(const std::string& job_id, SmpcOp op,
+                            const NoiseSpec& noise) {
+  Stopwatch sw;
+  Status st = config_.scheme == SmpcScheme::kFullThreshold
+                  ? ComputeFt(job_id, op, noise)
+                  : ComputeShamir(job_id, op, noise);
+  stats_.online_seconds += sw.ElapsedSeconds();
+  return st;
+}
+
+Result<std::vector<double>> SmpcCluster::GetResult(
+    const std::string& job_id) const {
+  auto it = results_.find(job_id);
+  if (it == results_.end()) {
+    return Status::NotFound("no finished SMPC computation for job '" +
+                            job_id + "'");
+  }
+  return it->second;
+}
+
+Status SmpcCluster::TamperWithShare(int node, const std::string& job_id,
+                                    size_t contribution, size_t index,
+                                    uint64_t delta) {
+  if (node < 0 || node >= config_.num_nodes) {
+    return Status::InvalidArgument("bad node index");
+  }
+  if (config_.scheme == SmpcScheme::kFullThreshold) {
+    auto it = ft_jobs_.find(job_id);
+    if (it == ft_jobs_.end() ||
+        contribution >= it->second.contributions.size()) {
+      return Status::NotFound("no such contribution");
+    }
+    auto& share = it->second
+                      .contributions[contribution][static_cast<size_t>(node)];
+    if (index >= share.size()) return Status::OutOfRange("bad element index");
+    share[index].value = Field::Add(share[index].value, delta);
+    return Status::OK();
+  }
+  auto it = shamir_jobs_.find(job_id);
+  if (it == shamir_jobs_.end() ||
+      contribution >= it->second.contributions.size()) {
+    return Status::NotFound("no such contribution");
+  }
+  auto& share =
+      it->second.contributions[contribution][static_cast<size_t>(node)];
+  if (index >= share.size()) return Status::OutOfRange("bad element index");
+  share[index] = Field::Add(share[index], delta);
+  return Status::OK();
+}
+
+namespace {
+
+double DecodeWithScalePower(uint64_t v, double scale, int power) {
+  double mag;
+  double sign = 1.0;
+  if (v > Field::kPrime / 2) {
+    mag = static_cast<double>(Field::kPrime - v);
+    sign = -1.0;
+  } else {
+    mag = static_cast<double>(v);
+  }
+  return sign * mag / std::pow(scale, power);
+}
+
+}  // namespace
+
+Result<SpdzSharedVector> SmpcCluster::MinMaxFt(const SpdzSharedVector& x,
+                                               const SpdzSharedVector& y,
+                                               bool want_min) {
+  const size_t nodes = x.size();
+  const size_t n = x[0].size();
+  SpdzSharedVector out(nodes, std::vector<SpdzShare>(n));
+  for (size_t e = 0; e < n; ++e) {
+    // d = x - y, blinded with a shared positive random r; only sign(d) is
+    // revealed, which IS the protocol output for a min/max query.
+    std::vector<SpdzShare> d(nodes);
+    std::vector<SpdzShare> xe(nodes);
+    std::vector<SpdzShare> ye(nodes);
+    for (size_t p = 0; p < nodes; ++p) {
+      xe[p] = x[p][e];
+      ye[p] = y[p][e];
+      d[p] = Spdz::Sub(x[p][e], y[p][e]);
+    }
+    std::vector<SpdzShare> r = dealer_.SharePositiveRandom(18);
+    std::vector<SpdzTriple> triple = dealer_.TakeTriple();
+    ++stats_.triples_consumed;
+    MIP_ASSIGN_OR_RETURN(
+        std::vector<SpdzShare> z,
+        Spdz::Multiply(d, r, triple, dealer_.alpha_shares()));
+    stats_.field_mults += 4 * nodes;
+    MIP_ASSIGN_OR_RETURN(uint64_t opened,
+                         Spdz::Open(z, dealer_.alpha_shares()));
+    AccountTransfer(nodes * 8 * 3, 2);  // eps, delta, z openings
+    const bool x_less = opened > Field::kPrime / 2;  // d < 0
+    const bool pick_x = want_min ? x_less : !x_less;
+    for (size_t p = 0; p < nodes; ++p) out[p][e] = pick_x ? xe[p] : ye[p];
+  }
+  return out;
+}
+
+Status SmpcCluster::ComputeFt(const std::string& job_id, SmpcOp op,
+                              const NoiseSpec& noise) {
+  auto it = ft_jobs_.find(job_id);
+  if (it == ft_jobs_.end() || it->second.contributions.empty()) {
+    return Status::NotFound("no imported shares for job '" + job_id + "'");
+  }
+  const auto& contributions = it->second.contributions;
+  const size_t nodes = static_cast<size_t>(config_.num_nodes);
+  const size_t n = contributions[0][0].size();
+  for (const auto& c : contributions) {
+    if (c[0].size() != n && op != SmpcOp::kUnion) {
+      return Status::InvalidArgument(
+          "contribution vector lengths differ for elementwise op");
+    }
+  }
+
+  SpdzSharedVector acc;
+  int scale_power = 1;
+
+  switch (op) {
+    case SmpcOp::kSum: {
+      acc.assign(nodes, std::vector<SpdzShare>(n, SpdzShare{}));
+      for (const auto& contrib : contributions) {
+        for (size_t p = 0; p < nodes; ++p) {
+          for (size_t e = 0; e < n; ++e) {
+            acc[p][e] = Spdz::Add(acc[p][e], contrib[p][e]);
+          }
+        }
+      }
+      break;
+    }
+    case SmpcOp::kProduct: {
+      acc = contributions[0];
+      for (size_t c = 1; c < contributions.size(); ++c) {
+        for (size_t e = 0; e < n; ++e) {
+          std::vector<SpdzShare> xe(nodes);
+          std::vector<SpdzShare> ye(nodes);
+          for (size_t p = 0; p < nodes; ++p) {
+            xe[p] = acc[p][e];
+            ye[p] = contributions[c][p][e];
+          }
+          std::vector<SpdzTriple> triple = dealer_.TakeTriple();
+          ++stats_.triples_consumed;
+          MIP_ASSIGN_OR_RETURN(
+              std::vector<SpdzShare> z,
+              Spdz::Multiply(xe, ye, triple, dealer_.alpha_shares()));
+          stats_.field_mults += 4 * nodes;
+          for (size_t p = 0; p < nodes; ++p) acc[p][e] = z[p];
+        }
+        AccountTransfer(nodes * 8 * 2 * n, 1);
+        ++scale_power;
+      }
+      break;
+    }
+    case SmpcOp::kMin:
+    case SmpcOp::kMax: {
+      acc = contributions[0];
+      for (size_t c = 1; c < contributions.size(); ++c) {
+        MIP_ASSIGN_OR_RETURN(
+            acc, MinMaxFt(acc, contributions[c], op == SmpcOp::kMin));
+      }
+      break;
+    }
+    case SmpcOp::kUnion: {
+      size_t total = 0;
+      for (const auto& contrib : contributions) total += contrib[0].size();
+      acc.assign(nodes, std::vector<SpdzShare>());
+      for (size_t p = 0; p < nodes; ++p) {
+        acc[p].reserve(total);
+        for (const auto& contrib : contributions) {
+          acc[p].insert(acc[p].end(), contrib[p].begin(), contrib[p].end());
+        }
+      }
+      break;
+    }
+  }
+
+  // In-protocol DP noise: each node samples its partial noise, gets it
+  // authenticated-shared, and the sharings are added before opening. Only
+  // meaningful for the (linear) sum aggregate.
+  if (noise.kind != NoiseSpec::Kind::kNone && op == SmpcOp::kSum) {
+    const size_t n_out = acc[0].size();
+    for (int k = 0; k < config_.num_nodes; ++k) {
+      std::vector<double> partial(n_out);
+      for (double& v : partial) {
+        v = SamplePartialNoise(noise, config_.num_nodes, &rng_);
+      }
+      MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> enc,
+                           codec_.EncodeVector(partial));
+      SpdzSharedVector noise_shares = dealer_.ShareVector(enc);
+      for (size_t p = 0; p < nodes; ++p) {
+        for (size_t e = 0; e < n_out; ++e) {
+          acc[p][e] = Spdz::Add(acc[p][e], noise_shares[p][e]);
+        }
+      }
+    }
+    AccountTransfer(static_cast<uint64_t>(nodes) * nodes * n_out * 16, 1);
+  }
+
+  // Open towards the Master with the MAC check (abort on tamper).
+  const size_t n_out = acc[0].size();
+  std::vector<double> result(n_out);
+  for (size_t e = 0; e < n_out; ++e) {
+    std::vector<SpdzShare> shares(nodes);
+    for (size_t p = 0; p < nodes; ++p) shares[p] = acc[p][e];
+    MIP_ASSIGN_OR_RETURN(uint64_t opened,
+                         Spdz::Open(shares, dealer_.alpha_shares()));
+    result[e] = DecodeWithScalePower(opened, codec_.scale(), scale_power);
+  }
+  // One round to reveal + one commit/open round for the MAC check.
+  AccountTransfer(static_cast<uint64_t>(nodes) * n_out * 16, 2);
+  stats_.field_mults += nodes * n_out;  // sigma computations
+
+  results_[job_id] = std::move(result);
+  return Status::OK();
+}
+
+Status SmpcCluster::ComputeShamir(const std::string& job_id, SmpcOp op,
+                                  const NoiseSpec& noise) {
+  auto it = shamir_jobs_.find(job_id);
+  if (it == shamir_jobs_.end() || it->second.contributions.empty()) {
+    return Status::NotFound("no imported shares for job '" + job_id + "'");
+  }
+  const auto& contributions = it->second.contributions;
+  const size_t nodes = static_cast<size_t>(config_.num_nodes);
+  const size_t n = contributions[0][0].size();
+
+  std::vector<std::vector<uint64_t>> acc;
+  int scale_power = 1;
+
+  switch (op) {
+    case SmpcOp::kSum: {
+      acc.assign(nodes, std::vector<uint64_t>(n, 0));
+      for (const auto& contrib : contributions) {
+        for (size_t p = 0; p < nodes; ++p) {
+          for (size_t e = 0; e < n; ++e) {
+            acc[p][e] = Field::Add(acc[p][e], contrib[p][e]);
+          }
+        }
+      }
+      break;
+    }
+    case SmpcOp::kProduct: {
+      acc = contributions[0];
+      for (size_t c = 1; c < contributions.size(); ++c) {
+        MIP_ASSIGN_OR_RETURN(
+            acc, shamir_.MultiplyReshare(acc, contributions[c], &rng_));
+        stats_.field_mults += nodes * nodes * n;
+        AccountTransfer(static_cast<uint64_t>(nodes) * nodes * n * 8, 1);
+        ++scale_power;
+      }
+      break;
+    }
+    case SmpcOp::kMin:
+    case SmpcOp::kMax: {
+      acc = contributions[0];
+      for (size_t c = 1; c < contributions.size(); ++c) {
+        const auto& other = contributions[c];
+        std::vector<std::vector<uint64_t>> next(
+            nodes, std::vector<uint64_t>(n));
+        for (size_t e = 0; e < n; ++e) {
+          // Blinded-sign comparison, honest-but-curious variant.
+          std::vector<std::vector<uint64_t>> d(nodes,
+                                               std::vector<uint64_t>(1));
+          for (size_t p = 0; p < nodes; ++p) {
+            d[p][0] = Field::Sub(acc[p][e], other[p][e]);
+          }
+          const uint64_t r = 1 + rng_.NextBounded((1ull << 18) - 1);
+          std::vector<uint64_t> r_shares = shamir_.Share(r, &rng_);
+          std::vector<std::vector<uint64_t>> rs(nodes,
+                                                std::vector<uint64_t>(1));
+          for (size_t p = 0; p < nodes; ++p) rs[p][0] = r_shares[p];
+          MIP_ASSIGN_OR_RETURN(auto z,
+                               shamir_.MultiplyReshare(d, rs, &rng_));
+          MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> opened,
+                               shamir_.ReconstructVector(z));
+          AccountTransfer(nodes * 8 * 2, 2);
+          const bool x_less = opened[0] > Field::kPrime / 2;
+          const bool pick_x = (op == SmpcOp::kMin) ? x_less : !x_less;
+          for (size_t p = 0; p < nodes; ++p) {
+            next[p][e] = pick_x ? acc[p][e] : other[p][e];
+          }
+        }
+        acc = std::move(next);
+      }
+      break;
+    }
+    case SmpcOp::kUnion: {
+      size_t total = 0;
+      for (const auto& contrib : contributions) total += contrib[0].size();
+      acc.assign(nodes, std::vector<uint64_t>());
+      for (size_t p = 0; p < nodes; ++p) {
+        acc[p].reserve(total);
+        for (const auto& contrib : contributions) {
+          acc[p].insert(acc[p].end(), contrib[p].begin(), contrib[p].end());
+        }
+      }
+      break;
+    }
+  }
+
+  if (noise.kind != NoiseSpec::Kind::kNone && op == SmpcOp::kSum) {
+    const size_t n_out = acc[0].size();
+    for (int k = 0; k < config_.num_nodes; ++k) {
+      std::vector<double> partial(n_out);
+      for (double& v : partial) {
+        v = SamplePartialNoise(noise, config_.num_nodes, &rng_);
+      }
+      MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> enc,
+                           codec_.EncodeVector(partial));
+      auto noise_shares = shamir_.ShareVector(enc, &rng_);
+      for (size_t p = 0; p < nodes; ++p) {
+        for (size_t e = 0; e < n_out; ++e) {
+          acc[p][e] = Field::Add(acc[p][e], noise_shares[p][e]);
+        }
+      }
+    }
+    AccountTransfer(static_cast<uint64_t>(nodes) * nodes * acc[0].size() * 8,
+                    1);
+  }
+
+  MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> opened,
+                       shamir_.ReconstructVector(acc));
+  stats_.field_mults += nodes * acc[0].size();  // Lagrange recombination
+  AccountTransfer(static_cast<uint64_t>(nodes) * acc[0].size() * 8, 1);
+
+  std::vector<double> result(opened.size());
+  for (size_t e = 0; e < opened.size(); ++e) {
+    result[e] = DecodeWithScalePower(opened[e], codec_.scale(), scale_power);
+  }
+  results_[job_id] = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace mip::smpc

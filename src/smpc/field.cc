@@ -1,0 +1,22 @@
+#include "smpc/field.h"
+
+namespace mip::smpc {
+
+uint64_t Field::Pow(uint64_t a, uint64_t e) {
+  uint64_t base = Reduce(a);
+  uint64_t result = 1;
+  while (e > 0) {
+    if (e & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::vector<uint64_t> Field::RandomVector(size_t n, Rng* rng) {
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) v = Random(rng);
+  return out;
+}
+
+}  // namespace mip::smpc

@@ -1,0 +1,25 @@
+#include "smpc/noise.h"
+
+#include <cmath>
+
+namespace mip::smpc {
+
+double SamplePartialNoise(const NoiseSpec& spec, int num_nodes, Rng* rng) {
+  switch (spec.kind) {
+    case NoiseSpec::Kind::kNone:
+      return 0.0;
+    case NoiseSpec::Kind::kGaussian:
+      return rng->NextGaussian(
+          0.0, spec.param / std::sqrt(static_cast<double>(num_nodes)));
+    case NoiseSpec::Kind::kLaplace: {
+      // Laplace(b) = Gamma(1, b) - Gamma(1, b) and Gamma is infinitely
+      // divisible: each node contributes G(1/n, b) - G(1/n, b).
+      const double shape = 1.0 / static_cast<double>(num_nodes);
+      return rng->NextGamma(shape, spec.param) -
+             rng->NextGamma(shape, spec.param);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace mip::smpc

@@ -1,0 +1,29 @@
+#ifndef MIP_SMPC_NOISE_H_
+#define MIP_SMPC_NOISE_H_
+
+#include "common/rng.h"
+
+namespace mip::smpc {
+
+/// \brief Differential-privacy noise to inject *inside* the SMPC protocol
+/// (the paper: "the engine also supports injecting Laplacian and Gaussian
+/// noise during the SMPC to the result of the computation").
+struct NoiseSpec {
+  enum class Kind { kNone, kLaplace, kGaussian };
+  Kind kind = Kind::kNone;
+  /// Laplace scale b, or Gaussian standard deviation sigma, of the TOTAL
+  /// noise on the opened result.
+  double param = 0.0;
+};
+
+/// \brief Samples one node's partial noise such that the SUM over
+/// `num_nodes` independent draws follows the target distribution.
+///
+/// Gaussian uses stability (sum of N(0, s²/n) is N(0, s²)); Laplace uses
+/// infinite divisibility (difference of Gamma(1/n, b) sums). No single node
+/// ever knows the total noise, so a breached node cannot denoise the output.
+double SamplePartialNoise(const NoiseSpec& spec, int num_nodes, Rng* rng);
+
+}  // namespace mip::smpc
+
+#endif  // MIP_SMPC_NOISE_H_

@@ -1,0 +1,153 @@
+#include "smpc/spdz.h"
+
+#include "smpc/field.h"
+
+namespace mip::smpc {
+
+SpdzDealer::SpdzDealer(int num_parties, uint64_t seed)
+    : num_parties_(num_parties), rng_(seed) {
+  alpha_ = Field::Random(&rng_);
+  alpha_shares_.resize(static_cast<size_t>(num_parties_));
+  uint64_t sum = 0;
+  for (int i = 0; i < num_parties_ - 1; ++i) {
+    alpha_shares_[static_cast<size_t>(i)] = Field::Random(&rng_);
+    sum = Field::Add(sum, alpha_shares_[static_cast<size_t>(i)]);
+  }
+  alpha_shares_[static_cast<size_t>(num_parties_ - 1)] =
+      Field::Sub(alpha_, sum);
+}
+
+std::vector<SpdzShare> SpdzDealer::ShareValue(uint64_t x) {
+  std::vector<SpdzShare> shares(static_cast<size_t>(num_parties_));
+  const uint64_t mac = Field::Mul(alpha_, x);
+  uint64_t vsum = 0;
+  uint64_t msum = 0;
+  for (int i = 0; i < num_parties_ - 1; ++i) {
+    shares[static_cast<size_t>(i)].value = Field::Random(&rng_);
+    shares[static_cast<size_t>(i)].mac = Field::Random(&rng_);
+    vsum = Field::Add(vsum, shares[static_cast<size_t>(i)].value);
+    msum = Field::Add(msum, shares[static_cast<size_t>(i)].mac);
+  }
+  shares[static_cast<size_t>(num_parties_ - 1)].value = Field::Sub(x, vsum);
+  shares[static_cast<size_t>(num_parties_ - 1)].mac = Field::Sub(mac, msum);
+  return shares;
+}
+
+SpdzSharedVector SpdzDealer::ShareVector(const std::vector<uint64_t>& xs) {
+  SpdzSharedVector out(static_cast<size_t>(num_parties_),
+                       std::vector<SpdzShare>(xs.size()));
+  for (size_t e = 0; e < xs.size(); ++e) {
+    std::vector<SpdzShare> shares = ShareValue(xs[e]);
+    for (int p = 0; p < num_parties_; ++p) {
+      out[static_cast<size_t>(p)][e] = shares[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+std::vector<SpdzTriple> SpdzDealer::MakeTriple() {
+  const uint64_t a = Field::Random(&rng_);
+  const uint64_t b = Field::Random(&rng_);
+  const uint64_t c = Field::Mul(a, b);
+  std::vector<SpdzShare> as = ShareValue(a);
+  std::vector<SpdzShare> bs = ShareValue(b);
+  std::vector<SpdzShare> cs = ShareValue(c);
+  std::vector<SpdzTriple> out(static_cast<size_t>(num_parties_));
+  for (int p = 0; p < num_parties_; ++p) {
+    out[static_cast<size_t>(p)] = {as[static_cast<size_t>(p)],
+                                   bs[static_cast<size_t>(p)],
+                                   cs[static_cast<size_t>(p)]};
+  }
+  return out;
+}
+
+void SpdzDealer::PrecomputeTriples(size_t count) {
+  for (size_t i = 0; i < count; ++i) pool_.push_back(MakeTriple());
+  triples_precomputed_ += count;
+}
+
+std::vector<SpdzTriple> SpdzDealer::TakeTriple() {
+  if (!pool_.empty()) {
+    std::vector<SpdzTriple> t = std::move(pool_.back());
+    pool_.pop_back();
+    return t;
+  }
+  ++triples_online_;
+  return MakeTriple();
+}
+
+std::vector<SpdzShare> SpdzDealer::SharePositiveRandom(int bits) {
+  const uint64_t r = 1 + rng_.NextBounded((1ull << bits) - 1);
+  return ShareValue(r);
+}
+
+uint64_t Spdz::AddF(uint64_t a, uint64_t b) { return Field::Add(a, b); }
+
+SpdzShare Spdz::Sub(const SpdzShare& x, const SpdzShare& y) {
+  return {Field::Sub(x.value, y.value), Field::Sub(x.mac, y.mac)};
+}
+
+SpdzShare Spdz::AddPublic(const SpdzShare& x, uint64_t c, int party,
+                          uint64_t alpha_share) {
+  SpdzShare out = x;
+  if (party == 0) out.value = Field::Add(out.value, c);
+  out.mac = Field::Add(out.mac, Field::Mul(alpha_share, c));
+  return out;
+}
+
+SpdzShare Spdz::MulPublic(const SpdzShare& x, uint64_t c) {
+  return {Field::Mul(x.value, c), Field::Mul(x.mac, c)};
+}
+
+Result<uint64_t> Spdz::Open(const std::vector<SpdzShare>& shares,
+                            const std::vector<uint64_t>& alpha_shares) {
+  uint64_t x = 0;
+  for (const SpdzShare& s : shares) x = Field::Add(x, s.value);
+  // MAC check: each party i computes sigma_i = mac_i - alpha_i * x and the
+  // parties verify that the sigmas sum to zero (in the real protocol via a
+  // commit-and-open round).
+  uint64_t sigma_sum = 0;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    const uint64_t sigma =
+        Field::Sub(shares[i].mac, Field::Mul(alpha_shares[i], x));
+    sigma_sum = Field::Add(sigma_sum, sigma);
+  }
+  if (sigma_sum != 0) {
+    return Status::SecurityError(
+        "SPDZ MAC check failed: a share was tampered with; aborting");
+  }
+  return x;
+}
+
+Result<std::vector<SpdzShare>> Spdz::Multiply(
+    const std::vector<SpdzShare>& x, const std::vector<SpdzShare>& y,
+    const std::vector<SpdzTriple>& triple,
+    const std::vector<uint64_t>& alpha_shares) {
+  const size_t n = x.size();
+  if (y.size() != n || triple.size() != n || alpha_shares.size() != n) {
+    return Status::InvalidArgument("party count mismatch in Multiply");
+  }
+  // Open epsilon = x - a and delta = y - b.
+  std::vector<SpdzShare> eps_shares(n);
+  std::vector<SpdzShare> delta_shares(n);
+  for (size_t i = 0; i < n; ++i) {
+    eps_shares[i] = Sub(x[i], triple[i].a);
+    delta_shares[i] = Sub(y[i], triple[i].b);
+  }
+  MIP_ASSIGN_OR_RETURN(uint64_t eps, Open(eps_shares, alpha_shares));
+  MIP_ASSIGN_OR_RETURN(uint64_t delta, Open(delta_shares, alpha_shares));
+
+  // z = c + eps*b + delta*a + eps*delta.
+  std::vector<SpdzShare> z(n);
+  const uint64_t eps_delta = Field::Mul(eps, delta);
+  for (size_t i = 0; i < n; ++i) {
+    SpdzShare s = triple[i].c;
+    s = Add(s, MulPublic(triple[i].b, eps));
+    s = Add(s, MulPublic(triple[i].a, delta));
+    s = AddPublic(s, eps_delta, static_cast<int>(i), alpha_shares[i]);
+    z[i] = s;
+  }
+  return z;
+}
+
+}  // namespace mip::smpc

@@ -1,0 +1,60 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace mip::stats {
+
+double NormalPdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalCdf(double x, double mean, double stddev) {
+  return NormalCdf((x - mean) / stddev);
+}
+
+double StudentTCdf(double t, double df) {
+  const double x = df / (df + t * t);
+  const double p = 0.5 * RegularizedBeta(x, df / 2.0, 0.5);
+  return t > 0 ? 1.0 - p : p;
+}
+
+double StudentTTwoSidedP(double t, double df) {
+  const double x = df / (df + t * t);
+  return RegularizedBeta(x, df / 2.0, 0.5);
+}
+
+double StudentTQuantile(double p, double df) {
+  if (p <= 0.0) return -1e308;
+  if (p >= 1.0) return 1e308;
+  double lo = -1e3, hi = 1e3;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ChiSquaredCdf(double x, double df) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(df / 2.0, x / 2.0);
+}
+
+double ChiSquaredSf(double x, double df) { return 1.0 - ChiSquaredCdf(x, df); }
+
+double FCdf(double x, double d1, double d2) {
+  if (x <= 0.0) return 0.0;
+  const double z = d1 * x / (d1 * x + d2);
+  return RegularizedBeta(z, d1 / 2.0, d2 / 2.0);
+}
+
+double FSf(double x, double d1, double d2) { return 1.0 - FCdf(x, d1, d2); }
+
+}  // namespace mip::stats

@@ -1,0 +1,38 @@
+#ifndef MIP_STATS_DISTRIBUTIONS_H_
+#define MIP_STATS_DISTRIBUTIONS_H_
+
+namespace mip::stats {
+
+/// Standard normal density.
+double NormalPdf(double x);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Normal CDF with location/scale.
+double NormalCdf(double x, double mean, double stddev);
+
+/// Student-t CDF with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Two-sided p-value for a t statistic.
+double StudentTTwoSidedP(double t, double df);
+
+/// Student-t quantile (inverse CDF) via bisection on the CDF.
+double StudentTQuantile(double p, double df);
+
+/// Chi-squared CDF with `df` degrees of freedom.
+double ChiSquaredCdf(double x, double df);
+
+/// Upper-tail chi-squared p-value.
+double ChiSquaredSf(double x, double df);
+
+/// F-distribution CDF with (d1, d2) degrees of freedom.
+double FCdf(double x, double d1, double d2);
+
+/// Upper-tail F p-value (ANOVA, regression overall test).
+double FSf(double x, double d1, double d2);
+
+}  // namespace mip::stats
+
+#endif  // MIP_STATS_DISTRIBUTIONS_H_

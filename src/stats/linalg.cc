@@ -1,0 +1,201 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+
+namespace mip::stats {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::TypeError("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::ExecutionError(
+          "matrix is not positive definite (pivot " + std::to_string(j) +
+          " = " + std::to_string(diag) + ")");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+namespace {
+
+// Solves L y = b (forward) then L' x = y (backward).
+std::vector<double> CholeskySolveWithFactor(const Matrix& l,
+                                            const std::vector<double>& b) {
+  const size_t n = l.rows();
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double s = y[i];
+    for (size_t k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  if (a.rows() != b.size()) {
+    return Status::TypeError("SolveSpd dimension mismatch");
+  }
+  MIP_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  return CholeskySolveWithFactor(l, b);
+}
+
+Result<Matrix> SolveSpdMulti(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::TypeError("SolveSpdMulti dimension mismatch");
+  }
+  MIP_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    std::vector<double> col = b.Column(c);
+    std::vector<double> sol = CholeskySolveWithFactor(l, col);
+    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Result<Matrix> InverseSpd(const Matrix& a) {
+  return SolveSpdMulti(a, Matrix::Identity(a.rows()));
+}
+
+Result<std::vector<double>> SolveGeneral(Matrix a, std::vector<double> b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::TypeError("SolveGeneral dimension mismatch");
+  }
+  const size_t n = a.rows();
+  std::vector<size_t> piv(n);
+  for (size_t i = 0; i < n; ++i) piv[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t best = col;
+    double best_abs = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > best_abs) {
+        best = r;
+        best_abs = std::fabs(a(r, col));
+      }
+    }
+    if (best_abs < 1e-300) {
+      return Status::ExecutionError("singular matrix in SolveGeneral");
+    }
+    if (best != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(best, c));
+      std::swap(b[col], b[best]);
+    }
+    const double pivot = a(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / pivot;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double s = b[i];
+    for (size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+Result<EigenResult> EigenSymmetric(const Matrix& a_in, int max_sweeps) {
+  if (a_in.rows() != a_in.cols()) {
+    return Status::TypeError("EigenSymmetric requires a square matrix");
+  }
+  const size_t n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-22) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a(p, q)) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenResult out;
+  out.eigenvalues.resize(n);
+  for (size_t i = 0; i < n; ++i) out.eigenvalues[i] = a(i, i);
+  // Sort eigenvalues descending, permute eigenvector columns accordingly.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t i = 0; i < n; ++i) {
+    size_t best = i;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (out.eigenvalues[order[j]] > out.eigenvalues[order[best]]) best = j;
+    }
+    std::swap(order[i], order[best]);
+  }
+  EigenResult sorted;
+  sorted.eigenvalues.resize(n);
+  sorted.eigenvectors = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted.eigenvalues[i] = out.eigenvalues[order[i]];
+    for (size_t r = 0; r < n; ++r) sorted.eigenvectors(r, i) = v(r, order[i]);
+  }
+  return sorted;
+}
+
+Result<double> DeterminantSpd(const Matrix& a) {
+  MIP_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  double det = 1.0;
+  for (size_t i = 0; i < a.rows(); ++i) det *= l(i, i) * l(i, i);
+  return det;
+}
+
+}  // namespace mip::stats

@@ -1,0 +1,46 @@
+#ifndef MIP_STATS_LINALG_H_
+#define MIP_STATS_LINALG_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/matrix.h"
+
+namespace mip::stats {
+
+/// \brief Cholesky factorization A = L L' of a symmetric positive-definite
+/// matrix. Returns the lower-triangular factor L. Fails with ExecutionError
+/// if A is not (numerically) positive definite.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// \brief Solves A x = b for symmetric positive-definite A via Cholesky.
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b);
+
+/// \brief Solves A X = B (multiple right-hand sides) for SPD A.
+Result<Matrix> SolveSpdMulti(const Matrix& a, const Matrix& b);
+
+/// \brief Inverse of an SPD matrix via Cholesky. Used for regression
+/// covariance (standard errors).
+Result<Matrix> InverseSpd(const Matrix& a);
+
+/// \brief Solves a general square system A x = b with partial-pivot LU.
+Result<std::vector<double>> SolveGeneral(Matrix a, std::vector<double> b);
+
+/// \brief Symmetric eigendecomposition via the cyclic Jacobi method.
+///
+/// Returns eigenvalues (descending) and the matrix whose COLUMNS are the
+/// corresponding orthonormal eigenvectors. This powers federated PCA: the
+/// Master eigendecomposes the securely aggregated covariance matrix.
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+};
+Result<EigenResult> EigenSymmetric(const Matrix& a, int max_sweeps = 64);
+
+/// \brief Determinant of an SPD matrix via Cholesky (product of L diag^2).
+Result<double> DeterminantSpd(const Matrix& a);
+
+}  // namespace mip::stats
+
+#endif  // MIP_STATS_LINALG_H_

@@ -1,0 +1,30 @@
+#ifndef MIP_STATS_SPECIAL_H_
+#define MIP_STATS_SPECIAL_H_
+
+namespace mip::stats {
+
+/// \brief Log of the Gamma function (Lanczos approximation, |err| < 1e-13).
+double LogGamma(double x);
+
+/// \brief Regularized lower incomplete gamma P(a, x).
+///
+/// Series expansion for x < a + 1, continued fraction otherwise. Drives the
+/// chi-squared CDF.
+double RegularizedGammaP(double a, double x);
+
+/// \brief Regularized incomplete beta I_x(a, b) via Lentz continued fraction.
+///
+/// Drives the Student-t and F CDFs used for regression / ANOVA / t-test
+/// p-values.
+double RegularizedBeta(double x, double a, double b);
+
+/// \brief Error function (from std, exposed here for symmetry).
+double Erf(double x);
+
+/// \brief Inverse of the standard normal CDF (Acklam's rational
+/// approximation, refined by one Halley step; |err| < 1e-12).
+double NormalQuantile(double p);
+
+}  // namespace mip::stats
+
+#endif  // MIP_STATS_SPECIAL_H_

@@ -1,0 +1,88 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mip::stats {
+
+void SummaryAccumulator::Add(double x) {
+  if (std::isnan(x)) {
+    ++na_;
+    return;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void SummaryAccumulator::Merge(const SummaryAccumulator& other) {
+  na_ += other.na_;
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    n_ = other.n_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_tot = na + nb;
+  mean_ += delta * nb / n_tot;
+  m2_ += other.m2_ + delta * delta * na * nb / n_tot;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double SummaryAccumulator::variance() const {
+  if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double SummaryAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double SummaryAccumulator::standard_error() const {
+  if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+std::vector<double> SummaryAccumulator::ToVector() const {
+  return {static_cast<double>(n_), static_cast<double>(na_), mean_, m2_,
+          min_,                    max_};
+}
+
+SummaryAccumulator SummaryAccumulator::FromVector(
+    const std::vector<double>& v) {
+  SummaryAccumulator acc;
+  if (v.size() != 6) return acc;
+  acc.n_ = static_cast<int64_t>(v[0]);
+  acc.na_ = static_cast<int64_t>(v[1]);
+  acc.mean_ = v[2];
+  acc.m2_ = v[3];
+  acc.min_ = v[4];
+  acc.max_ = v[5];
+  return acc;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double x) { return std::isnan(x); }),
+               values.end());
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace mip::stats

@@ -1,0 +1,405 @@
+#include "udf/udf.h"
+
+#include <functional>
+#include <set>
+
+#include "common/string_util.h"
+#include "engine/expr.h"
+#include "engine/operators.h"
+#include "engine/row_interpreter.h"
+#include "engine/sql_parser.h"
+#include "engine/vectorized.h"
+
+namespace mip::udf {
+
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::Expr;
+using engine::ExprPtr;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+
+// Replaces column references that name scalar results with literals.
+void SubstituteScalars(Expr* expr, const std::map<std::string, Value>& scalars) {
+  if (expr->kind == engine::ExprKind::kColumnRef) {
+    auto it = scalars.find(ToLower(expr->column_name));
+    if (it != scalars.end()) {
+      expr->kind = engine::ExprKind::kLiteral;
+      expr->literal = it->second;
+      expr->column_name.clear();
+    }
+    return;
+  }
+  for (auto& a : expr->args) SubstituteScalars(a.get(), scalars);
+}
+
+// Deep-copies an expression tree.
+ExprPtr CloneExpr(const Expr& e) {
+  auto out = std::make_shared<Expr>(e);
+  out->args.clear();
+  for (const auto& a : e.args) out->args.push_back(CloneExpr(*a));
+  return out;
+}
+
+// Inlines previous elementwise step expressions into `expr_text` so a
+// pipeline folds into one SELECT (textual SQL generation).
+Result<std::string> InlineExpr(
+    const std::string& expr_text,
+    const std::map<std::string, std::string>& definitions) {
+  MIP_ASSIGN_OR_RETURN(ExprPtr parsed, engine::ParseExpression(expr_text));
+  ExprPtr copy = CloneExpr(*parsed);
+  std::function<void(Expr*)> rewrite = [&](Expr* node) {
+    if (node->kind == engine::ExprKind::kColumnRef) {
+      auto it = definitions.find(ToLower(node->column_name));
+      if (it != definitions.end()) {
+        node->column_name = "(" + it->second + ")";
+      }
+      return;
+    }
+    for (auto& a : node->args) rewrite(a.get());
+  };
+  rewrite(copy.get());
+  return copy->ToString();
+}
+
+}  // namespace
+
+Status UdfGenerator::Validate(const UdfDefinition& def) const {
+  if (def.name.empty()) return Status::InvalidArgument("UDF needs a name");
+  if (def.outputs.empty()) {
+    return Status::InvalidArgument("UDF '" + def.name + "' has no outputs");
+  }
+  std::set<std::string> names;
+  for (const Field& f : def.input_schema.fields()) {
+    names.insert(ToLower(f.name));
+  }
+  for (const UdfStep& step : def.steps) {
+    if (step.name.empty()) {
+      return Status::InvalidArgument("every UDF step needs a result name");
+    }
+    if (!names.insert(ToLower(step.name)).second) {
+      return Status::AlreadyExists("duplicate step name '" + step.name + "'");
+    }
+    switch (step.kind) {
+      case UdfStep::Kind::kElementwise:
+        if (step.expr.empty()) {
+          return Status::InvalidArgument("elementwise step '" + step.name +
+                                         "' has no expression");
+        }
+        break;
+      case UdfStep::Kind::kReduce: {
+        static const std::set<std::string> kAggs = {
+            "sum", "avg", "min", "max", "count", "var_samp", "stddev_samp"};
+        if (kAggs.count(ToLower(step.agg)) == 0) {
+          return Status::InvalidArgument("unknown reduce '" + step.agg + "'");
+        }
+        if (names.count(ToLower(step.arg)) == 0) {
+          return Status::NotFound("reduce argument '" + step.arg +
+                                  "' is not defined before step '" +
+                                  step.name + "'");
+        }
+        break;
+      }
+      case UdfStep::Kind::kLoopback:
+        if (step.loopback.empty()) {
+          return Status::InvalidArgument("loopback step '" + step.name +
+                                         "' has no SQL");
+        }
+        break;
+    }
+  }
+  for (const std::string& out : def.outputs) {
+    if (names.count(ToLower(out)) == 0) {
+      return Status::NotFound("output '" + out + "' is not produced");
+    }
+  }
+  return Status::OK();
+}
+
+Result<engine::Table> UdfGenerator::Execute(const UdfDefinition& def,
+                                            const std::string& input_table,
+                                            UdfExecutionMode mode) {
+  MIP_RETURN_NOT_OK(Validate(def));
+  MIP_ASSIGN_OR_RETURN(Table input, db_->GetTable(input_table));
+  for (const Field& f : def.input_schema.fields()) {
+    if (input.schema().FieldIndex(f.name) < 0) {
+      return Status::TypeError("input table '" + input_table +
+                               "' lacks required column '" + f.name + "'");
+    }
+  }
+
+  // Environment: named vectors (as a growing table) + named scalars.
+  Schema env_schema;
+  std::vector<Column> env_columns;
+  for (const Field& f : def.input_schema.fields()) {
+    MIP_ASSIGN_OR_RETURN(const Column* col, input.ColumnByName(f.name));
+    MIP_RETURN_NOT_OK(env_schema.AddField(Field{ToLower(f.name), col->type()}));
+    env_columns.push_back(*col);
+  }
+  std::map<std::string, Value> scalars;
+
+  for (const UdfStep& step : def.steps) {
+    switch (step.kind) {
+      case UdfStep::Kind::kElementwise: {
+        MIP_ASSIGN_OR_RETURN(ExprPtr expr,
+                             engine::ParseExpression(step.expr));
+        SubstituteScalars(expr.get(), scalars);
+        MIP_ASSIGN_OR_RETURN(
+            Table env, Table::Make(env_schema, env_columns));
+        MIP_RETURN_NOT_OK(
+            engine::BindExpr(expr.get(), env.schema(), db_->functions()));
+        Column result(expr->result_type);
+        switch (mode) {
+          case UdfExecutionMode::kRowInterpreter: {
+            for (size_t r = 0; r < env.num_rows(); ++r) {
+              MIP_ASSIGN_OR_RETURN(
+                  Value v, engine::EvalRow(*expr, env, r, db_->functions()));
+              MIP_RETURN_NOT_OK(result.AppendValue(v));
+            }
+            break;
+          }
+          case UdfExecutionMode::kVectorized: {
+            MIP_ASSIGN_OR_RETURN(
+                result, engine::EvalVectorized(*expr, env, db_->functions()));
+            break;
+          }
+          case UdfExecutionMode::kJitFused: {
+            Result<engine::VectorProgram> program =
+                engine::VectorProgram::Compile(*expr, env.schema());
+            if (program.ok()) {
+              MIP_ASSIGN_OR_RETURN(result,
+                                   program.ValueOrDie().Execute(env));
+            } else {
+              // Graceful fallback for non-compilable expressions.
+              MIP_ASSIGN_OR_RETURN(
+                  result,
+                  engine::EvalVectorized(*expr, env, db_->functions()));
+            }
+            break;
+          }
+        }
+        MIP_RETURN_NOT_OK(env_schema.AddField(
+            Field{ToLower(step.name), result.type()}));
+        env_columns.push_back(std::move(result));
+        break;
+      }
+      case UdfStep::Kind::kReduce: {
+        MIP_ASSIGN_OR_RETURN(Table env, Table::Make(env_schema, env_columns));
+        engine::AggregateSpec spec;
+        const std::string agg = ToLower(step.agg);
+        if (agg == "sum") spec.func = engine::AggFunc::kSum;
+        else if (agg == "avg") spec.func = engine::AggFunc::kAvg;
+        else if (agg == "min") spec.func = engine::AggFunc::kMin;
+        else if (agg == "max") spec.func = engine::AggFunc::kMax;
+        else if (agg == "count") spec.func = engine::AggFunc::kCount;
+        else if (agg == "var_samp") spec.func = engine::AggFunc::kVarSamp;
+        else spec.func = engine::AggFunc::kStddevSamp;
+        spec.arg = engine::Col(step.arg);
+        MIP_RETURN_NOT_OK(engine::BindExpr(spec.arg.get(), env.schema(),
+                                           db_->functions()));
+        spec.output_name = step.name;
+        MIP_ASSIGN_OR_RETURN(Table agg_out,
+                             engine::AggregateAll(env, {spec},
+                                                  db_->functions()));
+        scalars[ToLower(step.name)] = agg_out.At(0, 0);
+        break;
+      }
+      case UdfStep::Kind::kLoopback: {
+        MIP_ASSIGN_OR_RETURN(Table lb, db_->ExecuteSql(step.loopback));
+        if (lb.num_columns() == 0 || lb.num_rows() == 0) {
+          return Status::ExecutionError("loopback query for step '" +
+                                        step.name + "' returned no data");
+        }
+        if (lb.num_rows() == 1) {
+          scalars[ToLower(step.name)] = lb.At(0, 0);
+        } else {
+          MIP_RETURN_NOT_OK(env_schema.AddField(
+              Field{ToLower(step.name), lb.column(0).type()}));
+          env_columns.push_back(lb.column(0));
+        }
+        break;
+      }
+    }
+  }
+
+  // Assemble outputs.
+  Schema out_schema;
+  std::vector<Column> out_columns;
+  bool all_scalar = true;
+  for (const std::string& out : def.outputs) {
+    if (scalars.count(ToLower(out)) == 0) all_scalar = false;
+  }
+  for (const std::string& out : def.outputs) {
+    const std::string key = ToLower(out);
+    auto sit = scalars.find(key);
+    if (sit != scalars.end()) {
+      DataType type = DataType::kFloat64;
+      if (sit->second.kind() == Value::Kind::kInt) type = DataType::kInt64;
+      if (sit->second.kind() == Value::Kind::kString) {
+        type = DataType::kString;
+      }
+      Column col(type);
+      if (all_scalar) {
+        MIP_RETURN_NOT_OK(col.AppendValue(sit->second));
+      } else {
+        // Broadcast the scalar along the relation outputs.
+        const size_t rows = env_columns.empty() ? 1 : env_columns[0].length();
+        for (size_t r = 0; r < rows; ++r) {
+          MIP_RETURN_NOT_OK(col.AppendValue(sit->second));
+        }
+      }
+      MIP_RETURN_NOT_OK(out_schema.AddField(Field{key, type}));
+      out_columns.push_back(std::move(col));
+      continue;
+    }
+    const int idx = env_schema.FieldIndex(key);
+    if (idx < 0) return Status::NotFound("output '" + out + "' missing");
+    MIP_RETURN_NOT_OK(
+        out_schema.AddField(Field{key, env_columns[idx].type()}));
+    out_columns.push_back(env_columns[static_cast<size_t>(idx)]);
+  }
+  return Table::Make(std::move(out_schema), std::move(out_columns));
+}
+
+Result<GeneratedUdf> UdfGenerator::Generate(const UdfDefinition& def,
+                                            UdfExecutionMode mode) {
+  MIP_RETURN_NOT_OK(Validate(def));
+
+  GeneratedUdf out;
+  out.name = def.name;
+
+  // --- Declarative SQL rendering --------------------------------------
+  // Pure elementwise / trailing-reduce pipelines fold into one SELECT by
+  // inlining step expressions.
+  bool single = true;
+  std::map<std::string, std::string> inline_defs;
+  std::map<std::string, std::string> reduce_defs;  // name -> agg(expr)
+  for (const UdfStep& step : def.steps) {
+    if (step.kind == UdfStep::Kind::kElementwise) {
+      // An elementwise step that references a reduce result cannot fold.
+      MIP_ASSIGN_OR_RETURN(ExprPtr parsed,
+                           engine::ParseExpression(step.expr));
+      bool uses_reduce = false;
+      std::function<void(const Expr&)> scan = [&](const Expr& e) {
+        if (e.kind == engine::ExprKind::kColumnRef &&
+            reduce_defs.count(ToLower(e.column_name)) > 0) {
+          uses_reduce = true;
+        }
+        for (const auto& a : e.args) scan(*a);
+      };
+      scan(*parsed);
+      if (uses_reduce) {
+        single = false;
+        break;
+      }
+      MIP_ASSIGN_OR_RETURN(std::string inlined,
+                           InlineExpr(step.expr, inline_defs));
+      inline_defs[ToLower(step.name)] = inlined;
+    } else if (step.kind == UdfStep::Kind::kReduce) {
+      std::string arg_sql = ToLower(step.arg);
+      auto it = inline_defs.find(arg_sql);
+      if (it != inline_defs.end()) arg_sql = it->second;
+      reduce_defs[ToLower(step.name)] =
+          ToLower(step.agg) + "(" + arg_sql + ")";
+    } else {
+      single = false;
+      break;
+    }
+  }
+  if (single) {
+    std::string select = "SELECT ";
+    bool first = true;
+    for (const std::string& o : def.outputs) {
+      if (!first) select += ", ";
+      first = false;
+      const std::string key = ToLower(o);
+      if (reduce_defs.count(key) > 0) {
+        select += reduce_defs[key] + " AS " + key;
+      } else if (inline_defs.count(key) > 0) {
+        select += inline_defs[key] + " AS " + key;
+      } else {
+        select += key;
+      }
+    }
+    select += " FROM $input";
+    out.sql.push_back(select);
+    out.single_select = true;
+  } else {
+    // Multi-statement rendering: one statement per stage.
+    for (const UdfStep& step : def.steps) {
+      switch (step.kind) {
+        case UdfStep::Kind::kElementwise:
+          out.sql.push_back("SELECT " + step.expr + " AS " + step.name +
+                            " FROM $env");
+          break;
+        case UdfStep::Kind::kReduce:
+          out.sql.push_back("SELECT " + step.agg + "(" + step.arg + ") AS " +
+                            step.name + " FROM $env");
+          break;
+        case UdfStep::Kind::kLoopback:
+          out.sql.push_back(step.loopback);
+          break;
+      }
+    }
+  }
+
+  // --- Count fused instructions (JIT lowering metric) -----------------
+  {
+    Schema env_schema = def.input_schema;
+    for (const UdfStep& step : def.steps) {
+      if (step.kind != UdfStep::Kind::kElementwise) continue;
+      Result<ExprPtr> parsed = engine::ParseExpression(step.expr);
+      if (!parsed.ok()) continue;
+      ExprPtr expr = parsed.MoveValueUnsafe();
+      // Scalars unknown at generation time: bind as double columns.
+      Schema bind_schema = env_schema;
+      if (engine::BindExpr(expr.get(), bind_schema, db_->functions()).ok()) {
+        Result<engine::VectorProgram> program =
+            engine::VectorProgram::Compile(*expr, bind_schema);
+        if (program.ok()) {
+          out.jit_instructions += program.ValueOrDie().num_instructions();
+        }
+        (void)env_schema.AddField(
+            Field{ToLower(step.name), expr->result_type});
+      }
+    }
+  }
+
+  // --- Registration ----------------------------------------------------
+  // The closure captures the database, not the (possibly short-lived)
+  // generator object.
+  UdfDefinition def_copy = def;
+  engine::Database* db = db_;
+  engine::FunctionRegistry::TableFunction fn;
+  fn.name = def.name;
+  fn.fn = [db, def_copy, mode](const std::vector<Value>& args)
+      -> Result<Table> {
+    if (args.size() != 1 || args[0].kind() != Value::Kind::kString) {
+      return Status::InvalidArgument(
+          "UDF '" + def_copy.name +
+          "' expects one string argument: the input table name");
+    }
+    UdfGenerator generator(db);
+    return generator.Execute(def_copy, args[0].string_value(), mode);
+  };
+  MIP_RETURN_NOT_OK(db_->functions()->RegisterTable(std::move(fn)));
+  return out;
+}
+
+Status RegisterScalarUdf(
+    engine::Database* db, const std::string& name, int arity,
+    engine::DataType result_type,
+    std::function<engine::Value(const std::vector<engine::Value>&)> fn) {
+  engine::FunctionRegistry::ScalarFunction f;
+  f.name = name;
+  f.arity = arity;
+  f.result_type = result_type;
+  f.fn = std::move(fn);
+  return db->functions()->RegisterScalar(std::move(f));
+}
+
+}  // namespace mip::udf

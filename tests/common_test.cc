@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mip {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad thing");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  MIP_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_TRUE(QuarterViaMacro(8).ok());
+  EXPECT_EQ(*QuarterViaMacro(8), 2);
+  EXPECT_FALSE(QuarterViaMacro(6).ok());  // 3 is odd
+  EXPECT_FALSE(QuarterViaMacro(5).ok());
+}
+
+TEST(BytesTest, ScalarRoundTrip) {
+  BufferWriter w;
+  w.WriteU8(7);
+  w.WriteU32(123456);
+  w.WriteU64(0xDEADBEEFCAFEull);
+  w.WriteI64(-42);
+  w.WriteDouble(3.25);
+  w.WriteBool(true);
+  w.WriteString("hello");
+
+  BufferReader r(w.bytes());
+  EXPECT_EQ(*r.ReadU8(), 7);
+  EXPECT_EQ(*r.ReadU32(), 123456u);
+  EXPECT_EQ(*r.ReadU64(), 0xDEADBEEFCAFEull);
+  EXPECT_EQ(*r.ReadI64(), -42);
+  EXPECT_EQ(*r.ReadDouble(), 3.25);
+  EXPECT_EQ(*r.ReadBool(), true);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VectorRoundTrip) {
+  BufferWriter w;
+  w.WriteDoubleVector({1.5, -2.5, 0.0});
+  w.WriteU64Vector({1, 2, 3, 4});
+  w.WriteI64Vector({-1, 0, 1});
+  BufferReader r(w.bytes());
+  EXPECT_EQ(*r.ReadDoubleVector(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(*r.ReadU64Vector(), (std::vector<uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(*r.ReadI64Vector(), (std::vector<int64_t>{-1, 0, 1}));
+}
+
+TEST(BytesTest, TruncatedReadFails) {
+  BufferWriter w;
+  w.WriteU32(10);
+  BufferReader r(w.bytes());
+  EXPECT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadDouble().ok());
+}
+
+TEST(BytesTest, MaliciousLengthPrefixIsRejected) {
+  // A string claiming 2^31 bytes with only 4 available must error, not
+  // crash.
+  BufferWriter w;
+  w.WriteU32(0x7FFFFFFF);
+  w.AppendRaw("abcd", 4);
+  BufferReader r(w.bytes());
+  EXPECT_FALSE(r.ReadString().ok());
+  BufferReader r2(w.bytes());
+  EXPECT_FALSE(r2.ReadDoubleVector().ok());
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsUnbiasedEnough) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(2024);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LaplaceMoments) {
+  Rng rng(555);
+  const double b = 2.0;
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextLaplace(b);
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 2 * b * b, 0.3);  // Var(Laplace) = 2b^2
+}
+
+TEST(RngTest, GammaMean) {
+  Rng rng(31337);
+  const double shape = 2.5, scale = 1.5;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGamma(shape, scale);
+  EXPECT_NEAR(sum / n, shape * scale, 0.1);
+}
+
+TEST(RngTest, GammaSmallShape) {
+  Rng rng(31338);
+  const double shape = 0.25, scale = 2.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGamma(shape, scale);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, shape * scale, 0.05);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(17);
+  std::vector<size_t> p = rng.Permutation(100);
+  std::vector<bool> seen(100, false);
+  for (size_t v : p) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(4242);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextCategorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinTrimCase) {
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("abc"), "ABC");
+  EXPECT_TRUE(StartsWith("federated", "fed"));
+  EXPECT_FALSE(StartsWith("fed", "federated"));
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(EqualsIgnoreCase("group", "groups"));
+}
+
+}  // namespace
+}  // namespace mip

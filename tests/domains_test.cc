@@ -1,0 +1,147 @@
+// The paper's non-dementia pathologies: epilepsy (intracerebral EEG
+// features) and traumatic brain injury, each with its own CDE catalog and
+// synthetic cohort, analyzed federated end to end.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/anova.h"
+#include "algorithms/calibration_belt.h"
+#include "algorithms/decision_tree.h"
+#include "algorithms/logistic_regression.h"
+#include "data/synthetic.h"
+#include "etl/cde.h"
+#include "federation/master.h"
+
+namespace mip {
+namespace {
+
+using engine::Table;
+using federation::FederationSession;
+using federation::MasterNode;
+
+TEST(EpilepsyDomainTest, CatalogResolvesIeegAliases) {
+  const etl::CdeCatalog catalog = etl::EpilepsyCatalog();
+  EXPECT_EQ(catalog.domain(), "epilepsy");
+  ASSERT_NE(catalog.Resolve("spike_rate"), nullptr);
+  EXPECT_EQ(catalog.Resolve("spike_rate")->name, "ieeg_spike_rate");
+  EXPECT_EQ(catalog.Resolve("engel")->name, "engel_class");
+  const etl::CdeVariable* engel = *catalog.GetVariable("engel_class");
+  EXPECT_EQ(engel->enumeration.size(), 4u);
+}
+
+TEST(EpilepsyDomainTest, CohortHarmonizesCleanly) {
+  Table cohort = *data::GenerateEpilepsyCohort(500, 7);
+  etl::HarmonizationReport report;
+  Table clean = *etl::Harmonize(cohort, etl::EpilepsyCatalog(), &report);
+  EXPECT_EQ(report.rows_in, 500);
+  EXPECT_EQ(report.rows_out, 500);
+  EXPECT_EQ(report.cells_nulled_out_of_range, 0);
+  EXPECT_EQ(report.cells_nulled_bad_enum, 0);
+}
+
+TEST(EpilepsyDomainTest, FederatedAnalysisFindsSurgicalPredictors) {
+  MasterNode master;
+  for (int s = 0; s < 3; ++s) {
+    const std::string id = "epi_center_" + std::to_string(s);
+    ASSERT_TRUE(master.AddWorker(id).ok());
+    ASSERT_TRUE(master.LoadDataset(
+                         id, "epilepsy",
+                         *data::GenerateEpilepsyCohort(600, 100 + s))
+                    .ok());
+  }
+
+  // HFO rate differs across Engel outcome classes (ANOVA).
+  algorithms::AnovaOneWaySpec anova;
+  anova.datasets = {"epilepsy"};
+  anova.outcome = "ieeg_hfo_rate";
+  anova.factor = "engel_class";
+  FederationSession s1 = *master.StartSession({"epilepsy"});
+  algorithms::AnovaOneWayResult hfo = *RunAnovaOneWay(&s1, anova);
+  EXPECT_LT(hfo.p_value, 1e-6);
+
+  // Seizure freedom (Engel I) predicted by iEEG features.
+  algorithms::LogisticRegressionSpec logreg;
+  logreg.datasets = {"epilepsy"};
+  logreg.covariates = {"ieeg_hfo_rate", "seizure_frequency"};
+  logreg.target = "engel_class";
+  logreg.positive_class = "I";
+  FederationSession s2 = *master.StartSession({"epilepsy"});
+  algorithms::LogisticRegressionResult fit =
+      *RunLogisticRegression(&s2, logreg);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_GT(fit.coefficients[1].estimate, 0.0);  // HFO raises Engel-I odds
+  EXPECT_LT(fit.coefficients[1].p_value, 1e-3);
+
+  // ID3 on the lesional flag.
+  algorithms::Id3Spec id3;
+  id3.datasets = {"epilepsy"};
+  id3.features = {"mri_lesional"};
+  id3.target = "engel_class";
+  id3.max_depth = 1;
+  FederationSession s3 = *master.StartSession({"epilepsy"});
+  auto tree = RunId3(&s3, id3);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree.ValueOrDie().root->is_leaf);
+}
+
+TEST(TbiDomainTest, CatalogAndCohort) {
+  const etl::CdeCatalog catalog = etl::TbiCatalog();
+  EXPECT_EQ(catalog.Resolve("gcs")->name, "gcs_total");
+  Table cohort = *data::GenerateTbiCohort(800, 3);
+  etl::HarmonizationReport report;
+  Table clean = *etl::Harmonize(cohort, catalog, &report);
+  EXPECT_EQ(report.rows_out, 800);
+  // GCS stays in its CDE range by construction.
+  EXPECT_EQ(report.cells_nulled_out_of_range, 0);
+}
+
+TEST(TbiDomainTest, CalibrationBeltOnImpactLikeModel) {
+  MasterNode master;
+  ASSERT_TRUE(master.AddWorker("icu_a").ok());
+  ASSERT_TRUE(master.AddWorker("icu_b").ok());
+  ASSERT_TRUE(master.LoadDataset("icu_a", "tbi",
+                                 *data::GenerateTbiCohort(2500, 11, 0.0))
+                  .ok());
+  ASSERT_TRUE(master.LoadDataset("icu_b", "tbi",
+                                 *data::GenerateTbiCohort(2500, 12, 0.0))
+                  .ok());
+  algorithms::CalibrationBeltSpec spec;
+  spec.datasets = {"tbi"};
+  spec.probability_variable = "predicted_mortality";
+  spec.outcome_variable = "mortality_6m";
+  FederationSession s1 = *master.StartSession({"tbi"});
+  algorithms::CalibrationBeltResult good = *RunCalibrationBelt(&s1, spec);
+  EXPECT_TRUE(good.covers_diagonal_95);
+
+  // A drifted model (e.g. applied to a new era of care) gets flagged.
+  ASSERT_TRUE(master.AddWorker("icu_c").ok());
+  ASSERT_TRUE(master.LoadDataset("icu_c", "tbi_drift",
+                                 *data::GenerateTbiCohort(4000, 13, 0.9))
+                  .ok());
+  spec.datasets = {"tbi_drift"};
+  FederationSession s2 = *master.StartSession({"tbi_drift"});
+  algorithms::CalibrationBeltResult drifted = *RunCalibrationBelt(&s2, spec);
+  EXPECT_FALSE(drifted.covers_diagonal_95);
+}
+
+TEST(TbiDomainTest, MortalityRisesWithSeverity) {
+  Table cohort = *data::GenerateTbiCohort(6000, 21);
+  const int gcs = cohort.schema().FieldIndex("gcs_total");
+  const int died = cohort.schema().FieldIndex("mortality_6m");
+  double dead_low = 0, n_low = 0, dead_high = 0, n_high = 0;
+  for (size_t r = 0; r < cohort.num_rows(); ++r) {
+    if (cohort.At(r, gcs).AsDouble() <= 6) {
+      dead_low += cohort.At(r, died).AsDouble();
+      n_low += 1;
+    } else if (cohort.At(r, gcs).AsDouble() >= 13) {
+      dead_high += cohort.At(r, died).AsDouble();
+      n_high += 1;
+    }
+  }
+  ASSERT_GT(n_low, 100);
+  ASSERT_GT(n_high, 100);
+  EXPECT_GT(dead_low / n_low, 2.0 * dead_high / n_high);
+}
+
+}  // namespace
+}  // namespace mip

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dp/mechanisms.h"
+
+namespace mip::dp {
+namespace {
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  LaplaceMechanism mech(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(mech.scale(), 4.0);
+}
+
+TEST(LaplaceMechanismTest, NoiseHasTargetVariance) {
+  Rng rng(1);
+  LaplaceMechanism mech(1.0, 1.0);  // b = 1, Var = 2
+  double sum = 0, sumsq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double err = mech.Apply(10.0, &rng) - 10.0;
+    sum += err;
+    sumsq += err * err;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 2.0, 0.1);
+}
+
+TEST(GaussianMechanismTest, SigmaFollowsClassicFormula) {
+  GaussianMechanism mech(1.0, 1e-5, 1.0);
+  EXPECT_NEAR(mech.sigma(), std::sqrt(2.0 * std::log(1.25e5)), 1e-12);
+  // Halving epsilon doubles sigma.
+  GaussianMechanism tight(0.5, 1e-5, 1.0);
+  EXPECT_NEAR(tight.sigma(), 2.0 * mech.sigma(), 1e-12);
+}
+
+TEST(GaussianMechanismTest, VectorNoiseIsIndependent) {
+  Rng rng(2);
+  GaussianMechanism mech(1.0, 1e-5, 1.0);
+  std::vector<double> base(3, 0.0);
+  std::vector<double> a = mech.ApplyVector(base, &rng);
+  std::vector<double> b = mech.ApplyVector(base, &rng);
+  EXPECT_NE(a[0], b[0]);
+  EXPECT_NE(a[1], a[2]);
+}
+
+TEST(ClipTest, L2ClippingBehaviour) {
+  const std::vector<double> small = {0.3, 0.4};  // norm 0.5
+  EXPECT_EQ(ClipL2(small, 1.0), small);  // unchanged
+  const std::vector<double> big = {3.0, 4.0};  // norm 5
+  std::vector<double> clipped = ClipL2(big, 1.0);
+  EXPECT_NEAR(std::sqrt(clipped[0] * clipped[0] + clipped[1] * clipped[1]),
+              1.0, 1e-12);
+  EXPECT_NEAR(clipped[0] / clipped[1], big[0] / big[1], 1e-12);  // direction
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_EQ(ClipL2(zero, 1.0), zero);
+}
+
+TEST(AccountantTest, BasicComposition) {
+  PrivacyAccountant acc;
+  acc.Spend(0.1, 1e-6);
+  acc.Spend(0.2, 1e-6);
+  acc.Spend(0.3, 0.0);
+  EXPECT_EQ(acc.num_releases(), 3);
+  EXPECT_NEAR(acc.TotalEpsilonBasic(), 0.6, 1e-12);
+  EXPECT_NEAR(acc.TotalDeltaBasic(), 2e-6, 1e-18);
+  EXPECT_FALSE(acc.ExceedsBudget(1.0));
+  EXPECT_TRUE(acc.ExceedsBudget(0.5));
+}
+
+TEST(AccountantTest, AdvancedCompositionBeatsBasicForManySmallSteps) {
+  PrivacyAccountant acc;
+  const int k = 100;
+  const double eps = 0.01;
+  for (int i = 0; i < k; ++i) acc.Spend(eps, 1e-7);
+  const double basic = acc.TotalEpsilonBasic();
+  const double advanced = acc.TotalEpsilonAdvanced(1e-5);
+  EXPECT_NEAR(basic, 1.0, 1e-9);
+  EXPECT_LT(advanced, basic);
+  // Formula check.
+  const double expected = eps * std::sqrt(2.0 * k * std::log(1e5)) +
+                          k * eps * (std::exp(eps) - 1.0);
+  EXPECT_NEAR(advanced, expected, 1e-12);
+}
+
+TEST(AccountantTest, HeterogeneousFallsBackToBasic) {
+  PrivacyAccountant acc;
+  acc.Spend(0.1);
+  acc.Spend(0.2);
+  EXPECT_NEAR(acc.TotalEpsilonAdvanced(1e-5), 0.3, 1e-12);
+}
+
+TEST(AccountantTest, EmptyAccountant) {
+  PrivacyAccountant acc;
+  EXPECT_EQ(acc.TotalEpsilonBasic(), 0.0);
+  EXPECT_EQ(acc.TotalEpsilonAdvanced(1e-5), 0.0);
+}
+
+}  // namespace
+}  // namespace mip::dp

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/row_interpreter.h"
+#include "engine/sql_parser.h"
+#include "engine/vector_program.h"
+#include "engine/vectorized.h"
+
+namespace mip::engine {
+namespace {
+
+class SqlExtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE p (id bigint, vol double, "
+                               "dx varchar, age double)").ok());
+    ASSERT_TRUE(db_.ExecuteSql(
+        "INSERT INTO p VALUES "
+        "(1, 3.1, 'CN', 70), (2, 2.2, 'AD', 75), (3, 2.9, 'MCI', 68), "
+        "(4, 1.9, 'AD', 80), (5, NULL, 'CN', 66), (6, 3.4, 'CN', 72)").ok());
+  }
+  Database db_{"ext"};
+};
+
+TEST_F(SqlExtTest, CaseWhenClassifies) {
+  Table out = *db_.ExecuteSql(
+      "SELECT id, CASE WHEN vol < 2.0 THEN 'severe' "
+      "WHEN vol < 3.0 THEN 'moderate' ELSE 'normal' END AS severity "
+      "FROM p ORDER BY id");
+  EXPECT_EQ(out.At(0, 1).string_value(), "normal");    // 3.1
+  EXPECT_EQ(out.At(1, 1).string_value(), "moderate");  // 2.2
+  EXPECT_EQ(out.At(3, 1).string_value(), "severe");    // 1.9
+  // NULL vol matches no WHEN -> ELSE branch.
+  EXPECT_EQ(out.At(4, 1).string_value(), "normal");
+}
+
+TEST_F(SqlExtTest, CaseWithoutElseYieldsNull) {
+  Table out = *db_.ExecuteSql(
+      "SELECT id, CASE WHEN vol > 3.0 THEN 1 END AS big FROM p ORDER BY id");
+  EXPECT_EQ(out.At(0, 1).AsInt(), 1);
+  EXPECT_TRUE(out.At(1, 1).is_null());
+}
+
+TEST_F(SqlExtTest, CaseNumericInAggregates) {
+  // The classic conditional-count idiom.
+  Table out = *db_.ExecuteSql(
+      "SELECT sum(CASE WHEN dx = 'AD' THEN 1 ELSE 0 END) AS n_ad FROM p");
+  EXPECT_EQ(out.At(0, 0).AsDouble(), 2.0);
+}
+
+TEST_F(SqlExtTest, InAndNotIn) {
+  Table in_list = *db_.ExecuteSql(
+      "SELECT id FROM p WHERE dx IN ('AD', 'MCI') ORDER BY id");
+  ASSERT_EQ(in_list.num_rows(), 3u);
+  EXPECT_EQ(in_list.At(0, 0).int_value(), 2);
+  Table not_in = *db_.ExecuteSql(
+      "SELECT id FROM p WHERE id NOT IN (1, 2, 3) ORDER BY id");
+  ASSERT_EQ(not_in.num_rows(), 3u);
+  EXPECT_EQ(not_in.At(0, 0).int_value(), 4);
+}
+
+TEST_F(SqlExtTest, BetweenAndNotBetween) {
+  Table mid = *db_.ExecuteSql(
+      "SELECT id FROM p WHERE age BETWEEN 68 AND 75 ORDER BY id");
+  ASSERT_EQ(mid.num_rows(), 4u);  // 70, 75, 68, 72
+  Table tails = *db_.ExecuteSql(
+      "SELECT id FROM p WHERE age NOT BETWEEN 68 AND 75 ORDER BY id");
+  ASSERT_EQ(tails.num_rows(), 2u);  // 80, 66
+}
+
+TEST_F(SqlExtTest, LikePatterns) {
+  Table starts = *db_.ExecuteSql("SELECT id FROM p WHERE dx LIKE 'M%'");
+  ASSERT_EQ(starts.num_rows(), 1u);
+  EXPECT_EQ(starts.At(0, 0).int_value(), 3);
+  Table underscore =
+      *db_.ExecuteSql("SELECT count(*) AS n FROM p WHERE dx LIKE '_D'");
+  EXPECT_EQ(underscore.At(0, 0).int_value(), 2);  // AD twice
+  Table contains =
+      *db_.ExecuteSql("SELECT count(*) AS n FROM p WHERE dx LIKE '%C%'");
+  EXPECT_EQ(contains.At(0, 0).int_value(), 4);  // CN x3, MCI
+  Table negated =
+      *db_.ExecuteSql("SELECT count(*) AS n FROM p WHERE dx NOT LIKE 'CN'");
+  EXPECT_EQ(negated.At(0, 0).int_value(), 3);
+}
+
+TEST_F(SqlExtTest, CastConversions) {
+  Table out = *db_.ExecuteSql(
+      "SELECT CAST(vol AS bigint) AS v_int, CAST(id AS varchar) AS id_s, "
+      "CAST(dx AS varchar) AS dx2 FROM p WHERE id = 1");
+  EXPECT_EQ(out.At(0, 0).int_value(), 3);
+  EXPECT_EQ(out.At(0, 1).string_value(), "1");
+  EXPECT_EQ(out.At(0, 2).string_value(), "CN");
+  EXPECT_EQ(out.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(out.schema().field(1).type, DataType::kString);
+}
+
+TEST_F(SqlExtTest, CastStringToNumber) {
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE raw (v varchar)").ok());
+  ASSERT_TRUE(db_.ExecuteSql(
+      "INSERT INTO raw VALUES ('3.5'), ('nope'), ('42')").ok());
+  Table out = *db_.ExecuteSql("SELECT CAST(v AS double) AS d FROM raw");
+  EXPECT_EQ(out.At(0, 0).AsDouble(), 3.5);
+  EXPECT_TRUE(out.At(1, 0).is_null());  // unparseable -> NULL
+  EXPECT_EQ(out.At(2, 0).AsDouble(), 42.0);
+}
+
+TEST_F(SqlExtTest, CountDistinct) {
+  Table out = *db_.ExecuteSql(
+      "SELECT count(distinct dx) AS kinds, count(dx) AS total FROM p");
+  EXPECT_EQ(out.At(0, 0).int_value(), 3);
+  EXPECT_EQ(out.At(0, 1).int_value(), 6);
+  // Grouped distinct.
+  Table grouped = *db_.ExecuteSql(
+      "SELECT dx, count(distinct age) AS ages FROM p GROUP BY dx "
+      "ORDER BY dx");
+  EXPECT_EQ(grouped.At(0, 0).string_value(), "AD");
+  EXPECT_EQ(grouped.At(0, 1).int_value(), 2);
+}
+
+
+TEST_F(SqlExtTest, SelectDistinct) {
+  Table dx = *db_.ExecuteSql("SELECT DISTINCT dx FROM p ORDER BY dx");
+  ASSERT_EQ(dx.num_rows(), 3u);
+  EXPECT_EQ(dx.At(0, 0).string_value(), "AD");
+  EXPECT_EQ(dx.At(2, 0).string_value(), "MCI");
+  // Multi-column distinct keeps distinct tuples.
+  Table pairs = *db_.ExecuteSql(
+      "SELECT DISTINCT dx, CASE WHEN age > 70 THEN 1 ELSE 0 END AS senior "
+      "FROM p");
+  EXPECT_EQ(pairs.num_rows(), 4u);  // (CN,0),(AD,1),(MCI,0),(CN,1)
+  // Without DISTINCT all six rows survive.
+  Table all = *db_.ExecuteSql("SELECT dx FROM p");
+  EXPECT_EQ(all.num_rows(), 6u);
+}
+
+TEST_F(SqlExtTest, ParserErrorsForMalformedConstructs) {
+  EXPECT_FALSE(db_.ExecuteSql("SELECT CASE vol WHEN 1 THEN 2 END FROM p")
+                   .ok());  // simple CASE unsupported
+  EXPECT_FALSE(db_.ExecuteSql("SELECT CASE WHEN vol THEN END FROM p").ok());
+  EXPECT_FALSE(db_.ExecuteSql("SELECT CAST(vol) FROM p").ok());
+  EXPECT_FALSE(db_.ExecuteSql("SELECT id FROM p WHERE id IN ()").ok());
+  EXPECT_FALSE(
+      db_.ExecuteSql("SELECT id FROM p WHERE age BETWEEN 1 2").ok());
+  EXPECT_FALSE(db_.ExecuteSql("SELECT id FROM p WHERE vol LIKE 'x'").ok());
+}
+
+// Numeric CASE expressions must agree across all three execution engines.
+TEST(CaseExecutionParity, RowVectorizedJitAgree) {
+  Column a(DataType::kFloat64);
+  mip::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 17 == 0) {
+      a.AppendNull();
+    } else {
+      a.AppendDouble(rng.NextGaussian());
+    }
+  }
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"a", DataType::kFloat64}).ok());
+  Table t = *Table::Make(schema, {a});
+  ExprPtr expr = *ParseExpression(
+      "case when a > 1 then a * 2 when a > 0 then a else 0 - a end");
+  ASSERT_TRUE(BindExpr(expr.get(), t.schema()).ok());
+  Column vec = *EvalVectorized(*expr, t);
+  VectorProgram prog = *VectorProgram::Compile(*expr, t.schema());
+  Column jit = *prog.Execute(t);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const Value ref = *EvalRow(*expr, t, r);
+    if (ref.is_null()) {
+      EXPECT_TRUE(vec.ValueAt(r).is_null()) << r;
+      EXPECT_TRUE(jit.ValueAt(r).is_null()) << r;
+    } else {
+      EXPECT_NEAR(vec.AsDoubleAt(r), ref.AsDouble(), 1e-12) << r;
+      EXPECT_NEAR(jit.AsDoubleAt(r), ref.AsDouble(), 1e-12) << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mip::engine

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "etl/cde.h"
+#include "etl/csv.h"
+
+namespace mip::etl {
+namespace {
+
+using engine::DataType;
+using engine::Table;
+
+TEST(CsvTest, ParsesTypesAndNulls) {
+  const std::string csv =
+      "id,vol,dx\n"
+      "1,3.5,CN\n"
+      "2,NA,AD\n"
+      "3,2.25,\n";
+  Table t = *ReadCsvString(csv);
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t.schema().field(1).type, DataType::kFloat64);
+  EXPECT_EQ(t.schema().field(2).type, DataType::kString);
+  EXPECT_TRUE(t.At(1, 1).is_null());
+  EXPECT_TRUE(t.At(2, 2).is_null());
+  EXPECT_EQ(t.At(0, 1).AsDouble(), 3.5);
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapedQuotes) {
+  const std::string csv =
+      "name,note\n"
+      "\"Smith, John\",\"said \"\"hi\"\"\"\n";
+  Table t = *ReadCsvString(csv);
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.At(0, 0).string_value(), "Smith, John");
+  EXPECT_EQ(t.At(0, 1).string_value(), "said \"hi\"");
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());          // ragged row
+  EXPECT_FALSE(ReadCsvString("a\n\"unterminated\n").ok());
+}
+
+TEST(CsvTest, NoHeaderAndCustomDelimiter) {
+  CsvOptions options;
+  options.header = false;
+  options.delimiter = ';';
+  Table t = *ReadCsvString("1;2\n3;4\n", options);
+  EXPECT_EQ(t.schema().field(0).name, "col0");
+  EXPECT_EQ(t.At(1, 1).AsInt(), 4);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string csv =
+      "id,vol,dx\n"
+      "1,3.5,CN\n"
+      "2,,AD\n";
+  Table t = *ReadCsvString(csv);
+  const std::string rendered = WriteCsvString(t);
+  Table back = *ReadCsvString(rendered);
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_TRUE(back.At(r, c).Equals(t.At(r, c))) << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = *ReadCsvString("a,b\n1,x\n2,y\n");
+  const std::string path = ::testing::TempDir() + "/mip_etl_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  Table back = *ReadCsvFile(path);
+  EXPECT_EQ(back.num_rows(), 2u);
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv").ok());
+}
+
+TEST(CdeTest, CatalogResolution) {
+  CdeCatalog catalog = DementiaCatalog();
+  EXPECT_EQ(catalog.domain(), "dementia");
+  EXPECT_TRUE(catalog.GetVariable("p_tau").ok());
+  EXPECT_FALSE(catalog.GetVariable("nothere").ok());
+  // Aliases and case-insensitivity.
+  ASSERT_NE(catalog.Resolve("PTAU"), nullptr);
+  EXPECT_EQ(catalog.Resolve("PTAU")->name, "p_tau");
+  EXPECT_EQ(catalog.Resolve("gender")->name, "sex");
+  EXPECT_EQ(catalog.Resolve("unknown_thing"), nullptr);
+}
+
+TEST(CdeTest, DuplicateVariableRejected) {
+  CdeCatalog catalog("test");
+  CdeVariable v;
+  v.name = "x";
+  EXPECT_TRUE(catalog.AddVariable(v).ok());
+  EXPECT_FALSE(catalog.AddVariable(v).ok());
+}
+
+TEST(HarmonizeTest, RenamesCoercesAndValidates) {
+  // Source data as a hospital might export it: aliased names, strings for
+  // numbers, out-of-range values, bad enumerations.
+  const std::string csv =
+      "id,dx,ptau,gender,age\n"
+      "p1,AD,25.5,M,70\n"
+      "p2,cn,900,F,69\n"       // ptau 900 out of range -> NULL; dx lowercase
+      "p3,Unknown,20,M,71\n"   // dx not in enumeration -> NULL -> row drop
+      "p4,MCI,30,X,200\n";     // bad sex -> NULL; age 200 out of range
+  Table source = *ReadCsvString(csv);
+  HarmonizationReport report;
+  Table out = *Harmonize(source, DementiaCatalog(), &report);
+
+  EXPECT_EQ(report.rows_in, 4);
+  EXPECT_EQ(report.rows_out, 3);  // p3 dropped (required diagnosis null)
+  EXPECT_EQ(report.rows_dropped_missing_required, 1);
+  EXPECT_GE(report.cells_nulled_out_of_range, 2);  // ptau 900, age 200
+  EXPECT_GE(report.cells_nulled_bad_enum, 2);      // dx Unknown, sex X
+
+  // Harmonized names in catalog order; aliased columns renamed.
+  EXPECT_GE(out.schema().FieldIndex("p_tau"), 0);
+  EXPECT_GE(out.schema().FieldIndex("sex"), 0);
+  EXPECT_EQ(out.schema().FieldIndex("ptau"), -1);
+  // Enumeration canonicalizes case ("cn" -> "CN").
+  const int dx = out.schema().FieldIndex("diagnosis");
+  EXPECT_EQ(out.At(1, dx).string_value(), "CN");
+}
+
+TEST(HarmonizeTest, UnmappedColumnsReported) {
+  Table source = *ReadCsvString("id,dx,internal_code\np1,AD,xyz\n");
+  HarmonizationReport report;
+  Table out = *Harmonize(source, DementiaCatalog(), &report);
+  ASSERT_EQ(report.unmapped_columns.size(), 1u);
+  EXPECT_EQ(report.unmapped_columns[0], "internal_code");
+  EXPECT_EQ(out.num_columns(), 2u);
+}
+
+TEST(HarmonizeTest, NumericStringCoercion) {
+  Table source = *ReadCsvString("id,dx,age\np1,AD,not_a_number\n");
+  HarmonizationReport report;
+  Table out = *Harmonize(source, DementiaCatalog(), &report);
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_TRUE(out.At(0, out.schema().FieldIndex("age")).is_null());
+}
+
+}  // namespace
+}  // namespace mip::etl

@@ -1,0 +1,162 @@
+// Secure-vs-plain parity sweep: every algorithm that supports both
+// aggregation modes must produce the same answer through the SMPC cluster
+// (within fixed-point tolerance) as through the plain merge path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/anova.h"
+#include "algorithms/histogram.h"
+#include "algorithms/pca.h"
+#include "algorithms/pearson.h"
+#include "algorithms/ttest.h"
+#include "data/synthetic.h"
+#include "federation/master.h"
+
+namespace mip::algorithms {
+namespace {
+
+using federation::AggregationMode;
+using federation::FederationSession;
+using federation::MasterNode;
+
+class ModeParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(data::SetupAlzheimerFederation(&master_, 31337).ok());
+  }
+  static std::vector<std::string> Datasets() {
+    return {"edsd_brescia", "edsd_lausanne", "edsd_lille", "adni"};
+  }
+  FederationSession Session() { return *master_.StartSession(Datasets()); }
+  MasterNode master_;
+};
+
+TEST_F(ModeParityTest, Pearson) {
+  PearsonSpec spec;
+  spec.datasets = Datasets();
+  spec.variables = {"abeta42", "p_tau", "mmse"};
+  FederationSession s1 = Session();
+  PearsonResult plain = *RunPearson(&s1, spec);
+  spec.mode = AggregationMode::kSecure;
+  FederationSession s2 = Session();
+  PearsonResult secure = *RunPearson(&s2, spec);
+  EXPECT_EQ(plain.n, secure.n);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(plain.correlations(i, j), secure.correlations(i, j), 1e-4);
+    }
+  }
+}
+
+TEST_F(ModeParityTest, TTestsAllThree) {
+  {
+    TTestOneSampleSpec spec;
+    spec.datasets = Datasets();
+    spec.variable = "mmse";
+    spec.mu0 = 24.0;
+    FederationSession s1 = Session();
+    TTestResult plain = *RunTTestOneSample(&s1, spec);
+    spec.mode = AggregationMode::kSecure;
+    FederationSession s2 = Session();
+    TTestResult secure = *RunTTestOneSample(&s2, spec);
+    EXPECT_NEAR(plain.t_statistic, secure.t_statistic, 1e-2);
+    EXPECT_EQ(plain.n1, secure.n1);
+  }
+  {
+    TTestIndependentSpec spec;
+    spec.datasets = Datasets();
+    spec.variable = "left_hippocampus";
+    spec.group_variable = "diagnosis";
+    spec.group_a = "AD";
+    spec.group_b = "CN";
+    FederationSession s1 = Session();
+    TTestResult plain = *RunTTestIndependent(&s1, spec);
+    spec.mode = AggregationMode::kSecure;
+    FederationSession s2 = Session();
+    TTestResult secure = *RunTTestIndependent(&s2, spec);
+    EXPECT_NEAR(plain.mean_difference, secure.mean_difference, 1e-3);
+    EXPECT_NEAR(plain.t_statistic, secure.t_statistic, 0.05);
+  }
+  {
+    TTestPairedSpec spec;
+    spec.datasets = Datasets();
+    spec.variable_a = "left_hippocampus";
+    spec.variable_b = "right_hippocampus";
+    FederationSession s1 = Session();
+    TTestResult plain = *RunTTestPaired(&s1, spec);
+    spec.mode = AggregationMode::kSecure;
+    FederationSession s2 = Session();
+    TTestResult secure = *RunTTestPaired(&s2, spec);
+    EXPECT_NEAR(plain.mean_difference, secure.mean_difference, 1e-3);
+  }
+}
+
+TEST_F(ModeParityTest, AnovaOneWayWithFixedLevels) {
+  AnovaOneWaySpec spec;
+  spec.datasets = Datasets();
+  spec.outcome = "p_tau";
+  spec.factor = "diagnosis";
+  spec.levels = {"CN", "MCI", "AD"};
+  FederationSession s1 = Session();
+  AnovaOneWayResult plain = *RunAnovaOneWay(&s1, spec);
+  spec.mode = AggregationMode::kSecure;
+  FederationSession s2 = Session();
+  AnovaOneWayResult secure = *RunAnovaOneWay(&s2, spec);
+  EXPECT_EQ(plain.level_counts, secure.level_counts);
+  EXPECT_NEAR(plain.f_statistic, secure.f_statistic,
+              0.01 * plain.f_statistic);
+}
+
+TEST_F(ModeParityTest, AnovaTwoWay) {
+  AnovaTwoWaySpec spec;
+  spec.datasets = Datasets();
+  spec.outcome = "left_hippocampus";
+  spec.factor_a = "diagnosis";
+  spec.factor_b = "sex";
+  spec.levels_a = {"CN", "MCI", "AD"};
+  spec.levels_b = {"M", "F"};
+  FederationSession s1 = Session();
+  AnovaTwoWayResult plain = *RunAnovaTwoWay(&s1, spec);
+  spec.mode = AggregationMode::kSecure;
+  FederationSession s2 = Session();
+  AnovaTwoWayResult secure = *RunAnovaTwoWay(&s2, spec);
+  EXPECT_NEAR(plain.effect_a.f_statistic, secure.effect_a.f_statistic,
+              0.01 * plain.effect_a.f_statistic);
+  EXPECT_NEAR(plain.interaction.p_value, secure.interaction.p_value, 0.05);
+}
+
+TEST_F(ModeParityTest, Pca) {
+  PcaSpec spec;
+  spec.datasets = Datasets();
+  spec.variables = {"abeta42", "p_tau", "left_hippocampus", "mmse"};
+  FederationSession s1 = Session();
+  PcaResult plain = *RunPca(&s1, spec);
+  spec.mode = AggregationMode::kSecure;
+  FederationSession s2 = Session();
+  PcaResult secure = *RunPca(&s2, spec);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(plain.eigenvalues[i], secure.eigenvalues[i], 1e-3);
+  }
+}
+
+TEST_F(ModeParityTest, NumericHistogram) {
+  HistogramSpec spec;
+  spec.datasets = Datasets();
+  spec.variable = "age";
+  spec.bins = 6;
+  spec.privacy_threshold = 0;
+  FederationSession s1 = Session();
+  HistogramResult plain = *RunHistogram(&s1, spec);
+  spec.mode = AggregationMode::kSecure;
+  FederationSession s2 = Session();
+  HistogramResult secure = *RunHistogram(&s2, spec);
+  ASSERT_EQ(plain.bins.size(), secure.bins.size());
+  for (size_t b = 0; b < plain.bins.size(); ++b) {
+    EXPECT_EQ(plain.bins[b].count, secure.bins[b].count) << b;
+  }
+}
+
+}  // namespace
+}  // namespace mip::algorithms

@@ -1,0 +1,152 @@
+// Parameterized protocol sweeps: both schemes x cluster sizes x thresholds
+// x random payloads — the SMPC engine must open the exact plaintext
+// aggregate under every legal configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "smpc/cluster.h"
+#include "smpc/field.h"
+#include "smpc/shamir.h"
+#include "smpc/spdz.h"
+
+namespace mip::smpc {
+namespace {
+
+// (scheme, num_nodes, threshold, seed)
+using SweepParam = std::tuple<SmpcScheme, int, int, int>;
+
+class ClusterSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ClusterSweep, SumOpensPlaintextAggregate) {
+  const auto [scheme, nodes, threshold, seed] = GetParam();
+  SmpcConfig config;
+  config.scheme = scheme;
+  config.num_nodes = nodes;
+  config.threshold = threshold;
+  config.seed = 0xABC0 + static_cast<uint64_t>(seed);
+  SmpcCluster cluster(config);
+
+  Rng rng(1000 + seed);
+  const size_t n = 1 + rng.NextBounded(50);
+  const int contributions = 2 + static_cast<int>(rng.NextBounded(5));
+  std::vector<double> truth(n, 0.0);
+  for (int c = 0; c < contributions; ++c) {
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = rng.NextUniform(-1e4, 1e4);
+      truth[i] += v[i];
+    }
+    ASSERT_TRUE(cluster.ImportShares("sweep", v).ok());
+  }
+  ASSERT_TRUE(cluster.Compute("sweep", SmpcOp::kSum).ok());
+  const std::vector<double> opened = *cluster.GetResult("sweep");
+  ASSERT_EQ(opened.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(opened[i], truth[i],
+                1e-4 * (1.0 + std::fabs(truth[i]) * 1e-6))
+        << "element " << i;
+  }
+}
+
+TEST_P(ClusterSweep, MinMaxPickTheRightElements) {
+  const auto [scheme, nodes, threshold, seed] = GetParam();
+  SmpcConfig config;
+  config.scheme = scheme;
+  config.num_nodes = nodes;
+  config.threshold = threshold;
+  SmpcCluster cluster(config);
+
+  Rng rng(2000 + seed);
+  const size_t n = 1 + rng.NextBounded(10);
+  const int contributions = 2 + static_cast<int>(rng.NextBounded(3));
+  std::vector<double> lo(n, 1e18), hi(n, -1e18);
+  for (int c = 0; c < contributions; ++c) {
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = rng.NextUniform(-500, 500);
+      lo[i] = std::min(lo[i], v[i]);
+      hi[i] = std::max(hi[i], v[i]);
+    }
+    ASSERT_TRUE(cluster.ImportShares("mn", v).ok());
+    ASSERT_TRUE(cluster.ImportShares("mx", v).ok());
+  }
+  ASSERT_TRUE(cluster.Compute("mn", SmpcOp::kMin).ok());
+  ASSERT_TRUE(cluster.Compute("mx", SmpcOp::kMax).ok());
+  const std::vector<double> mins = *cluster.GetResult("mn");
+  const std::vector<double> maxs = *cluster.GetResult("mx");
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(mins[i], lo[i], 1e-4) << i;
+    EXPECT_NEAR(maxs[i], hi[i], 1e-4) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullThreshold, ClusterSweep,
+    ::testing::Combine(::testing::Values(SmpcScheme::kFullThreshold),
+                       ::testing::Values(2, 3, 5, 7),
+                       ::testing::Values(1),  // ignored for FT
+                       ::testing::Range(0, 3)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Shamir, ClusterSweep,
+    ::testing::Values(
+        // (n, t) pairs with 2t < n so products/comparisons stay legal.
+        SweepParam{SmpcScheme::kShamir, 3, 1, 0},
+        SweepParam{SmpcScheme::kShamir, 4, 1, 1},
+        SweepParam{SmpcScheme::kShamir, 5, 2, 2},
+        SweepParam{SmpcScheme::kShamir, 7, 3, 3},
+        SweepParam{SmpcScheme::kShamir, 9, 4, 4}));
+
+// Shamir privacy structure: any t shares of a secret are uniformly
+// distributed (tested distributionally: the first share of fixed secrets
+// should cover the field broadly rather than cluster).
+TEST(ShamirDistributionTest, SharesOfFixedSecretSpreadOverField) {
+  ShamirScheme scheme(2, 5);
+  Rng rng(99);
+  int below_half = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<uint64_t> shares = scheme.Share(42, &rng);
+    if (shares[0] < Field::kPrime / 2) ++below_half;
+  }
+  EXPECT_NEAR(static_cast<double>(below_half) / trials, 0.5, 0.05);
+}
+
+// SPDZ linearity under public constants, swept over party counts.
+class SpdzParties : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpdzParties, AffineCombinationOpensCorrectly) {
+  const int parties = GetParam();
+  SpdzDealer dealer(parties, 55);
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint64_t x = rng.NextBounded(1u << 30);
+    const uint64_t y = rng.NextBounded(1u << 30);
+    const uint64_t c = rng.NextBounded(1u << 20);
+    std::vector<SpdzShare> xs = dealer.ShareValue(x);
+    std::vector<SpdzShare> ys = dealer.ShareValue(y);
+    std::vector<SpdzShare> zs(static_cast<size_t>(parties));
+    for (int p = 0; p < parties; ++p) {
+      zs[static_cast<size_t>(p)] = Spdz::Add(
+          Spdz::MulPublic(xs[static_cast<size_t>(p)], 3),
+          Spdz::Sub(ys[static_cast<size_t>(p)],
+                    Spdz::MulPublic(ys[static_cast<size_t>(p)], 2)));
+      zs[static_cast<size_t>(p)] = Spdz::AddPublic(
+          zs[static_cast<size_t>(p)], c, p, dealer.alpha_shares()[p]);
+    }
+    // 3x + (y - 2y) + c = 3x - y + c.
+    const uint64_t expected =
+        Field::Add(Field::Sub(Field::Mul(3, x), y), c);
+    EXPECT_EQ(*Spdz::Open(zs, dealer.alpha_shares()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartyCounts, SpdzParties,
+                         ::testing::Values(2, 3, 4, 6, 9));
+
+}  // namespace
+}  // namespace mip::smpc

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/database.h"
+#include "udf/udf.h"
+
+namespace mip::udf {
+namespace {
+
+using engine::DataType;
+using engine::Database;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+
+class UdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE v (x double, y double)").ok());
+    ASSERT_TRUE(db_.ExecuteSql(
+        "INSERT INTO v VALUES (1, 10), (2, 20), (3, 30), (4, 40)").ok());
+  }
+
+  Schema InputSchema() {
+    Schema s;
+    EXPECT_TRUE(s.AddField({"x", DataType::kFloat64}).ok());
+    EXPECT_TRUE(s.AddField({"y", DataType::kFloat64}).ok());
+    return s;
+  }
+
+  UdfDefinition ZScoreDefinition() {
+    // The canonical MIP-style UDF: standardize x, then summarize.
+    UdfDefinition def;
+    def.name = "zscore_sum";
+    def.input_schema = InputSchema();
+    def.steps = {
+        {UdfStep::Kind::kElementwise, "scaled", "x * 2 + y / 10", "", "", ""},
+        {UdfStep::Kind::kReduce, "total", "", "sum", "scaled", ""},
+        {UdfStep::Kind::kReduce, "n", "", "count", "scaled", ""},
+    };
+    def.outputs = {"total", "n"};
+    return def;
+  }
+
+  Database db_{"udf_test"};
+};
+
+TEST_F(UdfTest, ValidationCatchesBadPrograms) {
+  UdfGenerator generator(&db_);
+  UdfDefinition def = ZScoreDefinition();
+  def.name = "";
+  EXPECT_FALSE(generator.Generate(def).ok());
+
+  def = ZScoreDefinition();
+  def.outputs = {"nonexistent"};
+  EXPECT_FALSE(generator.Generate(def).ok());
+
+  def = ZScoreDefinition();
+  def.steps[1].arg = "nope";
+  EXPECT_FALSE(generator.Generate(def).ok());
+
+  def = ZScoreDefinition();
+  def.steps[1].agg = "median";  // unsupported reduce
+  EXPECT_FALSE(generator.Generate(def).ok());
+
+  def = ZScoreDefinition();
+  def.steps[0].name = "x";  // collides with an input column
+  EXPECT_FALSE(generator.Generate(def).ok());
+}
+
+TEST_F(UdfTest, ExecuteMatchesHandComputation) {
+  UdfGenerator generator(&db_);
+  Table out = *generator.Execute(ZScoreDefinition(), "v",
+                                 UdfExecutionMode::kJitFused);
+  ASSERT_EQ(out.num_rows(), 1u);
+  // scaled = (2x + y/10): 3, 6, 9, 12 -> total 30, n 4.
+  EXPECT_NEAR(out.At(0, 0).AsDouble(), 30.0, 1e-9);
+  EXPECT_EQ(out.At(0, 1).AsDouble(), 4.0);
+}
+
+TEST_F(UdfTest, AllExecutionModesAgree) {
+  UdfGenerator generator(&db_);
+  const UdfDefinition def = ZScoreDefinition();
+  Table row = *generator.Execute(def, "v", UdfExecutionMode::kRowInterpreter);
+  Table vec = *generator.Execute(def, "v", UdfExecutionMode::kVectorized);
+  Table jit = *generator.Execute(def, "v", UdfExecutionMode::kJitFused);
+  EXPECT_NEAR(row.At(0, 0).AsDouble(), vec.At(0, 0).AsDouble(), 1e-9);
+  EXPECT_NEAR(vec.At(0, 0).AsDouble(), jit.At(0, 0).AsDouble(), 1e-9);
+}
+
+TEST_F(UdfTest, GenerateProducesSingleSelectSql) {
+  UdfGenerator generator(&db_);
+  GeneratedUdf gen = *generator.Generate(ZScoreDefinition());
+  EXPECT_TRUE(gen.single_select);
+  ASSERT_EQ(gen.sql.size(), 1u);
+  // The declarative rendering must inline the elementwise step into the
+  // aggregate (UDF-to-SQL translation).
+  EXPECT_NE(gen.sql[0].find("sum("), std::string::npos);
+  EXPECT_NE(gen.sql[0].find("FROM $input"), std::string::npos);
+  EXPECT_GT(gen.jit_instructions, 0u);
+}
+
+TEST_F(UdfTest, GeneratedSqlIsSemanticallyEqual) {
+  UdfGenerator generator(&db_);
+  GeneratedUdf gen = *generator.Generate(ZScoreDefinition());
+  // Execute the generated declarative SQL directly against the engine and
+  // compare with the procedural pipeline's result.
+  std::string sql = gen.sql[0];
+  const size_t pos = sql.find("$input");
+  ASSERT_NE(pos, std::string::npos);
+  sql.replace(pos, 6, "v");
+  Table declarative = *db_.ExecuteSql(sql);
+  Table procedural = *generator.Execute(ZScoreDefinition(), "v",
+                                        UdfExecutionMode::kJitFused);
+  EXPECT_NEAR(declarative.At(0, 0).AsDouble(),
+              procedural.At(0, 0).AsDouble(), 1e-9);
+}
+
+TEST_F(UdfTest, RegisteredTableFunctionCallableFromSql) {
+  UdfGenerator generator(&db_);
+  ASSERT_TRUE(generator.Generate(ZScoreDefinition()).ok());
+  Table out = *db_.ExecuteSql("SELECT total / n AS mean_scaled FROM "
+                              "zscore_sum('v')");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_NEAR(out.At(0, 0).AsDouble(), 7.5, 1e-9);
+  // Wrong argument type is a clean error.
+  EXPECT_FALSE(db_.ExecuteSql("SELECT * FROM zscore_sum(42)").ok());
+}
+
+TEST_F(UdfTest, LoopbackQueryFeedsScalarIntoPipeline) {
+  // The loopback reads the global mean of x via SQL mid-UDF, then centers.
+  UdfDefinition def;
+  def.name = "centered";
+  def.input_schema = InputSchema();
+  def.steps = {
+      {UdfStep::Kind::kLoopback, "mu", "", "", "",
+       "SELECT avg(x) AS mu FROM v"},
+      {UdfStep::Kind::kElementwise, "centered_x", "x - mu", "", "", ""},
+      {UdfStep::Kind::kReduce, "ss", "", "sum", "centered_x", ""},
+  };
+  def.outputs = {"ss"};
+  UdfGenerator generator(&db_);
+  Table out = *generator.Execute(def, "v", UdfExecutionMode::kJitFused);
+  // Sum of centered values is 0.
+  EXPECT_NEAR(out.At(0, 0).AsDouble(), 0.0, 1e-9);
+  // Loopback programs cannot fold into a single SELECT.
+  GeneratedUdf gen = *generator.Generate(def);
+  EXPECT_FALSE(gen.single_select);
+  EXPECT_GT(gen.sql.size(), 1u);
+}
+
+TEST_F(UdfTest, RelationOutputs) {
+  UdfDefinition def;
+  def.name = "derived_cols";
+  def.input_schema = InputSchema();
+  def.steps = {
+      {UdfStep::Kind::kElementwise, "ratio", "y / x", "", "", ""},
+  };
+  def.outputs = {"x", "ratio"};
+  UdfGenerator generator(&db_);
+  Table out = *generator.Execute(def, "v", UdfExecutionMode::kVectorized);
+  ASSERT_EQ(out.num_rows(), 4u);
+  EXPECT_NEAR(out.At(2, 1).AsDouble(), 10.0, 1e-9);
+}
+
+TEST_F(UdfTest, MissingInputColumnIsTypeError) {
+  UdfDefinition def = ZScoreDefinition();
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE w (x double)").ok());
+  ASSERT_TRUE(db_.ExecuteSql("INSERT INTO w VALUES (1)").ok());
+  UdfGenerator generator(&db_);
+  Result<Table> out = generator.Execute(def, "w",
+                                        UdfExecutionMode::kJitFused);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(UdfTest, ScalarUdfUsableInExpressions) {
+  ASSERT_TRUE(RegisterScalarUdf(
+                  &db_, "relu", 1, DataType::kFloat64,
+                  [](const std::vector<Value>& args) {
+                    if (args[0].is_null()) return Value::Null();
+                    return Value::Double(std::max(0.0, args[0].AsDouble()));
+                  })
+                  .ok());
+  Table out = *db_.ExecuteSql(
+      "SELECT x, relu(x - 2.5) AS r FROM v ORDER BY x");
+  EXPECT_EQ(out.At(0, 1).AsDouble(), 0.0);
+  EXPECT_EQ(out.At(3, 1).AsDouble(), 1.5);
+  // Registering the same name twice fails.
+  EXPECT_FALSE(RegisterScalarUdf(&db_, "relu", 1, DataType::kFloat64,
+                                 [](const std::vector<Value>&) {
+                                   return Value::Null();
+                                 })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mip::udf
