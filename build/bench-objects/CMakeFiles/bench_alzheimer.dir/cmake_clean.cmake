@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_alzheimer"
+  "../bench/bench_alzheimer.pdb"
+  "CMakeFiles/bench_alzheimer.dir/bench_alzheimer.cpp.o"
+  "CMakeFiles/bench_alzheimer.dir/bench_alzheimer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alzheimer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_descriptive"
+  "../bench/bench_descriptive.pdb"
+  "CMakeFiles/bench_descriptive.dir/bench_descriptive.cpp.o"
+  "CMakeFiles/bench_descriptive.dir/bench_descriptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_descriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_linreg"
+  "../bench/bench_linreg.pdb"
+  "CMakeFiles/bench_linreg.dir/bench_linreg.cpp.o"
+  "CMakeFiles/bench_linreg.dir/bench_linreg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spdz_offline"
+  "../bench/bench_spdz_offline.pdb"
+  "CMakeFiles/bench_spdz_offline.dir/bench_spdz_offline.cpp.o"
+  "CMakeFiles/bench_spdz_offline.dir/bench_spdz_offline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spdz_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

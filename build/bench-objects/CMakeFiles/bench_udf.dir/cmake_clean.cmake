@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_udf"
+  "../bench/bench_udf.pdb"
+  "CMakeFiles/bench_udf.dir/bench_udf.cpp.o"
+  "CMakeFiles/bench_udf.dir/bench_udf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alzheimer_study.dir/alzheimer_study.cpp.o"
+  "CMakeFiles/alzheimer_study.dir/alzheimer_study.cpp.o.d"
+  "alzheimer_study"
+  "alzheimer_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alzheimer_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epilepsy_study.dir/epilepsy_study.cpp.o"
+  "CMakeFiles/epilepsy_study.dir/epilepsy_study.cpp.o.d"
+  "epilepsy_study"
+  "epilepsy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epilepsy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

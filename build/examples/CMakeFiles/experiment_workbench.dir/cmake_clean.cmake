@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_workbench.dir/experiment_workbench.cpp.o"
+  "CMakeFiles/experiment_workbench.dir/experiment_workbench.cpp.o.d"
+  "experiment_workbench"
+  "experiment_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

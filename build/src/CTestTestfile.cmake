@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("engine")
+subdirs("udf")
+subdirs("smpc")
+subdirs("dp")
+subdirs("federation")
+subdirs("algorithms")
+subdirs("etl")
+subdirs("data")
+subdirs("platform")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/anova.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/anova.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/anova.cc.o.d"
+  "/root/repo/src/algorithms/calibration_belt.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/calibration_belt.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/calibration_belt.cc.o.d"
+  "/root/repo/src/algorithms/common.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/common.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/common.cc.o.d"
+  "/root/repo/src/algorithms/decision_tree.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/decision_tree.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/decision_tree.cc.o.d"
+  "/root/repo/src/algorithms/descriptive.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/descriptive.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/descriptive.cc.o.d"
+  "/root/repo/src/algorithms/histogram.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/histogram.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/histogram.cc.o.d"
+  "/root/repo/src/algorithms/kaplan_meier.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/kaplan_meier.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/kaplan_meier.cc.o.d"
+  "/root/repo/src/algorithms/kmeans.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/kmeans.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/kmeans.cc.o.d"
+  "/root/repo/src/algorithms/linear_regression.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/linear_regression.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/linear_regression.cc.o.d"
+  "/root/repo/src/algorithms/logistic_regression.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/logistic_regression.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/algorithms/naive_bayes.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/naive_bayes.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/algorithms/pca.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/pca.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/pca.cc.o.d"
+  "/root/repo/src/algorithms/pearson.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/pearson.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/pearson.cc.o.d"
+  "/root/repo/src/algorithms/ttest.cc" "src/algorithms/CMakeFiles/mip_algorithms.dir/ttest.cc.o" "gcc" "src/algorithms/CMakeFiles/mip_algorithms.dir/ttest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/federation/CMakeFiles/mip_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mip_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpc/CMakeFiles/mip_smpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/mip_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_algorithms.dir/anova.cc.o"
+  "CMakeFiles/mip_algorithms.dir/anova.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/calibration_belt.cc.o"
+  "CMakeFiles/mip_algorithms.dir/calibration_belt.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/common.cc.o"
+  "CMakeFiles/mip_algorithms.dir/common.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/decision_tree.cc.o"
+  "CMakeFiles/mip_algorithms.dir/decision_tree.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/descriptive.cc.o"
+  "CMakeFiles/mip_algorithms.dir/descriptive.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/histogram.cc.o"
+  "CMakeFiles/mip_algorithms.dir/histogram.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/kaplan_meier.cc.o"
+  "CMakeFiles/mip_algorithms.dir/kaplan_meier.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/kmeans.cc.o"
+  "CMakeFiles/mip_algorithms.dir/kmeans.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/linear_regression.cc.o"
+  "CMakeFiles/mip_algorithms.dir/linear_regression.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/logistic_regression.cc.o"
+  "CMakeFiles/mip_algorithms.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/naive_bayes.cc.o"
+  "CMakeFiles/mip_algorithms.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/pca.cc.o"
+  "CMakeFiles/mip_algorithms.dir/pca.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/pearson.cc.o"
+  "CMakeFiles/mip_algorithms.dir/pearson.cc.o.d"
+  "CMakeFiles/mip_algorithms.dir/ttest.cc.o"
+  "CMakeFiles/mip_algorithms.dir/ttest.cc.o.d"
+  "libmip_algorithms.a"
+  "libmip_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

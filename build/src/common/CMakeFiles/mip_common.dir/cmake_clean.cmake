@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_common.dir/logging.cc.o"
+  "CMakeFiles/mip_common.dir/logging.cc.o.d"
+  "CMakeFiles/mip_common.dir/parallel.cc.o"
+  "CMakeFiles/mip_common.dir/parallel.cc.o.d"
+  "CMakeFiles/mip_common.dir/rng.cc.o"
+  "CMakeFiles/mip_common.dir/rng.cc.o.d"
+  "CMakeFiles/mip_common.dir/status.cc.o"
+  "CMakeFiles/mip_common.dir/status.cc.o.d"
+  "CMakeFiles/mip_common.dir/string_util.cc.o"
+  "CMakeFiles/mip_common.dir/string_util.cc.o.d"
+  "libmip_common.a"
+  "libmip_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_data.dir/synthetic.cc.o"
+  "CMakeFiles/mip_data.dir/synthetic.cc.o.d"
+  "libmip_data.a"
+  "libmip_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmip_data.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/mip_dp.dir/mechanisms.cc.o.d"
+  "libmip_dp.a"
+  "libmip_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bitmap.cc" "src/engine/CMakeFiles/mip_engine.dir/bitmap.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/bitmap.cc.o.d"
+  "/root/repo/src/engine/column.cc" "src/engine/CMakeFiles/mip_engine.dir/column.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/column.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/mip_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/mip_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/function_registry.cc" "src/engine/CMakeFiles/mip_engine.dir/function_registry.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/function_registry.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/mip_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/row_interpreter.cc" "src/engine/CMakeFiles/mip_engine.dir/row_interpreter.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/row_interpreter.cc.o.d"
+  "/root/repo/src/engine/sql_lexer.cc" "src/engine/CMakeFiles/mip_engine.dir/sql_lexer.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/engine/sql_parser.cc" "src/engine/CMakeFiles/mip_engine.dir/sql_parser.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/sql_parser.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/mip_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/type.cc" "src/engine/CMakeFiles/mip_engine.dir/type.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/type.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/engine/CMakeFiles/mip_engine.dir/value.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/value.cc.o.d"
+  "/root/repo/src/engine/vector_program.cc" "src/engine/CMakeFiles/mip_engine.dir/vector_program.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/vector_program.cc.o.d"
+  "/root/repo/src/engine/vectorized.cc" "src/engine/CMakeFiles/mip_engine.dir/vectorized.cc.o" "gcc" "src/engine/CMakeFiles/mip_engine.dir/vectorized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

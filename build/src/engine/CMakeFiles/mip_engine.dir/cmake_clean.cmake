@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_engine.dir/bitmap.cc.o"
+  "CMakeFiles/mip_engine.dir/bitmap.cc.o.d"
+  "CMakeFiles/mip_engine.dir/column.cc.o"
+  "CMakeFiles/mip_engine.dir/column.cc.o.d"
+  "CMakeFiles/mip_engine.dir/database.cc.o"
+  "CMakeFiles/mip_engine.dir/database.cc.o.d"
+  "CMakeFiles/mip_engine.dir/expr.cc.o"
+  "CMakeFiles/mip_engine.dir/expr.cc.o.d"
+  "CMakeFiles/mip_engine.dir/function_registry.cc.o"
+  "CMakeFiles/mip_engine.dir/function_registry.cc.o.d"
+  "CMakeFiles/mip_engine.dir/operators.cc.o"
+  "CMakeFiles/mip_engine.dir/operators.cc.o.d"
+  "CMakeFiles/mip_engine.dir/row_interpreter.cc.o"
+  "CMakeFiles/mip_engine.dir/row_interpreter.cc.o.d"
+  "CMakeFiles/mip_engine.dir/sql_lexer.cc.o"
+  "CMakeFiles/mip_engine.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/mip_engine.dir/sql_parser.cc.o"
+  "CMakeFiles/mip_engine.dir/sql_parser.cc.o.d"
+  "CMakeFiles/mip_engine.dir/table.cc.o"
+  "CMakeFiles/mip_engine.dir/table.cc.o.d"
+  "CMakeFiles/mip_engine.dir/type.cc.o"
+  "CMakeFiles/mip_engine.dir/type.cc.o.d"
+  "CMakeFiles/mip_engine.dir/value.cc.o"
+  "CMakeFiles/mip_engine.dir/value.cc.o.d"
+  "CMakeFiles/mip_engine.dir/vector_program.cc.o"
+  "CMakeFiles/mip_engine.dir/vector_program.cc.o.d"
+  "CMakeFiles/mip_engine.dir/vectorized.cc.o"
+  "CMakeFiles/mip_engine.dir/vectorized.cc.o.d"
+  "libmip_engine.a"
+  "libmip_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

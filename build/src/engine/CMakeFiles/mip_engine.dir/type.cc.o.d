@@ -1,0 +1,3 @@
+src/engine/CMakeFiles/mip_engine.dir/type.cc.o: \
+ /root/repo/src/engine/type.cc /usr/include/stdc-predef.h \
+ /root/repo/src/engine/type.h

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/etl/cde.cc" "src/etl/CMakeFiles/mip_etl.dir/cde.cc.o" "gcc" "src/etl/CMakeFiles/mip_etl.dir/cde.cc.o.d"
+  "/root/repo/src/etl/csv.cc" "src/etl/CMakeFiles/mip_etl.dir/csv.cc.o" "gcc" "src/etl/CMakeFiles/mip_etl.dir/csv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mip_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

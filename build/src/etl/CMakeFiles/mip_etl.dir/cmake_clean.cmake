@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_etl.dir/cde.cc.o"
+  "CMakeFiles/mip_etl.dir/cde.cc.o.d"
+  "CMakeFiles/mip_etl.dir/csv.cc.o"
+  "CMakeFiles/mip_etl.dir/csv.cc.o.d"
+  "libmip_etl.a"
+  "libmip_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/bus.cc" "src/federation/CMakeFiles/mip_federation.dir/bus.cc.o" "gcc" "src/federation/CMakeFiles/mip_federation.dir/bus.cc.o.d"
+  "/root/repo/src/federation/master.cc" "src/federation/CMakeFiles/mip_federation.dir/master.cc.o" "gcc" "src/federation/CMakeFiles/mip_federation.dir/master.cc.o.d"
+  "/root/repo/src/federation/training.cc" "src/federation/CMakeFiles/mip_federation.dir/training.cc.o" "gcc" "src/federation/CMakeFiles/mip_federation.dir/training.cc.o.d"
+  "/root/repo/src/federation/transfer.cc" "src/federation/CMakeFiles/mip_federation.dir/transfer.cc.o" "gcc" "src/federation/CMakeFiles/mip_federation.dir/transfer.cc.o.d"
+  "/root/repo/src/federation/worker.cc" "src/federation/CMakeFiles/mip_federation.dir/worker.cc.o" "gcc" "src/federation/CMakeFiles/mip_federation.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mip_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpc/CMakeFiles/mip_smpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/mip_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

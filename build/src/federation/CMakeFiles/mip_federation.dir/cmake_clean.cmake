@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_federation.dir/bus.cc.o"
+  "CMakeFiles/mip_federation.dir/bus.cc.o.d"
+  "CMakeFiles/mip_federation.dir/master.cc.o"
+  "CMakeFiles/mip_federation.dir/master.cc.o.d"
+  "CMakeFiles/mip_federation.dir/training.cc.o"
+  "CMakeFiles/mip_federation.dir/training.cc.o.d"
+  "CMakeFiles/mip_federation.dir/transfer.cc.o"
+  "CMakeFiles/mip_federation.dir/transfer.cc.o.d"
+  "CMakeFiles/mip_federation.dir/worker.cc.o"
+  "CMakeFiles/mip_federation.dir/worker.cc.o.d"
+  "libmip_federation.a"
+  "libmip_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

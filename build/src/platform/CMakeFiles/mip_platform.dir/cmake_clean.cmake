@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_platform.dir/builtin_algorithms.cc.o"
+  "CMakeFiles/mip_platform.dir/builtin_algorithms.cc.o.d"
+  "CMakeFiles/mip_platform.dir/experiment.cc.o"
+  "CMakeFiles/mip_platform.dir/experiment.cc.o.d"
+  "libmip_platform.a"
+  "libmip_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smpc/cluster.cc" "src/smpc/CMakeFiles/mip_smpc.dir/cluster.cc.o" "gcc" "src/smpc/CMakeFiles/mip_smpc.dir/cluster.cc.o.d"
+  "/root/repo/src/smpc/field.cc" "src/smpc/CMakeFiles/mip_smpc.dir/field.cc.o" "gcc" "src/smpc/CMakeFiles/mip_smpc.dir/field.cc.o.d"
+  "/root/repo/src/smpc/fixed_point.cc" "src/smpc/CMakeFiles/mip_smpc.dir/fixed_point.cc.o" "gcc" "src/smpc/CMakeFiles/mip_smpc.dir/fixed_point.cc.o.d"
+  "/root/repo/src/smpc/noise.cc" "src/smpc/CMakeFiles/mip_smpc.dir/noise.cc.o" "gcc" "src/smpc/CMakeFiles/mip_smpc.dir/noise.cc.o.d"
+  "/root/repo/src/smpc/shamir.cc" "src/smpc/CMakeFiles/mip_smpc.dir/shamir.cc.o" "gcc" "src/smpc/CMakeFiles/mip_smpc.dir/shamir.cc.o.d"
+  "/root/repo/src/smpc/spdz.cc" "src/smpc/CMakeFiles/mip_smpc.dir/spdz.cc.o" "gcc" "src/smpc/CMakeFiles/mip_smpc.dir/spdz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

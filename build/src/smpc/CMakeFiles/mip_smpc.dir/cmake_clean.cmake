@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_smpc.dir/cluster.cc.o"
+  "CMakeFiles/mip_smpc.dir/cluster.cc.o.d"
+  "CMakeFiles/mip_smpc.dir/field.cc.o"
+  "CMakeFiles/mip_smpc.dir/field.cc.o.d"
+  "CMakeFiles/mip_smpc.dir/fixed_point.cc.o"
+  "CMakeFiles/mip_smpc.dir/fixed_point.cc.o.d"
+  "CMakeFiles/mip_smpc.dir/noise.cc.o"
+  "CMakeFiles/mip_smpc.dir/noise.cc.o.d"
+  "CMakeFiles/mip_smpc.dir/shamir.cc.o"
+  "CMakeFiles/mip_smpc.dir/shamir.cc.o.d"
+  "CMakeFiles/mip_smpc.dir/spdz.cc.o"
+  "CMakeFiles/mip_smpc.dir/spdz.cc.o.d"
+  "libmip_smpc.a"
+  "libmip_smpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_smpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/mip_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/mip_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/linalg.cc" "src/stats/CMakeFiles/mip_stats.dir/linalg.cc.o" "gcc" "src/stats/CMakeFiles/mip_stats.dir/linalg.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/mip_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/mip_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/special.cc" "src/stats/CMakeFiles/mip_stats.dir/special.cc.o" "gcc" "src/stats/CMakeFiles/mip_stats.dir/special.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/mip_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/mip_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

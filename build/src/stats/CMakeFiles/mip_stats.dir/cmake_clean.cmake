@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_stats.dir/distributions.cc.o"
+  "CMakeFiles/mip_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/mip_stats.dir/linalg.cc.o"
+  "CMakeFiles/mip_stats.dir/linalg.cc.o.d"
+  "CMakeFiles/mip_stats.dir/matrix.cc.o"
+  "CMakeFiles/mip_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/mip_stats.dir/special.cc.o"
+  "CMakeFiles/mip_stats.dir/special.cc.o.d"
+  "CMakeFiles/mip_stats.dir/summary.cc.o"
+  "CMakeFiles/mip_stats.dir/summary.cc.o.d"
+  "libmip_stats.a"
+  "libmip_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

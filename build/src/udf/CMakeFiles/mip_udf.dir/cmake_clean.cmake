@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_udf.dir/udf.cc.o"
+  "CMakeFiles/mip_udf.dir/udf.cc.o.d"
+  "libmip_udf.a"
+  "libmip_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

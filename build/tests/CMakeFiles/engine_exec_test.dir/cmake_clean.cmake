@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_exec_test.dir/engine_exec_test.cc.o"
+  "CMakeFiles/engine_exec_test.dir/engine_exec_test.cc.o.d"
+  "engine_exec_test"
+  "engine_exec_test.pdb"
+  "engine_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

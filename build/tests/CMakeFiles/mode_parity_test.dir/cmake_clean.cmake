@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_parity_test.dir/mode_parity_test.cc.o"
+  "CMakeFiles/mode_parity_test.dir/mode_parity_test.cc.o.d"
+  "mode_parity_test"
+  "mode_parity_test.pdb"
+  "mode_parity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform_test.cc" "tests/CMakeFiles/platform_test.dir/platform_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mip_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/mip_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpc/CMakeFiles/mip_smpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/mip_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/mip_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/mip_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mip_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/etl/CMakeFiles/mip_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mip_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

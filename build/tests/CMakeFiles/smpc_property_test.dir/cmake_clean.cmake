@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpc_property_test.dir/smpc_property_test.cc.o"
+  "CMakeFiles/smpc_property_test.dir/smpc_property_test.cc.o.d"
+  "smpc_property_test"
+  "smpc_property_test.pdb"
+  "smpc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

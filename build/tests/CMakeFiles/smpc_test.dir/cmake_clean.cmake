@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpc_test.dir/smpc_test.cc.o"
+  "CMakeFiles/smpc_test.dir/smpc_test.cc.o.d"
+  "smpc_test"
+  "smpc_test.pdb"
+  "smpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

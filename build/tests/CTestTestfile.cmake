@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/smpc_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_test[1]_include.cmake")
+include("/root/repo/build/tests/udf_test[1]_include.cmake")
+include("/root/repo/build/tests/federation_test[1]_include.cmake")
+include("/root/repo/build/tests/etl_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_sql_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/pushdown_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/domains_test[1]_include.cmake")
+include("/root/repo/build/tests/smpc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/mode_parity_test[1]_include.cmake")
