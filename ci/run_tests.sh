@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
+# job over the concurrency-sensitive federation suites. Run from anywhere;
+# builds land in <repo>/build and <repo>/build-tsan.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: build + full ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+echo "== TSan: federation concurrency + robustness =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DMIP_SANITIZE=thread
+cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+  --target federation_concurrency_test robustness_test federation_test
+# TSAN_OPTIONS makes any reported race fail the job.
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-tsan" \
+  --output-on-failure -j "$JOBS" \
+  -R '(federation_concurrency_test|robustness_test|federation_test)'
+
+echo "== OK =="

@@ -1,13 +1,52 @@
 #ifndef MIP_COMMON_PARALLEL_H_
 #define MIP_COMMON_PARALLEL_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace mip {
 
 /// \brief Number of hardware threads (>= 1).
 int HardwareThreads();
+
+/// \brief A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Used by the federation Master to fan local-run requests out to many
+/// Workers concurrently (tasks there mostly wait on simulated network
+/// latency, so the pool may be larger than the core count). Submitted tasks
+/// must be independent: a task must never block on another task that could
+/// still be queued behind it, or the pool can deadlock.
+///
+/// The destructor drains the queue (every submitted task runs) and joins
+/// all threads.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` uses HardwareThreads().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task. Tasks run in submission order, `size()` at a time.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
 
 /// \brief Runs `body(begin, end)` over `num_threads` contiguous slices of
 /// [0, n). With num_threads <= 1 (or n small) the body runs inline on the

@@ -20,6 +20,10 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  /// A (simulated) remote peer is unreachable, timed out, or a federated
+  /// session fell below its quorum. Transient by nature: the federation
+  /// layer treats this code (and kIOError) as retryable.
+  kUnavailable,
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -76,6 +80,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

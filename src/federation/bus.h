@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 
 namespace mip::federation {
+
+class FaultInjector;
 
 /// \brief One message on the federation bus (the Celery/RabbitMQ stand-in).
 struct Envelope {
@@ -34,13 +37,18 @@ struct NetworkStats {
   }
 };
 
-/// \brief In-process, synchronous message bus connecting the Master, the
-/// Workers and the SMPC cluster front end.
+/// \brief In-process message bus connecting the Master, the Workers and the
+/// SMPC cluster front end.
 ///
 /// Every payload that crosses a node boundary goes through Send() as
 /// serialized bytes — there is no back door — so the byte counts are honest
 /// and "only aggregated, encrypted data leaves the hospital" is checkable
 /// in tests by inspecting the traffic log.
+///
+/// Send() is safe to call from many threads at once (the Master fans
+/// local-run requests out concurrently); handlers for distinct endpoints
+/// run in parallel, outside the bus lock. RegisterEndpoint() is also
+/// locked, but topology is expected to be set up before traffic starts.
 class MessageBus {
  public:
   /// A handler consumes an envelope and produces a serialized reply payload.
@@ -51,13 +59,24 @@ class MessageBus {
   Status RegisterEndpoint(const std::string& node_id, Handler handler);
 
   /// Sends a request and returns the reply payload. Both directions are
-  /// metered.
+  /// metered; a request lost to fault injection meters the request bytes
+  /// only (they did leave the sender).
   Result<std::vector<uint8_t>> Send(Envelope envelope);
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats(); }
+  /// Totals across all links (copied under the bus lock).
+  NetworkStats stats() const;
+  /// Per-link accounting keyed "from->to". The sum over links equals
+  /// stats() — the invariant the concurrency property test checks.
+  std::map<std::string, NetworkStats> link_stats() const;
+  void ResetStats();
 
-  /// Log of (from, to, type, bytes) for traffic-audit tests.
+  /// Optional fault-injection hook consulted before every delivery. Not
+  /// owned; pass nullptr to detach. Set while no traffic is in flight.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Log of (from, to, type, sizes) for traffic-audit tests. Only metadata
+  /// and byte counts are retained — never payload bytes — so the log stays
+  /// O(#messages) even for large-cohort transfers.
   struct LogEntry {
     std::string from;
     std::string to;
@@ -65,16 +84,21 @@ class MessageBus {
     uint64_t request_bytes;
     uint64_t reply_bytes;
   };
-  const std::vector<LogEntry>& log() const { return log_; }
-  void ClearLog() { log_.clear(); }
+  /// Snapshot of the traffic log. Entries are appended in delivery-
+  /// completion order under concurrency.
+  std::vector<LogEntry> log() const;
+  void ClearLog();
   /// When false (default) the log is not kept (hot paths stay cheap).
-  void set_keep_log(bool keep) { keep_log_ = keep; }
+  void set_keep_log(bool keep);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Handler> endpoints_;
   NetworkStats stats_;
+  std::map<std::string, NetworkStats> link_stats_;
   std::vector<LogEntry> log_;
   bool keep_log_ = false;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace mip::federation

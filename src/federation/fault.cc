@@ -1,0 +1,95 @@
+#include "federation/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mip::federation {
+
+namespace {
+
+// FNV-1a: stable across runs and standard libraries (std::hash<string> is
+// only guaranteed stable within one execution).
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string LinkKey(const std::string& from, const std::string& to) {
+  return from + "->" + to;
+}
+
+std::string EndpointKey(const std::string& to) { return "*->" + to; }
+
+}  // namespace
+
+void FaultInjector::SetLinkFault(const std::string& from,
+                                 const std::string& to, FaultSpec spec) {
+  const std::string key = LinkKey(from, to);
+  std::lock_guard<std::mutex> lock(mu_);
+  links_.erase(key);
+  links_.emplace(key, LinkState(spec, seed_ ^ HashKey(key)));
+}
+
+void FaultInjector::SetEndpointFault(const std::string& node,
+                                     FaultSpec spec) {
+  const std::string key = EndpointKey(node);
+  std::lock_guard<std::mutex> lock(mu_);
+  links_.erase(key);
+  links_.emplace(key, LinkState(spec, seed_ ^ HashKey(key)));
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  links_.clear();
+}
+
+FaultInjector::LinkState* FaultInjector::FindState(const std::string& from,
+                                                   const std::string& to) {
+  auto it = links_.find(LinkKey(from, to));
+  if (it == links_.end()) it = links_.find(EndpointKey(to));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+Status FaultInjector::BeforeDeliver(const Envelope& envelope) {
+  double sleep_ms = 0.0;
+  Status outcome = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LinkState* state = FindState(envelope.from, envelope.to);
+    if (state == nullptr) return Status::OK();
+    const int delivery = state->deliveries++;
+    sleep_ms = state->spec.delay_ms;
+    if (state->spec.jitter_ms > 0) {
+      sleep_ms += state->rng.NextUniform(0.0, state->spec.jitter_ms);
+    }
+    if (delivery < state->spec.fail_first_n) {
+      outcome = Status::Unavailable("injected fault: link " + envelope.from +
+                                    "->" + envelope.to + " failing delivery " +
+                                    std::to_string(delivery + 1) + " of " +
+                                    std::to_string(state->spec.fail_first_n));
+    } else if (state->spec.drop_rate > 0 &&
+               state->rng.NextDouble() < state->spec.drop_rate) {
+      outcome = Status::Unavailable("injected fault: message from " +
+                                    envelope.from + " to " + envelope.to +
+                                    " dropped");
+    }
+  }
+  // Sleep outside the lock so concurrent deliveries on other links overlap.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  return outcome;
+}
+
+int FaultInjector::DeliveriesOn(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(key);
+  return it == links_.end() ? 0 : it->second.deliveries;
+}
+
+}  // namespace mip::federation

@@ -1,0 +1,81 @@
+#ifndef MIP_FEDERATION_FAULT_H_
+#define MIP_FEDERATION_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "federation/bus.h"
+
+namespace mip::federation {
+
+/// \brief Fault model for one bus link (or for every link into a node).
+///
+/// All faults apply to *request delivery*: a faulted message is lost before
+/// it reaches the destination handler, so the handler's side effects (local
+/// computation, SMPC share import) never happen for a failed delivery and a
+/// retry is always safe.
+struct FaultSpec {
+  /// Probability in [0, 1] that a delivery is dropped (per attempt).
+  double drop_rate = 0.0;
+  /// Deterministically fail the first N deliveries on this link, then
+  /// deliver normally — models a site that recovers after transient errors.
+  int fail_first_n = 0;
+  /// Fixed simulated transit delay per delivery (applied as real sleep so
+  /// concurrency benchmarks observe it).
+  double delay_ms = 0.0;
+  /// Extra uniform random delay in [0, jitter_ms), drawn from the link's
+  /// deterministic stream.
+  double jitter_ms = 0.0;
+};
+
+/// \brief Deterministic, seeded fault injection hook for the MessageBus.
+///
+/// Faults are keyed per link ("from->to" exact match wins) or per
+/// destination endpoint (any sender). Each key owns an independent Rng
+/// derived from the injector seed and the key, and the drop/jitter decision
+/// sequence advances only with deliveries on that key — so outcomes are
+/// reproducible regardless of how concurrent fan-outs interleave across
+/// links.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xFA017ull) : seed_(seed) {}
+
+  /// Installs `spec` on the directed link `from` -> `to`.
+  void SetLinkFault(const std::string& from, const std::string& to,
+                    FaultSpec spec);
+  /// Installs `spec` on every link into `node` (used unless an exact link
+  /// spec exists).
+  void SetEndpointFault(const std::string& node, FaultSpec spec);
+  void Clear();
+
+  /// Called by the bus before handing the envelope to the destination
+  /// handler. Sleeps the simulated delay, then returns Unavailable if the
+  /// delivery is dropped / force-failed, OK otherwise.
+  Status BeforeDeliver(const Envelope& envelope);
+
+  /// Number of deliveries (successful or not) seen on a key — test hook.
+  int DeliveriesOn(const std::string& key) const;
+
+ private:
+  struct LinkState {
+    FaultSpec spec;
+    Rng rng;
+    int deliveries = 0;
+    explicit LinkState(FaultSpec s, uint64_t seed)
+        : spec(s), rng(seed) {}
+  };
+
+  LinkState* FindState(const std::string& from, const std::string& to);
+
+  mutable std::mutex mu_;
+  uint64_t seed_;
+  std::map<std::string, LinkState> links_;
+};
+
+}  // namespace mip::federation
+
+#endif  // MIP_FEDERATION_FAULT_H_

@@ -1,27 +1,200 @@
 #include "federation/master.h"
 
+#include <algorithm>
+#include <chrono>
+#include <latch>
+#include <optional>
 #include <set>
+#include <thread>
+
+#include "common/stopwatch.h"
 
 namespace mip::federation {
 
+namespace {
+
+/// Only delivery-level failures are worth retrying; algorithm and
+/// serialization errors are deterministic and would fail again.
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIOError;
+}
+
+}  // namespace
+
+Result<std::vector<TransferData>> FederationSession::FanOutLocalRun(
+    const char* msg_type, const std::string& func, const std::string& smpc_job,
+    const TransferData& args, bool enforce_timeout) {
+  const std::vector<std::string> ids = active_worker_ids_;
+  const size_t n = ids.size();
+  if (n == 0) {
+    return Status::Unavailable("session " + job_id_ +
+                               " has no active workers left");
+  }
+
+  BufferWriter writer;
+  writer.WriteString(func);
+  writer.WriteString(smpc_job);
+  args.Serialize(&writer);
+  const std::vector<uint8_t> payload = writer.TakeBytes();
+
+  struct Slot {
+    Status status = Status::Unavailable("not attempted");
+    std::optional<TransferData> value;
+    int attempts = 0;
+    double elapsed_ms = 0.0;
+  };
+  std::vector<Slot> slots(n);
+  const FanoutPolicy policy = fanout_;
+  MessageBus* bus = &master_->bus_;
+
+  // One call = one worker's full dispatch: attempts, backoff, deadline.
+  // Writes only its own slot; all sharing goes through the locked bus.
+  auto run_one = [&](size_t i) {
+    Slot& slot = slots[i];
+    Stopwatch total;
+    const int max_attempts = std::max(1, policy.max_attempts);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      slot.attempts = attempt;
+      Stopwatch rtt;
+      Envelope envelope{"master", ids[i], msg_type, job_id_, payload};
+      Result<std::vector<uint8_t>> reply = bus->Send(std::move(envelope));
+      if (reply.ok()) {
+        if (enforce_timeout && policy.worker_timeout_ms > 0 &&
+            rtt.ElapsedMillis() > policy.worker_timeout_ms) {
+          slot.status = Status::Unavailable(
+              "worker '" + ids[i] + "' exceeded the " +
+              std::to_string(policy.worker_timeout_ms) + " ms step deadline");
+        } else {
+          BufferReader reader(reply.ValueOrDie());
+          Result<TransferData> parsed = TransferData::Deserialize(&reader);
+          if (parsed.ok()) {
+            slot.value = std::move(parsed).MoveValueUnsafe();
+            slot.status = Status::OK();
+          } else {
+            slot.status = parsed.status();
+          }
+          break;
+        }
+      } else {
+        slot.status = reply.status();
+      }
+      if (attempt == max_attempts || !IsTransient(slot.status.code())) break;
+      if (policy.retry_backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            policy.retry_backoff_ms * static_cast<double>(1 << (attempt - 1))));
+      }
+    }
+    slot.elapsed_ms = total.ElapsedMillis();
+  };
+
+  const int lanes =
+      policy.max_concurrency > 0
+          ? std::min<int>(policy.max_concurrency, static_cast<int>(n))
+          : static_cast<int>(n);
+  if (lanes <= 1) {
+    // Sequential dispatch in worker order — the legacy path and the
+    // determinism baseline the concurrency tests compare against.
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    // Strided assignment: `lanes` pool tasks, task t owning workers
+    // t, t+lanes, ... — honors max_concurrency without blocking pool
+    // threads on a semaphore.
+    ThreadPool& pool = master_->pool();
+    std::latch done(lanes);
+    for (int t = 0; t < lanes; ++t) {
+      pool.Submit([&, t] {
+        for (size_t i = static_cast<size_t>(t); i < n;
+             i += static_cast<size_t>(lanes)) {
+          run_one(i);
+        }
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+
+  last_reports_.clear();
+  last_reports_.reserve(n);
+  size_t successes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    WorkerRunReport report{ids[i], slots[i].status, slots[i].attempts,
+                           slots[i].elapsed_ms};
+    auto [it, inserted] = cumulative_.try_emplace(ids[i], report);
+    if (!inserted) {
+      it->second.status = report.status;
+      it->second.attempts += report.attempts;
+      it->second.elapsed_ms += report.elapsed_ms;
+    }
+    last_reports_.push_back(std::move(report));
+    if (slots[i].status.ok()) ++successes;
+  }
+
+  if (policy.min_workers == 0) {
+    // Strict mode: the first failure (in worker order) fails the step.
+    for (const Slot& slot : slots) {
+      if (!slot.status.ok()) return slot.status;
+    }
+  } else if (successes < policy.min_workers) {
+    std::string detail;
+    for (size_t i = 0; i < n; ++i) {
+      if (slots[i].status.ok()) continue;
+      if (!detail.empty()) detail += "; ";
+      detail += ids[i] + ": " + slots[i].status.ToString();
+    }
+    return Status::Unavailable(
+        "quorum not met: " + std::to_string(successes) + " of " +
+        std::to_string(n) + " workers succeeded (min_workers=" +
+        std::to_string(policy.min_workers) + ") [" + detail + "]");
+  }
+
+  std::vector<TransferData> results;
+  results.reserve(successes);
+  std::vector<std::string> survivors;
+  survivors.reserve(successes);
+  for (size_t i = 0; i < n; ++i) {
+    if (slots[i].status.ok()) {
+      results.push_back(std::move(*slots[i].value));
+      survivors.push_back(ids[i]);
+    } else {
+      excluded_workers_.push_back(ids[i]);
+    }
+  }
+  // Degrade to the surviving cohort for the remaining steps so multi-step
+  // algorithms keep a consistent worker set.
+  active_worker_ids_ = std::move(survivors);
+  return results;
+}
+
+std::vector<std::string> FederationSession::ExcludedDatasets() const {
+  std::set<std::string> session_scope(datasets_.begin(), datasets_.end());
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const std::string& wid : excluded_workers_) {
+    WorkerNode* worker = master_->GetWorker(wid);
+    if (worker == nullptr) continue;
+    for (const std::string& ds : worker->datasets()) {
+      if (!session_scope.empty() && session_scope.count(ds) == 0) continue;
+      if (seen.insert(ds).second) out.push_back(ds);
+    }
+  }
+  return out;
+}
+
+std::vector<WorkerRunReport> FederationSession::CumulativeReports() const {
+  std::vector<WorkerRunReport> out;
+  out.reserve(worker_ids_.size());
+  for (const std::string& wid : worker_ids_) {
+    auto it = cumulative_.find(wid);
+    if (it != cumulative_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
 Result<std::vector<TransferData>> FederationSession::LocalRun(
     const std::string& func, const TransferData& args) {
-  std::vector<TransferData> results;
-  results.reserve(worker_ids_.size());
-  for (const std::string& wid : worker_ids_) {
-    BufferWriter writer;
-    writer.WriteString(func);
-    writer.WriteString("");  // no SMPC job on the plain path
-    args.Serialize(&writer);
-    Envelope envelope{"master", wid, "local_run", job_id_,
-                      writer.TakeBytes()};
-    MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                         master_->bus_.Send(std::move(envelope)));
-    BufferReader reader(reply);
-    MIP_ASSIGN_OR_RETURN(TransferData t, TransferData::Deserialize(&reader));
-    results.push_back(std::move(t));
-  }
-  return results;
+  // No SMPC job on the plain path.
+  return FanOutLocalRun("local_run", func, "", args,
+                        /*enforce_timeout=*/true);
 }
 
 Result<TransferData> FederationSession::LocalRunAndAggregate(
@@ -33,23 +206,14 @@ Result<TransferData> FederationSession::LocalRunAndAggregate(
     return TransferData::SumMerge(parts);
   }
   // Secure path: each worker imports its transfer into the SMPC cluster;
-  // only shapes travel on the bus.
+  // only shapes travel on the bus. The step deadline is not enforced here:
+  // once a (late) reply arrives the shares are already in the cluster, and
+  // excluding the worker afterwards would corrupt the aggregate.
   const std::string smpc_job = NextSmpcJobId();
-  std::vector<TransferData> shapes;
-  for (const std::string& wid : worker_ids_) {
-    BufferWriter writer;
-    writer.WriteString(func);
-    writer.WriteString(smpc_job);
-    args.Serialize(&writer);
-    Envelope envelope{"master", wid, "local_run_secure", job_id_,
-                      writer.TakeBytes()};
-    MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                         master_->bus_.Send(std::move(envelope)));
-    BufferReader reader(reply);
-    MIP_ASSIGN_OR_RETURN(TransferData shape,
-                         TransferData::Deserialize(&reader));
-    shapes.push_back(std::move(shape));
-  }
+  MIP_ASSIGN_OR_RETURN(
+      std::vector<TransferData> shapes,
+      FanOutLocalRun("local_run_secure", func, smpc_job, args,
+                     /*enforce_timeout=*/false));
   if (shapes.empty()) {
     return Status::ExecutionError("no workers in session");
   }
@@ -63,8 +227,10 @@ Result<TransferData> FederationSession::LocalRunAndAggregate(
 Result<std::vector<double>> FederationSession::LocalRunSecureOp(
     const std::string& func, const TransferData& args,
     const std::string& vector_key, smpc::SmpcOp op) {
+  // Deliberately sequential: kUnion concatenates contributions, so import
+  // order is part of the result and must stay deterministic.
   const std::string smpc_job = NextSmpcJobId();
-  for (const std::string& wid : worker_ids_) {
+  for (const std::string& wid : active_worker_ids_) {
     // Run plainly on the worker but import only the requested vector.
     WorkerNode* worker = master_->GetWorker(wid);
     if (worker == nullptr) return Status::NotFound("worker " + wid);
@@ -110,6 +276,18 @@ MasterNode::MasterNode(MasterConfig config)
         BufferReader reader(reply);
         return engine::DeserializeTable(&reader);
       });
+}
+
+ThreadPool& MasterNode::pool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    // Fan-out tasks are latency-bound (they wait on simulated links), so
+    // size the pool well past the core count and for the current cohort.
+    const int threads = std::max(
+        {HardwareThreads(), static_cast<int>(workers_.size()), 16});
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool_;
 }
 
 Result<WorkerNode*> MasterNode::AddWorker(const std::string& worker_id) {
@@ -177,7 +355,8 @@ Result<FederationSession> MasterNode::StartSession(
   const std::string job_id =
       "job-" + std::to_string(++job_counter_) + "-" +
       std::to_string(rng_.NextUint64() & 0xFFFFFFull);
-  return FederationSession(this, job_id, std::move(workers), datasets);
+  return FederationSession(this, job_id, std::move(workers), datasets,
+                           config_.fanout);
 }
 
 Result<std::string> MasterNode::CreateFederatedView(

@@ -1,10 +1,13 @@
 #ifndef MIP_FEDERATION_MASTER_H_
 #define MIP_FEDERATION_MASTER_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "engine/database.h"
 #include "federation/bus.h"
@@ -23,12 +26,49 @@ enum class AggregationMode {
   kSecure,
 };
 
+/// \brief How a session dispatches local-run steps across its workers and
+/// what happens when a site is slow or down — the paper's 40+-hospital
+/// deployments make stragglers and outages the norm, not the exception.
+struct FanoutPolicy {
+  /// Workers contacted concurrently per step. 0 = all at once;
+  /// 1 = strictly sequential in worker order (the legacy dispatch path,
+  /// kept as the determinism baseline for tests).
+  int max_concurrency = 0;
+  /// Total delivery attempts per worker per step (>= 1). Only transient
+  /// failures (Unavailable / IOError) are retried; algorithm errors are
+  /// not.
+  int max_attempts = 3;
+  /// Sleep before retry k is `retry_backoff_ms * 2^(k-1)`.
+  double retry_backoff_ms = 1.0;
+  /// A worker whose round-trip exceeds this is classified Unavailable for
+  /// the step (cooperative: the in-process bus cannot preempt a running
+  /// handler). 0 disables the deadline. Not enforced on the secure path,
+  /// where a late reply means shares were already imported.
+  double worker_timeout_ms = 0.0;
+  /// Quorum. 0 = strict: every worker must succeed or the step fails
+  /// (legacy behavior). N > 0 = degraded mode: the step succeeds if at
+  /// least N workers answer; persistent failers are excluded from the rest
+  /// of the session and reported.
+  size_t min_workers = 0;
+};
+
+/// \brief Outcome of one worker's participation in a fan-out step (or,
+/// accumulated, in a whole session).
+struct WorkerRunReport {
+  std::string worker_id;
+  Status status;        ///< final status after retries
+  int attempts = 0;     ///< deliveries attempted
+  double elapsed_ms = 0.0;  ///< wall time across all attempts
+};
+
 struct MasterConfig {
   smpc::SmpcConfig smpc;
   /// Link model for reporting simulated inter-hospital latency.
   double link_latency_ms = 5.0;
   double link_bandwidth_mbps = 100.0;
   uint64_t seed = 0xFEDE7A7E5EEDull;
+  /// Default dispatch/failure policy inherited by new sessions.
+  FanoutPolicy fanout;
 };
 
 class MasterNode;
@@ -46,6 +86,34 @@ class FederationSession {
   /// The dataset filter this session was opened with (workers' local steps
   /// read it from the args transfer under key "datasets" if needed).
   const std::vector<std::string>& datasets() const { return datasets_; }
+
+  /// Dispatch/failure policy for this session (seeded from
+  /// MasterConfig::fanout; override before running steps).
+  const FanoutPolicy& fanout_policy() const { return fanout_; }
+  void set_fanout_policy(FanoutPolicy policy) { fanout_ = policy; }
+
+  /// Workers still participating: the original cohort minus the workers a
+  /// quorum policy excluded after persistent failures.
+  const std::vector<std::string>& active_workers() const {
+    return active_worker_ids_;
+  }
+  /// Workers excluded so far (quorum mode only), in exclusion order.
+  const std::vector<std::string>& excluded_workers() const {
+    return excluded_workers_;
+  }
+  /// Session datasets that lost a replica to an exclusion — the
+  /// "which hospitals' data is missing from this result" report.
+  std::vector<std::string> ExcludedDatasets() const;
+
+  /// Per-worker outcome of the most recent fan-out step, in the step's
+  /// worker order.
+  const std::vector<WorkerRunReport>& last_reports() const {
+    return last_reports_;
+  }
+  /// Per-worker totals accumulated over every step of this session
+  /// (attempts and wall time summed, status = latest), in original worker
+  /// order.
+  std::vector<WorkerRunReport> CumulativeReports() const;
 
   /// Runs the named local step on every participating worker, returning
   /// each worker's transfer (plain path).
@@ -71,20 +139,39 @@ class FederationSession {
   friend class MasterNode;
   FederationSession(MasterNode* master, std::string job_id,
                     std::vector<std::string> worker_ids,
-                    std::vector<std::string> datasets)
+                    std::vector<std::string> datasets, FanoutPolicy fanout)
       : master_(master),
         job_id_(std::move(job_id)),
         worker_ids_(std::move(worker_ids)),
-        datasets_(std::move(datasets)) {}
+        datasets_(std::move(datasets)),
+        fanout_(fanout),
+        active_worker_ids_(worker_ids_) {}
 
   std::string NextSmpcJobId() {
     return job_id_ + "/step" + std::to_string(step_counter_++);
   }
 
+  /// Dispatches one local-run step (`msg_type` is "local_run" or
+  /// "local_run_secure") to every active worker according to the fan-out
+  /// policy: concurrent delivery over the Master's thread pool, retry with
+  /// exponential backoff on transient failures, per-worker deadline, then
+  /// quorum evaluation. Returns the surviving workers' transfers in worker
+  /// order; updates last_reports()/excluded_workers()/active_workers().
+  Result<std::vector<TransferData>> FanOutLocalRun(const char* msg_type,
+                                                   const std::string& func,
+                                                   const std::string& smpc_job,
+                                                   const TransferData& args,
+                                                   bool enforce_timeout);
+
   MasterNode* master_;
   std::string job_id_;
   std::vector<std::string> worker_ids_;
   std::vector<std::string> datasets_;
+  FanoutPolicy fanout_;
+  std::vector<std::string> active_worker_ids_;
+  std::vector<std::string> excluded_workers_;
+  std::vector<WorkerRunReport> last_reports_;
+  std::map<std::string, WorkerRunReport> cumulative_;
   int step_counter_ = 0;
 };
 
@@ -98,6 +185,9 @@ class MasterNode {
 
   MessageBus& bus() { return bus_; }
   smpc::SmpcCluster& smpc() { return smpc_; }
+  /// Shared worker pool for session fan-outs; created on first use, sized
+  /// for latency-bound dispatch (requests mostly wait on simulated links).
+  ThreadPool& pool();
   engine::Database& local_db() { return local_db_; }
   const MasterConfig& config() const { return config_; }
   std::shared_ptr<LocalFunctionRegistry> functions() { return functions_; }
@@ -140,6 +230,8 @@ class MasterNode {
   std::map<std::string, std::vector<std::string>> catalog_;  // dataset->workers
   Rng rng_;
   int64_t job_counter_ = 0;
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace mip::federation

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/stopwatch.h"
+
 namespace mip::federation {
 
 FederatedTrainer::FederatedTrainer(MasterNode* master, TrainingConfig config)
@@ -27,6 +29,7 @@ Result<TrainingResult> FederatedTrainer::Train(
   const bool fed_avg = config_.algorithm == TrainingAlgorithm::kFedAvg;
   const char* update_key = fed_avg ? "delta" : "grad";
   for (int round = 0; round < config_.rounds; ++round) {
+    Stopwatch round_sw;
     TransferData args;
     args.PutVector("weights", out.weights);
     if (fed_avg) {
@@ -119,11 +122,14 @@ Result<TrainingResult> FederatedTrainer::Train(
     tr.round = round;
     tr.loss = loss_sum / n_total;
     tr.grad_norm = std::sqrt(grad_norm_sq);
+    tr.elapsed_ms = round_sw.ElapsedMillis();
+    tr.active_workers = session->active_workers().size();
     out.history.push_back(tr);
     out.total_examples = static_cast<int64_t>(n_total);
   }
 
   out.spent_epsilon = accountant_.TotalEpsilonBasic();
+  out.excluded_workers = session->excluded_workers();
   return out;
 }
 

@@ -44,6 +44,11 @@ struct TrainingRound {
   int round = 0;
   double loss = 0.0;
   double grad_norm = 0.0;
+  /// Wall time of the round's fan-out + aggregation.
+  double elapsed_ms = 0.0;
+  /// Workers still in the cohort when the round ran (quorum policies may
+  /// shrink this mid-training).
+  size_t active_workers = 0;
 };
 
 struct TrainingResult {
@@ -51,6 +56,9 @@ struct TrainingResult {
   std::vector<TrainingRound> history;
   double spent_epsilon = 0.0;
   int64_t total_examples = 0;
+  /// Hospitals dropped by the session's quorum policy during training;
+  /// their examples are absent from the final model.
+  std::vector<std::string> excluded_workers;
 };
 
 /// \brief The federated-learning loop: Master ships current parameters,

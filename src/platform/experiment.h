@@ -22,6 +22,14 @@ struct ExperimentSpec {
   /// List parameters ("variables", "covariates", "levels", ...).
   std::map<std::string, std::vector<std::string>> list_params;
   federation::AggregationMode mode = federation::AggregationMode::kPlain;
+  /// Dispatch/failure policy for the experiment's session. Scalar params
+  /// "fanout.min_workers", "fanout.max_attempts", "fanout.max_concurrency",
+  /// "fanout.worker_timeout_ms" and "fanout.retry_backoff_ms" override the
+  /// corresponding fields (the UI submits them as plain form values).
+  federation::FanoutPolicy fanout;
+
+  /// The fanout policy with any "fanout.*" params applied.
+  federation::FanoutPolicy ResolvedFanout() const;
 
   // -- typed accessors with defaults -------------------------------------
   std::string GetParam(const std::string& key,
@@ -48,6 +56,13 @@ struct ExperimentRecord {
   std::string result;  ///< rendered result text when completed
   std::string error;   ///< failure reason when failed
   double runtime_ms = 0.0;
+  /// Per-worker totals over the whole experiment (attempts, wall time,
+  /// final status) — the dashboard's per-hospital timing panel.
+  std::vector<federation::WorkerRunReport> worker_reports;
+  /// Hospitals the quorum policy excluded, and the session datasets that
+  /// lost a replica as a result.
+  std::vector<std::string> excluded_workers;
+  std::vector<std::string> excluded_datasets;
 };
 
 /// \brief Maps algorithm names to runnable entry points. MIP registers its

@@ -23,6 +23,7 @@ SmpcCluster::SmpcCluster(SmpcConfig config)
       shamir_(config.threshold, config.num_nodes) {}
 
 void SmpcCluster::PrecomputeTriples(size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   Stopwatch sw;
   dealer_.PrecomputeTriples(count);
   stats_.offline_seconds += sw.ElapsedSeconds();
@@ -35,6 +36,7 @@ void SmpcCluster::AccountTransfer(uint64_t bytes, uint64_t rounds) {
 
 Status SmpcCluster::ImportShares(const std::string& job_id,
                                  const std::vector<double>& values) {
+  std::lock_guard<std::mutex> lock(mu_);
   Stopwatch sw;
   MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
                        codec_.EncodeVector(values));
@@ -55,6 +57,7 @@ Status SmpcCluster::ImportShares(const std::string& job_id,
 }
 
 size_t SmpcCluster::NumContributions(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.scheme == SmpcScheme::kFullThreshold) {
     auto it = ft_jobs_.find(job_id);
     return it == ft_jobs_.end() ? 0 : it->second.contributions.size();
@@ -65,6 +68,7 @@ size_t SmpcCluster::NumContributions(const std::string& job_id) const {
 
 Status SmpcCluster::Compute(const std::string& job_id, SmpcOp op,
                             const NoiseSpec& noise) {
+  std::lock_guard<std::mutex> lock(mu_);
   Stopwatch sw;
   Status st = config_.scheme == SmpcScheme::kFullThreshold
                   ? ComputeFt(job_id, op, noise)
@@ -75,6 +79,7 @@ Status SmpcCluster::Compute(const std::string& job_id, SmpcOp op,
 
 Result<std::vector<double>> SmpcCluster::GetResult(
     const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = results_.find(job_id);
   if (it == results_.end()) {
     return Status::NotFound("no finished SMPC computation for job '" +
@@ -86,6 +91,7 @@ Result<std::vector<double>> SmpcCluster::GetResult(
 Status SmpcCluster::TamperWithShare(int node, const std::string& job_id,
                                     size_t contribution, size_t index,
                                     uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (node < 0 || node >= config_.num_nodes) {
     return Status::InvalidArgument("bad node index");
   }

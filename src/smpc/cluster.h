@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -102,8 +103,14 @@ class SmpcCluster {
   Status TamperWithShare(int node, const std::string& job_id,
                          size_t contribution, size_t index, uint64_t delta);
 
-  const SmpcCostStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = SmpcCostStats(); }
+  SmpcCostStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = SmpcCostStats();
+  }
 
  private:
   struct FtJob {
@@ -126,6 +133,12 @@ class SmpcCluster {
 
   void AccountTransfer(uint64_t bytes, uint64_t rounds);
 
+  /// Serializes all cluster state. Workers import shares concurrently
+  /// during the Master's fan-out, so every public entry point locks; the
+  /// aggregation ops in use on that path (elementwise modular sums) are
+  /// order-independent, which keeps concurrent results byte-identical to
+  /// sequential ones.
+  mutable std::mutex mu_;
   SmpcConfig config_;
   Rng rng_;
   FixedPointCodec codec_;

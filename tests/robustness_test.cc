@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "engine/database.h"
 #include "engine/sql_parser.h"
+#include "federation/fault.h"
 #include "federation/master.h"
 #include "smpc/cluster.h"
 
@@ -162,6 +163,178 @@ TEST(FederationRobustnessTest, ShapeMismatchAcrossWorkersIsAnError) {
       federation::AggregationMode::kPlain);
   ASSERT_FALSE(merged.ok());
   EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Fault injection: retries, quorum, graceful degradation ---------------
+
+namespace {
+
+// Three workers, each holding one row of dataset "d" with x = worker index
+// + 1, plus a "sum_x" local step registered on the shared registry.
+void SetupThreeWorkerFederation(federation::MasterNode* master) {
+  for (int w = 0; w < 3; ++w) {
+    const std::string id = "w" + std::to_string(w);
+    ASSERT_TRUE(master->AddWorker(id).ok());
+    engine::Schema schema;
+    ASSERT_TRUE(schema.AddField({"x", engine::DataType::kFloat64}).ok());
+    Table t = Table::Empty(schema);
+    ASSERT_TRUE(t.AppendRow({engine::Value::Double(w + 1)}).ok());
+    ASSERT_TRUE(master->LoadDataset(id, "d", std::move(t)).ok());
+  }
+  ASSERT_TRUE(
+      master->functions()
+          ->Register("sum_x",
+                     [](federation::WorkerContext& ctx,
+                        const federation::TransferData&)
+                         -> Result<federation::TransferData> {
+                       MIP_ASSIGN_OR_RETURN(Table t, ctx.db().GetTable("d"));
+                       federation::TransferData out;
+                       out.PutScalar("sum", t.At(0, 0).AsDouble());
+                       out.PutScalar("n", 1.0);
+                       return out;
+                     })
+          .ok());
+}
+
+}  // namespace
+
+TEST(FaultInjectionTest, WorkerFailingTwiceIsRetriedAndIncluded) {
+  federation::MasterNode master;
+  SetupThreeWorkerFederation(&master);
+  federation::FaultInjector injector(/*seed=*/1);
+  federation::FaultSpec flaky;
+  flaky.fail_first_n = 2;  // down twice, then recovers
+  injector.SetEndpointFault("w1", flaky);
+  master.bus().set_fault_injector(&injector);
+
+  federation::FederationSession session = *master.StartSession({"d"});
+  federation::FanoutPolicy policy;
+  policy.max_attempts = 3;
+  policy.retry_backoff_ms = 0.1;
+  session.set_fanout_policy(policy);
+
+  federation::TransferData agg = *session.LocalRunAndAggregate(
+      "sum_x", federation::TransferData(),
+      federation::AggregationMode::kPlain);
+  EXPECT_EQ(*agg.GetScalar("sum"), 6.0);  // 1+2+3: nobody excluded
+  EXPECT_EQ(*agg.GetScalar("n"), 3.0);
+  EXPECT_TRUE(session.excluded_workers().empty());
+  for (const federation::WorkerRunReport& r : session.last_reports()) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(r.attempts, r.worker_id == "w1" ? 3 : 1);
+  }
+  master.bus().set_fault_injector(nullptr);
+}
+
+TEST(FaultInjectionTest, PersistentlyFailingWorkerIsExcludedOnceQuorumMet) {
+  federation::MasterNode master;
+  SetupThreeWorkerFederation(&master);
+  federation::FaultInjector injector(/*seed=*/2);
+  federation::FaultSpec dead;
+  dead.fail_first_n = 1 << 20;  // never recovers
+  injector.SetEndpointFault("w2", dead);
+  master.bus().set_fault_injector(&injector);
+
+  federation::FederationSession session = *master.StartSession({"d"});
+  federation::FanoutPolicy policy;
+  policy.max_attempts = 2;
+  policy.retry_backoff_ms = 0.1;
+  policy.min_workers = 2;
+  session.set_fanout_policy(policy);
+
+  federation::TransferData agg = *session.LocalRunAndAggregate(
+      "sum_x", federation::TransferData(),
+      federation::AggregationMode::kPlain);
+  EXPECT_EQ(*agg.GetScalar("sum"), 3.0);  // w0 + w1 only
+  ASSERT_EQ(session.excluded_workers().size(), 1u);
+  EXPECT_EQ(session.excluded_workers()[0], "w2");
+  ASSERT_EQ(session.ExcludedDatasets().size(), 1u);
+  EXPECT_EQ(session.ExcludedDatasets()[0], "d");
+  ASSERT_EQ(session.active_workers().size(), 2u);
+
+  // Subsequent steps run against the surviving cohort without touching the
+  // dead site again.
+  const int deliveries_before = injector.DeliveriesOn("*->w2");
+  federation::TransferData again = *session.LocalRunAndAggregate(
+      "sum_x", federation::TransferData(),
+      federation::AggregationMode::kPlain);
+  EXPECT_EQ(*again.GetScalar("sum"), 3.0);
+  EXPECT_EQ(injector.DeliveriesOn("*->w2"), deliveries_before);
+  master.bus().set_fault_injector(nullptr);
+}
+
+TEST(FaultInjectionTest, BelowQuorumSessionReturnsCleanErrorNotPartial) {
+  federation::MasterNode master;
+  SetupThreeWorkerFederation(&master);
+  federation::FaultInjector injector(/*seed=*/3);
+  federation::FaultSpec dead;
+  dead.fail_first_n = 1 << 20;
+  injector.SetEndpointFault("w1", dead);
+  injector.SetEndpointFault("w2", dead);
+  master.bus().set_fault_injector(&injector);
+
+  federation::FederationSession session = *master.StartSession({"d"});
+  federation::FanoutPolicy policy;
+  policy.max_attempts = 2;
+  policy.retry_backoff_ms = 0.1;
+  policy.min_workers = 2;  // only w0 can answer -> below quorum
+  session.set_fanout_policy(policy);
+
+  Result<federation::TransferData> result = session.LocalRunAndAggregate(
+      "sum_x", federation::TransferData(),
+      federation::AggregationMode::kPlain);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("quorum"), std::string::npos);
+  // A failed step excludes nobody: the cohort is intact for a later retry
+  // once the sites recover.
+  EXPECT_TRUE(session.excluded_workers().empty());
+  EXPECT_EQ(session.active_workers().size(), 3u);
+  master.bus().set_fault_injector(nullptr);
+}
+
+TEST(FaultInjectionTest, StrictModeStillFailsFastWithoutQuorum) {
+  federation::MasterNode master;
+  SetupThreeWorkerFederation(&master);
+  federation::FaultInjector injector(/*seed=*/4);
+  federation::FaultSpec dead;
+  dead.fail_first_n = 1 << 20;
+  injector.SetEndpointFault("w1", dead);
+  master.bus().set_fault_injector(&injector);
+
+  // Default policy: min_workers = 0 -> every worker required.
+  federation::FederationSession session = *master.StartSession({"d"});
+  Result<std::vector<federation::TransferData>> result =
+      session.LocalRun("sum_x", federation::TransferData());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  master.bus().set_fault_injector(nullptr);
+}
+
+TEST(FaultInjectionTest, SlowWorkerTimesOutAndIsExcludedUnderQuorum) {
+  federation::MasterNode master;
+  SetupThreeWorkerFederation(&master);
+  federation::FaultInjector injector(/*seed=*/5);
+  federation::FaultSpec slow;
+  slow.delay_ms = 50.0;  // way past the policy deadline below
+  injector.SetEndpointFault("w0", slow);
+  master.bus().set_fault_injector(&injector);
+
+  federation::FederationSession session = *master.StartSession({"d"});
+  federation::FanoutPolicy policy;
+  policy.max_attempts = 2;
+  policy.retry_backoff_ms = 0.1;
+  policy.worker_timeout_ms = 10.0;
+  policy.min_workers = 2;
+  session.set_fanout_policy(policy);
+
+  federation::TransferData agg = *session.LocalRunAndAggregate(
+      "sum_x", federation::TransferData(),
+      federation::AggregationMode::kPlain);
+  EXPECT_EQ(*agg.GetScalar("sum"), 5.0);  // 2 + 3; w0 timed out
+  ASSERT_EQ(session.excluded_workers().size(), 1u);
+  EXPECT_EQ(session.excluded_workers()[0], "w0");
+  master.bus().set_fault_injector(nullptr);
 }
 
 // --- SMPC robustness -------------------------------------------------------
