@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
-# job over the concurrency-sensitive federation suites. Run from anywhere;
-# builds land in <repo>/build and <repo>/build-tsan.
+# CI entry point: tier-1 build + full test suite, a ThreadSanitizer job over
+# the concurrency-sensitive federation suites, an AddressSanitizer job over
+# the network/deserialization suites (the mutation-fuzz tests are only as
+# strong as the memory checking they run under), and a localhost
+# multi-process smoke test of the mip_worker daemon. Run from anywhere;
+# builds land in <repo>/build, <repo>/build-tsan and <repo>/build-asan.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -12,13 +15,33 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== TSan: federation concurrency + robustness =="
+echo "== TSan: federation concurrency + robustness + net transport =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DMIP_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target federation_concurrency_test robustness_test federation_test
-# TSAN_OPTIONS makes any reported race fail the job.
+  --target federation_concurrency_test robustness_test federation_test \
+           net_transport_test
+# TSAN_OPTIONS makes any reported race fail the job. Suites are selected by
+# label (= binary name); --no-tests=error guards against a silent no-op.
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-tsan" \
-  --output-on-failure -j "$JOBS" \
-  -R '(federation_concurrency_test|robustness_test|federation_test)'
+  --output-on-failure -j "$JOBS" --no-tests=error \
+  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test)$'
+
+echo "== ASan+UBSan: net framing / deserialization hardening =="
+cmake -B "$ROOT/build-asan" -S "$ROOT" -DMIP_SANITIZE=address
+cmake --build "$ROOT/build-asan" -j "$JOBS" \
+  --target net_transport_test net_process_test robustness_test mip_worker
+ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-asan" \
+  --output-on-failure -j "$JOBS" --no-tests=error \
+  -L '^(net_transport_test|net_process_test|robustness_test)$'
+
+echo "== smoke: mip_worker daemon over localhost =="
+# The daemon must come up, print its READY line with a real port, and exit
+# cleanly when its stdin closes.
+READY="$(echo quit | "$ROOT/build/tools/mip_worker" --id=smoke --port=0 \
+  --dataset=linreg --rows=32 --seed=7 --weights=1.0,-1.0)"
+echo "$READY"
+[[ "$READY" == MIP_WORKER\ READY\ id=smoke\ port=* ]] || {
+  echo "mip_worker READY line malformed"; exit 1;
+}
 
 echo "== OK =="

@@ -31,6 +31,12 @@ class BufferWriter {
     AppendRaw(s.data(), s.size());
   }
 
+  /// Length-prefixed raw blob (the framing layer's payload primitive).
+  void WriteBytes(const std::vector<uint8_t>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size());
+  }
+
   void WriteDoubleVector(const std::vector<double>& v) {
     WriteU32(static_cast<uint32_t>(v.size()));
     AppendRaw(v.data(), v.size() * sizeof(double));
@@ -106,6 +112,14 @@ class BufferReader {
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  Result<std::vector<uint8_t>> ReadBytes() {
+    MIP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (n > Remaining()) return TruncatedError();
+    std::vector<uint8_t> v(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return v;
   }
 
   Result<std::vector<double>> ReadDoubleVector() {

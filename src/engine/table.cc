@@ -182,12 +182,19 @@ Result<Table> DeserializeTable(BufferReader* r) {
   for (uint32_t c = 0; c < num_cols; ++c) {
     MIP_ASSIGN_OR_RETURN(std::string name, r->ReadString());
     MIP_ASSIGN_OR_RETURN(uint8_t type_byte, r->ReadU8());
+    if (type_byte > static_cast<uint8_t>(DataType::kString)) {
+      return Status::IOError("table wire format has unknown column type " +
+                             std::to_string(type_byte));
+    }
     const DataType type = static_cast<DataType>(type_byte);
     MIP_RETURN_NOT_OK(schema.AddField(Field{name, type}));
     MIP_ASSIGN_OR_RETURN(bool has_validity, r->ReadBool());
     Bitmap validity;
     if (has_validity) {
       MIP_ASSIGN_OR_RETURN(std::vector<uint64_t> words, r->ReadU64Vector());
+      if (words.size() * 64 < num_rows) {
+        return Status::IOError("table validity bitmap shorter than row count");
+      }
       validity = Bitmap(num_rows, true);
       for (size_t i = 0; i < num_rows; ++i) {
         const bool bit = (words[i >> 6] >> (i & 63)) & 1ull;
@@ -198,6 +205,9 @@ Result<Table> DeserializeTable(BufferReader* r) {
     switch (type) {
       case DataType::kBool: {
         MIP_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+        if (n > r->Remaining()) {
+          return Status::IOError("truncated buffer while deserializing");
+        }
         std::vector<uint8_t> vals(n);
         for (uint32_t i = 0; i < n; ++i) {
           MIP_ASSIGN_OR_RETURN(vals[i], r->ReadU8());
@@ -217,6 +227,9 @@ Result<Table> DeserializeTable(BufferReader* r) {
       }
       case DataType::kString: {
         MIP_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+        if (static_cast<size_t>(n) > r->Remaining() / sizeof(uint32_t)) {
+          return Status::IOError("truncated buffer while deserializing");
+        }
         std::vector<std::string> vals(n);
         for (uint32_t i = 0; i < n; ++i) {
           MIP_ASSIGN_OR_RETURN(vals[i], r->ReadString());

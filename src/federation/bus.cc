@@ -1,8 +1,13 @@
 #include "federation/bus.h"
 
+#include "common/stopwatch.h"
 #include "federation/fault.h"
 
 namespace mip::federation {
+
+void MessageBus::set_fault_injector(FaultInjector* injector) {
+  set_fault_hook(injector);
+}
 
 Status MessageBus::RegisterEndpoint(const std::string& node_id,
                                     Handler handler) {
@@ -53,15 +58,24 @@ Result<std::vector<uint8_t>> MessageBus::Send(Envelope envelope) {
     link_stats_[link].bytes += request_bytes;
   }
 
+  Stopwatch rtt;
   Result<std::vector<uint8_t>> reply = (*handler)(envelope);
   if (!reply.ok()) return reply;
 
+  const double wall = rtt.ElapsedMillis();
   const uint64_t reply_bytes = reply.ValueOrDie().size();
   const std::string reverse = envelope.to + "->" + envelope.from;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.messages += 1;
     stats_.bytes += reply_bytes;
+    stats_.round_trips += 1;
+    stats_.wall_ms += wall;
+    // Measured wall time is charged to the forward link at completion,
+    // mirroring the TCP transport's round-trip accounting.
+    NetworkStats& fwd = link_stats_[link];
+    fwd.round_trips += 1;
+    fwd.wall_ms += wall;
     link_stats_[reverse].messages += 1;
     link_stats_[reverse].bytes += reply_bytes;
     if (keep_log_) {

@@ -9,36 +9,22 @@
 #include <vector>
 
 #include "common/result.h"
+#include "net/transport.h"
 
 namespace mip::federation {
 
 class FaultInjector;
 
-/// \brief One message on the federation bus (the Celery/RabbitMQ stand-in).
-struct Envelope {
-  std::string from;
-  std::string to;
-  std::string type;  ///< message kind (e.g. "local_run", "fetch_table")
-  std::string job_id;
-  std::vector<uint8_t> payload;
-};
+/// The federation layer's message and accounting types are the transport
+/// layer's: the same Envelope rides the in-process bus and the TCP
+/// transport (src/net).
+using Envelope = net::Envelope;
+using NetworkStats = net::NetworkStats;
 
-/// \brief Per-link traffic accounting plus a simple latency model, so
-/// experiments can report simulated network time for inter-hospital links.
-struct NetworkStats {
-  uint64_t messages = 0;
-  uint64_t bytes = 0;
-
-  /// latency-per-message + bytes/bandwidth.
-  double SimulatedSeconds(double latency_ms_per_message,
-                          double bandwidth_mbps) const {
-    return static_cast<double>(messages) * latency_ms_per_message / 1e3 +
-           static_cast<double>(bytes) * 8.0 / (bandwidth_mbps * 1e6);
-  }
-};
-
-/// \brief In-process message bus connecting the Master, the Workers and the
-/// SMPC cluster front end.
+/// \brief In-process implementation of net::Transport connecting the Master,
+/// the Workers and the SMPC cluster front end (the Celery/RabbitMQ
+/// stand-in, and the determinism baseline the TCP transport is checked
+/// against).
 ///
 /// Every payload that crosses a node boundary goes through Send() as
 /// serialized bytes — there is no back door — so the byte counts are honest
@@ -49,30 +35,33 @@ struct NetworkStats {
 /// local-run requests out concurrently); handlers for distinct endpoints
 /// run in parallel, outside the bus lock. RegisterEndpoint() is also
 /// locked, but topology is expected to be set up before traffic starts.
-class MessageBus {
+class MessageBus : public net::Transport {
  public:
-  /// A handler consumes an envelope and produces a serialized reply payload.
-  using Handler =
-      std::function<Result<std::vector<uint8_t>>(const Envelope&)>;
+  using Handler = net::Transport::Handler;
 
   /// Registers an endpoint (node id must be unique).
-  Status RegisterEndpoint(const std::string& node_id, Handler handler);
+  Status RegisterEndpoint(const std::string& node_id,
+                          Handler handler) override;
 
   /// Sends a request and returns the reply payload. Both directions are
   /// metered; a request lost to fault injection meters the request bytes
-  /// only (they did leave the sender).
-  Result<std::vector<uint8_t>> Send(Envelope envelope);
+  /// only (they did leave the sender). Envelope::deadline_ms is ignored:
+  /// the in-process bus cannot preempt a running handler, so deadlines
+  /// stay cooperative (enforced by the session after the reply).
+  Result<std::vector<uint8_t>> Send(Envelope envelope) override;
 
   /// Totals across all links (copied under the bus lock).
-  NetworkStats stats() const;
+  NetworkStats stats() const override;
   /// Per-link accounting keyed "from->to". The sum over links equals
   /// stats() — the invariant the concurrency property test checks.
-  std::map<std::string, NetworkStats> link_stats() const;
-  void ResetStats();
+  std::map<std::string, NetworkStats> link_stats() const override;
+  void ResetStats() override;
 
   /// Optional fault-injection hook consulted before every delivery. Not
   /// owned; pass nullptr to detach. Set while no traffic is in flight.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_fault_hook(net::FaultHook* hook) override { injector_ = hook; }
+  /// Legacy spelling kept for the fault-injection suites.
+  void set_fault_injector(FaultInjector* injector);
 
   /// Log of (from, to, type, sizes) for traffic-audit tests. Only metadata
   /// and byte counts are retained — never payload bytes — so the log stays
@@ -98,7 +87,7 @@ class MessageBus {
   std::map<std::string, NetworkStats> link_stats_;
   std::vector<LogEntry> log_;
   bool keep_log_ = false;
-  FaultInjector* injector_ = nullptr;
+  net::FaultHook* injector_ = nullptr;
 };
 
 }  // namespace mip::federation

@@ -8,9 +8,11 @@
 
 #include "common/result.h"
 #include "common/rng.h"
-#include "federation/bus.h"
+#include "net/transport.h"
 
 namespace mip::federation {
+
+using Envelope = net::Envelope;
 
 /// \brief Fault model for one bus link (or for every link into a node).
 ///
@@ -32,15 +34,17 @@ struct FaultSpec {
   double jitter_ms = 0.0;
 };
 
-/// \brief Deterministic, seeded fault injection hook for the MessageBus.
+/// \brief Deterministic, seeded fault injection hook for any net::Transport
+/// (the in-process MessageBus and the TCP transport consult it at the same
+/// point: on the sender, before a request leaves).
 ///
 /// Faults are keyed per link ("from->to" exact match wins) or per
 /// destination endpoint (any sender). Each key owns an independent Rng
 /// derived from the injector seed and the key, and the drop/jitter decision
 /// sequence advances only with deliveries on that key — so outcomes are
 /// reproducible regardless of how concurrent fan-outs interleave across
-/// links.
-class FaultInjector {
+/// links, and identical across transports.
+class FaultInjector : public net::FaultHook {
  public:
   explicit FaultInjector(uint64_t seed = 0xFA017ull) : seed_(seed) {}
 
@@ -52,10 +56,10 @@ class FaultInjector {
   void SetEndpointFault(const std::string& node, FaultSpec spec);
   void Clear();
 
-  /// Called by the bus before handing the envelope to the destination
-  /// handler. Sleeps the simulated delay, then returns Unavailable if the
+  /// Called by the transport before the envelope leaves the sender.
+  /// Sleeps the simulated delay, then returns Unavailable if the
   /// delivery is dropped / force-failed, OK otherwise.
-  Status BeforeDeliver(const Envelope& envelope);
+  Status BeforeDeliver(const Envelope& envelope) override;
 
   /// Number of deliveries (successful or not) seen on a key — test hook.
   int DeliveriesOn(const std::string& key) const;

@@ -45,7 +45,7 @@ Result<std::vector<TransferData>> FederationSession::FanOutLocalRun(
   };
   std::vector<Slot> slots(n);
   const FanoutPolicy policy = fanout_;
-  MessageBus* bus = &master_->bus_;
+  net::Transport* transport = master_->transport_;
 
   // One call = one worker's full dispatch: attempts, backoff, deadline.
   // Writes only its own slot; all sharing goes through the locked bus.
@@ -57,7 +57,13 @@ Result<std::vector<TransferData>> FederationSession::FanOutLocalRun(
       slot.attempts = attempt;
       Stopwatch rtt;
       Envelope envelope{"master", ids[i], msg_type, job_id_, payload};
-      Result<std::vector<uint8_t>> reply = bus->Send(std::move(envelope));
+      // Hard deadline for transports that can enforce one at the socket
+      // (TCP); the cooperative post-hoc check below covers the in-process
+      // bus, which cannot preempt a running handler.
+      if (enforce_timeout && policy.worker_timeout_ms > 0) {
+        envelope.deadline_ms = policy.worker_timeout_ms;
+      }
+      Result<std::vector<uint8_t>> reply = transport->Send(std::move(envelope));
       if (reply.ok()) {
         if (enforce_timeout && policy.worker_timeout_ms > 0 &&
             rtt.ElapsedMillis() > policy.worker_timeout_ms) {
@@ -170,9 +176,16 @@ std::vector<std::string> FederationSession::ExcludedDatasets() const {
   std::set<std::string> seen;
   std::vector<std::string> out;
   for (const std::string& wid : excluded_workers_) {
-    WorkerNode* worker = master_->GetWorker(wid);
-    if (worker == nullptr) continue;
-    for (const std::string& ds : worker->datasets()) {
+    const std::vector<std::string>* worker_datasets = nullptr;
+    if (WorkerNode* worker = master_->GetWorker(wid); worker != nullptr) {
+      worker_datasets = &worker->datasets();
+    } else if (auto it = master_->remote_workers_.find(wid);
+               it != master_->remote_workers_.end()) {
+      worker_datasets = &it->second.datasets;
+    } else {
+      continue;
+    }
+    for (const std::string& ds : *worker_datasets) {
       if (!session_scope.empty() && session_scope.count(ds) == 0) continue;
       if (seen.insert(ds).second) out.push_back(ds);
     }
@@ -259,7 +272,7 @@ MasterNode::MasterNode(MasterConfig config)
         Envelope envelope{"master", location, "fetch_table", "",
                           writer.TakeBytes()};
         MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                             bus_.Send(std::move(envelope)));
+                             transport_->Send(std::move(envelope)));
         BufferReader reader(reply);
         return engine::DeserializeTable(&reader);
       });
@@ -272,7 +285,7 @@ MasterNode::MasterNode(MasterConfig config)
         Envelope envelope{"master", location, "run_sql", "",
                           writer.TakeBytes()};
         MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                             bus_.Send(std::move(envelope)));
+                             transport_->Send(std::move(envelope)));
         BufferReader reader(reply);
         return engine::DeserializeTable(&reader);
       });
@@ -296,12 +309,32 @@ Result<WorkerNode*> MasterNode::AddWorker(const std::string& worker_id) {
       return Status::AlreadyExists("worker '" + worker_id + "' exists");
     }
   }
+  if (remote_workers_.count(worker_id) > 0) {
+    return Status::AlreadyExists("worker '" + worker_id +
+                                 "' exists as a remote endpoint");
+  }
   auto worker = std::make_unique<WorkerNode>(worker_id, functions_,
                                              rng_.NextUint64());
   MIP_RETURN_NOT_OK(worker->AttachToBus(&bus_));
   worker->SetSmpcCluster(&smpc_);
   workers_.push_back(std::move(worker));
   return workers_.back().get();
+}
+
+Status MasterNode::AddRemoteWorker(const std::string& worker_id,
+                                   const std::vector<std::string>& datasets) {
+  if (GetWorker(worker_id) != nullptr ||
+      remote_workers_.count(worker_id) > 0) {
+    return Status::AlreadyExists("worker '" + worker_id + "' exists");
+  }
+  remote_workers_.emplace(worker_id, RemoteEndpoint{worker_id, datasets});
+  for (const std::string& ds : datasets) {
+    auto& holders = catalog_[ds];
+    bool present = false;
+    for (const std::string& h : holders) present = present || h == worker_id;
+    if (!present) holders.push_back(worker_id);
+  }
+  return Status::OK();
 }
 
 WorkerNode* MasterNode::GetWorker(const std::string& worker_id) {
@@ -332,6 +365,7 @@ std::vector<std::string> MasterNode::WorkersWithDatasets(
   if (datasets.empty()) {
     std::vector<std::string> all;
     for (const auto& w : workers_) all.push_back(w->id());
+    for (const auto& [id, endpoint] : remote_workers_) all.push_back(id);
     return all;
   }
   std::set<std::string> seen;

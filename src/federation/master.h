@@ -71,6 +71,15 @@ struct MasterConfig {
   FanoutPolicy fanout;
 };
 
+/// \brief Master-side record of a worker living in another OS process: the
+/// node id the transport routes by, plus the datasets the site advertises
+/// (fed into the Master's availability catalog). The address itself lives
+/// in the transport's peer table (net::TcpTransport::AddPeer).
+struct RemoteEndpoint {
+  std::string worker_id;
+  std::vector<std::string> datasets;
+};
+
 class MasterNode;
 
 /// \brief One algorithm execution against a set of datasets: a globally
@@ -184,6 +193,14 @@ class MasterNode {
   explicit MasterNode(MasterConfig config = MasterConfig());
 
   MessageBus& bus() { return bus_; }
+  /// Transport carrying session fan-outs and remote-table traffic. Defaults
+  /// to the in-process bus; point it at a net::TcpTransport (with a peer per
+  /// remote worker) to run the federation across OS processes. Swap only
+  /// while no traffic is in flight.
+  net::Transport& transport() { return *transport_; }
+  void set_transport(net::Transport* transport) {
+    transport_ = transport != nullptr ? transport : &bus_;
+  }
   smpc::SmpcCluster& smpc() { return smpc_; }
   /// Shared worker pool for session fan-outs; created on first use, sized
   /// for latency-bound dispatch (requests mostly wait on simulated links).
@@ -195,8 +212,21 @@ class MasterNode {
   /// Creates a worker, attaches it to the bus and the SMPC cluster.
   Result<WorkerNode*> AddWorker(const std::string& worker_id);
 
+  /// Declares a worker that runs in another process (an `mip_worker`
+  /// daemon). Its datasets enter the availability catalog so sessions can
+  /// route to it; the transport must know the peer's address. Remote
+  /// workers support the plain aggregation paths — the secure path needs
+  /// the in-process SMPC cluster and reports its error if attempted.
+  Status AddRemoteWorker(const std::string& worker_id,
+                         const std::vector<std::string>& datasets);
+  const std::map<std::string, RemoteEndpoint>& remote_workers() const {
+    return remote_workers_;
+  }
+
   WorkerNode* GetWorker(const std::string& worker_id);
-  size_t num_workers() const { return workers_.size(); }
+  size_t num_workers() const {
+    return workers_.size() + remote_workers_.size();
+  }
 
   /// Loads a dataset onto a worker and records availability in the catalog.
   Status LoadDataset(const std::string& worker_id,
@@ -223,10 +253,12 @@ class MasterNode {
 
   MasterConfig config_;
   MessageBus bus_;
+  net::Transport* transport_ = &bus_;
   smpc::SmpcCluster smpc_;
   engine::Database local_db_;
   std::shared_ptr<LocalFunctionRegistry> functions_;
   std::vector<std::unique_ptr<WorkerNode>> workers_;
+  std::map<std::string, RemoteEndpoint> remote_workers_;
   std::map<std::string, std::vector<std::string>> catalog_;  // dataset->workers
   Rng rng_;
   int64_t job_counter_ = 0;

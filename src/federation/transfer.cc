@@ -106,6 +106,11 @@ Result<TransferData> TransferData::Deserialize(BufferReader* r) {
   for (uint32_t i = 0; i < n_lists; ++i) {
     MIP_ASSIGN_OR_RETURN(std::string k, r->ReadString());
     MIP_ASSIGN_OR_RETURN(uint32_t len, r->ReadU32());
+    // Each string needs at least its 4-byte length prefix; reject counts the
+    // remaining bytes cannot possibly hold before allocating.
+    if (static_cast<size_t>(len) > r->Remaining() / sizeof(uint32_t)) {
+      return Status::IOError("truncated buffer while deserializing");
+    }
     std::vector<std::string> v(len);
     for (uint32_t j = 0; j < len; ++j) {
       MIP_ASSIGN_OR_RETURN(v[j], r->ReadString());

@@ -65,8 +65,8 @@ Result<TransferData> WorkerNode::RunLocal(const std::string& func,
   return (*fn)(ctx, args);
 }
 
-Status WorkerNode::AttachToBus(MessageBus* bus) {
-  return bus->RegisterEndpoint(
+Status WorkerNode::AttachToBus(net::Transport* transport) {
+  return transport->RegisterEndpoint(
       id_, [this](const Envelope& e) { return HandleEnvelope(e); });
 }
 

@@ -79,11 +79,13 @@ class WorkerNode {
   const std::vector<std::string>& datasets() const { return datasets_; }
   bool HasDataset(const std::string& dataset_name) const;
 
-  /// Registers this worker's request handler on the bus. Message types:
-  /// "local_run" (returns the transfer), "local_run_secure" (imports the
-  /// transfer into the SMPC cluster; only the shape goes back over the
-  /// bus), "fetch_table" (serves REMOTE-table scans).
-  Status AttachToBus(MessageBus* bus);
+  /// Registers this worker's request handler on a transport (the in-process
+  /// bus, or a listening TcpTransport when the worker runs as its own
+  /// process). Message types: "local_run" (returns the transfer),
+  /// "local_run_secure" (imports the transfer into the SMPC cluster; only
+  /// the shape goes back over the wire), "fetch_table" (serves REMOTE-table
+  /// scans), "run_sql" (merge-table pushdown).
+  Status AttachToBus(net::Transport* transport);
 
   /// Wires the worker to the SMPC cluster for secure imports.
   void SetSmpcCluster(smpc::SmpcCluster* cluster) { smpc_ = cluster; }

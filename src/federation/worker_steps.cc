@@ -1,0 +1,144 @@
+#include "federation/worker_steps.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "engine/column.h"
+
+namespace mip::federation {
+
+namespace {
+
+Status RegisterIgnoringDuplicate(LocalFunctionRegistry* registry,
+                                 const std::string& name, LocalFn fn) {
+  const Status st = registry->Register(name, std::move(fn));
+  if (st.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return st;
+}
+
+Result<TransferData> Echo(WorkerContext&, const TransferData& args) {
+  return args;
+}
+
+/// Resolves the dataset a step should read: the explicit "dataset" arg when
+/// present, otherwise the worker's sole hosted dataset (the FederatedTrainer
+/// builds the args transfer itself and cannot inject extra keys).
+Result<std::string> ResolveDataset(WorkerContext& ctx,
+                                   const TransferData& args) {
+  auto explicit_name = args.GetString("dataset");
+  if (explicit_name.ok()) return explicit_name;
+  if (ctx.datasets().size() == 1) return ctx.datasets().front();
+  return Status::InvalidArgument(
+      "no 'dataset' arg and worker '" + ctx.worker_id() + "' hosts " +
+      std::to_string(ctx.datasets().size()) + " datasets");
+}
+
+Result<TransferData> Sleep(WorkerContext&, const TransferData& args) {
+  MIP_ASSIGN_OR_RETURN(const double ms, args.GetScalar("ms"));
+  if (ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+  }
+  TransferData out;
+  out.PutScalar("ms", ms);
+  return out;
+}
+
+Result<TransferData> Moments(WorkerContext& ctx, const TransferData& args) {
+  MIP_ASSIGN_OR_RETURN(const std::string dataset, ResolveDataset(ctx, args));
+  MIP_ASSIGN_OR_RETURN(const std::string column, args.GetString("column"));
+  MIP_ASSIGN_OR_RETURN(const engine::Table t, ctx.db().GetTable(dataset));
+  MIP_ASSIGN_OR_RETURN(const engine::Column* col, t.ColumnByName(column));
+  double sum = 0.0, sum_sq = 0.0, n = 0.0;
+  for (size_t i = 0; i < col->length(); ++i) {
+    if (!col->IsValid(i)) continue;
+    const double v = col->AsDoubleAt(i);
+    sum += v;
+    sum_sq += v * v;
+    n += 1.0;
+  }
+  TransferData out;
+  out.PutScalar("sum", sum);
+  out.PutScalar("sum_sq", sum_sq);
+  out.PutScalar("n", n);
+  return out;
+}
+
+Result<TransferData> LinregGrad(WorkerContext& ctx, const TransferData& args) {
+  MIP_ASSIGN_OR_RETURN(const std::vector<double> w, args.GetVector("weights"));
+  MIP_ASSIGN_OR_RETURN(const std::string dataset, ResolveDataset(ctx, args));
+  MIP_ASSIGN_OR_RETURN(const engine::Table t, ctx.db().GetTable(dataset));
+  if (t.num_columns() != w.size() + 1) {
+    return Status::InvalidArgument(
+        "linreg.grad: dataset " + dataset + " has " +
+        std::to_string(t.num_columns()) + " columns; expected " +
+        std::to_string(w.size()) + " features + y");
+  }
+  std::vector<double> grad(w.size(), 0.0);
+  double loss = 0.0;
+  const size_t p = w.size();
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    double pred = 0.0;
+    for (size_t j = 0; j < p; ++j) {
+      pred += w[j] * t.column(j).AsDoubleAt(r);
+    }
+    const double resid = pred - t.column(p).AsDoubleAt(r);
+    for (size_t j = 0; j < p; ++j) {
+      grad[j] += resid * t.column(j).AsDoubleAt(r);
+    }
+    loss += 0.5 * resid * resid;
+  }
+  TransferData out;
+  out.PutVector("grad", std::move(grad));
+  out.PutScalar("loss", loss);
+  out.PutScalar("n", static_cast<double>(t.num_rows()));
+  return out;
+}
+
+}  // namespace
+
+Status RegisterPortableSteps(LocalFunctionRegistry* registry) {
+  MIP_RETURN_NOT_OK(RegisterIgnoringDuplicate(registry, "mip.echo", Echo));
+  MIP_RETURN_NOT_OK(RegisterIgnoringDuplicate(registry, "mip.sleep", Sleep));
+  MIP_RETURN_NOT_OK(
+      RegisterIgnoringDuplicate(registry, "stats.moments", Moments));
+  MIP_RETURN_NOT_OK(
+      RegisterIgnoringDuplicate(registry, "linreg.grad", LinregGrad));
+  return Status::OK();
+}
+
+engine::Table MakeSyntheticLinregTable(uint64_t seed, size_t rows,
+                                       const std::vector<double>& true_weights,
+                                       double noise_sigma) {
+  const size_t p = true_weights.size();
+  Rng rng(seed);
+  std::vector<std::vector<double>> xs(p, std::vector<double>());
+  std::vector<double> ys;
+  for (size_t j = 0; j < p; ++j) xs[j].reserve(rows);
+  ys.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    double y = 0.0;
+    for (size_t j = 0; j < p; ++j) {
+      const double x = rng.NextGaussian();
+      xs[j].push_back(x);
+      y += true_weights[j] * x;
+    }
+    ys.push_back(y + noise_sigma * rng.NextGaussian());
+  }
+  engine::Schema schema;
+  std::vector<engine::Column> columns;
+  for (size_t j = 0; j < p; ++j) {
+    // Feature names are fixed by convention (x0..x{p-1}, then y); collisions
+    // are impossible, so AddField cannot fail here.
+    (void)schema.AddField(
+        {"x" + std::to_string(j), engine::DataType::kFloat64});
+    columns.push_back(engine::Column::FromDoubles(std::move(xs[j])));
+  }
+  (void)schema.AddField({"y", engine::DataType::kFloat64});
+  columns.push_back(engine::Column::FromDoubles(std::move(ys)));
+  auto table = engine::Table::Make(std::move(schema), std::move(columns));
+  return table.MoveValueUnsafe();
+}
+
+}  // namespace mip::federation

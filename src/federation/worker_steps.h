@@ -1,0 +1,46 @@
+#ifndef MIP_FEDERATION_WORKER_STEPS_H_
+#define MIP_FEDERATION_WORKER_STEPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+#include "federation/worker.h"
+
+namespace mip::federation {
+
+/// \brief Registers the portable local computation steps compiled into both
+/// the in-process federation and the `mip_worker` daemon.
+///
+/// MIP ships the same algorithm code to every node; for the multi-process
+/// deployment that means the Master's process and each worker daemon must
+/// register bit-identical step implementations, because a local step only
+/// exists where its code runs. These are the steps the cross-process tests
+/// and the daemon rely on:
+///
+///   "mip.echo"      — returns the args transfer unchanged (liveness probe).
+///   "mip.sleep"     — sleeps scalar "ms" then replies (deadline tests).
+///   "stats.moments" — scalars sum / sum_sq / n of column "column" of table
+///                     "dataset".
+///   "linreg.grad"   — FederatedTrainer-compatible linear-regression step:
+///                     reads vector "weights" and string "dataset" (columns
+///                     x0..x{p-1}, y), returns "grad" = X^T(Xw - y),
+///                     "loss" = sum of squared residuals / 2, "n" = rows.
+///
+/// Registration is idempotent (AlreadyExists is ignored) so callers can
+/// layer it over an existing registry.
+Status RegisterPortableSteps(LocalFunctionRegistry* registry);
+
+/// \brief Deterministic synthetic linear-regression cohort: features
+/// x0..x{p-1} ~ N(0,1) from Rng(seed), y = true_weights . x + sigma * noise.
+/// Master and worker daemons call this with the same (seed, rows, weights)
+/// to materialize bit-identical hospital datasets in different processes —
+/// the precondition for the byte-identical training acceptance check.
+engine::Table MakeSyntheticLinregTable(uint64_t seed, size_t rows,
+                                       const std::vector<double>& true_weights,
+                                       double noise_sigma);
+
+}  // namespace mip::federation
+
+#endif  // MIP_FEDERATION_WORKER_STEPS_H_

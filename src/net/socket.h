@@ -1,0 +1,73 @@
+#ifndef MIP_NET_SOCKET_H_
+#define MIP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace mip::net {
+
+/// \brief Move-only RAII wrapper over a POSIX TCP socket with deadline-aware
+/// I/O (non-blocking fd + poll), the primitive under TcpTransport.
+///
+/// Error mapping feeds the federation retry machinery: deadline expiry
+/// returns Unavailable (the peer may still be alive — retryable), while
+/// connection resets / EOF / refused connections return IOError or
+/// Unavailable depending on whether the peer was ever reached. All timeouts
+/// are milliseconds; <= 0 blocks indefinitely.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Dials host:port (numeric IPv4 or "localhost") within the deadline.
+  /// The returned socket is connected, non-blocking, with TCP_NODELAY set.
+  static Result<Socket> ConnectTcp(const std::string& host, int port,
+                                   double timeout_ms);
+
+  /// Binds and listens on host:port (port 0 picks an ephemeral port; read it
+  /// back with BoundPort).
+  static Result<Socket> ListenTcp(const std::string& host, int port,
+                                  int backlog = 64);
+
+  /// Accepts one connection, waiting at most `timeout_ms`. Unavailable on
+  /// timeout (callers poll in a loop so listeners can shut down cleanly).
+  Result<Socket> Accept(double timeout_ms);
+
+  /// Port this socket is bound to (listener side).
+  Result<int> BoundPort() const;
+
+  /// Writes exactly `n` bytes within the deadline.
+  Status SendAll(const uint8_t* data, size_t n, double timeout_ms);
+
+  /// Reads 1..n bytes within the deadline. IOError("peer closed") on EOF.
+  Result<size_t> RecvSome(uint8_t* out, size_t n, double timeout_ms);
+
+  /// Reads exactly `n` bytes within the deadline.
+  Status RecvAll(uint8_t* out, size_t n, double timeout_ms);
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mip::net
+
+#endif  // MIP_NET_SOCKET_H_

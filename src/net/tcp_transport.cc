@@ -1,0 +1,307 @@
+#include "net/tcp_transport.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace mip::net {
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)) {}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+Status TcpTransport::Listen(int port) {
+  if (listener_.valid()) {
+    return Status::AlreadyExists("transport is already listening on port " +
+                                 std::to_string(port_));
+  }
+  MIP_ASSIGN_OR_RETURN(listener_,
+                       Socket::ListenTcp(options_.bind_host, port));
+  MIP_ASSIGN_OR_RETURN(port_, listener_.BoundPort());
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpTransport::AddPeer(const std::string& node_id,
+                           const std::string& host, int port) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  Peer& peer = peers_[node_id];
+  peer.host = host;
+  peer.port = port;
+  peer.idle.clear();  // stale connections to an old address are useless
+}
+
+bool TcpTransport::HasPeer(const std::string& node_id) const {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  return peers_.count(node_id) > 0;
+}
+
+Status TcpTransport::RegisterEndpoint(const std::string& node_id,
+                                      Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  if (handlers_.count(node_id) > 0) {
+    return Status::AlreadyExists("endpoint '" + node_id +
+                                 "' already registered");
+  }
+  handlers_.emplace(node_id, std::move(handler));
+  return Status::OK();
+}
+
+void TcpTransport::AcceptLoop() {
+  while (!stopping_.load()) {
+    // Short accept timeout so shutdown is observed promptly.
+    Result<Socket> conn = listener_.Accept(250.0);
+    if (!conn.ok()) continue;  // poll tick or transient accept error
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (stopping_.load()) return;
+    // One thread per connection: the Master holds few connections per
+    // worker (pool-bounded), so the thread count stays small. Threads are
+    // joined in Shutdown().
+    serve_threads_.emplace_back(
+        [this, sock = std::move(conn).MoveValueUnsafe()]() mutable {
+          ServeConnection(std::move(sock));
+        });
+  }
+}
+
+void TcpTransport::ServeConnection(Socket sock) {
+  FrameDecoder decoder(options_.max_frame_payload);
+  uint8_t chunk[16384];
+  while (!stopping_.load()) {
+    Result<size_t> got = sock.RecvSome(chunk, sizeof(chunk), 250.0);
+    if (!got.ok()) {
+      if (got.status().code() == StatusCode::kUnavailable) continue;  // idle
+      return;  // peer went away
+    }
+    decoder.Feed(chunk, got.ValueOrDie());
+    for (;;) {
+      std::vector<uint8_t> payload;
+      Result<bool> next = decoder.Next(&payload);
+      if (!next.ok()) {
+        // Corrupt stream: nothing downstream can be trusted; drop the
+        // connection (the client maps this to a retryable failure).
+        MIP_LOG(Warning) << "dropping connection: "
+                         << next.status().ToString();
+        return;
+      }
+      if (!next.ValueOrDie()) break;
+
+      Status status;
+      std::vector<uint8_t> reply;
+      Result<Envelope> envelope = DecodeEnvelopePayload(payload);
+      if (!envelope.ok()) {
+        status = envelope.status();
+      } else {
+        Handler handler;
+        {
+          std::lock_guard<std::mutex> lock(handlers_mu_);
+          auto it = handlers_.find(envelope.ValueOrDie().to);
+          if (it != handlers_.end()) handler = it->second;
+        }
+        if (!handler) {
+          status = Status::NotFound("no endpoint '" +
+                                    envelope.ValueOrDie().to +
+                                    "' on this transport");
+        } else {
+          Result<std::vector<uint8_t>> r = handler(envelope.ValueOrDie());
+          if (r.ok()) {
+            reply = std::move(r).MoveValueUnsafe();
+          } else {
+            status = r.status();
+          }
+        }
+      }
+
+      BufferWriter w;
+      EncodeFrame(EncodeReplyPayload(status, reply), &w);
+      const std::vector<uint8_t> out = w.TakeBytes();
+      if (!sock.SendAll(out.data(), out.size(), options_.io_timeout_ms)
+               .ok()) {
+        return;
+      }
+    }
+  }
+}
+
+Status TcpTransport::RoundTrip(Socket* sock,
+                               const std::vector<uint8_t>& frame,
+                               double timeout_ms,
+                               std::vector<uint8_t>* reply_payload,
+                               uint64_t* reply_wire_bytes) {
+  Stopwatch sw;
+  MIP_RETURN_NOT_OK(sock->SendAll(frame.data(), frame.size(), timeout_ms));
+  FrameDecoder decoder(options_.max_frame_payload);
+  uint8_t chunk[16384];
+  for (;;) {
+    double remaining = 0.0;
+    if (timeout_ms > 0) {
+      remaining = timeout_ms - sw.ElapsedMillis();
+      if (remaining <= 0) {
+        return Status::Unavailable("request deadline of " +
+                                   std::to_string(timeout_ms) +
+                                   " ms expired");
+      }
+    }
+    MIP_ASSIGN_OR_RETURN(size_t got,
+                         sock->RecvSome(chunk, sizeof(chunk), remaining));
+    decoder.Feed(chunk, got);
+    MIP_ASSIGN_OR_RETURN(bool done, decoder.Next(reply_payload));
+    if (done) {
+      if (decoder.buffered() != 0) {
+        return Status::IOError("unexpected bytes after the reply frame");
+      }
+      *reply_wire_bytes = kFrameHeaderBytes + reply_payload->size();
+      return Status::OK();
+    }
+  }
+}
+
+void TcpTransport::MeterRequestOnly(const Envelope& envelope,
+                                    uint64_t wire_bytes) {
+  const std::string link = envelope.from + "->" + envelope.to;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.messages += 1;
+  stats_.bytes += wire_bytes;
+  link_stats_[link].messages += 1;
+  link_stats_[link].bytes += wire_bytes;
+}
+
+Result<std::vector<uint8_t>> TcpTransport::Send(Envelope envelope) {
+  BufferWriter w;
+  EncodeFrame(EncodeEnvelopePayload(envelope), &w);
+  const std::vector<uint8_t> frame = w.TakeBytes();
+
+  // Fault injection simulates the wire on the sender, before any bytes
+  // leave — identical placement (and therefore identical seeded decision
+  // sequences) to the in-process bus.
+  if (FaultHook* hook = hook_.load()) {
+    Status fault = hook->BeforeDeliver(envelope);
+    if (!fault.ok()) {
+      MeterRequestOnly(envelope, frame.size());
+      return fault;
+    }
+  }
+
+  std::string host;
+  int peer_port = 0;
+  Socket conn;
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peers_.find(envelope.to);
+    if (it == peers_.end()) {
+      return Status::NotFound("no peer '" + envelope.to +
+                              "' registered on the transport");
+    }
+    host = it->second.host;
+    peer_port = it->second.port;
+    if (!it->second.idle.empty()) {
+      conn = std::move(it->second.idle.back());
+      it->second.idle.pop_back();
+      pooled = true;
+    }
+  }
+
+  const double timeout = envelope.deadline_ms > 0 ? envelope.deadline_ms
+                                                  : options_.io_timeout_ms;
+  Stopwatch rtt;
+  if (!conn.valid()) {
+    Result<Socket> dialed =
+        Socket::ConnectTcp(host, peer_port, options_.connect_timeout_ms);
+    if (!dialed.ok()) {
+      MeterRequestOnly(envelope, frame.size());
+      return dialed.status();
+    }
+    conn = std::move(dialed).MoveValueUnsafe();
+  }
+
+  std::vector<uint8_t> reply_payload;
+  uint64_t reply_wire_bytes = 0;
+  Status rt = RoundTrip(&conn, frame, timeout, &reply_payload,
+                        &reply_wire_bytes);
+  if (!rt.ok() && pooled) {
+    // A pooled connection may have been closed by the peer while idle;
+    // retry exactly once on a fresh dial before reporting failure.
+    conn.Close();
+    Result<Socket> dialed =
+        Socket::ConnectTcp(host, peer_port, options_.connect_timeout_ms);
+    if (dialed.ok()) {
+      conn = std::move(dialed).MoveValueUnsafe();
+      reply_payload.clear();
+      rt = RoundTrip(&conn, frame, timeout, &reply_payload,
+                     &reply_wire_bytes);
+    }
+  }
+  if (!rt.ok()) {
+    // The connection state is unknown (a late reply may still arrive);
+    // never return it to the pool.
+    conn.Close();
+    MeterRequestOnly(envelope, frame.size());
+    return rt;
+  }
+
+  const double wall = rtt.ElapsedMillis();
+  {
+    const std::string link = envelope.from + "->" + envelope.to;
+    const std::string reverse = envelope.to + "->" + envelope.from;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.messages += 2;
+    stats_.bytes += frame.size() + reply_wire_bytes;
+    stats_.round_trips += 1;
+    stats_.wall_ms += wall;
+    NetworkStats& fwd = link_stats_[link];
+    fwd.messages += 1;
+    fwd.bytes += frame.size();
+    fwd.round_trips += 1;
+    fwd.wall_ms += wall;
+    NetworkStats& rev = link_stats_[reverse];
+    rev.messages += 1;
+    rev.bytes += reply_wire_bytes;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peers_.find(envelope.to);
+    if (it != peers_.end() &&
+        it->second.idle.size() < options_.max_idle_per_peer &&
+        !stopping_.load()) {
+      it->second.idle.push_back(std::move(conn));
+    }
+  }
+
+  return DecodeReplyPayload(reply_payload);
+}
+
+NetworkStats TcpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::map<std::string, NetworkStats> TcpTransport::link_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return link_stats_;
+}
+
+void TcpTransport::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = NetworkStats();
+  link_stats_.clear();
+}
+
+void TcpTransport::Shutdown() {
+  if (stopping_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    threads.swap(serve_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  listener_.Close();
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  for (auto& [id, peer] : peers_) peer.idle.clear();
+}
+
+}  // namespace mip::net

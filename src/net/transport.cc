@@ -1,0 +1,15 @@
+#include "net/transport.h"
+
+namespace mip::net {
+
+double SimulatedLinkSeconds(uint64_t messages, uint64_t bytes,
+                            double latency_ms_per_message,
+                            double bandwidth_mbps) {
+  const double latency =
+      static_cast<double>(messages) * latency_ms_per_message / 1e3;
+  const double transfer =
+      static_cast<double>(bytes) * 8.0 / (bandwidth_mbps * 1e6);
+  return latency + transfer;
+}
+
+}  // namespace mip::net

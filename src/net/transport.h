@@ -1,0 +1,110 @@
+#ifndef MIP_NET_TRANSPORT_H_
+#define MIP_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mip::net {
+
+/// \brief One request crossing a node boundary (Master <-> Worker <-> SMPC
+/// front end). The same envelope rides the in-process MessageBus and the
+/// TCP transport; only the delivery mechanism differs.
+struct Envelope {
+  std::string from;
+  std::string to;
+  std::string type;  ///< message kind (e.g. "local_run", "fetch_table")
+  std::string job_id;
+  std::vector<uint8_t> payload;
+  /// Round-trip deadline for this request in milliseconds; 0 uses the
+  /// transport's default. Local delivery metadata — never serialized.
+  double deadline_ms = 0.0;
+};
+
+/// \brief Shared link cost model: per-message latency plus bytes over
+/// bandwidth. The single home of the formula previously duplicated between
+/// the federation bus and the SMPC cluster report.
+double SimulatedLinkSeconds(uint64_t messages, uint64_t bytes,
+                            double latency_ms_per_message,
+                            double bandwidth_mbps);
+
+/// \brief Per-link traffic accounting. `messages`/`bytes` feed the simulated
+/// latency model; `round_trips`/`wall_ms` are measured wall-clock figures
+/// (real time spent waiting on the link), so experiments can report the
+/// modelled and the observed cost side by side.
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  /// Completed request/reply pairs charged to this link.
+  uint64_t round_trips = 0;
+  /// Measured wall-clock across those round trips (TCP: socket round trip;
+  /// in-process bus: handler round trip).
+  double wall_ms = 0.0;
+
+  /// latency-per-message + bytes/bandwidth (the simulated model).
+  double SimulatedSeconds(double latency_ms_per_message,
+                          double bandwidth_mbps) const {
+    return SimulatedLinkSeconds(messages, bytes, latency_ms_per_message,
+                                bandwidth_mbps);
+  }
+  /// Measured mean round-trip time, 0 when nothing completed yet.
+  double MeanRoundTripMs() const {
+    return round_trips > 0 ? wall_ms / static_cast<double>(round_trips) : 0.0;
+  }
+};
+
+/// \brief Fault-injection hook consulted by every transport before a request
+/// leaves the sender. Implementations may sleep (simulated transit delay)
+/// and return non-OK to drop the delivery. Keying decisions off the
+/// envelope's from/to keeps seeded fault sequences identical across
+/// transports.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual Status BeforeDeliver(const Envelope& envelope) = 0;
+};
+
+/// \brief Abstract request/reply transport between federation nodes.
+///
+/// Two implementations exist: the in-process MessageBus (every node in one
+/// address space — the test and simulation default) and TcpTransport
+/// (length-prefixed binary frames over real sockets, one process per node).
+/// Both meter every payload that crosses a node boundary, honor the same
+/// FaultHook, and surface delivery failures as retryable Status codes
+/// (Unavailable / IOError) so the federation fan-out policy treats them
+/// uniformly.
+class Transport {
+ public:
+  /// A handler consumes an envelope and produces a serialized reply payload.
+  using Handler = std::function<Result<std::vector<uint8_t>>(const Envelope&)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers a local endpoint (node id must be unique on this transport).
+  virtual Status RegisterEndpoint(const std::string& node_id,
+                                  Handler handler) = 0;
+
+  /// Sends a request and returns the reply payload. Both directions are
+  /// metered; a request lost to fault injection or the wire meters the
+  /// request bytes only (they did leave the sender).
+  virtual Result<std::vector<uint8_t>> Send(Envelope envelope) = 0;
+
+  /// Totals across all links.
+  virtual NetworkStats stats() const = 0;
+  /// Per-link accounting keyed "from->to". The messages/bytes sums over
+  /// links equal stats() — the invariant the concurrency tests check.
+  virtual std::map<std::string, NetworkStats> link_stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Optional fault-injection hook consulted before every delivery. Not
+  /// owned; pass nullptr to detach. Set while no traffic is in flight.
+  virtual void set_fault_hook(FaultHook* hook) = 0;
+};
+
+}  // namespace mip::net
+
+#endif  // MIP_NET_TRANSPORT_H_

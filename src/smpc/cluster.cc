@@ -3,16 +3,17 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "net/transport.h"
 #include "smpc/field.h"
 
 namespace mip::smpc {
 
 double SmpcCostStats::SimulatedNetworkSeconds(const SmpcConfig& config) const {
-  const double latency = static_cast<double>(rounds) *
-                         config.round_latency_ms / 1e3;
-  const double transfer = static_cast<double>(bytes_transferred) * 8.0 /
-                          (config.bandwidth_mbps * 1e6);
-  return latency + transfer;
+  // One protocol round = one latency-bound message exchange; the formula
+  // itself lives in net (shared with the federation link model).
+  return net::SimulatedLinkSeconds(rounds, bytes_transferred,
+                                   config.round_latency_ms,
+                                   config.bandwidth_mbps);
 }
 
 SmpcCluster::SmpcCluster(SmpcConfig config)
