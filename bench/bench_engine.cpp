@@ -1,11 +1,18 @@
-// Experiment E6 — the Worker-engine execution claim of §2: in-database
-// analytics with vectorization and JIT compilation. google-benchmark
-// comparison of the three execution engines on analytics expressions.
+// Experiments E6 + E13 — the Worker-engine execution claim of §2:
+// in-database analytics with vectorization and JIT compilation (E6, the
+// three execution engines compared on analytics expressions) and
+// morsel-driven intra-query parallelism (E13, threads sweep over the
+// relational kernels plus the DenseDoubles conversion micro-bench).
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "engine/exec_context.h"
 #include "engine/expr.h"
+#include "engine/operators.h"
 #include "engine/row_interpreter.h"
 #include "engine/sql_parser.h"
 #include "engine/table.h"
@@ -14,12 +21,26 @@
 
 namespace {
 
+using mip::engine::AggFunc;
+using mip::engine::AggregateSpec;
 using mip::engine::Column;
 using mip::engine::DataType;
+using mip::engine::ExecContext;
 using mip::engine::Expr;
 using mip::engine::ExprPtr;
 using mip::engine::Schema;
 using mip::engine::Table;
+
+/// Pool + context for a threads=N benchmark arg; threads<=1 means no pool
+/// (pure serial morsel loop).
+struct BenchExec {
+  explicit BenchExec(int threads) {
+    if (threads > 1) pool = std::make_unique<mip::ThreadPool>(threads);
+    ctx.pool = pool.get();
+  }
+  std::unique_ptr<mip::ThreadPool> pool;
+  ExecContext ctx;
+};
 
 Table MakeTable(size_t rows) {
   mip::Rng rng(7);
@@ -118,13 +139,146 @@ void BM_JitThreads(benchmark::State& state) {
   ExprPtr expr = BoundExpr(table);
   const auto program = *mip::engine::VectorProgram::Compile(*expr,
                                                             table.schema());
+  BenchExec exec(static_cast<int>(state.range(0)));
   mip::engine::VectorProgram::ExecOptions options;
-  options.num_threads = static_cast<int>(state.range(0));
+  options.exec = &exec.ctx;
   for (auto _ : state) {
     auto col = *program.Execute(table, options);
     benchmark::DoNotOptimize(col);
   }
   state.SetItemsProcessed(state.iterations() * (1 << 21));
+}
+
+// --- Experiment E13: morsel-driven parallel aggregation ------------------
+// Threads sweep over the hot relational operators. Morsel boundaries depend
+// only on morsel_size, so every arg produces byte-identical tables; the
+// sweep measures wall-clock only.
+
+constexpr size_t kAggRows = 1 << 21;  // 2M rows, ≥ the 1M floor in E13.
+
+/// Grouping benchmark table: g = i % 64 (int64 key), v dense double,
+/// w double with every 16th row NULL (exercises validity handling).
+Table MakeGroupTable(size_t rows) {
+  mip::Rng rng(11);
+  std::vector<int64_t> g(rows);
+  std::vector<double> v(rows);
+  Column w(DataType::kFloat64);
+  w.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    g[i] = static_cast<int64_t>(i % 64);
+    v[i] = rng.NextGaussian(5, 2);
+    if (i % 16 == 3) {
+      w.AppendNull();
+    } else {
+      w.AppendDouble(rng.NextUniform(0.0, 100.0));
+    }
+  }
+  Schema schema;
+  (void)schema.AddField({"g", DataType::kInt64});
+  (void)schema.AddField({"v", DataType::kFloat64});
+  (void)schema.AddField({"w", DataType::kFloat64});
+  return *Table::Make(schema, {Column::FromInts(std::move(g)),
+                               Column::FromDoubles(std::move(v)),
+                               std::move(w)});
+}
+
+std::vector<AggregateSpec> AggSpecs(const Table& table) {
+  auto bound = [&](const char* name) {
+    ExprPtr e = mip::engine::Col(name);
+    (void)mip::engine::BindExpr(e.get(), table.schema());
+    return e;
+  };
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kSum, bound("v"), "sum_v"});
+  aggs.push_back({AggFunc::kAvg, bound("w"), "avg_w"});
+  aggs.push_back({AggFunc::kMin, bound("v"), "min_v"});
+  aggs.push_back({AggFunc::kMax, bound("w"), "max_w"});
+  aggs.push_back({AggFunc::kStddevSamp, bound("v"), "sd_v"});
+  return aggs;
+}
+
+void BM_AggregateThreads(benchmark::State& state) {
+  const Table table = MakeGroupTable(kAggRows);
+  const std::vector<AggregateSpec> aggs = AggSpecs(table);
+  BenchExec exec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = *mip::engine::AggregateAll(table, aggs, nullptr, &exec.ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * kAggRows);
+}
+
+void BM_GroupByThreads(benchmark::State& state) {
+  const Table table = MakeGroupTable(kAggRows);
+  const std::vector<AggregateSpec> aggs = AggSpecs(table);
+  ExprPtr key = mip::engine::Col("g");
+  (void)mip::engine::BindExpr(key.get(), table.schema());
+  BenchExec exec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = *mip::engine::GroupByAggregate(table, {key}, {"g"}, aggs,
+                                              nullptr, &exec.ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * kAggRows);
+}
+
+void BM_FilterThreads(benchmark::State& state) {
+  const Table table = MakeGroupTable(kAggRows);
+  ExprPtr pred = *mip::engine::ParseExpression("v > 5 and w < 80");
+  (void)mip::engine::BindExpr(pred.get(), table.schema());
+  BenchExec exec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = *mip::engine::Filter(table, *pred, nullptr, &exec.ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * kAggRows);
+}
+
+// --- DenseDoubles conversion micro-bench ---------------------------------
+// The boxed reference path (per-element AsDoubleAt: validity probe + type
+// switch per value) vs the typed fast path (one typed pass + word-level
+// validity expansion) that the vectorized kernels now use.
+
+void BM_DenseDoublesBoxed(benchmark::State& state) {
+  const Table table = MakeGroupTable(static_cast<size_t>(state.range(0)));
+  const Column& col = table.column(2);  // nullable double
+  for (auto _ : state) {
+    std::vector<double> out(col.length());
+    for (size_t i = 0; i < col.length(); ++i) out[i] = col.AsDoubleAt(i);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_DenseDoublesTyped(benchmark::State& state) {
+  const Table table = MakeGroupTable(static_cast<size_t>(state.range(0)));
+  const Column& col = table.column(2);
+  for (auto _ : state) {
+    auto out = mip::engine::DenseDoubles(col);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_DenseDoublesBoxedInt(benchmark::State& state) {
+  const Table table = MakeGroupTable(static_cast<size_t>(state.range(0)));
+  const Column& col = table.column(0);  // all-valid int64
+  for (auto _ : state) {
+    std::vector<double> out(col.length());
+    for (size_t i = 0; i < col.length(); ++i) out[i] = col.AsDoubleAt(i);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_DenseDoublesTypedInt(benchmark::State& state) {
+  const Table table = MakeGroupTable(static_cast<size_t>(state.range(0)));
+  const Column& col = table.column(0);
+  for (auto _ : state) {
+    auto out = mip::engine::DenseDoubles(col);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
 // Filter pushdown comparison: predicate evaluation to a selection vector.
@@ -147,7 +301,14 @@ BENCHMARK(BM_JitFused)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 BENCHMARK(BM_JitCompileOnly);
 BENCHMARK(BM_JitBatchSize)->Arg(64)->Arg(512)->Arg(2048)->Arg(16384)
     ->Arg(1 << 20);
-BENCHMARK(BM_JitThreads)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_JitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_FilterPredicate)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_AggregateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_GroupByThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_FilterThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_DenseDoublesBoxed)->Arg(1 << 20);
+BENCHMARK(BM_DenseDoublesTyped)->Arg(1 << 20);
+BENCHMARK(BM_DenseDoublesBoxedInt)->Arg(1 << 20);
+BENCHMARK(BM_DenseDoublesTypedInt)->Arg(1 << 20);
 
 BENCHMARK_MAIN();

@@ -15,16 +15,16 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== TSan: federation concurrency + robustness + net transport =="
+echo "== TSan: federation concurrency + robustness + net + engine morsels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DMIP_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target federation_concurrency_test robustness_test federation_test \
-           net_transport_test
+           net_transport_test engine_parallel_test
 # TSAN_OPTIONS makes any reported race fail the job. Suites are selected by
 # label (= binary name); --no-tests=error guards against a silent no-op.
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-tsan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test)$'
+  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test)$'
 
 echo "== ASan+UBSan: net framing / deserialization hardening =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DMIP_SANITIZE=address
@@ -33,6 +33,21 @@ cmake --build "$ROOT/build-asan" -j "$JOBS" \
 ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-asan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
   -L '^(net_transport_test|net_process_test|robustness_test)$'
+
+echo "== determinism: MIP_THREADS=1 vs MIP_THREADS=8 output diff =="
+# Morsel-driven execution must be byte-identical at any thread count (see
+# DESIGN.md "Intra-worker parallelism"). Diff the full stdout of the
+# deterministic end-to-end examples between a serial and a parallel run;
+# any float divergence in the engine, algorithms, or federation fails CI.
+# (engine_tour is excluded: it prints wall-clock timings.)
+for example in quickstart epilepsy_study; do
+  MIP_THREADS=1 "$ROOT/build/examples/$example" > /tmp/mip_det_t1.txt
+  MIP_THREADS=8 "$ROOT/build/examples/$example" > /tmp/mip_det_t8.txt
+  diff -u /tmp/mip_det_t1.txt /tmp/mip_det_t8.txt || {
+    echo "$example output differs between MIP_THREADS=1 and 8"; exit 1;
+  }
+  echo "$example: identical output at 1 and 8 threads"
+done
 
 echo "== smoke: mip_worker daemon over localhost =="
 # The daemon must come up, print its READY line with a real port, and exit

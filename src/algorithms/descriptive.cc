@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "algorithms/common.h"
+#include "engine/exec_context.h"
 #include "common/string_util.h"
 #include "stats/summary.h"
 
@@ -31,12 +32,22 @@ Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
           for (const std::string& var : variables) {
             MIP_ASSIGN_OR_RETURN(const engine::Column* col,
                                  table.ColumnByName(var));
+            // Morsel-parallel accumulation, merged in morsel order (the
+            // same merge the federated path applies across workers).
+            const engine::ExecContext& exec = ctx.exec();
+            std::vector<stats::SummaryAccumulator> parts(
+                exec.NumMorsels(col->length()));
+            exec.ForEachMorsel(
+                col->length(), [&](size_t m, size_t begin, size_t end) {
+                  for (size_t r = begin; r < end; ++r) {
+                    parts[m].Add(col->AsDoubleAt(r));
+                  }
+                });
             stats::SummaryAccumulator acc;
-            std::vector<double> values;
-            for (size_t r = 0; r < col->length(); ++r) {
-              acc.Add(col->AsDoubleAt(r));
+            for (const stats::SummaryAccumulator& part : parts) {
+              acc.Merge(part);
             }
-            values = col->NonNullDoubles();
+            std::vector<double> values = col->NonNullDoubles();
             std::vector<double> row = acc.ToVector();  // n,na,mean,m2,min,max
             row.push_back(stats::Quantile(values, 0.25));
             row.push_back(stats::Quantile(values, 0.50));
@@ -63,15 +74,30 @@ Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
             MIP_ASSIGN_OR_RETURN(engine::Table table, ctx.db().GetTable(ds));
             MIP_ASSIGN_OR_RETURN(const engine::Column* col,
                                  table.ColumnByName(var));
-            for (size_t r = 0; r < col->length(); ++r) {
-              const double v = col->AsDoubleAt(r);
-              if (std::isnan(v)) {
-                na += 1;
-              } else {
-                n += 1;
-                sum += v;
-                sumsq += v * v;
-              }
+            const engine::ExecContext& exec = ctx.exec();
+            struct Partial {
+              double n = 0, na = 0, sum = 0, sumsq = 0;
+            };
+            std::vector<Partial> parts(exec.NumMorsels(col->length()));
+            exec.ForEachMorsel(
+                col->length(), [&](size_t m, size_t begin, size_t end) {
+                  Partial& p = parts[m];
+                  for (size_t r = begin; r < end; ++r) {
+                    const double v = col->AsDoubleAt(r);
+                    if (std::isnan(v)) {
+                      p.na += 1;
+                    } else {
+                      p.n += 1;
+                      p.sum += v;
+                      p.sumsq += v * v;
+                    }
+                  }
+                });
+            for (const Partial& p : parts) {
+              n += p.n;
+              na += p.na;
+              sum += p.sum;
+              sumsq += p.sumsq;
             }
           }
           out.PutVector("mom/" + var, {n, na, sum, sumsq});

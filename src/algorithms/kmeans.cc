@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "algorithms/common.h"
+#include "engine/exec_context.h"
 #include "common/rng.h"
 
 namespace mip::algorithms {
@@ -23,11 +24,30 @@ Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
             LocalData data,
             GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
         const size_t d = vars.size();
+        // Per-morsel partial sums merged in morsel order (deterministic at
+        // any thread count).
+        const engine::ExecContext& exec = ctx.exec();
+        struct Partial {
+          std::vector<double> sum, sumsq;
+        };
+        std::vector<Partial> parts(exec.NumMorsels(data.num_rows));
+        exec.ForEachMorsel(
+            data.num_rows, [&](size_t m, size_t begin, size_t end) {
+              Partial& part = parts[m];
+              part.sum.assign(d, 0.0);
+              part.sumsq.assign(d, 0.0);
+              for (size_t r = begin; r < end; ++r) {
+                for (size_t j = 0; j < d; ++j) {
+                  part.sum[j] += data.numeric(r, j);
+                  part.sumsq[j] += data.numeric(r, j) * data.numeric(r, j);
+                }
+              }
+            });
         std::vector<double> sum(d, 0.0), sumsq(d, 0.0);
-        for (size_t r = 0; r < data.num_rows; ++r) {
+        for (const Partial& part : parts) {
           for (size_t j = 0; j < d; ++j) {
-            sum[j] += data.numeric(r, j);
-            sumsq[j] += data.numeric(r, j) * data.numeric(r, j);
+            sum[j] += part.sum[j];
+            sumsq[j] += part.sumsq[j];
           }
         }
         federation::TransferData out;
@@ -56,30 +76,53 @@ Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
             GatherData(ctx, WorkerDatasets(ctx, args), vars, {}));
         const size_t d = vars.size();
         const size_t k = centroids.rows();
+        // Morsel-parallel Lloyd assignment: each morsel assigns its rows
+        // against the fixed centroids and accumulates private per-cluster
+        // sums; partials merge in morsel order.
+        const engine::ExecContext& exec = ctx.exec();
+        struct Partial {
+          stats::Matrix sums;
+          std::vector<double> counts;
+          double inertia = 0.0;
+        };
+        std::vector<Partial> parts(exec.NumMorsels(data.num_rows));
+        exec.ForEachMorsel(
+            data.num_rows, [&](size_t m, size_t begin, size_t end) {
+              Partial& part = parts[m];
+              part.sums = stats::Matrix(k, d);
+              part.counts.assign(k, 0.0);
+              std::vector<double> x(d);
+              for (size_t r = begin; r < end; ++r) {
+                for (size_t j = 0; j < d; ++j) {
+                  x[j] = (data.numeric(r, j) - mean[j]) / scale[j];
+                }
+                size_t best = 0;
+                double best_dist = 1e300;
+                for (size_t c = 0; c < k; ++c) {
+                  double dist = 0.0;
+                  for (size_t j = 0; j < d; ++j) {
+                    const double diff = x[j] - centroids(c, j);
+                    dist += diff * diff;
+                  }
+                  if (dist < best_dist) {
+                    best_dist = dist;
+                    best = c;
+                  }
+                }
+                for (size_t j = 0; j < d; ++j) part.sums(best, j) += x[j];
+                part.counts[best] += 1.0;
+                part.inertia += best_dist;
+              }
+            });
         stats::Matrix sums(k, d);
         std::vector<double> counts(k, 0.0);
         double inertia = 0.0;
-        std::vector<double> x(d);
-        for (size_t r = 0; r < data.num_rows; ++r) {
-          for (size_t j = 0; j < d; ++j) {
-            x[j] = (data.numeric(r, j) - mean[j]) / scale[j];
-          }
-          size_t best = 0;
-          double best_dist = 1e300;
+        for (const Partial& part : parts) {
           for (size_t c = 0; c < k; ++c) {
-            double dist = 0.0;
-            for (size_t j = 0; j < d; ++j) {
-              const double diff = x[j] - centroids(c, j);
-              dist += diff * diff;
-            }
-            if (dist < best_dist) {
-              best_dist = dist;
-              best = c;
-            }
+            for (size_t j = 0; j < d; ++j) sums(c, j) += part.sums(c, j);
+            counts[c] += part.counts[c];
           }
-          for (size_t j = 0; j < d; ++j) sums(best, j) += x[j];
-          counts[best] += 1.0;
-          inertia += best_dist;
+          inertia += part.inertia;
         }
         federation::TransferData out;
         out.PutMatrix("sums", std::move(sums));

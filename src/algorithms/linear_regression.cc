@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "algorithms/common.h"
+#include "engine/exec_context.h"
 #include "stats/distributions.h"
 #include "stats/linalg.h"
 
@@ -63,30 +64,59 @@ Status RegisterSteps(federation::LocalFunctionRegistry* registry) {
         const size_t p_x = x_vars.size();
         const size_t p = p_x + (intercept ? 1 : 0);
 
+        // Morsel-parallel sufficient statistics: per-morsel partial
+        // normal-equation blocks, merged in morsel order — the same sums
+        // at any thread count.
+        const engine::ExecContext& exec = ctx.exec();
+        struct Partial {
+          stats::Matrix xtx;
+          std::vector<double> xty;
+          double yty = 0.0;
+          double y_sum = 0.0;
+          double n = 0.0;
+        };
+        std::vector<Partial> parts(exec.NumMorsels(data.num_rows));
+        exec.ForEachMorsel(
+            data.num_rows, [&](size_t m, size_t begin, size_t end) {
+              Partial& part = parts[m];
+              part.xtx = stats::Matrix(p, p);
+              part.xty.assign(p, 0.0);
+              std::vector<double> xrow(p);
+              for (size_t r = begin; r < end; ++r) {
+                if (folds > 0 &&
+                    static_cast<int>(FoldOfRow(data.numeric.row(r),
+                                               data.numeric.cols(),
+                                               folds)) == holdout) {
+                  continue;
+                }
+                FillDesignRow(data.numeric, r, intercept, p_x, &xrow);
+                const double y = data.numeric(r, p_x);
+                for (size_t i = 0; i < p; ++i) {
+                  for (size_t j = 0; j < p; ++j) {
+                    part.xtx(i, j) += xrow[i] * xrow[j];
+                  }
+                  part.xty[i] += xrow[i] * y;
+                }
+                part.yty += y * y;
+                part.y_sum += y;
+                part.n += 1.0;
+              }
+            });
         stats::Matrix xtx(p, p);
         std::vector<double> xty(p, 0.0);
         double yty = 0.0;
         double y_sum = 0.0;
         double n = 0.0;
-        std::vector<double> xrow(p);
-        for (size_t r = 0; r < data.num_rows; ++r) {
-          if (folds > 0 &&
-              static_cast<int>(FoldOfRow(data.numeric.row(r),
-                                         data.numeric.cols(), folds)) ==
-                  holdout) {
-            continue;
-          }
-          FillDesignRow(data.numeric, r, intercept, p_x, &xrow);
-          const double y = data.numeric(r, p_x);
+        for (const Partial& part : parts) {
           for (size_t i = 0; i < p; ++i) {
             for (size_t j = 0; j < p; ++j) {
-              xtx(i, j) += xrow[i] * xrow[j];
+              xtx(i, j) += part.xtx(i, j);
             }
-            xty[i] += xrow[i] * y;
+            xty[i] += part.xty[i];
           }
-          yty += y * y;
-          y_sum += y;
-          n += 1.0;
+          yty += part.yty;
+          y_sum += part.y_sum;
+          n += part.n;
         }
         federation::TransferData out;
         out.PutMatrix("xtx", std::move(xtx));

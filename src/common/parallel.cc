@@ -1,6 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -50,26 +53,80 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(size_t n, int num_threads,
-                 const std::function<void(size_t, size_t)>& body) {
+namespace {
+
+/// Shared state of one ParallelFor call. Helper tasks hold it by shared_ptr:
+/// a helper dequeued after the call already returned finds every chunk
+/// claimed and exits without touching the (by then dead) body reference.
+struct ParallelForState {
+  size_t n = 0;
+  size_t grain = 0;
+  size_t chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none are left. Every claimed chunk counts
+  /// toward `done` even when it is skipped after a failure, so the waiter's
+  /// `done == chunks` condition is reached exactly once.
+  void Drain() {
+    for (;;) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          const size_t begin = c * grain;
+          (*body)(begin, std::min(n, begin + grain));
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (error == nullptr) error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(mu);  // pairs with the waiter
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
-  const size_t threads = static_cast<size_t>(std::max(1, num_threads));
-  // Below ~4k elements thread startup dominates any win.
-  if (threads == 1 || n < 4096) {
+  if (grain == 0 || grain >= n || size() <= 1) {
     body(0, n);
     return;
   }
-  const size_t used = std::min(threads, n);
-  const size_t chunk = (n + used - 1) / used;
-  std::vector<std::thread> pool;
-  pool.reserve(used);
-  for (size_t t = 0; t < used; ++t) {
-    const size_t begin = t * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&body, begin, end] { body(begin, end); });
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->grain = grain;
+  state->chunks = (n + grain - 1) / grain;
+  state->body = &body;
+
+  const size_t helpers =
+      std::min(state->chunks - 1, static_cast<size_t>(size()));
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->Drain(); });
   }
-  for (std::thread& th : pool) th.join();
+  state->Drain();  // the caller participates: progress needs no pool thread
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->chunks;
+  });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 }  // namespace mip

@@ -18,9 +18,13 @@ int HardwareThreads();
 ///
 /// Used by the federation Master to fan local-run requests out to many
 /// Workers concurrently (tasks there mostly wait on simulated network
-/// latency, so the pool may be larger than the core count). Submitted tasks
+/// latency, so the pool may be larger than the core count) and by the
+/// engine's morsel dispatch (ParallelFor). Tasks submitted through Submit()
 /// must be independent: a task must never block on another task that could
-/// still be queued behind it, or the pool can deadlock.
+/// still be queued behind it, or the pool can deadlock. ParallelFor() is
+/// exempt from that rule — the caller participates in the work, so it makes
+/// progress even when every pool thread is busy, and it is therefore safe to
+/// call from inside a pool task (nested parallelism).
 ///
 /// The destructor drains the queue (every submitted task runs) and joins
 /// all threads.
@@ -38,6 +42,22 @@ class ThreadPool {
   /// Enqueues a task. Tasks run in submission order, `size()` at a time.
   void Submit(std::function<void()> task);
 
+  /// Runs `body(begin, end)` over [0, n) split into chunks of `grain`
+  /// elements (the last chunk may be short; grain 0 means one chunk).
+  /// Chunks are claimed from a shared atomic counter by up to size() pool
+  /// threads *and the calling thread*, so the call makes progress even when
+  /// the pool is saturated and never deadlocks when nested. Returns after
+  /// every chunk has run. If any body invocation throws, the first captured
+  /// exception is rethrown here after all claimed chunks finish; remaining
+  /// unclaimed chunks are skipped.
+  ///
+  /// Chunk boundaries depend only on (n, grain) — never on thread count —
+  /// so per-chunk partial results merged in chunk order give deterministic,
+  /// bit-identical reductions at any parallelism (the engine's morsel
+  /// determinism guarantee rests on this).
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t begin, size_t end)>& body);
+
  private:
   void WorkerLoop();
 
@@ -47,16 +67,6 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
-
-/// \brief Runs `body(begin, end)` over `num_threads` contiguous slices of
-/// [0, n). With num_threads <= 1 (or n small) the body runs inline on the
-/// calling thread. Slices are disjoint, so bodies may write to disjoint
-/// ranges of shared output without synchronization.
-///
-/// This is the engine's parallelization primitive (one of the paper's
-/// claimed in-engine features); callers own any reduction across slices.
-void ParallelFor(size_t n, int num_threads,
-                 const std::function<void(size_t begin, size_t end)>& body);
 
 }  // namespace mip
 

@@ -407,7 +407,7 @@ Result<Table> Database::TryMergeAggregatePushdown(const SelectStmt& stmt) {
   MIP_ASSIGN_OR_RETURN(
       Table combined,
       GroupByAggregate(unioned, combine_keys, plan.key_names, combine_specs,
-                       &functions_));
+                       &functions_, exec_context_));
 
   // --- Final __key*/__agg* projection ----------------------------------
   std::vector<ExprPtr> exprs;
@@ -455,7 +455,7 @@ Result<Table> Database::TryMergeAggregatePushdown(const SelectStmt& stmt) {
   for (ExprPtr& e : exprs) {
     MIP_RETURN_NOT_OK(BindExpr(e.get(), combined.schema(), &functions_));
   }
-  return Project(combined, exprs, names, &functions_);
+  return Project(combined, exprs, names, &functions_, exec_context_);
 }
 
 Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
@@ -483,7 +483,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
       if (stmt.where != nullptr) {
         MIP_RETURN_NOT_OK(
             BindExpr(stmt.where.get(), input.schema(), &functions_));
-        MIP_ASSIGN_OR_RETURN(input, Filter(input, *stmt.where, &functions_));
+        MIP_ASSIGN_OR_RETURN(input, Filter(input, *stmt.where, &functions_, exec_context_));
       }
       for (ExprPtr& key : plan.key_exprs) {
         MIP_RETURN_NOT_OK(BindExpr(key.get(), input.schema(), &functions_));
@@ -496,14 +496,14 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
       }
       MIP_ASSIGN_OR_RETURN(
           agg, GroupByAggregate(input, plan.key_exprs, plan.key_names,
-                                plan.specs, &functions_));
+                                plan.specs, &functions_, exec_context_));
     }
 
     if (plan.having_rewritten != nullptr) {
       MIP_RETURN_NOT_OK(BindExpr(plan.having_rewritten.get(), agg.schema(),
                                  &functions_));
       MIP_ASSIGN_OR_RETURN(agg,
-                           Filter(agg, *plan.having_rewritten, &functions_));
+                           Filter(agg, *plan.having_rewritten, &functions_, exec_context_));
     }
 
     std::vector<ExprPtr> exprs;
@@ -518,7 +518,8 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
       exprs.push_back(item.rewritten);
       names.push_back(name);
     }
-    MIP_ASSIGN_OR_RETURN(output, Project(agg, exprs, names, &functions_));
+    MIP_ASSIGN_OR_RETURN(
+        output, Project(agg, exprs, names, &functions_, exec_context_));
     if (stmt.distinct) output = DedupRows(output);
 
     if (!stmt.order_by.empty()) {
@@ -540,7 +541,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
   MIP_ASSIGN_OR_RETURN(Table input, ResolveTableRef(*stmt.from));
   if (stmt.where != nullptr) {
     MIP_RETURN_NOT_OK(BindExpr(stmt.where.get(), input.schema(), &functions_));
-    MIP_ASSIGN_OR_RETURN(input, Filter(input, *stmt.where, &functions_));
+    MIP_ASSIGN_OR_RETURN(input, Filter(input, *stmt.where, &functions_, exec_context_));
   }
 
   // ORDER BY may reference input columns that are not projected (standard
@@ -585,7 +586,8 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
   for (const ExprPtr& e : exprs) {
     MIP_RETURN_NOT_OK(BindExpr(e.get(), input.schema(), &functions_));
   }
-  MIP_ASSIGN_OR_RETURN(output, Project(input, exprs, names, &functions_));
+  MIP_ASSIGN_OR_RETURN(
+      output, Project(input, exprs, names, &functions_, exec_context_));
   if (stmt.distinct) output = DedupRows(output);
 
   if (!stmt.order_by.empty() && !sort_before_projection) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/exec_context.h"
 #include "engine/function_registry.h"
 #include "engine/sql_ast.h"
 #include "engine/table.h"
@@ -50,6 +51,13 @@ class Database {
   void SetRemoteQueryRunner(RemoteQueryRunner runner) {
     query_runner_ = std::move(runner);
   }
+
+  /// Execution context for query operators (morsel parallelism). nullptr
+  /// (the default) resolves to ExecContext::Default(), i.e. the process-wide
+  /// MIP_THREADS-sized pool; pass &ExecContext::Serial() to force
+  /// single-threaded execution. The context must outlive the database.
+  void set_exec_context(const ExecContext* exec) { exec_context_ = exec; }
+  const ExecContext* exec_context() const { return exec_context_; }
 
   /// Disables merge-table aggregate pushdown (ablation switch for the E5
   /// benchmark; on by default).
@@ -111,6 +119,7 @@ class Database {
   RemoteFetcher fetcher_;
   RemoteQueryRunner query_runner_;
   bool aggregate_pushdown_ = true;
+  const ExecContext* exec_context_ = nullptr;
 };
 
 }  // namespace mip::engine

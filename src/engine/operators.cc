@@ -13,6 +13,12 @@ namespace mip::engine {
 namespace {
 
 /// Streaming state for one aggregate output.
+///
+/// Aggregation is morsel-parallel: each morsel streams its rows into a
+/// private AggState, then the per-morsel partials are merged (Merge) in
+/// morsel order. Morsel boundaries depend only on ExecContext::morsel_size,
+/// so the merge tree — and therefore every last bit of the result — is
+/// identical at any thread count.
 struct AggState {
   int64_t count = 0;
   double sum = 0.0;
@@ -45,19 +51,58 @@ struct AggState {
       }
       return;
     }
-    const double x = v.AsDouble();
-    sum += x;
-    const double delta = x - mean;
-    mean += delta / static_cast<double>(count);
-    m2 += delta * (x - mean);
-    if (x < min) {
-      min = x;
-      min_value = v;
+    AddNumeric(v.AsDouble(), v);
+  }
+
+  /// Unboxed fast paths for the numeric aggregate functions — same updates
+  /// as Add() on the equivalent boxed value, minus the Value round-trip.
+  void AddDouble(double x) { AddNumericTracked(x, Value::Kind::kDouble, 0); }
+  void AddInt(int64_t v) {
+    AddNumericTracked(static_cast<double>(v), Value::Kind::kInt, v);
+  }
+
+  /// Merges `o` into this state, where `o` accumulated a later row range.
+  /// Must be applied in morsel order: min/max ties and the variance combine
+  /// assume `this` precedes `o`.
+  void Merge(const AggState& o, AggFunc /*func*/) {
+    if (o.count == 0) return;
+    if (count == 0) {
+      *this = o;
+      return;
     }
-    if (x > max) {
-      max = x;
-      max_value = v;
+    distinct.insert(o.distinct.begin(), o.distinct.end());
+    // String min/max (numeric states keep these in lockstep with min/max).
+    if (!o.min_value.is_null() &&
+        o.min_value.kind() == Value::Kind::kString) {
+      if (min_value.is_null() ||
+          o.min_value.string_value() < min_value.string_value()) {
+        min_value = o.min_value;
+      }
+      if (max_value.is_null() ||
+          o.max_value.string_value() > max_value.string_value()) {
+        max_value = o.max_value;
+      }
+    } else {
+      // Strict comparisons: on ties the earlier morsel wins, matching the
+      // serial stream's first-occurrence behavior.
+      if (o.min < min) {
+        min = o.min;
+        min_value = o.min_value;
+      }
+      if (o.max > max) {
+        max = o.max;
+        max_value = o.max_value;
+      }
     }
+    // Chan et al. pairwise combine of (count, mean, m2).
+    const double na = static_cast<double>(count);
+    const double nb = static_cast<double>(o.count);
+    const double nt = na + nb;
+    const double delta = o.mean - mean;
+    mean += delta * (nb / nt);
+    m2 += o.m2 + delta * delta * na * (nb / nt);
+    sum += o.sum;
+    count += o.count;
   }
 
   Value Finish(AggFunc func, int64_t group_rows) const {
@@ -88,7 +133,58 @@ struct AggState {
     }
     return Value::Null();
   }
+
+ private:
+  void AddNumeric(double x, const Value& v) {
+    sum += x;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
+    if (x < min) {
+      min = x;
+      min_value = v;
+    }
+    if (x > max) {
+      max = x;
+      max_value = v;
+    }
+  }
+
+  void AddNumericTracked(double x, Value::Kind kind, int64_t iv) {
+    ++count;
+    sum += x;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
+    if (x < min) {
+      min = x;
+      min_value = kind == Value::Kind::kInt ? Value::Int(iv)
+                                            : Value::Double(x);
+    }
+    if (x > max) {
+      max = x;
+      max_value = kind == Value::Kind::kInt ? Value::Int(iv)
+                                            : Value::Double(x);
+    }
+  }
 };
+
+/// Streams row `r` of `col` into `state`, taking the unboxed path for
+/// numeric columns (the hot aggregate loop) and the boxed path otherwise.
+inline void AddRow(const Column& col, size_t r, AggFunc func,
+                   AggState* state) {
+  if (func != AggFunc::kCountDistinct) {
+    if (col.type() == DataType::kFloat64) {
+      if (col.IsValid(r)) state->AddDouble(col.doubles()[r]);
+      return;
+    }
+    if (col.type() == DataType::kInt64) {
+      if (col.IsValid(r)) state->AddInt(col.ints()[r]);
+      return;
+    }
+  }
+  state->Add(col.ValueAt(r), func);
+}
 
 DataType AggOutputType(const AggregateSpec& spec) {
   switch (spec.func) {
@@ -120,15 +216,17 @@ std::string EncodeKey(const std::vector<Column>& key_cols, size_t row) {
 }  // namespace
 
 Result<Table> Filter(const Table& table, const Expr& predicate,
-                     const FunctionRegistry* registry) {
+                     const FunctionRegistry* registry,
+                     const ExecContext* exec) {
   MIP_ASSIGN_OR_RETURN(std::vector<int64_t> sel,
-                       EvalPredicate(predicate, table, registry));
+                       EvalPredicate(predicate, table, registry, exec));
   return table.Take(sel);
 }
 
 Result<Table> Project(const Table& table, const std::vector<ExprPtr>& exprs,
                       const std::vector<std::string>& names,
-                      const FunctionRegistry* registry) {
+                      const FunctionRegistry* registry,
+                      const ExecContext* exec) {
   if (exprs.size() != names.size()) {
     return Status::InvalidArgument("project exprs/names size mismatch");
   }
@@ -136,7 +234,7 @@ Result<Table> Project(const Table& table, const std::vector<ExprPtr>& exprs,
   std::vector<Column> columns;
   for (size_t i = 0; i < exprs.size(); ++i) {
     MIP_ASSIGN_OR_RETURN(Column col,
-                         EvalVectorized(*exprs[i], table, registry));
+                         EvalVectorized(*exprs[i], table, registry, exec));
     MIP_RETURN_NOT_OK(schema.AddField(Field{names[i], col.type()}));
     columns.push_back(std::move(col));
   }
@@ -145,23 +243,38 @@ Result<Table> Project(const Table& table, const std::vector<ExprPtr>& exprs,
 
 Result<Table> AggregateAll(const Table& table,
                            const std::vector<AggregateSpec>& aggs,
-                           const FunctionRegistry* registry) {
-  std::vector<AggState> states(aggs.size());
+                           const FunctionRegistry* registry,
+                           const ExecContext* exec) {
+  const ExecContext& ctx = ExecContext::Resolve(exec);
   std::vector<Column> arg_cols;
   arg_cols.reserve(aggs.size());
   for (const AggregateSpec& a : aggs) {
     if (a.arg != nullptr) {
-      MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a.arg, table, registry));
+      MIP_ASSIGN_OR_RETURN(Column c,
+                           EvalVectorized(*a.arg, table, registry, &ctx));
       arg_cols.push_back(std::move(c));
     } else {
       arg_cols.emplace_back(DataType::kFloat64);
     }
   }
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      if (aggs[i].arg != nullptr) {
-        states[i].Add(arg_cols[i].ValueAt(r), aggs[i].func);
+  const size_t n = table.num_rows();
+  // Per-morsel partial states, merged in morsel order below.
+  std::vector<std::vector<AggState>> partials(
+      ctx.NumMorsels(n), std::vector<AggState>(aggs.size()));
+  ctx.ForEachMorsel(n, [&](size_t morsel, size_t begin, size_t end) {
+    std::vector<AggState>& local = partials[morsel];
+    for (size_t r = begin; r < end; ++r) {
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (aggs[i].arg != nullptr) {
+          AddRow(arg_cols[i], r, aggs[i].func, &local[i]);
+        }
       }
+    }
+  });
+  std::vector<AggState> states(aggs.size());
+  for (const std::vector<AggState>& local : partials) {
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      states[i].Merge(local[i], aggs[i].func);
     }
   }
   Schema schema;
@@ -181,21 +294,24 @@ Result<Table> GroupByAggregate(const Table& table,
                                const std::vector<ExprPtr>& keys,
                                const std::vector<std::string>& key_names,
                                const std::vector<AggregateSpec>& aggs,
-                               const FunctionRegistry* registry) {
-  if (keys.empty()) return AggregateAll(table, aggs, registry);
+                               const FunctionRegistry* registry,
+                               const ExecContext* exec) {
+  if (keys.empty()) return AggregateAll(table, aggs, registry, exec);
   if (keys.size() != key_names.size()) {
     return Status::InvalidArgument("group keys/names size mismatch");
   }
+  const ExecContext& ctx = ExecContext::Resolve(exec);
 
   std::vector<Column> key_cols;
   for (const ExprPtr& k : keys) {
-    MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*k, table, registry));
+    MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*k, table, registry, &ctx));
     key_cols.push_back(std::move(c));
   }
   std::vector<Column> arg_cols;
   for (const AggregateSpec& a : aggs) {
     if (a.arg != nullptr) {
-      MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a.arg, table, registry));
+      MIP_ASSIGN_OR_RETURN(Column c,
+                           EvalVectorized(*a.arg, table, registry, &ctx));
       arg_cols.push_back(std::move(c));
     } else {
       arg_cols.emplace_back(DataType::kFloat64);
@@ -207,23 +323,56 @@ Result<Table> GroupByAggregate(const Table& table,
     int64_t rows = 0;
     std::vector<AggState> states;
   };
+  // Each morsel builds a private hash table; groups keep within-morsel
+  // first-seen order.
+  struct PartialGroups {
+    std::unordered_map<std::string, size_t> index;
+    std::vector<std::string> insertion_keys;
+    std::vector<Group> groups;
+  };
+  const size_t n = table.num_rows();
+  std::vector<PartialGroups> parts(ctx.NumMorsels(n));
+  ctx.ForEachMorsel(n, [&](size_t morsel, size_t begin, size_t end) {
+    PartialGroups& part = parts[morsel];
+    for (size_t r = begin; r < end; ++r) {
+      std::string key = EncodeKey(key_cols, r);
+      auto [it, inserted] = part.index.emplace(key, part.groups.size());
+      if (inserted) {
+        part.insertion_keys.push_back(std::move(key));
+        Group g;
+        g.first_row = r;
+        g.states.resize(aggs.size());
+        part.groups.push_back(std::move(g));
+      }
+      Group& g = part.groups[it->second];
+      ++g.rows;
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (aggs[i].arg != nullptr) {
+          AddRow(arg_cols[i], r, aggs[i].func, &g.states[i]);
+        }
+      }
+    }
+  });
+
+  // Merge partial tables in morsel order. A key's first insertion comes from
+  // the lowest morsel containing it, and morsels scan disjoint ascending row
+  // ranges, so the resulting group order (and first_row) equals the serial
+  // whole-table scan's first-seen order.
   std::unordered_map<std::string, size_t> index;
   std::vector<Group> groups;
-
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string key = EncodeKey(key_cols, r);
-    auto [it, inserted] = index.emplace(key, groups.size());
-    if (inserted) {
-      Group g;
-      g.first_row = r;
-      g.states.resize(aggs.size());
-      groups.push_back(std::move(g));
-    }
-    Group& g = groups[it->second];
-    ++g.rows;
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      if (aggs[i].arg != nullptr) {
-        g.states[i].Add(arg_cols[i].ValueAt(r), aggs[i].func);
+  for (PartialGroups& part : parts) {
+    for (size_t gi = 0; gi < part.groups.size(); ++gi) {
+      auto [it, inserted] =
+          index.emplace(std::move(part.insertion_keys[gi]), groups.size());
+      if (inserted) {
+        groups.push_back(std::move(part.groups[gi]));
+        continue;
+      }
+      Group& g = groups[it->second];
+      const Group& pg = part.groups[gi];
+      g.rows += pg.rows;
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        g.states[i].Merge(pg.states[i], aggs[i].func);
       }
     }
   }

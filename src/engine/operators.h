@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/exec_context.h"
 #include "engine/expr.h"
 #include "engine/table.h"
 
@@ -20,27 +21,36 @@ struct AggregateSpec {
 };
 
 /// Keeps the rows where `predicate` evaluates non-null true. `predicate`
-/// must be bound against table.schema().
+/// must be bound against table.schema(). Predicate evaluation and selection
+/// run per-morsel on `exec` (nullptr => ExecContext::Default()).
 Result<Table> Filter(const Table& table, const Expr& predicate,
-                     const FunctionRegistry* registry = nullptr);
+                     const FunctionRegistry* registry = nullptr,
+                     const ExecContext* exec = nullptr);
 
 /// Evaluates each (bound) expression into an output column named by `names`.
 Result<Table> Project(const Table& table, const std::vector<ExprPtr>& exprs,
                       const std::vector<std::string>& names,
-                      const FunctionRegistry* registry = nullptr);
+                      const FunctionRegistry* registry = nullptr,
+                      const ExecContext* exec = nullptr);
 
-/// Whole-table aggregation (no grouping): one output row.
+/// Whole-table aggregation (no grouping): one output row. Rows stream into
+/// per-morsel partial states merged in morsel order, so results are
+/// bit-identical at any thread count (see ExecContext).
 Result<Table> AggregateAll(const Table& table,
                            const std::vector<AggregateSpec>& aggs,
-                           const FunctionRegistry* registry = nullptr);
+                           const FunctionRegistry* registry = nullptr,
+                           const ExecContext* exec = nullptr);
 
 /// Hash group-by aggregation. `keys` are bound grouping expressions surfaced
-/// as the first output columns under `key_names`.
+/// as the first output columns under `key_names`. Each morsel builds a
+/// private hash table; partials merge in morsel order, which reproduces the
+/// serial scan's first-seen group order and per-group states exactly.
 Result<Table> GroupByAggregate(const Table& table,
                                const std::vector<ExprPtr>& keys,
                                const std::vector<std::string>& key_names,
                                const std::vector<AggregateSpec>& aggs,
-                               const FunctionRegistry* registry = nullptr);
+                               const FunctionRegistry* registry = nullptr,
+                               const ExecContext* exec = nullptr);
 
 /// Stable multi-key sort by output-column names. `ascending` parallels
 /// `keys`. NULLs sort last.

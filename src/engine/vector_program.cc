@@ -419,7 +419,11 @@ Result<Column> VectorProgram::Execute(const Table& table,
       std::copy(out, out + len, result.begin() + static_cast<long>(base));
     }
   };
-  ParallelFor(n, options.num_threads, run_range);
+  const ExecContext& ctx = ExecContext::Resolve(options.exec);
+  ctx.ForEachMorsel(
+      n, [&run_range](size_t, size_t begin, size_t end) {
+        run_range(begin, end);
+      });
 
   // Convert NaN back to NULL validity; booleans to a bool column.
   std::vector<uint8_t> valid(n, 1);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/exec_context.h"
 #include "engine/expr.h"
 #include "engine/table.h"
 
@@ -36,10 +37,11 @@ class VectorProgram {
 
   /// Tuning knobs for Execute: intermediate-register batch size (the cache
   /// residency ablation of bench_engine) and intra-query parallelism (rows
-  /// are split into disjoint slices, one register set per thread).
+  /// are split into morsels dispatched on exec's ThreadPool, one register
+  /// set per morsel invocation; nullptr resolves to ExecContext::Default()).
   struct ExecOptions {
     size_t batch_size = kBatchSize;
-    int num_threads = 1;
+    const ExecContext* exec = nullptr;
   };
 
   /// Runs the program over `table` (whose schema must match the compile-time

@@ -1,6 +1,8 @@
 #include "engine/vectorized.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/string_util.h"
 #include "engine/function_registry.h"
@@ -10,20 +12,73 @@ namespace mip::engine {
 
 namespace {
 
-// Dense double view of a column: values where valid, NaN elsewhere.
-std::vector<double> DenseDoubles(const Column& col) {
-  std::vector<double> out(col.length());
-  for (size_t i = 0; i < col.length(); ++i) out[i] = col.AsDoubleAt(i);
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Morsel-parallel range loop: body(begin, end) over [0, n). Bodies write
+/// disjoint index ranges, so any thread count gives identical results.
+void MorselLoop(const ExecContext& exec, size_t n,
+                const std::function<void(size_t, size_t)>& body) {
+  exec.ForEachMorsel(n, [&body](size_t, size_t begin, size_t end) {
+    body(begin, end);
+  });
+}
+
+// Dense double view of a column: values where valid, NaN elsewhere. One
+// typed pass per column type (not a per-element type switch), then a
+// word-level validity pass — see bench_engine's DenseDoubles micro-bench.
+std::vector<double> DenseDoublesImpl(const Column& col,
+                                     const ExecContext& exec) {
+  const size_t n = col.length();
+  std::vector<double> out(n);
+  switch (col.type()) {
+    case DataType::kFloat64: {
+      const double* src = col.doubles().data();
+      MorselLoop(exec, n, [&](size_t b, size_t e) {
+        std::copy(src + b, src + e, out.data() + b);
+      });
+      break;
+    }
+    case DataType::kInt64: {
+      const int64_t* src = col.ints().data();
+      MorselLoop(exec, n, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) out[i] = static_cast<double>(src[i]);
+      });
+      break;
+    }
+    case DataType::kBool: {
+      const uint8_t* src = col.bools().data();
+      MorselLoop(exec, n, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) out[i] = src[i] ? 1.0 : 0.0;
+      });
+      break;
+    }
+    case DataType::kString:
+      std::fill(out.begin(), out.end(), kNaN);
+      return out;  // validity is irrelevant: strings are NaN either way
+  }
+  if (col.has_validity()) {
+    const uint64_t* words = col.validity().words().data();
+    MorselLoop(exec, n, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        if (((words[i >> 6] >> (i & 63)) & 1ull) == 0) out[i] = kNaN;
+      }
+    });
+  }
   return out;
 }
 
-// Dense validity view (1 = valid).
-std::vector<uint8_t> DenseValidity(const Column& col) {
-  std::vector<uint8_t> out(col.length(), 1);
+// Dense validity view (1 = valid), expanded from the packed bitmap words.
+std::vector<uint8_t> DenseValidity(const Column& col,
+                                   const ExecContext& exec) {
+  const size_t n = col.length();
+  std::vector<uint8_t> out(n, 1);
   if (col.has_validity()) {
-    for (size_t i = 0; i < col.length(); ++i) {
-      out[i] = col.validity().Get(i) ? 1 : 0;
-    }
+    const uint64_t* words = col.validity().words().data();
+    MorselLoop(exec, n, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<uint8_t>((words[i >> 6] >> (i & 63)) & 1ull);
+      }
+    });
   }
   return out;
 }
@@ -113,44 +168,56 @@ Column BroadcastLiteral(const Value& v, size_t n) {
 }
 
 Result<Column> EvalArithmetic(const Expr& expr, const Column& l,
-                              const Column& r) {
+                              const Column& r, const ExecContext& exec) {
   const size_t n = l.length();
   std::vector<uint8_t> valid(n, 1);
-  const std::vector<uint8_t> lv = DenseValidity(l);
-  const std::vector<uint8_t> rv = DenseValidity(r);
-  for (size_t i = 0; i < n; ++i) valid[i] = lv[i] & rv[i];
+  const std::vector<uint8_t> lv = DenseValidity(l, exec);
+  const std::vector<uint8_t> rv = DenseValidity(r, exec);
+  MorselLoop(exec, n, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) valid[i] = lv[i] & rv[i];
+  });
 
   if (expr.result_type == DataType::kInt64 &&
       expr.binary_op != BinaryOp::kDiv) {
     std::vector<int64_t> a(n), b(n);
-    for (size_t i = 0; i < n; ++i) {
-      a[i] = l.type() == DataType::kInt64
-                 ? l.IntAt(i)
-                 : static_cast<int64_t>(l.AsDoubleAt(i));
-      b[i] = r.type() == DataType::kInt64
-                 ? r.IntAt(i)
-                 : static_cast<int64_t>(r.AsDoubleAt(i));
-    }
+    MorselLoop(exec, n, [&](size_t mb, size_t me) {
+      for (size_t i = mb; i < me; ++i) {
+        a[i] = l.type() == DataType::kInt64
+                   ? l.IntAt(i)
+                   : static_cast<int64_t>(l.AsDoubleAt(i));
+        b[i] = r.type() == DataType::kInt64
+                   ? r.IntAt(i)
+                   : static_cast<int64_t>(r.AsDoubleAt(i));
+      }
+    });
     std::vector<int64_t> out(n);
     switch (expr.binary_op) {
       case BinaryOp::kAdd:
-        for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+        MorselLoop(exec, n, [&](size_t mb, size_t me) {
+          for (size_t i = mb; i < me; ++i) out[i] = a[i] + b[i];
+        });
         break;
       case BinaryOp::kSub:
-        for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+        MorselLoop(exec, n, [&](size_t mb, size_t me) {
+          for (size_t i = mb; i < me; ++i) out[i] = a[i] - b[i];
+        });
         break;
       case BinaryOp::kMul:
-        for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+        MorselLoop(exec, n, [&](size_t mb, size_t me) {
+          for (size_t i = mb; i < me; ++i) out[i] = a[i] * b[i];
+        });
         break;
       case BinaryOp::kMod:
-        for (size_t i = 0; i < n; ++i) {
-          if (b[i] == 0) {
-            valid[i] = 0;
-            out[i] = 0;
-          } else {
-            out[i] = a[i] % b[i];
+        MorselLoop(exec, n, [&](size_t mb, size_t me) {
+          for (size_t i = mb; i < me; ++i) {
+            if (b[i] == 0) {
+              valid[i] = 0;
+              out[i] = 0;
+            } else {
+              out[i] = a[i] % b[i];
+            }
           }
-        }
+        });
         break;
       default:
         return Status::Internal("bad int arithmetic op");
@@ -158,31 +225,41 @@ Result<Column> EvalArithmetic(const Expr& expr, const Column& l,
     return MakeIntColumn(std::move(out), valid);
   }
 
-  const std::vector<double> a = DenseDoubles(l);
-  const std::vector<double> b = DenseDoubles(r);
+  const std::vector<double> a = DenseDoublesImpl(l, exec);
+  const std::vector<double> b = DenseDoublesImpl(r, exec);
   std::vector<double> out(n);
   switch (expr.binary_op) {
     case BinaryOp::kAdd:
-      for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+      MorselLoop(exec, n, [&](size_t mb, size_t me) {
+        for (size_t i = mb; i < me; ++i) out[i] = a[i] + b[i];
+      });
       break;
     case BinaryOp::kSub:
-      for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+      MorselLoop(exec, n, [&](size_t mb, size_t me) {
+        for (size_t i = mb; i < me; ++i) out[i] = a[i] - b[i];
+      });
       break;
     case BinaryOp::kMul:
-      for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+      MorselLoop(exec, n, [&](size_t mb, size_t me) {
+        for (size_t i = mb; i < me; ++i) out[i] = a[i] * b[i];
+      });
       break;
     case BinaryOp::kDiv:
-      for (size_t i = 0; i < n; ++i) {
-        if (b[i] == 0.0) {
-          valid[i] = 0;
-          out[i] = 0.0;
-        } else {
-          out[i] = a[i] / b[i];
+      MorselLoop(exec, n, [&](size_t mb, size_t me) {
+        for (size_t i = mb; i < me; ++i) {
+          if (b[i] == 0.0) {
+            valid[i] = 0;
+            out[i] = 0.0;
+          } else {
+            out[i] = a[i] / b[i];
+          }
         }
-      }
+      });
       break;
     case BinaryOp::kMod:
-      for (size_t i = 0; i < n; ++i) out[i] = std::fmod(a[i], b[i]);
+      MorselLoop(exec, n, [&](size_t mb, size_t me) {
+        for (size_t i = mb; i < me; ++i) out[i] = std::fmod(a[i], b[i]);
+      });
       break;
     default:
       return Status::Internal("bad arithmetic op");
@@ -191,97 +268,112 @@ Result<Column> EvalArithmetic(const Expr& expr, const Column& l,
 }
 
 Result<Column> EvalComparison(const Expr& expr, const Column& l,
-                              const Column& r) {
+                              const Column& r, const ExecContext& exec) {
   const size_t n = l.length();
   std::vector<uint8_t> out(n, 0);
   std::vector<uint8_t> valid(n, 1);
-  const std::vector<uint8_t> lv = DenseValidity(l);
-  const std::vector<uint8_t> rv = DenseValidity(r);
+  const std::vector<uint8_t> lv = DenseValidity(l, exec);
+  const std::vector<uint8_t> rv = DenseValidity(r, exec);
 
   const bool strings =
       l.type() == DataType::kString || r.type() == DataType::kString;
-  for (size_t i = 0; i < n; ++i) {
-    if (!(lv[i] & rv[i])) {
-      valid[i] = 0;
-      continue;
-    }
-    int cmp;
-    if (strings) {
-      cmp = l.StringAt(i).compare(r.StringAt(i));
-    } else {
-      const double a = l.AsDoubleAt(i);
-      const double b = r.AsDoubleAt(i);
-      cmp = (a < b) ? -1 : (a > b ? 1 : 0);
-    }
-    bool res = false;
-    switch (expr.binary_op) {
-      case BinaryOp::kEq:
-        res = cmp == 0;
-        break;
-      case BinaryOp::kNe:
-        res = cmp != 0;
-        break;
-      case BinaryOp::kLt:
-        res = cmp < 0;
-        break;
-      case BinaryOp::kLe:
-        res = cmp <= 0;
-        break;
-      case BinaryOp::kGt:
-        res = cmp > 0;
-        break;
-      case BinaryOp::kGe:
-        res = cmp >= 0;
-        break;
-      default:
-        return Status::Internal("bad comparison op");
-    }
-    out[i] = res ? 1 : 0;
+  const BinaryOp op = expr.binary_op;
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return Status::Internal("bad comparison op");
   }
+  MorselLoop(exec, n, [&](size_t mb, size_t me) {
+    for (size_t i = mb; i < me; ++i) {
+      if (!(lv[i] & rv[i])) {
+        valid[i] = 0;
+        continue;
+      }
+      int cmp;
+      if (strings) {
+        cmp = l.StringAt(i).compare(r.StringAt(i));
+      } else {
+        const double a = l.AsDoubleAt(i);
+        const double b = r.AsDoubleAt(i);
+        cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+      }
+      bool res = false;
+      switch (op) {
+        case BinaryOp::kEq:
+          res = cmp == 0;
+          break;
+        case BinaryOp::kNe:
+          res = cmp != 0;
+          break;
+        case BinaryOp::kLt:
+          res = cmp < 0;
+          break;
+        case BinaryOp::kLe:
+          res = cmp <= 0;
+          break;
+        case BinaryOp::kGt:
+          res = cmp > 0;
+          break;
+        default:
+          res = cmp >= 0;
+          break;
+      }
+      out[i] = res ? 1 : 0;
+    }
+  });
   return MakeBoolColumn(std::move(out), valid);
 }
 
-Result<Column> EvalLogical(const Expr& expr, const Column& l,
-                           const Column& r) {
+Result<Column> EvalLogical(const Expr& expr, const Column& l, const Column& r,
+                           const ExecContext& exec) {
   const size_t n = l.length();
   std::vector<uint8_t> out(n, 0);
   std::vector<uint8_t> valid(n, 1);
-  const std::vector<uint8_t> lv = DenseValidity(l);
-  const std::vector<uint8_t> rv = DenseValidity(r);
+  const std::vector<uint8_t> lv = DenseValidity(l, exec);
+  const std::vector<uint8_t> rv = DenseValidity(r, exec);
   const bool is_and = expr.binary_op == BinaryOp::kAnd;
-  for (size_t i = 0; i < n; ++i) {
-    const bool lb = lv[i] && l.ValueAt(i).AsBool();
-    const bool rb = rv[i] && r.ValueAt(i).AsBool();
-    if (lv[i] && rv[i]) {
-      out[i] = (is_and ? (lb && rb) : (lb || rb)) ? 1 : 0;
-      continue;
-    }
-    // Three-valued logic with at least one NULL operand.
-    if (is_and) {
-      if ((lv[i] && !lb) || (rv[i] && !rb)) {
-        out[i] = 0;  // definite false
-      } else {
-        valid[i] = 0;
+  MorselLoop(exec, n, [&](size_t mb, size_t me) {
+    for (size_t i = mb; i < me; ++i) {
+      const bool lb = lv[i] && l.ValueAt(i).AsBool();
+      const bool rb = rv[i] && r.ValueAt(i).AsBool();
+      if (lv[i] && rv[i]) {
+        out[i] = (is_and ? (lb && rb) : (lb || rb)) ? 1 : 0;
+        continue;
       }
-    } else {
-      if ((lv[i] && lb) || (rv[i] && rb)) {
-        out[i] = 1;  // definite true
+      // Three-valued logic with at least one NULL operand.
+      if (is_and) {
+        if ((lv[i] && !lb) || (rv[i] && !rb)) {
+          out[i] = 0;  // definite false
+        } else {
+          valid[i] = 0;
+        }
       } else {
-        valid[i] = 0;
+        if ((lv[i] && lb) || (rv[i] && rb)) {
+          out[i] = 1;  // definite true
+        } else {
+          valid[i] = 0;
+        }
       }
     }
-  }
+  });
   return MakeBoolColumn(std::move(out), valid);
 }
 
 using UnaryMathFn = double (*)(double);
 
 Result<Column> EvalBuiltinMath(const std::string& lower,
-                               const std::vector<Column>& argv) {
+                               const std::vector<Column>& argv,
+                               const ExecContext& exec) {
   const Column& a = argv[0];
   const size_t n = a.length();
-  std::vector<double> x = DenseDoubles(a);
-  std::vector<uint8_t> valid = DenseValidity(a);
+  std::vector<double> x = DenseDoublesImpl(a, exec);
+  std::vector<uint8_t> valid = DenseValidity(a, exec);
   std::vector<double> out(n);
 
   UnaryMathFn fn = nullptr;
@@ -295,16 +387,20 @@ Result<Column> EvalBuiltinMath(const std::string& lower,
   else if (lower == "sign") fn = [](double v) { return v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0); };
 
   if (fn != nullptr) {
-    for (size_t i = 0; i < n; ++i) out[i] = fn(x[i]);
+    MorselLoop(exec, n, [&](size_t mb, size_t me) {
+      for (size_t i = mb; i < me; ++i) out[i] = fn(x[i]);
+    });
     return MakeDoubleColumn(std::move(out), valid);
   }
   if (lower == "pow") {
-    const std::vector<double> y = DenseDoubles(argv[1]);
-    const std::vector<uint8_t> yv = DenseValidity(argv[1]);
-    for (size_t i = 0; i < n; ++i) {
-      valid[i] &= yv[i];
-      out[i] = std::pow(x[i], y[i]);
-    }
+    const std::vector<double> y = DenseDoublesImpl(argv[1], exec);
+    const std::vector<uint8_t> yv = DenseValidity(argv[1], exec);
+    MorselLoop(exec, n, [&](size_t mb, size_t me) {
+      for (size_t i = mb; i < me; ++i) {
+        valid[i] &= yv[i];
+        out[i] = std::pow(x[i], y[i]);
+      }
+    });
     return MakeDoubleColumn(std::move(out), valid);
   }
   return Status::NotFound("unknown vectorized builtin '" + lower + "'");
@@ -312,8 +408,14 @@ Result<Column> EvalBuiltinMath(const std::string& lower,
 
 }  // namespace
 
+std::vector<double> DenseDoubles(const Column& col, const ExecContext* exec) {
+  return DenseDoublesImpl(col, ExecContext::Resolve(exec));
+}
+
 Result<Column> EvalVectorized(const Expr& expr, const Table& table,
-                              const FunctionRegistry* registry) {
+                              const FunctionRegistry* registry,
+                              const ExecContext* exec) {
+  const ExecContext& ctx = ExecContext::Resolve(exec);
   const size_t n = table.num_rows();
   switch (expr.kind) {
     case ExprKind::kLiteral:
@@ -324,58 +426,68 @@ Result<Column> EvalVectorized(const Expr& expr, const Table& table,
       }
       return table.column(static_cast<size_t>(expr.bound_index));
     case ExprKind::kUnary: {
-      MIP_ASSIGN_OR_RETURN(Column a,
-                           EvalVectorized(*expr.args[0], table, registry));
+      MIP_ASSIGN_OR_RETURN(
+          Column a, EvalVectorized(*expr.args[0], table, registry, &ctx));
       switch (expr.unary_op) {
         case UnaryOp::kNeg: {
-          std::vector<uint8_t> valid = DenseValidity(a);
+          std::vector<uint8_t> valid = DenseValidity(a, ctx);
           if (expr.result_type == DataType::kInt64) {
             std::vector<int64_t> out(n);
-            for (size_t i = 0; i < n; ++i) out[i] = -a.IntAt(i);
+            MorselLoop(ctx, n, [&](size_t mb, size_t me) {
+              for (size_t i = mb; i < me; ++i) out[i] = -a.IntAt(i);
+            });
             return MakeIntColumn(std::move(out), valid);
           }
-          std::vector<double> out = DenseDoubles(a);
-          for (double& v : out) v = -v;
+          std::vector<double> out = DenseDoublesImpl(a, ctx);
+          MorselLoop(ctx, n, [&](size_t mb, size_t me) {
+            for (size_t i = mb; i < me; ++i) out[i] = -out[i];
+          });
           return MakeDoubleColumn(std::move(out), valid);
         }
         case UnaryOp::kNot: {
-          std::vector<uint8_t> valid = DenseValidity(a);
+          std::vector<uint8_t> valid = DenseValidity(a, ctx);
           std::vector<uint8_t> out(n, 0);
-          for (size_t i = 0; i < n; ++i) {
-            out[i] = a.ValueAt(i).AsBool() ? 0 : 1;
-          }
+          MorselLoop(ctx, n, [&](size_t mb, size_t me) {
+            for (size_t i = mb; i < me; ++i) {
+              out[i] = a.ValueAt(i).AsBool() ? 0 : 1;
+            }
+          });
           return MakeBoolColumn(std::move(out), valid);
         }
         case UnaryOp::kIsNull: {
           std::vector<uint8_t> out(n, 0);
-          for (size_t i = 0; i < n; ++i) out[i] = a.IsValid(i) ? 0 : 1;
+          MorselLoop(ctx, n, [&](size_t mb, size_t me) {
+            for (size_t i = mb; i < me; ++i) out[i] = a.IsValid(i) ? 0 : 1;
+          });
           return Column::FromBools(std::move(out));
         }
         case UnaryOp::kIsNotNull: {
           std::vector<uint8_t> out(n, 0);
-          for (size_t i = 0; i < n; ++i) out[i] = a.IsValid(i) ? 1 : 0;
+          MorselLoop(ctx, n, [&](size_t mb, size_t me) {
+            for (size_t i = mb; i < me; ++i) out[i] = a.IsValid(i) ? 1 : 0;
+          });
           return Column::FromBools(std::move(out));
         }
       }
       return Status::Internal("bad unary op");
     }
     case ExprKind::kBinary: {
-      MIP_ASSIGN_OR_RETURN(Column l,
-                           EvalVectorized(*expr.args[0], table, registry));
-      MIP_ASSIGN_OR_RETURN(Column r,
-                           EvalVectorized(*expr.args[1], table, registry));
+      MIP_ASSIGN_OR_RETURN(
+          Column l, EvalVectorized(*expr.args[0], table, registry, &ctx));
+      MIP_ASSIGN_OR_RETURN(
+          Column r, EvalVectorized(*expr.args[1], table, registry, &ctx));
       switch (expr.binary_op) {
         case BinaryOp::kAdd:
         case BinaryOp::kSub:
         case BinaryOp::kMul:
         case BinaryOp::kDiv:
         case BinaryOp::kMod:
-          return EvalArithmetic(expr, l, r);
+          return EvalArithmetic(expr, l, r, ctx);
         case BinaryOp::kAnd:
         case BinaryOp::kOr:
-          return EvalLogical(expr, l, r);
+          return EvalLogical(expr, l, r, ctx);
         default:
-          return EvalComparison(expr, l, r);
+          return EvalComparison(expr, l, r, ctx);
       }
     }
     case ExprKind::kCall: {
@@ -383,17 +495,19 @@ Result<Column> EvalVectorized(const Expr& expr, const Table& table,
       std::vector<Column> argv;
       argv.reserve(expr.args.size());
       for (const auto& a : expr.args) {
-        MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a, table, registry));
+        MIP_ASSIGN_OR_RETURN(Column c,
+                             EvalVectorized(*a, table, registry, &ctx));
         argv.push_back(std::move(c));
       }
       // Generic variadic/string builtins and registered UDFs fall back to a
-      // row loop over the already-evaluated argument columns.
+      // serial row loop over the already-evaluated argument columns (UDFs
+      // give no thread-safety guarantee; Column appends are sequential).
       const bool generic = lower == "coalesce" || lower == "least" ||
                            lower == "greatest" || lower == "like" ||
                            StartsWith(lower, "cast_") ||
                            (registry != nullptr &&
                             registry->FindScalar(lower) != nullptr);
-      if (!generic) return EvalBuiltinMath(lower, argv);
+      if (!generic) return EvalBuiltinMath(lower, argv, ctx);
 
       Column out(expr.result_type);
       std::vector<Value> row_args(argv.size());
@@ -418,11 +532,13 @@ Result<Column> EvalVectorized(const Expr& expr, const Table& table,
     case ExprKind::kStar:
       return Status::ExecutionError("'*' outside COUNT(*)");
     case ExprKind::kCase: {
-      // Evaluate all conditions and branches column-wise, then select.
+      // Evaluate all conditions and branches column-wise, then select
+      // (serial: the select loop appends boxed values).
       std::vector<Column> evaluated;
       evaluated.reserve(expr.args.size());
       for (const auto& a : expr.args) {
-        MIP_ASSIGN_OR_RETURN(Column c, EvalVectorized(*a, table, registry));
+        MIP_ASSIGN_OR_RETURN(Column c,
+                             EvalVectorized(*a, table, registry, &ctx));
         evaluated.push_back(std::move(c));
       }
       Column out(expr.result_type);
@@ -451,15 +567,30 @@ Result<Column> EvalVectorized(const Expr& expr, const Table& table,
 
 Result<std::vector<int64_t>> EvalPredicate(const Expr& expr,
                                            const Table& table,
-                                           const FunctionRegistry* registry) {
-  MIP_ASSIGN_OR_RETURN(Column pred, EvalVectorized(expr, table, registry));
-  std::vector<int64_t> sel;
-  sel.reserve(table.num_rows());
-  for (size_t i = 0; i < pred.length(); ++i) {
-    if (pred.IsValid(i) && pred.ValueAt(i).AsBool()) {
-      sel.push_back(static_cast<int64_t>(i));
+                                           const FunctionRegistry* registry,
+                                           const ExecContext* exec) {
+  const ExecContext& ctx = ExecContext::Resolve(exec);
+  MIP_ASSIGN_OR_RETURN(Column pred,
+                       EvalVectorized(expr, table, registry, &ctx));
+  const size_t n = pred.length();
+  const bool is_bool = pred.type() == DataType::kBool;
+  // Per-morsel selection vectors concatenated in morsel order == the serial
+  // scan's output at any thread count.
+  std::vector<std::vector<int64_t>> parts(ctx.NumMorsels(n));
+  ctx.ForEachMorsel(n, [&](size_t morsel, size_t begin, size_t end) {
+    std::vector<int64_t>& out = parts[morsel];
+    for (size_t i = begin; i < end; ++i) {
+      if (!pred.IsValid(i)) continue;
+      const bool hit = is_bool ? pred.bools()[i] != 0
+                               : pred.ValueAt(i).AsBool();
+      if (hit) out.push_back(static_cast<int64_t>(i));
     }
-  }
+  });
+  std::vector<int64_t> sel;
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  sel.reserve(total);
+  for (const auto& p : parts) sel.insert(sel.end(), p.begin(), p.end());
   return sel;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <latch>
 #include <optional>
 #include <set>
 #include <thread>
@@ -102,21 +101,18 @@ Result<std::vector<TransferData>> FederationSession::FanOutLocalRun(
     // determinism baseline the concurrency tests compare against.
     for (size_t i = 0; i < n; ++i) run_one(i);
   } else {
-    // Strided assignment: `lanes` pool tasks, task t owning workers
-    // t, t+lanes, ... — honors max_concurrency without blocking pool
-    // threads on a semaphore.
-    ThreadPool& pool = master_->pool();
-    std::latch done(lanes);
-    for (int t = 0; t < lanes; ++t) {
-      pool.Submit([&, t] {
-        for (size_t i = static_cast<size_t>(t); i < n;
-             i += static_cast<size_t>(lanes)) {
-          run_one(i);
-        }
-        done.count_down();
-      });
-    }
-    done.wait();
+    // Strided assignment over `lanes` ParallelFor chunks (grain 1), chunk t
+    // owning workers t, t+lanes, ... — honors max_concurrency (at most
+    // `lanes` chunks run at once) with the same work-distribution idiom the
+    // engine's morsel dispatch uses.
+    master_->pool().ParallelFor(
+        static_cast<size_t>(lanes), 1, [&](size_t begin, size_t end) {
+          for (size_t t = begin; t < end; ++t) {
+            for (size_t i = t; i < n; i += static_cast<size_t>(lanes)) {
+              run_one(i);
+            }
+          }
+        });
   }
 
   last_reports_.clear();

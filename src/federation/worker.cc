@@ -6,6 +6,9 @@ engine::Database& WorkerContext::db() { return worker_->db(); }
 TransferData& WorkerContext::state() { return worker_->JobState(job_id_); }
 Rng& WorkerContext::rng() { return worker_->rng(); }
 const std::string& WorkerContext::worker_id() const { return worker_->id(); }
+const engine::ExecContext& WorkerContext::exec() {
+  return engine::ExecContext::Resolve(worker_->db().exec_context());
+}
 const std::vector<std::string>& WorkerContext::datasets() const {
   return worker_->datasets();
 }

@@ -37,6 +37,12 @@ class WorkerContext {
   /// Datasets hosted on this worker (CDE-harmonized table names).
   const std::vector<std::string>& datasets() const;
 
+  /// Execution context for the worker's local compute: the engine database's
+  /// context when one was installed, ExecContext::Default() otherwise.
+  /// Algorithm steps use this to morsel-parallelize their sufficient-
+  /// statistics loops with the same determinism guarantee as the engine.
+  const engine::ExecContext& exec();
+
  private:
   WorkerNode* worker_;
   std::string job_id_;

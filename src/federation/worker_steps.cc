@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include "engine/column.h"
+#include "engine/exec_context.h"
 
 namespace mip::federation {
 
@@ -50,13 +52,29 @@ Result<TransferData> Moments(WorkerContext& ctx, const TransferData& args) {
   MIP_ASSIGN_OR_RETURN(const std::string column, args.GetString("column"));
   MIP_ASSIGN_OR_RETURN(const engine::Table t, ctx.db().GetTable(dataset));
   MIP_ASSIGN_OR_RETURN(const engine::Column* col, t.ColumnByName(column));
+  // Per-morsel partial moments merged in morsel order: the same sums at any
+  // thread count (morsel boundaries depend only on the exec context).
+  const engine::ExecContext& exec = ctx.exec();
+  struct Partial {
+    double sum = 0.0, sum_sq = 0.0, n = 0.0;
+  };
+  std::vector<Partial> parts(exec.NumMorsels(col->length()));
+  exec.ForEachMorsel(
+      col->length(), [&](size_t morsel, size_t begin, size_t end) {
+        Partial& p = parts[morsel];
+        for (size_t i = begin; i < end; ++i) {
+          if (!col->IsValid(i)) continue;
+          const double v = col->AsDoubleAt(i);
+          p.sum += v;
+          p.sum_sq += v * v;
+          p.n += 1.0;
+        }
+      });
   double sum = 0.0, sum_sq = 0.0, n = 0.0;
-  for (size_t i = 0; i < col->length(); ++i) {
-    if (!col->IsValid(i)) continue;
-    const double v = col->AsDoubleAt(i);
-    sum += v;
-    sum_sq += v * v;
-    n += 1.0;
+  for (const Partial& p : parts) {
+    sum += p.sum;
+    sum_sq += p.sum_sq;
+    n += p.n;
   }
   TransferData out;
   out.PutScalar("sum", sum);
@@ -75,19 +93,34 @@ Result<TransferData> LinregGrad(WorkerContext& ctx, const TransferData& args) {
         std::to_string(t.num_columns()) + " columns; expected " +
         std::to_string(w.size()) + " features + y");
   }
-  std::vector<double> grad(w.size(), 0.0);
-  double loss = 0.0;
   const size_t p = w.size();
-  for (size_t r = 0; r < t.num_rows(); ++r) {
-    double pred = 0.0;
-    for (size_t j = 0; j < p; ++j) {
-      pred += w[j] * t.column(j).AsDoubleAt(r);
-    }
-    const double resid = pred - t.column(p).AsDoubleAt(r);
-    for (size_t j = 0; j < p; ++j) {
-      grad[j] += resid * t.column(j).AsDoubleAt(r);
-    }
-    loss += 0.5 * resid * resid;
+  const engine::ExecContext& exec = ctx.exec();
+  struct Partial {
+    std::vector<double> grad;
+    double loss = 0.0;
+  };
+  std::vector<Partial> parts(exec.NumMorsels(t.num_rows()));
+  exec.ForEachMorsel(
+      t.num_rows(), [&](size_t morsel, size_t begin, size_t end) {
+        Partial& part = parts[morsel];
+        part.grad.assign(p, 0.0);
+        for (size_t r = begin; r < end; ++r) {
+          double pred = 0.0;
+          for (size_t j = 0; j < p; ++j) {
+            pred += w[j] * t.column(j).AsDoubleAt(r);
+          }
+          const double resid = pred - t.column(p).AsDoubleAt(r);
+          for (size_t j = 0; j < p; ++j) {
+            part.grad[j] += resid * t.column(j).AsDoubleAt(r);
+          }
+          part.loss += 0.5 * resid * resid;
+        }
+      });
+  std::vector<double> grad(p, 0.0);
+  double loss = 0.0;
+  for (const Partial& part : parts) {
+    for (size_t j = 0; j < p; ++j) grad[j] += part.grad[j];
+    loss += part.loss;
   }
   TransferData out;
   out.PutVector("grad", std::move(grad));

@@ -124,6 +124,9 @@ Result<engine::Table> UdfGenerator::Execute(const UdfDefinition& def,
                                             const std::string& input_table,
                                             UdfExecutionMode mode) {
   MIP_RETURN_NOT_OK(Validate(def));
+  // UDF programs inherit the database's execution context, so elementwise
+  // and reduce steps run morsel-parallel like any other query.
+  const engine::ExecContext* exec = db_->exec_context();
   MIP_ASSIGN_OR_RETURN(Table input, db_->GetTable(input_table));
   for (const Field& f : def.input_schema.fields()) {
     if (input.schema().FieldIndex(f.name) < 0) {
@@ -164,20 +167,23 @@ Result<engine::Table> UdfGenerator::Execute(const UdfDefinition& def,
           }
           case UdfExecutionMode::kVectorized: {
             MIP_ASSIGN_OR_RETURN(
-                result, engine::EvalVectorized(*expr, env, db_->functions()));
+                result,
+                engine::EvalVectorized(*expr, env, db_->functions(), exec));
             break;
           }
           case UdfExecutionMode::kJitFused: {
             Result<engine::VectorProgram> program =
                 engine::VectorProgram::Compile(*expr, env.schema());
             if (program.ok()) {
-              MIP_ASSIGN_OR_RETURN(result,
-                                   program.ValueOrDie().Execute(env));
+              engine::VectorProgram::ExecOptions options;
+              options.exec = exec;
+              MIP_ASSIGN_OR_RETURN(
+                  result, program.ValueOrDie().Execute(env, options));
             } else {
               // Graceful fallback for non-compilable expressions.
               MIP_ASSIGN_OR_RETURN(
                   result,
-                  engine::EvalVectorized(*expr, env, db_->functions()));
+                  engine::EvalVectorized(*expr, env, db_->functions(), exec));
             }
             break;
           }
@@ -202,9 +208,9 @@ Result<engine::Table> UdfGenerator::Execute(const UdfDefinition& def,
         MIP_RETURN_NOT_OK(engine::BindExpr(spec.arg.get(), env.schema(),
                                            db_->functions()));
         spec.output_name = step.name;
-        MIP_ASSIGN_OR_RETURN(Table agg_out,
-                             engine::AggregateAll(env, {spec},
-                                                  db_->functions()));
+        MIP_ASSIGN_OR_RETURN(
+            Table agg_out,
+            engine::AggregateAll(env, {spec}, db_->functions(), exec));
         scalars[ToLower(step.name)] = agg_out.At(0, 0);
         break;
       }

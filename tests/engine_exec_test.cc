@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include <cmath>
 
 #include "common/parallel.h"
@@ -205,9 +208,13 @@ TEST(VectorProgramTest, ParallelAndBatchVariantsMatchSerial) {
   VectorProgram p = *VectorProgram::Compile(*expr, t.schema());
   Column serial = *p.Execute(t);
   for (int threads : {2, 4, 8}) {
+    mip::ThreadPool pool(threads);
+    ExecContext parallel_ctx;
+    parallel_ctx.pool = &pool;
+    parallel_ctx.morsel_size = 8192;  // force several morsels over 50k rows
     for (size_t batch : {64u, 1024u, 2048u, 8192u}) {
       VectorProgram::ExecOptions options;
-      options.num_threads = threads;
+      options.exec = &parallel_ctx;
       options.batch_size = batch;
       Column out = *p.Execute(t, options);
       ASSERT_EQ(out.length(), serial.length());
@@ -224,20 +231,56 @@ TEST(VectorProgramTest, ParallelAndBatchVariantsMatchSerial) {
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
-  std::vector<int> hits(100000, 0);
-  mip::ParallelFor(hits.size(), 4, [&hits](size_t b, size_t e) {
+  mip::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100000);
+  pool.ParallelFor(hits.size(), 1024, [&hits](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) ++hits[i];
   });
-  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1) << i;
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
   // Degenerate cases.
-  mip::ParallelFor(0, 4, [](size_t, size_t) { FAIL(); });
-  int small_calls = 0;
-  mip::ParallelFor(10, 8, [&small_calls](size_t b, size_t e) {
-    ++small_calls;
+  pool.ParallelFor(0, 4, [](size_t, size_t) { FAIL(); });
+  int whole_calls = 0;
+  pool.ParallelFor(10, 0, [&whole_calls](size_t b, size_t e) {
+    ++whole_calls;
     EXPECT_EQ(b, 0u);
     EXPECT_EQ(e, 10u);
   });
-  EXPECT_EQ(small_calls, 1);  // small n runs inline
+  EXPECT_EQ(whole_calls, 1);  // grain 0 => one inline chunk
+  whole_calls = 0;
+  pool.ParallelFor(10, 16, [&whole_calls](size_t b, size_t e) {
+    ++whole_calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+  });
+  EXPECT_EQ(whole_calls, 1);  // grain >= n runs inline
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  mip::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100000, 64,
+                       [](size_t b, size_t) {
+                         if (b >= 50000) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> chunks{0};
+  pool.ParallelFor(1000, 10, [&chunks](size_t, size_t) { ++chunks; });
+  EXPECT_EQ(chunks.load(), 100);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // Every task of a 2-thread pool runs a nested ParallelFor on the same
+  // pool; caller participation guarantees progress even with zero free
+  // pool threads.
+  mip::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, 1, [&pool, &total](size_t, size_t) {
+    pool.ParallelFor(1000, 10, [&total](size_t b, size_t e) {
+      total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 8000);
 }
 }  // namespace
 }  // namespace mip::engine

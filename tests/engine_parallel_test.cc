@@ -1,0 +1,260 @@
+// Determinism contract of morsel-driven execution: every operator must
+// produce BYTE-IDENTICAL output at any thread count, because morsel
+// boundaries depend only on morsel_size and per-morsel partials merge in
+// morsel order (see engine/exec_context.h). Each case serializes the serial
+// result and compares it against pools of 1/2/4/8 threads with a small
+// morsel size that forces many morsels.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "engine/column.h"
+#include "engine/exec_context.h"
+#include "engine/expr.h"
+#include "engine/operators.h"
+#include "engine/sql_parser.h"
+#include "engine/table.h"
+#include "engine/vectorized.h"
+
+namespace mip::engine {
+namespace {
+
+constexpr size_t kRows = 10'000;
+constexpr size_t kMorsel = 512;  // kRows/kMorsel ≈ 20 morsels per scan.
+
+/// A deliberately awkward table: NULL group keys, NULL measures, repeated
+/// string values (CountDistinct), negative ints, and ties for Min/Max.
+Table MakeTable(size_t rows) {
+  Rng rng(42);
+  Column g(DataType::kString);   // group key with NULLs
+  Column k(DataType::kInt64);    // int group key
+  Column v(DataType::kFloat64);  // double measure with NULLs
+  Column n(DataType::kInt64);    // int measure (typed Min/Max results)
+  Column s(DataType::kString);   // string measure (string Min/Max)
+  for (size_t i = 0; i < rows; ++i) {
+    if (i % 13 == 5) {
+      g.AppendNull();
+    } else {
+      g.AppendString("grp_" + std::to_string(i % 7));
+    }
+    k.AppendInt(static_cast<int64_t>(i % 5));
+    if (i % 11 == 2) {
+      v.AppendNull();
+    } else {
+      v.AppendDouble(rng.NextGaussian(0, 10));
+    }
+    n.AppendInt(static_cast<int64_t>(i % 97) - 48);
+    s.AppendString(std::string(1, static_cast<char>('a' + i % 26)));
+  }
+  Schema schema;
+  (void)schema.AddField({"g", DataType::kString});
+  (void)schema.AddField({"k", DataType::kInt64});
+  (void)schema.AddField({"v", DataType::kFloat64});
+  (void)schema.AddField({"n", DataType::kInt64});
+  (void)schema.AddField({"s", DataType::kString});
+  return *Table::Make(schema, {std::move(g), std::move(k), std::move(v),
+                               std::move(n), std::move(s)});
+}
+
+std::vector<uint8_t> Bytes(const Table& t) {
+  BufferWriter w;
+  SerializeTable(t, &w);
+  return w.TakeBytes();
+}
+
+/// Runs `op` with no pool (serial morsel loop) and under pools of 1/2/4/8
+/// threads, all at the same small morsel size, and asserts every serialized
+/// result matches the no-pool bytes exactly. Morsel size is the determinism
+/// parameter — float accumulation depends on the partition — so it is held
+/// fixed while the thread count sweeps.
+void ExpectIdenticalAcrossThreads(
+    const std::function<Table(const ExecContext*)>& op) {
+  ExecContext serial_ctx;
+  serial_ctx.morsel_size = kMorsel;
+  const std::vector<uint8_t> expected = Bytes(op(&serial_ctx));
+  ASSERT_FALSE(expected.empty());
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    ctx.morsel_size = kMorsel;
+    EXPECT_EQ(Bytes(op(&ctx)), expected) << "threads=" << threads;
+  }
+}
+
+ExprPtr Bound(const std::string& text, const Table& table) {
+  ExprPtr e = *ParseExpression(text);
+  EXPECT_TRUE(BindExpr(e.get(), table.schema()).ok());
+  return e;
+}
+
+std::vector<AggregateSpec> AllAggregates(const Table& table) {
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kCountStar, nullptr, "n_rows"});
+  aggs.push_back({AggFunc::kCount, Bound("v", table), "n_v"});
+  aggs.push_back({AggFunc::kCountDistinct, Bound("s", table), "nd_s"});
+  aggs.push_back({AggFunc::kSum, Bound("v", table), "sum_v"});
+  aggs.push_back({AggFunc::kAvg, Bound("v", table), "avg_v"});
+  aggs.push_back({AggFunc::kMin, Bound("v", table), "min_v"});
+  aggs.push_back({AggFunc::kMax, Bound("v", table), "max_v"});
+  aggs.push_back({AggFunc::kMin, Bound("n", table), "min_n"});
+  aggs.push_back({AggFunc::kMax, Bound("n", table), "max_n"});
+  aggs.push_back({AggFunc::kMin, Bound("s", table), "min_s"});
+  aggs.push_back({AggFunc::kMax, Bound("s", table), "max_s"});
+  aggs.push_back({AggFunc::kVarSamp, Bound("v", table), "var_v"});
+  aggs.push_back({AggFunc::kStddevSamp, Bound("v", table), "sd_v"});
+  return aggs;
+}
+
+TEST(EngineParallelTest, FilterIsByteIdentical) {
+  const Table table = MakeTable(kRows);
+  ExprPtr pred = Bound("v > 2 and n < 30", table);
+  ExpectIdenticalAcrossThreads([&](const ExecContext* exec) {
+    return *Filter(table, *pred, nullptr, exec);
+  });
+}
+
+TEST(EngineParallelTest, ProjectIsByteIdentical) {
+  const Table table = MakeTable(kRows);
+  ExprPtr e1 = Bound("sqrt(abs(v)) + n / 7", table);
+  ExprPtr e2 = Bound("v * v - 2 * v", table);
+  ExpectIdenticalAcrossThreads([&](const ExecContext* exec) {
+    return *Project(table, {e1, e2}, {"score", "poly"}, nullptr, exec);
+  });
+}
+
+TEST(EngineParallelTest, AggregateAllIsByteIdentical) {
+  const Table table = MakeTable(kRows);
+  const std::vector<AggregateSpec> aggs = AllAggregates(table);
+  ExpectIdenticalAcrossThreads([&](const ExecContext* exec) {
+    return *AggregateAll(table, aggs, nullptr, exec);
+  });
+}
+
+TEST(EngineParallelTest, GroupByWithNullGroupsIsByteIdentical) {
+  const Table table = MakeTable(kRows);
+  const std::vector<AggregateSpec> aggs = AllAggregates(table);
+  ExprPtr key = Bound("g", table);  // has NULLs: they form their own group
+  ExpectIdenticalAcrossThreads([&](const ExecContext* exec) {
+    return *GroupByAggregate(table, {key}, {"g"}, aggs, nullptr, exec);
+  });
+}
+
+TEST(EngineParallelTest, MultiKeyGroupByIsByteIdentical) {
+  const Table table = MakeTable(kRows);
+  const std::vector<AggregateSpec> aggs = AllAggregates(table);
+  ExprPtr g = Bound("g", table);
+  ExprPtr k = Bound("k", table);
+  ExpectIdenticalAcrossThreads([&](const ExecContext* exec) {
+    return *GroupByAggregate(table, {g, k}, {"g", "k"}, aggs, nullptr, exec);
+  });
+}
+
+// Group order must equal the serial first-seen scan order even when the
+// first occurrence of a key sits in a late morsel.
+TEST(EngineParallelTest, GroupOrderMatchesSerialFirstSeen) {
+  Column key(DataType::kInt64);
+  Column val(DataType::kFloat64);
+  const size_t rows = 4 * kMorsel;
+  for (size_t i = 0; i < rows; ++i) {
+    // Key 99 first appears in the last morsel; key 0/1 alternate earlier.
+    key.AppendInt(i >= 3 * kMorsel ? 99 : static_cast<int64_t>(i % 2));
+    val.AppendDouble(static_cast<double>(i));
+  }
+  Schema schema;
+  (void)schema.AddField({"key", DataType::kInt64});
+  (void)schema.AddField({"val", DataType::kFloat64});
+  const Table table =
+      *Table::Make(schema, {std::move(key), std::move(val)});
+  ExprPtr k = Bound("key", table);
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Bound("val", table), "sum_val"});
+  ExpectIdenticalAcrossThreads([&](const ExecContext* exec) {
+    return *GroupByAggregate(table, {k}, {"key"}, aggs, nullptr, exec);
+  });
+  ThreadPool pool(4);
+  ExecContext ctx;
+  ctx.pool = &pool;
+  ctx.morsel_size = kMorsel;
+  const Table out = *GroupByAggregate(table, {k}, {"key"}, aggs, nullptr,
+                                      &ctx);
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.At(0, 0).AsInt(), 0);
+  EXPECT_EQ(out.At(1, 0).AsInt(), 1);
+  EXPECT_EQ(out.At(2, 0).AsInt(), 99);
+}
+
+// Typed Min/Max must keep the column's value kind at any thread count (an
+// int column's min is Value::Int, not a widened double).
+TEST(EngineParallelTest, TypedMinMaxPreservesKind) {
+  const Table table = MakeTable(kRows);
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kMin, Bound("n", table), "min_n"});
+  aggs.push_back({AggFunc::kMax, Bound("n", table), "max_n"});
+  ThreadPool pool(4);
+  ExecContext ctx;
+  ctx.pool = &pool;
+  ctx.morsel_size = kMorsel;
+  const Table out = *AggregateAll(table, aggs, nullptr, &ctx);
+  EXPECT_EQ(out.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(out.schema().field(1).type, DataType::kInt64);
+  EXPECT_EQ(out.At(0, 0).AsInt(), -48);
+  EXPECT_EQ(out.At(0, 1).AsInt(), 48);
+}
+
+// Elementwise operators write disjoint index ranges, so they are invariant
+// to the morsel partition itself, not just the thread count.
+TEST(EngineParallelTest, ElementwiseOpsInvariantToMorselSize) {
+  const Table table = MakeTable(kRows);
+  ExprPtr pred = Bound("v > 2 and n < 30", table);
+  ExprPtr proj = Bound("sqrt(abs(v)) + n / 7", table);
+  const std::vector<uint8_t> filtered =
+      Bytes(*Filter(table, *pred, nullptr, &ExecContext::Serial()));
+  const std::vector<uint8_t> projected = Bytes(
+      *Project(table, {proj}, {"score"}, nullptr, &ExecContext::Serial()));
+  ThreadPool pool(4);
+  for (size_t morsel : {64u, 1000u, 4096u, 1u << 20}) {
+    ExecContext ctx;
+    ctx.pool = &pool;
+    ctx.morsel_size = morsel;
+    EXPECT_EQ(Bytes(*Filter(table, *pred, nullptr, &ctx)), filtered)
+        << "morsel_size=" << morsel;
+    EXPECT_EQ(Bytes(*Project(table, {proj}, {"score"}, nullptr, &ctx)),
+              projected)
+        << "morsel_size=" << morsel;
+  }
+}
+
+// At the default 64K morsel size a ≤64K-row table is a single morsel, and
+// merging one partial into an empty state is an exact copy — so parallel
+// contexts reproduce the legacy serial aggregation byte-for-byte. This is
+// what keeps pre-existing results (and federated round payloads) unchanged.
+TEST(EngineParallelTest, DefaultMorselMatchesLegacySerialOnSmallTables) {
+  const Table table = MakeTable(kRows);
+  const std::vector<AggregateSpec> aggs = AllAggregates(table);
+  ExprPtr key = Bound("g", table);
+  const std::vector<uint8_t> agg_expected =
+      Bytes(*AggregateAll(table, aggs, nullptr, &ExecContext::Serial()));
+  const std::vector<uint8_t> grp_expected = Bytes(*GroupByAggregate(
+      table, {key}, {"g"}, aggs, nullptr, &ExecContext::Serial()));
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    ExecContext ctx;
+    ctx.pool = &pool;  // default morsel_size: one morsel for kRows
+    EXPECT_EQ(Bytes(*AggregateAll(table, aggs, nullptr, &ctx)),
+              agg_expected)
+        << "threads=" << threads;
+    EXPECT_EQ(Bytes(*GroupByAggregate(table, {key}, {"g"}, aggs, nullptr,
+                                      &ctx)),
+              grp_expected)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace mip::engine

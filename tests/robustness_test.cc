@@ -316,7 +316,10 @@ TEST(FaultInjectionTest, SlowWorkerTimesOutAndIsExcludedUnderQuorum) {
   SetupThreeWorkerFederation(&master);
   federation::FaultInjector injector(/*seed=*/5);
   federation::FaultSpec slow;
-  slow.delay_ms = 50.0;  // way past the policy deadline below
+  // Margins sized for loaded CI machines: the slow worker overshoots the
+  // deadline 5x, while healthy workers (no injected delay, in-process bus)
+  // have the full 50ms before a spurious timeout would break quorum.
+  slow.delay_ms = 250.0;
   injector.SetEndpointFault("w0", slow);
   master.bus().set_fault_injector(&injector);
 
@@ -324,7 +327,7 @@ TEST(FaultInjectionTest, SlowWorkerTimesOutAndIsExcludedUnderQuorum) {
   federation::FanoutPolicy policy;
   policy.max_attempts = 2;
   policy.retry_backoff_ms = 0.1;
-  policy.worker_timeout_ms = 10.0;
+  policy.worker_timeout_ms = 50.0;
   policy.min_workers = 2;
   session.set_fanout_policy(policy);
 
