@@ -19,20 +19,21 @@ echo "== TSan: federation concurrency + robustness + net + engine morsels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DMIP_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target federation_concurrency_test robustness_test federation_test \
-           net_transport_test engine_parallel_test
+           net_transport_test engine_parallel_test encoding_test
 # TSAN_OPTIONS makes any reported race fail the job. Suites are selected by
 # label (= binary name); --no-tests=error guards against a silent no-op.
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-tsan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test)$'
+  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test|encoding_test)$'
 
-echo "== ASan+UBSan: net framing / deserialization hardening =="
+echo "== ASan+UBSan: net framing / deserialization / codec hardening =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DMIP_SANITIZE=address
 cmake --build "$ROOT/build-asan" -j "$JOBS" \
-  --target net_transport_test net_process_test robustness_test mip_worker
+  --target net_transport_test net_process_test robustness_test \
+           encoding_test mip_worker
 ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-asan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(net_transport_test|net_process_test|robustness_test)$'
+  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test)$'
 
 echo "== determinism: MIP_THREADS=1 vs MIP_THREADS=8 output diff =="
 # Morsel-driven execution must be byte-identical at any thread count (see
@@ -48,6 +49,14 @@ for example in quickstart epilepsy_study; do
   }
   echo "$example: identical output at 1 and 8 threads"
 done
+
+echo "== smoke: E14 wire-bytes benchmark (BENCH_net.json) =="
+# The codec benchmark doubles as an acceptance gate: >= 2x fewer bytes on a
+# dictionary-friendly table transfer, and the measured fallback keeping a
+# pure-double vector within 5% of (and never above) the raw layout.
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_net
+(cd "$ROOT" && "$ROOT/build/bench/bench_net")
+[[ -s "$ROOT/BENCH_net.json" ]] || { echo "BENCH_net.json missing"; exit 1; }
 
 echo "== smoke: mip_worker daemon over localhost =="
 # The daemon must come up, print its READY line with a real port, and exit

@@ -58,6 +58,11 @@ class BufferWriter {
     buf_.insert(buf_.end(), p, p + n);
   }
 
+  /// Grows capacity to hold `n` more bytes beyond the current size, so a
+  /// serializer that knows its output size up front (SerializeTable does)
+  /// pays one allocation instead of a reallocation per column.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   size_t size() const { return buf_.size(); }
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
@@ -149,6 +154,19 @@ class BufferReader {
     }
     std::vector<int64_t> v(n);
     if (n > 0) MIP_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(int64_t)));
+    return v;
+  }
+
+  /// Reads exactly `n` raw bytes (no length prefix) — for payloads whose
+  /// length was established by other means (e.g. a varint prefix).
+  Status ReadRawBytes(void* out, size_t n) { return ReadRaw(out, n); }
+
+  /// Reads a u32 without consuming it — format sniffing (e.g. telling a
+  /// magic-tagged compressed table apart from the legacy layout).
+  Result<uint32_t> PeekU32() const {
+    if (sizeof(uint32_t) > Remaining()) return TruncatedError();
+    uint32_t v = 0;
+    std::memcpy(&v, data_ + pos_, sizeof(v));
     return v;
   }
 

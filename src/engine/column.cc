@@ -160,29 +160,114 @@ void Column::Reserve(size_t n) {
   }
 }
 
+void Column::AppendFrom(const Column& other) {
+  // Null storage slots are re-canonicalized (NaN / 0 / "") below, exactly
+  // what the old boxed AppendValue path produced, so serialized bytes are
+  // unchanged.
+  const size_t base = length_;
+  switch (type_) {
+    case DataType::kBool:
+      bools_.insert(bools_.end(), other.bools_.begin(), other.bools_.end());
+      if (other.has_validity()) {
+        for (size_t i = 0; i < other.length_; ++i) {
+          if (!other.validity_.Get(i)) bools_[base + i] = 0;
+        }
+      }
+      break;
+    case DataType::kInt64:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      if (other.has_validity()) {
+        for (size_t i = 0; i < other.length_; ++i) {
+          if (!other.validity_.Get(i)) ints_[base + i] = 0;
+        }
+      }
+      break;
+    case DataType::kFloat64:
+      doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                      other.doubles_.end());
+      if (other.has_validity()) {
+        for (size_t i = 0; i < other.length_; ++i) {
+          if (!other.validity_.Get(i)) {
+            doubles_[base + i] = std::numeric_limits<double>::quiet_NaN();
+          }
+        }
+      }
+      break;
+    case DataType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin(),
+                      other.strings_.end());
+      if (other.has_validity()) {
+        for (size_t i = 0; i < other.length_; ++i) {
+          if (!other.validity_.Get(i)) strings_[base + i].clear();
+        }
+      }
+      break;
+  }
+  // The bitmap stays absent until an actual null arrives (the branch-free
+  // fast-path invariant): materialize only when either side carries one.
+  if (other.has_validity()) {
+    EnsureValidity();  // length_ is still the pre-append length here
+    for (size_t i = 0; i < other.length_; ++i) {
+      validity_.Append(other.validity_.Get(i));
+    }
+  } else if (has_validity()) {
+    for (size_t i = 0; i < other.length_; ++i) validity_.Append(true);
+  }
+  length_ = base + other.length_;
+}
+
 Column Column::Take(const std::vector<int64_t>& indices) const {
   Column out(type_);
-  out.Reserve(indices.size());
-  for (int64_t idx : indices) {
-    const size_t i = static_cast<size_t>(idx);
-    if (!IsValid(i)) {
-      out.AppendNull();
-      continue;
+  const size_t n = indices.size();
+  // Typed gather, no per-cell Value boxing; null slots get the canonical
+  // storage values AppendNull would have written.
+  switch (type_) {
+    case DataType::kBool: {
+      out.bools_.resize(n);
+      for (size_t k = 0; k < n; ++k) {
+        const size_t i = static_cast<size_t>(indices[k]);
+        out.bools_[k] = IsValid(i) ? bools_[i] : 0;
+      }
+      break;
     }
-    switch (type_) {
-      case DataType::kBool:
-        out.AppendBool(bools_[i] != 0);
-        break;
-      case DataType::kInt64:
-        out.AppendInt(ints_[i]);
-        break;
-      case DataType::kFloat64:
-        out.AppendDouble(doubles_[i]);
-        break;
-      case DataType::kString:
-        out.AppendString(strings_[i]);
-        break;
+    case DataType::kInt64: {
+      out.ints_.resize(n);
+      for (size_t k = 0; k < n; ++k) {
+        const size_t i = static_cast<size_t>(indices[k]);
+        out.ints_[k] = IsValid(i) ? ints_[i] : 0;
+      }
+      break;
     }
+    case DataType::kFloat64: {
+      out.doubles_.resize(n);
+      for (size_t k = 0; k < n; ++k) {
+        const size_t i = static_cast<size_t>(indices[k]);
+        out.doubles_[k] = IsValid(i)
+                              ? doubles_[i]
+                              : std::numeric_limits<double>::quiet_NaN();
+      }
+      break;
+    }
+    case DataType::kString: {
+      out.strings_.resize(n);
+      for (size_t k = 0; k < n; ++k) {
+        const size_t i = static_cast<size_t>(indices[k]);
+        if (IsValid(i)) out.strings_[k] = strings_[i];
+      }
+      break;
+    }
+  }
+  out.length_ = n;
+  if (has_validity()) {
+    Bitmap bm(n, true);
+    bool any_null = false;
+    for (size_t k = 0; k < n; ++k) {
+      if (!validity_.Get(static_cast<size_t>(indices[k]))) {
+        bm.Set(k, false);
+        any_null = true;
+      }
+    }
+    if (any_null) out.validity_ = std::move(bm);
   }
   return out;
 }

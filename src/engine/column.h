@@ -68,6 +68,10 @@ class Column {
   /// Reserves capacity in the underlying typed vector.
   void Reserve(size_t n);
 
+  /// Appends every row of `other` (same type; Table::Concat validates) via
+  /// typed bulk copies — the unboxed path behind merge-table concatenation.
+  void AppendFrom(const Column& other);
+
   /// Gathers rows by index.
   Column Take(const std::vector<int64_t>& indices) const;
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "engine/encoding.h"
 
 namespace mip::engine {
 
@@ -98,6 +99,7 @@ Table Table::Slice(size_t offset, size_t count) const {
 Result<Table> Table::Concat(const std::vector<Table>& parts) {
   if (parts.empty()) return Status::InvalidArgument("Concat of zero tables");
   Table out = Table::Empty(parts[0].schema());
+  size_t total_rows = 0;
   for (const Table& part : parts) {
     if (part.num_columns() != out.num_columns()) {
       return Status::TypeError("Concat schema mismatch (column count)");
@@ -107,15 +109,17 @@ Result<Table> Table::Concat(const std::vector<Table>& parts) {
         return Status::TypeError("Concat schema mismatch (column type)");
       }
     }
-    for (size_t r = 0; r < part.num_rows(); ++r) {
-      std::vector<Value> row;
-      row.reserve(part.num_columns());
-      for (size_t c = 0; c < part.num_columns(); ++c) {
-        row.push_back(part.At(r, c));
-      }
-      MIP_RETURN_NOT_OK(out.AppendRow(row));
+    total_rows += part.num_rows();
+  }
+  // Columnar concatenation: one reserve + typed bulk copies per column,
+  // instead of boxing every cell into a Value row (the merge-table hot path).
+  for (size_t c = 0; c < out.num_columns(); ++c) {
+    out.columns_[c].Reserve(total_rows);
+    for (const Table& part : parts) {
+      out.columns_[c].AppendFrom(part.column(c));
     }
   }
+  out.num_rows_ = total_rows;
   return out;
 }
 
@@ -140,7 +144,39 @@ std::string Table::ToString(size_t max_rows) const {
   return os.str();
 }
 
+size_t RawTableWireBytes(const Table& table) {
+  size_t total = sizeof(uint32_t) + sizeof(uint64_t);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema().field(c);
+    const Column& col = table.column(c);
+    total += sizeof(uint32_t) + f.name.size() + 1 /*type*/ + 1 /*validity?*/;
+    if (col.has_validity()) {
+      total += sizeof(uint32_t) +
+               col.validity().words().size() * sizeof(uint64_t);
+    }
+    switch (f.type) {
+      case DataType::kBool:
+        total += sizeof(uint32_t) + col.bools().size();
+        break;
+      case DataType::kInt64:
+        total += sizeof(uint32_t) + col.ints().size() * sizeof(int64_t);
+        break;
+      case DataType::kFloat64:
+        total += sizeof(uint32_t) + col.doubles().size() * sizeof(double);
+        break;
+      case DataType::kString:
+        total += sizeof(uint32_t);
+        for (const std::string& s : col.strings()) {
+          total += sizeof(uint32_t) + s.size();
+        }
+        break;
+    }
+  }
+  return total;
+}
+
 void SerializeTable(const Table& table, BufferWriter* w) {
+  w->Reserve(RawTableWireBytes(table));
   w->WriteU32(static_cast<uint32_t>(table.num_columns()));
   w->WriteU64(table.num_rows());
   for (size_t c = 0; c < table.num_columns(); ++c) {
@@ -174,7 +210,150 @@ void SerializeTable(const Table& table, BufferWriter* w) {
   }
 }
 
+namespace {
+
+/// Compressed (v2) layout:
+///
+///   u32     kTableWireMagic
+///   u8      kTableWireVersion
+///   varint  num_cols
+///   varint  num_rows
+///   per column:
+///     u32+bytes  field name (BufferWriter::WriteString)
+///     u8         DataType
+///     u8         has_validity
+///     [codec block]  validity (when present)
+///     codec block    column data
+void SerializeTableV2(const Table& table, BufferWriter* w) {
+  w->WriteU32(kTableWireMagic);
+  w->WriteU8(kTableWireVersion);
+  PutVarint(w, table.num_columns());
+  PutVarint(w, table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema().field(c);
+    const Column& col = table.column(c);
+    w->WriteString(f.name);
+    w->WriteU8(static_cast<uint8_t>(f.type));
+    w->WriteBool(col.has_validity());
+    if (col.has_validity()) EncodeValidity(col.validity(), w);
+    switch (f.type) {
+      case DataType::kBool:
+        EncodeBools(col.bools(), w);
+        break;
+      case DataType::kInt64:
+        EncodeInts(col.ints(), w);
+        break;
+      case DataType::kFloat64:
+        EncodeDoubles(col.doubles(), w);
+        break;
+      case DataType::kString:
+        EncodeStrings(col.strings(), w);
+        break;
+    }
+  }
+}
+
+Result<Table> DeserializeTableV2(BufferReader* r) {
+  MIP_ASSIGN_OR_RETURN(uint32_t magic, r->ReadU32());
+  if (magic != kTableWireMagic) {
+    return Status::IOError("compressed table magic mismatch");
+  }
+  MIP_ASSIGN_OR_RETURN(uint8_t version, r->ReadU8());
+  if (version != kTableWireVersion) {
+    return Status::IOError("unsupported compressed table version " +
+                           std::to_string(version));
+  }
+  MIP_ASSIGN_OR_RETURN(uint64_t num_cols, GetVarint(r));
+  MIP_ASSIGN_OR_RETURN(uint64_t num_rows, GetVarint(r));
+  // Every column costs at least its name prefix; reject impossible counts
+  // before looping (the loop itself re-checks every read).
+  if (num_cols > r->Remaining()) {
+    return Status::IOError("truncated buffer while deserializing");
+  }
+  if (num_rows > kMaxWireElements) {
+    return Status::IOError("compressed table row count exceeds the limit");
+  }
+  Schema schema;
+  std::vector<Column> columns;
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    MIP_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    MIP_ASSIGN_OR_RETURN(uint8_t type_byte, r->ReadU8());
+    if (type_byte > static_cast<uint8_t>(DataType::kString)) {
+      return Status::IOError("table wire format has unknown column type " +
+                             std::to_string(type_byte));
+    }
+    const DataType type = static_cast<DataType>(type_byte);
+    MIP_RETURN_NOT_OK(schema.AddField(Field{name, type}));
+    MIP_ASSIGN_OR_RETURN(bool has_validity, r->ReadBool());
+    Bitmap validity;
+    if (has_validity) {
+      MIP_ASSIGN_OR_RETURN(validity, DecodeValidity(r));
+      if (validity.length() != num_rows) {
+        return Status::IOError("validity length does not match row count");
+      }
+    }
+    Column col(type);
+    size_t decoded = 0;
+    switch (type) {
+      case DataType::kBool: {
+        MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> vals, DecodeBools(r));
+        decoded = vals.size();
+        col = Column::FromBools(std::move(vals));
+        break;
+      }
+      case DataType::kInt64: {
+        MIP_ASSIGN_OR_RETURN(std::vector<int64_t> vals, DecodeInts(r));
+        decoded = vals.size();
+        col = Column::FromInts(std::move(vals));
+        break;
+      }
+      case DataType::kFloat64: {
+        MIP_ASSIGN_OR_RETURN(std::vector<double> vals, DecodeDoubles(r));
+        decoded = vals.size();
+        col = Column::FromDoubles(std::move(vals));
+        break;
+      }
+      case DataType::kString: {
+        MIP_ASSIGN_OR_RETURN(std::vector<std::string> vals, DecodeStrings(r));
+        decoded = vals.size();
+        col = Column::FromStrings(std::move(vals));
+        break;
+      }
+    }
+    if (decoded != num_rows) {
+      return Status::IOError("column length does not match row count");
+    }
+    if (has_validity) MIP_RETURN_NOT_OK(col.SetValidity(std::move(validity)));
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+}  // namespace
+
+void SerializeTable(const Table& table, BufferWriter* w,
+                    const TableWireOptions& options) {
+  if (!options.codecs) {
+    SerializeTable(table, w);
+    return;
+  }
+  // Measured, not guessed: commit the compressed layout only when it beats
+  // the fixed-width one, so bytes_wire <= bytes_raw holds unconditionally.
+  const size_t raw_bytes = RawTableWireBytes(table);
+  BufferWriter scratch;
+  SerializeTableV2(table, &scratch);
+  if (scratch.size() < raw_bytes) {
+    w->AppendRaw(scratch.bytes().data(), scratch.size());
+  } else {
+    SerializeTable(table, w);
+  }
+}
+
 Result<Table> DeserializeTable(BufferReader* r) {
+  Result<uint32_t> sniff = r->PeekU32();
+  if (sniff.ok() && sniff.ValueOrDie() == kTableWireMagic) {
+    return DeserializeTableV2(r);
+  }
   MIP_ASSIGN_OR_RETURN(uint32_t num_cols, r->ReadU32());
   MIP_ASSIGN_OR_RETURN(uint64_t num_rows, r->ReadU64());
   Schema schema;

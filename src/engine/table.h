@@ -90,11 +90,36 @@ class Table {
   size_t num_rows_ = 0;
 };
 
-/// Serializes a table into `w` (schema + column data + validity).
+/// Serializes a table into `w` (schema + column data + validity) in the
+/// legacy fixed-width (v1) layout.
 void SerializeTable(const Table& table, BufferWriter* w);
 
-/// Inverse of SerializeTable.
+/// Magic prefix of the compressed (v2) table layout. v1 starts with a u32
+/// column count — far below this value — so DeserializeTable can sniff the
+/// format from the first four bytes.
+inline constexpr uint32_t kTableWireMagic = 0x32425443u;  // "CTB2"
+inline constexpr uint8_t kTableWireVersion = 2;
+
+struct TableWireOptions {
+  /// When true, columns are written through the engine::Codec blocks
+  /// (encoding.h) inside a magic-tagged v2 container — but only if the v2
+  /// bytes actually come out smaller than v1; otherwise the v1 layout is
+  /// written. When false, always the v1 layout (for peers that predate the
+  /// codec negotiation).
+  bool codecs = true;
+};
+
+/// Codec-aware serializer; see TableWireOptions.
+void SerializeTable(const Table& table, BufferWriter* w,
+                    const TableWireOptions& options);
+
+/// Inverse of SerializeTable; accepts both the v1 and the v2 layout.
 Result<Table> DeserializeTable(BufferReader* r);
+
+/// Exact byte size the v1 (uncompressed) layout would produce for `table`,
+/// computed without serializing — the "raw" side of the bytes_raw/bytes_wire
+/// compression ledger, and the Reserve() hint for SerializeTable.
+size_t RawTableWireBytes(const Table& table);
 
 }  // namespace mip::engine
 

@@ -30,11 +30,39 @@ Result<std::vector<TransferData>> FederationSession::FanOutLocalRun(
                                " has no active workers left");
   }
 
-  BufferWriter writer;
-  writer.WriteString(func);
-  writer.WriteString(smpc_job);
-  args.Serialize(&writer);
-  const std::vector<uint8_t> payload = writer.TakeBytes();
+  const FanoutPolicy policy = fanout_;
+  net::Transport* transport = master_->transport_;
+
+  // Ask the transport, per worker, whether codec-compressed payloads are
+  // acceptable (on TCP the first ask runs the one-time version handshake;
+  // later asks answer from the cache). Serialize each accepted variant once
+  // and share it across the fan-out.
+  std::vector<char> codec_ok(n, 0);
+  bool any_codec = false;
+  bool any_plain = false;
+  for (size_t i = 0; i < n; ++i) {
+    codec_ok[i] = transport->SupportsCodecs(ids[i]) ? 1 : 0;
+    if (codec_ok[i]) {
+      any_codec = true;
+    } else {
+      any_plain = true;
+    }
+  }
+  auto build_payload = [&](bool codecs) {
+    BufferWriter writer;
+    writer.WriteString(func);
+    writer.WriteString(smpc_job);
+    args.Serialize(&writer, codecs);
+    return writer.TakeBytes();
+  };
+  std::vector<uint8_t> payload_plain;
+  std::vector<uint8_t> payload_codec;
+  if (any_plain) payload_plain = build_payload(false);
+  if (any_codec) payload_codec = build_payload(true);
+  // Fixed-width request size, for the per-link compression ledger.
+  const size_t raw_request_bytes = sizeof(uint32_t) + func.size() +
+                                   sizeof(uint32_t) + smpc_job.size() +
+                                   args.RawSerializedBytes();
 
   struct Slot {
     Status status = Status::Unavailable("not attempted");
@@ -43,13 +71,13 @@ Result<std::vector<TransferData>> FederationSession::FanOutLocalRun(
     double elapsed_ms = 0.0;
   };
   std::vector<Slot> slots(n);
-  const FanoutPolicy policy = fanout_;
-  net::Transport* transport = master_->transport_;
 
   // One call = one worker's full dispatch: attempts, backoff, deadline.
   // Writes only its own slot; all sharing goes through the locked bus.
   auto run_one = [&](size_t i) {
     Slot& slot = slots[i];
+    const std::vector<uint8_t>& payload =
+        codec_ok[i] ? payload_codec : payload_plain;
     Stopwatch total;
     const int max_attempts = std::max(1, policy.max_attempts);
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -73,6 +101,15 @@ Result<std::vector<TransferData>> FederationSession::FanOutLocalRun(
           BufferReader reader(reply.ValueOrDie());
           Result<TransferData> parsed = TransferData::Deserialize(&reader);
           if (parsed.ok()) {
+            // Compression ledger for both directions of this round trip:
+            // raw-equivalent sizes are computed analytically, never by
+            // re-serializing.
+            transport->MeterCodec("master", ids[i], raw_request_bytes,
+                                  payload.size());
+            transport->MeterCodec(
+                ids[i], "master",
+                parsed.ValueOrDie().RawSerializedBytes(),
+                reply.ValueOrDie().size());
             slot.value = std::move(parsed).MoveValueUnsafe();
             slot.status = Status::OK();
           } else {
@@ -270,7 +307,11 @@ MasterNode::MasterNode(MasterConfig config)
         MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
                              transport_->Send(std::move(envelope)));
         BufferReader reader(reply);
-        return engine::DeserializeTable(&reader);
+        MIP_ASSIGN_OR_RETURN(engine::Table table,
+                             engine::DeserializeTable(&reader));
+        transport_->MeterCodec(location, "master",
+                               engine::RawTableWireBytes(table), reply.size());
+        return table;
       });
   // ... and pushes partial aggregates to the data when it can.
   local_db_.SetRemoteQueryRunner(
@@ -283,7 +324,11 @@ MasterNode::MasterNode(MasterConfig config)
         MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
                              transport_->Send(std::move(envelope)));
         BufferReader reader(reply);
-        return engine::DeserializeTable(&reader);
+        MIP_ASSIGN_OR_RETURN(engine::Table table,
+                             engine::DeserializeTable(&reader));
+        transport_->MeterCodec(location, "master",
+                               engine::RawTableWireBytes(table), reply.size());
+        return table;
       });
 }
 

@@ -1,5 +1,7 @@
 #include "federation/transfer.h"
 
+#include "engine/encoding.h"
+
 namespace mip::federation {
 
 Result<std::string> TransferData::GetString(const std::string& key) const {
@@ -94,7 +96,123 @@ void TransferData::Serialize(BufferWriter* w) const {
   }
 }
 
+void TransferData::Serialize(BufferWriter* w, bool codecs) const {
+  if (!codecs) {
+    Serialize(w);
+    return;
+  }
+  // Compressed (v2) container: strings / string lists / scalars keep the v1
+  // encoding (they are small and key-dominated); vectors, matrices and
+  // tables go through the columnar codec blocks. Committed only when the
+  // measured size beats v1, so bytes_wire <= bytes_raw always holds.
+  BufferWriter scratch;
+  scratch.WriteU32(kTransferWireMagic);
+  scratch.WriteU8(kTransferWireVersion);
+  scratch.WriteU32(static_cast<uint32_t>(strings_.size()));
+  for (const auto& [k, v] : strings_) {
+    scratch.WriteString(k);
+    scratch.WriteString(v);
+  }
+  scratch.WriteU32(static_cast<uint32_t>(string_lists_.size()));
+  for (const auto& [k, v] : string_lists_) {
+    scratch.WriteString(k);
+    scratch.WriteU32(static_cast<uint32_t>(v.size()));
+    for (const std::string& s : v) scratch.WriteString(s);
+  }
+  scratch.WriteU32(static_cast<uint32_t>(scalars_.size()));
+  for (const auto& [k, v] : scalars_) {
+    scratch.WriteString(k);
+    scratch.WriteDouble(v);
+  }
+  scratch.WriteU32(static_cast<uint32_t>(vectors_.size()));
+  for (const auto& [k, v] : vectors_) {
+    scratch.WriteString(k);
+    engine::EncodeDoubles(v, &scratch);
+  }
+  scratch.WriteU32(static_cast<uint32_t>(matrices_.size()));
+  for (const auto& [k, m] : matrices_) {
+    scratch.WriteString(k);
+    scratch.WriteU32(static_cast<uint32_t>(m.rows()));
+    scratch.WriteU32(static_cast<uint32_t>(m.cols()));
+    engine::EncodeDoubles(m.Flatten(), &scratch);
+  }
+  scratch.WriteU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& [k, t] : tables_) {
+    scratch.WriteString(k);
+    engine::SerializeTable(t, &scratch, engine::TableWireOptions{true});
+  }
+  if (scratch.size() < RawSerializedBytes()) {
+    w->AppendRaw(scratch.bytes().data(), scratch.size());
+  } else {
+    Serialize(w);
+  }
+}
+
 Result<TransferData> TransferData::Deserialize(BufferReader* r) {
+  {
+    Result<uint32_t> sniff = r->PeekU32();
+    if (sniff.ok() && sniff.ValueOrDie() == kTransferWireMagic) {
+      MIP_ASSIGN_OR_RETURN(uint32_t magic, r->ReadU32());
+      (void)magic;
+      MIP_ASSIGN_OR_RETURN(uint8_t version, r->ReadU8());
+      if (version != kTransferWireVersion) {
+        return Status::IOError("unsupported compressed transfer version " +
+                               std::to_string(version));
+      }
+      TransferData out;
+      MIP_ASSIGN_OR_RETURN(uint32_t n_strings, r->ReadU32());
+      for (uint32_t i = 0; i < n_strings; ++i) {
+        MIP_ASSIGN_OR_RETURN(std::string k, r->ReadString());
+        MIP_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+        out.strings_[k] = std::move(v);
+      }
+      MIP_ASSIGN_OR_RETURN(uint32_t n_lists, r->ReadU32());
+      for (uint32_t i = 0; i < n_lists; ++i) {
+        MIP_ASSIGN_OR_RETURN(std::string k, r->ReadString());
+        MIP_ASSIGN_OR_RETURN(uint32_t len, r->ReadU32());
+        if (static_cast<size_t>(len) > r->Remaining() / sizeof(uint32_t)) {
+          return Status::IOError("truncated buffer while deserializing");
+        }
+        std::vector<std::string> v(len);
+        for (uint32_t j = 0; j < len; ++j) {
+          MIP_ASSIGN_OR_RETURN(v[j], r->ReadString());
+        }
+        out.string_lists_[k] = std::move(v);
+      }
+      MIP_ASSIGN_OR_RETURN(uint32_t n_scalars, r->ReadU32());
+      for (uint32_t i = 0; i < n_scalars; ++i) {
+        MIP_ASSIGN_OR_RETURN(std::string k, r->ReadString());
+        MIP_ASSIGN_OR_RETURN(double v, r->ReadDouble());
+        out.scalars_[k] = v;
+      }
+      MIP_ASSIGN_OR_RETURN(uint32_t n_vectors, r->ReadU32());
+      for (uint32_t i = 0; i < n_vectors; ++i) {
+        MIP_ASSIGN_OR_RETURN(std::string k, r->ReadString());
+        MIP_ASSIGN_OR_RETURN(std::vector<double> v,
+                             engine::DecodeDoubles(r));
+        out.vectors_[k] = std::move(v);
+      }
+      MIP_ASSIGN_OR_RETURN(uint32_t n_matrices, r->ReadU32());
+      for (uint32_t i = 0; i < n_matrices; ++i) {
+        MIP_ASSIGN_OR_RETURN(std::string k, r->ReadString());
+        MIP_ASSIGN_OR_RETURN(uint32_t rows, r->ReadU32());
+        MIP_ASSIGN_OR_RETURN(uint32_t cols, r->ReadU32());
+        MIP_ASSIGN_OR_RETURN(std::vector<double> flat,
+                             engine::DecodeDoubles(r));
+        MIP_ASSIGN_OR_RETURN(
+            stats::Matrix m,
+            stats::Matrix::FromFlat(rows, cols, std::move(flat)));
+        out.matrices_[k] = std::move(m);
+      }
+      MIP_ASSIGN_OR_RETURN(uint32_t n_tables, r->ReadU32());
+      for (uint32_t i = 0; i < n_tables; ++i) {
+        MIP_ASSIGN_OR_RETURN(std::string k, r->ReadString());
+        MIP_ASSIGN_OR_RETURN(engine::Table t, engine::DeserializeTable(r));
+        out.tables_[k] = std::move(t);
+      }
+      return out;
+    }
+  }
   TransferData out;
   MIP_ASSIGN_OR_RETURN(uint32_t n_strings, r->ReadU32());
   for (uint32_t i = 0; i < n_strings; ++i) {
@@ -152,6 +270,33 @@ size_t TransferData::SerializedBytes() const {
   BufferWriter w;
   Serialize(&w);
   return w.size();
+}
+
+size_t TransferData::RawSerializedBytes() const {
+  auto keyed = [](const std::string& k) { return sizeof(uint32_t) + k.size(); };
+  size_t total = 6 * sizeof(uint32_t);  // the six section counts
+  for (const auto& [k, v] : strings_) {
+    total += keyed(k) + sizeof(uint32_t) + v.size();
+  }
+  for (const auto& [k, v] : string_lists_) {
+    total += keyed(k) + sizeof(uint32_t);
+    for (const std::string& s : v) total += sizeof(uint32_t) + s.size();
+  }
+  for (const auto& [k, v] : scalars_) {
+    (void)v;
+    total += keyed(k) + sizeof(double);
+  }
+  for (const auto& [k, v] : vectors_) {
+    total += keyed(k) + sizeof(uint32_t) + v.size() * sizeof(double);
+  }
+  for (const auto& [k, m] : matrices_) {
+    total += keyed(k) + 3 * sizeof(uint32_t) +
+             m.rows() * m.cols() * sizeof(double);
+  }
+  for (const auto& [k, t] : tables_) {
+    total += keyed(k) + engine::RawTableWireBytes(t);
+  }
+  return total;
 }
 
 Result<TransferData> TransferData::SumMerge(

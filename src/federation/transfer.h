@@ -12,6 +12,12 @@
 
 namespace mip::federation {
 
+/// Magic prefix of the compressed (v2) TransferData layout. The v1 layout
+/// starts with the string-map count — never remotely this large — so
+/// Deserialize can sniff the format from the first four bytes.
+inline constexpr uint32_t kTransferWireMagic = 0x32585443u;  // "CTX2"
+inline constexpr uint8_t kTransferWireVersion = 2;
+
 /// \brief The typed payload a local computation step "shares to global" (and
 /// a global step shares back to locals) — the `transfer` objects of the
 /// paper's Figure 2.
@@ -77,10 +83,19 @@ class TransferData {
   bool HasTables() const { return !tables_.empty(); }
 
   /// Serializes the full payload (the byte count is what the federation
-  /// cost model charges the link).
+  /// cost model charges the link) in the legacy fixed-width (v1) layout.
   void Serialize(BufferWriter* w) const;
+  /// Codec-aware serializer: with `codecs` true, vectors/matrices/tables go
+  /// through the engine::Codec blocks inside a magic-tagged v2 container —
+  /// committed only when measurably smaller than v1, so the wire size never
+  /// exceeds the raw size. With false, identical to Serialize(w).
+  void Serialize(BufferWriter* w, bool codecs) const;
+  /// Accepts both the v1 and the v2 layout (sniffed from the first bytes).
   static Result<TransferData> Deserialize(BufferReader* r);
   size_t SerializedBytes() const;
+  /// Exact v1 byte size, computed without serializing — the "raw" side of
+  /// the bytes_raw/bytes_wire compression ledger.
+  size_t RawSerializedBytes() const;
 
   /// Elementwise sum of the numeric parts of several transfers (all must
   /// share identical key sets and shapes); tables are concatenated.

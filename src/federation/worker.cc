@@ -76,6 +76,9 @@ Status WorkerNode::AttachToBus(net::Transport* transport) {
 Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
     const Envelope& envelope) {
   BufferReader reader(envelope.payload);
+  // The transport vouches that the requester decodes the compressed wire
+  // format; replies to old peers stay in the v1 layout.
+  const bool codecs = envelope.codec_ok;
   if (envelope.type == "local_run" || envelope.type == "local_run_secure") {
     MIP_ASSIGN_OR_RETURN(std::string func, reader.ReadString());
     MIP_ASSIGN_OR_RETURN(std::string smpc_job, reader.ReadString());
@@ -100,17 +103,17 @@ Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
       const std::vector<double> zeros(result.FlattenNumeric().size(), 0.0);
       MIP_ASSIGN_OR_RETURN(TransferData shape,
                            result.UnflattenNumeric(zeros));
-      shape.Serialize(&writer);
+      shape.Serialize(&writer, codecs);
       return writer.TakeBytes();
     }
-    result.Serialize(&writer);
+    result.Serialize(&writer, codecs);
     return writer.TakeBytes();
   }
   if (envelope.type == "fetch_table") {
     MIP_ASSIGN_OR_RETURN(std::string table_name, reader.ReadString());
     MIP_ASSIGN_OR_RETURN(engine::Table table, db_.GetTable(table_name));
     BufferWriter writer;
-    engine::SerializeTable(table, &writer);
+    engine::SerializeTable(table, &writer, engine::TableWireOptions{codecs});
     return writer.TakeBytes();
   }
   if (envelope.type == "run_sql") {
@@ -119,7 +122,7 @@ Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
     MIP_ASSIGN_OR_RETURN(std::string sql, reader.ReadString());
     MIP_ASSIGN_OR_RETURN(engine::Table table, db_.ExecuteSql(sql));
     BufferWriter writer;
-    engine::SerializeTable(table, &writer);
+    engine::SerializeTable(table, &writer, engine::TableWireOptions{codecs});
     return writer.TakeBytes();
   }
   return Status::InvalidArgument("worker " + id_ +

@@ -23,8 +23,19 @@ namespace mip::net {
 /// or a CRC mismatch reports a clean ParseError — the stream is unusable and
 /// the connection must be dropped. A short read is not an error: the decoder
 /// simply waits for more bytes.
+///
+/// Version history (layout is identical across versions; the version byte is
+/// a capability advertisement):
+///   1  original framing
+///   2  sender understands the columnar wire codecs (engine/encoding.h) —
+///      a v2 request invites a codec-compressed reply; v1 peers keep
+///      exchanging v1 frames with fixed-width payloads.
 inline constexpr uint32_t kFrameMagic = 0x4650494Du;  // "MIPF" on the wire
-inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr uint8_t kFrameVersion = 2;
+/// Lowest version still accepted off the wire.
+inline constexpr uint8_t kFrameVersionMin = 1;
+/// First version that advertises codec support.
+inline constexpr uint8_t kFrameVersionCodec = 2;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
 /// Hard ceiling on a frame payload (defends against hostile/corrupt length
 /// fields driving allocations).
@@ -34,11 +45,14 @@ inline constexpr size_t kDefaultMaxFramePayload = 256u << 20;  // 256 MiB
 /// Crc32("123456789") == 0xCBF43926.
 uint32_t Crc32(const uint8_t* data, size_t n);
 
-/// Appends one framed payload to `out`.
-void EncodeFrame(const uint8_t* payload, size_t n, BufferWriter* out);
-inline void EncodeFrame(const std::vector<uint8_t>& payload,
-                        BufferWriter* out) {
-  EncodeFrame(payload.data(), payload.size(), out);
+/// Appends one framed payload to `out`. `version` is what goes on the wire:
+/// a transport talking to a v1 peer frames with 1 so the peer's decoder
+/// accepts the stream.
+void EncodeFrame(const uint8_t* payload, size_t n, BufferWriter* out,
+                 uint8_t version = kFrameVersion);
+inline void EncodeFrame(const std::vector<uint8_t>& payload, BufferWriter* out,
+                        uint8_t version = kFrameVersion) {
+  EncodeFrame(payload.data(), payload.size(), out, version);
 }
 
 /// \brief Incremental frame decoder for a TCP byte stream: Feed() arbitrary
@@ -60,10 +74,15 @@ class FrameDecoder {
   /// Bytes buffered but not yet consumed by Next().
   size_t buffered() const { return buf_.size() - pos_; }
 
+  /// Version byte of the last frame Next() returned — how a server learns
+  /// whether the requester speaks the codec-capable protocol.
+  uint8_t last_version() const { return last_version_; }
+
  private:
   size_t max_payload_;
   std::vector<uint8_t> buf_;
   size_t pos_ = 0;  // consumed prefix, compacted lazily
+  uint8_t last_version_ = kFrameVersionMin;
 };
 
 /// Serializes an envelope into a frame payload (deadline_ms is local

@@ -87,25 +87,34 @@ void TcpTransport::ServeConnection(Socket sock) {
         return;
       }
       if (!next.ValueOrDie()) break;
+      const uint8_t request_version = decoder.last_version();
 
       Status status;
       std::vector<uint8_t> reply;
       Result<Envelope> envelope = DecodeEnvelopePayload(payload);
       if (!envelope.ok()) {
         status = envelope.status();
+      } else if (envelope.ValueOrDie().type == kHelloMsgType) {
+        // Version handshake: answer with the version this node speaks,
+        // without touching any endpoint handler.
+        reply = {options_.wire_version};
       } else {
+        Envelope& env = envelope.ValueOrDie();
+        // The handler may compress its reply only when both sides speak a
+        // codec-capable protocol version.
+        env.codec_ok = request_version >= kFrameVersionCodec &&
+                       options_.wire_version >= kFrameVersionCodec;
         Handler handler;
         {
           std::lock_guard<std::mutex> lock(handlers_mu_);
-          auto it = handlers_.find(envelope.ValueOrDie().to);
+          auto it = handlers_.find(env.to);
           if (it != handlers_.end()) handler = it->second;
         }
         if (!handler) {
-          status = Status::NotFound("no endpoint '" +
-                                    envelope.ValueOrDie().to +
+          status = Status::NotFound("no endpoint '" + env.to +
                                     "' on this transport");
         } else {
-          Result<std::vector<uint8_t>> r = handler(envelope.ValueOrDie());
+          Result<std::vector<uint8_t>> r = handler(env);
           if (r.ok()) {
             reply = std::move(r).MoveValueUnsafe();
           } else {
@@ -115,7 +124,10 @@ void TcpTransport::ServeConnection(Socket sock) {
       }
 
       BufferWriter w;
-      EncodeFrame(EncodeReplyPayload(status, reply), &w);
+      // Mirror the requester's version so a v1 peer's decoder accepts the
+      // reply stream.
+      EncodeFrame(EncodeReplyPayload(status, reply), &w,
+                  std::min(request_version, options_.wire_version));
       const std::vector<uint8_t> out = w.TakeBytes();
       if (!sock.SendAll(out.data(), out.size(), options_.io_timeout_ms)
                .ok()) {
@@ -168,9 +180,97 @@ void TcpTransport::MeterRequestOnly(const Envelope& envelope,
   link_stats_[link].bytes += wire_bytes;
 }
 
-Result<std::vector<uint8_t>> TcpTransport::Send(Envelope envelope) {
+uint8_t TcpTransport::NegotiatedVersion(const std::string& peer_id) {
+  if (options_.wire_version < kFrameVersionCodec) return kFrameVersionMin;
+  std::string host;
+  int peer_port = 0;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peers_.find(peer_id);
+    if (it == peers_.end()) return kFrameVersionMin;
+    if (it->second.version != 0) {
+      return std::min(options_.wire_version, it->second.version);
+    }
+    host = it->second.host;
+    peer_port = it->second.port;
+  }
+
+  // First contact: one v1-framed hello round trip asking the peer which
+  // version it speaks. An old peer cannot answer the question directly, but
+  // fails it with a clean handler error — which is the answer (version 1).
+  Envelope hello;
+  hello.to = peer_id;
+  hello.type = kHelloMsgType;
+  hello.payload = {options_.wire_version};
   BufferWriter w;
-  EncodeFrame(EncodeEnvelopePayload(envelope), &w);
+  EncodeFrame(EncodeEnvelopePayload(hello), &w, kFrameVersionMin);
+  const std::vector<uint8_t> frame = w.TakeBytes();
+
+  Socket conn;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peers_.find(peer_id);
+    if (it != peers_.end() && !it->second.idle.empty()) {
+      conn = std::move(it->second.idle.back());
+      it->second.idle.pop_back();
+    }
+  }
+  if (!conn.valid()) {
+    Result<Socket> dialed =
+        Socket::ConnectTcp(host, peer_port, options_.connect_timeout_ms);
+    if (!dialed.ok()) return kFrameVersionMin;  // transient: retry next send
+    conn = std::move(dialed).MoveValueUnsafe();
+  }
+  std::vector<uint8_t> reply_payload;
+  uint64_t reply_wire_bytes = 0;
+  Status rt = RoundTrip(&conn, frame, options_.io_timeout_ms, &reply_payload,
+                        &reply_wire_bytes);
+  if (!rt.ok()) {
+    conn.Close();
+    return kFrameVersionMin;  // transport-level failure: not cached either
+  }
+  uint8_t peer_version = kFrameVersionMin;
+  Result<std::vector<uint8_t>> reply = DecodeReplyPayload(reply_payload);
+  if (reply.ok() && reply.ValueOrDie().size() == 1 &&
+      reply.ValueOrDie()[0] >= kFrameVersionMin) {
+    peer_version = reply.ValueOrDie()[0];
+  }
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peers_.find(peer_id);
+    if (it != peers_.end()) {
+      it->second.version = peer_version;
+      if (it->second.idle.size() < options_.max_idle_per_peer &&
+          !stopping_.load()) {
+        it->second.idle.push_back(std::move(conn));
+      }
+    }
+  }
+  return std::min(options_.wire_version, peer_version);
+}
+
+bool TcpTransport::SupportsCodecs(const std::string& peer_id) {
+  return NegotiatedVersion(peer_id) >= kFrameVersionCodec;
+}
+
+void TcpTransport::MeterCodec(const std::string& from, const std::string& to,
+                              uint64_t raw_bytes, uint64_t wire_bytes) {
+  const std::string link = from + "->" + to;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.bytes_raw += raw_bytes;
+  stats_.bytes_wire += wire_bytes;
+  link_stats_[link].bytes_raw += raw_bytes;
+  link_stats_[link].bytes_wire += wire_bytes;
+}
+
+Result<std::vector<uint8_t>> TcpTransport::Send(Envelope envelope) {
+  // Negotiation runs before framing: the request's frame version tells the
+  // peer whether a codec-compressed reply is acceptable. The hello round
+  // trip (first contact only) is unmetered and skips the FaultHook, so
+  // stats and seeded fault sequences stay identical to the bus.
+  const uint8_t wire_version = NegotiatedVersion(envelope.to);
+  BufferWriter w;
+  EncodeFrame(EncodeEnvelopePayload(envelope), &w, wire_version);
   const std::vector<uint8_t> frame = w.TakeBytes();
 
   // Fault injection simulates the wire on the sender, before any bytes

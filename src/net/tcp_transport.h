@@ -29,7 +29,19 @@ struct TcpTransportOptions {
   size_t max_idle_per_peer = 4;
   /// Frame payload ceiling for both directions.
   size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Protocol version this node speaks (kFrameVersion by default). Set to 1
+  /// to emulate a pre-codec build: no handshake is attempted, requests are
+  /// framed v1 and replies are never codec-compressed — the interop knob
+  /// the mixed old/new negotiation test exercises.
+  uint8_t wire_version = kFrameVersion;
 };
+
+/// Internal handshake message type: a client asks a peer which protocol
+/// version it speaks before first using codecs with it. The round trip is
+/// v1-framed (old servers must parse it), bypasses the FaultHook and is not
+/// metered, so seeded fault sequences and message counts stay identical to
+/// the in-process bus.
+inline constexpr char kHelloMsgType[] = "__mip_hello";
 
 /// \brief Real socket implementation of Transport: length-prefixed binary
 /// frames (magic + version + CRC32) over TCP, per-peer connection pooling,
@@ -77,12 +89,20 @@ class TcpTransport : public Transport {
   std::map<std::string, NetworkStats> link_stats() const override;
   void ResetStats() override;
   void set_fault_hook(FaultHook* hook) override { hook_ = hook; }
+  /// True once the peer has answered the version handshake with a
+  /// codec-capable version (triggers the handshake on first call).
+  bool SupportsCodecs(const std::string& peer_id) override;
+  void MeterCodec(const std::string& from, const std::string& to,
+                  uint64_t raw_bytes, uint64_t wire_bytes) override;
 
  private:
   struct Peer {
     std::string host;
     int port = 0;
     std::vector<Socket> idle;
+    /// Protocol version the peer answered in the hello handshake;
+    /// 0 = not negotiated yet.
+    uint8_t version = 0;
   };
 
   void AcceptLoop();
@@ -93,6 +113,11 @@ class TcpTransport : public Transport {
                    double timeout_ms, std::vector<uint8_t>* reply_payload,
                    uint64_t* reply_wire_bytes);
   void MeterRequestOnly(const Envelope& envelope, uint64_t wire_bytes);
+  /// min(our version, the peer's). Runs the (unmetered, fault-hook-free)
+  /// hello round trip on first use and caches the answer per peer; a
+  /// transport-level failure is not cached, so the next send retries the
+  /// handshake. Unknown peers and transient failures answer 1.
+  uint8_t NegotiatedVersion(const std::string& peer_id);
 
   TcpTransportOptions options_;
   std::atomic<bool> stopping_{false};

@@ -23,6 +23,10 @@ struct Envelope {
   /// Round-trip deadline for this request in milliseconds; 0 uses the
   /// transport's default. Local delivery metadata — never serialized.
   double deadline_ms = 0.0;
+  /// Set by the receiving transport before the handler runs: true when the
+  /// requester negotiated codec support, so the handler may answer with a
+  /// compressed payload. Delivery metadata — never serialized.
+  bool codec_ok = false;
 };
 
 /// \brief Shared link cost model: per-message latency plus bytes over
@@ -44,12 +48,26 @@ struct NetworkStats {
   /// Measured wall-clock across those round trips (TCP: socket round trip;
   /// in-process bus: handler round trip).
   double wall_ms = 0.0;
+  /// Codec ledger, fed by Transport::MeterCodec for payloads that went
+  /// through the columnar wire codecs: what the legacy fixed-width layout
+  /// would have cost vs what actually crossed the link. bytes_wire <=
+  /// bytes_raw always (the encoder falls back to raw when compression
+  /// would not pay).
+  uint64_t bytes_raw = 0;
+  uint64_t bytes_wire = 0;
 
   /// latency-per-message + bytes/bandwidth (the simulated model).
   double SimulatedSeconds(double latency_ms_per_message,
                           double bandwidth_mbps) const {
     return SimulatedLinkSeconds(messages, bytes, latency_ms_per_message,
                                 bandwidth_mbps);
+  }
+  /// raw/wire over the codec-metered traffic; 1.0 when nothing was metered.
+  double CompressionRatio() const {
+    return bytes_wire > 0
+               ? static_cast<double>(bytes_raw) /
+                     static_cast<double>(bytes_wire)
+               : 1.0;
   }
   /// Measured mean round-trip time, 0 when nothing completed yet.
   double MeanRoundTripMs() const {
@@ -103,6 +121,27 @@ class Transport {
   /// Optional fault-injection hook consulted before every delivery. Not
   /// owned; pass nullptr to detach. Set while no traffic is in flight.
   virtual void set_fault_hook(FaultHook* hook) = 0;
+
+  /// True when payloads sent to `peer_id` may use the columnar wire codecs.
+  /// The TCP transport answers via a one-time version handshake with the
+  /// peer (so old and new builds interoperate); the in-process bus answers
+  /// from its own configuration. Default: no codec support.
+  virtual bool SupportsCodecs(const std::string& peer_id) {
+    (void)peer_id;
+    return false;
+  }
+
+  /// Records one codec-encoded payload on the from->to link: `raw_bytes` is
+  /// the fixed-width size the payload would have had, `wire_bytes` what
+  /// actually crossed. Callers that decode a payload know both sides; the
+  /// transport only keeps the ledger. Default: no accounting.
+  virtual void MeterCodec(const std::string& from, const std::string& to,
+                          uint64_t raw_bytes, uint64_t wire_bytes) {
+    (void)from;
+    (void)to;
+    (void)raw_bytes;
+    (void)wire_bytes;
+  }
 };
 
 }  // namespace mip::net

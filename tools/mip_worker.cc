@@ -5,8 +5,8 @@
 // Master. The paper's deployment runs Master, Workers and the SMPC front end
 // as separate services; this daemon is that Worker service.
 //
-//   ./build/tools/mip_worker --id=hospital_0 --port=0 \
-//       --dataset=linreg --rows=200 --seed=11 --weights=1.5,-2.0,0.8
+//   ./build/tools/mip_worker --id=hospital_0 --port=0 --dataset=linreg
+//       --rows=200 --seed=11 --weights=1.5,-2.0,0.8 [--wire-version=1]
 //
 // On success it prints one line to stdout:
 //
@@ -40,6 +40,10 @@ struct WorkerFlags {
   uint64_t seed = 1;
   std::vector<double> weights = {1.5, -2.0, 0.8};
   double noise = 0.1;
+  /// Protocol version to advertise (net/frame.h). Setting 1 emulates a
+  /// pre-codec build: replies stay fixed-width even to codec-capable
+  /// Masters — the knob for mixed-cohort interop testing.
+  int wire_version = mip::net::kFrameVersion;
 };
 
 std::vector<double> ParseDoubleList(const std::string& csv) {
@@ -81,12 +85,21 @@ Status ParseFlags(int argc, char** argv, WorkerFlags* flags) {
       flags->weights = ParseDoubleList(v);
     } else if (ParseFlag(arg, "noise", &v)) {
       flags->noise = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "wire-version", &v)) {
+      flags->wire_version = std::atoi(v.c_str());
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
   }
   if (flags->weights.empty()) {
     return Status::InvalidArgument("--weights must name at least one feature");
+  }
+  if (flags->wire_version < mip::net::kFrameVersionMin ||
+      flags->wire_version > mip::net::kFrameVersion) {
+    return Status::InvalidArgument("--wire-version must be between " +
+                                   std::to_string(mip::net::kFrameVersionMin) +
+                                   " and " +
+                                   std::to_string(mip::net::kFrameVersion));
   }
   return Status::OK();
 }
@@ -103,6 +116,7 @@ Status Run(const WorkerFlags& flags) {
 
   mip::net::TcpTransportOptions options;
   options.bind_host = flags.host;
+  options.wire_version = static_cast<uint8_t>(flags.wire_version);
   mip::net::TcpTransport transport(options);
   MIP_RETURN_NOT_OK(transport.Listen(flags.port));
   MIP_RETURN_NOT_OK(worker.AttachToBus(&transport));
