@@ -1,0 +1,162 @@
+// Experiment E15 — federated scan pushdown: bytes shipped and wall time for
+// a selective filtered query over a federated merge table.
+//
+// Three workers each hold a 50k-row shard. The master runs
+//   SELECT x, g FROM <view> WHERE k = 7
+// (~1% selective) twice: with the plan optimizer off — every shard is
+// fetched whole and filtered locally, the pre-plan-layer behavior — and
+// with it on, where the planner lowers the filter and the pruned column
+// list into the SQL each RemoteScan ships, so only matching rows of the
+// referenced columns cross the bus. Results must be byte-identical;
+// acceptance is >= 5x fewer wire bytes with pushdown on.
+//
+// Results are printed and written to BENCH_plan.json for the CI smoke step.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "federation/master.h"
+
+namespace {
+
+using mip::BufferWriter;
+using mip::Rng;
+using mip::engine::DataType;
+using mip::engine::Schema;
+using mip::engine::Table;
+using mip::engine::Value;
+
+constexpr size_t kRowsPerWorker = 50000;
+constexpr int kWorkers = 3;
+
+std::vector<uint8_t> Bytes(const Table& t) {
+  BufferWriter w;
+  mip::engine::SerializeTable(t, &w);
+  return w.TakeBytes();
+}
+
+struct RunMeasurement {
+  uint64_t bytes_raw = 0;
+  uint64_t bytes_wire = 0;
+  double wall_ms = 0.0;
+  std::vector<uint8_t> result;
+  size_t rows = 0;
+};
+
+RunMeasurement RunOnce(mip::federation::MasterNode* master,
+                       const std::string& sql, bool optimizer_on) {
+  master->local_db().set_optimizer_enabled(optimizer_on);
+  master->bus().ResetStats();
+  mip::Stopwatch timer;
+  auto out = master->local_db().ExecuteSql(sql);
+  RunMeasurement m;
+  m.wall_ms = timer.ElapsedMillis();
+  if (!out.ok()) {
+    std::printf("QUERY FAILED: %s\n", out.status().ToString().c_str());
+    return m;
+  }
+  m.bytes_raw = master->bus().stats().bytes_raw;
+  m.bytes_wire = master->bus().stats().bytes_wire;
+  m.result = Bytes(*out);
+  m.rows = out->num_rows();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E15: federated scan pushdown — bytes shipped ===\n");
+  std::printf("%d workers x %zu rows, ~1%% selective filter\n\n", kWorkers,
+              kRowsPerWorker);
+
+  mip::federation::MasterNode master;
+  Rng rng(0xE15);
+  const std::vector<std::string> groups = {"AD", "MCI", "control"};
+  for (int w = 0; w < kWorkers; ++w) {
+    const std::string id = "w" + std::to_string(w + 1);
+    if (!master.AddWorker(id).ok()) return 1;
+    Schema schema;
+    (void)schema.AddField({"x", DataType::kFloat64});
+    (void)schema.AddField({"k", DataType::kInt64});
+    (void)schema.AddField({"g", DataType::kString});
+    Table t = Table::Empty(schema);
+    for (size_t i = 0; i < kRowsPerWorker; ++i) {
+      (void)t.AppendRow(
+          {Value::Double(rng.NextGaussian()),
+           Value::Int(static_cast<int64_t>(rng.NextBounded(100))),
+           Value::String(groups[rng.NextBounded(groups.size())])});
+    }
+    if (!master.LoadDataset(id, "d", std::move(t)).ok()) return 1;
+  }
+  auto view = master.CreateFederatedView("d");
+  if (!view.ok()) return 1;
+  const std::string sql = "SELECT x, g FROM " + *view + " WHERE k = 7";
+
+  auto plan = master.local_db().ExecuteSql("EXPLAIN " + sql);
+  if (plan.ok()) {
+    std::printf("optimized plan:\n");
+    for (size_t r = 0; r < plan->num_rows(); ++r) {
+      std::printf("  %s\n", plan->At(r, 0).string_value().c_str());
+    }
+    std::printf("\n");
+  }
+
+  const RunMeasurement off = RunOnce(&master, sql, /*optimizer_on=*/false);
+  const RunMeasurement on = RunOnce(&master, sql, /*optimizer_on=*/true);
+  master.local_db().set_optimizer_enabled(true);
+
+  std::printf("%-14s %10s %12s %12s %9s\n", "", "rows", "bytes_raw",
+              "bytes_wire", "wall ms");
+  std::printf("%-14s %10zu %12llu %12llu %9.2f\n", "pushdown off", off.rows,
+              static_cast<unsigned long long>(off.bytes_raw),
+              static_cast<unsigned long long>(off.bytes_wire), off.wall_ms);
+  std::printf("%-14s %10zu %12llu %12llu %9.2f\n", "pushdown on", on.rows,
+              static_cast<unsigned long long>(on.bytes_raw),
+              static_cast<unsigned long long>(on.bytes_wire), on.wall_ms);
+
+  const double wire_ratio =
+      on.bytes_wire > 0 ? static_cast<double>(off.bytes_wire) /
+                              static_cast<double>(on.bytes_wire)
+                        : 0.0;
+  const bool identical =
+      !off.result.empty() && off.result == on.result && off.rows > 0;
+  const bool wire_ok = wire_ratio >= 5.0;
+
+  std::printf("\nwire reduction: %.1fx (need >= 5.0x) — %s\n", wire_ratio,
+              wire_ok ? "PASS" : "FAIL");
+  std::printf("byte-identical results: %s\n", identical ? "PASS" : "FAIL");
+
+  if (std::FILE* f = std::fopen("BENCH_plan.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"experiment\": \"E15\",\n"
+        "  \"workers\": %d, \"rows_per_worker\": %zu,\n"
+        "  \"query\": \"%s\",\n"
+        "  \"pushdown_off\": {\"rows\": %zu, \"bytes_raw\": %llu, "
+        "\"bytes_wire\": %llu, \"wall_ms\": %.3f},\n"
+        "  \"pushdown_on\":  {\"rows\": %zu, \"bytes_raw\": %llu, "
+        "\"bytes_wire\": %llu, \"wall_ms\": %.3f},\n"
+        "  \"wire_ratio\": %.3f,\n"
+        "  \"identical_results\": %s,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        kWorkers, kRowsPerWorker, sql.c_str(), off.rows,
+        static_cast<unsigned long long>(off.bytes_raw),
+        static_cast<unsigned long long>(off.bytes_wire), off.wall_ms, on.rows,
+        static_cast<unsigned long long>(on.bytes_raw),
+        static_cast<unsigned long long>(on.bytes_wire), on.wall_ms,
+        wire_ratio, identical ? "true" : "false",
+        wire_ok && identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_plan.json\n");
+  }
+
+  return wire_ok && identical ? 0 : 1;
+}

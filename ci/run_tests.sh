@@ -30,10 +30,10 @@ echo "== ASan+UBSan: net framing / deserialization / codec hardening =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DMIP_SANITIZE=address
 cmake --build "$ROOT/build-asan" -j "$JOBS" \
   --target net_transport_test net_process_test robustness_test \
-           encoding_test mip_worker
+           encoding_test plan_test mip_worker
 ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-asan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test)$'
+  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test|plan_test)$'
 
 echo "== determinism: MIP_THREADS=1 vs MIP_THREADS=8 output diff =="
 # Morsel-driven execution must be byte-identical at any thread count (see
@@ -49,6 +49,28 @@ for example in quickstart epilepsy_study; do
   }
   echo "$example: identical output at 1 and 8 threads"
 done
+
+echo "== determinism: MIP_OPTIMIZER=1 vs MIP_OPTIMIZER=0 output diff =="
+# Every optimizer rule except the merge-aggregate decomposition is bit-exact
+# (see DESIGN.md "Query planning & optimization"), and these examples do not
+# run merge-aggregate SQL, so their full stdout must be byte-identical with
+# the plan optimizer disabled. Any divergence means a rewrite rule changed
+# row order, grouping order, or float arithmetic order.
+for example in quickstart epilepsy_study; do
+  MIP_OPTIMIZER=1 "$ROOT/build/examples/$example" > /tmp/mip_opt_on.txt
+  MIP_OPTIMIZER=0 "$ROOT/build/examples/$example" > /tmp/mip_opt_off.txt
+  diff -u /tmp/mip_opt_on.txt /tmp/mip_opt_off.txt || {
+    echo "$example output differs between MIP_OPTIMIZER=1 and 0"; exit 1;
+  }
+  echo "$example: identical output with optimizer on and off"
+done
+
+echo "== smoke: E15 scan-pushdown benchmark (BENCH_plan.json) =="
+# Doubles as an acceptance gate: >= 5x fewer wire bytes for a ~1%-selective
+# filter over a federated merge view, with byte-identical results.
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_plan
+(cd "$ROOT" && "$ROOT/build/bench/bench_plan")
+[[ -s "$ROOT/BENCH_plan.json" ]] || { echo "BENCH_plan.json missing"; exit 1; }
 
 echo "== smoke: E14 wire-bytes benchmark (BENCH_net.json) =="
 # The codec benchmark doubles as an acceptance gate: >= 2x fewer bytes on a

@@ -1,85 +1,18 @@
 #include "engine/database.h"
 
-#include <set>
+#include <cstdlib>
+#include <utility>
 
 #include "common/string_util.h"
-#include "engine/operators.h"
+#include "engine/optimizer.h"
 #include "engine/sql_parser.h"
-#include "engine/vectorized.h"
 
 namespace mip::engine {
 
-namespace {
-
-ExprPtr CloneExpr(const Expr& e) {
-  auto out = std::make_shared<Expr>(e);
-  out->args.clear();
-  for (const auto& a : e.args) out->args.push_back(CloneExpr(*a));
-  return out;
+Database::Database(std::string name) : name_(std::move(name)) {
+  const char* env = std::getenv("MIP_OPTIMIZER");
+  if (env != nullptr && std::string(env) == "0") optimizer_enabled_ = false;
 }
-
-/// Replaces every aggregate node in `expr` with a column reference to a
-/// hidden aggregate output, appending the extracted AggregateSpec to `specs`.
-/// Identical aggregates (by text) are extracted once.
-ExprPtr ExtractAggregates(const Expr& expr,
-                          std::vector<AggregateSpec>* specs,
-                          std::map<std::string, std::string>* seen) {
-  if (expr.kind == ExprKind::kAggregate) {
-    const std::string text = expr.ToString();
-    auto it = seen->find(text);
-    if (it != seen->end()) return Col(it->second);
-    const std::string name = "__agg" + std::to_string(specs->size());
-    AggregateSpec spec;
-    spec.func = expr.agg;
-    spec.arg = expr.args.empty() ? nullptr : CloneExpr(*expr.args[0]);
-    spec.output_name = name;
-    specs->push_back(std::move(spec));
-    seen->emplace(text, name);
-    return Col(name);
-  }
-  auto out = std::make_shared<Expr>(expr);
-  out->args.clear();
-  for (const auto& a : expr.args) {
-    out->args.push_back(ExtractAggregates(*a, specs, seen));
-  }
-  return out;
-}
-
-// Keeps the first occurrence of each distinct row (SELECT DISTINCT).
-Table DedupRows(const Table& table) {
-  std::set<std::string> seen;
-  std::vector<int64_t> keep;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    std::string key;
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      const Value v = table.At(r, c);
-      key.push_back(static_cast<char>(v.kind()));
-      key += v.ToString();
-      key.push_back('\x1f');
-    }
-    if (seen.insert(std::move(key)).second) {
-      keep.push_back(static_cast<int64_t>(r));
-    }
-  }
-  return table.Take(keep);
-}
-
-std::string DefaultItemName(const SelectItem& item, size_t ordinal) {
-  if (!item.alias.empty()) return item.alias;
-  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column_name;
-  if (item.expr->kind == ExprKind::kAggregate) {
-    if (item.expr->agg == AggFunc::kCountStar) return "count";
-    std::string base = AggFuncName(item.expr->agg);
-    if (!item.expr->args.empty() &&
-        item.expr->args[0]->kind == ExprKind::kColumnRef) {
-      return base + "_" + ToLower(item.expr->args[0]->column_name);
-    }
-    return base;
-  }
-  return "expr" + std::to_string(ordinal);
-}
-
-}  // namespace
 
 Status Database::CreateTable(const std::string& table_name, Schema schema) {
   const std::string key = ToLower(table_name);
@@ -94,17 +27,21 @@ Status Database::CreateTable(const std::string& table_name, Schema schema) {
 }
 
 Status Database::PutTable(const std::string& table_name, Table table) {
+  const std::string key = ToLower(table_name);
   Entry e;
   e.kind = Entry::Kind::kBase;
   e.table = std::move(table);
-  tables_[ToLower(table_name)] = std::move(e);
+  tables_[key] = std::move(e);
+  remote_schema_cache_.erase(key);
   return Status::OK();
 }
 
 Status Database::DropTable(const std::string& table_name) {
-  if (tables_.erase(ToLower(table_name)) == 0) {
+  const std::string key = ToLower(table_name);
+  if (tables_.erase(key) == 0) {
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
+  remote_schema_cache_.erase(key);
   return Status::OK();
 }
 
@@ -158,451 +95,90 @@ Result<Schema> Database::GetSchema(const std::string& table_name) const {
   if (e.kind == Entry::Kind::kMerge && !e.parts.empty()) {
     return GetSchema(e.parts[0]);
   }
+  if (e.kind == Entry::Kind::kRemote) {
+    const std::string key = ToLower(table_name);
+    auto cached = remote_schema_cache_.find(key);
+    if (cached != remote_schema_cache_.end()) return cached->second;
+    if (schema_fetcher_) {
+      Result<Schema> remote = schema_fetcher_(e.location, e.remote_name);
+      if (remote.ok()) {
+        remote_schema_cache_.emplace(key, *remote);
+        return remote;
+      }
+      // Old peers may not answer schema requests; fall through to a full
+      // fetch, which also yields the schema.
+    }
+  }
   MIP_ASSIGN_OR_RETURN(Table t, GetTable(table_name));
+  if (e.kind == Entry::Kind::kRemote) {
+    remote_schema_cache_.emplace(ToLower(table_name), t.schema());
+  }
   return t.schema();
 }
 
-Result<Table> Database::ResolveTableRef(const TableRef& ref) {
-  switch (ref.kind) {
-    case TableRef::Kind::kNamed:
-      return GetTable(ref.name);
-    case TableRef::Kind::kFunction: {
-      const auto* fn = functions_.FindTable(ref.func_name);
-      if (fn == nullptr) {
-        return Status::NotFound("unknown table function '" + ref.func_name +
-                                "'");
-      }
-      return fn->fn(ref.func_args);
-    }
-    case TableRef::Kind::kJoin: {
-      MIP_ASSIGN_OR_RETURN(Table left, ResolveTableRef(*ref.left));
-      MIP_ASSIGN_OR_RETURN(Table right, ResolveTableRef(*ref.right));
-      // The ON clause does not say which side each key belongs to; try
-      // left.key on the left first, then swapped.
-      if (left.schema().FieldIndex(ref.left_key) >= 0 &&
-          right.schema().FieldIndex(ref.right_key) >= 0) {
-        return HashJoin(left, right, ref.left_key, ref.right_key,
-                        ref.join_type);
-      }
-      if (left.schema().FieldIndex(ref.right_key) >= 0 &&
-          right.schema().FieldIndex(ref.left_key) >= 0) {
-        return HashJoin(left, right, ref.right_key, ref.left_key,
-                        ref.join_type);
-      }
-      return Status::NotFound("join keys not found: " + ref.left_key + ", " +
-                              ref.right_key);
-    }
+Result<PlanCatalog::TableInfo> Database::Describe(
+    const std::string& table_name) const {
+  auto it = tables_.find(ToLower(table_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table_name + "' does not exist in " +
+                            name_);
   }
-  return Status::Internal("bad table ref kind");
+  const Entry& e = it->second;
+  TableInfo info;
+  switch (e.kind) {
+    case Entry::Kind::kBase:
+      info.kind = TableKind::kBase;
+      break;
+    case Entry::Kind::kRemote:
+      info.kind = TableKind::kRemote;
+      info.location = e.location;
+      info.remote_name = e.remote_name;
+      break;
+    case Entry::Kind::kMerge:
+      info.kind = TableKind::kMerge;
+      info.parts = e.parts;
+      break;
+  }
+  return info;
 }
 
-namespace {
-
-/// The decomposed shape of an aggregate query: grouping keys, extracted
-/// aggregate specs, the rewritten select items / HAVING over hidden
-/// __key*/__agg* columns. Built unbound; each execution path binds against
-/// its own schema.
-struct AggregatePlan {
-  std::vector<ExprPtr> key_exprs;  // unbound clones of GROUP BY expressions
-  std::vector<std::string> key_names;
-  std::vector<std::string> key_texts;
-  std::vector<AggregateSpec> specs;  // args unbound
-  struct OutputItem {
-    ExprPtr rewritten;  // references __key*/__agg* columns
-    std::string name;
-  };
-  std::vector<OutputItem> out_items;
-  ExprPtr having_rewritten;
-};
-
-Result<AggregatePlan> BuildAggregatePlan(const SelectStmt& stmt) {
-  AggregatePlan plan;
-  for (size_t i = 0; i < stmt.group_by.size(); ++i) {
-    plan.key_exprs.push_back(CloneExpr(*stmt.group_by[i]));
-    plan.key_names.push_back("__key" + std::to_string(i));
-    plan.key_texts.push_back(stmt.group_by[i]->ToString());
+Result<Table> Database::RunTableFunction(
+    const std::string& func_name, const std::vector<Value>& args) const {
+  const auto* fn = functions_.FindTable(func_name);
+  if (fn == nullptr) {
+    return Status::NotFound("unknown table function '" + func_name + "'");
   }
-  std::map<std::string, std::string> seen;
-  for (size_t i = 0; i < stmt.items.size(); ++i) {
-    const SelectItem& item = stmt.items[i];
-    if (item.star) {
-      return Status::InvalidArgument("'*' not allowed with GROUP BY");
-    }
-    AggregatePlan::OutputItem out;
-    out.name = DefaultItemName(item, i);
-    const std::string text = item.expr->ToString();
-    int key_idx = -1;
-    for (size_t k = 0; k < plan.key_texts.size(); ++k) {
-      if (plan.key_texts[k] == text) {
-        key_idx = static_cast<int>(k);
-        break;
-      }
-    }
-    if (key_idx >= 0) {
-      out.rewritten = Col(plan.key_names[static_cast<size_t>(key_idx)]);
-    } else {
-      if (!item.expr->ContainsAggregate()) {
-        return Status::InvalidArgument(
-            "select item '" + text +
-            "' is neither an aggregate nor a GROUP BY key");
-      }
-      out.rewritten = ExtractAggregates(*item.expr, &plan.specs, &seen);
-    }
-    plan.out_items.push_back(std::move(out));
-  }
-  if (stmt.having != nullptr) {
-    plan.having_rewritten =
-        ExtractAggregates(*stmt.having, &plan.specs, &seen);
+  return fn->fn(args);
+}
+
+Result<PlanPtr> Database::BuildOptimizedPlan(const SelectStmt& stmt) {
+  MIP_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(stmt, *this));
+  if (optimizer_enabled_) {
+    OptimizerOptions options;
+    options.merge_aggregate_pushdown = aggregate_pushdown_;
+    options.has_remote_query_runner = static_cast<bool>(query_runner_);
+    MIP_ASSIGN_OR_RETURN(plan, OptimizePlan(std::move(plan), *this, options));
   }
   return plan;
 }
 
-}  // namespace
-
-Result<Table> Database::TryMergeAggregatePushdown(const SelectStmt& stmt) {
-  if (stmt.from->kind != TableRef::Kind::kNamed) {
-    return Status::NotImplemented("pushdown needs a named source");
-  }
-  auto it = tables_.find(ToLower(stmt.from->name));
-  if (it == tables_.end() || it->second.kind != Entry::Kind::kMerge) {
-    return Status::NotImplemented("pushdown applies to merge tables");
-  }
-  const std::vector<std::string> parts = it->second.parts;
-  MIP_ASSIGN_OR_RETURN(AggregatePlan plan, BuildAggregatePlan(stmt));
-
-  // Every aggregate must decompose into partial aggregates + a combiner.
-  for (const AggregateSpec& spec : plan.specs) {
-    if (spec.func == AggFunc::kCountDistinct) {
-      return Status::NotImplemented("COUNT(DISTINCT) does not decompose");
-    }
-  }
-
-  // --- Per-part partial SQL ------------------------------------------
-  std::string select = "SELECT ";
-  bool first = true;
-  auto add = [&select, &first](const std::string& item) {
-    if (!first) select += ", ";
-    first = false;
-    select += item;
+Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
+  MIP_ASSIGN_OR_RETURN(PlanPtr plan, BuildOptimizedPlan(stmt));
+  PlanExecutorOptions options;
+  options.functions = &functions_;
+  options.exec = exec_context_;
+  options.db_name = name_;
+  options.get_table = [this](const std::string& name) {
+    return GetTable(name);
   };
-  for (size_t i = 0; i < plan.key_texts.size(); ++i) {
-    add(plan.key_texts[i] + " AS " + plan.key_names[i]);
-  }
-  for (size_t j = 0; j < plan.specs.size(); ++j) {
-    const AggregateSpec& spec = plan.specs[j];
-    const std::string p = "__p" + std::to_string(j);
-    const std::string arg =
-        spec.arg != nullptr ? spec.arg->ToString() : "";
-    switch (spec.func) {
-      case AggFunc::kCountStar:
-        add("count(*) AS " + p + "_a");
-        break;
-      case AggFunc::kCount:
-        add("count(" + arg + ") AS " + p + "_a");
-        break;
-      case AggFunc::kSum:
-        add("sum(" + arg + ") AS " + p + "_a");
-        break;
-      case AggFunc::kMin:
-        add("min(" + arg + ") AS " + p + "_a");
-        break;
-      case AggFunc::kMax:
-        add("max(" + arg + ") AS " + p + "_a");
-        break;
-      case AggFunc::kAvg:
-        add("sum(" + arg + ") AS " + p + "_a");
-        add("count(" + arg + ") AS " + p + "_b");
-        break;
-      case AggFunc::kVarSamp:
-      case AggFunc::kStddevSamp:
-        add("sum(" + arg + ") AS " + p + "_a");
-        add("count(" + arg + ") AS " + p + "_b");
-        add("sum((" + arg + ") * (" + arg + ")) AS " + p + "_c");
-        break;
-      case AggFunc::kCountDistinct:
-        return Status::NotImplemented("unreachable");
-    }
-  }
-  std::string tail;
-  if (stmt.where != nullptr) tail += " WHERE " + stmt.where->ToString();
-  if (!plan.key_texts.empty()) {
-    tail += " GROUP BY ";
-    for (size_t i = 0; i < plan.key_texts.size(); ++i) {
-      if (i > 0) tail += ", ";
-      tail += plan.key_texts[i];
-    }
-  }
-
-  std::vector<Table> partials;
-  for (const std::string& part : parts) {
-    auto pit = tables_.find(ToLower(part));
-    if (pit == tables_.end()) {
-      return Status::NotFound("merge part '" + part + "' vanished");
-    }
-    if (pit->second.kind == Entry::Kind::kRemote && query_runner_) {
-      // True pushdown: the partial aggregate runs on the remote node.
-      const std::string sql =
-          select + " FROM " + pit->second.remote_name + tail;
-      MIP_ASSIGN_OR_RETURN(Table partial,
-                           query_runner_(pit->second.location, sql));
-      partials.push_back(std::move(partial));
-    } else {
-      // Local (or fetch-and-compute) partial.
-      MIP_ASSIGN_OR_RETURN(Table partial,
-                           ExecuteSql(select + " FROM " + part + tail));
-      partials.push_back(std::move(partial));
-    }
-  }
-  MIP_ASSIGN_OR_RETURN(Table unioned, Table::Concat(partials));
-
-  // --- Combine stage ---------------------------------------------------
-  std::vector<ExprPtr> combine_keys;
-  for (const std::string& name : plan.key_names) {
-    combine_keys.push_back(Col(name));
-  }
-  std::vector<AggregateSpec> combine_specs;
-  for (size_t j = 0; j < plan.specs.size(); ++j) {
-    const std::string p = "__p" + std::to_string(j);
-    auto add_spec = [&combine_specs](AggFunc func, const std::string& in,
-                                     const std::string& out) {
-      AggregateSpec spec;
-      spec.func = func;
-      spec.arg = Col(in);
-      spec.output_name = out;
-      combine_specs.push_back(std::move(spec));
-    };
-    switch (plan.specs[j].func) {
-      case AggFunc::kCountStar:
-      case AggFunc::kCount:
-      case AggFunc::kSum:
-        add_spec(AggFunc::kSum, p + "_a", p + "_ca");
-        break;
-      case AggFunc::kMin:
-        add_spec(AggFunc::kMin, p + "_a", p + "_ca");
-        break;
-      case AggFunc::kMax:
-        add_spec(AggFunc::kMax, p + "_a", p + "_ca");
-        break;
-      case AggFunc::kAvg:
-        add_spec(AggFunc::kSum, p + "_a", p + "_ca");
-        add_spec(AggFunc::kSum, p + "_b", p + "_cb");
-        break;
-      case AggFunc::kVarSamp:
-      case AggFunc::kStddevSamp:
-        add_spec(AggFunc::kSum, p + "_a", p + "_ca");
-        add_spec(AggFunc::kSum, p + "_b", p + "_cb");
-        add_spec(AggFunc::kSum, p + "_c", p + "_cc");
-        break;
-      case AggFunc::kCountDistinct:
-        break;
-    }
-  }
-  for (ExprPtr& k : combine_keys) {
-    MIP_RETURN_NOT_OK(BindExpr(k.get(), unioned.schema(), &functions_));
-  }
-  for (AggregateSpec& spec : combine_specs) {
-    MIP_RETURN_NOT_OK(BindExpr(spec.arg.get(), unioned.schema(),
-                               &functions_));
-  }
-  MIP_ASSIGN_OR_RETURN(
-      Table combined,
-      GroupByAggregate(unioned, combine_keys, plan.key_names, combine_specs,
-                       &functions_, exec_context_));
-
-  // --- Final __key*/__agg* projection ----------------------------------
-  std::vector<ExprPtr> exprs;
-  std::vector<std::string> names;
-  for (const std::string& name : plan.key_names) {
-    exprs.push_back(Col(name));
-    names.push_back(name);
-  }
-  for (size_t j = 0; j < plan.specs.size(); ++j) {
-    const std::string p = "__p" + std::to_string(j);
-    ExprPtr value;
-    switch (plan.specs[j].func) {
-      case AggFunc::kCountStar:
-      case AggFunc::kCount:
-        // Sums of partial counts come back as doubles; cast to bigint so
-        // the pushdown result matches the direct path's types.
-        value = Call("cast_bigint", {Col(p + "_ca")});
-        break;
-      case AggFunc::kSum:
-      case AggFunc::kMin:
-      case AggFunc::kMax:
-        value = Col(p + "_ca");
-        break;
-      case AggFunc::kAvg:
-        value = Div(Col(p + "_ca"), Col(p + "_cb"));
-        break;
-      case AggFunc::kVarSamp:
-      case AggFunc::kStddevSamp: {
-        // (sum_sq - sum^2 / n) / (n - 1)
-        ExprPtr n = Col(p + "_cb");
-        ExprPtr var = Div(Sub(Col(p + "_cc"),
-                              Div(Mul(Col(p + "_ca"), Col(p + "_ca")), n)),
-                          Sub(n, LitDouble(1.0)));
-        value = plan.specs[j].func == AggFunc::kStddevSamp
-                    ? Call("sqrt", {var})
-                    : var;
-        break;
-      }
-      case AggFunc::kCountDistinct:
-        break;
-    }
-    exprs.push_back(value);
-    names.push_back("__agg" + std::to_string(j));
-  }
-  for (ExprPtr& e : exprs) {
-    MIP_RETURN_NOT_OK(BindExpr(e.get(), combined.schema(), &functions_));
-  }
-  return Project(combined, exprs, names, &functions_, exec_context_);
+  if (fetcher_) options.fetch_remote = fetcher_;
+  if (query_runner_) options.run_remote_sql = query_runner_;
+  return ExecutePlan(*plan, options);
 }
 
-Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
-  bool has_aggregate = !stmt.group_by.empty();
-  for (const SelectItem& item : stmt.items) {
-    if (!item.star && item.expr->ContainsAggregate()) has_aggregate = true;
-  }
-
-  Table output;
-  if (has_aggregate) {
-    MIP_ASSIGN_OR_RETURN(AggregatePlan plan, BuildAggregatePlan(stmt));
-    Table agg;
-    bool have_agg = false;
-    if (aggregate_pushdown_) {
-      Result<Table> pushed = TryMergeAggregatePushdown(stmt);
-      if (pushed.ok()) {
-        agg = pushed.MoveValueUnsafe();
-        have_agg = true;
-      } else if (pushed.status().code() != StatusCode::kNotImplemented) {
-        return pushed.status();
-      }
-    }
-    if (!have_agg) {
-      MIP_ASSIGN_OR_RETURN(Table input, ResolveTableRef(*stmt.from));
-      if (stmt.where != nullptr) {
-        MIP_RETURN_NOT_OK(
-            BindExpr(stmt.where.get(), input.schema(), &functions_));
-        MIP_ASSIGN_OR_RETURN(input, Filter(input, *stmt.where, &functions_, exec_context_));
-      }
-      for (ExprPtr& key : plan.key_exprs) {
-        MIP_RETURN_NOT_OK(BindExpr(key.get(), input.schema(), &functions_));
-      }
-      for (AggregateSpec& spec : plan.specs) {
-        if (spec.arg != nullptr) {
-          MIP_RETURN_NOT_OK(
-              BindExpr(spec.arg.get(), input.schema(), &functions_));
-        }
-      }
-      MIP_ASSIGN_OR_RETURN(
-          agg, GroupByAggregate(input, plan.key_exprs, plan.key_names,
-                                plan.specs, &functions_, exec_context_));
-    }
-
-    if (plan.having_rewritten != nullptr) {
-      MIP_RETURN_NOT_OK(BindExpr(plan.having_rewritten.get(), agg.schema(),
-                                 &functions_));
-      MIP_ASSIGN_OR_RETURN(agg,
-                           Filter(agg, *plan.having_rewritten, &functions_, exec_context_));
-    }
-
-    std::vector<ExprPtr> exprs;
-    std::vector<std::string> names;
-    std::set<std::string> used;
-    for (AggregatePlan::OutputItem& item : plan.out_items) {
-      MIP_RETURN_NOT_OK(
-          BindExpr(item.rewritten.get(), agg.schema(), &functions_));
-      std::string name = item.name;
-      while (used.count(ToLower(name)) > 0) name += "_";
-      used.insert(ToLower(name));
-      exprs.push_back(item.rewritten);
-      names.push_back(name);
-    }
-    MIP_ASSIGN_OR_RETURN(
-        output, Project(agg, exprs, names, &functions_, exec_context_));
-    if (stmt.distinct) output = DedupRows(output);
-
-    if (!stmt.order_by.empty()) {
-      std::vector<std::string> keys;
-      std::vector<bool> asc;
-      for (const OrderItem& o : stmt.order_by) {
-        keys.push_back(o.column);
-        asc.push_back(o.ascending);
-      }
-      MIP_ASSIGN_OR_RETURN(output, SortBy(output, keys, asc));
-    }
-    if (stmt.limit >= 0) {
-      output = Limit(output, static_cast<size_t>(stmt.limit));
-    }
-    return output;
-  }
-
-  // --- Non-aggregate path ------------------------------------------------
-  MIP_ASSIGN_OR_RETURN(Table input, ResolveTableRef(*stmt.from));
-  if (stmt.where != nullptr) {
-    MIP_RETURN_NOT_OK(BindExpr(stmt.where.get(), input.schema(), &functions_));
-    MIP_ASSIGN_OR_RETURN(input, Filter(input, *stmt.where, &functions_, exec_context_));
-  }
-
-  // ORDER BY may reference input columns that are not projected (standard
-  // SQL): when every key resolves in the input, sort before projecting.
-  bool sort_before_projection = false;
-  if (!stmt.order_by.empty()) {
-    bool all_in_input = true;
-    for (const OrderItem& o : stmt.order_by) {
-      if (input.schema().FieldIndex(o.column) < 0) all_in_input = false;
-    }
-    if (all_in_input) {
-      std::vector<std::string> keys;
-      std::vector<bool> asc;
-      for (const OrderItem& o : stmt.order_by) {
-        keys.push_back(o.column);
-        asc.push_back(o.ascending);
-      }
-      MIP_ASSIGN_OR_RETURN(input, SortBy(input, keys, asc));
-      sort_before_projection = true;
-    }
-  }
-
-  std::vector<ExprPtr> exprs;
-  std::vector<std::string> names;
-  std::set<std::string> used;
-  for (size_t i = 0; i < stmt.items.size(); ++i) {
-    const SelectItem& item = stmt.items[i];
-    if (item.star) {
-      for (const Field& f : input.schema().fields()) {
-        exprs.push_back(Col(f.name));
-        names.push_back(f.name);
-        used.insert(ToLower(f.name));
-      }
-      continue;
-    }
-    std::string name = DefaultItemName(item, i);
-    while (used.count(ToLower(name)) > 0) name += "_";
-    used.insert(ToLower(name));
-    exprs.push_back(item.expr);
-    names.push_back(name);
-  }
-  for (const ExprPtr& e : exprs) {
-    MIP_RETURN_NOT_OK(BindExpr(e.get(), input.schema(), &functions_));
-  }
-  MIP_ASSIGN_OR_RETURN(
-      output, Project(input, exprs, names, &functions_, exec_context_));
-  if (stmt.distinct) output = DedupRows(output);
-
-  if (!stmt.order_by.empty() && !sort_before_projection) {
-    std::vector<std::string> keys;
-    std::vector<bool> asc;
-    for (const OrderItem& o : stmt.order_by) {
-      keys.push_back(o.column);
-      asc.push_back(o.ascending);
-    }
-    MIP_ASSIGN_OR_RETURN(output, SortBy(output, keys, asc));
-  }
-  if (stmt.limit >= 0) {
-    output = Limit(output, static_cast<size_t>(stmt.limit));
-  }
-  return output;
+Result<std::string> Database::ExplainSelect(const SelectStmt& stmt) {
+  MIP_ASSIGN_OR_RETURN(PlanPtr plan, BuildOptimizedPlan(stmt));
+  return RenderPlan(*plan);
 }
 
 Result<Table> Database::ExecuteSql(const std::string& sql) {
@@ -610,6 +186,21 @@ Result<Table> Database::ExecuteSql(const std::string& sql) {
 
   if (auto* select = std::get_if<SelectStmt>(&stmt)) {
     return ExecuteSelect(*select);
+  }
+  if (auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    MIP_ASSIGN_OR_RETURN(std::string text, ExplainSelect(explain->select));
+    Schema schema;
+    MIP_RETURN_NOT_OK(schema.AddField(Field{"plan", DataType::kString}));
+    Table out = Table::Empty(std::move(schema));
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t newline = text.find('\n', start);
+      if (newline == std::string::npos) newline = text.size();
+      MIP_RETURN_NOT_OK(out.AppendRow(
+          {Value::String(text.substr(start, newline - start))}));
+      start = newline + 1;
+    }
+    return out;
   }
   if (auto* create = std::get_if<CreateTableStmt>(&stmt)) {
     Schema schema;

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "engine/exec_context.h"
 #include "engine/function_registry.h"
+#include "engine/plan.h"
 #include "engine/sql_ast.h"
 #include "engine/table.h"
 
@@ -22,9 +23,16 @@ namespace mip::engine {
 /// another node through a pluggable fetcher) and MERGE tables
 /// (non-materialized UNION ALL views over parts) — the two features MIP's
 /// non-secure aggregation path is built on.
-class Database {
+///
+/// SELECTs run through a three-stage pipeline: PlanSelect builds a logical
+/// plan, OptimizePlan rewrites it (predicate/projection/limit pushdown into
+/// remote scans, merge-aggregate decomposition), and ExecutePlan walks the
+/// result with the vectorized operators. `EXPLAIN <select>` renders the
+/// optimized plan instead of executing it. The Database itself is the
+/// planner's catalog (PlanCatalog).
+class Database : public PlanCatalog {
  public:
-  explicit Database(std::string name = "mipdb") : name_(std::move(name)) {}
+  explicit Database(std::string name = "mipdb");
 
   /// Non-copyable (owns a function registry with closures), movable.
   Database(const Database&) = delete;
@@ -43,13 +51,24 @@ class Database {
     fetcher_ = std::move(fetcher);
   }
 
-  /// Runs a SQL statement ON the remote node and returns its result —
-  /// enables aggregate pushdown through REMOTE tables (only the partial
-  /// aggregate crosses the network instead of the full relation).
+  /// Runs a SQL statement ON the remote node and returns its result — the
+  /// transport for every pushdown (filters, pruned projections, LIMITs and
+  /// partial aggregates all ship as SQL text instead of whole tables).
   using RemoteQueryRunner = std::function<Result<Table>(
       const std::string& location, const std::string& sql)>;
   void SetRemoteQueryRunner(RemoteQueryRunner runner) {
     query_runner_ = std::move(runner);
+  }
+
+  /// Fetches just the schema of a remote table (location, remote_name) ->
+  /// Schema. Lets the planner prune remote projections without ever
+  /// materializing the relation; results are cached per remote table. When
+  /// unset (or when the peer fails the request) GetSchema falls back to a
+  /// full fetch, like the pre-plan-layer interpreter.
+  using RemoteSchemaFetcher = std::function<Result<Schema>(
+      const std::string& location, const std::string& remote_name)>;
+  void SetRemoteSchemaFetcher(RemoteSchemaFetcher fetcher) {
+    schema_fetcher_ = std::move(fetcher);
   }
 
   /// Execution context for query operators (morsel parallelism). nullptr
@@ -60,11 +79,19 @@ class Database {
   const ExecContext* exec_context() const { return exec_context_; }
 
   /// Disables merge-table aggregate pushdown (ablation switch for the E5
-  /// benchmark; on by default).
+  /// benchmark; on by default). This is the only optimizer rule that is not
+  /// bit-exact (it reassociates float sums), hence its own switch.
   void set_aggregate_pushdown(bool enabled) {
     aggregate_pushdown_ = enabled;
   }
   bool aggregate_pushdown() const { return aggregate_pushdown_; }
+
+  /// Master switch for the plan optimizer (default on; the environment
+  /// variable MIP_OPTIMIZER=0 flips the default off). With the optimizer off,
+  /// SELECTs execute the naive plan: whole-table fetches, local filtering —
+  /// byte-identical results, more bytes on the wire.
+  void set_optimizer_enabled(bool enabled) { optimizer_enabled_ = enabled; }
+  bool optimizer_enabled() const { return optimizer_enabled_; }
 
   /// Creates an empty base table.
   Status CreateTable(const std::string& table_name, Schema schema);
@@ -82,15 +109,29 @@ class Database {
   /// actually scans).
   Result<Table> GetTable(const std::string& table_name) const;
 
-  /// Schema without materializing (remote tables are fetched once and the
-  /// schema cached is NOT implemented; merge uses first part).
+  /// Schema without materializing. Remote schemas come from the schema
+  /// fetcher when installed (cached thereafter), else from a one-off full
+  /// fetch; merge uses its first part.
   Result<Schema> GetSchema(const std::string& table_name) const;
 
-  /// Executes one SQL statement. DDL/DML return an empty table.
+  /// Executes one SQL statement. DDL/DML return an empty table; EXPLAIN
+  /// returns a one-column table ("plan") with one row per plan line.
   Result<Table> ExecuteSql(const std::string& sql);
 
-  /// Executes a parsed SELECT.
+  /// Executes a parsed SELECT through the plan/optimize/execute pipeline.
   Result<Table> ExecuteSelect(const SelectStmt& stmt);
+
+  /// Renders the optimized logical plan for a SELECT as a text tree.
+  Result<std::string> ExplainSelect(const SelectStmt& stmt);
+
+  // PlanCatalog implementation (the planner's view of this catalog).
+  Result<TableInfo> Describe(const std::string& table_name) const override;
+  Result<Schema> TableSchema(const std::string& table_name) const override {
+    return GetSchema(table_name);
+  }
+  Result<Table> RunTableFunction(
+      const std::string& func_name,
+      const std::vector<Value>& args) const override;
 
   FunctionRegistry* functions() { return &functions_; }
   const FunctionRegistry* functions() const { return &functions_; }
@@ -105,21 +146,21 @@ class Database {
     std::vector<std::string> parts;  // kMerge
   };
 
-  Result<Table> ResolveTableRef(const TableRef& ref);
-
-  /// Merge-table aggregate pushdown: computes per-part partial aggregates
-  /// (remotely when a query runner is installed) and combines them. Returns
-  /// NotImplemented when the query shape does not decompose; the caller
-  /// falls back to materialization.
-  Result<Table> TryMergeAggregatePushdown(const SelectStmt& stmt);
+  /// Plan -> optimized plan, honoring the optimizer/pushdown switches.
+  Result<PlanPtr> BuildOptimizedPlan(const SelectStmt& stmt);
 
   std::string name_;
   std::map<std::string, Entry> tables_;
   FunctionRegistry functions_;
   RemoteFetcher fetcher_;
   RemoteQueryRunner query_runner_;
+  RemoteSchemaFetcher schema_fetcher_;
   bool aggregate_pushdown_ = true;
+  bool optimizer_enabled_ = true;
   const ExecContext* exec_context_ = nullptr;
+  /// Remote-table schemas learned via the schema fetcher (or a full fetch),
+  /// keyed by lower-cased local name. Invalidated on PutTable/DropTable.
+  mutable std::map<std::string, Schema> remote_schema_cache_;
 };
 
 }  // namespace mip::engine

@@ -217,6 +217,10 @@ const BuiltinInfo* FindBuiltin(const std::string& lower_name) {
 
 }  // namespace
 
+bool IsBuiltinScalarFunction(const std::string& lower_name) {
+  return FindBuiltin(lower_name) != nullptr;
+}
+
 Status BindExpr(Expr* expr, const Schema& schema,
                 const FunctionRegistry* registry) {
   for (auto& a : expr->args) {

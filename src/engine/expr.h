@@ -122,6 +122,12 @@ ExprPtr CountStar();
 /// args as documented on ExprKind::kCase.
 ExprPtr CaseWhen(std::vector<ExprPtr> args);
 
+/// True when `lower_name` (already lowercased) names one of the engine's
+/// built-in scalar functions. Built-ins evaluate identically on every node,
+/// unlike UDFs, which are registered per-database — the distinction gates
+/// which predicates the optimizer may ship to a remote scan.
+bool IsBuiltinScalarFunction(const std::string& lower_name);
+
 /// \brief Resolves column references against `schema`, type-checks the tree,
 /// and annotates every node with its result type.
 ///

@@ -1,0 +1,508 @@
+#include "engine/optimizer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "engine/sql_parser.h"
+
+namespace mip::engine {
+
+namespace {
+
+// --- Rule 1: merge-aggregate decomposition ---------------------------------
+
+/// True when every aggregate decomposes into partial aggregates plus a
+/// combiner. COUNT(DISTINCT x) does not: distinct counts cannot be summed
+/// across parts, so the query bypasses the rule and aggregates the
+/// materialized union directly (this is also what makes the old side-path's
+/// null-expression hole for kCountDistinct structurally unreachable here).
+bool SpecsDecompose(const std::vector<AggregateSpec>& specs) {
+  for (const AggregateSpec& spec : specs) {
+    if (spec.func == AggFunc::kCountDistinct) return false;
+  }
+  return true;
+}
+
+/// Rewrites Aggregate -> [Filter] -> MergeUnion into
+///
+///   Project(final __key*/__agg* expressions)
+///     Aggregate(combine partials)
+///       MergeUnion(per-part partial aggregates)
+///
+/// where remote parts ship their partial as SQL text (run_sql) and every
+/// other part gets a locally planned + optimized partial subplan — which
+/// recurses through nested merge tables exactly like the interpreter's
+/// recursive ExecuteSql did.
+Result<PlanPtr> RewriteMergeAggregate(const PlanNode& agg,
+                                      const PlanNode* where_filter,
+                                      const PlanNode& merge,
+                                      const PlanCatalog& catalog,
+                                      const OptimizerOptions& options) {
+  // --- Per-part partial SQL ------------------------------------------------
+  std::string select = "SELECT ";
+  bool first = true;
+  auto add = [&select, &first](const std::string& item) {
+    if (!first) select += ", ";
+    first = false;
+    select += item;
+  };
+  for (size_t i = 0; i < agg.keys.size(); ++i) {
+    add(LowerExprToSql(*agg.keys[i]) + " AS " + agg.key_names[i]);
+  }
+  for (size_t j = 0; j < agg.aggs.size(); ++j) {
+    const AggregateSpec& spec = agg.aggs[j];
+    const std::string p = "__p" + std::to_string(j);
+    const std::string arg =
+        spec.arg != nullptr ? LowerExprToSql(*spec.arg) : "";
+    switch (spec.func) {
+      case AggFunc::kCountStar:
+        add("count(*) AS " + p + "_a");
+        break;
+      case AggFunc::kCount:
+        add("count(" + arg + ") AS " + p + "_a");
+        break;
+      case AggFunc::kSum:
+        add("sum(" + arg + ") AS " + p + "_a");
+        break;
+      case AggFunc::kMin:
+        add("min(" + arg + ") AS " + p + "_a");
+        break;
+      case AggFunc::kMax:
+        add("max(" + arg + ") AS " + p + "_a");
+        break;
+      case AggFunc::kAvg:
+        add("sum(" + arg + ") AS " + p + "_a");
+        add("count(" + arg + ") AS " + p + "_b");
+        break;
+      case AggFunc::kVarSamp:
+      case AggFunc::kStddevSamp:
+        add("sum(" + arg + ") AS " + p + "_a");
+        add("count(" + arg + ") AS " + p + "_b");
+        add("sum((" + arg + ") * (" + arg + ")) AS " + p + "_c");
+        break;
+      case AggFunc::kCountDistinct:
+        return Status::Internal("COUNT(DISTINCT) must bypass the rule");
+    }
+  }
+  std::string tail;
+  if (where_filter != nullptr) {
+    tail += " WHERE " + LowerExprToSql(*where_filter->predicate);
+  }
+  if (!agg.keys.empty()) {
+    tail += " GROUP BY ";
+    for (size_t i = 0; i < agg.keys.size(); ++i) {
+      if (i > 0) tail += ", ";
+      tail += LowerExprToSql(*agg.keys[i]);
+    }
+  }
+
+  auto new_merge = MakePlanNode(PlanKind::kMergeUnion);
+  new_merge->table_name = merge.table_name;
+  for (const PlanPtr& part : merge.children) {
+    if (part->kind == PlanKind::kRemoteScan &&
+        options.has_remote_query_runner) {
+      // True pushdown: the partial aggregate runs on the remote node.
+      auto scan = MakePlanNode(PlanKind::kRemoteScan);
+      scan->table_name = part->table_name;
+      scan->location = part->location;
+      scan->remote_name = part->remote_name;
+      scan->sql_override = select + " FROM " + part->remote_name + tail;
+      new_merge->children.push_back(std::move(scan));
+    } else {
+      // Local (or fetch-and-compute) partial: plan and optimize the partial
+      // query against this catalog.
+      const std::string sql = select + " FROM " + part->table_name + tail;
+      MIP_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+      auto* partial_select = std::get_if<SelectStmt>(&stmt);
+      if (partial_select == nullptr) {
+        return Status::Internal("partial aggregate SQL is not a SELECT");
+      }
+      MIP_ASSIGN_OR_RETURN(PlanPtr sub, PlanSelect(*partial_select, catalog));
+      MIP_ASSIGN_OR_RETURN(sub, OptimizePlan(std::move(sub), catalog,
+                                             options));
+      new_merge->children.push_back(std::move(sub));
+    }
+  }
+
+  // --- Combine stage -------------------------------------------------------
+  auto combine = MakePlanNode(PlanKind::kAggregate);
+  for (const std::string& name : agg.key_names) {
+    combine->keys.push_back(Col(name));
+  }
+  combine->key_names = agg.key_names;
+  for (size_t j = 0; j < agg.aggs.size(); ++j) {
+    const std::string p = "__p" + std::to_string(j);
+    auto add_spec = [&combine](AggFunc func, const std::string& in,
+                               const std::string& out) {
+      AggregateSpec spec;
+      spec.func = func;
+      spec.arg = Col(in);
+      spec.output_name = out;
+      combine->aggs.push_back(std::move(spec));
+    };
+    switch (agg.aggs[j].func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+      case AggFunc::kSum:
+        add_spec(AggFunc::kSum, p + "_a", p + "_ca");
+        break;
+      case AggFunc::kMin:
+        add_spec(AggFunc::kMin, p + "_a", p + "_ca");
+        break;
+      case AggFunc::kMax:
+        add_spec(AggFunc::kMax, p + "_a", p + "_ca");
+        break;
+      case AggFunc::kAvg:
+        add_spec(AggFunc::kSum, p + "_a", p + "_ca");
+        add_spec(AggFunc::kSum, p + "_b", p + "_cb");
+        break;
+      case AggFunc::kVarSamp:
+      case AggFunc::kStddevSamp:
+        add_spec(AggFunc::kSum, p + "_a", p + "_ca");
+        add_spec(AggFunc::kSum, p + "_b", p + "_cb");
+        add_spec(AggFunc::kSum, p + "_c", p + "_cc");
+        break;
+      case AggFunc::kCountDistinct:
+        return Status::Internal("COUNT(DISTINCT) must bypass the rule");
+    }
+  }
+  combine->children = {std::move(new_merge)};
+
+  // --- Final __key*/__agg* projection --------------------------------------
+  auto proj = MakePlanNode(PlanKind::kProject);
+  for (const std::string& name : agg.key_names) {
+    proj->exprs.push_back(Col(name));
+    proj->names.push_back(name);
+  }
+  for (size_t j = 0; j < agg.aggs.size(); ++j) {
+    const std::string p = "__p" + std::to_string(j);
+    ExprPtr value;
+    switch (agg.aggs[j].func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        // Sums of partial counts come back as doubles; cast to bigint so
+        // the pushdown result matches the direct path's types.
+        value = Call("cast_bigint", {Col(p + "_ca")});
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        value = Col(p + "_ca");
+        break;
+      case AggFunc::kAvg:
+        value = Div(Col(p + "_ca"), Col(p + "_cb"));
+        break;
+      case AggFunc::kVarSamp:
+      case AggFunc::kStddevSamp: {
+        // (sum_sq - sum^2 / n) / (n - 1)
+        ExprPtr n = Col(p + "_cb");
+        ExprPtr var = Div(Sub(Col(p + "_cc"),
+                              Div(Mul(Col(p + "_ca"), Col(p + "_ca")), n)),
+                          Sub(n, LitDouble(1.0)));
+        value = agg.aggs[j].func == AggFunc::kStddevSamp ? Call("sqrt", {var})
+                                                         : var;
+        break;
+      }
+      case AggFunc::kCountDistinct:
+        // The decomposability gate above makes this unreachable; returning
+        // instead of falling through guarantees no null expression is ever
+        // projected (the latent bug in the old side path).
+        return Status::Internal("COUNT(DISTINCT) must bypass the rule");
+    }
+    proj->exprs.push_back(std::move(value));
+    proj->names.push_back("__agg" + std::to_string(j));
+  }
+  proj->children = {std::move(combine)};
+  return proj;
+}
+
+Result<PlanPtr> ApplyMergeAggregateRule(PlanPtr node,
+                                        const PlanCatalog& catalog,
+                                        const OptimizerOptions& options) {
+  for (PlanPtr& child : node->children) {
+    MIP_ASSIGN_OR_RETURN(child, ApplyMergeAggregateRule(std::move(child),
+                                                        catalog, options));
+  }
+  if (node->kind != PlanKind::kAggregate) return node;
+  const PlanNode* where_filter = nullptr;
+  const PlanNode* below = node->children[0].get();
+  if (below->kind == PlanKind::kFilter) {
+    where_filter = below;
+    below = below->children[0].get();
+  }
+  if (below->kind != PlanKind::kMergeUnion) return node;
+  if (!SpecsDecompose(node->aggs)) return node;
+  return RewriteMergeAggregate(*node, where_filter, *below, catalog, options);
+}
+
+// --- Rule 2: predicate pushdown --------------------------------------------
+
+void CollectColumnRefs(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind == ExprKind::kColumnRef) {
+    for (const std::string& name : *out) {
+      if (EqualsIgnoreCase(name, e.column_name)) return;
+    }
+    out->push_back(e.column_name);
+    return;
+  }
+  for (const auto& a : e.args) CollectColumnRefs(*a, out);
+}
+
+/// A predicate may move into a RemoteScan only when the remote node is
+/// guaranteed to evaluate it identically AND any bind error the local path
+/// would have raised still surfaces (hence the schema check: unknown-column
+/// predicates stay local).
+bool EligibleRemoteFilter(const Expr& predicate, const PlanNode& scan,
+                          const PlanCatalog& catalog,
+                          const OptimizerOptions& options) {
+  if (!options.has_remote_query_runner) return false;
+  if (!scan.sql_override.empty() || scan.remote_filter != nullptr) {
+    return false;
+  }
+  if (!IsRemotelyEvaluable(predicate)) return false;
+  Result<Schema> schema = catalog.TableSchema(scan.table_name);
+  if (!schema.ok()) return false;
+  std::vector<std::string> refs;
+  CollectColumnRefs(predicate, &refs);
+  for (const std::string& name : refs) {
+    if (schema->FieldIndex(name) < 0) return false;
+  }
+  return true;
+}
+
+PlanPtr PushPredicates(PlanPtr node, const PlanCatalog& catalog,
+                       const OptimizerOptions& options) {
+  if (node->kind == PlanKind::kFilter) {
+    PlanPtr child = node->children[0];
+    if (child->kind == PlanKind::kMergeUnion) {
+      // concat-then-filter == filter-per-part-then-concat, row for row.
+      for (PlanPtr& part : child->children) {
+        auto filter = MakePlanNode(PlanKind::kFilter);
+        filter->predicate = CloneExpr(*node->predicate);
+        filter->children = {std::move(part)};
+        part = PushPredicates(std::move(filter), catalog, options);
+      }
+      return child;
+    }
+    if (child->kind == PlanKind::kRemoteScan &&
+        EligibleRemoteFilter(*node->predicate, *child, catalog, options)) {
+      child->remote_filter = node->predicate;
+      return child;
+    }
+  }
+  for (PlanPtr& child : node->children) {
+    child = PushPredicates(std::move(child), catalog, options);
+  }
+  return node;
+}
+
+// --- Rule 3: projection pruning --------------------------------------------
+
+/// Whether a scan subtree can honor a pruned column list. MergeUnion parts
+/// must all agree (prune everywhere or nowhere) or Concat would see
+/// mismatched schemas.
+bool CanPruneScan(const PlanNode& node,
+                  const std::vector<std::string>& required,
+                  const PlanCatalog& catalog,
+                  const OptimizerOptions& options) {
+  if (required.empty()) return false;
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      if (node.prebound != nullptr) return false;
+      Result<Schema> schema = catalog.TableSchema(node.table_name);
+      if (!schema.ok()) return false;
+      for (const std::string& name : required) {
+        // An unknown column must keep the full scan so the bind error (and
+        // its message) surfaces exactly as in the unoptimized plan.
+        if (schema->FieldIndex(name) < 0) return false;
+      }
+      return required.size() < schema->num_fields();
+    }
+    case PlanKind::kRemoteScan: {
+      if (!options.has_remote_query_runner) return false;
+      if (!node.sql_override.empty()) return false;
+      for (const std::string& name : required) {
+        if (!IsSqlIdentifier(name)) return false;
+      }
+      Result<Schema> schema = catalog.TableSchema(node.table_name);
+      if (!schema.ok()) return false;
+      for (const std::string& name : required) {
+        if (schema->FieldIndex(name) < 0) return false;
+      }
+      return required.size() < schema->num_fields();
+    }
+    case PlanKind::kMergeUnion: {
+      for (const PlanPtr& child : node.children) {
+        if (!CanPruneScan(*child, required, catalog, options)) return false;
+      }
+      return !node.children.empty();
+    }
+    default:
+      return false;
+  }
+}
+
+void AddRequired(std::vector<std::string>* required, const std::string& name) {
+  for (const std::string& existing : *required) {
+    if (EqualsIgnoreCase(existing, name)) return;
+  }
+  required->push_back(name);
+}
+
+/// `required` lists the only columns the parent needs, in first-mention
+/// order; nullptr means "all columns".
+void PruneColumns(PlanNode* node, const std::vector<std::string>* required,
+                  const PlanCatalog& catalog,
+                  const OptimizerOptions& options) {
+  switch (node->kind) {
+    case PlanKind::kScan:
+    case PlanKind::kRemoteScan:
+      if (required != nullptr &&
+          CanPruneScan(*node, *required, catalog, options)) {
+        node->columns = *required;
+      }
+      return;
+    case PlanKind::kMergeUnion: {
+      const std::vector<std::string>* pass = required;
+      if (required != nullptr &&
+          !CanPruneScan(*node, *required, catalog, options)) {
+        pass = nullptr;
+      }
+      for (PlanPtr& child : node->children) {
+        PruneColumns(child.get(), pass, catalog, options);
+      }
+      return;
+    }
+    case PlanKind::kJoin:
+      // The "_r" collision renaming makes column provenance ambiguous; no
+      // pruning through joins.
+      for (PlanPtr& child : node->children) {
+        PruneColumns(child.get(), nullptr, catalog, options);
+      }
+      return;
+    case PlanKind::kFilter: {
+      if (required == nullptr) {
+        PruneColumns(node->children[0].get(), nullptr, catalog, options);
+        return;
+      }
+      std::vector<std::string> merged = *required;
+      CollectColumnRefs(*node->predicate, &merged);
+      PruneColumns(node->children[0].get(), &merged, catalog, options);
+      return;
+    }
+    case PlanKind::kSort: {
+      if (required == nullptr) {
+        PruneColumns(node->children[0].get(), nullptr, catalog, options);
+        return;
+      }
+      std::vector<std::string> merged = *required;
+      for (const std::string& key : node->sort_keys) {
+        AddRequired(&merged, key);
+      }
+      PruneColumns(node->children[0].get(), &merged, catalog, options);
+      return;
+    }
+    case PlanKind::kProject: {
+      std::vector<std::string> refs;
+      bool star = false;
+      if (!node->exprs.empty()) {
+        for (const ExprPtr& e : node->exprs) CollectColumnRefs(*e, &refs);
+      } else {
+        for (const SelectItem& item : node->items) {
+          if (item.star) {
+            star = true;
+          } else {
+            CollectColumnRefs(*item.expr, &refs);
+          }
+        }
+      }
+      PruneColumns(node->children[0].get(), star ? nullptr : &refs, catalog,
+                   options);
+      return;
+    }
+    case PlanKind::kAggregate: {
+      std::vector<std::string> refs;
+      for (const ExprPtr& key : node->keys) CollectColumnRefs(*key, &refs);
+      for (const AggregateSpec& spec : node->aggs) {
+        if (spec.arg != nullptr) CollectColumnRefs(*spec.arg, &refs);
+      }
+      PruneColumns(node->children[0].get(), &refs, catalog, options);
+      return;
+    }
+    case PlanKind::kDistinct:
+    case PlanKind::kLimit:
+      PruneColumns(node->children[0].get(), required, catalog, options);
+      return;
+  }
+}
+
+// --- Rule 4: limit pushdown ------------------------------------------------
+
+/// Pushes a row budget below 1:1 stages into scans. Stops at anything that
+/// filters, reorders, or regroups rows — limiting their *input* would change
+/// the result. The originating Limit node is kept (a pushed scan produces at
+/// most, not exactly, the budget).
+void AnnotateLimit(PlanNode* node, int64_t limit,
+                   const OptimizerOptions& options) {
+  switch (node->kind) {
+    case PlanKind::kScan:
+      node->scan_limit =
+          node->scan_limit < 0 ? limit : std::min(node->scan_limit, limit);
+      return;
+    case PlanKind::kRemoteScan:
+      if (!node->sql_override.empty()) return;
+      // A scan limit forces the run_sql path, so only lower it when a
+      // runner exists.
+      if (!options.has_remote_query_runner) return;
+      node->scan_limit =
+          node->scan_limit < 0 ? limit : std::min(node->scan_limit, limit);
+      return;
+    case PlanKind::kProject:
+      AnnotateLimit(node->children[0].get(), limit, options);
+      return;
+    case PlanKind::kMergeUnion:
+      // Each part needs at most `limit` rows; the outer Limit still trims
+      // the concatenation.
+      for (PlanPtr& child : node->children) {
+        AnnotateLimit(child.get(), limit, options);
+      }
+      return;
+    case PlanKind::kLimit:
+      AnnotateLimit(node->children[0].get(), std::min(limit, node->limit),
+                    options);
+      return;
+    default:
+      return;
+  }
+}
+
+void PushLimits(PlanNode* node, const OptimizerOptions& options) {
+  if (node->kind == PlanKind::kLimit) {
+    AnnotateLimit(node->children[0].get(), node->limit, options);
+  }
+  for (PlanPtr& child : node->children) {
+    PushLimits(child.get(), options);
+  }
+}
+
+}  // namespace
+
+Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
+                             const OptimizerOptions& options) {
+  if (options.merge_aggregate_pushdown) {
+    MIP_ASSIGN_OR_RETURN(
+        plan, ApplyMergeAggregateRule(std::move(plan), catalog, options));
+  }
+  if (options.predicate_pushdown) {
+    plan = PushPredicates(std::move(plan), catalog, options);
+  }
+  if (options.projection_pruning) {
+    PruneColumns(plan.get(), nullptr, catalog, options);
+  }
+  if (options.limit_pushdown) {
+    PushLimits(plan.get(), options);
+  }
+  return plan;
+}
+
+}  // namespace mip::engine

@@ -1,0 +1,52 @@
+#ifndef MIP_ENGINE_OPTIMIZER_H_
+#define MIP_ENGINE_OPTIMIZER_H_
+
+#include "engine/plan.h"
+
+namespace mip::engine {
+
+/// \brief Per-rule switches for the plan optimizer. All rules default on;
+/// Database turns them off wholesale via set_optimizer_enabled(false) (or
+/// MIP_OPTIMIZER=0) for the on-vs-off parity tests and CI diff job.
+struct OptimizerOptions {
+  /// Replicates a Filter over a MergeUnion into per-part filters, and lowers
+  /// remotely-evaluable predicates into the SQL a RemoteScan ships. Exact:
+  /// filtering is row-local and order-preserving on both sides.
+  bool predicate_pushdown = true;
+
+  /// Trims Scan/RemoteScan output to the columns the plan references; a
+  /// pruned remote scan only *fetches* those columns. Exact: no expression
+  /// sees a value it would not have seen.
+  bool projection_pruning = true;
+
+  /// Pushes LIMIT below Sort-free 1:1 pipelines into scans (lowered as a SQL
+  /// LIMIT on remote scans). Exact: row order is preserved end to end.
+  bool limit_pushdown = true;
+
+  /// Decomposes Aggregate-over-MergeUnion into per-part partial aggregates
+  /// (shipped as SQL to remote parts) plus a combine stage. This is the one
+  /// rule that reassociates float sums — results match the direct path up to
+  /// rounding, which is why Database exposes it as its own ablation switch
+  /// (set_aggregate_pushdown). COUNT(DISTINCT) does not decompose and
+  /// bypasses the rule.
+  bool merge_aggregate_pushdown = true;
+
+  /// Whether the executor will have a run_sql runner available. Without one
+  /// nothing may be lowered into remote SQL text; remote scans fall back to
+  /// whole-table fetches exactly like the pre-plan-layer interpreter.
+  bool has_remote_query_runner = false;
+};
+
+/// \brief Applies the rule pipeline (merge-aggregate decomposition, then
+/// predicate pushdown, projection pruning, limit pushdown) to `plan`,
+/// mutating/replacing nodes, and returns the optimized root.
+///
+/// Invariant: the optimized plan is byte-identical to the input plan for
+/// every query, except under merge_aggregate_pushdown (float reassociation,
+/// see above).
+Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
+                             const OptimizerOptions& options);
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_OPTIMIZER_H_

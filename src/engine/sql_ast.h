@@ -82,9 +82,16 @@ struct DropTableStmt {
   std::string name;
 };
 
+/// EXPLAIN <select>: returns the optimized logical plan as a text tree (one
+/// row per line) instead of executing the query.
+struct ExplainStmt {
+  SelectStmt select;
+};
+
 using SqlStatement =
     std::variant<SelectStmt, CreateTableStmt, InsertStmt,
-                 CreateRemoteTableStmt, CreateMergeTableStmt, DropTableStmt>;
+                 CreateRemoteTableStmt, CreateMergeTableStmt, DropTableStmt,
+                 ExplainStmt>;
 
 }  // namespace mip::engine
 

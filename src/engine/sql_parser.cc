@@ -19,10 +19,17 @@ class Parser {
       MIP_RETURN_NOT_OK(ExpectEnd());
       return SqlStatement(std::move(s));
     }
+    if (Peek().IsKeyword("explain")) {
+      Next();
+      ExplainStmt explain;
+      MIP_ASSIGN_OR_RETURN(explain.select, ParseSelect());
+      MIP_RETURN_NOT_OK(ExpectEnd());
+      return SqlStatement(std::move(explain));
+    }
     if (Peek().IsKeyword("create")) return ParseCreate();
     if (Peek().IsKeyword("insert")) return ParseInsert();
     if (Peek().IsKeyword("drop")) return ParseDrop();
-    return ErrorHere("expected SELECT, CREATE, INSERT or DROP");
+    return ErrorHere("expected SELECT, EXPLAIN, CREATE, INSERT or DROP");
   }
 
   Result<ExprPtr> ParseStandaloneExpression() {

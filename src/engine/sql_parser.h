@@ -20,6 +20,7 @@ namespace mip::engine {
 ///   CREATE REMOTE TABLE name ON 'location' [AS remote_name]
 ///   CREATE MERGE TABLE name (part[, ...])
 ///   DROP TABLE name
+///   EXPLAIN <select>   -- renders the optimized logical plan as text
 ///
 /// Aggregates: count(*), count, sum, avg, min, max, var_samp/variance,
 /// stddev_samp/stddev. Scalar built-ins per engine/expr.h plus registered

@@ -330,6 +330,25 @@ MasterNode::MasterNode(MasterConfig config)
                                engine::RawTableWireBytes(table), reply.size());
         return table;
       });
+  // ... and learns remote schemas from a zero-row probe so the planner can
+  // prune projections without a full fetch. (Database falls back to a full
+  // fetch if a peer does not answer.)
+  local_db_.SetRemoteSchemaFetcher(
+      [this](const std::string& location,
+             const std::string& remote_name) -> Result<engine::Schema> {
+        BufferWriter writer;
+        writer.WriteString(remote_name);
+        Envelope envelope{"master", location, "get_schema", "",
+                          writer.TakeBytes()};
+        MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                             transport_->Send(std::move(envelope)));
+        BufferReader reader(reply);
+        MIP_ASSIGN_OR_RETURN(engine::Table table,
+                             engine::DeserializeTable(&reader));
+        transport_->MeterCodec(location, "master",
+                               engine::RawTableWireBytes(table), reply.size());
+        return table.schema();
+      });
 }
 
 ThreadPool& MasterNode::pool() {

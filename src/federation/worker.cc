@@ -116,6 +116,16 @@ Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
     engine::SerializeTable(table, &writer, engine::TableWireOptions{codecs});
     return writer.TakeBytes();
   }
+  if (envelope.type == "get_schema") {
+    // Schema-only probe: ships a zero-row table so the Master's planner can
+    // prune remote projections without ever materializing the relation.
+    MIP_ASSIGN_OR_RETURN(std::string table_name, reader.ReadString());
+    MIP_ASSIGN_OR_RETURN(engine::Schema schema, db_.GetSchema(table_name));
+    BufferWriter writer;
+    engine::SerializeTable(engine::Table::Empty(std::move(schema)), &writer,
+                           engine::TableWireOptions{codecs});
+    return writer.TakeBytes();
+  }
   if (envelope.type == "run_sql") {
     // Remote query execution: lets the Master push partial aggregates to
     // the data instead of pulling relations (merge-table pushdown).

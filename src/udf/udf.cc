@@ -37,21 +37,13 @@ void SubstituteScalars(Expr* expr, const std::map<std::string, Value>& scalars) 
   for (auto& a : expr->args) SubstituteScalars(a.get(), scalars);
 }
 
-// Deep-copies an expression tree.
-ExprPtr CloneExpr(const Expr& e) {
-  auto out = std::make_shared<Expr>(e);
-  out->args.clear();
-  for (const auto& a : e.args) out->args.push_back(CloneExpr(*a));
-  return out;
-}
-
 // Inlines previous elementwise step expressions into `expr_text` so a
 // pipeline folds into one SELECT (textual SQL generation).
 Result<std::string> InlineExpr(
     const std::string& expr_text,
     const std::map<std::string, std::string>& definitions) {
   MIP_ASSIGN_OR_RETURN(ExprPtr parsed, engine::ParseExpression(expr_text));
-  ExprPtr copy = CloneExpr(*parsed);
+  ExprPtr copy = engine::CloneExpr(*parsed);
   std::function<void(Expr*)> rewrite = [&](Expr* node) {
     if (node->kind == engine::ExprKind::kColumnRef) {
       auto it = definitions.find(ToLower(node->column_name));
