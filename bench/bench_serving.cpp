@@ -1,0 +1,210 @@
+// Experiment E16 — multi-tenant serving layer: gateway result cache under
+// concurrent load.
+//
+// A 4-hospital federated cohort sits behind a Gateway served over real TCP
+// (the epoll server). The bench measures, with 8 concurrent tenants:
+//   * cold latency — every query planned and executed through the federated
+//     merge view (cache misses);
+//   * cached latency — the same queries answered from the fingerprint-keyed
+//     LRU (hits), which must be byte-identical to the cold replies;
+//   * QPS for the cached phase.
+//
+// Acceptance: cached p50 at least 10x faster than cold p50, and every
+// cached reply byte-identical to its cold counterpart. Results go to
+// BENCH_serving.json for the CI smoke step.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/table.h"
+#include "federation/gateway.h"
+#include "federation/master.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+using mip::BufferWriter;
+using mip::LatencyHistogram;
+using mip::Rng;
+using mip::Stopwatch;
+using mip::engine::DataType;
+using mip::engine::Schema;
+using mip::engine::Table;
+using mip::engine::Value;
+
+constexpr int kWorkers = 4;
+constexpr size_t kRowsPerSite = 60000;
+constexpr int kDistinctQueries = 12;
+constexpr int kThreads = 8;
+constexpr int kCachedRoundsPerThread = 25;
+
+Table MakeCohort(int site) {
+  Schema schema;
+  (void)schema.AddField({"age", DataType::kInt64});
+  (void)schema.AddField({"score", DataType::kFloat64});
+  Rng rng(0xE16 + static_cast<uint64_t>(site));
+  Table t = Table::Empty(schema);
+  for (size_t i = 0; i < kRowsPerSite; ++i) {
+    (void)t.AppendRow(
+        {Value::Int(static_cast<int64_t>(40 + rng.NextBounded(50))),
+         Value::Double(static_cast<double>(rng.NextBounded(1000)) * 0.1)});
+  }
+  return t;
+}
+
+std::string QuerySql(int i) {
+  // Distinct predicates -> distinct plan fingerprints -> distinct cache
+  // entries; identical re-issues hit.
+  return "SELECT count(*) AS n, avg(score) AS m FROM cohort_federated "
+         "WHERE age > " + std::to_string(40 + i);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E16: gateway serving — cold vs cached over TCP ===\n");
+  std::printf("%d sites x %zu rows, %d distinct queries, %d tenants\n\n",
+              kWorkers, kRowsPerSite, kDistinctQueries, kThreads);
+
+  // Federation: in-process workers on the bus; the gateway fronts the
+  // Master's engine and serves tenants over real TCP.
+  mip::federation::MasterNode master;
+  for (int w = 0; w < kWorkers; ++w) {
+    const std::string id = "hospital_" + std::to_string(w);
+    if (!master.AddWorker(id).ok() ||
+        !master.LoadDataset(id, "cohort", MakeCohort(w)).ok()) {
+      std::printf("setup failed\n");
+      return 1;
+    }
+  }
+  auto view = master.CreateFederatedView("cohort");
+  if (!view.ok()) {
+    std::printf("view failed: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+
+  mip::federation::GatewayOptions gw_options;
+  gw_options.max_in_flight = 256;
+  gw_options.per_tenant_in_flight = 64;
+  mip::federation::Gateway gateway(&master.local_db(), gw_options);
+  mip::net::TcpTransport server;
+  if (!server.Listen(0).ok() || !gateway.Attach(&server).ok()) {
+    std::printf("listen failed\n");
+    return 1;
+  }
+
+  mip::net::TcpTransport client;
+  client.AddPeer("gateway", "127.0.0.1", server.port());
+  auto run_query = [&](int i, const std::string& tenant)
+      -> mip::Result<std::vector<uint8_t>> {
+    BufferWriter writer;
+    writer.WriteString(QuerySql(i));
+    return client.Send(mip::net::Envelope{tenant, "gateway", "run_sql", "",
+                                          writer.TakeBytes()});
+  };
+
+  // --- Cold phase: every distinct query once, per-request latency --------
+  LatencyHistogram cold;
+  std::vector<std::vector<uint8_t>> cold_replies(kDistinctQueries);
+  for (int i = 0; i < kDistinctQueries; ++i) {
+    Stopwatch sw;
+    auto reply = run_query(i, "warmup");
+    if (!reply.ok()) {
+      std::printf("cold query failed: %s\n",
+                  reply.status().ToString().c_str());
+      return 1;
+    }
+    cold.Record(sw.ElapsedMillis());
+    cold_replies[i] = reply.ValueOrDie();
+  }
+
+  // --- Cached phase: 8 tenants re-issue the same queries concurrently ----
+  LatencyHistogram cached;
+  std::mutex cached_mu;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  Stopwatch wall;
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < kThreads; ++t) {
+    tenants.emplace_back([&, t] {
+      LatencyHistogram local;
+      for (int round = 0; round < kCachedRoundsPerThread; ++round) {
+        for (int i = 0; i < kDistinctQueries; ++i) {
+          Stopwatch sw;
+          auto reply = run_query(i, "tenant_" + std::to_string(t));
+          if (!reply.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          local.Record(sw.ElapsedMillis());
+          if (reply.ValueOrDie() != cold_replies[i]) mismatches.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(cached_mu);
+      cached.Merge(local);
+    });
+  }
+  for (auto& th : tenants) th.join();
+  const double wall_ms = wall.ElapsedMillis();
+  const double qps = cached.count() > 0 && wall_ms > 0
+                         ? 1000.0 * static_cast<double>(cached.count()) /
+                               wall_ms
+                         : 0.0;
+
+  const auto cache_stats = gateway.cache().stats();
+  std::printf("cold:   %s\n", cold.Summary().c_str());
+  std::printf("cached: %s\n", cached.Summary().c_str());
+  std::printf("cached phase: %llu requests in %.1f ms -> %.0f QPS\n",
+              static_cast<unsigned long long>(cached.count()), wall_ms, qps);
+  std::printf("cache: hits=%llu misses=%llu coalesced=%llu\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              static_cast<unsigned long long>(cache_stats.coalesced));
+
+  const double speedup = cached.Quantile(0.5) > 0.0
+                             ? cold.Quantile(0.5) / cached.Quantile(0.5)
+                             : 0.0;
+  const bool identical = mismatches.load() == 0 && failures.load() == 0;
+  const bool fast_enough = speedup >= 10.0;
+  std::printf("\ncached p50 speedup: %s (need >= 10x, got %.1fx)\n",
+              fast_enough ? "PASS" : "FAIL", speedup);
+  std::printf("byte-identical:     %s (%d mismatches, %d failures)\n",
+              identical ? "PASS" : "FAIL", mismatches.load(),
+              failures.load());
+
+  if (std::FILE* f = std::fopen("BENCH_serving.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"experiment\": \"E16\",\n"
+        "  \"sites\": %d, \"rows_per_site\": %zu, \"tenants\": %d,\n"
+        "  \"cold\": {\"n\": %llu, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"p999_ms\": %.4f},\n"
+        "  \"cached\": {\"n\": %llu, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"p999_ms\": %.4f, \"qps\": %.0f},\n"
+        "  \"speedup_p50\": %.2f,\n"
+        "  \"byte_identical\": %s,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        kWorkers, kRowsPerSite, kThreads,
+        static_cast<unsigned long long>(cold.count()), cold.Quantile(0.5),
+        cold.Quantile(0.99), cold.Quantile(0.999),
+        static_cast<unsigned long long>(cached.count()),
+        cached.Quantile(0.5), cached.Quantile(0.99), cached.Quantile(0.999),
+        qps, speedup, identical ? "true" : "false",
+        identical && fast_enough ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_serving.json\n");
+  }
+
+  client.Shutdown();
+  server.Shutdown();
+  return identical && fast_enough ? 0 : 1;
+}

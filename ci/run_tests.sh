@@ -19,21 +19,22 @@ echo "== TSan: federation concurrency + robustness + net + engine morsels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DMIP_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target federation_concurrency_test robustness_test federation_test \
-           net_transport_test engine_parallel_test encoding_test
+           net_transport_test engine_parallel_test encoding_test \
+           serving_test result_cache_test
 # TSAN_OPTIONS makes any reported race fail the job. Suites are selected by
 # label (= binary name); --no-tests=error guards against a silent no-op.
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-tsan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test|encoding_test)$'
+  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test|encoding_test|serving_test|result_cache_test)$'
 
 echo "== ASan+UBSan: net framing / deserialization / codec hardening =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DMIP_SANITIZE=address
 cmake --build "$ROOT/build-asan" -j "$JOBS" \
   --target net_transport_test net_process_test robustness_test \
-           encoding_test plan_test mip_worker
+           encoding_test plan_test serving_test result_cache_test mip_worker
 ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-asan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test|plan_test)$'
+  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test|plan_test|serving_test|result_cache_test)$'
 
 echo "== determinism: MIP_THREADS=1 vs MIP_THREADS=8 output diff =="
 # Morsel-driven execution must be byte-identical at any thread count (see
@@ -80,6 +81,15 @@ cmake --build "$ROOT/build" -j "$JOBS" --target bench_net
 (cd "$ROOT" && "$ROOT/build/bench/bench_net")
 [[ -s "$ROOT/BENCH_net.json" ]] || { echo "BENCH_net.json missing"; exit 1; }
 
+echo "== smoke: E16 gateway serving benchmark (BENCH_serving.json) =="
+# Acceptance gate: cached p50 >= 10x faster than cold, byte-identical
+# replies, with QPS and p50/p99/p999 recorded for the report.
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_serving
+(cd "$ROOT" && "$ROOT/build/bench/bench_serving")
+[[ -s "$ROOT/BENCH_serving.json" ]] || {
+  echo "BENCH_serving.json missing"; exit 1;
+}
+
 echo "== smoke: mip_worker daemon over localhost =="
 # The daemon must come up, print its READY line with a real port, and exit
 # cleanly when its stdin closes.
@@ -89,5 +99,62 @@ echo "$READY"
 [[ "$READY" == MIP_WORKER\ READY\ id=smoke\ port=* ]] || {
   echo "mip_worker READY line malformed"; exit 1;
 }
+
+echo "== smoke: gateway + 2 workers, 50 concurrent clients vs serial =="
+# The full serving stack as separate OS processes: two mip_worker daemons,
+# one mip_gateway federating them, and a mip_query loadgen. A 50-way
+# concurrent run must produce byte-identical output to a serial run of the
+# same request list (the acceptance criterion for the epoll serving path).
+cmake --build "$ROOT/build" -j "$JOBS" --target mip_worker mip_gateway mip_query
+SMOKE_DIR="$(mktemp -d)"
+# Each daemon's lifetime is owned by its stdin FIFO: the shell holds the
+# write end on an fd and closing it is a clean EOF shutdown (also exercising
+# the EINTR-hardened stdin loop end-to-end).
+cleanup_gateway_smoke() {
+  exec 7>&- 8>&- 9>&- 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup_gateway_smoke EXIT
+mkfifo "$SMOKE_DIR/w0.in" "$SMOKE_DIR/w1.in" "$SMOKE_DIR/gw.in"
+"$ROOT/build/tools/mip_worker" --id=hospital_0 --port=0 --dataset=linreg \
+  --rows=80 --seed=21 < "$SMOKE_DIR/w0.in" > "$SMOKE_DIR/w0.log" &
+exec 7> "$SMOKE_DIR/w0.in"
+"$ROOT/build/tools/mip_worker" --id=hospital_1 --port=0 --dataset=linreg \
+  --rows=80 --seed=22 < "$SMOKE_DIR/w1.in" > "$SMOKE_DIR/w1.log" &
+exec 8> "$SMOKE_DIR/w1.in"
+for log in w0.log w1.log; do
+  for _ in $(seq 100); do
+    grep -q READY "$SMOKE_DIR/$log" 2>/dev/null && break; sleep 0.1;
+  done
+  grep -q READY "$SMOKE_DIR/$log" || { echo "$log: worker not READY"; exit 1; }
+done
+W0_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SMOKE_DIR/w0.log")"
+W1_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SMOKE_DIR/w1.log")"
+"$ROOT/build/tools/mip_gateway" --port=0 --dataset=linreg \
+  --worker="hospital_0:127.0.0.1:$W0_PORT" \
+  --worker="hospital_1:127.0.0.1:$W1_PORT" \
+  < "$SMOKE_DIR/gw.in" > "$SMOKE_DIR/gw.log" &
+exec 9> "$SMOKE_DIR/gw.in"
+for _ in $(seq 100); do
+  grep -q READY "$SMOKE_DIR/gw.log" 2>/dev/null && break; sleep 0.1;
+done
+grep -q READY "$SMOKE_DIR/gw.log" || { echo "gateway not READY"; exit 1; }
+GW_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SMOKE_DIR/gw.log")"
+printf '%s\n' \
+  "SELECT count(*) AS n FROM linreg_federated" \
+  "SELECT avg(y) AS m FROM linreg_federated" \
+  "SELECT min(x0) AS lo, max(x0) AS hi FROM linreg_federated" \
+  > "$SMOKE_DIR/queries.sql"
+"$ROOT/build/tools/mip_query" --port="$GW_PORT" --repeat=20 --concurrency=1 \
+  < "$SMOKE_DIR/queries.sql" > "$SMOKE_DIR/serial.txt"
+"$ROOT/build/tools/mip_query" --port="$GW_PORT" --repeat=20 --concurrency=50 \
+  --tenant=loadgen < "$SMOKE_DIR/queries.sql" > "$SMOKE_DIR/concurrent.txt"
+diff -u "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/concurrent.txt" || {
+  echo "concurrent gateway output differs from serial"; exit 1;
+}
+"$ROOT/build/tools/mip_query" --port="$GW_PORT" --metrics \
+  | grep -q "cache_hits" || { echo "gateway metrics missing"; exit 1; }
+echo "gateway smoke: 50-way concurrent output identical to serial"
 
 echo "== OK =="

@@ -1,0 +1,105 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace mip {
+
+namespace {
+
+constexpr int32_t kZeroBucket = std::numeric_limits<int32_t>::min();
+
+/// Bucket index for a positive value: decade exponent * 90 plus the linear
+/// sub-bucket within the decade (mantissa in [1, 10) -> 90 buckets of 0.1).
+int32_t BucketFor(double v) {
+  if (v < 1e-9) return kZeroBucket;
+  const int32_t exp = static_cast<int32_t>(std::floor(std::log10(v)));
+  double mantissa = v / std::pow(10.0, exp);
+  // Guard the log10/pow seam: mantissa must land in [1, 10).
+  if (mantissa < 1.0) mantissa = 1.0;
+  if (mantissa >= 10.0) mantissa = std::nextafter(10.0, 0.0);
+  const int32_t sub = static_cast<int32_t>((mantissa - 1.0) * 10.0);
+  return exp * 90 + (sub < 89 ? sub : 89);
+}
+
+/// Lower bound of a bucket (inverse of BucketFor).
+double BucketLow(int32_t b) {
+  if (b == kZeroBucket) return 0.0;
+  // Floor-divide toward -inf so negative exponents map back correctly.
+  int32_t exp = b / 90;
+  int32_t sub = b % 90;
+  if (sub < 0) {
+    exp -= 1;
+    sub += 90;
+  }
+  return (1.0 + sub * 0.1) * std::pow(10.0, exp);
+}
+
+double BucketHigh(int32_t b) {
+  if (b == kZeroBucket) return 1e-9;
+  int32_t exp = b / 90;
+  int32_t sub = b % 90;
+  if (sub < 0) {
+    exp -= 1;
+    sub += 90;
+  }
+  return (1.0 + (sub + 1) * 0.1) * std::pow(10.0, exp);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double value) {
+  if (!std::isfinite(value) || value < 0.0) value = 0.0;
+  buckets_[BucketFor(value)] += 1;
+  count_ += 1;
+  sum_ += value;
+  if (value > max_) max_ = value;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (const auto& [bucket, n] : other.buckets_) buckets_[bucket] += n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based), then walk buckets in value order.
+  const double rank = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets_) {
+    if (static_cast<double>(seen + n) >= rank) {
+      const double lo = BucketLow(bucket);
+      const double hi = BucketHigh(bucket);
+      const double into = rank - static_cast<double>(seen);
+      const double frac = n > 0 ? into / static_cast<double>(n) : 0.0;
+      const double v = lo + (hi - lo) * frac;
+      // Never report beyond the true maximum (the top bucket overshoots it).
+      return v < max_ ? v : max_;
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p50=%.3f p99=%.3f p999=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Quantile(0.50), Quantile(0.99), Quantile(0.999), max_);
+  return buf;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace mip

@@ -1,0 +1,56 @@
+#ifndef MIP_COMMON_HISTOGRAM_H_
+#define MIP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mip {
+
+/// \brief Log-linear latency histogram in the circllhist style: each decade
+/// [10^e, 10^(e+1)) is split into 90 linear buckets of width 10^e, so every
+/// recorded value lands in a bucket whose bounds agree with it to two
+/// significant digits. Quantile error is therefore bounded at ~1.1% of the
+/// value regardless of magnitude — microseconds and minutes coexist in one
+/// histogram with no configuration.
+///
+/// This is the observability primitive behind the serving layer's
+/// p50/p99/p999 surfaces (per tenant on the gateway, per link on the
+/// transports). Not internally synchronized: owners record under their own
+/// stats lock, exactly like the NetworkStats counters next to it.
+class LatencyHistogram {
+ public:
+  /// Records one sample (milliseconds by convention, but the scale is
+  /// caller-defined). Non-finite and negative samples are clamped to 0.
+  void Record(double value);
+
+  /// Merges another histogram into this one (per-link -> totals rollup).
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double max_seen() const { return max_; }
+
+  /// Quantile in [0, 1] by linear interpolation inside the target bucket.
+  /// Returns 0 when empty. Quantile(0.5) = p50, Quantile(0.999) = p999.
+  double Quantile(double q) const;
+
+  /// One-line summary: "n=... mean=... p50=... p99=... p999=... max=..."
+  /// (fixed decimals, stable for goldens and /metrics-style text output).
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  /// Key = exponent * 90 + (mantissa bucket 0..89); values < 1e-9 share the
+  /// zero bucket keyed INT32_MIN.
+  std::map<int32_t, uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mip
+
+#endif  // MIP_COMMON_HISTOGRAM_H_

@@ -24,6 +24,11 @@ enum class StatusCode {
   /// session fell below its quorum. Transient by nature: the federation
   /// layer treats this code (and kIOError) as retryable.
   kUnavailable,
+  /// The node is up but refusing work right now: admission control shed the
+  /// request (gateway BUSY) or a quota was exceeded. Retryable after
+  /// client-side backoff, but unlike kUnavailable the federation fan-out
+  /// does NOT auto-retry it — hammering an overloaded node makes it worse.
+  kResourceExhausted,
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -83,6 +88,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -23,6 +23,7 @@ Status Database::CreateTable(const std::string& table_name, Schema schema) {
   e.kind = Entry::Kind::kBase;
   e.table = Table::Empty(std::move(schema));
   tables_.emplace(key, std::move(e));
+  ++catalog_version_;
   return Status::OK();
 }
 
@@ -33,6 +34,7 @@ Status Database::PutTable(const std::string& table_name, Table table) {
   e.table = std::move(table);
   tables_[key] = std::move(e);
   remote_schema_cache_.erase(key);
+  ++catalog_version_;
   return Status::OK();
 }
 
@@ -42,6 +44,7 @@ Status Database::DropTable(const std::string& table_name) {
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
   remote_schema_cache_.erase(key);
+  ++catalog_version_;
   return Status::OK();
 }
 
@@ -164,6 +167,17 @@ Result<PlanPtr> Database::BuildOptimizedPlan(const SelectStmt& stmt) {
 
 Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
   MIP_ASSIGN_OR_RETURN(PlanPtr plan, BuildOptimizedPlan(stmt));
+  return ExecutePlannedSelect(*plan);
+}
+
+Result<PlanPtr> Database::TryPlanSelectSql(const std::string& sql) {
+  MIP_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) return PlanPtr();  // not a SELECT: run via ExecuteSql
+  return BuildOptimizedPlan(*select);
+}
+
+Result<Table> Database::ExecutePlannedSelect(const PlanNode& plan) const {
   PlanExecutorOptions options;
   options.functions = &functions_;
   options.exec = exec_context_;
@@ -173,7 +187,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
   };
   if (fetcher_) options.fetch_remote = fetcher_;
   if (query_runner_) options.run_remote_sql = query_runner_;
-  return ExecutePlan(*plan, options);
+  return ExecutePlan(plan, options);
 }
 
 Result<std::string> Database::ExplainSelect(const SelectStmt& stmt) {
@@ -222,6 +236,7 @@ Result<Table> Database::ExecuteSql(const std::string& sql) {
     for (const auto& row : insert->rows) {
       MIP_RETURN_NOT_OK(it->second.table.AppendRow(row));
     }
+    ++catalog_version_;
     return Table();
   }
   if (auto* remote = std::get_if<CreateRemoteTableStmt>(&stmt)) {
@@ -235,6 +250,7 @@ Result<Table> Database::ExecuteSql(const std::string& sql) {
     e.location = remote->location;
     e.remote_name = remote->remote_name;
     tables_.emplace(key, std::move(e));
+    ++catalog_version_;
     return Table();
   }
   if (auto* merge = std::get_if<CreateMergeTableStmt>(&stmt)) {
@@ -252,6 +268,7 @@ Result<Table> Database::ExecuteSql(const std::string& sql) {
     e.kind = Entry::Kind::kMerge;
     e.parts = merge->parts;
     tables_.emplace(key, std::move(e));
+    ++catalog_version_;
     return Table();
   }
   if (auto* drop = std::get_if<DropTableStmt>(&stmt)) {

@@ -1,6 +1,7 @@
 #ifndef MIP_ENGINE_DATABASE_H_
 #define MIP_ENGINE_DATABASE_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -121,6 +122,28 @@ class Database : public PlanCatalog {
   /// Executes a parsed SELECT through the plan/optimize/execute pipeline.
   Result<Table> ExecuteSelect(const SelectStmt& stmt);
 
+  /// Monotonic counter bumped by every catalog or data mutation (DDL,
+  /// INSERT, PutTable/DropTable). Paired with PlanFingerprint it keys the
+  /// gateway's result cache: any mutation changes the version, so stale
+  /// cached results simply stop matching — no explicit invalidation walk.
+  uint64_t catalog_version() const { return catalog_version_; }
+  /// Out-of-band invalidation hook for data changed behind the catalog's
+  /// back (e.g. a remote worker reloading its dataset).
+  void BumpCatalogVersion() { ++catalog_version_; }
+
+  /// Parses `sql` and, when it is a plain SELECT, returns its optimized
+  /// plan — the gateway's cache key (PlanFingerprint) and execution handle.
+  /// Any other statement kind returns nullptr with OK status (the caller
+  /// routes it through ExecuteSql). Planning may populate the remote schema
+  /// cache: callers coordinating concurrent access need their exclusive
+  /// lock here, while ExecutePlannedSelect only reads.
+  Result<PlanPtr> TryPlanSelectSql(const std::string& sql);
+
+  /// Executes a plan built by TryPlanSelectSql / BuildOptimizedPlan.
+  /// Read-only on the catalog (remote round trips happen through the
+  /// installed fetcher/runner), so concurrent executions may share it.
+  Result<Table> ExecutePlannedSelect(const PlanNode& plan) const;
+
   /// Renders the optimized logical plan for a SELECT as a text tree.
   Result<std::string> ExplainSelect(const SelectStmt& stmt);
 
@@ -157,6 +180,7 @@ class Database : public PlanCatalog {
   RemoteSchemaFetcher schema_fetcher_;
   bool aggregate_pushdown_ = true;
   bool optimizer_enabled_ = true;
+  uint64_t catalog_version_ = 1;
   const ExecContext* exec_context_ = nullptr;
   /// Remote-table schemas learned via the schema fetcher (or a full fetch),
   /// keyed by lower-cased local name. Invalidated on PutTable/DropTable.

@@ -702,6 +702,16 @@ std::string RenderPlan(const PlanNode& root) {
   return out;
 }
 
+uint64_t PlanFingerprint(const PlanNode& root) {
+  const std::string text = RenderPlan(root);
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (const char c : text) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
 // --- Executor --------------------------------------------------------------
 
 namespace {

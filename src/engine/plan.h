@@ -187,6 +187,14 @@ Result<Schema> InferPlanSchema(const PlanNode& node, const PlanCatalog& catalog)
 /// per line, two-space indent per depth. Golden-testable.
 std::string RenderPlan(const PlanNode& root);
 
+/// \brief 64-bit FNV-1a fingerprint of the RenderPlan text — the gateway's
+/// result-cache key. Two statements that optimize to the same plan (modulo
+/// whitespace in the original SQL, aliasing that doesn't survive planning)
+/// share a fingerprint; any semantic difference — predicates, projections,
+/// limits, aggregate specs, sources — renders differently and diverges.
+/// Stable across processes: no pointers, no iteration-order dependence.
+uint64_t PlanFingerprint(const PlanNode& root);
+
 /// \brief Everything the executor needs from its host database.
 struct PlanExecutorOptions {
   const FunctionRegistry* functions = nullptr;

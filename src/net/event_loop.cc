@@ -1,0 +1,141 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace mip::net {
+
+namespace {
+Status Errno(const char* op) {
+  return Status::IOError(std::string(op) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::~EventLoop() {
+  Stop();
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Init() {
+  if (epoll_fd_ >= 0) return Status::AlreadyExists("event loop initialized");
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+  return Add(wake_fd_, EPOLLIN, [this](uint32_t) { DrainWake(); });
+}
+
+Status EventLoop::Add(int fd, uint32_t events, IoCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  callbacks_[fd] = std::make_shared<IoCallback>(std::move(callback));
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  // DEL may fail if the fd was already closed; the callback map is what
+  // actually prevents further dispatch.
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::RunInLoop(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (stopping_.load()) return;  // late completions after Stop: drop
+    pending_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; ignore errors.
+  [[maybe_unused]] ssize_t rc = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainWake() {
+  uint64_t n = 0;
+  while (read(wake_fd_, &n, sizeof(n)) > 0) {
+  }
+}
+
+Status EventLoop::Start(double tick_ms, std::function<void()> on_tick) {
+  if (epoll_fd_ < 0) MIP_RETURN_NOT_OK(Init());
+  if (thread_.joinable()) return Status::AlreadyExists("loop running");
+  tick_ms_ = tick_ms;
+  on_tick_ = std::move(on_tick);
+  thread_ = std::thread([this] { Run(); });
+  loop_thread_id_ = thread_.get_id();
+  return Status::OK();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  // Wake at least every 250 ms so Stop() is observed promptly even with no
+  // traffic and no tick configured.
+  int timeout = 250;
+  if (tick_ms_ > 0.0 && tick_ms_ < timeout) {
+    timeout = tick_ms_ < 1.0 ? 1 : static_cast<int>(tick_ms_);
+  }
+  Stopwatch since_tick;
+  while (!stopping_.load()) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (n < 0 && errno != EINTR) {
+      MIP_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n && !stopping_.load(); ++i) {
+      auto it = callbacks_.find(events[i].data.fd);
+      if (it == callbacks_.end()) continue;  // removed earlier in this batch
+      // Hold a reference: the callback may remove itself mid-dispatch.
+      std::shared_ptr<IoCallback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+    // Queued cross-thread work (handler completions, control ops).
+    std::vector<std::function<void()>> todo;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      todo.swap(pending_);
+    }
+    for (auto& fn : todo) fn();
+    if (on_tick_ && tick_ms_ > 0.0 && since_tick.ElapsedMillis() >= tick_ms_) {
+      since_tick.Reset();
+      on_tick_();
+    }
+  }
+}
+
+void EventLoop::Stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc = write(wake_fd_, &one, sizeof(one));
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace mip::net

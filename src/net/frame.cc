@@ -24,7 +24,8 @@ Status CorruptStream(const std::string& why) {
 }
 
 /// Highest valid StatusCode value on the wire (keep in sync with status.h).
-constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kUnavailable);
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kResourceExhausted);
 
 }  // namespace
 

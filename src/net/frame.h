@@ -41,6 +41,13 @@ inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
 /// fields driving allocations).
 inline constexpr size_t kDefaultMaxFramePayload = 256u << 20;  // 256 MiB
 
+/// Internal handshake message type: a client asks a peer which protocol
+/// version it speaks before first using codecs with it. The round trip is
+/// v1-framed (old servers must parse it), bypasses the FaultHook and is not
+/// metered, so seeded fault sequences and message counts stay identical to
+/// the in-process bus. Servers answer with a single byte: their version.
+inline constexpr char kHelloMsgType[] = "__mip_hello";
+
 /// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF).
 /// Crc32("123456789") == 0xCBF43926.
 uint32_t Crc32(const uint8_t* data, size_t n);

@@ -121,10 +121,24 @@ Result<Socket> Socket::ListenTcp(const std::string& host, int port,
 
 Result<Socket> Socket::Accept(double timeout_ms) {
   MIP_RETURN_NOT_OK(PollFor(fd_, POLLIN, timeout_ms, "accept"));
-  const int conn = accept(fd_, nullptr, nullptr);
+  return TryAccept();
+}
+
+Result<Socket> Socket::TryAccept() {
+  int conn;
+  do {
+    conn = accept(fd_, nullptr, nullptr);
+  } while (conn < 0 && errno == EINTR);
   if (conn < 0) {
+    // EAGAIN: another accepter won the race / queue drained. ECONNABORTED
+    // (and EPROTO on some kernels): the connection died in the backlog.
+    // Both are per-connection events, not listener failures — report them
+    // retryable so accept loops keep serving instead of exiting.
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return Status::Unavailable("accept raced: no pending connection");
+    }
+    if (errno == ECONNABORTED || errno == EPROTO) {
+      return Status::Unavailable("accepted connection aborted in the backlog");
     }
     return Errno("accept");
   }
@@ -133,6 +147,29 @@ Result<Socket> Socket::Accept(double timeout_ms) {
   const int one = 1;
   (void)setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return sock;
+}
+
+Result<size_t> Socket::TryRecv(uint8_t* out, size_t n) {
+  for (;;) {
+    const ssize_t rc = recv(fd_, out, n, 0);
+    if (rc > 0) return static_cast<size_t>(rc);
+    if (rc == 0) return Status::IOError("peer closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("no bytes available");
+    }
+    if (errno != EINTR) return Errno("recv");
+  }
+}
+
+Result<size_t> Socket::TrySend(const uint8_t* data, size_t n) {
+  for (;;) {
+    const ssize_t rc = send(fd_, data, n, MSG_NOSIGNAL);
+    if (rc >= 0) return static_cast<size_t>(rc);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("kernel send buffer full");
+    }
+    if (errno != EINTR) return Errno("send");
+  }
 }
 
 Result<int> Socket::BoundPort() const {

@@ -46,7 +46,15 @@ class Socket {
 
   /// Accepts one connection, waiting at most `timeout_ms`. Unavailable on
   /// timeout (callers poll in a loop so listeners can shut down cleanly).
+  /// Transient per-connection failures (EINTR, a connection aborted while
+  /// queued in the backlog) are also Unavailable — only listener-level
+  /// failures (fd exhaustion and the like) surface as IOError.
   Result<Socket> Accept(double timeout_ms);
+
+  /// Non-blocking accept for event loops: Unavailable when the backlog is
+  /// drained (or a queued connection aborted), IOError on listener-level
+  /// failures. Never waits.
+  Result<Socket> TryAccept();
 
   /// Port this socket is bound to (listener side).
   Result<int> BoundPort() const;
@@ -59,6 +67,14 @@ class Socket {
 
   /// Reads exactly `n` bytes within the deadline.
   Status RecvAll(uint8_t* out, size_t n, double timeout_ms);
+
+  /// Non-blocking read for event loops: 1..n bytes, Unavailable when the
+  /// socket has nothing buffered, IOError("peer closed ...") on EOF.
+  Result<size_t> TryRecv(uint8_t* out, size_t n);
+
+  /// Non-blocking write for event loops: returns bytes written (possibly
+  /// short), Unavailable when the kernel send buffer is full.
+  Result<size_t> TrySend(const uint8_t* data, size_t n);
 
   void Close();
   bool valid() const { return fd_ >= 0; }

@@ -7,22 +7,25 @@
 
 namespace mip::net {
 
+namespace {
+EpollServerOptions ServerOptions(const TcpTransportOptions& options) {
+  EpollServerOptions server;
+  server.bind_host = options.bind_host;
+  server.wire_version = options.wire_version;
+  server.max_frame_payload = options.max_frame_payload;
+  server.serve_threads = options.serve_threads;
+  server.read_deadline_ms = options.read_deadline_ms;
+  server.max_connections = options.max_connections;
+  return server;
+}
+}  // namespace
+
 TcpTransport::TcpTransport(TcpTransportOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), server_(ServerOptions(options_)) {}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
-Status TcpTransport::Listen(int port) {
-  if (listener_.valid()) {
-    return Status::AlreadyExists("transport is already listening on port " +
-                                 std::to_string(port_));
-  }
-  MIP_ASSIGN_OR_RETURN(listener_,
-                       Socket::ListenTcp(options_.bind_host, port));
-  MIP_ASSIGN_OR_RETURN(port_, listener_.BoundPort());
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
-}
+Status TcpTransport::Listen(int port) { return server_.Listen(port); }
 
 void TcpTransport::AddPeer(const std::string& node_id,
                            const std::string& host, int port) {
@@ -40,101 +43,9 @@ bool TcpTransport::HasPeer(const std::string& node_id) const {
 
 Status TcpTransport::RegisterEndpoint(const std::string& node_id,
                                       Handler handler) {
-  std::lock_guard<std::mutex> lock(handlers_mu_);
-  if (handlers_.count(node_id) > 0) {
-    return Status::AlreadyExists("endpoint '" + node_id +
-                                 "' already registered");
-  }
-  handlers_.emplace(node_id, std::move(handler));
-  return Status::OK();
-}
-
-void TcpTransport::AcceptLoop() {
-  while (!stopping_.load()) {
-    // Short accept timeout so shutdown is observed promptly.
-    Result<Socket> conn = listener_.Accept(250.0);
-    if (!conn.ok()) continue;  // poll tick or transient accept error
-    std::lock_guard<std::mutex> lock(serve_mu_);
-    if (stopping_.load()) return;
-    // One thread per connection: the Master holds few connections per
-    // worker (pool-bounded), so the thread count stays small. Threads are
-    // joined in Shutdown().
-    serve_threads_.emplace_back(
-        [this, sock = std::move(conn).MoveValueUnsafe()]() mutable {
-          ServeConnection(std::move(sock));
-        });
-  }
-}
-
-void TcpTransport::ServeConnection(Socket sock) {
-  FrameDecoder decoder(options_.max_frame_payload);
-  uint8_t chunk[16384];
-  while (!stopping_.load()) {
-    Result<size_t> got = sock.RecvSome(chunk, sizeof(chunk), 250.0);
-    if (!got.ok()) {
-      if (got.status().code() == StatusCode::kUnavailable) continue;  // idle
-      return;  // peer went away
-    }
-    decoder.Feed(chunk, got.ValueOrDie());
-    for (;;) {
-      std::vector<uint8_t> payload;
-      Result<bool> next = decoder.Next(&payload);
-      if (!next.ok()) {
-        // Corrupt stream: nothing downstream can be trusted; drop the
-        // connection (the client maps this to a retryable failure).
-        MIP_LOG(Warning) << "dropping connection: "
-                         << next.status().ToString();
-        return;
-      }
-      if (!next.ValueOrDie()) break;
-      const uint8_t request_version = decoder.last_version();
-
-      Status status;
-      std::vector<uint8_t> reply;
-      Result<Envelope> envelope = DecodeEnvelopePayload(payload);
-      if (!envelope.ok()) {
-        status = envelope.status();
-      } else if (envelope.ValueOrDie().type == kHelloMsgType) {
-        // Version handshake: answer with the version this node speaks,
-        // without touching any endpoint handler.
-        reply = {options_.wire_version};
-      } else {
-        Envelope& env = envelope.ValueOrDie();
-        // The handler may compress its reply only when both sides speak a
-        // codec-capable protocol version.
-        env.codec_ok = request_version >= kFrameVersionCodec &&
-                       options_.wire_version >= kFrameVersionCodec;
-        Handler handler;
-        {
-          std::lock_guard<std::mutex> lock(handlers_mu_);
-          auto it = handlers_.find(env.to);
-          if (it != handlers_.end()) handler = it->second;
-        }
-        if (!handler) {
-          status = Status::NotFound("no endpoint '" + env.to +
-                                    "' on this transport");
-        } else {
-          Result<std::vector<uint8_t>> r = handler(env);
-          if (r.ok()) {
-            reply = std::move(r).MoveValueUnsafe();
-          } else {
-            status = r.status();
-          }
-        }
-      }
-
-      BufferWriter w;
-      // Mirror the requester's version so a v1 peer's decoder accepts the
-      // reply stream.
-      EncodeFrame(EncodeReplyPayload(status, reply), &w,
-                  std::min(request_version, options_.wire_version));
-      const std::vector<uint8_t> out = w.TakeBytes();
-      if (!sock.SendAll(out.data(), out.size(), options_.io_timeout_ms)
-               .ok()) {
-        return;
-      }
-    }
-  }
+  // Endpoint serving lives entirely in the epoll server: frame decode, the
+  // hello handshake, codec_ok negotiation, handler dispatch, reply framing.
+  return server_.RegisterEndpoint(node_id, std::move(handler));
 }
 
 Status TcpTransport::RoundTrip(Socket* sock,
@@ -359,6 +270,7 @@ Result<std::vector<uint8_t>> TcpTransport::Send(Envelope envelope) {
     NetworkStats& rev = link_stats_[reverse];
     rev.messages += 1;
     rev.bytes += reply_wire_bytes;
+    link_hist_[link].Record(wall);
   }
 
   {
@@ -384,22 +296,21 @@ std::map<std::string, NetworkStats> TcpTransport::link_stats() const {
   return link_stats_;
 }
 
+std::map<std::string, LatencyHistogram> TcpTransport::link_histograms() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return link_hist_;
+}
+
 void TcpTransport::ResetStats() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_ = NetworkStats();
   link_stats_.clear();
+  link_hist_.clear();
 }
 
 void TcpTransport::Shutdown() {
   if (stopping_.exchange(true)) return;
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(serve_mu_);
-    threads.swap(serve_threads_);
-  }
-  for (std::thread& t : threads) t.join();
-  listener_.Close();
+  server_.Shutdown();
   std::lock_guard<std::mutex> lock(peers_mu_);
   for (auto& [id, peer] : peers_) peer.idle.clear();
 }

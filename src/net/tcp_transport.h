@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "net/frame.h"
+#include "net/server.h"
 #include "net/socket.h"
 #include "net/transport.h"
 
@@ -34,14 +35,15 @@ struct TcpTransportOptions {
   /// framed v1 and replies are never codec-compressed — the interop knob
   /// the mixed old/new negotiation test exercises.
   uint8_t wire_version = kFrameVersion;
+  /// Handler threads of the server side (see EpollServerOptions); requests
+  /// from different connections execute concurrently up to this bound.
+  int serve_threads = 4;
+  /// Server-side eviction budget for connections stuck mid-frame
+  /// (EpollServerOptions::read_deadline_ms); 0 disables.
+  double read_deadline_ms = 0.0;
+  /// Server-side connection ceiling (EpollServerOptions::max_connections).
+  size_t max_connections = 4096;
 };
-
-/// Internal handshake message type: a client asks a peer which protocol
-/// version it speaks before first using codecs with it. The round trip is
-/// v1-framed (old servers must parse it), bypasses the FaultHook and is not
-/// metered, so seeded fault sequences and message counts stay identical to
-/// the in-process bus.
-inline constexpr char kHelloMsgType[] = "__mip_hello";
 
 /// \brief Real socket implementation of Transport: length-prefixed binary
 /// frames (magic + version + CRC32) over TCP, per-peer connection pooling,
@@ -49,9 +51,12 @@ inline constexpr char kHelloMsgType[] = "__mip_hello";
 ///
 /// One TcpTransport can act as client (AddPeer + Send), server (Listen +
 /// RegisterEndpoint) or both — a worker daemon listens for the Master while
-/// the Master only dials. Requests are synchronous: a pooled connection is
-/// checked out for the full round trip, so concurrent Send()s to one peer
-/// use distinct connections (up to pool + dial capacity).
+/// the Master only dials. The server side is an EpollServer: one event-loop
+/// thread multiplexes every connection and a bounded pool runs the handlers,
+/// so connection count no longer dictates thread count. Requests are
+/// synchronous: a pooled connection is checked out for the full round trip,
+/// so concurrent Send()s to one peer use distinct connections (up to pool +
+/// dial capacity).
 ///
 /// Failure mapping mirrors the in-process bus: deadline expiry and refused
 /// connections surface as Unavailable, mid-stream resets as IOError — both
@@ -67,17 +72,20 @@ class TcpTransport : public Transport {
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  /// Starts the server side on `port` (0 picks an ephemeral port) and spawns
-  /// the accept loop. Required only for transports that host endpoints.
+  /// Starts the server side on `port` (0 picks an ephemeral port): the
+  /// epoll loop thread plus the handler pool. Required only for transports
+  /// that host endpoints.
   Status Listen(int port);
   /// Bound port after a successful Listen().
-  int port() const { return port_; }
+  int port() const { return server_.port(); }
+  /// Server-side connection/frame counters (accepted, evicted, ...).
+  EpollServer::Stats server_stats() const { return server_.stats(); }
 
   /// Declares where a remote node lives. Send() routes by Envelope::to.
   void AddPeer(const std::string& node_id, const std::string& host, int port);
   bool HasPeer(const std::string& node_id) const;
 
-  /// Stops the accept loop, joins connection threads, closes every socket.
+  /// Stops the server loop, drains in-flight handlers, closes every socket.
   /// Idempotent; called by the destructor.
   void Shutdown();
 
@@ -87,6 +95,7 @@ class TcpTransport : public Transport {
   Result<std::vector<uint8_t>> Send(Envelope envelope) override;
   NetworkStats stats() const override;
   std::map<std::string, NetworkStats> link_stats() const override;
+  std::map<std::string, LatencyHistogram> link_histograms() const override;
   void ResetStats() override;
   void set_fault_hook(FaultHook* hook) override { hook_ = hook; }
   /// True once the peer has answered the version handshake with a
@@ -105,8 +114,6 @@ class TcpTransport : public Transport {
     uint8_t version = 0;
   };
 
-  void AcceptLoop();
-  void ServeConnection(Socket sock);
   /// One request/reply over one connection. Fills *reply_wire_bytes with
   /// the framed reply size on success.
   Status RoundTrip(Socket* sock, const std::vector<uint8_t>& frame,
@@ -122,21 +129,17 @@ class TcpTransport : public Transport {
   TcpTransportOptions options_;
   std::atomic<bool> stopping_{false};
 
-  Socket listener_;
-  int port_ = 0;
-  std::thread accept_thread_;
-  std::mutex serve_mu_;
-  std::vector<std::thread> serve_threads_;
+  /// The server side: endpoint registration and Listen() delegate here.
+  EpollServer server_;
 
   mutable std::mutex peers_mu_;
   std::map<std::string, Peer> peers_;
 
-  std::mutex handlers_mu_;
-  std::map<std::string, Handler> handlers_;
-
   mutable std::mutex stats_mu_;
   NetworkStats stats_;
   std::map<std::string, NetworkStats> link_stats_;
+  /// Measured round-trip wall time per "from->to" link, milliseconds.
+  std::map<std::string, LatencyHistogram> link_hist_;
 
   std::atomic<FaultHook*> hook_{nullptr};
 };

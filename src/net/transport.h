@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/result.h"
 
 namespace mip::net {
@@ -117,6 +118,13 @@ class Transport {
   /// links equal stats() — the invariant the concurrency tests check.
   virtual std::map<std::string, NetworkStats> link_stats() const = 0;
   virtual void ResetStats() = 0;
+
+  /// Measured round-trip latency distributions per link (milliseconds),
+  /// keyed like link_stats() by the requesting side "from->to". Feeds the
+  /// gateway's /metrics p50/p99/p999 per link. Default: not tracked.
+  virtual std::map<std::string, LatencyHistogram> link_histograms() const {
+    return {};
+  }
 
   /// Optional fault-injection hook consulted before every delivery. Not
   /// owned; pass nullptr to detach. Set while no traffic is in flight.

@@ -8,6 +8,7 @@
 // The daemon binary path is injected at compile time via MIP_WORKER_BIN.
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -19,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bytes.h"
+#include "engine/table.h"
 #include "federation/master.h"
 #include "federation/training.h"
 #include "federation/worker_steps.h"
@@ -360,6 +363,40 @@ TEST_F(NetProcessTest, MixedVersionNegotiationIsByteIdentical) {
 
   old_client.Shutdown();
   new_client.Shutdown();
+}
+
+TEST_F(NetProcessTest, WorkerSurvivesBenignSignalsAndExitsCleanOnEof) {
+  // Regression: a signal interrupting the daemon's blocking stdin read made
+  // fgets return null, which the old loop mistook for EOF — the worker
+  // silently exited mid-session. Poke the daemon repeatedly, prove it still
+  // serves, then prove a real EOF still stops it cleanly.
+  WorkerProcess& w = workers_[0];
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_EQ(kill(w.pid, SIGUSR1), 0);
+    usleep(20 * 1000);  // let the signal land while fgets is blocking
+  }
+
+  net::TcpTransport transport;
+  transport.AddPeer(WorkerId(0), "127.0.0.1", w.port);
+  BufferWriter writer;
+  writer.WriteString("SELECT y FROM linreg LIMIT 5");
+  auto reply = transport.Send(net::Envelope{"master", WorkerId(0), "run_sql",
+                                            "", writer.TakeBytes()});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  BufferReader reader(reply.ValueOrDie());
+  auto table = engine::DeserializeTable(&reader);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.ValueOrDie().num_rows(), 5u);
+  transport.Shutdown();
+
+  // True EOF: the daemon must exit on its own with status 0.
+  close(w.stdin_fd);
+  w.stdin_fd = -1;
+  int status = 0;
+  ASSERT_EQ(waitpid(w.pid, &status, 0), w.pid);
+  w.pid = -1;
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Gateway result cache semantics: hits on semantically identical SQL,
+// misses on different plans, implicit invalidation through the catalog
+// version, LRU eviction order, single-flight computation, and the typed
+// BUSY admission path.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "federation/gateway.h"
+
+namespace mip {
+namespace {
+
+using engine::Database;
+using engine::Table;
+using federation::Gateway;
+using federation::GatewayOptions;
+using federation::ResultCache;
+
+net::Envelope SqlEnvelope(const std::string& sql,
+                          const std::string& tenant = "alice") {
+  BufferWriter writer;
+  writer.WriteString(sql);
+  return net::Envelope{tenant, "gateway", "run_sql", "", writer.TakeBytes()};
+}
+
+Result<Table> DecodeReply(const Result<std::vector<uint8_t>>& reply) {
+  MIP_RETURN_NOT_OK(reply.status());
+  BufferReader reader(reply.ValueOrDie());
+  return engine::DeserializeTable(&reader);
+}
+
+class GatewayCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>("serve");
+    ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE t (x double)").ok());
+    ASSERT_TRUE(
+        db_->ExecuteSql("INSERT INTO t VALUES (1), (2), (3)").ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(GatewayCacheTest, HitOnSemanticallyIdenticalSql) {
+  Gateway gateway(db_.get());
+  // Different spellings, same optimized plan -> one computation, one hit.
+  auto first = DecodeReply(
+      gateway.Handle(SqlEnvelope("SELECT x FROM t WHERE x > 1")));
+  auto second = DecodeReply(
+      gateway.Handle(SqlEnvelope("select   x from t where x > 1")));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first.ValueOrDie().ToString(100),
+            second.ValueOrDie().ToString(100));
+  const ResultCache::Stats stats = gateway.cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(GatewayCacheTest, MissOnSemanticallyDifferentSql) {
+  Gateway gateway(db_.get());
+  ASSERT_TRUE(
+      gateway.Handle(SqlEnvelope("SELECT x FROM t WHERE x > 1")).ok());
+  ASSERT_TRUE(
+      gateway.Handle(SqlEnvelope("SELECT x FROM t WHERE x > 2")).ok());
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope("SELECT x FROM t")).ok());
+  const ResultCache::Stats stats = gateway.cache().stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(GatewayCacheTest, DdlAndDmlInvalidateThroughCatalogVersion) {
+  Gateway gateway(db_.get());
+  const std::string sql = "SELECT count(*) AS n FROM t";
+  auto before = DecodeReply(gateway.Handle(SqlEnvelope(sql)));
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.ValueOrDie().At(0, 0).int_value(), 3);
+
+  // A write through the gateway bumps the catalog version: the cached entry
+  // stops matching (no explicit invalidation anywhere).
+  ASSERT_TRUE(
+      gateway.Handle(SqlEnvelope("INSERT INTO t VALUES (4)")).ok());
+  auto after = DecodeReply(gateway.Handle(SqlEnvelope(sql)));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie().At(0, 0).int_value(), 4);
+
+  const ResultCache::Stats stats = gateway.cache().stats();
+  EXPECT_EQ(stats.misses, 2u);  // recomputed after the write
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(GatewayCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  GatewayOptions options;
+  options.cache_capacity = 2;
+  Gateway gateway(db_.get(), options);
+  const std::string a = "SELECT x FROM t WHERE x > 0";
+  const std::string b = "SELECT x FROM t WHERE x > 1";
+  const std::string c = "SELECT x FROM t WHERE x > 2";
+
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(a)).ok());  // miss, cache {A}
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(b)).ok());  // miss, cache {B,A}
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(a)).ok());  // hit, order {A,B}
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(c)).ok());  // miss, evicts B
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(a)).ok());  // hit: A survived
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(b)).ok());  // miss: B was the victim
+
+  const ResultCache::Stats stats = gateway.cache().stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(gateway.cache().size(), 2u);
+}
+
+TEST_F(GatewayCacheTest, CacheDisabledAlwaysRecomputes) {
+  GatewayOptions options;
+  options.cache_enabled = false;
+  Gateway gateway(db_.get(), options);
+  const std::string sql = "SELECT x FROM t WHERE x > 1";
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(sql)).ok());
+  ASSERT_TRUE(gateway.Handle(SqlEnvelope(sql)).ok());
+  const ResultCache::Stats stats = gateway.cache().stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);  // the cache is never consulted
+}
+
+TEST_F(GatewayCacheTest, ZeroCapacityShedsAdmissionWithTypedBusy) {
+  GatewayOptions options;
+  options.max_in_flight = 0;  // everything sheds: the deterministic BUSY path
+  Gateway gateway(db_.get(), options);
+  auto reply = gateway.Handle(SqlEnvelope("SELECT x FROM t"));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(reply.status().ToString().find("BUSY"), std::string::npos);
+  EXPECT_EQ(gateway.stats().shed_capacity, 1u);
+}
+
+TEST_F(GatewayCacheTest, TenantQuotaShedsIndependently) {
+  GatewayOptions options;
+  options.per_tenant_in_flight = 0;  // every tenant over quota immediately
+  Gateway gateway(db_.get(), options);
+  auto reply = gateway.Handle(SqlEnvelope("SELECT x FROM t", "bob"));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(reply.status().ToString().find("bob"), std::string::npos);
+  EXPECT_EQ(gateway.stats().shed_quota, 1u);
+}
+
+TEST_F(GatewayCacheTest, MetricsTextExposesCountersAndQuantiles) {
+  Gateway gateway(db_.get());
+  ASSERT_TRUE(
+      gateway.Handle(SqlEnvelope("SELECT x FROM t", "alice")).ok());
+  ASSERT_TRUE(
+      gateway.Handle(SqlEnvelope("SELECT x FROM t", "alice")).ok());
+  auto metrics = gateway.Handle(
+      net::Envelope{"alice", "gateway", "metrics", "", {}});
+  ASSERT_TRUE(metrics.ok());
+  const std::string text(metrics.ValueOrDie().begin(),
+                         metrics.ValueOrDie().end());
+  EXPECT_NE(text.find("gateway_admitted 2"), std::string::npos);
+  EXPECT_NE(text.find("cache_hits 1"), std::string::npos);
+  EXPECT_NE(text.find("tenant{id=\"alice\"}"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+// --- ResultCache unit tests: single-flight ---------------------------------
+
+TEST(ResultCacheTest, SingleFlightComputesOnceAcrossConcurrentCallers) {
+  ResultCache cache(8);
+  const ResultCache::Key key{42, 1};
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto result = cache.GetOrCompute(key, [&]() -> Result<Table> {
+        computes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return Table();
+      });
+      if (!result.ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(computes.load(), 1);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.coalesced + stats.hits,
+            static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(ResultCacheTest, FailedLeaderDoesNotPoisonTheKey) {
+  ResultCache cache(8);
+  const ResultCache::Key key{7, 1};
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0}, error_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto result = cache.GetOrCompute(key, [&]() -> Result<Table> {
+        const int n = computes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (n == 0) return Status::Unavailable("first leader dies");
+        return Table();
+      });
+      (result.ok() ? ok_count : error_count).fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly the failing leader observes the failure; every waiter retries
+  // into a successful leader (or a cached entry).
+  EXPECT_EQ(error_count.load(), 1);
+  EXPECT_EQ(ok_count.load(), kThreads - 1);
+  // The key works afterwards — no poisoning.
+  auto again = cache.GetOrCompute(
+      key, [&]() -> Result<Table> { return Table(); });
+  EXPECT_TRUE(again.ok());
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace mip

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "algorithms/linear_regression.h"
 #include "common/rng.h"
@@ -13,6 +15,9 @@
 #include "engine/sql_parser.h"
 #include "federation/fault.h"
 #include "federation/master.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/tcp_transport.h"
 #include "smpc/cluster.h"
 
 namespace mip {
@@ -338,6 +343,71 @@ TEST(FaultInjectionTest, SlowWorkerTimesOutAndIsExcludedUnderQuorum) {
   ASSERT_EQ(session.excluded_workers().size(), 1u);
   EXPECT_EQ(session.excluded_workers()[0], "w0");
   master.bus().set_fault_injector(nullptr);
+}
+
+// --- Serving layer: slow-loris defense -------------------------------------
+
+TEST(ServingRobustnessTest, SlowLorisClientEvictedWithoutCollateral) {
+  net::TcpTransportOptions options;
+  options.read_deadline_ms = 80.0;  // stall budget for a started frame
+  net::TcpTransport server(options);
+  ASSERT_TRUE(server
+                  .RegisterEndpoint(
+                      "svc",
+                      [](const net::Envelope& e)
+                          -> Result<std::vector<uint8_t>> {
+                        return e.payload;
+                      })
+                  .ok());
+  ASSERT_TRUE(server.Listen(0).ok());
+
+  // The attacker: a seeded trickle feeding one byte of a valid frame at a
+  // time, never completing it — the classic slow-loris hold.
+  auto loris = net::Socket::ConnectTcp("127.0.0.1", server.port(), 2000.0);
+  ASSERT_TRUE(loris.ok());
+  net::Socket attacker = loris.MoveValueUnsafe();
+  net::Envelope request{"loris", "svc", "echo", "",
+                        std::vector<uint8_t>(128, 0xAB)};
+  BufferWriter writer;
+  net::EncodeFrame(net::EncodeEnvelopePayload(request), &writer);
+  const std::vector<uint8_t> frame = writer.TakeBytes();
+
+  Rng rng(20260809);
+  bool evicted = false;
+  size_t sent = 0;
+  // Trickle for up to ~2s; the server must cut us off near the 80ms budget
+  // (detected as a send failing or the read side reporting EOF).
+  for (int step = 0; step < 200 && !evicted; ++step) {
+    const size_t chunk = 1 + rng.NextBounded(2);  // 1-2 byte trickle
+    if (sent + chunk < frame.size()) {  // never finish the frame
+      if (!attacker.SendAll(frame.data() + sent, chunk, 100.0).ok()) {
+        evicted = true;
+        break;
+      }
+      sent += chunk;
+    }
+    uint8_t byte = 0;
+    auto r = attacker.TryRecv(&byte, 1);
+    if (!r.ok() && r.status().code() == StatusCode::kIOError) {
+      evicted = true;  // server closed the connection
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Healthy clients during and after the attack are untouched.
+  net::TcpTransport client;
+  client.AddPeer("svc", "127.0.0.1", server.port());
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client.Send(net::Envelope{
+        "good", "svc", "echo", "", std::vector<uint8_t>{1, 2, 3}});
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply.ValueOrDie(), (std::vector<uint8_t>{1, 2, 3}));
+  }
+
+  EXPECT_TRUE(evicted) << "slow-loris connection was never cut off";
+  EXPECT_GE(server.server_stats().evicted_deadline, 1u);
+  client.Shutdown();
+  server.Shutdown();
 }
 
 // --- SMPC robustness -------------------------------------------------------

@@ -26,6 +26,7 @@
 #include "federation/worker.h"
 #include "federation/worker_steps.h"
 #include "net/tcp_transport.h"
+#include "serve_until_eof.h"
 
 namespace {
 
@@ -44,6 +45,8 @@ struct WorkerFlags {
   /// pre-codec build: replies stay fixed-width even to codec-capable
   /// Masters — the knob for mixed-cohort interop testing.
   int wire_version = mip::net::kFrameVersion;
+  /// Evict connections stuck mid-frame after this budget (0 = never).
+  double read_deadline_ms = 0.0;
 };
 
 std::vector<double> ParseDoubleList(const std::string& csv) {
@@ -87,6 +90,8 @@ Status ParseFlags(int argc, char** argv, WorkerFlags* flags) {
       flags->noise = std::atof(v.c_str());
     } else if (ParseFlag(arg, "wire-version", &v)) {
       flags->wire_version = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "read-deadline-ms", &v)) {
+      flags->read_deadline_ms = std::atof(v.c_str());
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -117,6 +122,7 @@ Status Run(const WorkerFlags& flags) {
   mip::net::TcpTransportOptions options;
   options.bind_host = flags.host;
   options.wire_version = static_cast<uint8_t>(flags.wire_version);
+  options.read_deadline_ms = flags.read_deadline_ms;
   mip::net::TcpTransport transport(options);
   MIP_RETURN_NOT_OK(transport.Listen(flags.port));
   MIP_RETURN_NOT_OK(worker.AttachToBus(&transport));
@@ -125,11 +131,10 @@ Status Run(const WorkerFlags& flags) {
               transport.port());
   std::fflush(stdout);
 
-  // Serve until the parent closes our stdin (or sends "quit").
-  char buf[256];
-  while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
-    if (std::strncmp(buf, "quit", 4) == 0) break;
-  }
+  // Serve until the parent closes our stdin (or sends "quit"); transient
+  // signals must not take the daemon down (see serve_until_eof.h).
+  mip::tools::InstallBenignSignalHandler();
+  mip::tools::ServeUntilStdinEof();
   transport.Shutdown();
   return Status::OK();
 }

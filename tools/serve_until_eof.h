@@ -1,0 +1,49 @@
+#ifndef MIP_TOOLS_SERVE_UNTIL_EOF_H_
+#define MIP_TOOLS_SERVE_UNTIL_EOF_H_
+
+// Shared daemon lifetime control for mip_worker / mip_gateway: block until
+// the parent closes our stdin (or writes a "quit" line), then return so the
+// caller can shut its transport down cleanly.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+namespace mip::tools {
+
+// Installs a no-op SIGUSR1 handler WITHOUT SA_RESTART. Supervisors poke
+// long-running services with signals (health probes, log rotation); the
+// default disposition would kill the daemon, and SA_RESTART would hide the
+// EINTR path from ServeUntilStdinEof's retry logic.
+inline void InstallBenignSignalHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately not SA_RESTART
+  sigaction(SIGUSR1, &sa, nullptr);
+}
+
+// Blocks until stdin reaches true EOF or a line starting with "quit"
+// arrives. A signal interrupting the blocking read makes fgets return null
+// with EINTR and *without* EOF; retrying there (instead of treating it as
+// EOF) is what keeps a stray signal from silently stopping the daemon.
+inline void ServeUntilStdinEof() {
+  char buf[256];
+  for (;;) {
+    errno = 0;
+    if (std::fgets(buf, sizeof(buf), stdin) == nullptr) {
+      if (std::ferror(stdin) && errno == EINTR) {
+        std::clearerr(stdin);
+        continue;
+      }
+      return;  // true EOF (or unrecoverable error): the parent is gone
+    }
+    if (std::strncmp(buf, "quit", 4) == 0) return;
+  }
+}
+
+}  // namespace mip::tools
+
+#endif  // MIP_TOOLS_SERVE_UNTIL_EOF_H_
