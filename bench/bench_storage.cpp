@@ -1,0 +1,220 @@
+// Experiment E17 — disk-backed segment store: LSM ingest throughput and
+// zone-map pruning on selective scans.
+//
+// A 2M-row table is ingested through the WAL'd append path (memtable budget
+// far below the dataset, so everything lands in ~32 immutable segments on
+// disk — the scan works a dataset well beyond its in-memory buffer). The
+// bench then measures:
+//   * ingest throughput (rows/s through WAL + memtable + flush);
+//   * full-scan latency (every segment read and decoded);
+//   * selective scans over one id-range, pruned (optimizer pushes the
+//     predicate into the scan, zone maps skip non-overlapping segments)
+//     vs unpruned (optimizer off: every segment read, filter on top).
+//
+// Acceptance: pruned and unpruned results identical, pruning skips >= 75%
+// of segments, and pruned p50 is at least 2x faster. Results go to
+// BENCH_storage.json for the CI smoke step.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/database.h"
+#include "engine/expr.h"
+#include "engine/table.h"
+#include "storage/io.h"
+#include "storage/store.h"
+
+namespace {
+
+using mip::LatencyHistogram;
+using mip::Rng;
+using mip::Stopwatch;
+using mip::engine::Column;
+using mip::engine::DataType;
+using mip::engine::Database;
+using mip::engine::Schema;
+using mip::engine::Table;
+
+constexpr int64_t kRows = 2'000'000;
+constexpr int64_t kBatchRows = 100'000;
+constexpr uint64_t kSegmentRows = 64 * 1024;
+constexpr int kSelectiveReps = 15;
+
+Table MakeBatch(int64_t start, int64_t count) {
+  std::vector<int64_t> ids;
+  std::vector<double> vals;
+  std::vector<std::string> sites;
+  ids.reserve(count);
+  vals.reserve(count);
+  sites.reserve(count);
+  Rng rng(0xE17 + static_cast<uint64_t>(start));
+  for (int64_t i = start; i < start + count; ++i) {
+    ids.push_back(i);
+    vals.push_back(static_cast<double>(rng.NextBounded(100000)) * 0.01);
+    sites.push_back("site_" + std::to_string(i % 7));
+  }
+  Schema schema({{"id", DataType::kInt64},
+                 {"val", DataType::kFloat64},
+                 {"site", DataType::kString}});
+  return Table::Make(schema, {Column::FromInts(std::move(ids)),
+                              Column::FromDoubles(std::move(vals)),
+                              Column::FromStrings(std::move(sites))})
+      .ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E17: disk segment store — LSM ingest + zone-map scans ===\n");
+  std::printf("%lld rows, %llu-row segments, memtable budget 4 MiB\n\n",
+              static_cast<long long>(kRows),
+              static_cast<unsigned long long>(kSegmentRows));
+
+  const std::string dir = "bench_storage_data";
+  if (mip::storage::FileExists(dir)) {
+    if (auto names = mip::storage::ListDir(dir); names.ok()) {
+      for (const std::string& f : names.ValueOrDie()) {
+        (void)mip::storage::RemoveFile(dir + "/" + f);
+      }
+    }
+  }
+
+  mip::storage::StorageOptions options;
+  options.target_segment_rows = kSegmentRows;
+  auto opened = mip::storage::StorageEngine::Open(dir, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<mip::storage::StorageEngine> store =
+      std::move(opened.ValueOrDie());
+
+  // --- Ingest: WAL-first appends, auto-flushing past the memtable budget.
+  Stopwatch ingest_sw;
+  for (int64_t start = 0; start < kRows; start += kBatchRows) {
+    auto st = store->AppendRows("events", MakeBatch(start, kBatchRows));
+    if (!st.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto st = store->Flush(); !st.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double ingest_ms = ingest_sw.ElapsedMillis();
+  const double ingest_rows_per_s = 1000.0 * kRows / ingest_ms;
+  const uint64_t segments = store->SegmentCount("events").ValueOrDie();
+  std::printf("ingest: %lld rows in %.0f ms -> %.0f rows/s, %llu segments\n",
+              static_cast<long long>(kRows), ingest_ms, ingest_rows_per_s,
+              static_cast<unsigned long long>(segments));
+
+  Database db("benchstore");
+  if (auto st = db.AttachStorage(store.get()); !st.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // --- Full scan: every segment decoded (the beyond-buffer baseline).
+  Stopwatch full_sw;
+  auto full = db.ExecuteSql("SELECT count(*) AS n, sum(val) AS s FROM events");
+  const double full_ms = full_sw.ElapsedMillis();
+  if (!full.ok()) {
+    std::fprintf(stderr, "full scan failed: %s\n",
+                 full.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("full scan: %.1f ms (%lld rows)\n", full_ms,
+              static_cast<long long>(full.ValueOrDie().At(0, 0).int_value()));
+
+  // --- Selective scan: one ~64K-id slice out of 2M. Zone maps should skip
+  // every segment whose id range misses the slice.
+  const int64_t lo = kRows / 2;
+  const int64_t hi = lo + static_cast<int64_t>(kSegmentRows);
+  const std::string selective_sql =
+      "SELECT count(*) AS n, sum(val) AS s FROM events WHERE id >= " +
+      std::to_string(lo) + " AND id < " + std::to_string(hi);
+
+  // Prune accounting for the exact pushed-down predicate.
+  using mip::engine::Binary;
+  using mip::engine::BinaryOp;
+  using mip::engine::Col;
+  using mip::engine::LitInt;
+  auto prune_expr = mip::engine::And(
+      Binary(BinaryOp::kGe, Col("id"), LitInt(lo)),
+      Binary(BinaryOp::kLt, Col("id"), LitInt(hi)));
+  const auto preview = store->PrunePreview("events", prune_expr.get());
+  const int64_t pruned_segments = preview.ok() ? preview.ValueOrDie().pruned : 0;
+  const int64_t total_segments = preview.ok() ? preview.ValueOrDie().total : 0;
+
+  LatencyHistogram pruned_lat, unpruned_lat;
+  std::string pruned_rows, unpruned_rows;
+  for (int rep = 0; rep < kSelectiveReps; ++rep) {
+    db.set_optimizer_enabled(true);
+    Stopwatch sw1;
+    auto r1 = db.ExecuteSql(selective_sql);
+    pruned_lat.Record(sw1.ElapsedMillis());
+    db.set_optimizer_enabled(false);  // no pushdown -> no prune hint
+    Stopwatch sw2;
+    auto r2 = db.ExecuteSql(selective_sql);
+    unpruned_lat.Record(sw2.ElapsedMillis());
+    if (!r1.ok() || !r2.ok()) {
+      std::fprintf(stderr, "selective scan failed\n");
+      return 1;
+    }
+    pruned_rows = r1.ValueOrDie().ToString(10);
+    unpruned_rows = r2.ValueOrDie().ToString(10);
+    if (pruned_rows != unpruned_rows) break;
+  }
+
+  const double p50_pruned = pruned_lat.Quantile(0.5);
+  const double p50_unpruned = unpruned_lat.Quantile(0.5);
+  const double speedup = p50_pruned > 0.0 ? p50_unpruned / p50_pruned : 0.0;
+  const bool identical = pruned_rows == unpruned_rows;
+  const bool pruned_enough =
+      total_segments > 0 && pruned_segments * 4 >= total_segments * 3;
+  const bool fast_enough = speedup >= 2.0;
+
+  std::printf("selective (pruned):   %s\n", pruned_lat.Summary().c_str());
+  std::printf("selective (unpruned): %s\n", unpruned_lat.Summary().c_str());
+  std::printf("segments: pruned %lld / %lld\n",
+              static_cast<long long>(pruned_segments),
+              static_cast<long long>(total_segments));
+  std::printf("\nresults identical:  %s\n", identical ? "PASS" : "FAIL");
+  std::printf("pruning >= 75%%:     %s\n", pruned_enough ? "PASS" : "FAIL");
+  std::printf("p50 speedup >= 2x:  %s (got %.1fx)\n",
+              fast_enough ? "PASS" : "FAIL", speedup);
+
+  const bool pass = identical && pruned_enough && fast_enough;
+  if (std::FILE* f = std::fopen("BENCH_storage.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"experiment\": \"E17\",\n"
+        "  \"rows\": %lld, \"segments\": %llu,\n"
+        "  \"ingest_rows_per_s\": %.0f,\n"
+        "  \"full_scan_ms\": %.2f,\n"
+        "  \"selective_pruned_p50_ms\": %.3f,\n"
+        "  \"selective_unpruned_p50_ms\": %.3f,\n"
+        "  \"speedup_p50\": %.2f,\n"
+        "  \"segments_pruned\": %lld, \"segments_total\": %lld,\n"
+        "  \"results_identical\": %s,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        static_cast<long long>(kRows),
+        static_cast<unsigned long long>(segments), ingest_rows_per_s, full_ms,
+        p50_pruned, p50_unpruned, speedup,
+        static_cast<long long>(pruned_segments),
+        static_cast<long long>(total_segments), identical ? "true" : "false",
+        pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_storage.json\n");
+  }
+  return pass ? 0 : 1;
+}

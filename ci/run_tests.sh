@@ -20,21 +20,22 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" -DMIP_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target federation_concurrency_test robustness_test federation_test \
            net_transport_test engine_parallel_test encoding_test \
-           serving_test result_cache_test
+           serving_test result_cache_test storage_test
 # TSAN_OPTIONS makes any reported race fail the job. Suites are selected by
 # label (= binary name); --no-tests=error guards against a silent no-op.
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-tsan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test|encoding_test|serving_test|result_cache_test)$'
+  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test|encoding_test|serving_test|result_cache_test|storage_test)$'
 
 echo "== ASan+UBSan: net framing / deserialization / codec hardening =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DMIP_SANITIZE=address
 cmake --build "$ROOT/build-asan" -j "$JOBS" \
   --target net_transport_test net_process_test robustness_test \
-           encoding_test plan_test serving_test result_cache_test mip_worker
+           encoding_test plan_test serving_test result_cache_test \
+           storage_test mip_worker
 ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-asan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test|plan_test|serving_test|result_cache_test)$'
+  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test|plan_test|serving_test|result_cache_test|storage_test)$'
 
 echo "== determinism: MIP_THREADS=1 vs MIP_THREADS=8 output diff =="
 # Morsel-driven execution must be byte-identical at any thread count (see
@@ -90,6 +91,15 @@ cmake --build "$ROOT/build" -j "$JOBS" --target bench_serving
   echo "BENCH_serving.json missing"; exit 1;
 }
 
+echo "== smoke: E17 disk segment store benchmark (BENCH_storage.json) =="
+# Acceptance gate: zone-map pruning skips >= 75% of segments on a selective
+# scan, >= 2x faster at p50, with results identical to the unpruned scan.
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_storage
+(cd "$ROOT" && "$ROOT/build/bench/bench_storage")
+[[ -s "$ROOT/BENCH_storage.json" ]] || {
+  echo "BENCH_storage.json missing"; exit 1;
+}
+
 echo "== smoke: mip_worker daemon over localhost =="
 # The daemon must come up, print its READY line with a real port, and exit
 # cleanly when its stdin closes.
@@ -111,7 +121,7 @@ SMOKE_DIR="$(mktemp -d)"
 # write end on an fd and closing it is a clean EOF shutdown (also exercising
 # the EINTR-hardened stdin loop end-to-end).
 cleanup_gateway_smoke() {
-  exec 7>&- 8>&- 9>&- 2>/dev/null || true
+  exec 5>&- 6>&- 7>&- 8>&- 9>&- 2>/dev/null || true
   wait 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
@@ -156,5 +166,71 @@ diff -u "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/concurrent.txt" || {
 "$ROOT/build/tools/mip_query" --port="$GW_PORT" --metrics \
   | grep -q "cache_hits" || { echo "gateway metrics missing"; exit 1; }
 echo "gateway smoke: 50-way concurrent output identical to serial"
+
+echo "== smoke: persistence — ingest via --data-dir, restart, byte-diff =="
+# First boot of a --data-dir worker ingests the synthetic dataset through the
+# WAL'd storage engine and flushes it to disk segments. The restart uses a
+# DIFFERENT --seed and --rows: if the answers still match byte-for-byte, the
+# daemon is serving the persisted segments, not regenerating data.
+mkfifo "$SMOKE_DIR/pw_a.in" "$SMOKE_DIR/pg_a.in" \
+       "$SMOKE_DIR/pw_b.in" "$SMOKE_DIR/pg_b.in"
+"$ROOT/build/tools/mip_worker" --id=persist --port=0 --dataset=linreg \
+  --rows=64 --seed=21 --data-dir="$SMOKE_DIR/datadir" \
+  < "$SMOKE_DIR/pw_a.in" > "$SMOKE_DIR/pw_a.log" &
+PW_PID=$!
+exec 5> "$SMOKE_DIR/pw_a.in"
+for _ in $(seq 100); do
+  grep -q READY "$SMOKE_DIR/pw_a.log" 2>/dev/null && break; sleep 0.1;
+done
+grep -q READY "$SMOKE_DIR/pw_a.log" || { echo "persist worker not READY"; exit 1; }
+PW_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SMOKE_DIR/pw_a.log")"
+"$ROOT/build/tools/mip_gateway" --port=0 --dataset=linreg \
+  --worker="persist:127.0.0.1:$PW_PORT" \
+  < "$SMOKE_DIR/pg_a.in" > "$SMOKE_DIR/pg_a.log" &
+PG_PID=$!
+exec 6> "$SMOKE_DIR/pg_a.in"
+for _ in $(seq 100); do
+  grep -q READY "$SMOKE_DIR/pg_a.log" 2>/dev/null && break; sleep 0.1;
+done
+grep -q READY "$SMOKE_DIR/pg_a.log" || { echo "persist gateway not READY"; exit 1; }
+PG_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SMOKE_DIR/pg_a.log")"
+printf '%s\n' \
+  "SELECT count(*) AS n FROM linreg_federated" \
+  "SELECT avg(y) AS m, sum(x0) AS s FROM linreg_federated" \
+  "SELECT min(x1) AS lo, max(x1) AS hi FROM linreg_federated" \
+  > "$SMOKE_DIR/persist_queries.sql"
+"$ROOT/build/tools/mip_query" --port="$PG_PORT" --repeat=3 --concurrency=1 \
+  < "$SMOKE_DIR/persist_queries.sql" > "$SMOKE_DIR/persist_before.txt"
+# Clean shutdown (stdin EOF), then restart against the same data directory.
+exec 5>&- 6>&-
+wait "$PW_PID" "$PG_PID" 2>/dev/null || true
+"$ROOT/build/tools/mip_worker" --id=persist --port=0 --dataset=linreg \
+  --rows=999 --seed=99 --data-dir="$SMOKE_DIR/datadir" \
+  < "$SMOKE_DIR/pw_b.in" > "$SMOKE_DIR/pw_b.log" &
+PW_PID=$!
+exec 5> "$SMOKE_DIR/pw_b.in"
+for _ in $(seq 100); do
+  grep -q READY "$SMOKE_DIR/pw_b.log" 2>/dev/null && break; sleep 0.1;
+done
+grep -q READY "$SMOKE_DIR/pw_b.log" || { echo "restarted worker not READY"; exit 1; }
+PW_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SMOKE_DIR/pw_b.log")"
+"$ROOT/build/tools/mip_gateway" --port=0 --dataset=linreg \
+  --worker="persist:127.0.0.1:$PW_PORT" \
+  < "$SMOKE_DIR/pg_b.in" > "$SMOKE_DIR/pg_b.log" &
+PG_PID=$!
+exec 6> "$SMOKE_DIR/pg_b.in"
+for _ in $(seq 100); do
+  grep -q READY "$SMOKE_DIR/pg_b.log" 2>/dev/null && break; sleep 0.1;
+done
+grep -q READY "$SMOKE_DIR/pg_b.log" || { echo "restarted gateway not READY"; exit 1; }
+PG_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SMOKE_DIR/pg_b.log")"
+"$ROOT/build/tools/mip_query" --port="$PG_PORT" --repeat=3 --concurrency=1 \
+  < "$SMOKE_DIR/persist_queries.sql" > "$SMOKE_DIR/persist_after.txt"
+diff -u "$SMOKE_DIR/persist_before.txt" "$SMOKE_DIR/persist_after.txt" || {
+  echo "restarted --data-dir worker output differs (data regenerated?)"; exit 1;
+}
+exec 5>&- 6>&-
+wait "$PW_PID" "$PG_PID" 2>/dev/null || true
+echo "persistence smoke: restart with different seed served identical bytes"
 
 echo "== OK =="

@@ -1,0 +1,21 @@
+#ifndef MIP_COMMON_CRC32_H_
+#define MIP_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mip {
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) — the integrity
+/// check shared by the network frame layer and the on-disk storage formats
+/// (segments, WAL records, manifest). Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace mip
+
+#endif  // MIP_COMMON_CRC32_H_

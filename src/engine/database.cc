@@ -14,6 +14,52 @@ Database::Database(std::string name) : name_(std::move(name)) {
   if (env != nullptr && std::string(env) == "0") optimizer_enabled_ = false;
 }
 
+Status Database::AttachStorage(TableStorage* storage) {
+  if (storage == nullptr) {
+    return Status::InvalidArgument("AttachStorage: null storage");
+  }
+  if (storage_ != nullptr) {
+    return Status::InvalidArgument("database " + name_ +
+                                   " already has storage attached");
+  }
+  for (const std::string& name : storage->StorageTableNames()) {
+    if (tables_.count(ToLower(name)) > 0) {
+      return Status::AlreadyExists(
+          "disk table '" + name +
+          "' collides with an existing catalog entry in " + name_);
+    }
+  }
+  storage_ = storage;
+  for (const std::string& name : storage->StorageTableNames()) {
+    Entry e;
+    e.kind = Entry::Kind::kDisk;
+    tables_.emplace(ToLower(name), std::move(e));
+  }
+  ++catalog_version_;
+  return Status::OK();
+}
+
+Status Database::IngestDisk(const std::string& table_name, const Table& rows) {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("database " + name_ +
+                                   " has no storage attached");
+  }
+  const std::string key = ToLower(table_name);
+  auto it = tables_.find(key);
+  if (it != tables_.end() && it->second.kind != Entry::Kind::kDisk) {
+    return Status::AlreadyExists("table '" + table_name +
+                                 "' exists and is not disk-resident");
+  }
+  MIP_RETURN_NOT_OK(storage_->AppendRows(table_name, rows));
+  if (it == tables_.end()) {
+    Entry e;
+    e.kind = Entry::Kind::kDisk;
+    tables_.emplace(key, std::move(e));
+  }
+  ++catalog_version_;
+  return Status::OK();
+}
+
 Status Database::CreateTable(const std::string& table_name, Schema schema) {
   const std::string key = ToLower(table_name);
   if (tables_.count(key) > 0) {
@@ -40,9 +86,17 @@ Status Database::PutTable(const std::string& table_name, Table table) {
 
 Status Database::DropTable(const std::string& table_name) {
   const std::string key = ToLower(table_name);
-  if (tables_.erase(key) == 0) {
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
+  if (it->second.kind == Entry::Kind::kDisk) {
+    // Catalog drops must not silently orphan durable data; disk tables are
+    // managed through the storage layer.
+    return Status::InvalidArgument("cannot DROP disk-resident table '" +
+                                   table_name + "'");
+  }
+  tables_.erase(it);
   remote_schema_cache_.erase(key);
   ++catalog_version_;
   return Status::OK();
@@ -84,6 +138,13 @@ Result<Table> Database::GetTable(const std::string& table_name) const {
       }
       return Table::Concat(parts);
     }
+    case Entry::Kind::kDisk:
+      if (storage_ == nullptr) {
+        return Status::ExecutionError("disk table '" + table_name +
+                                      "' has no storage attached on " +
+                                      name_);
+      }
+      return storage_->ScanTable(table_name, nullptr, nullptr);
   }
   return Status::Internal("bad table entry kind");
 }
@@ -95,6 +156,13 @@ Result<Schema> Database::GetSchema(const std::string& table_name) const {
   }
   const Entry& e = it->second;
   if (e.kind == Entry::Kind::kBase) return e.table.schema();
+  if (e.kind == Entry::Kind::kDisk) {
+    if (storage_ == nullptr) {
+      return Status::ExecutionError("disk table '" + table_name +
+                                    "' has no storage attached");
+    }
+    return storage_->StorageTableSchema(table_name);
+  }
   if (e.kind == Entry::Kind::kMerge && !e.parts.empty()) {
     return GetSchema(e.parts[0]);
   }
@@ -141,8 +209,20 @@ Result<PlanCatalog::TableInfo> Database::Describe(
       info.kind = TableKind::kMerge;
       info.parts = e.parts;
       break;
+    case Entry::Kind::kDisk:
+      info.kind = TableKind::kDisk;
+      break;
   }
   return info;
+}
+
+Result<ScanStats> Database::DiskPrunePreview(const std::string& table_name,
+                                             const Expr* prune_filter) const {
+  if (storage_ == nullptr) {
+    return Status::NotImplemented("database " + name_ +
+                                  " has no storage attached");
+  }
+  return storage_->PrunePreview(table_name, prune_filter);
 }
 
 Result<Table> Database::RunTableFunction(
@@ -187,6 +267,12 @@ Result<Table> Database::ExecutePlannedSelect(const PlanNode& plan) const {
   };
   if (fetcher_) options.fetch_remote = fetcher_;
   if (query_runner_) options.run_remote_sql = query_runner_;
+  if (storage_ != nullptr) {
+    options.scan_disk = [this](const std::string& name,
+                               const Expr* prune_filter) {
+      return storage_->ScanTable(name, prune_filter, nullptr);
+    };
+  }
   return ExecutePlan(plan, options);
 }
 
@@ -228,6 +314,23 @@ Result<Table> Database::ExecuteSql(const std::string& sql) {
     auto it = tables_.find(ToLower(insert->table));
     if (it == tables_.end()) {
       return Status::NotFound("table '" + insert->table + "' does not exist");
+    }
+    if (it->second.kind == Entry::Kind::kDisk) {
+      // Route through the LSM ingest path: WAL + memtable on the attached
+      // storage. IngestDisk bumps the catalog version, invalidating any
+      // gateway-cached results over this table.
+      if (storage_ == nullptr) {
+        return Status::ExecutionError("disk table '" + insert->table +
+                                      "' has no storage attached");
+      }
+      MIP_ASSIGN_OR_RETURN(Schema schema,
+                           storage_->StorageTableSchema(insert->table));
+      Table batch = Table::Empty(std::move(schema));
+      for (const auto& row : insert->rows) {
+        MIP_RETURN_NOT_OK(batch.AppendRow(row));
+      }
+      MIP_RETURN_NOT_OK(IngestDisk(insert->table, batch));
+      return Table();
     }
     if (it->second.kind != Entry::Kind::kBase) {
       return Status::InvalidArgument(

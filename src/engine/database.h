@@ -12,6 +12,7 @@
 #include "engine/function_registry.h"
 #include "engine/plan.h"
 #include "engine/sql_ast.h"
+#include "engine/storage_iface.h"
 #include "engine/table.h"
 
 namespace mip::engine {
@@ -94,6 +95,20 @@ class Database : public PlanCatalog {
   void set_optimizer_enabled(bool enabled) { optimizer_enabled_ = enabled; }
   bool optimizer_enabled() const { return optimizer_enabled_; }
 
+  /// Attaches a disk-resident table store (storage::StorageEngine behind
+  /// the TableStorage interface) and registers every table it holds as a
+  /// TableKind::kDisk catalog entry next to the in-memory ones. Non-owning:
+  /// the storage must outlive the database. Fails on a name collision with
+  /// an existing entry. Bumps the catalog version.
+  Status AttachStorage(TableStorage* storage);
+  TableStorage* storage() const { return storage_; }
+
+  /// Appends rows to a disk table through the attached storage (creating
+  /// the table and its catalog entry when new) and bumps the catalog
+  /// version — the ingest path tools and tests use for bulk loads; SQL
+  /// INSERT into a disk entry routes here too.
+  Status IngestDisk(const std::string& table_name, const Table& rows);
+
   /// Creates an empty base table.
   Status CreateTable(const std::string& table_name, Schema schema);
 
@@ -149,6 +164,8 @@ class Database : public PlanCatalog {
 
   // PlanCatalog implementation (the planner's view of this catalog).
   Result<TableInfo> Describe(const std::string& table_name) const override;
+  Result<ScanStats> DiskPrunePreview(const std::string& table_name,
+                                     const Expr* prune_filter) const override;
   Result<Schema> TableSchema(const std::string& table_name) const override {
     return GetSchema(table_name);
   }
@@ -161,7 +178,7 @@ class Database : public PlanCatalog {
 
  private:
   struct Entry {
-    enum class Kind { kBase, kRemote, kMerge };
+    enum class Kind { kBase, kRemote, kMerge, kDisk };
     Kind kind = Kind::kBase;
     Table table;              // kBase
     std::string location;     // kRemote
@@ -178,6 +195,7 @@ class Database : public PlanCatalog {
   RemoteFetcher fetcher_;
   RemoteQueryRunner query_runner_;
   RemoteSchemaFetcher schema_fetcher_;
+  TableStorage* storage_ = nullptr;  // non-owning; see AttachStorage
   bool aggregate_pushdown_ = true;
   bool optimizer_enabled_ = true;
   uint64_t catalog_version_ = 1;

@@ -289,6 +289,16 @@ PlanPtr PushPredicates(PlanPtr node, const PlanCatalog& catalog,
       child->remote_filter = node->predicate;
       return child;
     }
+    if (child->kind == PlanKind::kScan && child->disk &&
+        child->prune_filter == nullptr) {
+      // Copy (don't move) the predicate down as a zone-map pruning hint.
+      // The Filter node stays: pruning only ever skips segments whose zone
+      // maps prove no row can pass, so keeping the filter makes the hint
+      // advisory — a storage layer that ignores it is still correct.
+      child->prune_filter = CloneExpr(*node->predicate);
+      // Fall through: the Filter node is returned below, child unchanged
+      // in place.
+    }
   }
   for (PlanPtr& child : node->children) {
     child = PushPredicates(std::move(child), catalog, options);
@@ -485,6 +495,26 @@ void PushLimits(PlanNode* node, const OptimizerOptions& options) {
   }
 }
 
+// --- Rule 5: segment-prune annotation --------------------------------------
+
+/// Fills seg_total/seg_pruned on disk scans from the catalog's zone-map
+/// preview so EXPLAIN shows the skip decisions the executor will make.
+/// Annotation only — never changes what executes. A catalog without
+/// attached storage answers NotImplemented and the scan stays unannotated.
+void AnnotateSegmentPruning(PlanNode* node, const PlanCatalog& catalog) {
+  if (node->kind == PlanKind::kScan && node->disk) {
+    Result<ScanStats> preview =
+        catalog.DiskPrunePreview(node->table_name, node->prune_filter.get());
+    if (preview.ok()) {
+      node->seg_total = preview->total;
+      node->seg_pruned = preview->pruned;
+    }
+  }
+  for (PlanPtr& child : node->children) {
+    AnnotateSegmentPruning(child.get(), catalog);
+  }
+}
+
 }  // namespace
 
 Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
@@ -502,6 +532,7 @@ Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
   if (options.limit_pushdown) {
     PushLimits(plan.get(), options);
   }
+  AnnotateSegmentPruning(plan.get(), catalog);
   return plan;
 }
 

@@ -312,6 +312,12 @@ Result<PlanPtr> PlanNamedSource(const std::string& name,
       node->table_name = name;
       return node;
     }
+    case PlanCatalog::TableKind::kDisk: {
+      auto node = MakePlanNode(PlanKind::kScan);
+      node->table_name = name;
+      node->disk = true;
+      return node;
+    }
     case PlanCatalog::TableKind::kRemote: {
       auto node = MakePlanNode(PlanKind::kRemoteScan);
       node->table_name = name;
@@ -600,11 +606,21 @@ void RenderNode(const PlanNode& node, int depth, std::string* out) {
       } else {
         line += " " + node.table_name;
       }
+      if (node.disk) line += " disk";
       if (!node.columns.empty()) {
         line += " cols=[" + JoinStrings(node.columns) + "]";
       }
       if (node.scan_limit >= 0) {
         line += " limit=" + std::to_string(node.scan_limit);
+      }
+      if (node.prune_filter != nullptr) {
+        line += " prune=" + node.prune_filter->ToString();
+      }
+      if (node.seg_total >= 0) {
+        const int64_t pruned = node.seg_pruned < 0 ? 0 : node.seg_pruned;
+        line += " segments: scanned=" + std::to_string(node.seg_total - pruned) +
+                " pruned=" + std::to_string(pruned) +
+                " total=" + std::to_string(node.seg_total);
       }
       break;
     }
@@ -774,6 +790,14 @@ struct PlanExecutor {
         Table t;
         if (node.prebound != nullptr) {
           t = *node.prebound;
+        } else if (node.disk) {
+          if (!opts.scan_disk) {
+            return Status::ExecutionError(
+                "disk table '" + node.table_name +
+                "' has no storage attached on database " + opts.db_name);
+          }
+          MIP_ASSIGN_OR_RETURN(
+              t, opts.scan_disk(node.table_name, node.prune_filter.get()));
         } else {
           MIP_ASSIGN_OR_RETURN(t, opts.get_table(node.table_name));
         }

@@ -12,6 +12,7 @@
 #include "engine/expr.h"
 #include "engine/operators.h"
 #include "engine/sql_ast.h"
+#include "engine/storage_iface.h"
 #include "engine/table.h"
 
 namespace mip::engine {
@@ -77,6 +78,19 @@ struct PlanNode {
   std::vector<std::string> columns;
   /// LIMIT pushed below a sort-free pipeline; -1 = none.
   int64_t scan_limit = -1;
+  /// kScan only: the table is disk-resident (TableKind::kDisk) and executes
+  /// through PlanExecutorOptions::scan_disk.
+  bool disk = false;
+  /// kScan over a disk table: predicate copied down by the optimizer as a
+  /// zone-map pruning *hint*. Purely advisory — the originating Filter node
+  /// stays above the scan, so pruning can never change results (the same
+  /// "at most, not exactly" contract as scan_limit).
+  ExprPtr prune_filter;
+  /// Optimizer annotation for EXPLAIN: segment counts the zone maps decide
+  /// to scan/prune for this disk scan, filled by the prune-annotation pass
+  /// from PlanCatalog::DiskPrunePreview. -1 = not annotated.
+  int64_t seg_total = -1;
+  int64_t seg_pruned = -1;
 
   // --- kRemoteScan -------------------------------------------------------
   std::string location;     ///< node id that owns the data
@@ -124,7 +138,7 @@ PlanPtr MakePlanNode(PlanKind kind);
 /// not depend on the catalog's storage.
 class PlanCatalog {
  public:
-  enum class TableKind { kBase, kRemote, kMerge };
+  enum class TableKind { kBase, kRemote, kMerge, kDisk };
   struct TableInfo {
     TableKind kind = TableKind::kBase;
     std::string location;     // kRemote
@@ -144,6 +158,18 @@ class PlanCatalog {
   /// Runs a FROM-clause table function.
   virtual Result<Table> RunTableFunction(
       const std::string& name, const std::vector<Value>& args) const = 0;
+
+  /// Zone-map prune counts for a disk table (TableKind::kDisk) under a
+  /// pruning hint — how the optimizer annotates `segments:` on EXPLAIN
+  /// output. Defaulted so catalogs without attached storage (and test
+  /// doubles) need not implement it; the annotation pass skips scans whose
+  /// catalog answers NotImplemented.
+  virtual Result<ScanStats> DiskPrunePreview(const std::string& name,
+                                             const Expr* prune_filter) const {
+    (void)name;
+    (void)prune_filter;
+    return Status::NotImplemented("catalog has no attached disk storage");
+  }
 };
 
 /// Deep-copies an expression tree (unbinding is not performed; clones carry
@@ -203,6 +229,13 @@ struct PlanExecutorOptions {
   std::string db_name;
   /// Materializes a base table by catalog name.
   std::function<Result<Table>(const std::string& name)> get_table;
+  /// Scans a disk-resident table (TableKind::kDisk), consulting zone maps
+  /// against the advisory prune filter (may be null) to skip segments.
+  /// Unset = the catalog has no attached storage; executing a disk scan
+  /// then fails with an execution error.
+  std::function<Result<Table>(const std::string& name,
+                              const Expr* prune_filter)>
+      scan_disk;
   /// Fetches a whole remote table (fetch_table); used by bare RemoteScans.
   std::function<Result<Table>(const std::string& location,
                               const std::string& remote_name)>

@@ -1,0 +1,62 @@
+#ifndef MIP_ENGINE_STORAGE_IFACE_H_
+#define MIP_ENGINE_STORAGE_IFACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace mip::engine {
+
+struct Expr;
+
+/// \brief Per-scan segment accounting: how many on-disk segments a scan
+/// touched vs skipped via zone maps. `total == scanned + pruned`; memtable
+/// rows are not segments and are never counted.
+struct ScanStats {
+  int64_t total = 0;
+  int64_t scanned = 0;
+  int64_t pruned = 0;
+};
+
+/// \brief Abstract view of a disk-resident table store, implemented by
+/// storage::StorageEngine and injected into Database (the same
+/// dependency-inverting shape as RemoteFetcher: the engine plans and
+/// executes against the interface, the storage library depends on the
+/// engine — never the reverse).
+class TableStorage {
+ public:
+  virtual ~TableStorage() = default;
+
+  /// Names of every disk-resident table (lower-cased catalog keys).
+  virtual std::vector<std::string> StorageTableNames() const = 0;
+
+  virtual Result<Schema> StorageTableSchema(const std::string& name) const = 0;
+
+  /// Materializes a table: committed segments in ingest order, then the
+  /// WAL'd memtable rows. `prune_filter` (may be null) is advisory — the
+  /// scan may use its conjuncts against per-segment zone maps to skip
+  /// segments that provably match no rows, but must never change the
+  /// result: the executor keeps the Filter node above the scan, so a scan
+  /// that ignores the hint entirely is still correct. Fills `*stats` when
+  /// non-null.
+  virtual Result<Table> ScanTable(const std::string& name,
+                                  const Expr* prune_filter,
+                                  ScanStats* stats) const = 0;
+
+  /// Durably appends rows (WAL first, then memtable; flush policy is the
+  /// implementation's). Creates the table from the batch schema when it
+  /// does not exist yet.
+  virtual Status AppendRows(const std::string& name, const Table& rows) = 0;
+
+  /// Zone-map prune accounting for EXPLAIN without reading any data
+  /// blocks: exactly the skip decisions ScanTable would make right now.
+  virtual Result<ScanStats> PrunePreview(const std::string& name,
+                                         const Expr* prune_filter) const = 0;
+};
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_STORAGE_IFACE_H_

@@ -53,6 +53,14 @@ Status WorkerNode::LoadDataset(const std::string& dataset_name,
   return Status::OK();
 }
 
+Status WorkerNode::AttachDiskStorage(engine::TableStorage* storage) {
+  MIP_RETURN_NOT_OK(db_.AttachStorage(storage));
+  for (const std::string& name : storage->StorageTableNames()) {
+    if (!HasDataset(name)) datasets_.push_back(name);
+  }
+  return Status::OK();
+}
+
 bool WorkerNode::HasDataset(const std::string& dataset_name) const {
   for (const std::string& d : datasets_) {
     if (d == dataset_name) return true;

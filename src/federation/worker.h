@@ -85,6 +85,12 @@ class WorkerNode {
   const std::vector<std::string>& datasets() const { return datasets_; }
   bool HasDataset(const std::string& dataset_name) const;
 
+  /// Attaches a disk-backed table store (storage::StorageEngine) to the
+  /// worker's database and advertises every disk table as a hosted dataset
+  /// — the persistent alternative to LoadDataset. The storage must outlive
+  /// the worker.
+  Status AttachDiskStorage(engine::TableStorage* storage);
+
   /// Registers this worker's request handler on a transport (the in-process
   /// bus, or a listening TcpTransport when the worker runs as its own
   /// process). Message types: "local_run" (returns the transfer),

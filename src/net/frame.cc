@@ -1,23 +1,10 @@
 #include "net/frame.h"
 
-#include <array>
 #include <cstring>
 
 namespace mip::net {
 
 namespace {
-
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 Status CorruptStream(const std::string& why) {
   return Status::ParseError("corrupt frame stream: " + why);
@@ -28,15 +15,6 @@ constexpr uint8_t kMaxStatusCode =
     static_cast<uint8_t>(StatusCode::kResourceExhausted);
 
 }  // namespace
-
-uint32_t Crc32(const uint8_t* data, size_t n) {
-  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
-  uint32_t c = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) {
-    c = kTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
 
 void EncodeFrame(const uint8_t* payload, size_t n, BufferWriter* out,
                  uint8_t version) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/result.h"
 #include "net/transport.h"
 
@@ -49,8 +50,10 @@ inline constexpr size_t kDefaultMaxFramePayload = 256u << 20;  // 256 MiB
 inline constexpr char kHelloMsgType[] = "__mip_hello";
 
 /// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF).
-/// Crc32("123456789") == 0xCBF43926.
-uint32_t Crc32(const uint8_t* data, size_t n);
+/// Crc32("123456789") == 0xCBF43926. The implementation lives in
+/// common/crc32.h (shared with the on-disk storage formats); this alias
+/// keeps the historical net-layer spelling working.
+using ::mip::Crc32;
 
 /// Appends one framed payload to `out`. `version` is what goes on the wire:
 /// a transport talking to a v1 peer frames with 1 so the peer's decoder

@@ -1,0 +1,65 @@
+#ifndef MIP_STORAGE_MANIFEST_H_
+#define MIP_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace mip::storage {
+
+/// \brief The store's committed-state root: which segments belong to which
+/// table, and which WAL epoch is live.
+///
+/// Written atomically (tmp + fsync + rename) on every flush; the manifest
+/// on disk therefore always describes a consistent snapshot. Layout:
+///
+///   u32 magic        "MMF1"
+///   u8  version      1
+///   u64 wal_id       live WAL epoch; recovery replays wal-<wal_id>.log
+///   u64 next_segment_id
+///   varint num_tables, per table:
+///     string name
+///     varint num_fields, per field: string name, u8 type
+///     varint num_segments, per segment: varint id, varint rows
+///   u32 crc32        of everything before it
+///
+/// Segment files not referenced by the manifest and WAL files other than
+/// wal-<wal_id>.log are orphans from an interrupted flush; recovery deletes
+/// them.
+inline constexpr uint32_t kManifestMagic = 0x31464D4Du;  // "MMF1"
+inline constexpr uint8_t kManifestVersion = 1;
+inline constexpr uint64_t kMaxManifestTables = 65536;
+inline constexpr uint64_t kMaxManifestSegments = 1u << 24;
+
+struct ManifestSegment {
+  uint64_t id = 0;
+  uint64_t rows = 0;
+};
+
+struct ManifestTable {
+  std::string name;
+  engine::Schema schema;
+  std::vector<ManifestSegment> segments;
+};
+
+struct Manifest {
+  uint64_t wal_id = 0;
+  uint64_t next_segment_id = 0;
+  std::vector<ManifestTable> tables;
+
+  ManifestTable* FindTable(const std::string& name);
+};
+
+/// Serializes and writes crash-atomically.
+Status SaveManifest(const std::string& path, const Manifest& manifest);
+
+/// Reads and validates (magic, version, CRC, counts, duplicate names).
+/// Any corruption is kIOError.
+Result<Manifest> LoadManifest(const std::string& path);
+
+}  // namespace mip::storage
+
+#endif  // MIP_STORAGE_MANIFEST_H_

@@ -1,0 +1,377 @@
+#include "storage/store.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/string_util.h"
+#include "storage/io.h"
+#include "storage/wal.h"
+
+namespace mip::storage {
+
+namespace {
+
+/// Rough in-memory footprint of a batch — drives the flush threshold, so
+/// only the order of magnitude matters.
+uint64_t EstimateTableBytes(const engine::Table& table) {
+  uint64_t bytes = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const engine::Column& col = table.column(c);
+    switch (col.type()) {
+      case engine::DataType::kBool:
+        bytes += table.num_rows();
+        break;
+      case engine::DataType::kInt64:
+      case engine::DataType::kFloat64:
+        bytes += 8 * table.num_rows();
+        break;
+      case engine::DataType::kString:
+        for (const std::string& s : col.strings()) bytes += 16 + s.size();
+        break;
+    }
+    if (col.has_validity()) bytes += table.num_rows() / 8 + 1;
+  }
+  return bytes;
+}
+
+bool SchemasCompatible(const engine::Schema& a, const engine::Schema& b) {
+  if (a.num_fields() != b.num_fields()) return false;
+  for (size_t i = 0; i < a.num_fields(); ++i) {
+    if (a.field(i).type != b.field(i).type) return false;
+    if (!EqualsIgnoreCase(a.field(i).name, b.field(i).name)) return false;
+  }
+  return true;
+}
+
+/// Rebuilds `rows` under the table's canonical schema (field names may
+/// differ only in case; types were already checked).
+Result<engine::Table> Canonicalize(const engine::Schema& canonical,
+                                   const engine::Table& rows) {
+  std::vector<engine::Column> columns;
+  columns.reserve(rows.num_columns());
+  for (size_t c = 0; c < rows.num_columns(); ++c) {
+    columns.push_back(rows.column(c));
+  }
+  return engine::Table::Make(canonical, std::move(columns));
+}
+
+/// Parses "<prefix><decimal id><suffix>", e.g. seg-12.mip / wal-3.log.
+bool ParseIdFileName(const std::string& name, const std::string& prefix,
+                     const std::string& suffix, uint64_t* id) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  uint64_t v = 0;
+  for (char ch : digits) {
+    if (ch < '0' || ch > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *id = v;
+  return true;
+}
+
+bool HasSuffix(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string StorageEngine::SegmentPath(uint64_t id) const {
+  return dir_ + "/seg-" + std::to_string(id) + ".mip";
+}
+
+std::string StorageEngine::WalPath(uint64_t id) const {
+  return dir_ + "/wal-" + std::to_string(id) + ".log";
+}
+
+std::string StorageEngine::ManifestPath() const { return dir_ + "/MANIFEST"; }
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& dir, const StorageOptions& options) {
+  if (dir.empty()) return Status::InvalidArgument("empty data directory");
+  MIP_RETURN_NOT_OK(EnsureDir(dir));
+  std::unique_ptr<StorageEngine> store(new StorageEngine(dir, options));
+  MIP_RETURN_NOT_OK(store->RecoverLocked());
+  return store;
+}
+
+Status StorageEngine::RecoverLocked() {
+  // 1. Committed root.
+  Manifest manifest;
+  if (FileExists(ManifestPath())) {
+    MIP_ASSIGN_OR_RETURN(manifest, LoadManifest(ManifestPath()));
+  }
+  wal_id_ = manifest.wal_id;
+  next_segment_id_ = manifest.next_segment_id;
+
+  // 2. Validate every committed segment's footer; committed data that fails
+  // validation is a hard error, not something to silently drop.
+  for (const ManifestTable& mt : manifest.tables) {
+    TableState state;
+    state.schema = mt.schema;
+    for (const ManifestSegment& ms : mt.segments) {
+      Result<SegmentFooter> footer = ReadSegmentFooter(SegmentPath(ms.id));
+      if (!footer.ok()) {
+        return Status::IOError("table '" + mt.name + "' segment " +
+                               std::to_string(ms.id) +
+                               " failed validation: " +
+                               footer.status().message());
+      }
+      if (footer->num_rows != ms.rows ||
+          !SchemasCompatible(footer->schema(), mt.schema)) {
+        return Status::IOError("table '" + mt.name + "' segment " +
+                               std::to_string(ms.id) +
+                               " disagrees with manifest");
+      }
+      state.segments.push_back(SegmentState{ms.id, std::move(*footer)});
+    }
+    tables_.emplace(ToLower(mt.name), std::move(state));
+  }
+
+  // 3. Sweep orphans: segments the manifest does not reference (a flush that
+  // died before its manifest committed), WALs from dead epochs, tmp files.
+  MIP_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  for (const std::string& name : names) {
+    uint64_t id = 0;
+    bool orphan = false;
+    if (HasSuffix(name, ".tmp")) {
+      orphan = true;
+    } else if (ParseIdFileName(name, "seg-", ".mip", &id)) {
+      orphan = true;
+      for (const auto& [key, state] : tables_) {
+        for (const SegmentState& seg : state.segments) {
+          if (seg.id == id) orphan = false;
+        }
+      }
+    } else if (ParseIdFileName(name, "wal-", ".log", &id)) {
+      orphan = (id != wal_id_);
+    }
+    if (orphan) MIP_RETURN_NOT_OK(RemoveFile(dir_ + "/" + name));
+  }
+
+  // 4. Replay the live WAL into memtables, truncating a torn tail.
+  MIP_ASSIGN_OR_RETURN(WalReplay replay, ReplayWal(WalPath(wal_id_)));
+  if (replay.torn) {
+    MIP_RETURN_NOT_OK(TruncateFile(WalPath(wal_id_), replay.valid_bytes));
+  }
+  for (WalRecord& record : replay.records) {
+    MIP_RETURN_NOT_OK(ApplyToMemtableLocked(record.table_name, record.rows));
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::ApplyToMemtableLocked(const std::string& name,
+                                            const engine::Table& rows) {
+  const std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    TableState state;
+    state.schema = rows.schema();
+    it = tables_.emplace(key, std::move(state)).first;
+  }
+  TableState& state = it->second;
+  if (!SchemasCompatible(state.schema, rows.schema())) {
+    return Status::TypeError("append to '" + name +
+                             "' does not match its schema (" +
+                             state.schema.ToString() + ")");
+  }
+  MIP_ASSIGN_OR_RETURN(engine::Table batch,
+                       Canonicalize(state.schema, rows));
+  state.memtable_rows += batch.num_rows();
+  memtable_bytes_ += EstimateTableBytes(batch);
+  state.memtable.push_back(std::move(batch));
+  return Status::OK();
+}
+
+Status StorageEngine::AppendRows(const std::string& name,
+                                 const engine::Table& rows) {
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  std::unique_lock lock(mu_);
+  // Validate against the existing schema BEFORE logging, so the WAL never
+  // holds a record that replay would reject.
+  auto it = tables_.find(ToLower(name));
+  if (it != tables_.end() &&
+      !SchemasCompatible(it->second.schema, rows.schema())) {
+    return Status::TypeError("append to '" + name +
+                             "' does not match its schema (" +
+                             it->second.schema.ToString() + ")");
+  }
+  if (rows.num_rows() == 0 && it != tables_.end()) return Status::OK();
+  // WAL first: once the fsync returns, the batch is durable.
+  MIP_RETURN_NOT_OK(AppendWalRecord(WalPath(wal_id_), name, rows));
+  MIP_RETURN_NOT_OK(ApplyToMemtableLocked(name, rows));
+  if (memtable_bytes_ >= options_.memtable_budget_bytes) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::Flush() {
+  std::unique_lock lock(mu_);
+  return FlushLocked();
+}
+
+Status StorageEngine::FlushLocked() {
+  // 1. Write memtables out as immutable segments (each write is itself
+  // atomic; nothing references these files until the manifest commits).
+  std::map<std::string, std::vector<SegmentState>> flushed;
+  uint64_t next_id = next_segment_id_;
+  for (auto& [key, state] : tables_) {
+    if (state.memtable.empty()) continue;
+    MIP_ASSIGN_OR_RETURN(engine::Table all,
+                         engine::Table::Concat(state.memtable));
+    for (size_t off = 0; off < all.num_rows();
+         off += options_.target_segment_rows) {
+      const size_t count =
+          std::min<size_t>(options_.target_segment_rows, all.num_rows() - off);
+      const engine::Table chunk = all.Slice(off, count);
+      MIP_ASSIGN_OR_RETURN(SegmentFooter footer,
+                           WriteSegment(SegmentPath(next_id), chunk));
+      flushed[key].push_back(SegmentState{next_id, std::move(footer)});
+      ++next_id;
+    }
+  }
+
+  // 2. Commit point: the new manifest references the new segments and the
+  // next WAL epoch. A crash before this line leaves only orphans.
+  Manifest manifest;
+  manifest.wal_id = wal_id_ + 1;
+  manifest.next_segment_id = next_id;
+  for (auto& [key, state] : tables_) {
+    ManifestTable mt;
+    mt.name = key;
+    mt.schema = state.schema;
+    for (const SegmentState& seg : state.segments) {
+      mt.segments.push_back(ManifestSegment{seg.id, seg.footer.num_rows});
+    }
+    auto fit = flushed.find(key);
+    if (fit != flushed.end()) {
+      for (const SegmentState& seg : fit->second) {
+        mt.segments.push_back(ManifestSegment{seg.id, seg.footer.num_rows});
+      }
+    }
+    manifest.tables.push_back(std::move(mt));
+  }
+  MIP_RETURN_NOT_OK(SaveManifest(ManifestPath(), manifest));
+
+  // 3. The old WAL's records are now all represented by segments; drop it.
+  // A crash between the manifest commit and this unlink is healed by the
+  // stale-epoch sweep in recovery.
+  const std::string old_wal = WalPath(wal_id_);
+  if (FileExists(old_wal)) MIP_RETURN_NOT_OK(RemoveFile(old_wal));
+
+  wal_id_ += 1;
+  next_segment_id_ = next_id;
+  memtable_bytes_ = 0;
+  for (auto& [key, state] : tables_) {
+    auto fit = flushed.find(key);
+    if (fit != flushed.end()) {
+      for (SegmentState& seg : fit->second) {
+        state.segments.push_back(std::move(seg));
+      }
+    }
+    state.memtable.clear();
+    state.memtable_rows = 0;
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> StorageEngine::StorageTableNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, state] : tables_) names.push_back(key);
+  return names;
+}
+
+Result<engine::Schema> StorageEngine::StorageTableSchema(
+    const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no disk table named '" + name + "'");
+  }
+  return it->second.schema;
+}
+
+Result<engine::Table> StorageEngine::ScanTable(
+    const std::string& name, const engine::Expr* prune_filter,
+    engine::ScanStats* stats) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no disk table named '" + name + "'");
+  }
+  const TableState& state = it->second;
+  std::vector<PruneConjunct> conjuncts;
+  if (prune_filter != nullptr) {
+    conjuncts = ExtractPruneConjuncts(*prune_filter);
+  }
+  engine::ScanStats local;
+  local.total = static_cast<int64_t>(state.segments.size());
+  std::vector<engine::Table> parts;
+  for (const SegmentState& seg : state.segments) {
+    if (!SegmentCanMatch(seg.footer, conjuncts)) {
+      ++local.pruned;
+      continue;
+    }
+    ++local.scanned;
+    MIP_ASSIGN_OR_RETURN(engine::Table part,
+                         ReadSegmentData(SegmentPath(seg.id), seg.footer));
+    parts.push_back(std::move(part));
+  }
+  // Memtable rows ride along unpruned — they have no zone maps and the
+  // Filter above the scan re-applies the predicate anyway.
+  for (const engine::Table& batch : state.memtable) parts.push_back(batch);
+  if (stats != nullptr) *stats = local;
+  if (parts.empty()) return engine::Table::Empty(state.schema);
+  return engine::Table::Concat(parts);
+}
+
+Result<engine::ScanStats> StorageEngine::PrunePreview(
+    const std::string& name, const engine::Expr* prune_filter) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no disk table named '" + name + "'");
+  }
+  std::vector<PruneConjunct> conjuncts;
+  if (prune_filter != nullptr) {
+    conjuncts = ExtractPruneConjuncts(*prune_filter);
+  }
+  engine::ScanStats stats;
+  stats.total = static_cast<int64_t>(it->second.segments.size());
+  for (const SegmentState& seg : it->second.segments) {
+    if (SegmentCanMatch(seg.footer, conjuncts)) {
+      ++stats.scanned;
+    } else {
+      ++stats.pruned;
+    }
+  }
+  return stats;
+}
+
+Result<uint64_t> StorageEngine::SegmentCount(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no disk table named '" + name + "'");
+  }
+  return static_cast<uint64_t>(it->second.segments.size());
+}
+
+Result<uint64_t> StorageEngine::MemtableRows(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no disk table named '" + name + "'");
+  }
+  return it->second.memtable_rows;
+}
+
+}  // namespace mip::storage

@@ -1,0 +1,114 @@
+#ifndef MIP_STORAGE_STORE_H_
+#define MIP_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/storage_iface.h"
+#include "engine/table.h"
+#include "storage/manifest.h"
+#include "storage/segment.h"
+
+namespace mip::storage {
+
+struct StorageOptions {
+  /// Memtable flush threshold, summed across tables (estimated in-memory
+  /// bytes of WAL'd-but-unflushed rows).
+  uint64_t memtable_budget_bytes = 4ull << 20;
+  /// Rows per segment file; larger memtables flush into several segments,
+  /// which is what gives zone maps something to prune.
+  uint64_t target_segment_rows = 64 * 1024;
+};
+
+/// \brief Disk-backed columnar table store with LSM-style ingest.
+///
+/// Layout inside the data directory:
+///   MANIFEST            committed root (manifest.h)
+///   seg-<id>.mip        immutable columnar segments (segment.h)
+///   wal-<id>.log        live WAL epoch (wal.h)
+///
+/// Append path: WAL record fsynced first, then the batch joins the
+/// in-memory memtable; once the summed memtable estimate exceeds the
+/// budget, the memtables flush into segments and a new manifest commits
+/// atomically. The destructor deliberately does NOT flush — durability
+/// must come from the WAL alone, and the crash tests hold us to that.
+///
+/// Recovery (Open): load + validate MANIFEST, validate every referenced
+/// segment footer, delete orphan segments / stale WALs / *.tmp leftovers
+/// from an interrupted flush, then replay the live WAL (truncating a torn
+/// tail) into the memtables.
+///
+/// Thread-safe: scans take a shared lock, appends/flushes an exclusive one.
+class StorageEngine : public engine::TableStorage {
+ public:
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& dir, const StorageOptions& options = {});
+
+  ~StorageEngine() override = default;
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  // engine::TableStorage:
+  std::vector<std::string> StorageTableNames() const override;
+  Result<engine::Schema> StorageTableSchema(
+      const std::string& name) const override;
+  Result<engine::Table> ScanTable(const std::string& name,
+                                  const engine::Expr* prune_filter,
+                                  engine::ScanStats* stats) const override;
+  Status AppendRows(const std::string& name,
+                    const engine::Table& rows) override;
+  Result<engine::ScanStats> PrunePreview(
+      const std::string& name,
+      const engine::Expr* prune_filter) const override;
+
+  /// Forces memtables into segments and commits a new manifest.
+  Status Flush();
+
+  const std::string& dir() const { return dir_; }
+  /// Committed segment count for one table (tests / tooling).
+  Result<uint64_t> SegmentCount(const std::string& name) const;
+  /// Rows sitting in the (WAL-backed) memtable for one table.
+  Result<uint64_t> MemtableRows(const std::string& name) const;
+
+ private:
+  struct SegmentState {
+    uint64_t id = 0;
+    SegmentFooter footer;
+  };
+  struct TableState {
+    engine::Schema schema;
+    std::vector<SegmentState> segments;
+    std::vector<engine::Table> memtable;  // batches, ingest order
+    uint64_t memtable_rows = 0;
+  };
+
+  StorageEngine(std::string dir, StorageOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string SegmentPath(uint64_t id) const;
+  std::string WalPath(uint64_t id) const;
+  std::string ManifestPath() const;
+
+  Status RecoverLocked();
+  Status FlushLocked();
+  Status ApplyToMemtableLocked(const std::string& key,
+                               const engine::Table& rows);
+
+  const std::string dir_;
+  const StorageOptions options_;
+
+  mutable std::shared_mutex mu_;
+  uint64_t wal_id_ = 0;
+  uint64_t next_segment_id_ = 0;
+  uint64_t memtable_bytes_ = 0;  // estimate, summed across tables
+  std::map<std::string, TableState> tables_;  // key: lower-cased name
+};
+
+}  // namespace mip::storage
+
+#endif  // MIP_STORAGE_STORE_H_

@@ -1,0 +1,79 @@
+#include "storage/wal.h"
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "storage/io.h"
+
+namespace mip::storage {
+
+Status AppendWalRecord(const std::string& path,
+                       const std::string& table_name,
+                       const engine::Table& rows) {
+  BufferWriter payload;
+  payload.WriteU8(kWalRecordAppend);
+  payload.WriteString(table_name);
+  BufferWriter table_bytes;
+  engine::SerializeTable(rows, &table_bytes);
+  payload.WriteBytes(table_bytes.bytes());
+  const std::vector<uint8_t>& p = payload.bytes();
+  if (p.size() > kMaxWalRecordBytes) {
+    return Status::InvalidArgument("WAL record exceeds size cap");
+  }
+  BufferWriter record;
+  record.Reserve(8 + p.size());
+  record.WriteU32(static_cast<uint32_t>(p.size()));
+  record.WriteU32(Crc32(p));
+  record.AppendRaw(p.data(), p.size());
+  return AppendFileSync(path, record.bytes());
+}
+
+Result<WalReplay> ReplayWal(const std::string& path) {
+  WalReplay replay;
+  if (!FileExists(path)) return replay;
+  MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  BufferReader r(bytes);
+  while (!r.AtEnd()) {
+    const uint64_t record_start = bytes.size() - r.Remaining();
+    auto parse_one = [&]() -> Result<WalRecord> {
+      MIP_ASSIGN_OR_RETURN(uint32_t length, r.ReadU32());
+      if (length > kMaxWalRecordBytes) {
+        return Status::IOError("hostile WAL record length");
+      }
+      MIP_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
+      if (length > r.Remaining()) {
+        return Status::IOError("truncated WAL record");
+      }
+      std::vector<uint8_t> payload(length);
+      MIP_RETURN_NOT_OK(r.ReadRawBytes(payload.data(), length));
+      if (Crc32(payload) != crc) {
+        return Status::IOError("WAL record CRC mismatch");
+      }
+      BufferReader pr(payload);
+      MIP_ASSIGN_OR_RETURN(uint8_t type, pr.ReadU8());
+      if (type != kWalRecordAppend) {
+        return Status::IOError("unknown WAL record type");
+      }
+      WalRecord record;
+      MIP_ASSIGN_OR_RETURN(record.table_name, pr.ReadString());
+      MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> table_bytes, pr.ReadBytes());
+      BufferReader tr(table_bytes);
+      MIP_ASSIGN_OR_RETURN(record.rows, engine::DeserializeTable(&tr));
+      if (!pr.AtEnd()) {
+        return Status::IOError("trailing bytes in WAL payload");
+      }
+      return record;
+    };
+    Result<WalRecord> record = parse_one();
+    if (!record.ok()) {
+      // Torn tail: drop the suffix (it was never acknowledged).
+      replay.valid_bytes = record_start;
+      replay.torn = true;
+      return replay;
+    }
+    replay.records.push_back(std::move(*record));
+    replay.valid_bytes = bytes.size() - r.Remaining();
+  }
+  return replay;
+}
+
+}  // namespace mip::storage

@@ -15,6 +15,8 @@
 #include "engine/database.h"
 #include "engine/table.h"
 #include "federation/gateway.h"
+#include "storage/io.h"
+#include "storage/store.h"
 
 namespace mip {
 namespace {
@@ -227,6 +229,45 @@ TEST(ResultCacheTest, FailedLeaderDoesNotPoisonTheKey) {
       key, [&]() -> Result<Table> { return Table(); });
   EXPECT_TRUE(again.ok());
   EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(GatewayDiskTest, DiskIngestInvalidatesCachedResults) {
+  // A gateway serving a disk-backed table must never return stale cached
+  // rows across an LSM ingest: IngestDisk bumps the catalog version, so
+  // the (fingerprint, version) cache key stops matching.
+  const std::string dir = ::testing::TempDir() + "mip_cache_disk";
+  ASSERT_TRUE(storage::EnsureDir(dir).ok());
+  if (auto names = storage::ListDir(dir); names.ok()) {
+    for (const std::string& f : names.ValueOrDie()) {
+      ASSERT_TRUE(storage::RemoveFile(dir + "/" + f).ok());
+    }
+  }
+  auto store = storage::StorageEngine::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  engine::Schema schema({{"x", engine::DataType::kFloat64}});
+  auto batch = Table::Make(
+      schema, {engine::Column::FromDoubles({1.0, 2.0, 3.0})});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE((*store)->AppendRows("readings", batch.ValueOrDie()).ok());
+
+  Database db("diskserve");
+  ASSERT_TRUE(db.AttachStorage(store.ValueOrDie().get()).ok());
+  Gateway gateway(&db);
+  const std::string sql = "SELECT count(*) AS n FROM readings";
+  auto before = DecodeReply(gateway.Handle(SqlEnvelope(sql)));
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before.ValueOrDie().At(0, 0).int_value(), 3);
+
+  // Out-of-band ingest (a loader process, not SQL through the gateway).
+  ASSERT_TRUE(db.IngestDisk("readings", batch.ValueOrDie()).ok());
+
+  auto after = DecodeReply(gateway.Handle(SqlEnvelope(sql)));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.ValueOrDie().At(0, 0).int_value(), 6);
+  const ResultCache::Stats stats = gateway.cache().stats();
+  EXPECT_EQ(stats.misses, 2u);  // recomputed, not served stale
+  EXPECT_EQ(stats.hits, 0u);
 }
 
 }  // namespace

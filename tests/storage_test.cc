@@ -1,0 +1,782 @@
+// Disk-backed segment store: segment round-trip byte identity, zone-map
+// pruning parity against the in-memory engine, LSM ingest + crash recovery
+// (torn WAL tails, orphaned segments), hardened readers over corrupted
+// files, EXPLAIN segment accounting, and typed kIOError propagation.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/parallel.h"
+#include "engine/database.h"
+#include "engine/encoding.h"
+#include "engine/exec_context.h"
+#include "engine/expr.h"
+#include "engine/table.h"
+#include "net/frame.h"
+#include "storage/io.h"
+#include "storage/manifest.h"
+#include "storage/segment.h"
+#include "storage/store.h"
+#include "storage/wal.h"
+
+namespace mip {
+namespace {
+
+using engine::Bitmap;
+using engine::Column;
+using engine::DataType;
+using engine::Database;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+using storage::SegmentFooter;
+using storage::StorageEngine;
+using storage::StorageOptions;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "mip_storage_" + name;
+  // Fresh directory per test: nuke leftovers from earlier runs.
+  if (storage::FileExists(dir)) {
+    auto names = storage::ListDir(dir);
+    if (names.ok()) {
+      for (const std::string& f : names.ValueOrDie()) {
+        (void)storage::RemoveFile(dir + "/" + f);
+      }
+    }
+  }
+  EXPECT_TRUE(storage::EnsureDir(dir).ok());
+  return dir;
+}
+
+std::vector<uint8_t> TableBytes(const Table& t) {
+  BufferWriter w;
+  engine::SerializeTable(t, &w);
+  return w.bytes();
+}
+
+/// All four types; NULLs, NaN, -0.0, int64 extremes, empty strings. Null
+/// slots hold the engine's canonical placeholders (0 / NaN / "") — the
+/// invariant every engine path (Concat, Take, AppendRow) maintains.
+Table MakeGnarlyTable() {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Schema schema({{"i", DataType::kInt64},
+                 {"d", DataType::kFloat64},
+                 {"b", DataType::kBool},
+                 {"s", DataType::kString}});
+  Column ci = Column::FromInts({std::numeric_limits<int64_t>::min(), 0, 0, 7,
+                                std::numeric_limits<int64_t>::max(), 42});
+  Bitmap vi(6, true);
+  vi.Set(1, false);
+  EXPECT_TRUE(ci.SetValidity(vi).ok());
+  Column cd = Column::FromDoubles({-0.0, nan, 1.5, -1e300, nan, nan});
+  Bitmap vd(6, true);
+  vd.Set(4, false);
+  EXPECT_TRUE(cd.SetValidity(vd).ok());
+  Column cb = Column::FromBools({1, 0, 1, 1, 0, 0});
+  Bitmap vb(6, true);
+  vb.Set(5, false);
+  EXPECT_TRUE(cb.SetValidity(vb).ok());
+  Column cs = Column::FromStrings({"", "alpha", "", "zeta", "alpha", "m"});
+  Bitmap vs(6, true);
+  vs.Set(0, false);
+  EXPECT_TRUE(cs.SetValidity(vs).ok());
+  auto t = Table::Make(schema, {ci, cd, cb, cs});
+  EXPECT_TRUE(t.ok());
+  return t.ValueOrDie();
+}
+
+/// Larger typed table for codec + multi-segment coverage: `id` ascending
+/// (so segments have disjoint id ranges), `val` noisy doubles with NaNs,
+/// `cat` low-cardinality strings, `flag` bools.
+Table MakeEventsTable(int64_t start, int64_t count) {
+  std::vector<int64_t> ids;
+  std::vector<double> vals;
+  std::vector<std::string> cats;
+  std::vector<uint8_t> flags;
+  for (int64_t i = start; i < start + count; ++i) {
+    ids.push_back(i);
+    if (i % 97 == 3) {
+      vals.push_back(std::numeric_limits<double>::quiet_NaN());
+    } else if (i % 101 == 5) {
+      vals.push_back(-0.0);
+    } else {
+      vals.push_back(static_cast<double>((i * 37) % 1000) / 8.0 - 40.0);
+    }
+    cats.push_back("cat_" + std::to_string(i / 100));
+    flags.push_back(static_cast<uint8_t>(i % 3 == 0));
+  }
+  Schema schema({{"id", DataType::kInt64},
+                 {"val", DataType::kFloat64},
+                 {"cat", DataType::kString},
+                 {"flag", DataType::kBool}});
+  Bitmap v(static_cast<size_t>(count), true);
+  for (int64_t i = 0; i < count; ++i) {
+    if ((start + i) % 113 == 7) {
+      v.Set(static_cast<size_t>(i), false);
+      // Canonical null placeholder, as every engine path maintains.
+      vals[static_cast<size_t>(i)] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  Column cv = Column::FromDoubles(vals);
+  EXPECT_TRUE(cv.SetValidity(v).ok());
+  auto t = Table::Make(schema, {Column::FromInts(ids), cv,
+                                Column::FromStrings(cats),
+                                Column::FromBools(flags)});
+  EXPECT_TRUE(t.ok());
+  return t.ValueOrDie();
+}
+
+std::string ExplainText(Database* db, const std::string& sql) {
+  auto r = db->ExecuteSql("EXPLAIN " + sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::string out;
+  const Table& t = r.ValueOrDie();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    out += t.At(i, 0).string_value();
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Segment format
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTest, RoundTripByteIdenticalAllTypes) {
+  const std::string dir = TestDir("seg_roundtrip");
+  const Table original = MakeGnarlyTable();
+  auto footer = storage::WriteSegment(dir + "/seg-0.mip", original);
+  ASSERT_TRUE(footer.ok()) << footer.status().ToString();
+  EXPECT_EQ(footer.ValueOrDie().num_rows, 6u);
+
+  auto read = storage::ReadSegment(dir + "/seg-0.mip");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  // Byte identity through the v2 wire serializer: same schema, same values,
+  // same validity, same NaN payload bits and -0.0 signs.
+  EXPECT_EQ(TableBytes(original), TableBytes(read.ValueOrDie()));
+}
+
+TEST(SegmentTest, RoundTripLargeTableThroughCodecs) {
+  const std::string dir = TestDir("seg_large");
+  const Table original = MakeEventsTable(0, 8000);
+  auto footer = storage::WriteSegment(dir + "/seg-0.mip", original);
+  ASSERT_TRUE(footer.ok()) << footer.status().ToString();
+  auto read = storage::ReadSegment(dir + "/seg-0.mip");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(TableBytes(original), TableBytes(read.ValueOrDie()));
+}
+
+TEST(SegmentTest, ZoneMapsTrackRangesNullsAndNan) {
+  const std::string dir = TestDir("seg_zones");
+  const Table t = MakeGnarlyTable();
+  auto footer = storage::WriteSegment(dir + "/seg-0.mip", t);
+  ASSERT_TRUE(footer.ok());
+  const SegmentFooter& f = footer.ValueOrDie();
+  ASSERT_EQ(f.columns.size(), 4u);
+
+  const storage::ZoneMap& zi = f.columns[0].zone;
+  EXPECT_EQ(zi.null_count, 1u);
+  EXPECT_TRUE(zi.has_range);
+  EXPECT_EQ(zi.min_i, std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(zi.max_i, std::numeric_limits<int64_t>::max());
+
+  const storage::ZoneMap& zd = f.columns[1].zone;
+  EXPECT_EQ(zd.null_count, 1u);
+  EXPECT_TRUE(zd.has_nan);   // row 1 (valid NaN) and row 5
+  EXPECT_TRUE(zd.has_range);  // non-NaN values exist
+  EXPECT_EQ(zd.min_d, -1e300);
+  EXPECT_EQ(zd.max_d, 1.5);
+
+  const storage::ZoneMap& zs = f.columns[3].zone;
+  EXPECT_EQ(zs.null_count, 1u);
+  EXPECT_EQ(zs.min_s, "");
+  EXPECT_EQ(zs.max_s, "zeta");
+}
+
+TEST(SegmentTest, AllNullAndAllNanColumns) {
+  const std::string dir = TestDir("seg_allnull");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Schema schema({{"n", DataType::kFloat64}, {"x", DataType::kFloat64}});
+  Column cn = Column::FromDoubles({0.0, 0.0});
+  Bitmap v(2, false);
+  ASSERT_TRUE(cn.SetValidity(v).ok());
+  Column cx = Column::FromDoubles({nan, nan});
+  auto t = Table::Make(schema, {cn, cx});
+  ASSERT_TRUE(t.ok());
+  auto footer = storage::WriteSegment(dir + "/seg-0.mip", t.ValueOrDie());
+  ASSERT_TRUE(footer.ok());
+  const SegmentFooter& f = footer.ValueOrDie();
+  EXPECT_EQ(f.columns[0].zone.null_count, 2u);
+  EXPECT_FALSE(f.columns[0].zone.has_range);
+  EXPECT_FALSE(f.columns[1].zone.has_range);  // NaN-only: no numeric range...
+  EXPECT_TRUE(f.columns[1].zone.has_nan);     // ...but NaN presence recorded
+}
+
+TEST(SegmentTest, EveryFlippedByteIsRejected) {
+  const std::string dir = TestDir("seg_flip");
+  const std::string path = dir + "/seg-0.mip";
+  ASSERT_TRUE(storage::WriteSegment(path, MakeGnarlyTable()).ok());
+  auto bytes = storage::ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::vector<uint8_t> good = bytes.ValueOrDie();
+  // Every byte of the file sits under a magic, a version check, or a CRC:
+  // no single-byte corruption may survive a full read.
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<uint8_t> bad = good;
+    bad[i] ^= 0xFF;
+    ASSERT_TRUE(storage::WriteFileAtomic(path, bad).ok());
+    auto read = storage::ReadSegment(path);
+    EXPECT_FALSE(read.ok()) << "flipped byte " << i << " went undetected";
+    if (!read.ok()) {
+      EXPECT_EQ(read.status().code(), StatusCode::kIOError)
+          << read.status().ToString();
+    }
+  }
+}
+
+TEST(SegmentTest, EveryTruncationIsRejected) {
+  const std::string dir = TestDir("seg_trunc");
+  const std::string path = dir + "/seg-0.mip";
+  ASSERT_TRUE(storage::WriteSegment(path, MakeGnarlyTable()).ok());
+  auto bytes = storage::ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::vector<uint8_t> good = bytes.ValueOrDie();
+  for (size_t len = 0; len < good.size(); ++len) {
+    const std::vector<uint8_t> bad(good.begin(), good.begin() + len);
+    ASSERT_TRUE(storage::WriteFileAtomic(path, bad).ok());
+    auto read = storage::ReadSegment(path);
+    EXPECT_FALSE(read.ok()) << "truncation to " << len << " went undetected";
+  }
+}
+
+TEST(SegmentTest, HostileCountsRejectedBeforeAllocation) {
+  const std::string dir = TestDir("seg_hostile");
+  // Hand-built file whose (CRC-valid) footer claims a row count beyond the
+  // wire cap: the reader must fail on the cap check, not trust the count.
+  BufferWriter footer;
+  engine::PutVarint(&footer, engine::kMaxWireElements + 1);  // num_rows
+  engine::PutVarint(&footer, 0);                             // num_cols
+  BufferWriter file;
+  file.WriteU32(storage::kSegmentMagic);
+  file.WriteU8(storage::kSegmentVersion);
+  file.AppendRaw(footer.bytes().data(), footer.bytes().size());
+  file.WriteU32(static_cast<uint32_t>(footer.bytes().size()));
+  file.WriteU32(Crc32(footer.bytes()));
+  file.WriteU32(storage::kSegmentFooterMagic);
+  const std::string path = dir + "/seg-0.mip";
+  ASSERT_TRUE(storage::WriteFileAtomic(path, file.bytes()).ok());
+  auto read = storage::ReadSegmentFooter(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  EXPECT_NE(read.status().message().find("cap"), std::string::npos)
+      << read.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map feasibility (engine comparison semantics)
+// ---------------------------------------------------------------------------
+
+storage::PruneConjunct Conj(const std::string& col, engine::BinaryOp op,
+                            engine::Value lit) {
+  storage::PruneConjunct c;
+  c.column = col;
+  c.op = op;
+  c.literal = lit;
+  return c;
+}
+
+TEST(SegmentPruneTest, NanRowsBlockEqLikePruningButNotLtGt) {
+  const std::string dir = TestDir("prune_nan");
+  // Segment: val in [10, 20] plus one NaN row.
+  Schema schema({{"val", DataType::kFloat64}});
+  auto t = Table::Make(
+      schema, {Column::FromDoubles(
+                  {10.0, 15.0, 20.0,
+                   std::numeric_limits<double>::quiet_NaN()})});
+  ASSERT_TRUE(t.ok());
+  auto footer = storage::WriteSegment(dir + "/s.mip", t.ValueOrDie());
+  ASSERT_TRUE(footer.ok());
+  const SegmentFooter& f = footer.ValueOrDie();
+
+  using engine::BinaryOp;
+  using engine::Value;
+  // The engine's comparison kernels yield cmp==0 for a NaN operand, so the
+  // NaN row satisfies =, <=, >= against ANY literal: those ops must never
+  // prune a NaN-bearing segment, even far outside [10, 20].
+  EXPECT_TRUE(storage::SegmentCanMatch(f, {Conj("val", BinaryOp::kEq,
+                                               Value::Double(999.0))}));
+  EXPECT_TRUE(storage::SegmentCanMatch(f, {Conj("val", BinaryOp::kLe,
+                                               Value::Double(-999.0))}));
+  EXPECT_TRUE(storage::SegmentCanMatch(f, {Conj("val", BinaryOp::kGe,
+                                               Value::Double(999.0))}));
+  // < and > are genuinely unsatisfiable by NaN rows, so the range decides.
+  EXPECT_FALSE(storage::SegmentCanMatch(f, {Conj("val", BinaryOp::kLt,
+                                                Value::Double(10.0))}));
+  EXPECT_FALSE(storage::SegmentCanMatch(f, {Conj("val", BinaryOp::kGt,
+                                                Value::Double(20.0))}));
+  EXPECT_TRUE(storage::SegmentCanMatch(f, {Conj("val", BinaryOp::kLt,
+                                               Value::Double(10.5))}));
+}
+
+TEST(SegmentPruneTest, CleanRangesPruneAndAllNullPrunesEverything) {
+  const std::string dir = TestDir("prune_range");
+  Schema schema({{"id", DataType::kInt64}, {"n", DataType::kFloat64}});
+  Column cn = Column::FromDoubles({0.0, 0.0, 0.0});
+  Bitmap v(3, false);
+  ASSERT_TRUE(cn.SetValidity(v).ok());
+  auto t = Table::Make(schema, {Column::FromInts({100, 150, 200}), cn});
+  ASSERT_TRUE(t.ok());
+  auto footer = storage::WriteSegment(dir + "/s.mip", t.ValueOrDie());
+  ASSERT_TRUE(footer.ok());
+  const SegmentFooter& f = footer.ValueOrDie();
+
+  using engine::BinaryOp;
+  using engine::Value;
+  EXPECT_FALSE(storage::SegmentCanMatch(f, {Conj("id", BinaryOp::kEq,
+                                                 Value::Int(99))}));
+  EXPECT_TRUE(storage::SegmentCanMatch(f, {Conj("id", BinaryOp::kEq,
+                                                Value::Int(100))}));
+  EXPECT_FALSE(storage::SegmentCanMatch(f, {Conj("id", BinaryOp::kGt,
+                                                 Value::Int(200))}));
+  EXPECT_TRUE(storage::SegmentCanMatch(f, {Conj("id", BinaryOp::kGe,
+                                                Value::Int(200))}));
+  // All-null column: no comparison ever matches NULL.
+  EXPECT_FALSE(storage::SegmentCanMatch(f, {Conj("n", BinaryOp::kEq,
+                                                 Value::Double(0.0))}));
+  // Unknown column: ignored, stays scannable.
+  EXPECT_TRUE(storage::SegmentCanMatch(f, {Conj("ghost", BinaryOp::kEq,
+                                                Value::Int(1))}));
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, TornTailTruncatesToCommittedPrefix) {
+  const std::string dir = TestDir("wal_torn");
+  const std::string path = dir + "/wal-0.log";
+  const Table batch = MakeGnarlyTable();
+  ASSERT_TRUE(storage::AppendWalRecord(path, "t", batch).ok());
+  ASSERT_TRUE(storage::AppendWalRecord(path, "t", batch).ok());
+  ASSERT_TRUE(storage::AppendWalRecord(path, "t", batch).ok());
+  auto size = storage::FileSize(path);
+  ASSERT_TRUE(size.ok());
+
+  // Tear the last record mid-payload: replay keeps exactly two.
+  ASSERT_TRUE(storage::TruncateFile(path, size.ValueOrDie() - 5).ok());
+  auto replay = storage::ReplayWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.ValueOrDie().torn);
+  ASSERT_EQ(replay.ValueOrDie().records.size(), 2u);
+  EXPECT_EQ(TableBytes(replay.ValueOrDie().records[1].rows),
+            TableBytes(batch));
+}
+
+TEST(WalTest, GarbageTailIsTornNotFatal) {
+  const std::string dir = TestDir("wal_garbage");
+  const std::string path = dir + "/wal-0.log";
+  ASSERT_TRUE(storage::AppendWalRecord(path, "t", MakeGnarlyTable()).ok());
+  auto size = storage::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(storage::AppendFileSync(path, {0xDE, 0xAD, 0xBE, 0xEF, 0x01,
+                                             0x02, 0x03, 0x04, 0x05}).ok());
+  auto replay = storage::ReplayWal(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.ValueOrDie().torn);
+  EXPECT_EQ(replay.ValueOrDie().records.size(), 1u);
+  EXPECT_EQ(replay.ValueOrDie().valid_bytes, size.ValueOrDie());
+}
+
+TEST(WalTest, MissingFileIsEmptyReplay) {
+  auto replay = storage::ReplayWal(TestDir("wal_missing") + "/wal-0.log");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.ValueOrDie().records.empty());
+  EXPECT_FALSE(replay.ValueOrDie().torn);
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine: ingest, flush, recovery
+// ---------------------------------------------------------------------------
+
+TEST(StoreTest, AppendScanSurvivesReopenViaWal) {
+  const std::string dir = TestDir("store_wal_reopen");
+  const Table batch = MakeEventsTable(0, 500);
+  {
+    auto store = StorageEngine::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->AppendRows("events", batch).ok());
+    // Destructor deliberately does NOT flush: durability must come from
+    // the WAL alone.
+  }
+  auto store = StorageEngine::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ((*store)->SegmentCount("events").ValueOrDie(), 0u);
+  ASSERT_EQ((*store)->MemtableRows("events").ValueOrDie(), 500u);
+  auto scan = (*store)->ScanTable("events", nullptr, nullptr);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(TableBytes(scan.ValueOrDie()), TableBytes(batch));
+}
+
+TEST(StoreTest, FlushSplitsIntoSegmentsScanOrderPreserved) {
+  const std::string dir = TestDir("store_flush");
+  StorageOptions options;
+  options.target_segment_rows = 100;
+  const Table all = MakeEventsTable(0, 450);
+  {
+    auto store = StorageEngine::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    // Two appends, one flush: 450 rows -> 5 segments (4x100 + 50).
+    ASSERT_TRUE((*store)->AppendRows("events", all.Slice(0, 300)).ok());
+    ASSERT_TRUE((*store)->AppendRows("events", all.Slice(300, 150)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_EQ((*store)->SegmentCount("events").ValueOrDie(), 5u);
+    ASSERT_EQ((*store)->MemtableRows("events").ValueOrDie(), 0u);
+    auto scan = (*store)->ScanTable("events", nullptr, nullptr);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(TableBytes(scan.ValueOrDie()), TableBytes(all));
+  }
+  // Reopen: committed segments reload from the manifest, WAL is gone.
+  auto store = StorageEngine::Open(dir, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto scan = (*store)->ScanTable("events", nullptr, nullptr);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(TableBytes(scan.ValueOrDie()), TableBytes(all));
+}
+
+TEST(StoreTest, MemtableBudgetTriggersAutoFlush) {
+  const std::string dir = TestDir("store_autoflush");
+  StorageOptions options;
+  options.memtable_budget_bytes = 1024;  // tiny: every append flushes
+  options.target_segment_rows = 1000;
+  auto store = StorageEngine::Open(dir, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendRows("events", MakeEventsTable(0, 200)).ok());
+  EXPECT_GE((*store)->SegmentCount("events").ValueOrDie(), 1u);
+  EXPECT_EQ((*store)->MemtableRows("events").ValueOrDie(), 0u);
+}
+
+TEST(StoreTest, CrashRecoveryTornWalKeepsCommittedDropsUncommitted) {
+  const std::string dir = TestDir("store_crash_torn");
+  const Table committed = MakeEventsTable(0, 120);
+  {
+    auto store = StorageEngine::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRows("events", committed).ok());
+  }
+  // Simulate a crash mid-append: a torn half-record at the WAL tail.
+  ASSERT_TRUE(storage::AppendFileSync(dir + "/wal-0.log",
+                                      {0x40, 0x00, 0x00, 0x00, 0x99, 0x99,
+                                       0x12, 0x34, 0x56}).ok());
+  auto store = StorageEngine::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto scan = (*store)->ScanTable("events", nullptr, nullptr);
+  ASSERT_TRUE(scan.ok());
+  // Committed rows intact, torn suffix absent — and the tail was truncated,
+  // so the next append extends a clean log.
+  EXPECT_EQ(TableBytes(scan.ValueOrDie()), TableBytes(committed));
+  ASSERT_TRUE((*store)->AppendRows("events", MakeEventsTable(120, 30)).ok());
+  EXPECT_EQ((*store)->ScanTable("events", nullptr, nullptr)
+                .ValueOrDie()
+                .num_rows(),
+            150u);
+}
+
+TEST(StoreTest, CrashRecoverySweepsOrphanSegmentsAndStaleWals) {
+  const std::string dir = TestDir("store_crash_orphan");
+  const Table all = MakeEventsTable(0, 100);
+  {
+    auto store = StorageEngine::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRows("events", all).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // A flush that died after writing segments but before committing its
+  // manifest leaves: an orphan segment, a stale previous-epoch WAL, and a
+  // tmp file. Recovery must delete all three and keep the data intact.
+  ASSERT_TRUE(storage::WriteFileAtomic(dir + "/seg-999.mip",
+                                       {1, 2, 3, 4, 5}).ok());
+  ASSERT_TRUE(storage::AppendFileSync(dir + "/wal-0.log", {9, 9, 9}).ok());
+  ASSERT_TRUE(storage::AppendFileSync(dir + "/seg-7.mip.tmp", {1}).ok());
+  auto store = StorageEngine::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_FALSE(storage::FileExists(dir + "/seg-999.mip"));
+  EXPECT_FALSE(storage::FileExists(dir + "/wal-0.log"));
+  EXPECT_FALSE(storage::FileExists(dir + "/seg-7.mip.tmp"));
+  auto scan = (*store)->ScanTable("events", nullptr, nullptr);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(TableBytes(scan.ValueOrDie()), TableBytes(all));
+}
+
+TEST(StoreTest, CorruptCommittedSegmentIsTypedIOError) {
+  const std::string dir = TestDir("store_corrupt_seg");
+  {
+    auto store = StorageEngine::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRows("events", MakeEventsTable(0, 50)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto names = storage::ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  std::string seg;
+  for (const std::string& n : names.ValueOrDie()) {
+    if (n.rfind("seg-", 0) == 0) seg = dir + "/" + n;
+  }
+  ASSERT_FALSE(seg.empty());
+  auto bytes = storage::ReadFileBytes(seg);
+  ASSERT_TRUE(bytes.ok());
+  const std::vector<uint8_t> good = bytes.ValueOrDie();
+
+  // A flipped byte inside a column block: recovery only validates footers
+  // (it never reads data blocks), so Open succeeds — but the scan hits the
+  // column CRC and fails with a typed kIOError instead of decoding garbage.
+  {
+    std::vector<uint8_t> bad = good;
+    bad[storage::kSegmentHeaderBytes + 2] ^= 0x01;
+    ASSERT_TRUE(storage::WriteFileAtomic(seg, bad).ok());
+    auto store = StorageEngine::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    auto scan = (*store)->ScanTable("events", nullptr, nullptr);
+    ASSERT_FALSE(scan.ok());
+    EXPECT_EQ(scan.status().code(), StatusCode::kIOError)
+        << scan.status().ToString();
+  }
+
+  // A flipped byte in the footer region is caught already at Open.
+  {
+    std::vector<uint8_t> bad = good;
+    bad[bad.size() - 6] ^= 0x01;  // inside the trailer
+    ASSERT_TRUE(storage::WriteFileAtomic(seg, bad).ok());
+    auto store = StorageEngine::Open(dir);
+    ASSERT_FALSE(store.ok());
+    EXPECT_EQ(store.status().code(), StatusCode::kIOError)
+        << store.status().ToString();
+  }
+}
+
+TEST(StoreTest, CorruptManifestFailsOpenWithIOError) {
+  const std::string dir = TestDir("store_corrupt_manifest");
+  {
+    auto store = StorageEngine::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRows("events", MakeEventsTable(0, 10)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto bytes = storage::ReadFileBytes(dir + "/MANIFEST");
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> bad = bytes.ValueOrDie();
+  bad[bad.size() / 2] ^= 0xFF;
+  ASSERT_TRUE(storage::WriteFileAtomic(dir + "/MANIFEST", bad).ok());
+  auto store = StorageEngine::Open(dir);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError);
+}
+
+TEST(StoreTest, SchemaMismatchRejectedBeforeWal) {
+  const std::string dir = TestDir("store_schema");
+  auto store = StorageEngine::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendRows("events", MakeEventsTable(0, 5)).ok());
+  Schema other({{"x", DataType::kFloat64}});
+  auto t = Table::Make(other, {Column::FromDoubles({1.0})});
+  ASSERT_TRUE(t.ok());
+  auto st = (*store)->AppendRows("events", t.ValueOrDie());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  // The rejected batch never reached the WAL: reopen replays cleanly.
+  auto reopened = StorageEngine::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->MemtableRows("events").ValueOrDie(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Database integration: catalog, EXPLAIN, pruning parity
+// ---------------------------------------------------------------------------
+
+struct DiskDbFixture {
+  std::unique_ptr<StorageEngine> store;
+  std::unique_ptr<Database> db;
+
+  /// events table: 800 rows across 8 id-disjoint segments.
+  static DiskDbFixture Make(const std::string& name) {
+    DiskDbFixture fx;
+    const std::string dir = TestDir(name);
+    StorageOptions options;
+    options.target_segment_rows = 100;
+    auto store = StorageEngine::Open(dir, options);
+    EXPECT_TRUE(store.ok());
+    fx.store = std::move(store.ValueOrDie());
+    EXPECT_TRUE(fx.store->AppendRows("events", MakeEventsTable(0, 800)).ok());
+    EXPECT_TRUE(fx.store->Flush().ok());
+    fx.db = std::make_unique<Database>("disknode");
+    EXPECT_TRUE(fx.db->AttachStorage(fx.store.get()).ok());
+    return fx;
+  }
+};
+
+TEST(DiskDatabaseTest, CatalogSeesDiskTable) {
+  DiskDbFixture fx = DiskDbFixture::Make("db_catalog");
+  EXPECT_TRUE(fx.db->HasTable("events"));
+  auto schema = fx.db->GetSchema("events");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.ValueOrDie().num_fields(), 4u);
+  auto t = fx.db->GetTable("events");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.ValueOrDie().num_rows(), 800u);
+  // Disk tables cannot be dropped from SQL — the store owns their life.
+  EXPECT_FALSE(fx.db->DropTable("events").ok());
+}
+
+TEST(DiskDatabaseTest, ExplainShowsPrunedSegments) {
+  DiskDbFixture fx = DiskDbFixture::Make("db_explain");
+  const std::string plan =
+      ExplainText(fx.db.get(), "SELECT id FROM events WHERE id < 150");
+  // 800 rows / 100-row segments, ids ascending: id < 150 touches segments
+  // 0-1 and prunes the other six.
+  EXPECT_NE(plan.find("disk"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("prune="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("segments: scanned=2 pruned=6 total=8"),
+            std::string::npos)
+      << plan;
+}
+
+TEST(DiskDatabaseTest, PruningNeverChangesResults) {
+  DiskDbFixture fx = DiskDbFixture::Make("db_parity");
+  // Reference: the same rows as a plain in-memory base table.
+  Database mem("memnode");
+  auto full = fx.store->ScanTable("events", nullptr, nullptr);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(mem.PutTable("events", full.ValueOrDie()).ok());
+
+  // Predicate corpus: every comparison op crossed with literals below, at,
+  // inside and above each column's range — plus AND/OR combinations, NULL
+  // probes and aggregates. Results must match the memory engine row for
+  // row whether pruning fires or not.
+  std::vector<std::string> predicates;
+  for (const std::string op : {"=", "<", "<=", ">", ">="}) {
+    for (const std::string lit :
+         {"-5", "0", "17", "399", "400", "799", "1000"}) {
+      predicates.push_back("id " + op + " " + lit);
+    }
+    for (const std::string lit : {"-41.0", "-0.0", "0.0", "12.5", "85.0"}) {
+      predicates.push_back("val " + op + " " + lit);
+    }
+    for (const std::string lit : {"'a'", "'cat_3'", "'zzz'"}) {
+      predicates.push_back("cat " + op + " " + lit);
+    }
+    predicates.push_back("flag " + op + " 1");
+  }
+  predicates.push_back("id < 100 AND val >= 0.0");
+  predicates.push_back("id >= 700 AND cat = 'cat_7'");
+  predicates.push_back("id < 50 OR id > 750");
+  predicates.push_back("val IS NULL");
+  predicates.push_back("val IS NOT NULL AND id <= 10");
+
+  ThreadPool pool(8);
+  engine::ExecContext parallel{&pool, 64};  // tiny morsels: force fan-out
+  for (const std::string& pred : predicates) {
+    for (const std::string sql :
+         {"SELECT id, val, cat, flag FROM events WHERE " + pred,
+          "SELECT count(*) AS n, sum(val) AS s FROM events WHERE " + pred}) {
+      auto want = mem.ExecuteSql(sql);
+      ASSERT_TRUE(want.ok()) << sql << ": " << want.status().ToString();
+      for (const bool use_pool : {false, true}) {
+        fx.db->set_exec_context(use_pool ? &parallel
+                                         : &engine::ExecContext::Serial());
+        auto got = fx.db->ExecuteSql(sql);
+        ASSERT_TRUE(got.ok()) << sql << ": " << got.status().ToString();
+        EXPECT_EQ(got.ValueOrDie().ToString(100000),
+                  want.ValueOrDie().ToString(100000))
+            << sql << " (pool=" << use_pool << ")";
+      }
+    }
+  }
+
+  // Same corpus with the optimizer off: no prune hints at all, same rows.
+  fx.db->set_exec_context(nullptr);
+  fx.db->set_optimizer_enabled(false);
+  for (const std::string& pred : predicates) {
+    const std::string sql = "SELECT id FROM events WHERE " + pred;
+    auto want = mem.ExecuteSql(sql);
+    auto got = fx.db->ExecuteSql(sql);
+    ASSERT_TRUE(want.ok() && got.ok()) << sql;
+    EXPECT_EQ(got.ValueOrDie().ToString(100000),
+              want.ValueOrDie().ToString(100000))
+        << sql;
+  }
+}
+
+TEST(DiskDatabaseTest, MemtableRowsAreNeverPruned) {
+  DiskDbFixture fx = DiskDbFixture::Make("db_memtable");
+  // Rows beyond every segment's zone range, sitting only in the memtable.
+  ASSERT_TRUE(fx.db->IngestDisk("events", MakeEventsTable(5000, 10)).ok());
+  auto r = fx.db->ExecuteSql(
+      "SELECT count(*) AS n FROM events WHERE id >= 5000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().At(0, 0).int_value(), 10);
+}
+
+TEST(DiskDatabaseTest, IngestAndInsertBumpCatalogVersion) {
+  DiskDbFixture fx = DiskDbFixture::Make("db_version");
+  const uint64_t v0 = fx.db->catalog_version();
+  ASSERT_TRUE(fx.db->IngestDisk("events", MakeEventsTable(800, 5)).ok());
+  const uint64_t v1 = fx.db->catalog_version();
+  EXPECT_GT(v1, v0);
+  // SQL INSERT into a disk table routes through the store (WAL'd, durable)
+  // and bumps the version again.
+  auto st = fx.db->ExecuteSql(
+      "INSERT INTO events VALUES (9000, 1.0, 'cat_x', 1)");
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_GT(fx.db->catalog_version(), v1);
+  auto n = fx.db->ExecuteSql(
+      "SELECT count(*) AS n FROM events WHERE id = 9000");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.ValueOrDie().At(0, 0).int_value(), 1);
+}
+
+TEST(DiskDatabaseTest, ScanWithoutAttachedStorageFailsCleanly) {
+  // A plan that names a disk table executed on a database whose storage
+  // was never attached must produce a typed error, not a crash.
+  Database db("nostorage");
+  auto r = db.ExecuteSql("SELECT * FROM ghost_disk");
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Typed error propagation (satellite: storage errors over the wire)
+// ---------------------------------------------------------------------------
+
+TEST(StorageErrorTest, IOErrorCodeSurvivesReplyFrame) {
+  const std::string dir = TestDir("err_frame");
+  const std::string path = dir + "/seg-0.mip";
+  ASSERT_TRUE(storage::WriteFileAtomic(path, {1, 2, 3}).ok());
+  auto read = storage::ReadSegment(path);
+  ASSERT_FALSE(read.ok());
+  ASSERT_EQ(read.status().code(), StatusCode::kIOError);
+
+  // Round-trip the failure through the reply frame, as a worker would when
+  // a fetch_table hits a bad disk: the typed code must survive so callers
+  // can tell storage faults from planner errors.
+  const std::vector<uint8_t> payload =
+      net::EncodeReplyPayload(read.status(), {});
+  auto decoded = net::DecodeReplyPayload(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(decoded.status().message(), read.status().message());
+}
+
+TEST(StorageErrorTest, MissingDataDirIsIOError) {
+  auto footer = storage::ReadSegmentFooter("/nonexistent/nope.mip");
+  ASSERT_FALSE(footer.ok());
+  EXPECT_EQ(footer.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace mip

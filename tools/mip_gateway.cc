@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "federation/master.h"
 #include "net/tcp_transport.h"
 #include "serve_until_eof.h"
+#include "storage/store.h"
 
 namespace {
 
@@ -51,6 +53,10 @@ struct GatewayFlags {
   int serve_threads = 4;
   double read_deadline_ms = 0.0;
   int wire_version = mip::net::kFrameVersion;
+  /// When set, attaches a disk-backed segment store under this directory
+  /// to the Master's local engine: its tables become queryable (and
+  /// INSERT-able) alongside the federated view, and survive restarts.
+  std::string data_dir;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -107,6 +113,8 @@ Status ParseFlags(int argc, char** argv, GatewayFlags* flags) {
       flags->read_deadline_ms = std::atof(v.c_str());
     } else if (ParseFlag(arg, "wire-version", &v)) {
       flags->wire_version = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "data-dir", &v)) {
+      flags->data_dir = v;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -141,6 +149,13 @@ Status Run(const GatewayFlags& flags) {
   std::string view = "local";
   if (!flags.workers.empty()) {
     MIP_ASSIGN_OR_RETURN(view, master.CreateFederatedView(flags.dataset));
+  }
+
+  std::unique_ptr<mip::storage::StorageEngine> store;
+  if (!flags.data_dir.empty()) {
+    MIP_ASSIGN_OR_RETURN(store,
+                         mip::storage::StorageEngine::Open(flags.data_dir));
+    MIP_RETURN_NOT_OK(master.local_db().AttachStorage(store.get()));
   }
 
   mip::federation::GatewayOptions gw_options;

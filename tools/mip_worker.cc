@@ -23,10 +23,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/string_util.h"
 #include "federation/worker.h"
 #include "federation/worker_steps.h"
 #include "net/tcp_transport.h"
 #include "serve_until_eof.h"
+#include "storage/store.h"
 
 namespace {
 
@@ -47,6 +49,11 @@ struct WorkerFlags {
   int wire_version = mip::net::kFrameVersion;
   /// Evict connections stuck mid-frame after this budget (0 = never).
   double read_deadline_ms = 0.0;
+  /// When set, the dataset lives in a disk-backed segment store under this
+  /// directory instead of RAM: first boot ingests the synthetic table and
+  /// flushes it to segments; every restart serves those same bytes back,
+  /// regardless of --seed/--rows (which only shape the first ingest).
+  std::string data_dir;
 };
 
 std::vector<double> ParseDoubleList(const std::string& csv) {
@@ -92,6 +99,8 @@ Status ParseFlags(int argc, char** argv, WorkerFlags* flags) {
       flags->wire_version = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "read-deadline-ms", &v)) {
       flags->read_deadline_ms = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "data-dir", &v)) {
+      flags->data_dir = v;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -114,10 +123,32 @@ Status Run(const WorkerFlags& flags) {
   MIP_RETURN_NOT_OK(mip::federation::RegisterPortableSteps(functions.get()));
 
   mip::federation::WorkerNode worker(flags.id, functions, flags.seed);
-  MIP_RETURN_NOT_OK(worker.LoadDataset(
-      flags.dataset,
-      mip::federation::MakeSyntheticLinregTable(flags.seed, flags.rows,
-                                                flags.weights, flags.noise)));
+  std::unique_ptr<mip::storage::StorageEngine> store;
+  if (!flags.data_dir.empty()) {
+    MIP_ASSIGN_OR_RETURN(store,
+                         mip::storage::StorageEngine::Open(flags.data_dir));
+    bool have_dataset = false;
+    for (const std::string& name : store->StorageTableNames()) {
+      if (name == mip::ToLower(flags.dataset)) have_dataset = true;
+    }
+    if (!have_dataset) {
+      // First boot: seed the store, flush to segments so restarts serve
+      // the identical persisted bytes.
+      MIP_RETURN_NOT_OK(store->AppendRows(
+          flags.dataset,
+          mip::federation::MakeSyntheticLinregTable(flags.seed, flags.rows,
+                                                    flags.weights,
+                                                    flags.noise)));
+      MIP_RETURN_NOT_OK(store->Flush());
+    }
+    MIP_RETURN_NOT_OK(worker.AttachDiskStorage(store.get()));
+  } else {
+    MIP_RETURN_NOT_OK(worker.LoadDataset(
+        flags.dataset,
+        mip::federation::MakeSyntheticLinregTable(flags.seed, flags.rows,
+                                                  flags.weights,
+                                                  flags.noise)));
+  }
 
   mip::net::TcpTransportOptions options;
   options.bind_host = flags.host;
