@@ -7,12 +7,26 @@
 // time, bytes moved, protocol rounds and the simulated-network latency, for
 // the sum aggregation (the federated-learning workhorse) and for products
 // (where FT pays for Beaver triples + MAC arithmetic).
+//
+// Also sweeps the number of contributing sites (10 -> 50 -> 100) for the
+// secure sum — the paper's 100-hospital scenario — and reports per-site
+// cost, which must stay ~flat (sublinear growth) as sites are added: share
+// import is batched per site and pipelined through the columnar wire
+// format, so adding sites adds work linearly while per-site cost does not
+// grow.
+//
+// Writes machine-readable results to BENCH_smpc.json in the current
+// directory (ci/run_tests.sh smoke-parses it).
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "smpc/cluster.h"
+#include "smpc/spdz.h"
 
 namespace {
 
@@ -67,6 +81,41 @@ void Sweep(const char* title, mip::smpc::SmpcOp op,
   std::printf("\n");
 }
 
+struct SitePoint {
+  int sites;
+  double wall_ms;
+  double per_site_ms;
+  unsigned long long bytes;
+};
+
+/// Secure sum with `sites` contributing data owners on a fixed 3-node SMPC
+/// cluster (the paper's deployment shape: hospitals contribute, a small
+/// cluster computes). Batched kernels + morsel parallelism + pipelined
+/// columnar share distribution.
+SitePoint RunSites(int sites, size_t n, mip::ThreadPool* pool) {
+  mip::smpc::SmpcConfig config;
+  config.scheme = mip::smpc::SmpcScheme::kFullThreshold;
+  config.num_nodes = 3;
+  config.threshold = 1;
+  config.pool = pool;
+  mip::smpc::SmpcCluster cluster(config);
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 0.25 + 0.001 * static_cast<double>(i % 97);
+  }
+  mip::Stopwatch sw;
+  for (int s = 0; s < sites; ++s) {
+    (void)cluster.ImportShares("study", values);
+  }
+  (void)cluster.Compute("study", mip::smpc::SmpcOp::kSum);
+  SitePoint pt;
+  pt.sites = sites;
+  pt.wall_ms = sw.ElapsedMillis();
+  pt.per_site_ms = pt.wall_ms / sites;
+  pt.bytes = cluster.stats().bytes_transferred;
+  return pt;
+}
+
 }  // namespace
 
 int main() {
@@ -76,6 +125,84 @@ int main() {
         {100, 1000, 10000, 100000});
   Sweep("secure PRODUCT (Beaver triples on FT, resharing on Shamir)",
         mip::smpc::SmpcOp::kProduct, {100, 1000, 5000});
+
+  // --- Site-count sweep: the 100-hospital secure sum. ---
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  mip::ThreadPool pool(static_cast<int>(hw));
+  const size_t kElems = 10000;
+  std::printf("--- secure SUM vs number of contributing sites (FT, %zu "
+              "elements/site) ---\n",
+              kElems);
+  std::printf("%8s | %12s | %14s | %12s\n", "sites", "wall ms", "per-site ms",
+              "bytes");
+  std::vector<SitePoint> site_points;
+  for (int sites : {10, 50, 100}) {
+    // Warm-up run then measured run: steady-state is the serving regime.
+    (void)RunSites(sites, kElems, &pool);
+    const SitePoint pt = RunSites(sites, kElems, &pool);
+    site_points.push_back(pt);
+    std::printf("%8d | %12.2f | %14.3f | %12llu\n", pt.sites, pt.wall_ms,
+                pt.per_site_ms, pt.bytes);
+  }
+  const double ratio =
+      site_points.back().per_site_ms / site_points.front().per_site_ms;
+  std::printf("per-site cost at 100 sites vs 10 sites: %.2fx "
+              "(sublinear: %s)\n\n",
+              ratio, ratio < 10.0 ? "yes" : "NO");
+
+  // --- Offline dealer ablation (small, for the JSON; bench_spdz_offline
+  // is the full-size version). ---
+  const size_t kTriples = 100000;
+  double scalar_ms = 1e30, batched_ms = 1e30;
+  {
+    mip::smpc::SpdzDealer dealer(3, 77);
+    for (int rep = 0; rep < 3; ++rep) {
+      mip::Stopwatch sw;
+      dealer.PrecomputeTriplesScalar(kTriples);
+      scalar_ms = std::min(scalar_ms, sw.ElapsedMillis());
+      (void)dealer.TakeTriples(kTriples);
+    }
+  }
+  {
+    mip::smpc::SpdzDealer dealer(3, 77);
+    mip::smpc::VecExec exec{&pool, 16384};
+    for (int rep = 0; rep < 3; ++rep) {
+      mip::Stopwatch sw;
+      dealer.PrecomputeTriples(kTriples, exec);
+      batched_ms = std::min(batched_ms, sw.ElapsedMillis());
+      (void)dealer.TakeTriples(kTriples);
+    }
+  }
+  std::printf("offline dealer, %zu triples: scalar %.1f ms, batched %.1f ms "
+              "(%.2fx)\n\n",
+              kTriples, scalar_ms, batched_ms, scalar_ms / batched_ms);
+
+  // --- Machine-readable output for CI. ---
+  if (std::FILE* f = std::fopen("BENCH_smpc.json", "w")) {
+    std::fprintf(f, "{\n  \"sites_sweep\": [\n");
+    for (size_t i = 0; i < site_points.size(); ++i) {
+      const SitePoint& pt = site_points[i];
+      std::fprintf(f,
+                   "    {\"sites\": %d, \"wall_ms\": %.3f, \"per_site_ms\": "
+                   "%.4f, \"bytes\": %llu}%s\n",
+                   pt.sites, pt.wall_ms, pt.per_site_ms, pt.bytes,
+                   i + 1 < site_points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"per_site_100_vs_10\": %.4f,\n  \"sublinear\": %s,\n",
+                 ratio, ratio < 10.0 ? "true" : "false");
+    std::fprintf(f,
+                 "  \"spdz_offline\": {\"triples\": %zu, \"scalar_ms\": %.3f, "
+                 "\"batched_ms\": %.3f, \"speedup\": %.3f}\n}\n",
+                 kTriples, scalar_ms, batched_ms, scalar_ms / batched_ms);
+    std::fclose(f);
+    std::printf("wrote BENCH_smpc.json\n\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_smpc.json\n");
+    return 1;
+  }
+
   std::printf(
       "Shape vs paper: FT moves ~2x the bytes (value + MAC shares), adds "
       "MAC-check\nrounds, and consumes a Beaver triple per multiplication — "

@@ -36,6 +36,24 @@ uint64_t Rng::NextUint64() {
   return result;
 }
 
+void Rng::FillUint64(uint64_t* out, size_t n) {
+  uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Rotl(s1 * 5, 7) * 9;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 uint64_t Rng::NextBounded(uint64_t bound) {
   assert(bound > 0);
   // Rejection sampling to remove modulo bias.

@@ -22,6 +22,12 @@ class Rng {
   /// Uniform 64-bit value.
   uint64_t NextUint64();
 
+  /// Fills `out[0..n)` with the next n values of the stream — identical to
+  /// calling NextUint64() n times, but the generator state stays in
+  /// registers for the whole block, which is what makes bulk secret-share
+  /// sampling cheap (see smpc::Field::RandomVec).
+  void FillUint64(uint64_t* out, size_t n);
+
   /// Uniform in [0, bound). bound must be > 0.
   uint64_t NextBounded(uint64_t bound);
 

@@ -6,6 +6,7 @@
 #include "common/bytes.h"
 #include "common/stopwatch.h"
 #include "engine/table.h"
+#include "smpc/cluster.h"
 
 namespace mip::federation {
 
@@ -228,6 +229,10 @@ std::string Gateway::MetricsText() const {
     for (const auto& [link, hist] : link_source_->link_histograms()) {
       out += "link{id=\"" + link + "\"} " + hist.Summary() + "\n";
     }
+  }
+  if (smpc_source_ != nullptr) {
+    out += "# smpc\n";
+    out += smpc_source_->MetricsText();
   }
   return out;
 }

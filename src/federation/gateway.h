@@ -18,6 +18,10 @@
 #include "engine/database.h"
 #include "net/transport.h"
 
+namespace mip::smpc {
+class SmpcCluster;
+}
+
 namespace mip::federation {
 
 /// \brief LRU result cache for the gateway, keyed by (optimized plan
@@ -122,6 +126,12 @@ class Gateway {
     link_source_ = transport;
   }
 
+  /// Optional: the SMPC cluster whose per-op latency histograms and
+  /// transfer counters feed MetricsText's "# smpc" section.
+  void set_smpc_source(const smpc::SmpcCluster* cluster) {
+    smpc_source_ = cluster;
+  }
+
   /// The endpoint handler: admission -> quota -> cache -> execute.
   Result<std::vector<uint8_t>> Handle(const net::Envelope& envelope);
 
@@ -147,6 +157,7 @@ class Gateway {
   GatewayOptions options_;
   ResultCache cache_;
   const net::Transport* link_source_ = nullptr;
+  const smpc::SmpcCluster* smpc_source_ = nullptr;
 
   /// Catalog lock; see the class comment for the sharing discipline.
   std::shared_mutex db_mu_;

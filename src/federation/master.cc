@@ -256,6 +256,9 @@ Result<TransferData> FederationSession::LocalRunAndAggregate(
   // once a (late) reply arrives the shares are already in the cluster, and
   // excluding the worker afterwards would corrupt the aggregate.
   const std::string smpc_job = NextSmpcJobId();
+  // Large share vectors batch-process on the fan-out pool (morsel
+  // parallelism never changes the shares — deterministic chunking).
+  master_->smpc_.set_pool(&master_->pool());
   MIP_ASSIGN_OR_RETURN(
       std::vector<TransferData> shapes,
       FanOutLocalRun("local_run_secure", func, smpc_job, args,
@@ -276,6 +279,7 @@ Result<std::vector<double>> FederationSession::LocalRunSecureOp(
   // Deliberately sequential: kUnion concatenates contributions, so import
   // order is part of the result and must stay deterministic.
   const std::string smpc_job = NextSmpcJobId();
+  master_->smpc_.set_pool(&master_->pool());
   for (const std::string& wid : active_worker_ids_) {
     // Run plainly on the worker but import only the requested vector.
     WorkerNode* worker = master_->GetWorker(wid);

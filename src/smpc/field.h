@@ -61,6 +61,17 @@ class Field {
     }
   }
 
+  /// Bulk uniform sampling: fills `out[0..n)` with exactly the values (and
+  /// stream positions) that n successive Random() calls would produce. Raw
+  /// words come from Rng::FillUint64 in blocks and rejections are compacted
+  /// in place, so the per-call rejection loop is amortized away.
+  static void RandomVec(uint64_t* out, size_t n, Rng* rng);
+
+  /// The compaction step of RandomVec, visible for the property tests:
+  /// masks each raw word to 61 bits and keeps accepted (< p) values in draw
+  /// order. Returns how many were accepted. `out` may alias `raw`.
+  static size_t AcceptFieldWords(const uint64_t* raw, size_t n, uint64_t* out);
+
   /// Uniform vector of field elements.
   static std::vector<uint64_t> RandomVector(size_t n, Rng* rng);
 };

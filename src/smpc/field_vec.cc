@@ -1,0 +1,113 @@
+#include "smpc/field_vec.h"
+
+#include "smpc/field.h"
+
+namespace mip::smpc::field_vec {
+
+// Each loop body is the corresponding Field:: op inlined by hand, with the
+// conditional subtractions expressed as compares + masked adds so the
+// compiler can keep the whole iteration branch-free and vectorize it.
+
+void ReduceVec(const uint64_t* a, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = (a[i] & Field::kPrime) + (a[i] >> 61);
+    if (x >= Field::kPrime) x -= Field::kPrime;
+    out[i] = x;
+  }
+}
+
+void AddVec(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t s = a[i] + b[i];  // inputs < p < 2^61, so no overflow
+    if (s >= Field::kPrime) s -= Field::kPrime;
+    out[i] = s;
+  }
+}
+
+void SubVec(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + Field::kPrime - b[i];
+  }
+}
+
+void MulVec(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned __int128 prod = static_cast<unsigned __int128>(a[i]) *
+                                   static_cast<unsigned __int128>(b[i]);
+    const uint64_t lo = static_cast<uint64_t>(prod) & Field::kPrime;
+    const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+    out[i] = Field::Reduce(lo + Field::Reduce(hi));
+  }
+}
+
+void MulScalarVec(uint64_t c, const uint64_t* a, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(c) * static_cast<unsigned __int128>(a[i]);
+    const uint64_t lo = static_cast<uint64_t>(prod) & Field::kPrime;
+    const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+    out[i] = Field::Reduce(lo + Field::Reduce(hi));
+  }
+}
+
+void AddScalarVec(uint64_t c, const uint64_t* a, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t s = a[i] + c;
+    if (s >= Field::kPrime) s -= Field::kPrime;
+    out[i] = s;
+  }
+}
+
+void MulAccumVec(const uint64_t* a, const uint64_t* b, size_t n,
+                 uint64_t* acc) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned __int128 prod = static_cast<unsigned __int128>(a[i]) *
+                                   static_cast<unsigned __int128>(b[i]);
+    const uint64_t lo = static_cast<uint64_t>(prod) & Field::kPrime;
+    const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+    const uint64_t m = Field::Reduce(lo + Field::Reduce(hi));
+    uint64_t s = acc[i] + m;
+    if (s >= Field::kPrime) s -= Field::kPrime;
+    acc[i] = s;
+  }
+}
+
+void MulScalarAccumVec(uint64_t c, const uint64_t* a, size_t n,
+                       uint64_t* acc) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(c) * static_cast<unsigned __int128>(a[i]);
+    const uint64_t lo = static_cast<uint64_t>(prod) & Field::kPrime;
+    const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+    const uint64_t m = Field::Reduce(lo + Field::Reduce(hi));
+    uint64_t s = acc[i] + m;
+    if (s >= Field::kPrime) s -= Field::kPrime;
+    acc[i] = s;
+  }
+}
+
+void HornerStepVec(uint64_t* acc, uint64_t x, const uint64_t* coeffs,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(acc[i]) *
+        static_cast<unsigned __int128>(x);
+    const uint64_t lo = static_cast<uint64_t>(prod) & Field::kPrime;
+    const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+    const uint64_t m = Field::Reduce(lo + Field::Reduce(hi));
+    uint64_t s = m + coeffs[i];
+    if (s >= Field::kPrime) s -= Field::kPrime;
+    acc[i] = s;
+  }
+}
+
+uint64_t SumVec(const uint64_t* a, size_t n) {
+  uint64_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += a[i];
+    if (s >= Field::kPrime) s -= Field::kPrime;
+  }
+  return s;
+}
+
+}  // namespace mip::smpc::field_vec

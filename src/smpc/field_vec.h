@@ -1,0 +1,93 @@
+#ifndef MIP_SMPC_FIELD_VEC_H_
+#define MIP_SMPC_FIELD_VEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/parallel.h"
+
+namespace mip::smpc {
+
+/// \brief Array-at-a-time Mersenne-61 kernels.
+///
+/// These are the SMPC hot-path primitives: every batched share, MAC, triple
+/// and reconstruction loop in spdz.cc / shamir.cc / cluster.cc bottoms out
+/// here. Each kernel applies exactly the same per-element formula as the
+/// scalar `Field::` op it mirrors, so batched results are bit-identical to
+/// scalar loops — modular arithmetic is exact, which makes any loop
+/// restructuring reassociation-safe. The loops are written branch-light over
+/// contiguous spans so compilers auto-vectorize them; we deliberately use no
+/// intrinsics (the __int128 product in MulVec already maps to the widening
+/// multiply on every 64-bit target, and portable code keeps the UBSan/TSan
+/// jobs meaningful).
+///
+/// All spans may alias only when an `out` parameter equals one of the inputs
+/// element-for-element (in-place update); partially overlapping spans are
+/// not supported.
+namespace field_vec {
+
+/// out[i] = Reduce(a[i])
+void ReduceVec(const uint64_t* a, size_t n, uint64_t* out);
+
+/// out[i] = Add(a[i], b[i])
+void AddVec(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out);
+
+/// out[i] = Sub(a[i], b[i])
+void SubVec(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out);
+
+/// out[i] = Mul(a[i], b[i])
+void MulVec(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out);
+
+/// out[i] = Mul(c, a[i])
+void MulScalarVec(uint64_t c, const uint64_t* a, size_t n, uint64_t* out);
+
+/// out[i] = Add(a[i], c)
+void AddScalarVec(uint64_t c, const uint64_t* a, size_t n, uint64_t* out);
+
+/// acc[i] = Add(acc[i], Mul(a[i], b[i]))
+void MulAccumVec(const uint64_t* a, const uint64_t* b, size_t n,
+                 uint64_t* acc);
+
+/// acc[i] = Add(acc[i], Mul(c, a[i]))
+void MulScalarAccumVec(uint64_t c, const uint64_t* a, size_t n, uint64_t* acc);
+
+/// acc[i] = Add(Mul(acc[i], x), coeffs[i]) — one Horner step with a shared
+/// evaluation point and per-element coefficients (Shamir: many independent
+/// polynomials evaluated at one party's point x).
+void HornerStepVec(uint64_t* acc, uint64_t x, const uint64_t* coeffs,
+                   size_t n);
+
+/// Returns Reduce-sum of a[0..n): Add-folded left to right, identical to the
+/// scalar loop `for (v : a) s = Field::Add(s, v)`.
+uint64_t SumVec(const uint64_t* a, size_t n);
+
+}  // namespace field_vec
+
+/// \brief Execution context for the batched kernels: optional morsel
+/// parallelism over large spans.
+///
+/// A null pool (the default) runs everything on the calling thread. With a
+/// pool, ParallelSpan splits [0, n) into `grain`-sized chunks via
+/// ThreadPool::ParallelFor; chunk boundaries depend only on (n, grain), and
+/// the kernels are element-wise, so results are bit-identical at any thread
+/// count.
+struct VecExec {
+  ThreadPool* pool = nullptr;
+  size_t grain = 16384;
+};
+
+/// Runs `body(begin, end)` over [0, n), parallel when `exec.pool` is set and
+/// the span is larger than one grain, serial otherwise.
+template <typename Body>
+void ParallelSpan(size_t n, const VecExec& exec, const Body& body) {
+  if (exec.pool != nullptr && n > exec.grain) {
+    exec.pool->ParallelFor(n, exec.grain,
+                           [&body](size_t b, size_t e) { body(b, e); });
+  } else if (n > 0) {
+    body(0, n);
+  }
+}
+
+}  // namespace mip::smpc
+
+#endif  // MIP_SMPC_FIELD_VEC_H_

@@ -67,6 +67,42 @@ std::vector<std::vector<uint64_t>> ShamirScheme::ShareVector(
   return out;
 }
 
+std::vector<std::vector<uint64_t>> ShamirScheme::ShareVectorBatch(
+    const std::vector<uint64_t>& secrets, Rng* rng,
+    const VecExec& exec) const {
+  const size_t n = secrets.size();
+  const size_t np = static_cast<size_t>(num_parties_);
+  const size_t t = static_cast<size_t>(threshold_);
+  // Scalar draw order: per element, coefficients 1..t. One bulk draw with
+  // coeff(e, d) = rand[e * t + (d - 1)] reproduces it exactly.
+  std::vector<uint64_t> rand(n * t);
+  Field::RandomVec(rand.data(), rand.size(), rng);
+  std::vector<std::vector<uint64_t>> out(np, std::vector<uint64_t>(n));
+  ParallelSpan(n, exec, [&](size_t b, size_t end) {
+    const size_t len = end - b;
+    // Transpose this chunk's coefficients to degree-major contiguous rows
+    // so each Horner step is a sweep over contiguous spans.
+    std::vector<uint64_t> coef((t + 1) * len);
+    field_vec::ReduceVec(secrets.data() + b, len, coef.data());  // c0
+    for (size_t d = 1; d <= t; ++d) {
+      uint64_t* row = coef.data() + d * len;
+      for (size_t e = 0; e < len; ++e) row[e] = rand[(b + e) * t + (d - 1)];
+    }
+    std::vector<uint64_t> acc(len);
+    for (size_t p = 0; p < np; ++p) {
+      const uint64_t x = static_cast<uint64_t>(p + 1);
+      // EvalPoly starts acc = 0; the first step yields the top coefficient.
+      std::copy(coef.begin() + static_cast<long>(t * len),
+                coef.begin() + static_cast<long>((t + 1) * len), acc.begin());
+      for (size_t d = t; d-- > 0;) {
+        field_vec::HornerStepVec(acc.data(), x, coef.data() + d * len, len);
+      }
+      std::copy(acc.begin(), acc.end(), out[p].begin() + static_cast<long>(b));
+    }
+  });
+  return out;
+}
+
 Result<uint64_t> ShamirScheme::Reconstruct(
     const std::vector<std::pair<int, uint64_t>>& shares) const {
   if (static_cast<int>(shares.size()) < threshold_ + 1) {
@@ -121,6 +157,25 @@ Result<std::vector<uint64_t>> ShamirScheme::ReconstructVector(
   return out;
 }
 
+Result<std::vector<uint64_t>> ShamirScheme::ReconstructVectorBatch(
+    const std::vector<std::vector<uint64_t>>& shares,
+    const VecExec& exec) const {
+  if (static_cast<int>(shares.size()) != num_parties_) {
+    return Status::InvalidArgument("expected one share vector per party");
+  }
+  const size_t n = shares.empty() ? 0 : shares[0].size();
+  std::vector<uint64_t> out(n, 0);
+  ParallelSpan(n, exec, [&](size_t b, size_t end) {
+    const size_t len = end - b;
+    for (int p = 0; p < num_parties_; ++p) {
+      field_vec::MulScalarAccumVec(lagrange_full_[static_cast<size_t>(p)],
+                                   shares[static_cast<size_t>(p)].data() + b,
+                                   len, out.data() + b);
+    }
+  });
+  return out;
+}
+
 Result<std::vector<std::vector<uint64_t>>> ShamirScheme::MultiplyReshare(
     const std::vector<std::vector<uint64_t>>& x,
     const std::vector<std::vector<uint64_t>>& y, Rng* rng) const {
@@ -154,6 +209,55 @@ Result<std::vector<std::vector<uint64_t>>> ShamirScheme::MultiplyReshare(
       }
     }
   }
+  return out;
+}
+
+Result<std::vector<std::vector<uint64_t>>> ShamirScheme::MultiplyReshareBatch(
+    const std::vector<std::vector<uint64_t>>& x,
+    const std::vector<std::vector<uint64_t>>& y, Rng* rng,
+    const VecExec& exec) const {
+  if (2 * threshold_ >= num_parties_) {
+    return Status::SecurityError(
+        "Shamir multiplication requires 2t < n (degree reduction)");
+  }
+  if (x.size() != static_cast<size_t>(num_parties_) || x.size() != y.size()) {
+    return Status::InvalidArgument("party count mismatch");
+  }
+  const size_t n = x[0].size();
+  const size_t np = static_cast<size_t>(num_parties_);
+  const size_t t = static_cast<size_t>(threshold_);
+  // Scalar draw order: element-major, party-minor, t coefficients per
+  // re-sharing — coeff(e, p, d) = rand[(e * np + p) * t + (d - 1)].
+  std::vector<uint64_t> rand(n * np * t);
+  Field::RandomVec(rand.data(), rand.size(), rng);
+  std::vector<std::vector<uint64_t>> out(np, std::vector<uint64_t>(n, 0));
+  ParallelSpan(n, exec, [&](size_t b, size_t end) {
+    const size_t len = end - b;
+    std::vector<uint64_t> coef((t + 1) * len);
+    std::vector<uint64_t> acc(len);
+    for (size_t p = 0; p < np; ++p) {
+      // c0 = this party's local product shares for the chunk.
+      field_vec::MulVec(x[p].data() + b, y[p].data() + b, len, coef.data());
+      for (size_t d = 1; d <= t; ++d) {
+        uint64_t* row = coef.data() + d * len;
+        for (size_t e = 0; e < len; ++e) {
+          row[e] = rand[((b + e) * np + p) * t + (d - 1)];
+        }
+      }
+      const uint64_t lambda = lagrange_full_[p];
+      for (size_t q = 0; q < np; ++q) {
+        const uint64_t xq = static_cast<uint64_t>(q + 1);
+        std::copy(coef.begin() + static_cast<long>(t * len),
+                  coef.begin() + static_cast<long>((t + 1) * len),
+                  acc.begin());
+        for (size_t d = t; d-- > 0;) {
+          field_vec::HornerStepVec(acc.data(), xq, coef.data() + d * len, len);
+        }
+        field_vec::MulScalarAccumVec(lambda, acc.data(), len,
+                                     out[q].data() + b);
+      }
+    }
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "smpc/field_vec.h"
 
 namespace mip::smpc {
 
@@ -29,9 +30,17 @@ class ShamirScheme {
   /// Shares one secret: element i of the result goes to party i.
   std::vector<uint64_t> Share(uint64_t secret, Rng* rng) const;
 
-  /// Shares a vector (party-major result).
+  /// Shares a vector (party-major result). Scalar reference: one Share call
+  /// per element.
   std::vector<std::vector<uint64_t>> ShareVector(
       const std::vector<uint64_t>& secrets, Rng* rng) const;
+
+  /// Batched sharing: bit-identical to ShareVector for the same Rng state.
+  /// Coefficients come from one bulk draw (scalar draw order), then each
+  /// party's shares are one vectorized Horner sweep over all elements.
+  std::vector<std::vector<uint64_t>> ShareVectorBatch(
+      const std::vector<uint64_t>& secrets, Rng* rng,
+      const VecExec& exec = {}) const;
 
   /// Reconstructs from (party_index, share) pairs. Needs at least t+1
   /// distinct parties.
@@ -42,6 +51,12 @@ class ShamirScheme {
   Result<std::vector<uint64_t>> ReconstructVector(
       const std::vector<std::vector<uint64_t>>& shares) const;
 
+  /// Batched reconstruction: bit-identical to ReconstructVector, Lagrange
+  /// recombination done with MulScalarAccumVec sweeps per party.
+  Result<std::vector<uint64_t>> ReconstructVectorBatch(
+      const std::vector<std::vector<uint64_t>>& shares,
+      const VecExec& exec = {}) const;
+
   /// Degree reduction after a local share product: each party re-shares its
   /// local product share, and the new shares are recombined with Lagrange
   /// weights — the classic BGW multiplication step (one communication
@@ -49,6 +64,14 @@ class ShamirScheme {
   Result<std::vector<std::vector<uint64_t>>> MultiplyReshare(
       const std::vector<std::vector<uint64_t>>& x,
       const std::vector<std::vector<uint64_t>>& y, Rng* rng) const;
+
+  /// Batched BGW multiplication: bit-identical to MultiplyReshare for the
+  /// same Rng state (resharing coefficients are drawn in the scalar
+  /// element-major, party-minor order, then consumed by vector kernels).
+  Result<std::vector<std::vector<uint64_t>>> MultiplyReshareBatch(
+      const std::vector<std::vector<uint64_t>>& x,
+      const std::vector<std::vector<uint64_t>>& y, Rng* rng,
+      const VecExec& exec = {}) const;
 
   /// Lagrange coefficient for party `i` when interpolating at x = 0 using
   /// the full party set {1..n}.

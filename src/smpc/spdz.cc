@@ -1,8 +1,169 @@
 #include "smpc/spdz.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
 #include "smpc/field.h"
 
 namespace mip::smpc {
+
+SpdzMatrix ToMatrix(const SpdzSharedVector& shares) {
+  SpdzMatrix m(shares.size());
+  for (size_t p = 0; p < shares.size(); ++p) {
+    m[p].resize(shares[p].size());
+    for (size_t e = 0; e < shares[p].size(); ++e) {
+      m[p].values[e] = shares[p][e].value;
+      m[p].macs[e] = shares[p][e].mac;
+    }
+  }
+  return m;
+}
+
+SpdzSharedVector ToShared(const SpdzMatrix& m) {
+  SpdzSharedVector shares(m.size());
+  for (size_t p = 0; p < m.size(); ++p) {
+    shares[p].resize(m[p].size());
+    for (size_t e = 0; e < m[p].size(); ++e) {
+      shares[p][e] = {m[p].values[e], m[p].macs[e]};
+    }
+  }
+  return shares;
+}
+
+namespace {
+
+/// Fused triple-generation kernel: one pass over the morsel's random words
+/// computes a, b, c = a*b and every party's (value, mac) share for all three
+/// sharings, writing straight into the 6*np output column tails. Templating
+/// on the party count makes np, the word stride and every column index a
+/// compile-time constant, so the inner loops fully unroll and the column
+/// pointers live in registers — measured ~2x over the runtime-np version.
+/// The formulas and accumulation order are the scalar MakeTriple/ShareValue
+/// ones verbatim (bit-parity pinned in smpc_property_test).
+template <int NP>
+void FuseTriples(const uint64_t* rand, uint64_t* const* col_in, size_t len,
+                 uint64_t alpha) {
+  constexpr size_t kPerShare = 2 * (static_cast<size_t>(NP) - 1);
+  constexpr size_t kStride = 2 + 3 * kPerShare;
+  uint64_t* c[6 * NP];
+  for (size_t j = 0; j < 6 * static_cast<size_t>(NP); ++j) c[j] = col_in[j];
+  for (size_t t = 0; t < len; ++t) {
+    const uint64_t* r = rand + t * kStride;
+    const uint64_t a = r[0];
+    const uint64_t b = r[1];
+    const uint64_t cc = Field::Mul(a, b);
+    const uint64_t plains[3] = {a, b, cc};
+    for (int s = 0; s < 3; ++s) {
+      const size_t off = 2 + static_cast<size_t>(s) * kPerShare;
+      uint64_t* const* share_cols = c + s * NP * 2;
+      uint64_t vsum = 0;
+      uint64_t msum = 0;
+      for (int p = 0; p + 1 < NP; ++p) {
+        const uint64_t v = r[off + 2 * static_cast<size_t>(p)];
+        const uint64_t m = r[off + 2 * static_cast<size_t>(p) + 1];
+        share_cols[2 * p][t] = v;
+        share_cols[2 * p + 1][t] = m;
+        vsum = Field::Add(vsum, v);
+        msum = Field::Add(msum, m);
+      }
+      share_cols[2 * (NP - 1)][t] = Field::Sub(plains[s], vsum);
+      share_cols[2 * (NP - 1) + 1][t] =
+          Field::Sub(Field::Mul(alpha, plains[s]), msum);
+    }
+  }
+}
+
+/// Runtime-np fallback for party counts without a specialized instantiation.
+void FuseTriplesGeneric(const uint64_t* rand, uint64_t* const* col, size_t len,
+                        uint64_t alpha, int np, size_t stride,
+                        size_t per_share) {
+  for (size_t t = 0; t < len; ++t) {
+    const uint64_t* r = rand + t * stride;
+    const uint64_t a = r[0];
+    const uint64_t b = r[1];
+    const uint64_t cc = Field::Mul(a, b);
+    const uint64_t plains[3] = {a, b, cc};
+    for (int s = 0; s < 3; ++s) {
+      const size_t off = 2 + static_cast<size_t>(s) * per_share;
+      uint64_t* const* share_cols =
+          col + static_cast<size_t>(s) * static_cast<size_t>(np) * 2;
+      uint64_t vsum = 0;
+      uint64_t msum = 0;
+      for (int p = 0; p + 1 < np; ++p) {
+        const uint64_t v = r[off + 2 * static_cast<size_t>(p)];
+        const uint64_t m = r[off + 2 * static_cast<size_t>(p) + 1];
+        share_cols[2 * p][t] = v;
+        share_cols[2 * p + 1][t] = m;
+        vsum = Field::Add(vsum, v);
+        msum = Field::Add(msum, m);
+      }
+      share_cols[2 * (np - 1)][t] = Field::Sub(plains[s], vsum);
+      share_cols[2 * (np - 1) + 1][t] =
+          Field::Sub(Field::Mul(alpha, plains[s]), msum);
+    }
+  }
+}
+
+using FuseFn = void (*)(const uint64_t*, uint64_t* const*, size_t, uint64_t);
+
+FuseFn FuseForParties(int np) {
+  switch (np) {
+    case 1: return &FuseTriples<1>;
+    case 2: return &FuseTriples<2>;
+    case 3: return &FuseTriples<3>;
+    case 4: return &FuseTriples<4>;
+    case 5: return &FuseTriples<5>;
+    case 6: return &FuseTriples<6>;
+    case 7: return &FuseTriples<7>;
+    case 8: return &FuseTriples<8>;
+    default: return nullptr;
+  }
+}
+
+/// Computes the party-major SoA authenticated sharing of plain[0..n), where
+/// party p's (value, mac) random words for element e sit at
+/// rand[e * stride + offset + 2p (+ 1)]. The word layout is exactly the draw
+/// order of the scalar ShareValue loop, which is what makes every batched
+/// sharing bit-identical to its scalar counterpart.
+void ShareBatchFromRandom(const uint64_t* plain, size_t n, int np,
+                          uint64_t alpha, const uint64_t* rand, size_t stride,
+                          size_t offset, const VecExec& exec,
+                          SpdzMatrix* out) {
+  out->assign(static_cast<size_t>(np), SpdzVec{});
+  for (auto& v : *out) v.resize(n);
+  ParallelSpan(n, exec, [&](size_t b, size_t end) {
+    const size_t len = end - b;
+    for (int p = 0; p + 1 < np; ++p) {
+      uint64_t* vals = (*out)[static_cast<size_t>(p)].values.data();
+      uint64_t* macs = (*out)[static_cast<size_t>(p)].macs.data();
+      const size_t base = offset + 2 * static_cast<size_t>(p);
+      for (size_t e = b; e < end; ++e) {
+        vals[e] = rand[e * stride + base];
+        macs[e] = rand[e * stride + base + 1];
+      }
+    }
+    // Closing party: value = x - sum(other values), mac = alpha*x - sum.
+    // Serial SubVec folds: Sub(Sub(x, v0), v1) == Sub(x, Add(v0, v1)) in
+    // exact modular arithmetic, so no temporary sum buffers are needed and
+    // the result is still bit-identical to the scalar loop.
+    SpdzVec& last = (*out)[static_cast<size_t>(np) - 1];
+    std::copy(plain + b, plain + end, last.values.data() + b);
+    field_vec::MulScalarVec(alpha, plain + b, len, last.macs.data() + b);
+    for (int p = 0; p + 1 < np; ++p) {
+      field_vec::SubVec(last.values.data() + b,
+                        (*out)[static_cast<size_t>(p)].values.data() + b, len,
+                        last.values.data() + b);
+      field_vec::SubVec(last.macs.data() + b,
+                        (*out)[static_cast<size_t>(p)].macs.data() + b, len,
+                        last.macs.data() + b);
+    }
+  });
+}
+
+}  // namespace
 
 SpdzDealer::SpdzDealer(int num_parties, uint64_t seed)
     : num_parties_(num_parties), rng_(seed) {
@@ -45,6 +206,18 @@ SpdzSharedVector SpdzDealer::ShareVector(const std::vector<uint64_t>& xs) {
   return out;
 }
 
+SpdzMatrix SpdzDealer::ShareVectorBatch(const std::vector<uint64_t>& xs,
+                                        const VecExec& exec) {
+  const size_t n = xs.size();
+  const size_t per_elem = 2 * static_cast<size_t>(num_parties_ - 1);
+  std::vector<uint64_t> rand(n * per_elem);
+  Field::RandomVec(rand.data(), rand.size(), &rng_);
+  SpdzMatrix out;
+  ShareBatchFromRandom(xs.data(), n, num_parties_, alpha_, rand.data(),
+                       per_elem, 0, exec, &out);
+  return out;
+}
+
 std::vector<SpdzTriple> SpdzDealer::MakeTriple() {
   const uint64_t a = Field::Random(&rng_);
   const uint64_t b = Field::Random(&rng_);
@@ -61,24 +234,248 @@ std::vector<SpdzTriple> SpdzDealer::MakeTriple() {
   return out;
 }
 
-void SpdzDealer::PrecomputeTriples(size_t count) {
-  for (size_t i = 0; i < count; ++i) pool_.push_back(MakeTriple());
+void SpdzDealer::GenerateTriplesInto(SpdzTripleBlock* blk, size_t count,
+                                     const VecExec& exec) {
+  // Draw order per triple (matching count scalar MakeTriple calls):
+  // a, b, shares(a), shares(b), shares(c) — 2 + 6(np-1) words, flat.
+  // Appends to `blk` in place: a long-lived dealer's pool keeps its array
+  // capacity across drains, so steady-state refills write into warm,
+  // already-faulted memory instead of paying a fresh 4 KiB page fault per
+  // ~500 triples (profiling showed first-touch faults rivaling the field
+  // arithmetic itself).
+  const size_t per_share = 2 * static_cast<size_t>(num_parties_ - 1);
+  const size_t stride = 2 + 3 * per_share;
+  const int np = num_parties_;
+  const size_t ncols = 6 * static_cast<size_t>(np);  // {a,b,c} x p x {v,m}
+  // Flat view of the 6*np output columns, ordered (sharing, party, val|mac).
+  std::vector<std::vector<uint64_t>*> arrs(ncols);
+  {
+    SpdzMatrix* mats[3] = {&blk->a, &blk->b, &blk->c};
+    for (int s = 0; s < 3; ++s) {
+      if (mats[s]->empty()) mats[s]->assign(static_cast<size_t>(np), SpdzVec{});
+      for (int p = 0; p < np; ++p) {
+        SpdzVec& v = (*mats[s])[static_cast<size_t>(p)];
+        v.values.reserve(v.values.size() + count);
+        v.macs.reserve(v.macs.size() + count);
+        const size_t j = (static_cast<size_t>(s) * static_cast<size_t>(np) +
+                          static_cast<size_t>(p)) *
+                         2;
+        arrs[j] = &v.values;
+        arrs[j + 1] = &v.macs;
+      }
+    }
+  }
+  const uint64_t alpha = alpha_;
+  // Generation streams over cache-resident morsels: draw the morsel's
+  // random words, grow each output column by `len` zeros (the fresh tail
+  // stays in cache, so the immediate overwrite below never pays the
+  // read-for-ownership that writing cold full-size columns would), then one
+  // fused pass computes value/mac/closing-party arithmetic while each
+  // triple's stride block of words is still in registers. Profiling showed
+  // the alternatives — full-size resize() + strided kernel passes — were
+  // bound on DRAM round trips, not on the field arithmetic. The formulas
+  // and accumulation order are the scalar MakeTriple/ShareValue ones
+  // verbatim (bit-parity pinned in smpc_property_test).
+  // Fuse granularity: small enough that a morsel's random words plus the 18
+  // column tails stay cache-resident.
+  constexpr size_t kMorsel = 1024;
+  // Pipeline handoff granularity: one producer/consumer exchange per
+  // kBlockMorsels morsels, so condition-variable wakeup latency amortizes
+  // over ~100k words instead of being paid per morsel.
+  constexpr size_t kBlockMorsels = 8;
+  constexpr size_t kBlock = kMorsel * kBlockMorsels;
+  const size_t nblocks = (count + kBlock - 1) / kBlock;
+  const FuseFn fixed_fuse = FuseForParties(np);
+  const auto fuse = [&](const uint64_t* rand, uint64_t* const* col,
+                        size_t len) {
+    if (fixed_fuse != nullptr) {
+      fixed_fuse(rand, col, len, alpha);
+    } else {
+      FuseTriplesGeneric(rand, col, len, alpha, np, stride, per_share);
+    }
+  };
+
+  // With a pool, the block loop becomes a two-stage pipeline: a single
+  // producer task draws block k+1's random words (still strictly in stream
+  // order — the RNG sequence is the parity contract) while this thread
+  // fuses block k. The double buffer bounds the producer's lead.
+  // NOTE: must not be called from a task of the same pool (the producer
+  // would queue behind the blocked caller).
+  const bool pipelined = exec.pool != nullptr && nblocks >= 2;
+  std::vector<uint64_t> rand[2];
+  rand[0].resize(kBlock * stride);
+  if (pipelined) rand[1].resize(kBlock * stride);
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t filled = 0;    // blocks drawn by the producer
+  size_t consumed = 0;  // blocks fused by this thread
+  if (pipelined) {
+    exec.pool->Submit([&, count] {
+      for (size_t k = 0; k < nblocks; ++k) {
+        const size_t len = std::min(kBlock, count - k * kBlock);
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return k < consumed + 2; });
+        }
+        Field::RandomVec(rand[k % 2].data(), len * stride, &rng_);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          filled = k + 1;
+        }
+        cv.notify_all();
+      }
+    });
+  }
+
+  std::vector<uint64_t*> cols(ncols);
+  for (size_t k = 0; k < nblocks; ++k) {
+    const size_t blk_lo = k * kBlock;
+    const size_t blk_len = std::min(kBlock, count - blk_lo);
+    if (pipelined) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return filled > k; });
+    } else {
+      Field::RandomVec(rand[0].data(), blk_len * stride, &rng_);
+    }
+    const uint64_t* rblock = rand[pipelined ? k % 2 : 0].data();
+    static const uint64_t kZeros[kMorsel] = {};
+    for (size_t m = 0; m < blk_len; m += kMorsel) {
+      const size_t len = std::min(kMorsel, blk_len - m);
+      for (size_t j = 0; j < ncols; ++j) {
+        arrs[j]->insert(arrs[j]->end(), kZeros, kZeros + len);
+        cols[j] = arrs[j]->data() + (arrs[j]->size() - len);
+      }
+      fuse(rblock + m * stride, cols.data(), len);
+    }
+    if (pipelined) {
+      std::lock_guard<std::mutex> lock(mu);
+      consumed = k + 1;
+      cv.notify_all();
+    }
+  }
+}
+
+SpdzTripleBlock SpdzDealer::MakeTriples(size_t count, const VecExec& exec) {
+  SpdzTripleBlock blk;
+  GenerateTriplesInto(&blk, count, exec);
+  return blk;
+}
+
+namespace {
+
+void EnsureParties(SpdzMatrix* m, int np) {
+  if (m->empty()) m->assign(static_cast<size_t>(np), SpdzVec{});
+}
+
+}  // namespace
+
+void SpdzDealer::PrecomputeTriples(size_t count, const VecExec& exec) {
+  // Generates straight into the pool arrays: no block-adoption copy, and a
+  // drained pool's retained capacity makes steady-state refills run in warm
+  // memory.
+  GenerateTriplesInto(&pool_, count, exec);
+  triples_precomputed_ += count;
+}
+
+void SpdzDealer::PrecomputeTriplesScalar(size_t count) {
+  EnsureParties(&pool_.a, num_parties_);
+  EnsureParties(&pool_.b, num_parties_);
+  EnsureParties(&pool_.c, num_parties_);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<SpdzTriple> t = MakeTriple();
+    for (size_t p = 0; p < t.size(); ++p) {
+      pool_.a[p].values.push_back(t[p].a.value);
+      pool_.a[p].macs.push_back(t[p].a.mac);
+      pool_.b[p].values.push_back(t[p].b.value);
+      pool_.b[p].macs.push_back(t[p].b.mac);
+      pool_.c[p].values.push_back(t[p].c.value);
+      pool_.c[p].macs.push_back(t[p].c.mac);
+    }
+  }
   triples_precomputed_ += count;
 }
 
 std::vector<SpdzTriple> SpdzDealer::TakeTriple() {
-  if (!pool_.empty()) {
-    std::vector<SpdzTriple> t = std::move(pool_.back());
-    pool_.pop_back();
+  const size_t avail = pool_.size();
+  if (avail > 0) {
+    const size_t e = avail - 1;
+    std::vector<SpdzTriple> t(static_cast<size_t>(num_parties_));
+    for (size_t p = 0; p < t.size(); ++p) {
+      t[p].a = {pool_.a[p].values[e], pool_.a[p].macs[e]};
+      t[p].b = {pool_.b[p].values[e], pool_.b[p].macs[e]};
+      t[p].c = {pool_.c[p].values[e], pool_.c[p].macs[e]};
+      pool_.a[p].resize(e);
+      pool_.b[p].resize(e);
+      pool_.c[p].resize(e);
+    }
     return t;
   }
   ++triples_online_;
   return MakeTriple();
 }
 
+SpdzTripleBlock SpdzDealer::TakeTriples(size_t count, const VecExec& exec) {
+  SpdzTripleBlock out;
+  out.a.assign(static_cast<size_t>(num_parties_), SpdzVec{});
+  out.b.assign(static_cast<size_t>(num_parties_), SpdzVec{});
+  out.c.assign(static_cast<size_t>(num_parties_), SpdzVec{});
+  for (int p = 0; p < num_parties_; ++p) {
+    out.a[static_cast<size_t>(p)].resize(count);
+    out.b[static_cast<size_t>(p)].resize(count);
+    out.c[static_cast<size_t>(p)].resize(count);
+  }
+  const size_t avail = pool_.size();
+  const size_t from_pool = std::min(count, avail);
+  // LIFO parity: element e must be the triple the e-th TakeTriple call
+  // would pop, i.e. pool element (avail - 1 - e).
+  for (size_t p = 0; p < out.a.size(); ++p) {
+    for (size_t e = 0; e < from_pool; ++e) {
+      const size_t src = avail - 1 - e;
+      out.a[p].values[e] = pool_.a[p].values[src];
+      out.a[p].macs[e] = pool_.a[p].macs[src];
+      out.b[p].values[e] = pool_.b[p].values[src];
+      out.b[p].macs[e] = pool_.b[p].macs[src];
+      out.c[p].values[e] = pool_.c[p].values[src];
+      out.c[p].macs[e] = pool_.c[p].macs[src];
+    }
+    if (from_pool > 0) {
+      pool_.a[p].resize(avail - from_pool);
+      pool_.b[p].resize(avail - from_pool);
+      pool_.c[p].resize(avail - from_pool);
+    }
+  }
+  if (count > from_pool) {
+    const size_t fresh = count - from_pool;
+    SpdzTripleBlock gen = MakeTriples(fresh, exec);
+    triples_online_ += fresh;
+    for (size_t p = 0; p < out.a.size(); ++p) {
+      std::copy(gen.a[p].values.begin(), gen.a[p].values.end(),
+                out.a[p].values.begin() + static_cast<long>(from_pool));
+      std::copy(gen.a[p].macs.begin(), gen.a[p].macs.end(),
+                out.a[p].macs.begin() + static_cast<long>(from_pool));
+      std::copy(gen.b[p].values.begin(), gen.b[p].values.end(),
+                out.b[p].values.begin() + static_cast<long>(from_pool));
+      std::copy(gen.b[p].macs.begin(), gen.b[p].macs.end(),
+                out.b[p].macs.begin() + static_cast<long>(from_pool));
+      std::copy(gen.c[p].values.begin(), gen.c[p].values.end(),
+                out.c[p].values.begin() + static_cast<long>(from_pool));
+      std::copy(gen.c[p].macs.begin(), gen.c[p].macs.end(),
+                out.c[p].macs.begin() + static_cast<long>(from_pool));
+    }
+  }
+  return out;
+}
+
 std::vector<SpdzShare> SpdzDealer::SharePositiveRandom(int bits) {
   const uint64_t r = 1 + rng_.NextBounded((1ull << bits) - 1);
   return ShareValue(r);
+}
+
+SpdzMatrix SpdzDealer::SharePositiveRandomVec(int bits, size_t n,
+                                              const VecExec& exec) {
+  std::vector<uint64_t> rs(n);
+  for (uint64_t& r : rs) r = 1 + rng_.NextBounded((1ull << bits) - 1);
+  return ShareVectorBatch(rs, exec);
 }
 
 uint64_t Spdz::AddF(uint64_t a, uint64_t b) { return Field::Add(a, b); }
@@ -119,6 +516,43 @@ Result<uint64_t> Spdz::Open(const std::vector<SpdzShare>& shares,
   return x;
 }
 
+Status Spdz::OpenVec(const SpdzMatrix& shares,
+                     const std::vector<uint64_t>& alpha_shares,
+                     const VecExec& exec, std::vector<uint64_t>* out) {
+  if (shares.empty() || shares.size() != alpha_shares.size()) {
+    return Status::InvalidArgument("party count mismatch in OpenVec");
+  }
+  const size_t np = shares.size();
+  const size_t n = shares[0].size();
+  out->assign(n, 0);
+  std::atomic<bool> tampered{false};
+  ParallelSpan(n, exec, [&](size_t b, size_t end) {
+    const size_t len = end - b;
+    uint64_t* x = out->data() + b;
+    std::copy(shares[0].values.begin() + static_cast<long>(b),
+              shares[0].values.begin() + static_cast<long>(end), x);
+    for (size_t p = 1; p < np; ++p) {
+      field_vec::AddVec(x, shares[p].values.data() + b, len, x);
+    }
+    std::vector<uint64_t> sigma(len, 0);
+    std::vector<uint64_t> tmp(len);
+    for (size_t p = 0; p < np; ++p) {
+      field_vec::MulScalarVec(alpha_shares[p], x, len, tmp.data());
+      field_vec::SubVec(shares[p].macs.data() + b, tmp.data(), len,
+                        tmp.data());
+      field_vec::AddVec(sigma.data(), tmp.data(), len, sigma.data());
+    }
+    for (size_t i = 0; i < len; ++i) {
+      if (sigma[i] != 0) tampered.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (tampered.load(std::memory_order_relaxed)) {
+    return Status::SecurityError(
+        "SPDZ MAC check failed: a share was tampered with; aborting");
+  }
+  return Status::OK();
+}
+
 Result<std::vector<SpdzShare>> Spdz::Multiply(
     const std::vector<SpdzShare>& x, const std::vector<SpdzShare>& y,
     const std::vector<SpdzTriple>& triple,
@@ -148,6 +582,74 @@ Result<std::vector<SpdzShare>> Spdz::Multiply(
     z[i] = s;
   }
   return z;
+}
+
+Status Spdz::MultiplyVec(const SpdzMatrix& x, const SpdzMatrix& y,
+                         const SpdzTripleBlock& triples,
+                         const std::vector<uint64_t>& alpha_shares,
+                         const VecExec& exec, SpdzMatrix* out) {
+  const size_t np = x.size();
+  if (np == 0 || y.size() != np || triples.a.size() != np ||
+      alpha_shares.size() != np) {
+    return Status::InvalidArgument("party count mismatch in MultiplyVec");
+  }
+  const size_t n = x[0].size();
+  if (triples.size() != n) {
+    return Status::InvalidArgument("triple block size mismatch");
+  }
+  // Elementwise epsilon = x - a, delta = y - b, opened with the MAC check.
+  SpdzMatrix eps_m(np);
+  SpdzMatrix delta_m(np);
+  for (size_t p = 0; p < np; ++p) {
+    eps_m[p].resize(n);
+    delta_m[p].resize(n);
+  }
+  ParallelSpan(n, exec, [&](size_t b, size_t end) {
+    const size_t len = end - b;
+    for (size_t p = 0; p < np; ++p) {
+      field_vec::SubVec(x[p].values.data() + b, triples.a[p].values.data() + b,
+                        len, eps_m[p].values.data() + b);
+      field_vec::SubVec(x[p].macs.data() + b, triples.a[p].macs.data() + b,
+                        len, eps_m[p].macs.data() + b);
+      field_vec::SubVec(y[p].values.data() + b, triples.b[p].values.data() + b,
+                        len, delta_m[p].values.data() + b);
+      field_vec::SubVec(y[p].macs.data() + b, triples.b[p].macs.data() + b,
+                        len, delta_m[p].macs.data() + b);
+    }
+  });
+  std::vector<uint64_t> eps;
+  std::vector<uint64_t> delta;
+  MIP_RETURN_NOT_OK(OpenVec(eps_m, alpha_shares, exec, &eps));
+  MIP_RETURN_NOT_OK(OpenVec(delta_m, alpha_shares, exec, &delta));
+
+  // z = c + eps*b + delta*a + eps*delta, same chain order as the scalar
+  // Multiply so every limb matches bit for bit.
+  out->assign(np, SpdzVec{});
+  for (size_t p = 0; p < np; ++p) (*out)[p].resize(n);
+  ParallelSpan(n, exec, [&](size_t b, size_t end) {
+    const size_t len = end - b;
+    std::vector<uint64_t> eps_delta(len);
+    field_vec::MulVec(eps.data() + b, delta.data() + b, len, eps_delta.data());
+    for (size_t p = 0; p < np; ++p) {
+      uint64_t* zv = (*out)[p].values.data() + b;
+      uint64_t* zm = (*out)[p].macs.data() + b;
+      std::copy(triples.c[p].values.begin() + static_cast<long>(b),
+                triples.c[p].values.begin() + static_cast<long>(end), zv);
+      std::copy(triples.c[p].macs.begin() + static_cast<long>(b),
+                triples.c[p].macs.begin() + static_cast<long>(end), zm);
+      field_vec::MulAccumVec(triples.b[p].values.data() + b, eps.data() + b,
+                             len, zv);
+      field_vec::MulAccumVec(triples.b[p].macs.data() + b, eps.data() + b,
+                             len, zm);
+      field_vec::MulAccumVec(triples.a[p].values.data() + b, delta.data() + b,
+                             len, zv);
+      field_vec::MulAccumVec(triples.a[p].macs.data() + b, delta.data() + b,
+                             len, zm);
+      if (p == 0) field_vec::AddVec(zv, eps_delta.data(), len, zv);
+      field_vec::MulScalarAccumVec(alpha_shares[p], eps_delta.data(), len, zm);
+    }
+  });
+  return Status::OK();
 }
 
 }  // namespace mip::smpc

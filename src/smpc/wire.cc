@@ -1,0 +1,66 @@
+#include "smpc/wire.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "engine/encoding.h"
+
+namespace mip::smpc::wire {
+
+namespace {
+
+// Limbs travel as int64 columns: the bit pattern is preserved verbatim
+// (field elements are < 2^61, so they stay non-negative as int64, which
+// also keeps delta-varint's zigzag well-behaved).
+void EncodeInto(const uint64_t* limbs, size_t n, size_t block_elems,
+                BufferWriter* w) {
+  engine::PutVarint(w, n);
+  const size_t step = block_elems == 0 ? (n == 0 ? 1 : n) : block_elems;
+  std::vector<int64_t> block;
+  for (size_t off = 0; off < n; off += step) {
+    const size_t len = std::min(step, n - off);
+    block.assign(limbs + off, limbs + off + len);
+    engine::EncodeInts(block, w);
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeLimbBlocks(const uint64_t* limbs, size_t n,
+                                      size_t block_elems) {
+  BufferWriter w;
+  w.Reserve(n * sizeof(uint64_t) + 16);
+  EncodeInto(limbs, n, block_elems, &w);
+  return w.TakeBytes();
+}
+
+Result<std::vector<uint64_t>> DecodeLimbBlocks(
+    const std::vector<uint8_t>& bytes) {
+  BufferReader r(bytes);
+  MIP_ASSIGN_OR_RETURN(uint64_t n, engine::GetVarint(&r));
+  if (n > engine::kMaxWireElements) {
+    return Status::IOError("share column element count exceeds wire cap");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    MIP_ASSIGN_OR_RETURN(std::vector<int64_t> block, engine::DecodeInts(&r));
+    if (block.empty() || block.size() > n - out.size()) {
+      return Status::IOError("share column block does not tile the count");
+    }
+    for (int64_t v : block) out.push_back(static_cast<uint64_t>(v));
+  }
+  if (!r.AtEnd()) {
+    return Status::IOError("trailing bytes after share column blocks");
+  }
+  return out;
+}
+
+size_t MeasureLimbBlocks(const uint64_t* limbs, size_t n,
+                         size_t block_elems) {
+  BufferWriter w;
+  EncodeInto(limbs, n, block_elems, &w);
+  return w.size();
+}
+
+}  // namespace mip::smpc::wire

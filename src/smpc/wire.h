@@ -1,0 +1,46 @@
+#ifndef MIP_SMPC_WIRE_H_
+#define MIP_SMPC_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mip::smpc::wire {
+
+/// \brief Columnar wire format for share distribution.
+///
+/// A share matrix used to ship as per-value envelopes; at 100 sites that is
+/// the dominant cost of secure import. Instead each node's limb column
+/// (values, MACs, Shamir evaluations) is cut into fixed-size blocks and
+/// every block is a self-describing engine/encoding int64 column — the
+/// encoder races raw against delta-varint per block, so uniformly random
+/// share limbs ship raw (8 B/limb + header) while structured plaintext
+/// columns compress. Fixed-size blocks are what lets a sender stream block
+/// k+1 while block k is in flight (the "pipelined distribution" in
+/// DESIGN.md); the byte totals here are what the cluster's cost model
+/// accounts.
+///
+/// Layout: varint element count, then ceil(n / block_elems) encoded blocks.
+
+/// Default block granularity (elements per block).
+inline constexpr size_t kDefaultBlockElems = 4096;
+
+/// Encodes limbs[0..n) as columnar blocks. `block_elems` == 0 means one
+/// block for the whole column.
+std::vector<uint8_t> EncodeLimbBlocks(const uint64_t* limbs, size_t n,
+                                      size_t block_elems = kDefaultBlockElems);
+
+/// Bounds-checked inverse of EncodeLimbBlocks.
+Result<std::vector<uint64_t>> DecodeLimbBlocks(
+    const std::vector<uint8_t>& bytes);
+
+/// Encoded size of the column without retaining the bytes — used by the
+/// cluster to account measured (not estimated) transfer sizes.
+size_t MeasureLimbBlocks(const uint64_t* limbs, size_t n,
+                         size_t block_elems = kDefaultBlockElems);
+
+}  // namespace mip::smpc::wire
+
+#endif  // MIP_SMPC_WIRE_H_

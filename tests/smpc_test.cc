@@ -2,13 +2,16 @@
 
 #include <cmath>
 
+#include "common/bytes.h"
 #include "common/rng.h"
+#include "engine/encoding.h"
 #include "smpc/cluster.h"
 #include "smpc/field.h"
 #include "smpc/fixed_point.h"
 #include "smpc/noise.h"
 #include "smpc/shamir.h"
 #include "smpc/spdz.h"
+#include "smpc/wire.h"
 
 namespace mip::smpc {
 namespace {
@@ -483,6 +486,72 @@ TEST(ClusterTest, OfflinePrecomputationSpeedsOnlineProducts) {
   ASSERT_TRUE(warm.Compute("j", SmpcOp::kProduct).ok());
   EXPECT_GT(warm.stats().offline_seconds, 0.0);
   EXPECT_NEAR((*warm.GetResult("j"))[0], 6.0, 1e-3);
+}
+
+// --- Wire format ------------------------------------------------------------
+
+TEST(WireTest, LimbBlocksRoundTripAcrossSizes) {
+  Rng rng(4711);
+  for (const size_t n : {0ul, 1ul, 100ul, 4096ul, 4097ul, 10000ul}) {
+    std::vector<uint64_t> limbs(n);
+    for (auto& v : limbs) v = Field::Random(&rng);
+    const std::vector<uint8_t> bytes =
+        wire::EncodeLimbBlocks(limbs.data(), n, /*block_elems=*/4096);
+    const auto decoded = wire::DecodeLimbBlocks(bytes);
+    ASSERT_TRUE(decoded.ok()) << "n=" << n;
+    EXPECT_EQ(*decoded, limbs) << "n=" << n;
+    // Measured size matches what Encode actually wrote.
+    EXPECT_EQ(wire::MeasureLimbBlocks(limbs.data(), n, 4096), bytes.size());
+  }
+}
+
+TEST(WireTest, DecodeRejectsCorruptPayloads) {
+  std::vector<uint64_t> limbs = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> bytes =
+      wire::EncodeLimbBlocks(limbs.data(), limbs.size(), 2);
+
+  // Truncated payload.
+  std::vector<uint8_t> cut(bytes.begin(), bytes.end() - 3);
+  EXPECT_FALSE(wire::DecodeLimbBlocks(cut).ok());
+
+  // Trailing garbage after the declared blocks.
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0xAB);
+  EXPECT_FALSE(wire::DecodeLimbBlocks(padded).ok());
+
+  // Absurd element count (fails the kMaxWireElements bound).
+  BufferWriter bomb;
+  engine::PutVarint(&bomb, ~0ull >> 1);
+  EXPECT_FALSE(wire::DecodeLimbBlocks(bomb.TakeBytes()).ok());
+}
+
+// --- Per-op timing histograms ----------------------------------------------
+
+TEST(ClusterMetricsTest, PerOpHistogramsPopulateAndRender) {
+  SmpcConfig config;
+  config.scheme = SmpcScheme::kFullThreshold;
+  SmpcCluster cluster(config);
+  cluster.PrecomputeTriples(16);
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  ASSERT_TRUE(cluster.ImportShares("m", v).ok());
+  ASSERT_TRUE(cluster.ImportShares("m", v).ok());
+  ASSERT_TRUE(cluster.Compute("m", SmpcOp::kProduct).ok());
+
+  const SmpcCostStats& stats = cluster.stats();
+  EXPECT_GE(stats.share_ms.count(), 2u);       // one record per ImportShares
+  EXPECT_GE(stats.triple_ms.count(), 1u);      // PrecomputeTriples
+  EXPECT_GE(stats.online_ms.count(), 1u);      // Compute
+  EXPECT_GE(stats.reconstruct_ms.count(), 1u); // final open
+  EXPECT_GT(stats.wire_blocks, 0u);
+
+  const std::string text = cluster.MetricsText();
+  EXPECT_NE(text.find("smpc_scheme"), std::string::npos);
+  EXPECT_NE(text.find("smpc_bytes_transferred"), std::string::npos);
+  EXPECT_NE(text.find("smpc_share_ms"), std::string::npos);
+  EXPECT_NE(text.find("smpc_triple_ms"), std::string::npos);
+  EXPECT_NE(text.find("smpc_online_ms"), std::string::npos);
+  EXPECT_NE(text.find("smpc_reconstruct_ms"), std::string::npos);
+  EXPECT_NE(text.find("smpc_wire_blocks"), std::string::npos);
 }
 
 TEST(ClusterTest, ErrorsOnUnknownJobAndBadIndices) {

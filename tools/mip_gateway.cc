@@ -166,6 +166,7 @@ Status Run(const GatewayFlags& flags) {
   gw_options.cache_enabled = flags.cache_enabled;
   mip::federation::Gateway gateway(&master.local_db(), gw_options);
   gateway.set_link_source(&transport);
+  gateway.set_smpc_source(&master.smpc());
   MIP_RETURN_NOT_OK(gateway.Attach(&transport));
 
   std::printf("MIP_GATEWAY READY id=%s port=%d view=%s\n", flags.id.c_str(),
