@@ -1,6 +1,6 @@
-// Experiment E17 — disk-backed segment store: LSM ingest throughput and
-// zone-map pruning on selective scans.
+// Experiments E17 + E18 — disk-backed segment store.
 //
+// E17: LSM ingest throughput and zone-map pruning on selective scans.
 // A 2M-row table is ingested through the WAL'd append path (memtable budget
 // far below the dataset, so everything lands in ~32 immutable segments on
 // disk — the scan works a dataset well beyond its in-memory buffer). The
@@ -11,9 +11,23 @@
 //     predicate into the scan, zone maps skip non-overlapping segments)
 //     vs unpruned (optimizer off: every segment read, filter on top).
 //
-// Acceptance: pruned and unpruned results identical, pruning skips >= 75%
-// of segments, and pruned p50 is at least 2x faster. Results go to
-// BENCH_storage.json for the CI smoke step.
+// E18: ordered secondary indexes on an UNSORTED high-cardinality column.
+// The same table carries a `key` column scattered by a Knuth-multiplier
+// bijection, so every segment's zone range spans nearly the whole key space
+// and zone maps prune nothing. The ordered per-segment indexes built at
+// flush are the only way to skip work. Measured, at ~15x the 4 MiB memtable
+// budget (well beyond RAM buffers):
+//   * point and narrow-range queries with the IndexScan access path vs the
+//     zone-map-only path (set_index_scan(false) ablation), p50 over reps;
+//   * byte-parity of both paths at 1 and 8 threads;
+//   * EXPLAIN surfacing the chosen path with probe counts;
+//   * the same queries after background-style compaction re-sorts the
+//     table by `key` (sorted runs make narrow ranges cheap for both paths).
+//
+// Acceptance: E17 as before (identical results, >= 75% pruned, >= 2x p50);
+// E18 adds byte-identical results across path/threads/compaction, EXPLAIN
+// showing `IndexScan ... index: probes=`, and a >= 10x point-query p50
+// speedup for the index path. Results go to BENCH_storage.json for CI.
 
 #include <cstdio>
 #include <memory>
@@ -21,9 +35,11 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engine/database.h"
+#include "engine/exec_context.h"
 #include "engine/expr.h"
 #include "engine/table.h"
 #include "storage/io.h"
@@ -44,27 +60,50 @@ constexpr int64_t kRows = 2'000'000;
 constexpr int64_t kBatchRows = 100'000;
 constexpr uint64_t kSegmentRows = 64 * 1024;
 constexpr int kSelectiveReps = 15;
+constexpr int kIndexReps = 9;
+
+// Unsorted high-cardinality key: a Knuth-multiplier bijection scatters row
+// position across the key space, so segment zone ranges all overlap and
+// only the ordered index can localize a key.
+int64_t KeyOf(int64_t i) { return (i * 2654435761LL) % 999999937LL; }
 
 Table MakeBatch(int64_t start, int64_t count) {
   std::vector<int64_t> ids;
+  std::vector<int64_t> keys;
   std::vector<double> vals;
   std::vector<std::string> sites;
   ids.reserve(count);
+  keys.reserve(count);
   vals.reserve(count);
   sites.reserve(count);
   Rng rng(0xE17 + static_cast<uint64_t>(start));
   for (int64_t i = start; i < start + count; ++i) {
     ids.push_back(i);
+    keys.push_back(KeyOf(i));
     vals.push_back(static_cast<double>(rng.NextBounded(100000)) * 0.01);
     sites.push_back("site_" + std::to_string(i % 7));
   }
   Schema schema({{"id", DataType::kInt64},
+                 {"key", DataType::kInt64},
                  {"val", DataType::kFloat64},
                  {"site", DataType::kString}});
   return Table::Make(schema, {Column::FromInts(std::move(ids)),
+                              Column::FromInts(std::move(keys)),
                               Column::FromDoubles(std::move(vals)),
                               Column::FromStrings(std::move(sites))})
       .ValueOrDie();
+}
+
+// Joins an EXPLAIN result's rows back into the rendered plan text.
+std::string ExplainText(Database* db, const std::string& sql) {
+  auto out = db->ExecuteSql("EXPLAIN " + sql);
+  if (!out.ok()) return "";
+  std::string text;
+  for (size_t r = 0; r < out.ValueOrDie().num_rows(); ++r) {
+    text += out.ValueOrDie().At(r, 0).string_value();
+    text += '\n';
+  }
+  return text;
 }
 
 }  // namespace
@@ -86,6 +125,9 @@ int main() {
 
   mip::storage::StorageOptions options;
   options.target_segment_rows = kSegmentRows;
+  // E18: compaction re-sorts by the scattered key, turning the table into
+  // one sorted run (flush segments stay unsorted until then).
+  options.cluster_key = "key";
   auto opened = mip::storage::StorageEngine::Open(dir, options);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
@@ -191,12 +233,148 @@ int main() {
   std::printf("p50 speedup >= 2x:  %s (got %.1fx)\n",
               fast_enough ? "PASS" : "FAIL", speedup);
 
-  const bool pass = identical && pruned_enough && fast_enough;
+  const bool e17_pass = identical && pruned_enough && fast_enough;
+
+  // =========================================================================
+  // E18: ordered secondary indexes vs zone-map-only scans on `key`.
+  // =========================================================================
+  std::printf("\n=== E18: ordered indexes on an unsorted high-card key ===\n");
+  db.set_optimizer_enabled(true);
+  db.set_index_scan(true);
+
+  const int64_t point_key = KeyOf(1'234'567);
+  const int64_t range_lo = 123'456'789;
+  const int64_t range_hi = range_lo + 2'000;  // a handful of scattered rows
+  const std::string point_sql =
+      "SELECT count(*) AS n, sum(val) AS s FROM events WHERE key = " +
+      std::to_string(point_key);
+  const std::string range_sql =
+      "SELECT count(*) AS n, sum(val) AS s FROM events WHERE key >= " +
+      std::to_string(range_lo) + " AND key < " + std::to_string(range_hi);
+
+  // The chosen access path must be visible in EXPLAIN, probe stats and all.
+  const std::string explain = ExplainText(&db, point_sql);
+  const bool explain_ok =
+      explain.find("IndexScan") != std::string::npos &&
+      explain.find("index: probes=") != std::string::npos;
+  std::printf("%s", explain.c_str());
+
+  // Byte parity: point + range, index path vs zone path, 1 vs 8 threads.
+  mip::ThreadPool pool(8);
+  const mip::engine::ExecContext parallel{
+      &pool, mip::engine::ExecContext::kDefaultMorselSize};
+  bool e18_identical = true;
+  std::string point_ref, range_ref;
+  for (const mip::engine::ExecContext* ctx :
+       {&mip::engine::ExecContext::Serial(), &parallel}) {
+    db.set_exec_context(ctx);
+    for (bool use_index : {false, true}) {
+      db.set_index_scan(use_index);
+      auto p = db.ExecuteSql(point_sql);
+      auto r = db.ExecuteSql(range_sql);
+      if (!p.ok() || !r.ok()) {
+        std::fprintf(stderr, "e18 query failed\n");
+        return 1;
+      }
+      const std::string ps = p.ValueOrDie().ToString(10);
+      const std::string rs = r.ValueOrDie().ToString(10);
+      if (point_ref.empty()) {
+        point_ref = ps;
+        range_ref = rs;
+      } else if (ps != point_ref || rs != range_ref) {
+        e18_identical = false;
+      }
+    }
+  }
+  db.set_exec_context(nullptr);
+
+  // p50 latencies: index path vs zone-map-only ablation.
+  auto measure = [&db](const std::string& sql, bool use_index,
+                       LatencyHistogram* lat) {
+    db.set_index_scan(use_index);
+    for (int rep = 0; rep < kIndexReps; ++rep) {
+      Stopwatch sw;
+      auto r = db.ExecuteSql(sql);
+      lat->Record(sw.ElapsedMillis());
+      if (!r.ok()) return false;
+    }
+    return true;
+  };
+  LatencyHistogram point_idx, point_zone, range_idx, range_zone;
+  if (!measure(point_sql, true, &point_idx) ||
+      !measure(point_sql, false, &point_zone) ||
+      !measure(range_sql, true, &range_idx) ||
+      !measure(range_sql, false, &range_zone)) {
+    std::fprintf(stderr, "e18 latency sweep failed\n");
+    return 1;
+  }
+  const double point_idx_p50 = point_idx.Quantile(0.5);
+  const double point_zone_p50 = point_zone.Quantile(0.5);
+  const double range_idx_p50 = range_idx.Quantile(0.5);
+  const double range_zone_p50 = range_zone.Quantile(0.5);
+  const double point_speedup =
+      point_idx_p50 > 0.0 ? point_zone_p50 / point_idx_p50 : 0.0;
+  const double range_speedup =
+      range_idx_p50 > 0.0 ? range_zone_p50 / range_idx_p50 : 0.0;
+  std::printf("point (index):  %s\n", point_idx.Summary().c_str());
+  std::printf("point (zone):   %s\n", point_zone.Summary().c_str());
+  std::printf("range (index):  %s\n", range_idx.Summary().c_str());
+  std::printf("range (zone):   %s\n", range_zone.Summary().c_str());
+
+  // Compaction: fold the flush segments into one run sorted by `key`,
+  // then re-run the same queries — bytes must not move.
+  Stopwatch compact_sw;
+  if (auto st = store->Compact("events"); !st.ok()) {
+    std::fprintf(stderr, "compact failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double compact_ms = compact_sw.ElapsedMillis();
+  const uint64_t segments_after =
+      store->SegmentCount("events").ValueOrDie();
+  LatencyHistogram point_post, range_post;
+  db.set_exec_context(&mip::engine::ExecContext::Serial());
+  for (bool use_index : {false, true}) {
+    db.set_index_scan(use_index);
+    auto p = db.ExecuteSql(point_sql);
+    auto r = db.ExecuteSql(range_sql);
+    if (!p.ok() || !r.ok()) {
+      std::fprintf(stderr, "post-compaction query failed\n");
+      return 1;
+    }
+    if (p.ValueOrDie().ToString(10) != point_ref ||
+        r.ValueOrDie().ToString(10) != range_ref) {
+      e18_identical = false;
+    }
+  }
+  db.set_exec_context(nullptr);
+  db.set_index_scan(true);
+  if (!measure(point_sql, true, &point_post) ||
+      !measure(range_sql, true, &range_post)) {
+    std::fprintf(stderr, "post-compaction sweep failed\n");
+    return 1;
+  }
+  const double point_post_p50 = point_post.Quantile(0.5);
+  const double range_post_p50 = range_post.Quantile(0.5);
+  std::printf("compaction: %.0f ms -> %llu segments (sorted by key)\n",
+              compact_ms, static_cast<unsigned long long>(segments_after));
+  std::printf("point (post-compact): %s\n", point_post.Summary().c_str());
+  std::printf("range (post-compact): %s\n", range_post.Summary().c_str());
+
+  const bool e18_fast = point_speedup >= 10.0;
+  std::printf("\ne18 results identical:      %s\n",
+              e18_identical ? "PASS" : "FAIL");
+  std::printf("e18 EXPLAIN shows IndexScan: %s\n",
+              explain_ok ? "PASS" : "FAIL");
+  std::printf("e18 point p50 >= 10x:        %s (got %.1fx; range %.1fx)\n",
+              e18_fast ? "PASS" : "FAIL", point_speedup, range_speedup);
+  const bool e18_pass = e18_identical && explain_ok && e18_fast;
+
+  const bool pass = e17_pass && e18_pass;
   if (std::FILE* f = std::fopen("BENCH_storage.json", "w")) {
     std::fprintf(
         f,
         "{\n"
-        "  \"experiment\": \"E17\",\n"
+        "  \"experiment\": \"E17+E18\",\n"
         "  \"rows\": %lld, \"segments\": %llu,\n"
         "  \"ingest_rows_per_s\": %.0f,\n"
         "  \"full_scan_ms\": %.2f,\n"
@@ -205,6 +383,19 @@ int main() {
         "  \"speedup_p50\": %.2f,\n"
         "  \"segments_pruned\": %lld, \"segments_total\": %lld,\n"
         "  \"results_identical\": %s,\n"
+        "  \"e18_point_index_p50_ms\": %.3f,\n"
+        "  \"e18_point_zone_p50_ms\": %.3f,\n"
+        "  \"e18_point_speedup\": %.2f,\n"
+        "  \"e18_range_index_p50_ms\": %.3f,\n"
+        "  \"e18_range_zone_p50_ms\": %.3f,\n"
+        "  \"e18_range_speedup\": %.2f,\n"
+        "  \"e18_compact_ms\": %.0f,\n"
+        "  \"e18_segments_after_compact\": %llu,\n"
+        "  \"e18_post_compact_point_p50_ms\": %.3f,\n"
+        "  \"e18_post_compact_range_p50_ms\": %.3f,\n"
+        "  \"e18_explain_shows_index_scan\": %s,\n"
+        "  \"e18_results_identical\": %s,\n"
+        "  \"e18_pass\": %s,\n"
         "  \"pass\": %s\n"
         "}\n",
         static_cast<long long>(kRows),
@@ -212,6 +403,11 @@ int main() {
         p50_pruned, p50_unpruned, speedup,
         static_cast<long long>(pruned_segments),
         static_cast<long long>(total_segments), identical ? "true" : "false",
+        point_idx_p50, point_zone_p50, point_speedup, range_idx_p50,
+        range_zone_p50, range_speedup, compact_ms,
+        static_cast<unsigned long long>(segments_after), point_post_p50,
+        range_post_p50, explain_ok ? "true" : "false",
+        e18_identical ? "true" : "false", e18_pass ? "true" : "false",
         pass ? "true" : "false");
     std::fclose(f);
     std::printf("wrote BENCH_storage.json\n");

@@ -92,14 +92,30 @@ cmake --build "$ROOT/build" -j "$JOBS" --target bench_serving
   echo "BENCH_serving.json missing"; exit 1;
 }
 
-echo "== smoke: E17 disk segment store benchmark (BENCH_storage.json) =="
-# Acceptance gate: zone-map pruning skips >= 75% of segments on a selective
-# scan, >= 2x faster at p50, with results identical to the unpruned scan.
+echo "== smoke: E17/E18 disk segment store benchmark (BENCH_storage.json) =="
+# Acceptance gates: E17 — zone-map pruning skips >= 75% of segments on a
+# selective scan, >= 2x faster at p50, results identical to the unpruned
+# scan. E18 — on an unsorted high-cardinality key (zone maps useless), the
+# IndexScan access path answers a point query >= 10x faster at p50 than the
+# zone-map-only ablation, with byte-identical results across access path,
+# thread count, and compaction, and the choice visible in EXPLAIN.
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_storage
 (cd "$ROOT" && "$ROOT/build/bench/bench_storage")
 [[ -s "$ROOT/BENCH_storage.json" ]] || {
   echo "BENCH_storage.json missing"; exit 1;
 }
+python3 - "$ROOT/BENCH_storage.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["results_identical"] is True, "E17 pruned scan changed results"
+assert doc["e18_results_identical"] is True, \
+    "E18 index path / thread count / compaction changed result bytes"
+assert doc["e18_explain_shows_index_scan"] is True, \
+    "EXPLAIN no longer surfaces the IndexScan access path"
+assert doc["e18_point_speedup"] >= 10.0, \
+    f"index point-query speedup {doc['e18_point_speedup']}x below 10x floor"
+assert doc["pass"] is True, "bench_storage acceptance gates failed"
+PYEOF
 
 echo "== smoke: E4/E9 SMPC benchmarks (BENCH_smpc.json) =="
 # bench_smpc_schemes sweeps FT-vs-Shamir and the 10/50/100-site secure sum

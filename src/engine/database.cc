@@ -12,6 +12,8 @@ namespace mip::engine {
 Database::Database(std::string name) : name_(std::move(name)) {
   const char* env = std::getenv("MIP_OPTIMIZER");
   if (env != nullptr && std::string(env) == "0") optimizer_enabled_ = false;
+  const char* idx_env = std::getenv("MIP_INDEX_SCAN");
+  if (idx_env != nullptr && std::string(idx_env) == "0") index_scan_ = false;
 }
 
 Status Database::AttachStorage(TableStorage* storage) {
@@ -225,6 +227,15 @@ Result<ScanStats> Database::DiskPrunePreview(const std::string& table_name,
   return storage_->PrunePreview(table_name, prune_filter);
 }
 
+Result<IndexPreview> Database::DiskIndexPreview(const std::string& table_name,
+                                                const Expr* prune_filter) const {
+  if (storage_ == nullptr) {
+    return Status::NotImplemented("database " + name_ +
+                                  " has no storage attached");
+  }
+  return storage_->PreviewIndexScan(table_name, prune_filter);
+}
+
 Result<Table> Database::RunTableFunction(
     const std::string& func_name, const std::vector<Value>& args) const {
   const auto* fn = functions_.FindTable(func_name);
@@ -239,6 +250,7 @@ Result<PlanPtr> Database::BuildOptimizedPlan(const SelectStmt& stmt) {
   if (optimizer_enabled_) {
     OptimizerOptions options;
     options.merge_aggregate_pushdown = aggregate_pushdown_;
+    options.index_scan = index_scan_;
     options.has_remote_query_runner = static_cast<bool>(query_runner_);
     MIP_ASSIGN_OR_RETURN(plan, OptimizePlan(std::move(plan), *this, options));
   }
@@ -271,6 +283,10 @@ Result<Table> Database::ExecutePlannedSelect(const PlanNode& plan) const {
     options.scan_disk = [this](const std::string& name,
                                const Expr* prune_filter) {
       return storage_->ScanTable(name, prune_filter, nullptr);
+    };
+    options.index_scan_disk = [this](const std::string& name,
+                                     const Expr* prune_filter) {
+      return storage_->IndexScanTable(name, prune_filter, nullptr);
     };
   }
   return ExecutePlan(plan, options);

@@ -95,6 +95,13 @@ class Database : public PlanCatalog {
   void set_optimizer_enabled(bool enabled) { optimizer_enabled_ = enabled; }
   bool optimizer_enabled() const { return optimizer_enabled_; }
 
+  /// Ablation switch for the Scan-vs-IndexScan access-path rule (default
+  /// on; MIP_INDEX_SCAN=0 flips the default off). Off = disk scans always
+  /// take the zone-map path — byte-identical results, more segments
+  /// decoded; the E18 benchmark measures the two paths against each other.
+  void set_index_scan(bool enabled) { index_scan_ = enabled; }
+  bool index_scan() const { return index_scan_; }
+
   /// Attaches a disk-resident table store (storage::StorageEngine behind
   /// the TableStorage interface) and registers every table it holds as a
   /// TableKind::kDisk catalog entry next to the in-memory ones. Non-owning:
@@ -166,6 +173,8 @@ class Database : public PlanCatalog {
   Result<TableInfo> Describe(const std::string& table_name) const override;
   Result<ScanStats> DiskPrunePreview(const std::string& table_name,
                                      const Expr* prune_filter) const override;
+  Result<IndexPreview> DiskIndexPreview(const std::string& table_name,
+                                        const Expr* prune_filter) const override;
   Result<Schema> TableSchema(const std::string& table_name) const override {
     return GetSchema(table_name);
   }
@@ -198,6 +207,7 @@ class Database : public PlanCatalog {
   TableStorage* storage_ = nullptr;  // non-owning; see AttachStorage
   bool aggregate_pushdown_ = true;
   bool optimizer_enabled_ = true;
+  bool index_scan_ = true;
   uint64_t catalog_version_ = 1;
   const ExecContext* exec_context_ = nullptr;
   /// Remote-table schemas learned via the schema fetcher (or a full fetch),

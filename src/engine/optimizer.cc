@@ -366,6 +366,7 @@ void PruneColumns(PlanNode* node, const std::vector<std::string>* required,
                   const OptimizerOptions& options) {
   switch (node->kind) {
     case PlanKind::kScan:
+    case PlanKind::kIndexScan:
     case PlanKind::kRemoteScan:
       if (required != nullptr &&
           CanPruneScan(*node, *required, catalog, options)) {
@@ -515,6 +516,35 @@ void AnnotateSegmentPruning(PlanNode* node, const PlanCatalog& catalog) {
   }
 }
 
+// --- Rule 6: access-path choice (Scan vs IndexScan) ------------------------
+
+/// Asks the catalog whether probing the ordered secondary indexes under the
+/// scan's pruning hint would decode strictly fewer segments than zone maps
+/// alone; if so, retags the node kIndexScan and records the probe stats for
+/// EXPLAIN (`index: probes=N rows=M`). The preview does real (cheap,
+/// footer-guided) probes, so the match-fraction estimate is exact at plan
+/// time. Results are unaffected either way — an index probe only skips
+/// segments it proves empty, and the Filter above re-applies the predicate;
+/// only the decode count changes. Scans without a pruning hint stay scans:
+/// with nothing to probe for, the index path degenerates to the zone path.
+void ChooseAccessPath(PlanNode* node, const PlanCatalog& catalog) {
+  if (node->kind == PlanKind::kScan && node->disk &&
+      node->prune_filter != nullptr) {
+    Result<IndexPreview> preview =
+        catalog.DiskIndexPreview(node->table_name, node->prune_filter.get());
+    if (preview.ok() && preview->use_index) {
+      node->kind = PlanKind::kIndexScan;
+      node->idx_probes = preview->probes;
+      node->idx_rows = preview->rows;
+      node->seg_total = preview->stats.total;
+      node->seg_pruned = preview->stats.pruned;
+    }
+  }
+  for (PlanPtr& child : node->children) {
+    ChooseAccessPath(child.get(), catalog);
+  }
+}
+
 }  // namespace
 
 Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
@@ -533,6 +563,9 @@ Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
     PushLimits(plan.get(), options);
   }
   AnnotateSegmentPruning(plan.get(), catalog);
+  if (options.index_scan) {
+    ChooseAccessPath(plan.get(), catalog);
+  }
   return plan;
 }
 

@@ -31,6 +31,15 @@ struct OptimizerOptions {
   /// bypasses the rule.
   bool merge_aggregate_pushdown = true;
 
+  /// Converts a disk Scan into an IndexScan when the catalog's access-path
+  /// preview (real, footer-guided index probes) shows the index path would
+  /// decode strictly fewer segments than zone maps alone. Exact: an index
+  /// probe only skips segments it proves hold zero candidate rows, and the
+  /// Filter above the scan re-applies the predicate either way — Database
+  /// exposes it as an ablation switch (set_index_scan / MIP_INDEX_SCAN=0)
+  /// purely for benchmarking the two access paths.
+  bool index_scan = true;
+
   /// Whether the executor will have a run_sql runner available. Without one
   /// nothing may be lowered into remote SQL text; remote scans fall back to
   /// whole-table fetches exactly like the pre-plan-layer interpreter.

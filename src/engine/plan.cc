@@ -14,6 +14,8 @@ const char* PlanKindName(PlanKind kind) {
   switch (kind) {
     case PlanKind::kScan:
       return "Scan";
+    case PlanKind::kIndexScan:
+      return "IndexScan";
     case PlanKind::kRemoteScan:
       return "RemoteScan";
     case PlanKind::kMergeUnion:
@@ -510,7 +512,8 @@ Result<Schema> SubsetSchema(const Schema& schema,
 Result<Schema> InferPlanSchema(const PlanNode& node,
                                const PlanCatalog& catalog) {
   switch (node.kind) {
-    case PlanKind::kScan: {
+    case PlanKind::kScan:
+    case PlanKind::kIndexScan: {
       Schema schema;
       if (node.prebound != nullptr) {
         schema = node.prebound->schema();
@@ -594,11 +597,19 @@ std::string AggSpecText(const AggregateSpec& spec) {
   return text + " AS " + spec.output_name;
 }
 
-void RenderNode(const PlanNode& node, int depth, std::string* out) {
+/// `canonical` is the PlanFingerprint rendering: physical-only annotations
+/// (segment/index stats) are omitted and IndexScan prints as Scan, so cache
+/// keys survive flushes, compactions, and access-path flips — none of which
+/// change results (see PlanFingerprint in plan.h).
+void RenderNode(const PlanNode& node, int depth, bool canonical,
+                std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
-  std::string line = PlanKindName(node.kind);
+  std::string line = canonical && node.kind == PlanKind::kIndexScan
+                         ? PlanKindName(PlanKind::kScan)
+                         : PlanKindName(node.kind);
   switch (node.kind) {
-    case PlanKind::kScan: {
+    case PlanKind::kScan:
+    case PlanKind::kIndexScan: {
       if (node.prebound != nullptr) {
         std::vector<std::string> args;
         for (const Value& v : node.func_args) args.push_back(v.ToSqlString());
@@ -616,11 +627,15 @@ void RenderNode(const PlanNode& node, int depth, std::string* out) {
       if (node.prune_filter != nullptr) {
         line += " prune=" + node.prune_filter->ToString();
       }
-      if (node.seg_total >= 0) {
+      if (!canonical && node.seg_total >= 0) {
         const int64_t pruned = node.seg_pruned < 0 ? 0 : node.seg_pruned;
         line += " segments: scanned=" + std::to_string(node.seg_total - pruned) +
                 " pruned=" + std::to_string(pruned) +
                 " total=" + std::to_string(node.seg_total);
+      }
+      if (!canonical && node.idx_probes >= 0) {
+        line += " index: probes=" + std::to_string(node.idx_probes) +
+                " rows=" + std::to_string(node.idx_rows < 0 ? 0 : node.idx_rows);
       }
       break;
     }
@@ -706,7 +721,7 @@ void RenderNode(const PlanNode& node, int depth, std::string* out) {
   out->append(line);
   out->push_back('\n');
   for (const PlanPtr& child : node.children) {
-    RenderNode(*child, depth + 1, out);
+    RenderNode(*child, depth + 1, canonical, out);
   }
 }
 
@@ -714,12 +729,13 @@ void RenderNode(const PlanNode& node, int depth, std::string* out) {
 
 std::string RenderPlan(const PlanNode& root) {
   std::string out;
-  RenderNode(root, 0, &out);
+  RenderNode(root, 0, /*canonical=*/false, &out);
   return out;
 }
 
 uint64_t PlanFingerprint(const PlanNode& root) {
-  const std::string text = RenderPlan(root);
+  std::string text;
+  RenderNode(root, 0, /*canonical=*/true, &text);
   uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
   for (const char c : text) {
     h ^= static_cast<uint8_t>(c);
@@ -786,18 +802,26 @@ struct PlanExecutor {
 
   Result<Table> Exec(const PlanNode& node) {
     switch (node.kind) {
-      case PlanKind::kScan: {
+      case PlanKind::kScan:
+      case PlanKind::kIndexScan: {
         Table t;
         if (node.prebound != nullptr) {
           t = *node.prebound;
         } else if (node.disk) {
-          if (!opts.scan_disk) {
+          // kIndexScan prefers the index-probing scan; falling back to the
+          // plain disk scan is always byte-identical (the index only skips
+          // segments it proves empty).
+          const auto& scan =
+              node.kind == PlanKind::kIndexScan && opts.index_scan_disk
+                  ? opts.index_scan_disk
+                  : opts.scan_disk;
+          if (!scan) {
             return Status::ExecutionError(
                 "disk table '" + node.table_name +
                 "' has no storage attached on database " + opts.db_name);
           }
           MIP_ASSIGN_OR_RETURN(
-              t, opts.scan_disk(node.table_name, node.prune_filter.get()));
+              t, scan(node.table_name, node.prune_filter.get()));
         } else {
           MIP_ASSIGN_OR_RETURN(t, opts.get_table(node.table_name));
         }

@@ -41,6 +41,7 @@ class FunctionRegistry;
 /// reassociates float sums exactly like the legacy pushdown path did.
 enum class PlanKind {
   kScan,        ///< base table or table-function scan
+  kIndexScan,   ///< disk scan that additionally probes ordered indexes
   kRemoteScan,  ///< scan served by another node (MonetDB REMOTE table)
   kMergeUnion,  ///< non-materialized UNION ALL over parts (MERGE table)
   kJoin,        ///< two-way equi hash join
@@ -91,6 +92,10 @@ struct PlanNode {
   /// from PlanCatalog::DiskPrunePreview. -1 = not annotated.
   int64_t seg_total = -1;
   int64_t seg_pruned = -1;
+  /// kIndexScan annotation for EXPLAIN: ordered-index probes the access-path
+  /// rule previewed and the candidate rows they matched. -1 = not annotated.
+  int64_t idx_probes = -1;
+  int64_t idx_rows = -1;
 
   // --- kRemoteScan -------------------------------------------------------
   std::string location;     ///< node id that owns the data
@@ -170,6 +175,18 @@ class PlanCatalog {
     (void)prune_filter;
     return Status::NotImplemented("catalog has no attached disk storage");
   }
+
+  /// Access-path preview for a disk table: would probing its ordered
+  /// secondary indexes under this pruning hint skip more segments than zone
+  /// maps alone? Drives the optimizer's Scan-vs-IndexScan choice; defaulted
+  /// like DiskPrunePreview so storage-less catalogs answer NotImplemented
+  /// and the choice pass leaves scans untouched.
+  virtual Result<IndexPreview> DiskIndexPreview(const std::string& name,
+                                                const Expr* prune_filter) const {
+    (void)name;
+    (void)prune_filter;
+    return Status::NotImplemented("catalog has no attached disk storage");
+  }
 };
 
 /// Deep-copies an expression tree (unbinding is not performed; clones carry
@@ -213,12 +230,21 @@ Result<Schema> InferPlanSchema(const PlanNode& node, const PlanCatalog& catalog)
 /// per line, two-space indent per depth. Golden-testable.
 std::string RenderPlan(const PlanNode& root);
 
-/// \brief 64-bit FNV-1a fingerprint of the RenderPlan text — the gateway's
-/// result-cache key. Two statements that optimize to the same plan (modulo
-/// whitespace in the original SQL, aliasing that doesn't survive planning)
-/// share a fingerprint; any semantic difference — predicates, projections,
-/// limits, aggregate specs, sources — renders differently and diverges.
-/// Stable across processes: no pointers, no iteration-order dependence.
+/// \brief 64-bit FNV-1a fingerprint of the plan's *canonical* rendering —
+/// the gateway's result-cache key. Two statements that optimize to the same
+/// plan (modulo whitespace in the original SQL, aliasing that doesn't
+/// survive planning) share a fingerprint; any semantic difference —
+/// predicates, projections, limits, aggregate specs, sources — renders
+/// differently and diverges. Stable across processes: no pointers, no
+/// iteration-order dependence.
+///
+/// Canonical means physical-only annotations are excluded: the `segments:`
+/// / `index:` stat lines are omitted and IndexScan renders as Scan. Those
+/// reflect the store's current segment layout, which flushes, compactions,
+/// and access-path flips change without changing any result — a cache keyed
+/// on them would miss (or worse, never invalidate) for byte-identical
+/// answers. Real data changes invalidate through catalog_version, not the
+/// fingerprint.
 uint64_t PlanFingerprint(const PlanNode& root);
 
 /// \brief Everything the executor needs from its host database.
@@ -236,6 +262,14 @@ struct PlanExecutorOptions {
   std::function<Result<Table>(const std::string& name,
                               const Expr* prune_filter)>
       scan_disk;
+  /// Scans a disk-resident table through its ordered secondary indexes
+  /// (kIndexScan): same contract and byte-identical results as scan_disk,
+  /// but segments whose index probe proves zero candidates are skipped
+  /// without being decoded. Unset = kIndexScan falls back to scan_disk
+  /// (always correct; the index path is purely an accelerator).
+  std::function<Result<Table>(const std::string& name,
+                              const Expr* prune_filter)>
+      index_scan_disk;
   /// Fetches a whole remote table (fetch_table); used by bare RemoteScans.
   std::function<Result<Table>(const std::string& location,
                               const std::string& remote_name)>

@@ -13,12 +13,44 @@ namespace mip::engine {
 struct Expr;
 
 /// \brief Per-scan segment accounting: how many on-disk segments a scan
-/// touched vs skipped via zone maps. `total == scanned + pruned`; memtable
-/// rows are not segments and are never counted.
+/// touched vs skipped (zone maps, and on the index path also ordered-index
+/// probes that proved a segment empty). `total == scanned + pruned`;
+/// memtable rows are not segments and are never counted.
 struct ScanStats {
   int64_t total = 0;
   int64_t scanned = 0;
   int64_t pruned = 0;
+  /// Index accounting (IndexScan path only): segments probed through an
+  /// ordered secondary index, and the total candidate rows those probes
+  /// matched. Zero on the plain scan path.
+  int64_t index_probes = 0;
+  int64_t index_rows = 0;
+};
+
+/// \brief The storage layer's answer to "would an IndexScan beat the
+/// zone-map scan here?" — computed from real (cheap, footer-guided) index
+/// probes, so `rows` is the exact candidate count at preview time, not a
+/// guess. The optimizer turns `use_index` into a plan-node choice and
+/// copies the numbers into EXPLAIN.
+struct IndexPreview {
+  bool use_index = false;
+  int64_t probes = 0;  ///< segments probed via an index
+  int64_t rows = 0;    ///< candidate rows across surviving segments
+  /// Segment accounting the index path would produce (pruned counts both
+  /// zone-map skips and index-proved-empty skips).
+  ScanStats stats;
+};
+
+/// \brief Monotonic storage-layer counters for the /metrics surface:
+/// lifetime totals since the store opened (in-memory, reset per process).
+struct StorageCounters {
+  uint64_t segments_scanned = 0;  ///< segments decoded by scans
+  uint64_t segments_pruned = 0;   ///< segments skipped (zone map or index)
+  uint64_t index_probes = 0;      ///< per-segment ordered-index probes
+  uint64_t index_hits = 0;        ///< probes that found candidate rows
+  uint64_t flushes = 0;           ///< memtable flushes committed
+  uint64_t compactions = 0;       ///< background/explicit compactions
+  uint64_t wal_replays = 0;       ///< WAL records replayed at Open
 };
 
 /// \brief Abstract view of a disk-resident table store, implemented by
@@ -55,6 +87,32 @@ class TableStorage {
   /// blocks: exactly the skip decisions ScanTable would make right now.
   virtual Result<ScanStats> PrunePreview(const std::string& name,
                                          const Expr* prune_filter) const = 0;
+
+  /// Like ScanTable, but additionally consults the per-segment ordered
+  /// secondary indexes: a segment whose probe proves zero candidate rows is
+  /// skipped without being decoded. Same superset contract as zone maps —
+  /// the Filter above re-applies the predicate, so results are byte-
+  /// identical to ScanTable for any filter. Defaults to the plain scan so
+  /// implementations without indexes stay correct.
+  virtual Result<Table> IndexScanTable(const std::string& name,
+                                       const Expr* prune_filter,
+                                       ScanStats* stats) const {
+    return ScanTable(name, prune_filter, stats);
+  }
+
+  /// Access-path preview for the optimizer: probes the ordered indexes
+  /// under `prune_filter` (cheap, footer-guided) and reports whether the
+  /// index path would decode strictly fewer segments than the zone-map
+  /// path. Defaulted so stores without indexes need not implement it.
+  virtual Result<IndexPreview> PreviewIndexScan(const std::string& name,
+                                                const Expr* prune_filter) const {
+    (void)name;
+    (void)prune_filter;
+    return Status::NotImplemented("storage has no ordered indexes");
+  }
+
+  /// Lifetime counters for the serving layer's /metrics page.
+  virtual StorageCounters Counters() const { return StorageCounters(); }
 };
 
 }  // namespace mip::engine

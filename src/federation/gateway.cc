@@ -234,6 +234,24 @@ std::string Gateway::MetricsText() const {
     out += "# smpc\n";
     out += smpc_source_->MetricsText();
   }
+  if (db_ != nullptr && db_->storage() != nullptr) {
+    const engine::StorageCounters sc = db_->storage()->Counters();
+    out += "# storage\n";
+    std::snprintf(line, sizeof(line),
+                  "storage_segments_scanned %llu\n"
+                  "storage_segments_pruned %llu\n"
+                  "storage_index_probes %llu\nstorage_index_hits %llu\n"
+                  "storage_flushes %llu\nstorage_compactions %llu\n"
+                  "storage_wal_replays %llu\n",
+                  static_cast<unsigned long long>(sc.segments_scanned),
+                  static_cast<unsigned long long>(sc.segments_pruned),
+                  static_cast<unsigned long long>(sc.index_probes),
+                  static_cast<unsigned long long>(sc.index_hits),
+                  static_cast<unsigned long long>(sc.flushes),
+                  static_cast<unsigned long long>(sc.compactions),
+                  static_cast<unsigned long long>(sc.wal_replays));
+    out += line;
+  }
   return out;
 }
 

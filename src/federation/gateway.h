@@ -146,8 +146,11 @@ class Gateway {
   ResultCache& cache() { return cache_; }
   const GatewayOptions& options() const { return options_; }
 
-  /// Plain-text metrics: admission and cache counters plus log-linear
-  /// latency quantiles (p50/p99/p999) per tenant and per link.
+  /// Plain-text metrics: admission and cache counters, log-linear latency
+  /// quantiles (p50/p99/p999) per tenant and per link, and — when the
+  /// hosted database has disk storage attached — the storage layer's
+  /// lifetime counters (segments scanned/pruned, index probes/hits,
+  /// flushes, compactions, WAL replays).
   std::string MetricsText() const;
 
  private:

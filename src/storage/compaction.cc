@@ -1,0 +1,345 @@
+#include "storage/compaction.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "storage/io.h"
+#include "storage/store.h"
+
+namespace mip::storage {
+
+engine::Schema SchemaWithPos(const engine::Schema& schema) {
+  engine::Schema out = schema;
+  // Cannot collide: AppendRows rejects user columns with the reserved
+  // prefix before they ever reach the WAL.
+  (void)out.AddField(
+      engine::Field{kHiddenPosColumn, engine::DataType::kInt64});
+  return out;
+}
+
+Result<engine::Table> SortForCompaction(const engine::Table& table,
+                                        const std::string& cluster_key) {
+  MIP_ASSIGN_OR_RETURN(const engine::Column* key,
+                       table.ColumnByName(cluster_key));
+  const size_t n = table.num_rows();
+  // Sort category: nulls first, then values, then NaNs — any deterministic
+  // total order works (scans restore the original order), this one just
+  // keeps the value blocks' zone maps clean of sentinel rows.
+  auto category = [key](int64_t i) -> int {
+    if (!key->IsValid(static_cast<size_t>(i))) return 0;
+    if (key->type() == engine::DataType::kFloat64 &&
+        std::isnan(key->DoubleAt(static_cast<size_t>(i)))) {
+      return 2;
+    }
+    return 1;
+  };
+  auto less = [key, &category](int64_t a, int64_t b) -> bool {
+    const int ca = category(a), cb = category(b);
+    if (ca != cb) return ca < cb;
+    if (ca != 1) return false;  // ties keep original order (stable sort)
+    const size_t ia = static_cast<size_t>(a), ib = static_cast<size_t>(b);
+    switch (key->type()) {
+      case engine::DataType::kBool:
+        return key->BoolAt(ia) < key->BoolAt(ib);
+      case engine::DataType::kInt64:
+        return key->IntAt(ia) < key->IntAt(ib);
+      case engine::DataType::kFloat64:
+        return key->DoubleAt(ia) < key->DoubleAt(ib);
+      case engine::DataType::kString:
+        return key->StringAt(ia) < key->StringAt(ib);
+    }
+    return false;
+  };
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), less);
+
+  engine::Table sorted = table.Take(order);
+  std::vector<engine::Column> columns;
+  columns.reserve(sorted.num_columns() + 1);
+  for (size_t c = 0; c < sorted.num_columns(); ++c) {
+    columns.push_back(sorted.column(c));
+  }
+  // Output row i came from original row order[i] — exactly the position
+  // column the read path inverts.
+  columns.push_back(engine::Column::FromInts(order));
+  return engine::Table::Make(SchemaWithPos(table.schema()),
+                             std::move(columns));
+}
+
+Result<engine::Table> RestoreGroupOrder(const engine::Table& group) {
+  const int pos_idx = group.schema().FieldIndex(kHiddenPosColumn);
+  if (pos_idx < 0) {
+    return Status::IOError("compaction group is missing its '" +
+                           std::string(kHiddenPosColumn) + "' column");
+  }
+  const engine::Column& pos = group.column(static_cast<size_t>(pos_idx));
+  const size_t n = group.num_rows();
+
+  // When every row of the group survived pruning, the positions are a
+  // permutation of 0..n-1 and the inverse permutation restores the order in
+  // O(n); otherwise (some segments pruned) argsort the surviving positions.
+  std::vector<int64_t> order(n, -1);
+  bool is_permutation = true;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t p = pos.IntAt(i);
+    if (p < 0 || p >= static_cast<int64_t>(n) || order[p] != -1) {
+      is_permutation = false;
+      break;
+    }
+    order[p] = static_cast<int64_t>(i);
+  }
+  if (!is_permutation) {
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&pos](int64_t a, int64_t b) {
+                       return pos.IntAt(static_cast<size_t>(a)) <
+                              pos.IntAt(static_cast<size_t>(b));
+                     });
+  }
+  engine::Table sorted = group.Take(order);
+
+  std::vector<engine::Field> fields;
+  std::vector<engine::Column> columns;
+  for (size_t c = 0; c < sorted.num_columns(); ++c) {
+    if (static_cast<int>(c) == pos_idx) continue;
+    fields.push_back(sorted.schema().field(c));
+    columns.push_back(sorted.column(c));
+  }
+  return engine::Table::Make(engine::Schema(std::move(fields)),
+                             std::move(columns));
+}
+
+Status StorageEngine::Compact(const std::string& name,
+                              const CompactionHooks& hooks) {
+  auto checkpoint = [&hooks](const std::string& step) -> Status {
+    if (hooks.checkpoint) return hooks.checkpoint(step);
+    return Status::OK();
+  };
+  // One compaction at a time; scans and appends proceed concurrently and
+  // only contend on mu_ at the commit below.
+  std::lock_guard<std::mutex> serialize(compact_mu_);
+
+  const std::string key = ToLower(name);
+  std::vector<SegmentState> inputs;
+  engine::Schema schema;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::NotFound("no disk table named '" + name + "'");
+    }
+    if (it->second.segments.size() < 2) return Status::OK();
+    inputs = it->second.segments;
+    schema = it->second.schema;
+  }
+  if (schema.num_fields() == 0) return Status::OK();
+  MIP_RETURN_NOT_OK(checkpoint("begin"));
+
+  // 1. Read every input row in visible order (group-aware, no pruning).
+  // Unlocked: segment files are immutable, and only compactions delete
+  // them — which this mutex serializes.
+  std::vector<engine::Table> parts;
+  size_t i = 0;
+  while (i < inputs.size()) {
+    const uint64_t group = inputs[i].group;
+    size_t j = i + 1;
+    if (group != 0) {
+      while (j < inputs.size() && inputs[j].group == group) ++j;
+    }
+    std::vector<engine::Table> group_parts;
+    for (size_t k = i; k < j; ++k) {
+      MIP_ASSIGN_OR_RETURN(
+          engine::Table part,
+          ReadSegmentData(SegmentPath(inputs[k].id), inputs[k].footer));
+      group_parts.push_back(std::move(part));
+    }
+    if (group != 0) {
+      MIP_ASSIGN_OR_RETURN(engine::Table merged,
+                           engine::Table::Concat(group_parts));
+      MIP_ASSIGN_OR_RETURN(engine::Table restored, RestoreGroupOrder(merged));
+      parts.push_back(std::move(restored));
+    } else {
+      for (engine::Table& part : group_parts) parts.push_back(std::move(part));
+    }
+    i = j;
+  }
+  engine::Table all = engine::Table::Empty(schema);
+  if (!parts.empty()) {
+    MIP_ASSIGN_OR_RETURN(all, engine::Table::Concat(parts));
+  }
+  parts.clear();
+
+  // 2. Re-sort by the clustering key (configured, or the first column) and
+  // remember every row's original position.
+  std::string cluster = schema.field(0).name;
+  if (!options_.cluster_key.empty()) {
+    const int fi = schema.FieldIndex(options_.cluster_key);
+    if (fi >= 0) cluster = schema.field(static_cast<size_t>(fi)).name;
+  }
+  MIP_ASSIGN_OR_RETURN(engine::Table sorted, SortForCompaction(all, cluster));
+
+  // 3. Reserve output ids up front (brief exclusive hold; an aborted
+  // compaction just burns the ids).
+  const uint64_t rows = sorted.num_rows();
+  const uint64_t per = std::max<uint64_t>(1, options_.target_segment_rows);
+  const uint64_t nsegs = (rows + per - 1) / per;
+  const std::vector<std::string> index_cols = IndexedColumns(schema);
+  uint64_t first_seg = 0;
+  uint64_t next_idx = 0;
+  {
+    std::unique_lock lock(mu_);
+    first_seg = next_segment_id_;
+    next_segment_id_ += nsegs;
+    next_idx = next_index_id_;
+    next_index_id_ += nsegs * index_cols.size();
+  }
+  // Nonzero and unique per compaction (distinct first_seg reservations), so
+  // adjacent groups in a segment list can never merge.
+  const uint64_t group_id = first_seg + 1;
+
+  // 4. Write the new segments and their indexes. Nothing references these
+  // files until the commit; a crash anywhere in here leaves orphans for the
+  // next Open's sweep.
+  std::vector<SegmentState> outputs;
+  auto discard_outputs = [this, &outputs] {
+    for (const SegmentState& seg : outputs) {
+      (void)RemoveFile(SegmentPath(seg.id));
+      for (const IndexState& idx : seg.indexes) {
+        (void)RemoveFile(IndexPath(idx.id));
+      }
+    }
+  };
+  for (uint64_t out_i = 0; out_i * per < rows; ++out_i) {
+    const size_t off = static_cast<size_t>(out_i * per);
+    const size_t count = std::min<size_t>(per, rows - off);
+    const engine::Table chunk = sorted.Slice(off, count);
+    SegmentState seg;
+    seg.id = first_seg + out_i;
+    seg.group = group_id;
+    MIP_ASSIGN_OR_RETURN(seg.footer, WriteSegment(SegmentPath(seg.id), chunk));
+    MIP_RETURN_NOT_OK(checkpoint("segment-" + std::to_string(out_i)));
+    for (const std::string& col : index_cols) {
+      MIP_ASSIGN_OR_RETURN(const engine::Column* column,
+                           chunk.ColumnByName(col));
+      IndexState idx;
+      idx.id = next_idx++;
+      idx.column = col;
+      MIP_ASSIGN_OR_RETURN(idx.footer,
+                           WriteIndex(IndexPath(idx.id), col, *column));
+      idx.valid = true;
+      seg.indexes.push_back(std::move(idx));
+      MIP_RETURN_NOT_OK(
+          checkpoint("index-" + std::to_string(out_i) + "-" + col));
+    }
+    outputs.push_back(std::move(seg));
+  }
+  MIP_RETURN_NOT_OK(checkpoint("pre-commit"));
+
+  // 5. Commit: swap the inputs for the outputs and write the manifest —
+  // the single atomic step. Same WAL epoch: compaction rearranges committed
+  // rows, the WAL and memtables are untouched.
+  {
+    std::unique_lock lock(mu_);
+    auto it = tables_.find(key);
+    bool prefix_intact =
+        it != tables_.end() && it->second.segments.size() >= inputs.size();
+    if (prefix_intact) {
+      for (size_t k = 0; k < inputs.size(); ++k) {
+        if (it->second.segments[k].id != inputs[k].id) {
+          prefix_intact = false;
+          break;
+        }
+      }
+    }
+    if (!prefix_intact) {
+      // Someone rewrote our inputs (cannot happen while compactions are
+      // serialized — flushes only append); abandon quietly.
+      lock.unlock();
+      discard_outputs();
+      return Status::OK();
+    }
+    std::vector<SegmentState> replaced = outputs;
+    for (size_t k = inputs.size(); k < it->second.segments.size(); ++k) {
+      replaced.push_back(it->second.segments[k]);
+    }
+    std::swap(it->second.segments, replaced);  // `replaced` now = old list
+    Status st = SaveManifest(ManifestPath(), BuildManifestLocked(wal_id_));
+    if (!st.ok()) {
+      std::swap(it->second.segments, replaced);
+      lock.unlock();
+      discard_outputs();
+      return st;
+    }
+    // A "crash" here (post-commit, pre-delete) leaves the replaced files on
+    // disk as orphans of the new manifest; recovery sweeps them.
+    MIP_RETURN_NOT_OK(checkpoint("post-commit"));
+    ctr_compactions_.fetch_add(1, std::memory_order_relaxed);
+    // Delete the replaced files under the exclusive lock: scans hold the
+    // shared lock for their entire read, so nobody is mid-read in them.
+    // Unlink failures are harmless — the next Open's sweep retries.
+    for (const SegmentState& seg : inputs) {
+      (void)RemoveFile(SegmentPath(seg.id));
+      for (const IndexState& idx : seg.indexes) {
+        (void)RemoveFile(IndexPath(idx.id));
+      }
+    }
+  }
+  return checkpoint("done");
+}
+
+Status StorageEngine::CompactAll(uint64_t min_segments) {
+  const uint64_t min =
+      std::max<uint64_t>(2, min_segments == 0 ? options_.compact_min_segments
+                                              : min_segments);
+  std::vector<std::string> names;
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& [key, state] : tables_) {
+      if (state.segments.size() >= min) names.push_back(key);
+    }
+  }
+  for (const std::string& name : names) {
+    MIP_RETURN_NOT_OK(Compact(name));
+  }
+  return Status::OK();
+}
+
+void StorageEngine::StartBackgroundCompaction() {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  if (bg_thread_.joinable()) return;
+  bg_stop_ = false;
+  bg_thread_ = std::thread([this] { BackgroundCompactionLoop(); });
+}
+
+void StorageEngine::StopBackgroundCompaction() {
+  std::thread thread;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (!bg_thread_.joinable()) return;
+    bg_stop_ = true;
+    thread = std::move(bg_thread_);
+  }
+  bg_cv_.notify_all();
+  thread.join();
+}
+
+void StorageEngine::BackgroundCompactionLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_cv_.wait_for(
+          lock,
+          std::chrono::milliseconds(options_.background_compact_interval_ms),
+          [this] { return bg_stop_; });
+      if (bg_stop_) return;
+    }
+    // Best effort: a failed pass (e.g. disk pressure) retries next tick.
+    (void)CompactAll();
+  }
+}
+
+}  // namespace mip::storage

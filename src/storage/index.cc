@@ -1,0 +1,735 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/string_util.h"
+#include "engine/encoding.h"
+#include "storage/io.h"
+
+namespace mip::storage {
+
+using engine::BinaryOp;
+using engine::Column;
+using engine::DataType;
+using engine::DecodeDoubles;
+using engine::DecodeInts;
+using engine::DecodeStrings;
+using engine::EncodeDoubles;
+using engine::EncodeInts;
+using engine::EncodeStrings;
+using engine::GetVarint;
+using engine::kMaxWireElements;
+using engine::PutVarint;
+using engine::Value;
+
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& why) {
+  return Status::IOError("corrupt index '" + path + "': " + why);
+}
+
+bool EqLike(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kLe || op == BinaryOp::kGe;
+}
+
+void TightenLo(KeyInterval* iv, double v, bool inclusive) {
+  if (!iv->has_lo || v > iv->lo) {
+    iv->has_lo = true;
+    iv->lo = v;
+    iv->lo_inclusive = inclusive;
+  } else if (v == iv->lo && !inclusive) {
+    iv->lo_inclusive = false;
+  }
+}
+
+void TightenHi(KeyInterval* iv, double v, bool inclusive) {
+  if (!iv->has_hi || v < iv->hi) {
+    iv->has_hi = true;
+    iv->hi = v;
+    iv->hi_inclusive = inclusive;
+  } else if (v == iv->hi && !inclusive) {
+    iv->hi_inclusive = false;
+  }
+}
+
+void TightenLoS(KeyInterval* iv, const std::string& v, bool inclusive) {
+  if (!iv->has_lo || v > iv->lo_s) {
+    iv->has_lo = true;
+    iv->lo_s = v;
+    iv->lo_inclusive = inclusive;
+  } else if (v == iv->lo_s && !inclusive) {
+    iv->lo_inclusive = false;
+  }
+}
+
+void TightenHiS(KeyInterval* iv, const std::string& v, bool inclusive) {
+  if (!iv->has_hi || v < iv->hi_s) {
+    iv->has_hi = true;
+    iv->hi_s = v;
+    iv->hi_inclusive = inclusive;
+  } else if (v == iv->hi_s && !inclusive) {
+    iv->hi_inclusive = false;
+  }
+}
+
+/// key below the interval's low bound (numeric domain).
+bool BelowLo(const KeyInterval& iv, double k) {
+  return iv.has_lo && (k < iv.lo || (k == iv.lo && !iv.lo_inclusive));
+}
+bool AboveHi(const KeyInterval& iv, double k) {
+  return iv.has_hi && (k > iv.hi || (k == iv.hi && !iv.hi_inclusive));
+}
+bool BelowLoS(const KeyInterval& iv, const std::string& k) {
+  return iv.has_lo && (k < iv.lo_s || (k == iv.lo_s && !iv.lo_inclusive));
+}
+bool AboveHiS(const KeyInterval& iv, const std::string& k) {
+  return iv.has_hi && (k > iv.hi_s || (k == iv.hi_s && !iv.hi_inclusive));
+}
+
+}  // namespace
+
+KeyInterval BuildKeyInterval(DataType type, const std::string& column,
+                             const std::vector<PruneConjunct>& conjuncts) {
+  KeyInterval iv;
+  for (const PruneConjunct& c : conjuncts) {
+    if (!EqualsIgnoreCase(c.column, column)) continue;
+    if (type == DataType::kString) {
+      // Mixed-type comparisons route the engine through paths the index
+      // cannot mirror exactly; ignoring the conjunct only widens the count.
+      if (c.literal.kind() != Value::Kind::kString) continue;
+      const std::string& v = c.literal.string_value();
+      switch (c.op) {
+        case BinaryOp::kEq:
+          TightenLoS(&iv, v, true);
+          TightenHiS(&iv, v, true);
+          break;
+        case BinaryOp::kLt:
+          TightenHiS(&iv, v, false);
+          break;
+        case BinaryOp::kLe:
+          TightenHiS(&iv, v, true);
+          break;
+        case BinaryOp::kGt:
+          TightenLoS(&iv, v, false);
+          break;
+        case BinaryOp::kGe:
+          TightenLoS(&iv, v, true);
+          break;
+        default:
+          continue;
+      }
+      iv.restricts = true;
+      continue;
+    }
+    // Numeric column: the engine compares cells to the literal as doubles.
+    if (c.literal.kind() == Value::Kind::kString) continue;
+    const double v = c.literal.AsDouble();
+    if (std::isnan(v)) {
+      // cmp(x, NaN) == 0 for every x: eq-like ops match every non-null row
+      // (no restriction); < and > match nothing at all.
+      if (!EqLike(c.op)) {
+        iv.empty = true;
+        iv.include_nan = false;
+        iv.restricts = true;
+      }
+      continue;
+    }
+    if (!EqLike(c.op)) iv.include_nan = false;  // NaN cells fail < and >
+    switch (c.op) {
+      case BinaryOp::kEq:
+        TightenLo(&iv, v, true);
+        TightenHi(&iv, v, true);
+        break;
+      case BinaryOp::kLt:
+        TightenHi(&iv, v, false);
+        break;
+      case BinaryOp::kLe:
+        TightenHi(&iv, v, true);
+        break;
+      case BinaryOp::kGt:
+        TightenLo(&iv, v, false);
+        break;
+      case BinaryOp::kGe:
+        TightenLo(&iv, v, true);
+        break;
+      default:
+        continue;
+    }
+    iv.restricts = true;
+  }
+  if (iv.has_lo && iv.has_hi) {
+    const bool contradictory =
+        type == DataType::kString
+            ? (iv.lo_s > iv.hi_s ||
+               (iv.lo_s == iv.hi_s && !(iv.lo_inclusive && iv.hi_inclusive)))
+            : (iv.lo > iv.hi ||
+               (iv.lo == iv.hi && !(iv.lo_inclusive && iv.hi_inclusive)));
+    if (contradictory) iv.empty = true;
+  }
+  return iv;
+}
+
+// --- Writing ---------------------------------------------------------------
+
+namespace {
+
+struct EntryI {
+  int64_t key;
+  int64_t row;
+};
+struct EntryD {
+  double key;
+  int64_t row;
+};
+struct EntryS {
+  std::string key;
+  int64_t row;
+};
+
+void WriteBlockKey(DataType type, const IndexBlock& b, bool first,
+                   BufferWriter* w) {
+  switch (type) {
+    case DataType::kBool:
+    case DataType::kInt64:
+      w->WriteI64(first ? b.first_i : b.last_i);
+      break;
+    case DataType::kFloat64:
+      w->WriteDouble(first ? b.first_d : b.last_d);
+      break;
+    case DataType::kString:
+      w->WriteString(first ? b.first_s : b.last_s);
+      break;
+  }
+}
+
+Status ReadBlockKey(DataType type, bool first, BufferReader* r,
+                    IndexBlock* b) {
+  switch (type) {
+    case DataType::kBool:
+    case DataType::kInt64: {
+      MIP_ASSIGN_OR_RETURN(int64_t v, r->ReadI64());
+      (first ? b->first_i : b->last_i) = v;
+      break;
+    }
+    case DataType::kFloat64: {
+      MIP_ASSIGN_OR_RETURN(double v, r->ReadDouble());
+      if (std::isnan(v)) return Status::IOError("NaN block key");
+      (first ? b->first_d : b->last_d) = v;
+      break;
+    }
+    case DataType::kString: {
+      MIP_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+      (first ? b->first_s : b->last_s) = std::move(v);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IndexFooter> WriteIndex(const std::string& path,
+                               const std::string& column_name,
+                               const Column& column) {
+  if (column.length() > kMaxWireElements) {
+    return Status::InvalidArgument("index batch exceeds row cap");
+  }
+  IndexFooter footer;
+  footer.column = column_name;
+  footer.type = column.type();
+  footer.num_rows = column.length();
+
+  // Gather the sorted (key, row-id) run. NULLs are excluded (they never
+  // pass a comparison filter); NaNs go to the side list.
+  std::vector<EntryI> ints;
+  std::vector<EntryD> doubles;
+  std::vector<EntryS> strings;
+  std::vector<int64_t> nan_rows;
+  for (size_t i = 0; i < column.length(); ++i) {
+    if (!column.IsValid(i)) continue;
+    const int64_t row = static_cast<int64_t>(i);
+    switch (column.type()) {
+      case DataType::kBool:
+        ints.push_back({column.BoolAt(i) ? 1 : 0, row});
+        break;
+      case DataType::kInt64:
+        ints.push_back({column.IntAt(i), row});
+        break;
+      case DataType::kFloat64: {
+        const double v = column.DoubleAt(i);
+        if (std::isnan(v)) {
+          nan_rows.push_back(row);
+        } else {
+          doubles.push_back({v, row});
+        }
+        break;
+      }
+      case DataType::kString:
+        strings.push_back({column.StringAt(i), row});
+        break;
+    }
+  }
+  std::sort(ints.begin(), ints.end(), [](const EntryI& a, const EntryI& b) {
+    return a.key != b.key ? a.key < b.key : a.row < b.row;
+  });
+  std::sort(doubles.begin(), doubles.end(),
+            [](const EntryD& a, const EntryD& b) {
+              return a.key != b.key ? a.key < b.key : a.row < b.row;
+            });
+  std::sort(strings.begin(), strings.end(),
+            [](const EntryS& a, const EntryS& b) {
+              return a.key != b.key ? a.key < b.key : a.row < b.row;
+            });
+  footer.num_entries = ints.size() + doubles.size() + strings.size();
+  footer.nan_count = nan_rows.size();
+
+  BufferWriter w;
+  w.WriteU32(kIndexMagic);
+  w.WriteU8(kIndexVersion);
+
+  const uint64_t n = footer.num_entries;
+  for (uint64_t off = 0; off < n; off += kIndexBlockEntries) {
+    const uint64_t count = std::min<uint64_t>(kIndexBlockEntries, n - off);
+    IndexBlock block;
+    block.count = count;
+    BufferWriter body;
+    std::vector<int64_t> row_ids;
+    row_ids.reserve(static_cast<size_t>(count));
+    switch (footer.type) {
+      case DataType::kBool:
+      case DataType::kInt64: {
+        std::vector<int64_t> keys;
+        keys.reserve(static_cast<size_t>(count));
+        for (uint64_t k = 0; k < count; ++k) {
+          keys.push_back(ints[off + k].key);
+          row_ids.push_back(ints[off + k].row);
+        }
+        block.first_i = keys.front();
+        block.last_i = keys.back();
+        EncodeInts(keys, &body);
+        break;
+      }
+      case DataType::kFloat64: {
+        std::vector<double> keys;
+        keys.reserve(static_cast<size_t>(count));
+        for (uint64_t k = 0; k < count; ++k) {
+          keys.push_back(doubles[off + k].key);
+          row_ids.push_back(doubles[off + k].row);
+        }
+        block.first_d = keys.front();
+        block.last_d = keys.back();
+        EncodeDoubles(keys, &body);
+        break;
+      }
+      case DataType::kString: {
+        std::vector<std::string> keys;
+        keys.reserve(static_cast<size_t>(count));
+        for (uint64_t k = 0; k < count; ++k) {
+          keys.push_back(strings[off + k].key);
+          row_ids.push_back(strings[off + k].row);
+        }
+        block.first_s = keys.front();
+        block.last_s = keys.back();
+        EncodeStrings(keys, &body);
+        break;
+      }
+    }
+    EncodeInts(row_ids, &body);
+    const std::vector<uint8_t> bytes = body.TakeBytes();
+    block.offset = w.size();
+    block.length = bytes.size();
+    block.crc = Crc32(bytes);
+    w.AppendRaw(bytes.data(), bytes.size());
+    footer.blocks.push_back(std::move(block));
+  }
+
+  if (!nan_rows.empty()) {
+    BufferWriter body;
+    EncodeInts(nan_rows, &body);
+    const std::vector<uint8_t> bytes = body.TakeBytes();
+    footer.nan_offset = w.size();
+    footer.nan_length = bytes.size();
+    footer.nan_crc = Crc32(bytes);
+    w.AppendRaw(bytes.data(), bytes.size());
+  }
+
+  BufferWriter f;
+  f.WriteString(footer.column);
+  f.WriteU8(static_cast<uint8_t>(footer.type));
+  PutVarint(&f, footer.num_rows);
+  PutVarint(&f, footer.num_entries);
+  PutVarint(&f, footer.nan_count);
+  if (footer.nan_count > 0) {
+    PutVarint(&f, footer.nan_offset);
+    PutVarint(&f, footer.nan_length);
+    f.WriteU32(footer.nan_crc);
+  }
+  PutVarint(&f, footer.blocks.size());
+  for (const IndexBlock& b : footer.blocks) {
+    WriteBlockKey(footer.type, b, true, &f);
+    WriteBlockKey(footer.type, b, false, &f);
+    PutVarint(&f, b.count);
+    PutVarint(&f, b.offset);
+    PutVarint(&f, b.length);
+    f.WriteU32(b.crc);
+  }
+  const std::vector<uint8_t> footer_bytes = f.TakeBytes();
+  w.AppendRaw(footer_bytes.data(), footer_bytes.size());
+  w.WriteU32(static_cast<uint32_t>(footer_bytes.size()));
+  w.WriteU32(Crc32(footer_bytes));
+  w.WriteU32(kIndexFooterMagic);
+
+  MIP_RETURN_NOT_OK(WriteFileAtomic(path, w.bytes()));
+  return footer;
+}
+
+// --- Reading ---------------------------------------------------------------
+
+namespace {
+
+/// Validates the global order between consecutive blocks: a.last <= b.first.
+bool BlocksOrdered(DataType type, const IndexBlock& a, const IndexBlock& b) {
+  switch (type) {
+    case DataType::kBool:
+    case DataType::kInt64:
+      return a.last_i <= b.first_i;
+    case DataType::kFloat64:
+      return a.last_d <= b.first_d;
+    case DataType::kString:
+      return a.last_s <= b.first_s;
+  }
+  return false;
+}
+
+/// first_key <= last_key within one block.
+bool BlockSelfOrdered(DataType type, const IndexBlock& b) {
+  switch (type) {
+    case DataType::kBool:
+    case DataType::kInt64:
+      return b.first_i <= b.last_i;
+    case DataType::kFloat64:
+      return b.first_d <= b.last_d;
+    case DataType::kString:
+      return b.first_s <= b.last_s;
+  }
+  return false;
+}
+
+Result<IndexFooter> ParseIndexFooter(const std::string& path,
+                                     const std::vector<uint8_t>& footer_bytes,
+                                     uint64_t footer_start) {
+  BufferReader r(footer_bytes);
+  IndexFooter footer;
+  MIP_ASSIGN_OR_RETURN(footer.column, r.ReadString());
+  MIP_ASSIGN_OR_RETURN(uint8_t type_byte, r.ReadU8());
+  if (type_byte > static_cast<uint8_t>(DataType::kString)) {
+    return Corrupt(path, "bad column type byte");
+  }
+  footer.type = static_cast<DataType>(type_byte);
+  MIP_ASSIGN_OR_RETURN(footer.num_rows, GetVarint(&r));
+  MIP_ASSIGN_OR_RETURN(footer.num_entries, GetVarint(&r));
+  MIP_ASSIGN_OR_RETURN(footer.nan_count, GetVarint(&r));
+  if (footer.num_rows > kMaxWireElements ||
+      footer.num_entries > footer.num_rows ||
+      footer.nan_count > footer.num_rows - footer.num_entries) {
+    return Corrupt(path, "entry counts exceed row count");
+  }
+  if (footer.nan_count > 0 && footer.type != DataType::kFloat64) {
+    return Corrupt(path, "NaN list on a non-double column");
+  }
+  if (footer.nan_count > 0) {
+    MIP_ASSIGN_OR_RETURN(footer.nan_offset, GetVarint(&r));
+    MIP_ASSIGN_OR_RETURN(footer.nan_length, GetVarint(&r));
+    MIP_ASSIGN_OR_RETURN(footer.nan_crc, r.ReadU32());
+    if (footer.nan_offset < kIndexHeaderBytes ||
+        footer.nan_offset > footer_start ||
+        footer.nan_length > footer_start - footer.nan_offset) {
+      return Corrupt(path, "NaN block out of bounds");
+    }
+  }
+  MIP_ASSIGN_OR_RETURN(uint64_t num_blocks, GetVarint(&r));
+  if (num_blocks > kMaxIndexBlocks) {
+    return Corrupt(path, "block count exceeds cap");
+  }
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    IndexBlock b;
+    MIP_RETURN_NOT_OK(ReadBlockKey(footer.type, true, &r, &b));
+    MIP_RETURN_NOT_OK(ReadBlockKey(footer.type, false, &r, &b));
+    MIP_ASSIGN_OR_RETURN(b.count, GetVarint(&r));
+    MIP_ASSIGN_OR_RETURN(b.offset, GetVarint(&r));
+    MIP_ASSIGN_OR_RETURN(b.length, GetVarint(&r));
+    MIP_ASSIGN_OR_RETURN(b.crc, r.ReadU32());
+    if (b.count == 0 || b.count > kIndexBlockEntries) {
+      return Corrupt(path, "bad block entry count");
+    }
+    if (b.offset < kIndexHeaderBytes || b.offset > footer_start ||
+        b.length > footer_start - b.offset) {
+      return Corrupt(path, "block out of bounds");
+    }
+    if (!BlockSelfOrdered(footer.type, b)) {
+      return Corrupt(path, "block first key after last key");
+    }
+    if (!footer.blocks.empty() &&
+        !BlocksOrdered(footer.type, footer.blocks.back(), b)) {
+      return Corrupt(path, "blocks out of key order");
+    }
+    total += b.count;
+    footer.blocks.push_back(std::move(b));
+  }
+  if (total != footer.num_entries) {
+    return Corrupt(path, "block counts disagree with num_entries");
+  }
+  if (!r.AtEnd()) return Corrupt(path, "trailing bytes after footer");
+  return footer;
+}
+
+Status CheckIndexHeader(const std::string& path, const uint8_t* data,
+                        size_t n) {
+  BufferReader r(data, n);
+  MIP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kIndexMagic) return Corrupt(path, "bad index magic");
+  MIP_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kIndexVersion) {
+    return Corrupt(path,
+                   "unsupported index version " + std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Result<std::pair<std::vector<uint8_t>, uint64_t>> CheckIndexTail(
+    const std::string& path, uint64_t file_size,
+    const std::vector<uint8_t>& tail, uint64_t tail_offset) {
+  if (tail.size() < kIndexTrailerBytes) {
+    return Corrupt(path, "file too small for trailer");
+  }
+  BufferReader tr(tail.data() + tail.size() - kIndexTrailerBytes,
+                  kIndexTrailerBytes);
+  MIP_ASSIGN_OR_RETURN(uint32_t footer_len, tr.ReadU32());
+  MIP_ASSIGN_OR_RETURN(uint32_t footer_crc, tr.ReadU32());
+  MIP_ASSIGN_OR_RETURN(uint32_t magic, tr.ReadU32());
+  if (magic != kIndexFooterMagic) {
+    return Corrupt(path, "bad footer magic");
+  }
+  if (footer_len > file_size - kIndexHeaderBytes - kIndexTrailerBytes) {
+    return Corrupt(path, "footer length out of bounds");
+  }
+  const uint64_t footer_start = file_size - kIndexTrailerBytes - footer_len;
+  if (footer_start < tail_offset) {
+    return Corrupt(path, "footer longer than tail read");
+  }
+  const size_t in_tail = static_cast<size_t>(footer_start - tail_offset);
+  std::vector<uint8_t> footer_bytes(tail.begin() + in_tail,
+                                    tail.end() - kIndexTrailerBytes);
+  if (Crc32(footer_bytes) != footer_crc) {
+    return Corrupt(path, "footer CRC mismatch");
+  }
+  return std::make_pair(std::move(footer_bytes), footer_start);
+}
+
+struct DecodedBlock {
+  std::vector<int64_t> key_i;
+  std::vector<double> key_d;
+  std::vector<std::string> key_s;
+  std::vector<int64_t> rows;
+};
+
+Result<DecodedBlock> ReadBlock(const std::string& path,
+                               const IndexFooter& footer,
+                               const IndexBlock& block) {
+  MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       ReadFileRange(path, block.offset, block.length));
+  if (Crc32(bytes) != block.crc) return Corrupt(path, "block CRC mismatch");
+  BufferReader r(bytes);
+  DecodedBlock out;
+  size_t n = 0;
+  switch (footer.type) {
+    case DataType::kBool:
+    case DataType::kInt64: {
+      MIP_ASSIGN_OR_RETURN(out.key_i, DecodeInts(&r));
+      n = out.key_i.size();
+      break;
+    }
+    case DataType::kFloat64: {
+      MIP_ASSIGN_OR_RETURN(out.key_d, DecodeDoubles(&r));
+      n = out.key_d.size();
+      break;
+    }
+    case DataType::kString: {
+      MIP_ASSIGN_OR_RETURN(out.key_s, DecodeStrings(&r));
+      n = out.key_s.size();
+      break;
+    }
+  }
+  MIP_ASSIGN_OR_RETURN(out.rows, DecodeInts(&r));
+  if (n != block.count || out.rows.size() != block.count) {
+    return Corrupt(path, "block entry count mismatch");
+  }
+  if (!r.AtEnd()) return Corrupt(path, "trailing bytes in block");
+  return out;
+}
+
+}  // namespace
+
+Result<IndexFooter> ReadIndexFooter(const std::string& path) {
+  MIP_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  if (size < kIndexHeaderBytes + kIndexTrailerBytes) {
+    return Corrupt(path, "file too small");
+  }
+  MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> head,
+                       ReadFileRange(path, 0, kIndexHeaderBytes));
+  MIP_RETURN_NOT_OK(CheckIndexHeader(path, head.data(), head.size()));
+  const uint64_t tail_n = std::min<uint64_t>(size, 64 * 1024);
+  MIP_ASSIGN_OR_RETURN(std::vector<uint8_t> tail,
+                       ReadFileRange(path, size - tail_n, tail_n));
+  auto parsed = CheckIndexTail(path, size, tail, size - tail_n);
+  if (!parsed.ok() &&
+      parsed.status().message().find("longer than tail read") !=
+          std::string::npos) {
+    MIP_ASSIGN_OR_RETURN(tail, ReadFileBytes(path));
+    parsed = CheckIndexTail(path, size, tail, 0);
+  }
+  MIP_RETURN_NOT_OK(parsed.status());
+  return ParseIndexFooter(path, parsed->first, parsed->second);
+}
+
+Result<IndexProbe> ProbeIndex(const std::string& path,
+                              const IndexFooter& footer,
+                              const KeyInterval& interval) {
+  IndexProbe probe;
+  const uint64_t nan_part = interval.include_nan ? footer.nan_count : 0;
+  if (interval.empty) {
+    probe.candidates = nan_part;
+    return probe;
+  }
+  if (!interval.restricts) {
+    probe.candidates = footer.num_entries + footer.nan_count;
+    return probe;
+  }
+  const bool is_string = footer.type == DataType::kString;
+  for (const IndexBlock& b : footer.blocks) {
+    // Block key ranges vs the interval: skip blocks entirely outside, count
+    // blocks entirely inside from the footer alone, decode only straddlers.
+    const double first_d = footer.type == DataType::kFloat64
+                               ? b.first_d
+                               : static_cast<double>(b.first_i);
+    const double last_d = footer.type == DataType::kFloat64
+                              ? b.last_d
+                              : static_cast<double>(b.last_i);
+    const bool all_above =
+        is_string ? BelowLoS(interval, b.last_s) : BelowLo(interval, last_d);
+    if (all_above) continue;  // whole block below the interval
+    const bool past_hi =
+        is_string ? AboveHiS(interval, b.first_s) : AboveHi(interval, first_d);
+    if (past_hi) break;  // sorted: this and every later block are above
+    const bool inside =
+        is_string ? (!BelowLoS(interval, b.first_s) &&
+                     !AboveHiS(interval, b.last_s))
+                  : (!BelowLo(interval, first_d) && !AboveHi(interval, last_d));
+    if (inside) {
+      probe.candidates += b.count;
+      continue;
+    }
+    MIP_ASSIGN_OR_RETURN(DecodedBlock decoded, ReadBlock(path, footer, b));
+    ++probe.blocks_read;
+    for (uint64_t k = 0; k < b.count; ++k) {
+      bool in;
+      if (is_string) {
+        const std::string& key = decoded.key_s[k];
+        in = !BelowLoS(interval, key) && !AboveHiS(interval, key);
+      } else {
+        const double key = footer.type == DataType::kFloat64
+                               ? decoded.key_d[k]
+                               : static_cast<double>(decoded.key_i[k]);
+        in = !BelowLo(interval, key) && !AboveHi(interval, key);
+      }
+      if (in) ++probe.candidates;
+    }
+  }
+  probe.candidates += nan_part;
+  return probe;
+}
+
+Status VerifyIndex(const std::string& path, const IndexFooter& footer) {
+  // Re-validate the on-disk footer (the cached copy may predate on-disk
+  // corruption), then audit every block.
+  MIP_ASSIGN_OR_RETURN(IndexFooter disk, ReadIndexFooter(path));
+  if (disk.column != footer.column || disk.type != footer.type ||
+      disk.num_rows != footer.num_rows ||
+      disk.num_entries != footer.num_entries ||
+      disk.nan_count != footer.nan_count ||
+      disk.blocks.size() != footer.blocks.size()) {
+    return Corrupt(path, "footer disagrees with manifest-cached copy");
+  }
+  bool have_prev = false;
+  int64_t prev_i = 0;
+  double prev_d = 0.0;
+  std::string prev_s;
+  int64_t prev_row = 0;
+  for (const IndexBlock& b : disk.blocks) {
+    MIP_ASSIGN_OR_RETURN(DecodedBlock decoded, ReadBlock(path, disk, b));
+    for (uint64_t k = 0; k < b.count; ++k) {
+      const int64_t row = decoded.rows[k];
+      if (row < 0 || static_cast<uint64_t>(row) >= disk.num_rows) {
+        return Corrupt(path, "row id out of range");
+      }
+      // Strict (key, row-id) order also proves row-id uniqueness.
+      bool ordered = true;
+      switch (disk.type) {
+        case DataType::kBool:
+        case DataType::kInt64: {
+          const int64_t key = decoded.key_i[k];
+          if (have_prev) {
+            ordered = prev_i < key || (prev_i == key && prev_row < row);
+          }
+          prev_i = key;
+          break;
+        }
+        case DataType::kFloat64: {
+          const double key = decoded.key_d[k];
+          if (std::isnan(key)) return Corrupt(path, "NaN entry key");
+          if (have_prev) {
+            ordered = prev_d < key || (prev_d == key && prev_row < row);
+          }
+          prev_d = key;
+          break;
+        }
+        case DataType::kString: {
+          const std::string& key = decoded.key_s[k];
+          if (have_prev) {
+            ordered = prev_s < key || (prev_s == key && prev_row < row);
+          }
+          prev_s = key;
+          break;
+        }
+      }
+      if (!ordered) return Corrupt(path, "entries out of (key, row) order");
+      prev_row = row;
+      have_prev = true;
+    }
+  }
+  if (disk.nan_count > 0) {
+    MIP_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> bytes,
+        ReadFileRange(path, disk.nan_offset, disk.nan_length));
+    if (Crc32(bytes) != disk.nan_crc) {
+      return Corrupt(path, "NaN block CRC mismatch");
+    }
+    BufferReader r(bytes);
+    MIP_ASSIGN_OR_RETURN(std::vector<int64_t> rows, DecodeInts(&r));
+    if (rows.size() != disk.nan_count || !r.AtEnd()) {
+      return Corrupt(path, "NaN block count mismatch");
+    }
+    for (int64_t row : rows) {
+      if (row < 0 || static_cast<uint64_t>(row) >= disk.num_rows) {
+        return Corrupt(path, "NaN row id out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mip::storage

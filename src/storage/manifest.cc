@@ -23,6 +23,7 @@ Status SaveManifest(const std::string& path, const Manifest& manifest) {
   w.WriteU8(kManifestVersion);
   w.WriteU64(manifest.wal_id);
   w.WriteU64(manifest.next_segment_id);
+  w.WriteU64(manifest.next_index_id);
   PutVarint(&w, manifest.tables.size());
   for (const ManifestTable& t : manifest.tables) {
     w.WriteString(t.name);
@@ -35,6 +36,12 @@ Status SaveManifest(const std::string& path, const Manifest& manifest) {
     for (const ManifestSegment& s : t.segments) {
       PutVarint(&w, s.id);
       PutVarint(&w, s.rows);
+      PutVarint(&w, s.group);
+      PutVarint(&w, s.indexes.size());
+      for (const ManifestIndex& idx : s.indexes) {
+        PutVarint(&w, idx.id);
+        w.WriteString(idx.column);
+      }
     }
   }
   w.WriteU32(Crc32(w.bytes()));
@@ -62,13 +69,18 @@ Result<Manifest> LoadManifest(const std::string& path) {
     return Status::IOError("manifest '" + path + "' bad magic");
   }
   MIP_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
-  if (version != kManifestVersion) {
+  // Version 1 is the PR-7 layout: no next_index_id, no per-segment group or
+  // index list. Those fields default to zero/empty on load.
+  if (version != 1 && version != kManifestVersion) {
     return Status::IOError("manifest '" + path + "' unsupported version " +
                            std::to_string(version));
   }
   Manifest m;
   MIP_ASSIGN_OR_RETURN(m.wal_id, r.ReadU64());
   MIP_ASSIGN_OR_RETURN(m.next_segment_id, r.ReadU64());
+  if (version >= 2) {
+    MIP_ASSIGN_OR_RETURN(m.next_index_id, r.ReadU64());
+  }
   MIP_ASSIGN_OR_RETURN(uint64_t num_tables, GetVarint(&r));
   if (num_tables > kMaxManifestTables) {
     return Status::IOError("manifest '" + path + "' hostile table count");
@@ -106,7 +118,25 @@ Result<Manifest> LoadManifest(const std::string& path) {
         return Status::IOError("manifest '" + path +
                                "' segment id beyond next_segment_id");
       }
-      t.segments.push_back(seg);
+      if (version >= 2) {
+        MIP_ASSIGN_OR_RETURN(seg.group, GetVarint(&r));
+        MIP_ASSIGN_OR_RETURN(uint64_t num_indexes, GetVarint(&r));
+        if (num_indexes > kMaxManifestIndexes) {
+          return Status::IOError("manifest '" + path +
+                                 "' hostile index count");
+        }
+        for (uint64_t x = 0; x < num_indexes; ++x) {
+          ManifestIndex idx;
+          MIP_ASSIGN_OR_RETURN(idx.id, GetVarint(&r));
+          MIP_ASSIGN_OR_RETURN(idx.column, r.ReadString());
+          if (idx.id >= m.next_index_id) {
+            return Status::IOError("manifest '" + path +
+                                   "' index id beyond next_index_id");
+          }
+          seg.indexes.push_back(std::move(idx));
+        }
+      }
+      t.segments.push_back(std::move(seg));
     }
     m.tables.push_back(std::move(t));
   }

@@ -270,5 +270,104 @@ TEST(GatewayDiskTest, DiskIngestInvalidatesCachedResults) {
   EXPECT_EQ(stats.hits, 0u);
 }
 
+TEST(GatewayDiskTest, CompactionDoesNotInvalidateCachedResults) {
+  // Compaction rearranges bytes on disk without changing a single visible
+  // row, so it must NOT bump the catalog version: cached results stay hot
+  // across it (and across the Scan -> IndexScan access-path flip the new
+  // segment layout may cause, because plan fingerprints are canonical).
+  const std::string dir = ::testing::TempDir() + "mip_cache_compact";
+  ASSERT_TRUE(storage::EnsureDir(dir).ok());
+  if (auto names = storage::ListDir(dir); names.ok()) {
+    for (const std::string& f : names.ValueOrDie()) {
+      ASSERT_TRUE(storage::RemoveFile(dir + "/" + f).ok());
+    }
+  }
+  storage::StorageOptions options;
+  options.target_segment_rows = 40;
+  auto store = storage::StorageEngine::Open(dir, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  engine::Schema schema({{"x", engine::DataType::kFloat64}});
+  std::vector<double> xs;
+  for (int i = 1; i <= 120; ++i) xs.push_back(static_cast<double>(i));
+  auto batch = Table::Make(schema, {engine::Column::FromDoubles(xs)});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE((*store)->AppendRows("readings", batch.ValueOrDie()).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_EQ((*store)->SegmentCount("readings").ValueOrDie(), 3u);
+
+  Database db("diskserve");
+  ASSERT_TRUE(db.AttachStorage(store.ValueOrDie().get()).ok());
+  Gateway gateway(&db);
+  const std::string sql = "SELECT count(*) AS n FROM readings WHERE x > 50";
+  auto before = gateway.Handle(SqlEnvelope(sql));
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  auto decoded = DecodeReply(before);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().At(0, 0).int_value(), 70);
+
+  const uint64_t version = db.catalog_version();
+  ASSERT_TRUE((*store)->Compact("readings").ok());
+  EXPECT_EQ(db.catalog_version(), version);
+
+  // Same question after compaction: served from cache (hit, no recompute),
+  // byte-for-byte the same reply.
+  auto after = gateway.Handle(SqlEnvelope(sql));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.ValueOrDie(), before.ValueOrDie());
+  const ResultCache::Stats stats = gateway.cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Fresh questions against the compacted layout still answer correctly.
+  auto fresh = DecodeReply(gateway.Handle(
+      SqlEnvelope("SELECT count(*) AS n FROM readings WHERE x <= 50")));
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh.ValueOrDie().At(0, 0).int_value(), 50);
+}
+
+TEST(GatewayDiskTest, MetricsExposeStorageCounters) {
+  // The "# storage" /metrics section: lifetime flush/compaction/scan/index
+  // counters from the attached store, absent when no storage is attached.
+  const std::string dir = ::testing::TempDir() + "mip_cache_metrics";
+  ASSERT_TRUE(storage::EnsureDir(dir).ok());
+  if (auto names = storage::ListDir(dir); names.ok()) {
+    for (const std::string& f : names.ValueOrDie()) {
+      ASSERT_TRUE(storage::RemoveFile(dir + "/" + f).ok());
+    }
+  }
+  storage::StorageOptions options;
+  options.target_segment_rows = 40;
+  auto store = storage::StorageEngine::Open(dir, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  engine::Schema schema({{"x", engine::DataType::kFloat64}});
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i % 37));
+  auto batch = Table::Make(schema, {engine::Column::FromDoubles(xs)});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE((*store)->AppendRows("readings", batch.ValueOrDie()).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Compact("readings").ok());
+
+  Database db("metricsnode");
+  ASSERT_TRUE(db.AttachStorage(store.ValueOrDie().get()).ok());
+  Gateway gateway(&db);
+  ASSERT_TRUE(
+      gateway.Handle(SqlEnvelope("SELECT x FROM readings WHERE x > 30"))
+          .ok());
+  const std::string text = gateway.MetricsText();
+  EXPECT_NE(text.find("# storage"), std::string::npos) << text;
+  EXPECT_NE(text.find("storage_flushes 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("storage_compactions 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("storage_segments_scanned"), std::string::npos);
+  EXPECT_NE(text.find("storage_index_probes"), std::string::npos);
+  EXPECT_NE(text.find("storage_wal_replays"), std::string::npos);
+
+  // No storage attached -> no storage section.
+  Database bare("bare");
+  Gateway plain(&bare);
+  EXPECT_EQ(plain.MetricsText().find("# storage"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mip

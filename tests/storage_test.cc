@@ -2,12 +2,22 @@
 // pruning parity against the in-memory engine, LSM ingest + crash recovery
 // (torn WAL tails, orphaned segments), hardened readers over corrupted
 // files, EXPLAIN segment accounting, and typed kIOError propagation.
+//
+// PR 9 additions: ordered secondary indexes (probe-vs-brute-force parity,
+// flip-every-byte / truncate-every-prefix corruption falls back to the scan
+// path and never changes results), background compaction (order-preserving
+// byte identity, kill-between-every-step crash recovery), the
+// Scan-vs-IndexScan access-path rule (EXPLAIN surface, byte parity at 1 and
+// 8 threads), storage counters, and manifest v1 back-compat.
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +31,8 @@
 #include "engine/expr.h"
 #include "engine/table.h"
 #include "net/frame.h"
+#include "storage/compaction.h"
+#include "storage/index.h"
 #include "storage/io.h"
 #include "storage/manifest.h"
 #include "storage/segment.h"
@@ -37,9 +49,19 @@ using engine::Database;
 using engine::Field;
 using engine::Schema;
 using engine::Table;
+using engine::Value;
+using storage::BuildKeyInterval;
+using storage::CompactionHooks;
+using storage::IndexFooter;
+using storage::KeyInterval;
+using storage::ProbeIndex;
+using storage::PruneConjunct;
+using storage::ReadIndexFooter;
 using storage::SegmentFooter;
 using storage::StorageEngine;
 using storage::StorageOptions;
+using storage::VerifyIndex;
+using storage::WriteIndex;
 
 std::string TestDir(const std::string& name) {
   const std::string dir = ::testing::TempDir() + "mip_storage_" + name;
@@ -132,6 +154,49 @@ Table MakeEventsTable(int64_t start, int64_t count) {
                                 Column::FromBools(flags)});
   EXPECT_TRUE(t.ok());
   return t.ValueOrDie();
+}
+
+/// Unsorted high-cardinality table — the shape indexes exist for. `key` is
+/// a Fibonacci-hash permutation (every value distinct, no two neighbors
+/// close), so every segment's zone map spans nearly the full key range and
+/// zone pruning alone is useless; `val` carries NULLs and NaNs; `grp` is
+/// low-cardinality.
+Table MakeKeyedTable(int64_t start, int64_t count) {
+  std::vector<int64_t> keys;
+  std::vector<double> vals;
+  std::vector<std::string> grps;
+  for (int64_t i = start; i < start + count; ++i) {
+    keys.push_back((i * 2654435761LL) % 1000003);
+    vals.push_back(i % 89 == 2 ? std::numeric_limits<double>::quiet_NaN()
+                               : static_cast<double>((i * 53) % 500) / 4.0);
+    grps.push_back("g" + std::to_string(i % 7));
+  }
+  Schema schema({{"key", DataType::kInt64},
+                 {"val", DataType::kFloat64},
+                 {"grp", DataType::kString}});
+  Bitmap v(static_cast<size_t>(count), true);
+  for (int64_t i = 0; i < count; ++i) {
+    if ((start + i) % 97 == 11) {
+      v.Set(static_cast<size_t>(i), false);
+      vals[static_cast<size_t>(i)] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  Column cv = Column::FromDoubles(vals);
+  EXPECT_TRUE(cv.SetValidity(v).ok());
+  auto t = Table::Make(schema, {Column::FromInts(keys), cv,
+                                Column::FromStrings(grps)});
+  EXPECT_TRUE(t.ok());
+  return t.ValueOrDie();
+}
+
+std::vector<std::string> IndexFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  auto names = storage::ListDir(dir);
+  EXPECT_TRUE(names.ok());
+  for (const std::string& n : names.ValueOrDie()) {
+    if (n.rfind("idx-", 0) == 0) out.push_back(dir + "/" + n);
+  }
+  return out;
 }
 
 std::string ExplainText(Database* db, const std::string& sql) {
@@ -776,6 +841,804 @@ TEST(StorageErrorTest, MissingDataDirIsIOError) {
   auto footer = storage::ReadSegmentFooter("/nonexistent/nope.mip");
   ASSERT_FALSE(footer.ok());
   EXPECT_EQ(footer.status().code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Ordered secondary indexes: probe parity, corruption hardening
+// ---------------------------------------------------------------------------
+
+/// The engine's comparison semantics the index must mirror: numerics
+/// compared as doubles; NaN (cell or literal) satisfies =, <=, >= against
+/// anything and fails <, >.
+bool CmpMatches(engine::BinaryOp op, double v, double lit) {
+  if (std::isnan(v) || std::isnan(lit)) {
+    return op == engine::BinaryOp::kEq || op == engine::BinaryOp::kLe ||
+           op == engine::BinaryOp::kGe;
+  }
+  switch (op) {
+    case engine::BinaryOp::kEq: return v == lit;
+    case engine::BinaryOp::kLt: return v < lit;
+    case engine::BinaryOp::kLe: return v <= lit;
+    case engine::BinaryOp::kGt: return v > lit;
+    case engine::BinaryOp::kGe: return v >= lit;
+    default: return false;
+  }
+}
+
+bool CmpMatches(engine::BinaryOp op, const std::string& v,
+                const std::string& lit) {
+  switch (op) {
+    case engine::BinaryOp::kEq: return v == lit;
+    case engine::BinaryOp::kLt: return v < lit;
+    case engine::BinaryOp::kLe: return v <= lit;
+    case engine::BinaryOp::kGt: return v > lit;
+    case engine::BinaryOp::kGe: return v >= lit;
+    default: return false;
+  }
+}
+
+constexpr engine::BinaryOp kCmpOps[] = {
+    engine::BinaryOp::kEq, engine::BinaryOp::kLt, engine::BinaryOp::kLe,
+    engine::BinaryOp::kGt, engine::BinaryOp::kGe};
+
+TEST(IndexTest, IntProbeMatchesBruteForceAcrossOpsAndLiterals) {
+  const std::string dir = TestDir("idx_int_probe");
+  const std::vector<int64_t> values = {5,  -3, 7,    7,  0,
+                                       42, 7,  9000, -3, 13};
+  Column col = Column::FromInts(values);
+  Bitmap valid(values.size(), true);
+  valid.Set(4, false);  // the NULL row must never count as a candidate
+  ASSERT_TRUE(col.SetValidity(valid).ok());
+  const std::string path = dir + "/idx-0.mix";
+  auto wrote = WriteIndex(path, "key", col);
+  ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+  auto footer = ReadIndexFooter(path);
+  ASSERT_TRUE(footer.ok()) << footer.status().ToString();
+  EXPECT_EQ(footer.ValueOrDie().num_entries, values.size() - 1);
+  ASSERT_TRUE(VerifyIndex(path, footer.ValueOrDie()).ok());
+
+  for (const engine::BinaryOp op : kCmpOps) {
+    for (const int64_t lit : {-10, -3, 0, 7, 8, 42, 9001}) {
+      const std::vector<PruneConjunct> conjuncts = {
+          {"key", op, Value::Int(lit)}};
+      const KeyInterval interval =
+          BuildKeyInterval(DataType::kInt64, "key", conjuncts);
+      ASSERT_TRUE(interval.restricts);
+      auto probe = ProbeIndex(path, footer.ValueOrDie(), interval);
+      ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+      uint64_t brute = 0;
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (!col.IsValid(i)) continue;
+        if (CmpMatches(op, static_cast<double>(values[i]),
+                       static_cast<double>(lit))) {
+          ++brute;
+        }
+      }
+      EXPECT_EQ(probe.ValueOrDie().candidates, brute)
+          << "op=" << static_cast<int>(op) << " lit=" << lit;
+    }
+  }
+}
+
+TEST(IndexTest, DoubleProbeCountsNanForEqLikeOnly) {
+  const std::string dir = TestDir("idx_double_probe");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> values = {1.5, nan, -0.0, 3.25, nan, 100.0, 7.0};
+  Column col = Column::FromDoubles(values);
+  Bitmap valid(values.size(), true);
+  valid.Set(6, false);  // NULL (canonical NaN placeholder) — excluded
+  ASSERT_TRUE(col.SetValidity(valid).ok());
+  const std::string path = dir + "/idx-0.mix";
+  auto wrote = WriteIndex(path, "val", col);
+  ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+  auto footer = ReadIndexFooter(path);
+  ASSERT_TRUE(footer.ok());
+  EXPECT_EQ(footer.ValueOrDie().nan_count, 2u);  // valid NaN cells only
+
+  for (const engine::BinaryOp op : kCmpOps) {
+    for (const double lit : {-1.0, -0.0, 0.0, 2.0, 100.0, 200.0}) {
+      const std::vector<PruneConjunct> conjuncts = {
+          {"val", op, Value::Double(lit)}};
+      const KeyInterval interval =
+          BuildKeyInterval(DataType::kFloat64, "val", conjuncts);
+      ASSERT_TRUE(interval.restricts);
+      auto probe = ProbeIndex(path, footer.ValueOrDie(), interval);
+      ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+      uint64_t brute = 0;
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (col.IsValid(i) && CmpMatches(op, values[i], lit)) ++brute;
+      }
+      EXPECT_EQ(probe.ValueOrDie().candidates, brute)
+          << "op=" << static_cast<int>(op) << " lit=" << lit;
+    }
+  }
+}
+
+TEST(IndexTest, StringProbeAndRangeConjunction) {
+  const std::string dir = TestDir("idx_string_probe");
+  Column col = Column::FromStrings({"b", "alpha", "", "zeta", "alpha", "m"});
+  Bitmap valid(6, true);
+  valid.Set(2, false);
+  ASSERT_TRUE(col.SetValidity(valid).ok());
+  const std::string path = dir + "/idx-0.mix";
+  auto wrote = WriteIndex(path, "grp", col);
+  ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+  auto footer = ReadIndexFooter(path);
+  ASSERT_TRUE(footer.ok());
+
+  for (const engine::BinaryOp op : kCmpOps) {
+    for (const std::string lit : {"", "alpha", "m", "zzz"}) {
+      const std::vector<PruneConjunct> conjuncts = {
+          {"grp", op, Value::String(lit)}};
+      const KeyInterval interval =
+          BuildKeyInterval(DataType::kString, "grp", conjuncts);
+      auto probe = ProbeIndex(path, footer.ValueOrDie(), interval);
+      ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+      uint64_t brute = 0;
+      for (size_t i = 0; i < 6; ++i) {
+        if (col.IsValid(i) && CmpMatches(op, col.StringAt(i), lit)) ++brute;
+      }
+      EXPECT_EQ(probe.ValueOrDie().candidates, brute);
+    }
+  }
+
+  // Conjunction narrows to a half-open range: 'alpha' <= grp < 'm'.
+  const std::vector<PruneConjunct> range = {
+      {"grp", engine::BinaryOp::kGe, Value::String("alpha")},
+      {"grp", engine::BinaryOp::kLt, Value::String("m")}};
+  auto probe = ProbeIndex(path, footer.ValueOrDie(),
+                          BuildKeyInterval(DataType::kString, "grp", range));
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe.ValueOrDie().candidates, 3u);  // "b", "alpha", "alpha"
+}
+
+TEST(IndexTest, ContradictionsAndUnusableConjuncts) {
+  const std::string dir = TestDir("idx_interval_edges");
+  Column col = Column::FromInts({1, 2, 3, 4, 5, 6, 7, 8});
+  const std::string path = dir + "/idx-0.mix";
+  ASSERT_TRUE(WriteIndex(path, "k", col).ok());
+  auto footer = ReadIndexFooter(path);
+  ASSERT_TRUE(footer.ok());
+
+  // Contradictory bounds prove emptiness without reading any block.
+  const std::vector<PruneConjunct> contradiction = {
+      {"k", engine::BinaryOp::kGt, Value::Int(10)},
+      {"k", engine::BinaryOp::kLt, Value::Int(5)}};
+  const KeyInterval empty =
+      BuildKeyInterval(DataType::kInt64, "k", contradiction);
+  EXPECT_TRUE(empty.empty);
+  auto probe = ProbeIndex(path, footer.ValueOrDie(), empty);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe.ValueOrDie().candidates, 0u);
+  EXPECT_EQ(probe.ValueOrDie().blocks_read, 0u);
+
+  // A NaN literal under < can match nothing (NaN fails < and >).
+  const std::vector<PruneConjunct> nan_lt = {
+      {"k", engine::BinaryOp::kLt,
+       Value::Double(std::numeric_limits<double>::quiet_NaN())}};
+  EXPECT_TRUE(BuildKeyInterval(DataType::kInt64, "k", nan_lt).empty);
+
+  // A mixed-type conjunct (string literal on an int column) is ignored —
+  // ignoring only widens, and alone it leaves nothing to restrict.
+  const std::vector<PruneConjunct> mixed = {
+      {"k", engine::BinaryOp::kEq, Value::String("five")}};
+  EXPECT_FALSE(BuildKeyInterval(DataType::kInt64, "k", mixed).restricts);
+
+  // Conjuncts naming other columns never restrict this one.
+  const std::vector<PruneConjunct> other = {
+      {"j", engine::BinaryOp::kEq, Value::Int(3)}};
+  EXPECT_FALSE(BuildKeyInterval(DataType::kInt64, "k", other).restricts);
+}
+
+TEST(IndexTest, EveryFlippedByteAndEveryTruncationIsDetected) {
+  const std::string dir = TestDir("idx_corrupt_file");
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 41; ++i) values.push_back((i * 29) % 41);
+  const std::string path = dir + "/idx-0.mix";
+  ASSERT_TRUE(WriteIndex(path, "k", Column::FromInts(values)).ok());
+  auto bytes = storage::ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::vector<uint8_t> good = bytes.ValueOrDie();
+
+  // Any single flipped bit lands in a region covered by a magic, a CRC, or
+  // a validated bound — the full audit must reject every one of them.
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    std::vector<uint8_t> bad = good;
+    bad[pos] ^= 0x01;
+    ASSERT_TRUE(storage::WriteFileAtomic(path, bad).ok());
+    auto footer = ReadIndexFooter(path);
+    if (footer.ok()) {
+      const Status audit = VerifyIndex(path, footer.ValueOrDie());
+      ASSERT_FALSE(audit.ok()) << "undetected flip at byte " << pos;
+      EXPECT_EQ(audit.code(), StatusCode::kIOError);
+    } else {
+      EXPECT_EQ(footer.status().code(), StatusCode::kIOError);
+    }
+  }
+
+  // Every truncated prefix loses the trailer (or leaves one whose offsets
+  // dangle): the footer read must fail typed, never crash or misread.
+  for (size_t len = 0; len < good.size(); ++len) {
+    ASSERT_TRUE(storage::WriteFileAtomic(
+                    path, std::vector<uint8_t>(good.begin(),
+                                               good.begin() + len))
+                    .ok());
+    auto footer = ReadIndexFooter(path);
+    ASSERT_FALSE(footer.ok()) << "accepted truncation to " << len;
+    EXPECT_EQ(footer.status().code(), StatusCode::kIOError);
+  }
+
+  ASSERT_TRUE(storage::WriteFileAtomic(path, good).ok());
+  auto footer = ReadIndexFooter(path);
+  ASSERT_TRUE(footer.ok());
+  EXPECT_TRUE(VerifyIndex(path, footer.ValueOrDie()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine + indexes: boot builds, corruption falls back, never wrong
+// ---------------------------------------------------------------------------
+
+TEST(StoreIndexTest, FlushBuildsIndexesAndBootBuildsMissingOnes) {
+  const std::string dir = TestDir("store_idx_boot");
+  StorageOptions no_index;
+  no_index.target_segment_rows = 50;
+  no_index.auto_index = false;  // pre-index era: segments only
+  const Table all = MakeKeyedTable(0, 250);
+  std::vector<uint8_t> bytes0;
+  {
+    auto store = StorageEngine::Open(dir, no_index);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRows("t", all).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_EQ((*store)->SegmentCount("t").ValueOrDie(), 5u);
+    EXPECT_EQ((*store)->IndexCount("t").ValueOrDie(), 0u);
+    bytes0 = TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                            .ValueOrDie());
+  }
+  // Reopen with indexing on: Open backfills every missing index and commits
+  // one manifest — a pre-index data directory gains indexes on boot.
+  StorageOptions indexed;
+  indexed.target_segment_rows = 50;
+  {
+    auto store = StorageEngine::Open(dir, indexed);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ((*store)->IndexCount("t").ValueOrDie(), 15u);  // 5 segs x 3 cols
+    EXPECT_TRUE((*store)->VerifyIndexes().ok());
+    EXPECT_EQ(TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                             .ValueOrDie()),
+              bytes0);
+  }
+  // Idempotent: the next boot finds nothing to build.
+  auto store = StorageEngine::Open(dir, indexed);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->IndexCount("t").ValueOrDie(), 15u);
+  EXPECT_TRUE((*store)->VerifyIndexes().ok());
+}
+
+/// Shared harness for the index-corruption sweeps: a 3-segment store
+/// indexed on `key` only, plus reference answers computed while healthy.
+struct CorruptionFixture {
+  std::string dir;
+  StorageOptions options;
+  std::string want_present, want_absent;
+  int64_t present = 0, absent = 0;
+
+  static CorruptionFixture Make(const std::string& name) {
+    CorruptionFixture fx;
+    fx.dir = TestDir(name);
+    fx.options.target_segment_rows = 40;
+    fx.options.auto_index = false;
+    fx.options.index_columns = {"key"};
+    const Table all = MakeKeyedTable(0, 120);
+    fx.present = all.At(77, 0).int_value();
+    fx.absent = 500000;
+    for (bool hit = true; hit;) {
+      hit = false;
+      for (size_t i = 0; i < all.num_rows(); ++i) {
+        if (all.At(i, 0).int_value() == fx.absent) hit = true;
+      }
+      if (hit) ++fx.absent;
+    }
+    auto store = StorageEngine::Open(fx.dir, fx.options);
+    EXPECT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->AppendRows("t", all).ok());
+    EXPECT_TRUE((*store)->Flush().ok());
+    EXPECT_EQ((*store)->SegmentCount("t").ValueOrDie(), 3u);
+    EXPECT_EQ((*store)->IndexCount("t").ValueOrDie(), 3u);
+    EXPECT_TRUE((*store)->VerifyIndexes().ok());
+    fx.want_present = fx.Query(store.ValueOrDie().get(), fx.present);
+    fx.want_absent = fx.Query(store.ValueOrDie().get(), fx.absent);
+    EXPECT_NE(fx.want_present, fx.want_absent);  // one row vs zero rows
+    return fx;
+  }
+
+  /// Point query through the full stack (optimizer access-path choice,
+  /// IndexScan executor, probe fallback) — the "never wrong" oracle.
+  std::string Query(StorageEngine* store, int64_t key) const {
+    Database db("probe");
+    EXPECT_TRUE(db.AttachStorage(store).ok());
+    auto r = db.ExecuteSql("SELECT key, val, grp FROM t WHERE key = " +
+                           std::to_string(key));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.ValueOrDie().ToString(100000) : "";
+  }
+
+  /// Reopens the (possibly corrupted) directory and asserts: Open succeeds,
+  /// both point queries still return exactly the healthy answers, and the
+  /// explicit audit reports the damage as a typed kIOError.
+  void CheckFallback(const std::string& context) const {
+    auto store = StorageEngine::Open(dir, options);
+    ASSERT_TRUE(store.ok()) << context << ": " << store.status().ToString();
+    EXPECT_EQ(Query(store.ValueOrDie().get(), present), want_present)
+        << context;
+    EXPECT_EQ(Query(store.ValueOrDie().get(), absent), want_absent)
+        << context;
+    const Status audit = (*store)->VerifyIndexes();
+    ASSERT_FALSE(audit.ok()) << context;
+    EXPECT_EQ(audit.code(), StatusCode::kIOError) << context;
+  }
+};
+
+TEST(StoreIndexTest, EveryFlippedIndexByteFallsBackToScanNeverWrongRows) {
+  CorruptionFixture fx = CorruptionFixture::Make("store_idx_flip");
+  for (const std::string& path : IndexFiles(fx.dir)) {
+    auto bytes = storage::ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    const std::vector<uint8_t> good = bytes.ValueOrDie();
+    for (size_t pos = 0; pos < good.size(); ++pos) {
+      std::vector<uint8_t> bad = good;
+      bad[pos] ^= 0x01;
+      ASSERT_TRUE(storage::WriteFileAtomic(path, bad).ok());
+      fx.CheckFallback(path + " flip@" + std::to_string(pos));
+    }
+    ASSERT_TRUE(storage::WriteFileAtomic(path, good).ok());
+  }
+}
+
+TEST(StoreIndexTest, EveryTruncatedIndexPrefixFallsBackToScan) {
+  CorruptionFixture fx = CorruptionFixture::Make("store_idx_trunc");
+  for (const std::string& path : IndexFiles(fx.dir)) {
+    auto bytes = storage::ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    const std::vector<uint8_t> good = bytes.ValueOrDie();
+    for (size_t len = 0; len < good.size(); len += 7) {  // every 7th prefix
+      ASSERT_TRUE(storage::WriteFileAtomic(
+                      path, std::vector<uint8_t>(good.begin(),
+                                                 good.begin() + len))
+                      .ok());
+      fx.CheckFallback(path + " trunc@" + std::to_string(len));
+    }
+    ASSERT_TRUE(storage::WriteFileAtomic(path, good).ok());
+  }
+}
+
+TEST(StoreIndexTest, MissingIndexFileFallsBackAndFailsVerify) {
+  CorruptionFixture fx = CorruptionFixture::Make("store_idx_missing");
+  const std::vector<std::string> files = IndexFiles(fx.dir);
+  ASSERT_EQ(files.size(), 3u);
+  ASSERT_TRUE(storage::RemoveFile(files[1]).ok());
+  fx.CheckFallback("missing " + files[1]);
+  // The two intact indexes still load; only the missing one is invalid.
+  auto store = StorageEngine::Open(fx.dir, fx.options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->IndexCount("t").ValueOrDie(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction: byte identity, crash recovery, background thread
+// ---------------------------------------------------------------------------
+
+TEST(CompactionTest, CompactPreservesScanBytesAcrossReopenAndRecompaction) {
+  const std::string dir = TestDir("compact_bytes");
+  StorageOptions options;
+  options.target_segment_rows = 60;
+  // Two appends of overlapping rows: duplicate keys, NULLs, NaNs — and the
+  // cluster key (first column, `key`) is unsorted, so compaction genuinely
+  // permutes rows and must restore their order on scan.
+  std::vector<uint8_t> bytes0;
+  {
+    auto store = StorageEngine::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRows("t", MakeKeyedTable(0, 300)).ok());
+    ASSERT_TRUE((*store)->AppendRows("t", MakeKeyedTable(0, 40)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_EQ((*store)->SegmentCount("t").ValueOrDie(), 6u);
+    bytes0 = TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                            .ValueOrDie());
+
+    ASSERT_TRUE((*store)->Compact("t").ok());
+    EXPECT_GE((*store)->Counters().compactions, 1u);
+    EXPECT_EQ(TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                             .ValueOrDie()),
+              bytes0);
+    EXPECT_TRUE((*store)->VerifyIndexes().ok());
+
+    // Re-compacting a compacted group (plus nothing new) is stable too.
+    ASSERT_TRUE((*store)->Compact("t").ok());
+    EXPECT_EQ(TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                             .ValueOrDie()),
+              bytes0);
+  }
+  // The restored order is durable, not an artifact of in-memory state.
+  auto store = StorageEngine::Open(dir, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                           .ValueOrDie()),
+            bytes0);
+  EXPECT_TRUE((*store)->VerifyIndexes().ok());
+
+  // New ingest after compaction appends past the group; order still holds.
+  ASSERT_TRUE((*store)->AppendRows("t", MakeKeyedTable(300, 25)).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  auto scan = (*store)->ScanTable("t", nullptr, nullptr);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.ValueOrDie().num_rows(), 365u);
+}
+
+TEST(CompactionTest, KillBetweenEveryStepRecoversExactBytes) {
+  StorageOptions options;
+  options.target_segment_rows = 40;
+  const Table all = MakeKeyedTable(0, 150);
+  const auto build = [&](const std::string& dir) {
+    auto store = StorageEngine::Open(dir, options);
+    EXPECT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->AppendRows("t", all).ok());
+    EXPECT_TRUE((*store)->Flush().ok());
+    EXPECT_EQ((*store)->SegmentCount("t").ValueOrDie(), 4u);
+    return std::move(store.ValueOrDie());
+  };
+
+  // Enumerate the checkpoint sequence on a throwaway directory.
+  std::vector<std::string> steps;
+  std::vector<uint8_t> bytes0;
+  {
+    auto store = build(TestDir("compact_kill_probe"));
+    bytes0 = TableBytes(store->ScanTable("t", nullptr, nullptr)
+                            .ValueOrDie());
+    CompactionHooks hooks;
+    hooks.checkpoint = [&steps](const std::string& step) {
+      steps.push_back(step);
+      return Status::OK();
+    };
+    ASSERT_TRUE(store->Compact("t", hooks).ok());
+    EXPECT_EQ(TableBytes(store->ScanTable("t", nullptr, nullptr)
+                             .ValueOrDie()),
+              bytes0);
+  }
+  // begin + 4 x (segment + key/val/grp indexes) + pre/post-commit + done.
+  ASSERT_EQ(steps.size(), 20u);
+
+  // Crash at every step: the process dies with no cleanup whatsoever, and
+  // the next Open must land on exactly the old or the new epoch — same
+  // bytes either way — with every stray file swept.
+  for (size_t k = 0; k < steps.size(); ++k) {
+    const std::string dir = TestDir("compact_kill_" + std::to_string(k));
+    {
+      auto store = build(dir);
+      size_t fired = 0;
+      CompactionHooks hooks;
+      hooks.checkpoint = [&fired, k](const std::string&) {
+        return fired++ == k ? Status::IOError("simulated crash")
+                            : Status::OK();
+      };
+      (void)store->Compact("t", hooks);
+    }
+    auto store = StorageEngine::Open(dir, options);
+    ASSERT_TRUE(store.ok())
+        << "k=" << k << " (" << steps[k] << "): "
+        << store.status().ToString();
+    const std::string context = "crash at step " + steps[k];
+    auto scan = (*store)->ScanTable("t", nullptr, nullptr);
+    ASSERT_TRUE(scan.ok()) << context;
+    EXPECT_EQ(TableBytes(scan.ValueOrDie()), bytes0) << context;
+    EXPECT_TRUE((*store)->VerifyIndexes().ok()) << context;
+
+    // Nothing dangles: on-disk segments/indexes are exactly the committed
+    // ones, and no tmp files survive recovery.
+    uint64_t seg_files = 0;
+    auto names = storage::ListDir(dir);
+    ASSERT_TRUE(names.ok());
+    for (const std::string& n : names.ValueOrDie()) {
+      EXPECT_EQ(n.find(".tmp"), std::string::npos) << context << ": " << n;
+      if (n.rfind("seg-", 0) == 0) ++seg_files;
+    }
+    EXPECT_EQ(seg_files, (*store)->SegmentCount("t").ValueOrDie()) << context;
+    EXPECT_EQ(IndexFiles(dir).size(),
+              (*store)->IndexCount("t").ValueOrDie())
+        << context;
+
+    // And the recovered store keeps working: a full compaction now lands.
+    ASSERT_TRUE((*store)->Compact("t").ok()) << context;
+    EXPECT_EQ(TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                             .ValueOrDie()),
+              bytes0)
+        << context;
+  }
+}
+
+TEST(CompactionTest, ReservedColumnNamesRejectedAtAppend) {
+  const std::string dir = TestDir("compact_reserved");
+  auto store = StorageEngine::Open(dir);
+  ASSERT_TRUE(store.ok());
+  Schema schema({{"x", DataType::kInt64}, {"__mip_pos", DataType::kInt64}});
+  auto t = Table::Make(
+      schema, {Column::FromInts({1}), Column::FromInts({2})});
+  ASSERT_TRUE(t.ok());
+  auto st = (*store)->AppendRows("t", t.ValueOrDie());
+  ASSERT_FALSE(st.ok());  // the hidden-column namespace is ours alone
+  EXPECT_EQ((*store)->StorageTableNames().size(), 0u);
+}
+
+TEST(CompactionTest, BackgroundThreadCompactsAndPreservesBytes) {
+  const std::string dir = TestDir("compact_background");
+  StorageOptions options;
+  options.target_segment_rows = 40;
+  options.compact_min_segments = 2;
+  options.background_compact_interval_ms = 5;
+  auto store = StorageEngine::Open(dir, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendRows("t", MakeKeyedTable(0, 160)).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  const std::vector<uint8_t> bytes0 =
+      TableBytes((*store)->ScanTable("t", nullptr, nullptr).ValueOrDie());
+
+  (*store)->StartBackgroundCompaction();
+  (*store)->StartBackgroundCompaction();  // idempotent
+  for (int i = 0; i < 1000 && (*store)->Counters().compactions == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE((*store)->Counters().compactions, 1u);
+  EXPECT_EQ(TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                           .ValueOrDie()),
+            bytes0);
+  (*store)->StopBackgroundCompaction();
+  (*store)->StopBackgroundCompaction();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Access-path choice: EXPLAIN surface, byte parity, plan fingerprints
+// ---------------------------------------------------------------------------
+
+struct IndexDbFixture {
+  std::unique_ptr<StorageEngine> store;
+  std::unique_ptr<Database> db;
+  int64_t present = 0;  // a key that exists (row 123's)
+
+  /// 400 unsorted high-cardinality rows across 8 segments: zone maps prune
+  /// nothing on `key`, indexes confine a point probe to one segment.
+  static IndexDbFixture Make(const std::string& name) {
+    IndexDbFixture fx;
+    StorageOptions options;
+    options.target_segment_rows = 50;
+    auto store = StorageEngine::Open(TestDir(name), options);
+    EXPECT_TRUE(store.ok());
+    fx.store = std::move(store.ValueOrDie());
+    const Table all = MakeKeyedTable(0, 400);
+    fx.present = all.At(123, 0).int_value();
+    EXPECT_TRUE(fx.store->AppendRows("t", all).ok());
+    EXPECT_TRUE(fx.store->Flush().ok());
+    EXPECT_EQ(fx.store->SegmentCount("t").ValueOrDie(), 8u);
+    fx.db = std::make_unique<Database>("idxnode");
+    EXPECT_TRUE(fx.db->AttachStorage(fx.store.get()).ok());
+    return fx;
+  }
+};
+
+TEST(IndexScanDatabaseTest, ExplainShowsIndexScanWithProbeCounts) {
+  IndexDbFixture fx = IndexDbFixture::Make("db_idx_explain");
+  const std::string sql = "SELECT key, val FROM t WHERE key = " +
+                          std::to_string(fx.present);
+  const std::string plan = ExplainText(fx.db.get(), sql);
+  // The point query probes all 8 segments and decodes only the one holding
+  // the key — strictly better than the zone path, so the optimizer flips
+  // the scan to an IndexScan and says so.
+  EXPECT_NE(plan.find("IndexScan"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("index: probes=8"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("segments:"), std::string::npos) << plan;
+
+  // Ablation: with the rule off the same query renders a plain zone Scan.
+  fx.db->set_index_scan(false);
+  const std::string zoned = ExplainText(fx.db.get(), sql);
+  EXPECT_EQ(zoned.find("IndexScan"), std::string::npos) << zoned;
+  fx.db->set_index_scan(true);
+
+  // An unselective predicate must NOT flip: the index cannot beat zone maps
+  // when every segment holds candidates.
+  const std::string wide =
+      ExplainText(fx.db.get(), "SELECT key FROM t WHERE key >= 0");
+  EXPECT_EQ(wide.find("IndexScan"), std::string::npos) << wide;
+
+  // MIP_INDEX_SCAN=0 flips the constructor default (the bench ablation).
+  ::setenv("MIP_INDEX_SCAN", "0", 1);
+  Database ablated("ablated");
+  EXPECT_FALSE(ablated.index_scan());
+  ::unsetenv("MIP_INDEX_SCAN");
+  EXPECT_TRUE(Database("fresh").index_scan());
+}
+
+TEST(IndexScanDatabaseTest, IndexVsScanByteParityAcrossCorpusAndThreads) {
+  IndexDbFixture fx = IndexDbFixture::Make("db_idx_parity");
+  Database mem("memnode");
+  auto full = fx.store->ScanTable("t", nullptr, nullptr);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(mem.PutTable("t", full.ValueOrDie()).ok());
+
+  const std::string present = std::to_string(fx.present);
+  std::vector<std::string> predicates;
+  for (const std::string op : {"=", "<", "<=", ">", ">="}) {
+    for (const std::string lit :
+         {std::string("-1"), std::string("0"), present,
+          std::string("500000"), std::string("1000003")}) {
+      predicates.push_back("key " + op + " " + lit);
+    }
+    for (const std::string lit : {"-1.0", "0.0", "31.25", "124.0"}) {
+      predicates.push_back("val " + op + " " + lit);
+    }
+  }
+  predicates.push_back("grp = 'g3'");
+  predicates.push_back("key >= " + present + " AND key <= " + present);
+  predicates.push_back("key > 100000 AND key < 100100");
+  predicates.push_back("key < 50000 OR key > 950000");
+  predicates.push_back("val IS NULL");
+  predicates.push_back("val IS NOT NULL AND key <= " + present);
+
+  ThreadPool pool(8);
+  engine::ExecContext parallel{&pool, 64};  // tiny morsels: force fan-out
+  for (const std::string& pred : predicates) {
+    for (const std::string sql :
+         {"SELECT key, val, grp FROM t WHERE " + pred,
+          "SELECT count(*) AS n, sum(val) AS s FROM t WHERE " + pred}) {
+      auto want = mem.ExecuteSql(sql);
+      ASSERT_TRUE(want.ok()) << sql << ": " << want.status().ToString();
+      for (const bool use_index : {true, false}) {
+        fx.db->set_index_scan(use_index);
+        for (const bool use_pool : {false, true}) {
+          fx.db->set_exec_context(use_pool ? &parallel
+                                           : &engine::ExecContext::Serial());
+          auto got = fx.db->ExecuteSql(sql);
+          ASSERT_TRUE(got.ok()) << sql << ": " << got.status().ToString();
+          EXPECT_EQ(got.ValueOrDie().ToString(100000),
+                    want.ValueOrDie().ToString(100000))
+              << sql << " (index=" << use_index << " pool=" << use_pool
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(IndexScanDatabaseTest, FingerprintIgnoresAccessPathAndCompaction) {
+  IndexDbFixture fx = IndexDbFixture::Make("db_idx_fingerprint");
+  const std::string sql = "SELECT key, val FROM t WHERE key = " +
+                          std::to_string(fx.present);
+  auto plan_indexed = fx.db->TryPlanSelectSql(sql);
+  ASSERT_TRUE(plan_indexed.ok());
+  ASSERT_NE(plan_indexed.ValueOrDie(), nullptr);
+  const uint64_t fp_indexed =
+      engine::PlanFingerprint(*plan_indexed.ValueOrDie());
+
+  // Same query with the access-path rule off: physically different plan
+  // (Scan vs IndexScan), same fingerprint — flips between the two paths
+  // must not shatter the gateway's result cache.
+  fx.db->set_index_scan(false);
+  auto plan_zoned = fx.db->TryPlanSelectSql(sql);
+  ASSERT_TRUE(plan_zoned.ok());
+  EXPECT_EQ(engine::PlanFingerprint(*plan_zoned.ValueOrDie()), fp_indexed);
+  fx.db->set_index_scan(true);
+
+  // Compaction reshapes segments (and thus probe/prune annotations) but the
+  // canonical fingerprint — and the catalog version — stay put.
+  const uint64_t version = fx.db->catalog_version();
+  ASSERT_TRUE(fx.store->Compact("t").ok());
+  EXPECT_EQ(fx.db->catalog_version(), version);
+  auto plan_compacted = fx.db->TryPlanSelectSql(sql);
+  ASSERT_TRUE(plan_compacted.ok());
+  EXPECT_EQ(engine::PlanFingerprint(*plan_compacted.ValueOrDie()),
+            fp_indexed);
+}
+
+// ---------------------------------------------------------------------------
+// Storage counters (the gateway's "# storage" metrics section)
+// ---------------------------------------------------------------------------
+
+TEST(StorageCountersTest, CountersTrackFlushScanProbeCompactReplay) {
+  const std::string dir = TestDir("counters");
+  StorageOptions options;
+  options.target_segment_rows = 50;
+  {
+    auto store = StorageEngine::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    const engine::StorageCounters zero = (*store)->Counters();
+    EXPECT_EQ(zero.flushes, 0u);
+    EXPECT_EQ(zero.wal_replays, 0u);
+    ASSERT_TRUE((*store)->AppendRows("t", MakeKeyedTable(0, 250)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_EQ((*store)->Counters().flushes, 1u);
+    ASSERT_TRUE((*store)->AppendRows("t", MakeKeyedTable(250, 10)).ok());
+    // Unflushed rows stay in the WAL for the reopen below.
+  }
+  auto opened = StorageEngine::Open(dir, options);
+  ASSERT_TRUE(opened.ok());
+  StorageEngine* store = opened.ValueOrDie().get();
+  EXPECT_GE(store->Counters().wal_replays, 1u);
+
+  // Previews are planning, not execution: they must not move the needle.
+  const engine::ExprPtr filter =
+      engine::Eq(engine::Col("key"), engine::LitInt(123456));
+  auto preview = store->PreviewIndexScan("t", filter.get());
+  ASSERT_TRUE(preview.ok()) << preview.status().ToString();
+  EXPECT_EQ(preview.ValueOrDie().probes, 5u);
+  EXPECT_EQ(store->Counters().index_probes, 0u);
+  EXPECT_EQ(store->Counters().segments_scanned, 0u);
+
+  // Executing the index path bumps probes; decoded/skipped segments split
+  // between scanned and pruned.
+  auto scan = store->IndexScanTable("t", filter.get(), nullptr);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  const engine::StorageCounters after = store->Counters();
+  EXPECT_EQ(after.index_probes, 5u);
+  EXPECT_EQ(after.segments_scanned + after.segments_pruned, 5u);
+
+  ASSERT_TRUE(store->Flush().ok());
+  ASSERT_TRUE(store->Compact("t").ok());
+  EXPECT_GE(store->Counters().compactions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest back-compat: version-1 directories load and gain indexes
+// ---------------------------------------------------------------------------
+
+TEST(ManifestCompatTest, V1ManifestLoadsAndGainsIndexesOnBoot) {
+  const std::string dir = TestDir("manifest_v1");
+  StorageOptions options;
+  options.target_segment_rows = 40;
+  std::vector<uint8_t> bytes0;
+  {
+    auto store = StorageEngine::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRows("t", MakeKeyedTable(0, 120)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_EQ((*store)->IndexCount("t").ValueOrDie(), 9u);
+    bytes0 = TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                            .ValueOrDie());
+  }
+  // Rewrite the MANIFEST in the PR-7 version-1 layout: no next_index_id,
+  // no per-segment group or index list — exactly what a pre-index
+  // deployment left behind.
+  auto loaded = storage::LoadManifest(dir + "/MANIFEST");
+  ASSERT_TRUE(loaded.ok());
+  const storage::Manifest& m = loaded.ValueOrDie();
+  BufferWriter w;
+  w.WriteU32(storage::kManifestMagic);
+  w.WriteU8(1);
+  w.WriteU64(m.wal_id);
+  w.WriteU64(m.next_segment_id);
+  engine::PutVarint(&w, m.tables.size());
+  for (const storage::ManifestTable& t : m.tables) {
+    w.WriteString(t.name);
+    engine::PutVarint(&w, t.schema.num_fields());
+    for (const engine::Field& f : t.schema.fields()) {
+      w.WriteString(f.name);
+      w.WriteU8(static_cast<uint8_t>(f.type));
+    }
+    engine::PutVarint(&w, t.segments.size());
+    for (const storage::ManifestSegment& s : t.segments) {
+      engine::PutVarint(&w, s.id);
+      engine::PutVarint(&w, s.rows);
+    }
+  }
+  w.WriteU32(Crc32(w.bytes()));
+  ASSERT_TRUE(storage::WriteFileAtomic(dir + "/MANIFEST", w.bytes()).ok());
+
+  // Open: v1 parses, the now-unreferenced idx files are swept as orphans,
+  // and the boot backfill immediately rebuilds every index.
+  auto store = StorageEngine::Open(dir, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->IndexCount("t").ValueOrDie(), 9u);
+  EXPECT_TRUE((*store)->VerifyIndexes().ok());
+  EXPECT_EQ(TableBytes((*store)->ScanTable("t", nullptr, nullptr)
+                           .ValueOrDie()),
+            bytes0);
 }
 
 }  // namespace

@@ -153,9 +153,13 @@ Status Run(const GatewayFlags& flags) {
 
   std::unique_ptr<mip::storage::StorageEngine> store;
   if (!flags.data_dir.empty()) {
+    // Open builds any ordered index the manifest is missing, so even a
+    // pre-index data directory boots fully indexed; the background thread
+    // then keeps flush segments folded into sorted compaction groups.
     MIP_ASSIGN_OR_RETURN(store,
                          mip::storage::StorageEngine::Open(flags.data_dir));
     MIP_RETURN_NOT_OK(master.local_db().AttachStorage(store.get()));
+    store->StartBackgroundCompaction();
   }
 
   mip::federation::GatewayOptions gw_options;

@@ -142,6 +142,9 @@ Status Run(const WorkerFlags& flags) {
       MIP_RETURN_NOT_OK(store->Flush());
     }
     MIP_RETURN_NOT_OK(worker.AttachDiskStorage(store.get()));
+    // Open already rebuilt any missing ordered index; from here the
+    // background thread folds small flush segments into sorted groups.
+    store->StartBackgroundCompaction();
   } else {
     MIP_RETURN_NOT_OK(worker.LoadDataset(
         flags.dataset,
