@@ -10,6 +10,17 @@
 // referenced columns cross the bus. Results must be byte-identical;
 // acceptance is >= 5x fewer wire bytes with pushdown on.
 //
+// Experiment E19 — cost-based distributed joins: three workers each hold a
+// 50k-row visits shard (patient_id in [0, 4096)); the master holds a cohort
+// whose size sweeps 16 -> 32768 rows. For every cohort size the join runs
+// forced-broadcast and forced-collect with wire bytes metered, plus an
+// EXPLAIN under the cost model to record which strategy it picks.
+// Acceptance: both strategies byte-identical at every point; the model
+// picks broadcast for the smallest cohort and collect for the largest,
+// flipping at most once across the sweep (a single predicted crossover);
+// and broadcast ships >= 5x fewer bytes than collect on the smallest
+// cohort.
+//
 // Results are printed and written to BENCH_plan.json for the CI smoke step.
 
 #include <cstdio>
@@ -66,6 +77,150 @@ RunMeasurement RunOnce(mip::federation::MasterNode* master,
   m.result = Bytes(*out);
   m.rows = out->num_rows();
   return m;
+}
+
+// --- E19: broadcast/collect crossover sweep --------------------------------
+
+struct SweepPoint {
+  size_t cohort_rows = 0;
+  std::string chosen;  // what the cost model picked ("broadcast"/"collect")
+  uint64_t bytes_broadcast = 0;
+  uint64_t bytes_collect = 0;
+  double wall_broadcast_ms = 0.0;
+  double wall_collect_ms = 0.0;
+  size_t rows = 0;
+  bool identical = false;
+};
+
+struct E19Result {
+  std::vector<SweepPoint> sweep;
+  int flips = 0;
+  double small_ratio = 0.0;  // collect/broadcast bytes at the smallest |R|
+  bool pass = false;
+};
+
+uint64_t MeasureBytes(mip::federation::MasterNode* master,
+                      const std::string& sql, int force, double* wall_ms,
+                      std::vector<uint8_t>* result, size_t* rows) {
+  master->local_db().set_force_join_strategy(force);
+  master->bus().ResetStats();
+  mip::Stopwatch timer;
+  auto out = master->local_db().ExecuteSql(sql);
+  *wall_ms = timer.ElapsedMillis();
+  master->local_db().set_force_join_strategy(-1);
+  if (!out.ok()) {
+    std::printf("E19 QUERY FAILED: %s\n", out.status().ToString().c_str());
+    result->clear();
+    *rows = 0;
+    return 0;
+  }
+  *result = Bytes(*out);
+  *rows = out->num_rows();
+  return master->bus().stats().bytes;
+}
+
+E19Result RunE19() {
+  E19Result e19;
+  constexpr int64_t kPatients = 4096;
+  mip::federation::MasterNode master;
+  Rng rng(0xE19);
+  for (int w = 0; w < kWorkers; ++w) {
+    const std::string id = "w" + std::to_string(w + 1);
+    if (!master.AddWorker(id).ok()) return e19;
+    Schema schema;
+    (void)schema.AddField({"patient_id", DataType::kInt64});
+    (void)schema.AddField({"dur", DataType::kFloat64});
+    Table t = Table::Empty(schema);
+    for (size_t i = 0; i < kRowsPerWorker; ++i) {
+      (void)t.AppendRow(
+          {Value::Int(static_cast<int64_t>(rng.NextBounded(kPatients))),
+           Value::Double(rng.NextGaussian())});
+    }
+    if (!master.LoadDataset(id, "visits", std::move(t)).ok()) return e19;
+  }
+  auto view = master.CreateFederatedView("visits");
+  if (!view.ok()) return e19;
+  const std::string sql = "SELECT label, dur FROM " + *view +
+                          " JOIN cohort ON " + *view +
+                          ".patient_id = cohort.patient_id";
+
+  std::printf("%-12s %-10s %14s %14s %10s %10s %9s\n", "cohort_rows",
+              "chosen", "bytes_bcast", "bytes_collect", "ms_bcast",
+              "ms_collect", "rows");
+  bool all_identical = true;
+  for (const size_t cohort_rows :
+       {size_t{16}, size_t{128}, size_t{1024}, size_t{4096}, size_t{16384},
+        size_t{32768}}) {
+    // Rebuild the cohort at this size; the PutTable bumps the catalog
+    // version, so cached plans and statistics cannot leak across points.
+    Schema schema;
+    (void)schema.AddField({"patient_id", DataType::kInt64});
+    (void)schema.AddField({"label", DataType::kString});
+    Table cohort = Table::Empty(schema);
+    for (size_t i = 0; i < cohort_rows; ++i) {
+      (void)cohort.AppendRow({Value::Int(static_cast<int64_t>(i)),
+                              Value::String(i % 2 == 0 ? "case" : "ctl")});
+    }
+    if (!master.local_db().PutTable("cohort", std::move(cohort)).ok()) {
+      return e19;
+    }
+
+    SweepPoint p;
+    p.cohort_rows = cohort_rows;
+    master.local_db().set_force_join_strategy(-1);
+    auto plan = master.local_db().ExecuteSql("EXPLAIN " + sql);
+    if (plan.ok()) {
+      std::string text;
+      for (size_t r = 0; r < plan->num_rows(); ++r) {
+        text += plan->At(r, 0).string_value();
+      }
+      p.chosen = text.find("strategy=broadcast") != std::string::npos
+                     ? "broadcast"
+                     : "collect";
+    }
+    std::vector<uint8_t> bcast_result, collect_result;
+    size_t bcast_rows = 0;
+    p.bytes_broadcast = MeasureBytes(&master, sql, /*force=*/1,
+                                     &p.wall_broadcast_ms, &bcast_result,
+                                     &bcast_rows);
+    p.bytes_collect = MeasureBytes(&master, sql, /*force=*/0,
+                                   &p.wall_collect_ms, &collect_result,
+                                   &p.rows);
+    p.identical = !bcast_result.empty() && bcast_result == collect_result;
+    all_identical = all_identical && p.identical;
+    std::printf("%-12zu %-10s %14llu %14llu %10.2f %10.2f %9zu%s\n",
+                p.cohort_rows, p.chosen.c_str(),
+                static_cast<unsigned long long>(p.bytes_broadcast),
+                static_cast<unsigned long long>(p.bytes_collect),
+                p.wall_broadcast_ms, p.wall_collect_ms, p.rows,
+                p.identical ? "" : "  RESULTS DIVERGED");
+    e19.sweep.push_back(p);
+  }
+
+  for (size_t i = 1; i < e19.sweep.size(); ++i) {
+    if (e19.sweep[i].chosen != e19.sweep[i - 1].chosen) e19.flips += 1;
+  }
+  const SweepPoint& smallest = e19.sweep.front();
+  e19.small_ratio =
+      smallest.bytes_broadcast > 0
+          ? static_cast<double>(smallest.bytes_collect) /
+                static_cast<double>(smallest.bytes_broadcast)
+          : 0.0;
+  const bool crossover_ok = e19.sweep.front().chosen == "broadcast" &&
+                            e19.sweep.back().chosen == "collect" &&
+                            e19.flips <= 1;
+  const bool ratio_ok = e19.small_ratio >= 5.0;
+  e19.pass = all_identical && crossover_ok && ratio_ok;
+
+  std::printf("\ncrossover: %s -> %s in %d flip(s) — %s\n",
+              e19.sweep.front().chosen.c_str(),
+              e19.sweep.back().chosen.c_str(), e19.flips,
+              crossover_ok ? "PASS" : "FAIL");
+  std::printf("smallest-cohort wire reduction: %.1fx (need >= 5.0x) — %s\n",
+              e19.small_ratio, ratio_ok ? "PASS" : "FAIL");
+  std::printf("byte-identical across strategies: %s\n",
+              all_identical ? "PASS" : "FAIL");
+  return e19;
 }
 
 }  // namespace
@@ -132,6 +287,28 @@ int main() {
               wire_ok ? "PASS" : "FAIL");
   std::printf("byte-identical results: %s\n", identical ? "PASS" : "FAIL");
 
+  std::printf("\n=== E19: cost-based join strategy — crossover sweep ===\n");
+  std::printf("%d workers x %zu visit rows, cohort 16 -> 32768\n\n", kWorkers,
+              kRowsPerWorker);
+  const E19Result e19 = RunE19();
+
+  std::string e19_sweep_json;
+  for (size_t i = 0; i < e19.sweep.size(); ++i) {
+    const SweepPoint& p = e19.sweep[i];
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s    {\"cohort_rows\": %zu, \"chosen\": \"%s\", "
+                  "\"bytes_broadcast\": %llu, \"bytes_collect\": %llu, "
+                  "\"wall_broadcast_ms\": %.3f, \"wall_collect_ms\": %.3f, "
+                  "\"rows\": %zu, \"identical\": %s}",
+                  i == 0 ? "" : ",\n", p.cohort_rows, p.chosen.c_str(),
+                  static_cast<unsigned long long>(p.bytes_broadcast),
+                  static_cast<unsigned long long>(p.bytes_collect),
+                  p.wall_broadcast_ms, p.wall_collect_ms, p.rows,
+                  p.identical ? "true" : "false");
+    e19_sweep_json += buf;
+  }
+
   if (std::FILE* f = std::fopen("BENCH_plan.json", "w")) {
     std::fprintf(
         f,
@@ -145,6 +322,12 @@ int main() {
         "\"bytes_wire\": %llu, \"wall_ms\": %.3f},\n"
         "  \"wire_ratio\": %.3f,\n"
         "  \"identical_results\": %s,\n"
+        "  \"e19\": {\n"
+        "  \"sweep\": [\n%s\n  ],\n"
+        "  \"flips\": %d,\n"
+        "  \"small_cohort_wire_ratio\": %.3f,\n"
+        "  \"pass\": %s\n"
+        "  },\n"
         "  \"pass\": %s\n"
         "}\n",
         kWorkers, kRowsPerWorker, sql.c_str(), off.rows,
@@ -152,11 +335,12 @@ int main() {
         static_cast<unsigned long long>(off.bytes_wire), off.wall_ms, on.rows,
         static_cast<unsigned long long>(on.bytes_raw),
         static_cast<unsigned long long>(on.bytes_wire), on.wall_ms,
-        wire_ratio, identical ? "true" : "false",
-        wire_ok && identical ? "true" : "false");
+        wire_ratio, identical ? "true" : "false", e19_sweep_json.c_str(),
+        e19.flips, e19.small_ratio, e19.pass ? "true" : "false",
+        wire_ok && identical && e19.pass ? "true" : "false");
     std::fclose(f);
     std::printf("\nwrote BENCH_plan.json\n");
   }
 
-  return wire_ok && identical ? 0 : 1;
+  return wire_ok && identical && e19.pass ? 0 : 1;
 }

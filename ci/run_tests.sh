@@ -20,23 +20,23 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" -DMIP_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target federation_concurrency_test robustness_test federation_test \
            net_transport_test engine_parallel_test encoding_test \
-           serving_test result_cache_test storage_test \
+           serving_test result_cache_test storage_test join_test \
            smpc_test smpc_property_test
 # TSAN_OPTIONS makes any reported race fail the job. Suites are selected by
 # label (= binary name); --no-tests=error guards against a silent no-op.
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-tsan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test|encoding_test|serving_test|result_cache_test|storage_test|smpc_test|smpc_property_test)$'
+  -L '^(federation_concurrency_test|robustness_test|federation_test|net_transport_test|engine_parallel_test|encoding_test|serving_test|result_cache_test|storage_test|join_test|smpc_test|smpc_property_test)$'
 
 echo "== ASan+UBSan: net framing / deserialization / codec hardening =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DMIP_SANITIZE=address
 cmake --build "$ROOT/build-asan" -j "$JOBS" \
   --target net_transport_test net_process_test robustness_test \
            encoding_test plan_test serving_test result_cache_test \
-           storage_test smpc_test smpc_property_test mip_worker
+           storage_test join_test smpc_test smpc_property_test mip_worker
 ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$ROOT/build-asan" \
   --output-on-failure -j "$JOBS" --no-tests=error \
-  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test|plan_test|serving_test|result_cache_test|storage_test|smpc_test|smpc_property_test)$'
+  -L '^(net_transport_test|net_process_test|robustness_test|encoding_test|plan_test|serving_test|result_cache_test|storage_test|join_test|smpc_test|smpc_property_test)$'
 
 echo "== determinism: MIP_THREADS=1 vs MIP_THREADS=8 output diff =="
 # Morsel-driven execution must be byte-identical at any thread count (see
@@ -68,12 +68,47 @@ for example in quickstart epilepsy_study; do
   echo "$example: identical output with optimizer on and off"
 done
 
-echo "== smoke: E15 scan-pushdown benchmark (BENCH_plan.json) =="
-# Doubles as an acceptance gate: >= 5x fewer wire bytes for a ~1%-selective
-# filter over a federated merge view, with byte-identical results.
+echo "== determinism: MIP_COST_MODEL=1 vs MIP_COST_MODEL=0 output diff =="
+# The cost model only flips the *physical* join strategy (broadcast vs
+# collect); both strategies are byte-identical by construction, so the
+# ablation must not change a single output byte of the examples.
+for example in quickstart epilepsy_study; do
+  MIP_COST_MODEL=1 "$ROOT/build/examples/$example" > /tmp/mip_cm_on.txt
+  MIP_COST_MODEL=0 "$ROOT/build/examples/$example" > /tmp/mip_cm_off.txt
+  diff -u /tmp/mip_cm_on.txt /tmp/mip_cm_off.txt || {
+    echo "$example output differs between MIP_COST_MODEL=1 and 0"; exit 1;
+  }
+  echo "$example: identical output with cost model on and off"
+done
+
+echo "== smoke: E15/E19 plan benchmarks (BENCH_plan.json) =="
+# Doubles as an acceptance gate. E15: >= 5x fewer wire bytes for a
+# ~1%-selective filter over a federated merge view, byte-identical results.
+# E19: broadcast and collect byte-identical at every cohort size, the cost
+# model flipping broadcast -> collect exactly once across the sweep, and
+# broadcast shipping >= 5x fewer bytes on the smallest cohort.
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_plan
 (cd "$ROOT" && "$ROOT/build/bench/bench_plan")
 [[ -s "$ROOT/BENCH_plan.json" ]] || { echo "BENCH_plan.json missing"; exit 1; }
+python3 - "$ROOT/BENCH_plan.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["identical_results"] is True, "E15 pushdown changed results"
+assert doc["wire_ratio"] >= 5.0, \
+    f"E15 pushdown wire reduction {doc['wire_ratio']}x below 5x floor"
+e19 = doc["e19"]
+assert all(p["identical"] for p in e19["sweep"]), \
+    "E19 broadcast and collect results diverged"
+assert e19["sweep"][0]["chosen"] == "broadcast", \
+    "E19 cost model did not pick broadcast for the smallest cohort"
+assert e19["sweep"][-1]["chosen"] == "collect", \
+    "E19 cost model did not pick collect for the largest cohort"
+assert e19["flips"] <= 1, \
+    f"E19 strategy flipped {e19['flips']} times across the sweep (want 1)"
+assert e19["small_cohort_wire_ratio"] >= 5.0, \
+    f"E19 broadcast wire win {e19['small_cohort_wire_ratio']}x below 5x floor"
+assert doc["pass"] is True, "bench_plan acceptance gates failed"
+PYEOF
 
 echo "== smoke: E14 wire-bytes benchmark (BENCH_net.json) =="
 # The codec benchmark doubles as an acceptance gate: >= 2x fewer bytes on a

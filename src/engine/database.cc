@@ -9,11 +9,25 @@
 
 namespace mip::engine {
 
-Database::Database(std::string name) : name_(std::move(name)) {
+Database::Database(std::string name)
+    : name_(std::move(name)),
+      join_counters_(std::make_unique<JoinCounters>()),
+      stats_mu_(std::make_unique<std::mutex>()) {
   const char* env = std::getenv("MIP_OPTIMIZER");
   if (env != nullptr && std::string(env) == "0") optimizer_enabled_ = false;
   const char* idx_env = std::getenv("MIP_INDEX_SCAN");
   if (idx_env != nullptr && std::string(idx_env) == "0") index_scan_ = false;
+  const char* cost_env = std::getenv("MIP_COST_MODEL");
+  if (cost_env != nullptr && std::string(cost_env) == "0") cost_model_ = false;
+  const char* strat_env = std::getenv("MIP_JOIN_STRATEGY");
+  if (strat_env != nullptr) {
+    const std::string strat(strat_env);
+    if (strat == "broadcast") {
+      force_join_strategy_ = static_cast<int>(JoinStrategy::kBroadcast);
+    } else if (strat == "collect") {
+      force_join_strategy_ = static_cast<int>(JoinStrategy::kCollect);
+    }
+  }
 }
 
 Status Database::AttachStorage(TableStorage* storage) {
@@ -82,6 +96,10 @@ Status Database::PutTable(const std::string& table_name, Table table) {
   e.table = std::move(table);
   tables_[key] = std::move(e);
   remote_schema_cache_.erase(key);
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    stats_cache_.erase(key);
+  }
   ++catalog_version_;
   return Status::OK();
 }
@@ -100,6 +118,10 @@ Status Database::DropTable(const std::string& table_name) {
   }
   tables_.erase(it);
   remote_schema_cache_.erase(key);
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    stats_cache_.erase(key);
+  }
   ++catalog_version_;
   return Status::OK();
 }
@@ -236,6 +258,62 @@ Result<IndexPreview> Database::DiskIndexPreview(const std::string& table_name,
   return storage_->PreviewIndexScan(table_name, prune_filter);
 }
 
+Result<TableStats> Database::GetTableStats(
+    const std::string& table_name) const {
+  const std::string key = ToLower(table_name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table_name + "' does not exist in " +
+                            name_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    auto cached = stats_cache_.find(key);
+    if (cached != stats_cache_.end() &&
+        cached->second.first == catalog_version_) {
+      return cached->second.second;
+    }
+  }
+  const Entry& e = it->second;
+  Result<TableStats> stats = [&]() -> Result<TableStats> {
+    switch (e.kind) {
+      case Entry::Kind::kBase:
+        return ComputeTableStats(e.table);
+      case Entry::Kind::kDisk:
+        if (storage_ == nullptr) {
+          return Status::NotImplemented("disk table '" + table_name +
+                                        "' has no storage attached");
+        }
+        return storage_->StorageTableStats(table_name);
+      case Entry::Kind::kMerge: {
+        std::vector<TableStats> parts;
+        for (const std::string& part : e.parts) {
+          MIP_ASSIGN_OR_RETURN(TableStats s, GetTableStats(part));
+          parts.push_back(std::move(s));
+        }
+        return MergeTableStats(parts);
+      }
+      case Entry::Kind::kRemote:
+        // No full-fetch fallback here, deliberately: statistics are a
+        // planning hint, and planning must never cost more wire traffic
+        // than the plan it is costing.
+        if (!stats_fetcher_) {
+          return Status::NotImplemented(
+              "remote table '" + table_name +
+              "' has no remote stats fetcher installed on " + name_);
+        }
+        return stats_fetcher_(e.location, e.remote_name);
+    }
+    return Status::Internal("bad table entry kind");
+  }();
+  MIP_RETURN_NOT_OK(stats.status());
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    stats_cache_[key] = {catalog_version_, *stats};
+  }
+  return stats;
+}
+
 Result<Table> Database::RunTableFunction(
     const std::string& func_name, const std::vector<Value>& args) const {
   const auto* fn = functions_.FindTable(func_name);
@@ -251,7 +329,11 @@ Result<PlanPtr> Database::BuildOptimizedPlan(const SelectStmt& stmt) {
     OptimizerOptions options;
     options.merge_aggregate_pushdown = aggregate_pushdown_;
     options.index_scan = index_scan_;
+    options.cost_model = cost_model_;
+    options.force_join_strategy = force_join_strategy_;
     options.has_remote_query_runner = static_cast<bool>(query_runner_);
+    options.has_remote_bound_runner = static_cast<bool>(bound_runner_);
+    options.join_counters = join_counters_.get();
     MIP_ASSIGN_OR_RETURN(plan, OptimizePlan(std::move(plan), *this, options));
   }
   return plan;
@@ -279,6 +361,8 @@ Result<Table> Database::ExecutePlannedSelect(const PlanNode& plan) const {
   };
   if (fetcher_) options.fetch_remote = fetcher_;
   if (query_runner_) options.run_remote_sql = query_runner_;
+  if (bound_runner_) options.run_remote_bound_sql = bound_runner_;
+  options.join_counters = join_counters_.get();
   if (storage_ != nullptr) {
     options.scan_disk = [this](const std::string& name,
                                const Expr* prune_filter) {

@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -73,6 +76,30 @@ class Database : public PlanCatalog {
     schema_fetcher_ = std::move(fetcher);
   }
 
+  /// Fetches table statistics (row count, per-column NDV sketches and
+  /// ranges) for a remote table without materializing it — the stats layer
+  /// the join cost model runs on. Results are cached next to the remote
+  /// schema cache and invalidated by catalog version. When unset (or when
+  /// the peer fails the request) GetTableStats answers NotImplemented and
+  /// the cost model degrades to the pre-cost-model plan (collect) — never
+  /// to a wrong result.
+  using RemoteStatsFetcher = std::function<Result<TableStats>(
+      const std::string& location, const std::string& remote_name)>;
+  void SetRemoteStatsFetcher(RemoteStatsFetcher fetcher) {
+    stats_fetcher_ = std::move(fetcher);
+  }
+
+  /// Runs SQL on a remote node with a bound temp table shipped alongside —
+  /// the broadcast-join transport. The peer registers `bound` under
+  /// `temp_name`, runs `sql`, drops the temp, and returns the result.
+  /// Without one the optimizer never picks broadcast.
+  using RemoteBoundRunner = std::function<Result<Table>(
+      const std::string& location, const std::string& temp_name,
+      const std::string& sql, const Table& bound)>;
+  void SetRemoteBoundRunner(RemoteBoundRunner runner) {
+    bound_runner_ = std::move(runner);
+  }
+
   /// Execution context for query operators (morsel parallelism). nullptr
   /// (the default) resolves to ExecContext::Default(), i.e. the process-wide
   /// MIP_THREADS-sized pool; pass &ExecContext::Serial() to force
@@ -101,6 +128,25 @@ class Database : public PlanCatalog {
   /// decoded; the E18 benchmark measures the two paths against each other.
   void set_index_scan(bool enabled) { index_scan_ = enabled; }
   bool index_scan() const { return index_scan_; }
+
+  /// Ablation switch for the join cost model (default on; MIP_COST_MODEL=0
+  /// flips the default off). Off = no stats are fetched at plan time and
+  /// every join collects — byte-identical results, the pre-cost-model wire
+  /// profile; the E19 benchmark measures the model against the ablation.
+  void set_cost_model(bool enabled) { cost_model_ = enabled; }
+  bool cost_model() const { return cost_model_; }
+
+  /// Forces every join's physical strategy (a JoinStrategy value; -1 = let
+  /// the cost model choose). MIP_JOIN_STRATEGY=broadcast|collect sets the
+  /// default; benchmarks use it to measure both sides of the crossover.
+  void set_force_join_strategy(int strategy) {
+    force_join_strategy_ = strategy;
+  }
+  int force_join_strategy() const { return force_join_strategy_; }
+
+  /// Lifetime join counters (planned / broadcast / collect / build rows /
+  /// probe rows), surfaced by the gateway's /metrics. Never null.
+  JoinCounters* join_counters() const { return join_counters_.get(); }
 
   /// Attaches a disk-resident table store (storage::StorageEngine behind
   /// the TableStorage interface) and registers every table it holds as a
@@ -178,6 +224,13 @@ class Database : public PlanCatalog {
   Result<Schema> TableSchema(const std::string& table_name) const override {
     return GetSchema(table_name);
   }
+  /// Table statistics for the cost model: base tables are profiled in
+  /// process (and cached), disk tables fold their segment footers, merge
+  /// tables merge their parts' stats, remote tables go through the stats
+  /// fetcher. Cached per table, keyed by catalog version — any mutation
+  /// simply stops matching, like the gateway's result cache.
+  Result<TableStats> GetTableStats(
+      const std::string& table_name) const override;
   Result<Table> RunTableFunction(
       const std::string& func_name,
       const std::vector<Value>& args) const override;
@@ -204,15 +257,29 @@ class Database : public PlanCatalog {
   RemoteFetcher fetcher_;
   RemoteQueryRunner query_runner_;
   RemoteSchemaFetcher schema_fetcher_;
+  RemoteStatsFetcher stats_fetcher_;
+  RemoteBoundRunner bound_runner_;
   TableStorage* storage_ = nullptr;  // non-owning; see AttachStorage
   bool aggregate_pushdown_ = true;
   bool optimizer_enabled_ = true;
   bool index_scan_ = true;
+  bool cost_model_ = true;
+  int force_join_strategy_ = -1;
   uint64_t catalog_version_ = 1;
   const ExecContext* exec_context_ = nullptr;
+  /// Behind a pointer (atomics are immovable) so Database stays movable.
+  std::unique_ptr<JoinCounters> join_counters_;
   /// Remote-table schemas learned via the schema fetcher (or a full fetch),
   /// keyed by lower-cased local name. Invalidated on PutTable/DropTable.
   mutable std::map<std::string, Schema> remote_schema_cache_;
+  /// Table statistics keyed by lower-cased name, tagged with the catalog
+  /// version they were computed under; a stale tag is a miss. Unlike the
+  /// schema cache (whose fills callers serialize with their planning lock),
+  /// this one carries its own lock: workers fill it while planning pushed
+  /// join SQL, where no caller lock exists. Behind a pointer so Database
+  /// stays movable.
+  mutable std::map<std::string, std::pair<uint64_t, TableStats>> stats_cache_;
+  std::unique_ptr<std::mutex> stats_mu_;
 };
 
 }  // namespace mip::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <set>
 #include <unordered_map>
@@ -439,45 +440,130 @@ Result<Table> SortBy(const Table& table, const std::vector<std::string>& keys,
   return table.Take(idx);
 }
 
+namespace {
+
+/// Typed gather with -1 => NULL (the left-join null-extension path; plain
+/// Column::Take cannot express a missing row).
+Column TakeWithNulls(const Column& col, const std::vector<int64_t>& idx) {
+  Column out(col.type());
+  out.Reserve(idx.size());
+  for (int64_t i : idx) {
+    if (i < 0 || !col.IsValid(static_cast<size_t>(i))) {
+      out.AppendNull();
+      continue;
+    }
+    const size_t r = static_cast<size_t>(i);
+    switch (col.type()) {
+      case DataType::kBool:
+        out.AppendBool(col.BoolAt(r));
+        break;
+      case DataType::kInt64:
+        out.AppendInt(col.IntAt(r));
+        break;
+      case DataType::kFloat64:
+        out.AppendDouble(col.DoubleAt(r));
+        break;
+      case DataType::kString:
+        out.AppendString(col.StringAt(r));
+        break;
+    }
+  }
+  return out;
+}
+
+/// Normalized numeric key bits: -0.0 folds into +0.0 so values the
+/// comparison kernels call equal hash equal. Callers exclude NaN first.
+uint64_t NumericKeyBits(double v) {
+  if (v == 0.0) v = 0.0;
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_key,
-                       const std::string& right_key, JoinType type) {
+                       const std::string& right_key, JoinType type,
+                       const ExecContext* exec) {
   MIP_ASSIGN_OR_RETURN(const Column* lkey, left.ColumnByName(left_key));
   MIP_ASSIGN_OR_RETURN(const Column* rkey, right.ColumnByName(right_key));
+  const ExecContext& ctx = ExecContext::Resolve(exec);
 
-  // Build phase over the right input.
-  std::unordered_map<std::string, std::vector<int64_t>> build;
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    if (!rkey->IsValid(r)) continue;  // NULL keys never match
-    const Value v = rkey->ValueAt(r);
-    std::string key;
-    key.push_back(static_cast<char>(v.kind()));
-    key += v.ToString();
-    build[key].push_back(static_cast<int64_t>(r));
+  // Key semantics mirror the engine's comparison kernels: NULL keys never
+  // match; two string keys compare as strings; numeric keys (bool/int/
+  // double) compare through the double view, so 5 joins 5.0; a NaN key —
+  // including every cell of a string column probed against a numeric one —
+  // matches nothing. Build runs serially over the right side in row order,
+  // so per-key match lists carry build-insertion order.
+  const bool string_keys =
+      lkey->type() == DataType::kString && rkey->type() == DataType::kString;
+  const bool numeric_keys =
+      lkey->type() != DataType::kString && rkey->type() != DataType::kString;
+  std::unordered_map<std::string, std::vector<int64_t>> string_build;
+  std::unordered_map<uint64_t, std::vector<int64_t>> numeric_build;
+  if (string_keys) {
+    string_build.reserve(right.num_rows());
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (!rkey->IsValid(r)) continue;
+      string_build[rkey->StringAt(r)].push_back(static_cast<int64_t>(r));
+    }
+  } else if (numeric_keys) {
+    numeric_build.reserve(right.num_rows());
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (!rkey->IsValid(r)) continue;
+      const double v = rkey->AsDoubleAt(r);
+      if (std::isnan(v)) continue;
+      numeric_build[NumericKeyBits(v)].push_back(static_cast<int64_t>(r));
+    }
   }
+  // Mixed string/numeric keys build nothing: no probe can match.
 
-  std::vector<int64_t> left_idx;
-  std::vector<int64_t> right_idx;  // -1 => unmatched (left join)
-  for (size_t l = 0; l < left.num_rows(); ++l) {
-    bool matched = false;
-    if (lkey->IsValid(l)) {
-      const Value v = lkey->ValueAt(l);
-      std::string key;
-      key.push_back(static_cast<char>(v.kind()));
-      key += v.ToString();
-      auto it = build.find(key);
-      if (it != build.end()) {
-        for (int64_t r : it->second) {
-          left_idx.push_back(static_cast<int64_t>(l));
-          right_idx.push_back(r);
+  // Probe phase: morsel-parallel over the left side into per-morsel index
+  // pairs, concatenated in morsel order — byte-identical to the serial
+  // probe at any thread count (the determinism contract every vectorized
+  // operator in this engine keeps).
+  const size_t n = left.num_rows();
+  const size_t num_morsels = ctx.NumMorsels(n);
+  std::vector<std::vector<int64_t>> l_parts(num_morsels);
+  std::vector<std::vector<int64_t>> r_parts(num_morsels);
+  ctx.ForEachMorsel(n, [&](size_t morsel, size_t begin, size_t end) {
+    std::vector<int64_t>& li = l_parts[morsel];
+    std::vector<int64_t>& ri = r_parts[morsel];
+    for (size_t l = begin; l < end; ++l) {
+      const std::vector<int64_t>* matches = nullptr;
+      if (lkey->IsValid(l)) {
+        if (string_keys) {
+          auto it = string_build.find(lkey->StringAt(l));
+          if (it != string_build.end()) matches = &it->second;
+        } else if (numeric_keys) {
+          const double v = lkey->AsDoubleAt(l);
+          if (!std::isnan(v)) {
+            auto it = numeric_build.find(NumericKeyBits(v));
+            if (it != numeric_build.end()) matches = &it->second;
+          }
         }
-        matched = true;
+      }
+      if (matches != nullptr) {
+        for (int64_t r : *matches) {
+          li.push_back(static_cast<int64_t>(l));
+          ri.push_back(r);
+        }
+      } else if (type == JoinType::kLeft) {
+        li.push_back(static_cast<int64_t>(l));
+        ri.push_back(-1);  // null-extended
       }
     }
-    if (!matched && type == JoinType::kLeft) {
-      left_idx.push_back(static_cast<int64_t>(l));
-      right_idx.push_back(-1);
-    }
+  });
+  size_t total = 0;
+  for (const auto& part : l_parts) total += part.size();
+  std::vector<int64_t> left_idx;
+  std::vector<int64_t> right_idx;
+  left_idx.reserve(total);
+  right_idx.reserve(total);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    left_idx.insert(left_idx.end(), l_parts[m].begin(), l_parts[m].end());
+    right_idx.insert(right_idx.end(), r_parts[m].begin(), r_parts[m].end());
   }
 
   Schema schema;
@@ -490,16 +576,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     Field f = right.schema().field(c);
     if (schema.FieldIndex(f.name) >= 0) f.name += "_r";
     MIP_RETURN_NOT_OK(schema.AddField(f));
-    Column col(right.column(c).type());
-    for (int64_t r : right_idx) {
-      if (r < 0) {
-        col.AppendNull();
-      } else {
-        MIP_RETURN_NOT_OK(
-            col.AppendValue(right.column(c).ValueAt(static_cast<size_t>(r))));
-      }
-    }
-    columns.push_back(std::move(col));
+    columns.push_back(TakeWithNulls(right.column(c), right_idx));
   }
   return Table::Make(std::move(schema), std::move(columns));
 }

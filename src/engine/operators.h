@@ -59,12 +59,18 @@ Result<Table> SortBy(const Table& table, const std::vector<std::string>& keys,
 
 enum class JoinType { kInner, kLeft };
 
-/// Single-key hash join; right side is built into the hash table. Output
+/// Single-key hash join; right side is built into the hash table (serial,
+/// row order), left side probes morsel-parallel on `exec` with per-morsel
+/// match lists concatenated in morsel order — byte-identical at any thread
+/// count. Key equality follows the engine's comparison kernels: NULLs (and
+/// NaNs) never match, string keys compare as strings, numeric keys through
+/// the double view (5 joins 5.0), string-vs-numeric never matches. Output
 /// schema = left fields then right fields (right key column included; name
 /// collisions get a "_r" suffix).
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_key,
-                       const std::string& right_key, JoinType type);
+                       const std::string& right_key, JoinType type,
+                       const ExecContext* exec = nullptr);
 
 /// First `limit` rows after skipping `offset`.
 Table Limit(const Table& table, size_t limit, size_t offset = 0);

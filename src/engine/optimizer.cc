@@ -1,6 +1,8 @@
 #include "engine/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 
 #include "common/string_util.h"
 #include "engine/sql_parser.h"
@@ -270,6 +272,137 @@ bool EligibleRemoteFilter(const Expr& predicate, const PlanNode& scan,
   return true;
 }
 
+/// Splits `e` on AND into its conjuncts (no clones; callers clone what they
+/// keep).
+void FlattenConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    FlattenConjuncts(e->args[0], out);
+    FlattenConjuncts(e->args[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool AllRefsResolve(const Expr& e, const Schema& schema) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(e, &refs);
+  for (const std::string& name : refs) {
+    if (schema.FieldIndex(name) < 0) return false;
+  }
+  return true;
+}
+
+bool AnyRefResolves(const Expr& e, const Schema& schema) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(e, &refs);
+  for (const std::string& name : refs) {
+    if (schema.FieldIndex(name) >= 0) return true;
+  }
+  return false;
+}
+
+/// Clone of `e` with every column ref named `from` renamed to `to`.
+ExprPtr RenameColumnRefs(const Expr& e, const std::string& from,
+                         const std::string& to) {
+  ExprPtr out = CloneExpr(e);
+  std::function<void(Expr*)> walk = [&](Expr* n) {
+    if (n->kind == ExprKind::kColumnRef &&
+        EqualsIgnoreCase(n->column_name, from)) {
+      n->column_name = to;
+    }
+    for (const ExprPtr& a : n->args) walk(a.get());
+  };
+  walk(out.get());
+  return out;
+}
+
+/// Sinks eligible conjuncts of a Filter sitting above a Join into the join's
+/// inputs (the Filter itself stays above — every push below must be sound on
+/// its own, and keeping the original preserves the full predicate including
+/// anything that could not move).
+///
+///   - A conjunct whose refs all resolve in the left input filters the left
+///     side for INNER and LEFT joins alike (rows it drops would have been
+///     dropped — or never null-extended differently — above).
+///   - INNER only: a conjunct whose refs all resolve in the right input and
+///     none in the left (the "_r" collision rename means a ref resolving in
+///     the left names the LEFT column after the join) filters the right side.
+///   - INNER only, and only when each join key resolves on exactly one side:
+///     a conjunct constraining just one join key is mirrored to the other
+///     key and distributed like any other conjunct — `a.k = b.k AND a.k = 5`
+///     implies `b.k = 5` on every surviving row, so both remote scans get
+///     the derived filter instead of shipping one side unfiltered.
+///
+/// New per-side Filters are returned un-recursed; the caller's recursion
+/// sinks them further (into remote_filter, MergeUnion parts, prune hints).
+void PushJoinPredicates(const PlanNode& filter, PlanNode* join,
+                        const PlanCatalog& catalog) {
+  Result<Schema> left_schema = InferPlanSchema(*join->children[0], catalog);
+  Result<Schema> right_schema = InferPlanSchema(*join->children[1], catalog);
+  if (!left_schema.ok() || !right_schema.ok()) return;
+  const bool inner = join->join_type == JoinType::kInner;
+
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(filter.predicate, &conjuncts);
+
+  // Derived key filters need unambiguous key sides: each key name resolving
+  // on exactly one input (a key living on both sides would make the
+  // executor's ON-side resolution — and therefore the implication — murky).
+  std::string left_side_key, right_side_key;
+  if (inner) {
+    const bool lk_l = left_schema->FieldIndex(join->left_key) >= 0;
+    const bool lk_r = right_schema->FieldIndex(join->left_key) >= 0;
+    const bool rk_l = left_schema->FieldIndex(join->right_key) >= 0;
+    const bool rk_r = right_schema->FieldIndex(join->right_key) >= 0;
+    if (lk_l && !lk_r && rk_r && !rk_l) {
+      left_side_key = join->left_key;
+      right_side_key = join->right_key;
+    } else if (lk_r && !lk_l && rk_l && !rk_r) {
+      left_side_key = join->right_key;
+      right_side_key = join->left_key;
+    }
+  }
+  const size_t original_count = conjuncts.size();
+  if (!left_side_key.empty()) {
+    for (size_t i = 0; i < original_count; ++i) {
+      std::vector<std::string> refs;
+      CollectColumnRefs(*conjuncts[i], &refs);
+      if (refs.size() != 1) continue;
+      if (EqualsIgnoreCase(refs[0], left_side_key)) {
+        conjuncts.push_back(
+            RenameColumnRefs(*conjuncts[i], left_side_key, right_side_key));
+      } else if (EqualsIgnoreCase(refs[0], right_side_key)) {
+        conjuncts.push_back(
+            RenameColumnRefs(*conjuncts[i], right_side_key, left_side_key));
+      }
+    }
+  }
+
+  std::vector<ExprPtr> to_left;
+  std::vector<ExprPtr> to_right;
+  for (const ExprPtr& c : conjuncts) {
+    if (AllRefsResolve(*c, *left_schema)) {
+      to_left.push_back(CloneExpr(*c));
+    } else if (inner && AllRefsResolve(*c, *right_schema) &&
+               !AnyRefResolves(*c, *left_schema)) {
+      to_right.push_back(CloneExpr(*c));
+    }
+  }
+  auto wrap = [&](size_t side, std::vector<ExprPtr>& preds) {
+    if (preds.empty()) return;
+    ExprPtr combined = preds[0];
+    for (size_t i = 1; i < preds.size(); ++i) {
+      combined = And(std::move(combined), std::move(preds[i]));
+    }
+    auto f = MakePlanNode(PlanKind::kFilter);
+    f->predicate = std::move(combined);
+    f->children = {join->children[side]};
+    join->children[side] = std::move(f);
+  };
+  wrap(0, to_left);
+  wrap(1, to_right);
+}
+
 PlanPtr PushPredicates(PlanPtr node, const PlanCatalog& catalog,
                        const OptimizerOptions& options) {
   if (node->kind == PlanKind::kFilter) {
@@ -288,6 +421,13 @@ PlanPtr PushPredicates(PlanPtr node, const PlanCatalog& catalog,
         EligibleRemoteFilter(*node->predicate, *child, catalog, options)) {
       child->remote_filter = node->predicate;
       return child;
+    }
+    if (child->kind == PlanKind::kJoin) {
+      // Sink eligible conjuncts (including join-key-derived ones) into the
+      // join inputs; the Filter stays above, and the recursion below pushes
+      // the new per-side Filters the rest of the way down.
+      PushJoinPredicates(*node, child.get(), catalog);
+      // Fall through: the Filter node is returned below.
     }
     if (child->kind == PlanKind::kScan && child->disk &&
         child->prune_filter == nullptr) {
@@ -545,6 +685,316 @@ void ChooseAccessPath(PlanNode* node, const PlanCatalog& catalog) {
   }
 }
 
+// --- Rule 7: join-strategy choice (broadcast vs collect) -------------------
+
+/// Textbook selectivity guesses, refined by column statistics when the stats
+/// layer can see the column (equality -> 1/NDV, IS NULL -> null fraction).
+/// Estimates feed the physical strategy choice only — never results.
+double EstimateSelectivity(const Expr& e, const TableStats* stats) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      if (e.literal.is_null()) return 0.0;
+      return e.literal.AsBool() ? 1.0 : 0.0;
+    case ExprKind::kUnary:
+      switch (e.unary_op) {
+        case UnaryOp::kNot:
+          return 1.0 - EstimateSelectivity(*e.args[0], stats);
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull: {
+          double frac = 0.1;
+          if (stats != nullptr && stats->row_count > 0 &&
+              e.args[0]->kind == ExprKind::kColumnRef) {
+            const ColumnStats* c =
+                stats->FindColumn(e.args[0]->column_name);
+            if (c != nullptr) {
+              frac = static_cast<double>(c->null_count) /
+                     static_cast<double>(stats->row_count);
+            }
+          }
+          return e.unary_op == UnaryOp::kIsNull ? frac : 1.0 - frac;
+        }
+        default:
+          return 0.25;
+      }
+    case ExprKind::kBinary:
+      switch (e.binary_op) {
+        case BinaryOp::kAnd:
+          return EstimateSelectivity(*e.args[0], stats) *
+                 EstimateSelectivity(*e.args[1], stats);
+        case BinaryOp::kOr:
+          return std::min(1.0, EstimateSelectivity(*e.args[0], stats) +
+                                   EstimateSelectivity(*e.args[1], stats));
+        case BinaryOp::kEq: {
+          const Expr* col = nullptr;
+          if (e.args[0]->kind == ExprKind::kColumnRef) {
+            col = e.args[0].get();
+          } else if (e.args[1]->kind == ExprKind::kColumnRef) {
+            col = e.args[1].get();
+          }
+          if (col != nullptr && stats != nullptr) {
+            const ColumnStats* c = stats->FindColumn(col->column_name);
+            if (c != nullptr && c->ndv > 0) {
+              return std::min(1.0, 1.0 / static_cast<double>(c->ndv));
+            }
+          }
+          return 0.1;
+        }
+        case BinaryOp::kNe:
+          return 0.9;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return 1.0 / 3.0;
+        default:
+          return 0.25;
+      }
+    default:
+      return 0.25;
+  }
+}
+
+/// Statistics of the base relation feeding a subtree (for NDV / null-count
+/// lookups). Follows row-preserving-ish wrappers down to the scans; any
+/// other shape is unknown.
+Result<TableStats> SubtreeStats(const PlanNode& node,
+                                const PlanCatalog& catalog) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+    case PlanKind::kIndexScan:
+      if (node.prebound != nullptr) return ComputeTableStats(*node.prebound);
+      return catalog.GetTableStats(node.table_name);
+    case PlanKind::kRemoteScan:
+      if (!node.sql_override.empty()) {
+        return Status::NotImplemented("no stats under a SQL override");
+      }
+      return catalog.GetTableStats(node.table_name);
+    case PlanKind::kMergeUnion: {
+      std::vector<TableStats> parts;
+      for (const PlanPtr& child : node.children) {
+        MIP_ASSIGN_OR_RETURN(TableStats s, SubtreeStats(*child, catalog));
+        parts.push_back(std::move(s));
+      }
+      return MergeTableStats(parts);
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+    case PlanKind::kDistinct:
+      return SubtreeStats(*node.children[0], catalog);
+    default:
+      return Status::NotImplemented("no stats for this plan shape");
+  }
+}
+
+/// Estimated output rows of a subtree, or -1 when the stats layer cannot
+/// see enough to say.
+double EstimateRows(const PlanNode& node, const PlanCatalog& catalog) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+    case PlanKind::kIndexScan:
+    case PlanKind::kRemoteScan: {
+      double rows = -1.0;
+      if (node.prebound != nullptr) {
+        rows = static_cast<double>(node.prebound->num_rows());
+      } else if (node.kind == PlanKind::kRemoteScan &&
+                 !node.sql_override.empty()) {
+        return -1.0;
+      } else {
+        Result<TableStats> stats = catalog.GetTableStats(node.table_name);
+        if (!stats.ok() || stats->row_count < 0) return -1.0;
+        rows = static_cast<double>(stats->row_count);
+        if (node.remote_filter != nullptr) {
+          rows *= EstimateSelectivity(*node.remote_filter, &*stats);
+        }
+      }
+      if (node.scan_limit >= 0) {
+        rows = std::min(rows, static_cast<double>(node.scan_limit));
+      }
+      return rows;
+    }
+    case PlanKind::kMergeUnion: {
+      double total = 0.0;
+      for (const PlanPtr& child : node.children) {
+        const double rows = EstimateRows(*child, catalog);
+        if (rows < 0) return -1.0;
+        total += rows;
+      }
+      return total;
+    }
+    case PlanKind::kFilter: {
+      const double rows = EstimateRows(*node.children[0], catalog);
+      if (rows < 0) return -1.0;
+      Result<TableStats> stats = SubtreeStats(*node.children[0], catalog);
+      return rows * EstimateSelectivity(
+                        *node.predicate, stats.ok() ? &*stats : nullptr);
+    }
+    case PlanKind::kJoin: {
+      const double l = EstimateRows(*node.children[0], catalog);
+      const double r = EstimateRows(*node.children[1], catalog);
+      if (l < 0 || r < 0) return -1.0;
+      // Classic equi-join estimate: |L||R| / max(NDV of the key). The key
+      // may be named from either input, so probe both stats for both names
+      // and keep the largest NDV seen.
+      double ndv = -1.0;
+      for (int side = 0; side < 2; ++side) {
+        Result<TableStats> stats = SubtreeStats(*node.children[side], catalog);
+        if (!stats.ok()) continue;
+        for (const std::string* key : {&node.left_key, &node.right_key}) {
+          const ColumnStats* c = stats->FindColumn(*key);
+          if (c != nullptr && c->ndv > 0) {
+            ndv = std::max(ndv, static_cast<double>(c->ndv));
+          }
+        }
+      }
+      if (ndv >= 1.0) return l * r / ndv;
+      return std::max(l, r);
+    }
+    case PlanKind::kLimit: {
+      const double rows = EstimateRows(*node.children[0], catalog);
+      const double limit = static_cast<double>(node.limit);
+      return rows < 0 ? limit : std::min(rows, limit);
+    }
+    case PlanKind::kSort:
+    case PlanKind::kDistinct:
+    case PlanKind::kProject:
+      return EstimateRows(*node.children[0], catalog);
+    case PlanKind::kAggregate:
+      return -1.0;  // group counts are not modeled
+  }
+  return -1.0;
+}
+
+/// Rows a subtree pulls across the wire to the master when it executes
+/// there (the collect path). -1 = unknown. Terms common to both strategies
+/// (e.g. fetching the build side) appear in both costs, so only the
+/// difference ever decides.
+double EstimateRemoteRows(const PlanNode& node, const PlanCatalog& catalog) {
+  switch (node.kind) {
+    case PlanKind::kRemoteScan:
+      return EstimateRows(node, catalog);
+    case PlanKind::kScan:
+    case PlanKind::kIndexScan:
+      return 0.0;
+    default: {
+      double total = 0.0;
+      for (const PlanPtr& child : node.children) {
+        const double rows = EstimateRemoteRows(*child, catalog);
+        if (rows < 0) return -1.0;
+        total += rows;
+      }
+      return total;
+    }
+  }
+}
+
+/// Mirror of the executor's per-part pushability test (ExecBroadcastPart):
+/// the join can only be pushed into a bare RemoteScan of a named table.
+bool BroadcastPushablePart(const PlanNode& part, const PlanNode& join) {
+  return part.kind == PlanKind::kRemoteScan && part.sql_override.empty() &&
+         part.columns.empty() && part.scan_limit < 0 &&
+         IsSqlIdentifier(part.remote_name) &&
+         IsSqlIdentifier(join.left_key) && IsSqlIdentifier(join.right_key);
+}
+
+/// Rough wire bytes per row of a subtree's output. The compressed codec is
+/// column-major and adaptive, but 8 bytes per field plus framing tracks
+/// *relative* sizes well enough to rank two strategies over the same data.
+double RowBytes(const PlanNode& node, const PlanCatalog& catalog) {
+  Result<Schema> schema = InferPlanSchema(node, catalog);
+  if (!schema.ok()) return -1.0;
+  return 8.0 * static_cast<double>(schema->num_fields()) + 8.0;
+}
+
+/// Picks broadcast vs collect per Join node by modeled wire cost, and
+/// annotates the node with the estimates behind the choice (EXPLAIN shows
+/// them outside canonical mode). Strategy is physical only: both paths
+/// produce byte-identical results, so a wrong estimate costs time, never
+/// correctness. With the cost model off (or nothing pushable) every join
+/// collects — exactly the pre-cost-model behavior.
+void ChooseJoinStrategy(PlanNode* node, const PlanCatalog& catalog,
+                        const OptimizerOptions& options) {
+  for (PlanPtr& child : node->children) {
+    ChooseJoinStrategy(child.get(), catalog, options);
+  }
+  if (node->kind != PlanKind::kJoin) return;
+  if (options.join_counters != nullptr) {
+    options.join_counters->joins_planned.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+
+  JoinStrategy chosen = JoinStrategy::kCollect;
+  if (options.cost_model) {
+    const PlanNode& left = *node->children[0];
+    const PlanNode& right = *node->children[1];
+    const double l = EstimateRows(left, catalog);
+    const double r = EstimateRows(right, catalog);
+    if (l >= 0 && r >= 0) {
+      node->est_left_rows = l;
+      node->est_right_rows = r;
+      node->est_out_rows = EstimateRows(*node, catalog);
+    }
+
+    // Broadcast is on the table only when at least one left part can take
+    // the pushed join and a bound-table runner exists to ship it.
+    int pushable = 0;
+    double pushable_rows = 0.0;
+    bool parts_known = true;
+    auto add_part = [&](const PlanNode& part) {
+      if (!BroadcastPushablePart(part, *node)) return;
+      const double rows = EstimateRows(part, catalog);
+      if (rows < 0) {
+        parts_known = false;
+        return;
+      }
+      ++pushable;
+      pushable_rows += rows;
+    };
+    if (options.has_remote_bound_runner) {
+      if (left.kind == PlanKind::kMergeUnion) {
+        for (const PlanPtr& part : left.children) add_part(*part);
+      } else {
+        add_part(left);
+      }
+    }
+
+    if (pushable > 0 && parts_known && l >= 0 && r >= 0 &&
+        node->est_out_rows >= 0) {
+      const double left_bytes = RowBytes(left, catalog);
+      const double right_bytes = RowBytes(right, catalog);
+      const double remote_left = EstimateRemoteRows(left, catalog);
+      const double remote_right = EstimateRemoteRows(right, catalog);
+      if (left_bytes >= 0 && right_bytes >= 0 && remote_left >= 0 &&
+          remote_right >= 0) {
+        // Wire traffic under each strategy. Collect: both sides cross to
+        // the master. Broadcast: the build side crosses once, then ships to
+        // every pushable part, joined rows come back, and any unpushable
+        // remote part still collects.
+        node->cost_collect =
+            remote_left * left_bytes + remote_right * right_bytes;
+        node->cost_broadcast =
+            remote_right * right_bytes +
+            r * right_bytes * static_cast<double>(pushable) +
+            node->est_out_rows * (left_bytes + right_bytes) +
+            (remote_left - pushable_rows) * left_bytes;
+        if (node->cost_broadcast < node->cost_collect) {
+          chosen = JoinStrategy::kBroadcast;
+        }
+      }
+    }
+  }
+  if (options.force_join_strategy >= 0) {
+    chosen = static_cast<JoinStrategy>(options.force_join_strategy);
+  }
+  node->strategy = chosen;
+  if (options.join_counters != nullptr) {
+    auto& counter = chosen == JoinStrategy::kBroadcast
+                        ? options.join_counters->broadcast_chosen
+                        : options.join_counters->collect_chosen;
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 }  // namespace
 
 Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
@@ -566,6 +1016,9 @@ Result<PlanPtr> OptimizePlan(PlanPtr plan, const PlanCatalog& catalog,
   if (options.index_scan) {
     ChooseAccessPath(plan.get(), catalog);
   }
+  // Last: strategy choice reads columns/scan_limit annotations left by the
+  // rewrite passes, so it must see the final tree.
+  ChooseJoinStrategy(plan.get(), catalog, options);
   return plan;
 }
 

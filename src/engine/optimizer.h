@@ -40,15 +40,51 @@ struct OptimizerOptions {
   /// purely for benchmarking the two access paths.
   bool index_scan = true;
 
+  /// Chooses a physical strategy per Join node (broadcast vs collect) by
+  /// comparing modeled wire costs fed by the statistics layer, and
+  /// annotates EXPLAIN with estimated cardinalities and costs. Exact:
+  /// strategy is physical only — both strategies produce byte-identical
+  /// results — so this is an ablation switch (MIP_COST_MODEL=0) for
+  /// benchmarking, never a correctness knob. Off = every join collects,
+  /// the only pre-cost-model behavior.
+  bool cost_model = true;
+
+  /// Forces every join's strategy regardless of the cost model: -1 = let
+  /// the model choose, otherwise a JoinStrategy value. Benchmarks use it to
+  /// measure both sides of the crossover on identical data; the executor
+  /// falls back per part when a forced broadcast cannot be pushed.
+  int force_join_strategy = -1;
+
   /// Whether the executor will have a run_sql runner available. Without one
   /// nothing may be lowered into remote SQL text; remote scans fall back to
   /// whole-table fetches exactly like the pre-plan-layer interpreter.
   bool has_remote_query_runner = false;
+
+  /// Whether the executor will have a run_sql_bound runner available (the
+  /// broadcast transport). Without one the cost model never picks
+  /// broadcast: it would only fall back to collect at execution time.
+  bool has_remote_bound_runner = false;
+
+  /// Lifetime join counters (may be null): the strategy chooser tallies
+  /// joins planned and broadcast/collect decisions here.
+  JoinCounters* join_counters = nullptr;
 };
 
-/// \brief Applies the rule pipeline (merge-aggregate decomposition, then
-/// predicate pushdown, projection pruning, limit pushdown) to `plan`,
-/// mutating/replacing nodes, and returns the optimized root.
+/// \brief Applies the ordered rule-pass pipeline to `plan`, mutating/
+/// replacing nodes, and returns the optimized root. Passes run in a fixed
+/// order — each rewrite pass first (it changes tree shape), then the
+/// annotation/choice passes over the final shape:
+///
+///   1. merge-aggregate decomposition   (rewrite)
+///   2. predicate pushdown              (rewrite; includes join-derived
+///                                       key filters pushed into both sides)
+///   3. projection pruning              (rewrite)
+///   4. limit pushdown                  (rewrite)
+///   5. segment-prune annotation        (annotate)
+///   6. access-path choice              (costed choice: Scan vs IndexScan,
+///                                       from real index-probe previews)
+///   7. join-strategy choice            (costed choice: broadcast vs
+///                                       collect, from the stats layer)
 ///
 /// Invariant: the optimized plan is byte-identical to the input plan for
 /// every query, except under merge_aggregate_pushdown (float reassociation,

@@ -1,5 +1,6 @@
 #include "engine/plan.h"
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -660,10 +661,30 @@ void RenderNode(const PlanNode& node, int depth, bool canonical,
     case PlanKind::kMergeUnion:
       line += " " + node.table_name;
       break;
-    case PlanKind::kJoin:
+    case PlanKind::kJoin: {
       line += node.join_type == JoinType::kLeft ? " LEFT" : " INNER";
       line += " on " + node.left_key + " = " + node.right_key;
+      // Strategy and cost annotations are physical: the same bytes come
+      // back under either strategy, so the canonical (fingerprint)
+      // rendering omits them — a cost-model flip must not fracture the
+      // gateway result cache.
+      if (!canonical && node.strategy == JoinStrategy::kBroadcast) {
+        line += " strategy=broadcast";
+      }
+      char buf[96];
+      if (!canonical && node.est_left_rows >= 0) {
+        std::snprintf(buf, sizeof(buf), " est: left=%.0f right=%.0f out=%.0f",
+                      node.est_left_rows, node.est_right_rows,
+                      node.est_out_rows);
+        line += buf;
+      }
+      if (!canonical && node.cost_collect >= 0) {
+        std::snprintf(buf, sizeof(buf), " cost: broadcast=%.0f collect=%.0f",
+                      node.cost_broadcast, node.cost_collect);
+        line += buf;
+      }
       break;
+    }
     case PlanKind::kFilter:
       line += " " + node.predicate->ToString();
       break;
@@ -797,8 +818,95 @@ std::string BuildRemoteScanSql(const PlanNode& node) {
   return sql;
 }
 
+/// Process-wide counter naming broadcast temp tables; uniqueness matters
+/// because concurrent joins may broadcast to the same worker, whose bound
+/// runner creates/drops the temp table by name.
+std::atomic<uint64_t> g_broadcast_temp_counter{0};
+
 struct PlanExecutor {
   const PlanExecutorOptions& opts;
+
+  /// Master-side hash join of two materialized sides. The ON clause does
+  /// not say which side each key belongs to; try left.key on the left
+  /// first, then swapped.
+  Result<Table> LocalJoin(const PlanNode& node, const Table& left,
+                          const Table& right) {
+    if (opts.join_counters != nullptr) {
+      opts.join_counters->probe_rows += left.num_rows();
+    }
+    if (left.schema().FieldIndex(node.left_key) >= 0 &&
+        right.schema().FieldIndex(node.right_key) >= 0) {
+      return HashJoin(left, right, node.left_key, node.right_key,
+                      node.join_type, opts.exec);
+    }
+    if (left.schema().FieldIndex(node.right_key) >= 0 &&
+        right.schema().FieldIndex(node.left_key) >= 0) {
+      return HashJoin(left, right, node.right_key, node.left_key,
+                      node.join_type, opts.exec);
+    }
+    return Status::NotFound("join keys not found: " + node.left_key + ", " +
+                            node.right_key);
+  }
+
+  /// BroadcastJoin: ship the materialized build side to every worker
+  /// holding a left-side part and push the join into the worker; the
+  /// master concatenates per-part results in part order. Byte-identical to
+  /// the collect strategy: each part joins against the identical build
+  /// table, workers resolve the ambiguous ON exactly like LocalJoin, and
+  /// per-part probe order concatenated in part order IS the probe order of
+  /// the concatenated left side. Any part that cannot be pushed — local
+  /// scan, sql-override, no bound runner, or a peer that fails the
+  /// round trip (e.g. predates run_sql_bound) — falls back to fetching
+  /// that part and joining at the master, preserving the result bytes.
+  Result<Table> ExecBroadcastJoin(const PlanNode& node, const Table& small) {
+    const PlanNode& left = *node.children[0];
+    std::vector<const PlanNode*> parts;
+    if (left.kind == PlanKind::kMergeUnion) {
+      for (const PlanPtr& child : left.children) parts.push_back(child.get());
+    } else {
+      parts.push_back(&left);
+    }
+    std::vector<Table> results;
+    results.reserve(parts.size());
+    for (const PlanNode* part : parts) {
+      MIP_ASSIGN_OR_RETURN(Table joined,
+                           ExecBroadcastPart(node, *part, small));
+      results.push_back(std::move(joined));
+    }
+    return Table::Concat(results);
+  }
+
+  Result<Table> ExecBroadcastPart(const PlanNode& node, const PlanNode& part,
+                                  const Table& small) {
+    const bool pushable =
+        part.kind == PlanKind::kRemoteScan && part.sql_override.empty() &&
+        part.columns.empty() && part.scan_limit < 0 &&
+        static_cast<bool>(opts.run_remote_bound_sql) &&
+        IsSqlIdentifier(part.remote_name) && IsSqlIdentifier(node.left_key) &&
+        IsSqlIdentifier(node.right_key);
+    if (pushable) {
+      const std::string temp_name =
+          "__bcast" +
+          std::to_string(g_broadcast_temp_counter.fetch_add(1) + 1);
+      std::string sql = "SELECT * FROM " + part.remote_name +
+                        (node.join_type == JoinType::kLeft ? " LEFT JOIN "
+                                                           : " JOIN ") +
+                        temp_name + " ON " + node.left_key + " = " +
+                        node.right_key;
+      // A filter pushed into this part references part columns only, so
+      // WHERE above the worker's join keeps/drops whole per-probe-row match
+      // groups — identical to filtering the part before the join.
+      if (part.remote_filter != nullptr) {
+        sql += " WHERE " + LowerExprToSql(*part.remote_filter);
+      }
+      Result<Table> pushed =
+          opts.run_remote_bound_sql(part.location, temp_name, sql, small);
+      if (pushed.ok()) return pushed;
+      // Fall through: fetch the part and join here instead.
+    }
+    MIP_ASSIGN_OR_RETURN(Table left_part, Exec(part));
+    return LocalJoin(node, left_part, small);
+  }
 
   Result<Table> Exec(const PlanNode& node) {
     switch (node.kind) {
@@ -867,22 +975,16 @@ struct PlanExecutor {
         return Table::Concat(parts);
       }
       case PlanKind::kJoin: {
-        MIP_ASSIGN_OR_RETURN(Table left, Exec(*node.children[0]));
+        // Build side first: both strategies materialize it exactly once.
         MIP_ASSIGN_OR_RETURN(Table right, Exec(*node.children[1]));
-        // The ON clause does not say which side each key belongs to; try
-        // left.key on the left first, then swapped.
-        if (left.schema().FieldIndex(node.left_key) >= 0 &&
-            right.schema().FieldIndex(node.right_key) >= 0) {
-          return HashJoin(left, right, node.left_key, node.right_key,
-                          node.join_type);
+        if (opts.join_counters != nullptr) {
+          opts.join_counters->build_rows += right.num_rows();
         }
-        if (left.schema().FieldIndex(node.right_key) >= 0 &&
-            right.schema().FieldIndex(node.left_key) >= 0) {
-          return HashJoin(left, right, node.right_key, node.left_key,
-                          node.join_type);
+        if (node.strategy == JoinStrategy::kBroadcast) {
+          return ExecBroadcastJoin(node, right);
         }
-        return Status::NotFound("join keys not found: " + node.left_key +
-                                ", " + node.right_key);
+        MIP_ASSIGN_OR_RETURN(Table left, Exec(*node.children[0]));
+        return LocalJoin(node, left, right);
       }
       case PlanKind::kFilter: {
         MIP_ASSIGN_OR_RETURN(Table input, Exec(*node.children[0]));

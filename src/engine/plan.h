@@ -1,6 +1,7 @@
 #ifndef MIP_ENGINE_PLAN_H_
 #define MIP_ENGINE_PLAN_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <set>
@@ -54,6 +55,24 @@ enum class PlanKind {
 };
 
 const char* PlanKindName(PlanKind kind);
+
+/// \brief Physical strategy of a distributed join, chosen by the cost model
+/// (optimizer.cc) per join node.
+///
+///   kCollect   — fetch both sides through the compressed wire format and
+///                hash-join at the master (the only pre-cost-model behavior,
+///                and the MIP_COST_MODEL=0 ablation).
+///   kBroadcast — materialize the small (right/build) side once, ship it to
+///                every worker holding a left-side part, and push the join
+///                into the worker via a bound-table SQL round trip; the
+///                master only concatenates per-part join results.
+///
+/// The strategy is a *physical* annotation: results are byte-identical
+/// either way (each worker joins its part against the identical build table,
+/// and per-part outputs concatenate in part order — exactly the master-side
+/// join of the concatenated parts), so the canonical rendering omits it and
+/// strategy flips never fracture the gateway result cache.
+enum class JoinStrategy { kCollect, kBroadcast };
 
 struct PlanNode;
 using PlanPtr = std::shared_ptr<PlanNode>;
@@ -127,6 +146,16 @@ struct PlanNode {
   std::string left_key;
   std::string right_key;
   JoinType join_type = JoinType::kInner;
+  /// Physical strategy (see JoinStrategy); excluded from the canonical
+  /// rendering like the segment/index annotations.
+  JoinStrategy strategy = JoinStrategy::kCollect;
+  /// Cost-model annotations for EXPLAIN (-1 = not annotated): estimated
+  /// input/output cardinalities and the modeled wire cost of each strategy.
+  double est_left_rows = -1.0;
+  double est_right_rows = -1.0;
+  double est_out_rows = -1.0;
+  double cost_broadcast = -1.0;
+  double cost_collect = -1.0;
 
   // --- kSort -------------------------------------------------------------
   std::vector<std::string> sort_keys;
@@ -186,6 +215,17 @@ class PlanCatalog {
     (void)name;
     (void)prune_filter;
     return Status::NotImplemented("catalog has no attached disk storage");
+  }
+
+  /// Table statistics feeding the cost model: row counts, per-column NDV
+  /// and ranges (engine/stats.h). Local tables compute (and cache) them,
+  /// remote tables answer through the `get_stats` envelope, merge tables
+  /// combine their parts. Defaulted like the previews above — a catalog
+  /// without statistics simply leaves the cost model blind, which degrades
+  /// to the pre-cost-model plan (collect), never to a wrong result.
+  virtual Result<TableStats> GetTableStats(const std::string& name) const {
+    (void)name;
+    return Status::NotImplemented("catalog has no table statistics");
   }
 };
 
@@ -247,6 +287,19 @@ std::string RenderPlan(const PlanNode& root);
 /// fingerprint.
 uint64_t PlanFingerprint(const PlanNode& root);
 
+/// \brief Lifetime join counters for the /metrics surface. `joins_planned`
+/// and the strategy tallies are incremented by the optimizer's strategy
+/// chooser; `build_rows`/`probe_rows` by the executor (probe rows count
+/// master-side probes only — a pushed broadcast join probes on the worker,
+/// where the master cannot see the row count).
+struct JoinCounters {
+  std::atomic<uint64_t> joins_planned{0};
+  std::atomic<uint64_t> broadcast_chosen{0};
+  std::atomic<uint64_t> collect_chosen{0};
+  std::atomic<uint64_t> build_rows{0};
+  std::atomic<uint64_t> probe_rows{0};
+};
+
 /// \brief Everything the executor needs from its host database.
 struct PlanExecutorOptions {
   const FunctionRegistry* functions = nullptr;
@@ -281,6 +334,18 @@ struct PlanExecutorOptions {
   std::function<Result<Table>(const std::string& location,
                               const std::string& sql)>
       run_remote_sql;
+  /// Runs SQL on the remote node with a shipped bound table
+  /// (run_sql_bound): the worker registers `bound` under `temp_name`, runs
+  /// `sql`, drops the temp table, and replies with the result — the
+  /// transport of a BroadcastJoin's build side. May be null (no broadcast-
+  /// capable transport); broadcast joins then fall back per part to
+  /// fetching the part and joining at the master, byte-identically.
+  std::function<Result<Table>(const std::string& location,
+                              const std::string& temp_name,
+                              const std::string& sql, const Table& bound)>
+      run_remote_bound_sql;
+  /// Lifetime join counters (may be null): executor-side build/probe rows.
+  JoinCounters* join_counters = nullptr;
 };
 
 /// Executes an (optimized or raw) logical plan.

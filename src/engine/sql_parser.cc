@@ -469,16 +469,21 @@ class Parser {
     }
     ref->kind = TableRef::Kind::kNamed;
     ref->name = name;
-    // Optional single JOIN.
-    bool left_join = false;
-    if (Peek().IsKeyword("left")) {
-      left_join = true;
-      Next();
-      AcceptKeyword("outer");
-    } else if (Peek().IsKeyword("inner")) {
-      Next();
-    }
-    if (AcceptKeyword("join")) {
+    // Zero or more JOIN clauses, folded into a left-deep tree:
+    // a JOIN b ON .. JOIN c ON ..  =>  Join(Join(a, b), c).
+    for (;;) {
+      bool left_join = false;
+      if (Peek().IsKeyword("left")) {
+        left_join = true;
+        Next();
+        AcceptKeyword("outer");
+      } else if (Peek().IsKeyword("inner")) {
+        Next();
+      }
+      if (!AcceptKeyword("join")) {
+        if (left_join) return ErrorHere("expected JOIN after LEFT");
+        return ref;
+      }
       auto join = std::make_shared<TableRef>();
       join->kind = TableRef::Kind::kJoin;
       join->join_type = left_join ? JoinType::kLeft : JoinType::kInner;
@@ -500,10 +505,8 @@ class Parser {
       }
       join->left_key = a;
       join->right_key = b;
-      return join;
+      ref = join;
     }
-    if (left_join) return ErrorHere("expected JOIN after LEFT");
-    return ref;
   }
 
   Result<Value> ParseLiteralValue() {

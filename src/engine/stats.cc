@@ -1,0 +1,249 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+namespace mip::engine {
+namespace {
+
+/// Strcasecmp-equivalent without locale surprises (ASCII only, matching
+/// Schema::FieldIndex).
+bool NameEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr uint64_t kStringSeed = 14695981039346656037ull;
+constexpr uint64_t kNumericSeed = 0x6d69702d6e756d00ull;  // "mip-num"
+
+}  // namespace
+
+const ColumnStats* TableStats::FindColumn(const std::string& name) const {
+  for (const ColumnStats& c : columns) {
+    if (NameEquals(c.name, name)) return &c;
+  }
+  return nullptr;
+}
+
+void HllSketch::AddHash(uint64_t hash) {
+  const uint32_t bucket = static_cast<uint32_t>(hash >> (64 - kRegisterBits));
+  const uint64_t rest = hash << kRegisterBits;
+  // Rank = leading zeros of the remaining bits, + 1; the all-zero remainder
+  // gets the maximum rank.
+  uint8_t rank = 1;
+  uint64_t probe = rest;
+  while (rank <= 64 - kRegisterBits && (probe & 0x8000000000000000ull) == 0) {
+    rank += 1;
+    probe <<= 1;
+  }
+  registers_[bucket] = std::max(registers_[bucket], rank);
+}
+
+int64_t HllSketch::Estimate() const {
+  constexpr double kAlpha = 0.7213 / (1.0 + 1.079 / kRegisters);
+  double inverse_sum = 0.0;
+  int zeros = 0;
+  for (int i = 0; i < kRegisters; ++i) {
+    inverse_sum += std::ldexp(1.0, -registers_[i]);
+    zeros += registers_[i] == 0 ? 1 : 0;
+  }
+  double estimate = kAlpha * kRegisters * kRegisters / inverse_sum;
+  if (estimate <= 2.5 * kRegisters && zeros > 0) {
+    estimate = kRegisters * std::log(static_cast<double>(kRegisters) / zeros);
+  }
+  return static_cast<int64_t>(std::llround(estimate));
+}
+
+void HllSketch::Merge(const HllSketch& other) {
+  for (int i = 0; i < kRegisters; ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+uint64_t HllSketch::HashString(const std::string& s) {
+  return SplitMix64(Fnv1a(s.data(), s.size(), kStringSeed));
+}
+
+uint64_t HllSketch::HashNumeric(double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 -> +0.0: equal values must hash equal
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return SplitMix64(bits ^ kNumericSeed);
+}
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.row_count = static_cast<int64_t>(table.num_rows());
+  stats.columns.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStats cs;
+    cs.name = table.schema().field(c).name;
+    cs.null_count = static_cast<int64_t>(col.null_count());
+    HllSketch hll;
+    const bool is_string = col.type() == DataType::kString;
+    for (size_t i = 0; i < col.length(); ++i) {
+      if (!col.IsValid(i)) continue;
+      if (is_string) {
+        hll.AddHash(HllSketch::HashString(col.StringAt(i)));
+        continue;
+      }
+      const double v = col.AsDoubleAt(i);
+      if (std::isnan(v)) continue;  // NaN excluded, like the zone maps
+      hll.AddHash(HllSketch::HashNumeric(v));
+      if (!cs.has_range) {
+        cs.has_range = true;
+        cs.min_value = cs.max_value = v;
+      } else {
+        cs.min_value = std::min(cs.min_value, v);
+        cs.max_value = std::max(cs.max_value, v);
+      }
+    }
+    cs.ndv = hll.Estimate();
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+TableStats MergeTableStats(const std::vector<TableStats>& parts) {
+  TableStats merged;
+  if (parts.empty()) return merged;
+  merged.row_count = 0;
+  for (const TableStats& part : parts) {
+    if (part.row_count < 0) {
+      merged.row_count = -1;
+      break;
+    }
+    merged.row_count += part.row_count;
+  }
+  // Column set of the first shard; shards of one federated table share a
+  // schema, so this is the union.
+  for (const ColumnStats& first : parts[0].columns) {
+    ColumnStats out;
+    out.name = first.name;
+    out.ndv = 0;
+    out.has_range = true;
+    bool all_known_ndv = true;
+    bool any_range = false;
+    for (const TableStats& part : parts) {
+      const ColumnStats* c = part.FindColumn(first.name);
+      if (c == nullptr) {
+        all_known_ndv = false;
+        continue;
+      }
+      out.null_count += c->null_count;
+      if (c->ndv < 0) {
+        all_known_ndv = false;
+      } else if (all_known_ndv) {
+        out.ndv += c->ndv;
+      }
+      if (c->has_range) {
+        if (!any_range) {
+          any_range = true;
+          out.min_value = c->min_value;
+          out.max_value = c->max_value;
+        } else {
+          out.min_value = std::min(out.min_value, c->min_value);
+          out.max_value = std::max(out.max_value, c->max_value);
+        }
+      }
+    }
+    out.has_range = any_range;
+    if (!all_known_ndv) {
+      out.ndv = -1;
+    } else if (merged.row_count >= 0) {
+      // Shards may repeat values: the sum is an upper bound, the row count
+      // a harder one.
+      out.ndv = std::min(out.ndv, merged.row_count);
+    }
+    merged.columns.push_back(std::move(out));
+  }
+  return merged;
+}
+
+Table StatsToTable(const TableStats& stats) {
+  Schema schema;
+  (void)schema.AddField({"column", DataType::kString});
+  (void)schema.AddField({"row_count", DataType::kInt64});
+  (void)schema.AddField({"null_count", DataType::kInt64});
+  (void)schema.AddField({"ndv", DataType::kInt64});
+  (void)schema.AddField({"has_range", DataType::kBool});
+  (void)schema.AddField({"min", DataType::kFloat64});
+  (void)schema.AddField({"max", DataType::kFloat64});
+  Table out = Table::Empty(schema);
+  auto append = [&](const std::string& name, const ColumnStats* c) {
+    std::vector<Value> row;
+    row.push_back(Value::String(name));
+    row.push_back(Value::Int(stats.row_count));
+    row.push_back(Value::Int(c != nullptr ? c->null_count : 0));
+    row.push_back(Value::Int(c != nullptr ? c->ndv : -1));
+    row.push_back(Value::Bool(c != nullptr && c->has_range));
+    row.push_back(Value::Double(c != nullptr && c->has_range ? c->min_value
+                                                             : 0.0));
+    row.push_back(Value::Double(c != nullptr && c->has_range ? c->max_value
+                                                             : 0.0));
+    (void)out.AppendRow(row);
+  };
+  if (stats.columns.empty()) {
+    append("", nullptr);  // carrier row: the row count must survive
+  }
+  for (const ColumnStats& c : stats.columns) append(c.name, &c);
+  return out;
+}
+
+Result<TableStats> StatsFromTable(const Table& table) {
+  const int column = table.schema().FieldIndex("column");
+  const int row_count = table.schema().FieldIndex("row_count");
+  const int null_count = table.schema().FieldIndex("null_count");
+  const int ndv = table.schema().FieldIndex("ndv");
+  const int has_range = table.schema().FieldIndex("has_range");
+  const int min_f = table.schema().FieldIndex("min");
+  const int max_f = table.schema().FieldIndex("max");
+  if (column < 0 || row_count < 0 || null_count < 0 || ndv < 0 ||
+      has_range < 0 || min_f < 0 || max_f < 0) {
+    return Status::InvalidArgument("malformed stats table: " +
+                                   table.schema().ToString());
+  }
+  TableStats stats;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    stats.row_count = table.column(row_count).IntAt(i);
+    const std::string& name = table.column(column).StringAt(i);
+    if (name.empty()) continue;  // zero-column carrier row
+    ColumnStats cs;
+    cs.name = name;
+    cs.null_count = table.column(null_count).IntAt(i);
+    cs.ndv = table.column(ndv).IntAt(i);
+    cs.has_range = table.column(has_range).BoolAt(i);
+    cs.min_value = table.column(min_f).DoubleAt(i);
+    cs.max_value = table.column(max_f).DoubleAt(i);
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace mip::engine

@@ -1,0 +1,95 @@
+#ifndef MIP_ENGINE_STATS_H_
+#define MIP_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace mip::engine {
+
+/// \brief Per-column statistics the cost model consumes: null count, a
+/// distinct-value estimate, and a numeric min/max range.
+///
+/// `ndv` is estimated with a HyperLogLog-style sketch (see HllSketch) when
+/// computed from data, copied from zone maps as -1 (unknown) when only the
+/// storage footer is available, and summed-with-cap when merging shards.
+/// min/max use the engine's numeric comparator view (bool -> 0/1,
+/// int -> double); strings carry no range — the cost model only needs
+/// ranges for selectivity on numeric predicates.
+struct ColumnStats {
+  std::string name;
+  int64_t null_count = 0;
+  /// Estimated number of distinct non-null values; -1 = unknown.
+  int64_t ndv = -1;
+  /// True when min_value/max_value describe a non-empty numeric range
+  /// (NaN excluded, mirroring the storage zone maps).
+  bool has_range = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+/// \brief Table-level statistics: exact-or-estimated row count plus one
+/// ColumnStats per schema field. row_count == -1 means unknown (the cost
+/// model then falls back to the pre-cost-model behavior).
+struct TableStats {
+  int64_t row_count = -1;
+  std::vector<ColumnStats> columns;
+
+  /// Case-insensitive column lookup; nullptr when absent.
+  const ColumnStats* FindColumn(const std::string& name) const;
+};
+
+/// \brief Deterministic HyperLogLog sketch for NDV estimation.
+///
+/// 1024 registers (~3.2% standard error — plenty for join costing, where
+/// being within 2x picks the right strategy). The hash is a fixed FNV-1a /
+/// splitmix64 combination, so the same data always produces the same
+/// estimate on every node: stats are reproducible, cacheable, and safe to
+/// diff in tests.
+class HllSketch {
+ public:
+  static constexpr int kRegisterBits = 10;
+  static constexpr int kRegisters = 1 << kRegisterBits;
+
+  void AddHash(uint64_t hash);
+  /// Estimated distinct count (small-range linear-counting correction
+  /// applied below 2.5m, per the HyperLogLog paper).
+  int64_t Estimate() const;
+  /// Register-wise max, making shard sketches mergeable without rescanning.
+  void Merge(const HllSketch& other);
+
+  /// The sketch's canonical value hash: strings hash as tagged bytes,
+  /// numerics (bool/int/double) as the tagged bit pattern of their double
+  /// view with -0.0 normalized to +0.0 — two values hash equal exactly when
+  /// the engine's join/comparison kernels would treat them as equal.
+  static uint64_t HashString(const std::string& s);
+  static uint64_t HashNumeric(double v);
+
+ private:
+  uint8_t registers_[kRegisters] = {0};
+};
+
+/// Computes full statistics (exact row/null counts, HLL NDV, numeric
+/// min/max) by scanning `table` once.
+TableStats ComputeTableStats(const Table& table);
+
+/// Combines shard statistics for a merged (federated) table: row and null
+/// counts sum; NDV sums capped at the total row count (an upper bound —
+/// shards may share values); ranges take the enclosing min/max. Any shard
+/// with an unknown field makes the merged field unknown.
+TableStats MergeTableStats(const std::vector<TableStats>& parts);
+
+/// Wire representation: one row per column
+/// (column, row_count, null_count, ndv, has_range, min, max), so stats ride
+/// the existing compressed table codec through the `get_stats` envelope.
+/// A zero-column table still produces one carrier row (empty column name)
+/// so the row count survives the trip.
+Table StatsToTable(const TableStats& stats);
+Result<TableStats> StatsFromTable(const Table& table);
+
+}  // namespace mip::engine
+
+#endif  // MIP_ENGINE_STATS_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/stats.h"
 #include "engine/table.h"
 
 namespace mip::engine {
@@ -109,6 +110,15 @@ class TableStorage {
     (void)name;
     (void)prune_filter;
     return Status::NotImplemented("storage has no ordered indexes");
+  }
+
+  /// Table statistics for the cost model, assembled from footer metadata
+  /// (row counts, zone-map min/max/null counts) without decoding any data
+  /// blocks; NDV stays -1 (unknown) since footers carry no sketches.
+  /// Defaulted so stores without statistics need not implement it.
+  virtual Result<TableStats> StorageTableStats(const std::string& name) const {
+    (void)name;
+    return Status::NotImplemented("storage has no table statistics");
   }
 
   /// Lifetime counters for the serving layer's /metrics page.

@@ -252,6 +252,26 @@ std::string Gateway::MetricsText() const {
                   static_cast<unsigned long long>(sc.wal_replays));
     out += line;
   }
+  if (db_ != nullptr) {
+    const engine::JoinCounters* jc = db_->join_counters();
+    out += "# joins\n";
+    std::snprintf(
+        line, sizeof(line),
+        "joins_planned %llu\njoins_broadcast_chosen %llu\n"
+        "joins_collect_chosen %llu\njoin_build_rows %llu\n"
+        "join_probe_rows %llu\n",
+        static_cast<unsigned long long>(
+            jc->joins_planned.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            jc->broadcast_chosen.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            jc->collect_chosen.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            jc->build_rows.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            jc->probe_rows.load(std::memory_order_relaxed)));
+    out += line;
+  }
   return out;
 }
 

@@ -1,6 +1,33 @@
 #include "federation/worker.h"
 
+#include <mutex>
+#include <utility>
+
+#include "engine/stats.h"
+
 namespace mip::federation {
+
+namespace {
+
+/// Leading-keyword sniff: SELECT/EXPLAIN never mutate the catalog, so they
+/// may run under the shared lock; everything else (DDL, INSERT) is treated
+/// as a write.
+bool IsReadOnlySql(const std::string& sql) {
+  size_t i = sql.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return false;
+  auto starts_with = [&](const char* kw) {
+    for (size_t j = 0; kw[j] != '\0'; ++j) {
+      if (i + j >= sql.size()) return false;
+      const char c = sql[i + j];
+      const char lower = c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c;
+      if (lower != kw[j]) return false;
+    }
+    return true;
+  };
+  return starts_with("select") || starts_with("explain");
+}
+
+}  // namespace
 
 engine::Database& WorkerContext::db() { return worker_->db(); }
 TransferData& WorkerContext::state() { return worker_->JobState(job_id_); }
@@ -88,6 +115,7 @@ Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
   // format; replies to old peers stay in the v1 layout.
   const bool codecs = envelope.codec_ok;
   if (envelope.type == "local_run" || envelope.type == "local_run_secure") {
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
     MIP_ASSIGN_OR_RETURN(std::string func, reader.ReadString());
     MIP_ASSIGN_OR_RETURN(std::string smpc_job, reader.ReadString());
     MIP_ASSIGN_OR_RETURN(TransferData args,
@@ -119,6 +147,7 @@ Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
   }
   if (envelope.type == "fetch_table") {
     MIP_ASSIGN_OR_RETURN(std::string table_name, reader.ReadString());
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
     MIP_ASSIGN_OR_RETURN(engine::Table table, db_.GetTable(table_name));
     BufferWriter writer;
     engine::SerializeTable(table, &writer, engine::TableWireOptions{codecs});
@@ -128,9 +157,23 @@ Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
     // Schema-only probe: ships a zero-row table so the Master's planner can
     // prune remote projections without ever materializing the relation.
     MIP_ASSIGN_OR_RETURN(std::string table_name, reader.ReadString());
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
     MIP_ASSIGN_OR_RETURN(engine::Schema schema, db_.GetSchema(table_name));
     BufferWriter writer;
     engine::SerializeTable(engine::Table::Empty(std::move(schema)), &writer,
+                           engine::TableWireOptions{codecs});
+    return writer.TakeBytes();
+  }
+  if (envelope.type == "get_stats") {
+    // Statistics-only probe, the get_schema of the cost model: row count
+    // plus per-column NDV/null/range stats cross the wire as a tiny table,
+    // never the relation itself.
+    MIP_ASSIGN_OR_RETURN(std::string table_name, reader.ReadString());
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
+    MIP_ASSIGN_OR_RETURN(engine::TableStats stats,
+                         db_.GetTableStats(table_name));
+    BufferWriter writer;
+    engine::SerializeTable(engine::StatsToTable(stats), &writer,
                            engine::TableWireOptions{codecs});
     return writer.TakeBytes();
   }
@@ -138,9 +181,42 @@ Result<std::vector<uint8_t>> WorkerNode::HandleEnvelope(
     // Remote query execution: lets the Master push partial aggregates to
     // the data instead of pulling relations (merge-table pushdown).
     MIP_ASSIGN_OR_RETURN(std::string sql, reader.ReadString());
+    std::shared_lock<std::shared_mutex> shared(db_mu_, std::defer_lock);
+    std::unique_lock<std::shared_mutex> exclusive(db_mu_, std::defer_lock);
+    if (IsReadOnlySql(sql)) {
+      shared.lock();
+    } else {
+      exclusive.lock();
+    }
     MIP_ASSIGN_OR_RETURN(engine::Table table, db_.ExecuteSql(sql));
     BufferWriter writer;
     engine::SerializeTable(table, &writer, engine::TableWireOptions{codecs});
+    return writer.TakeBytes();
+  }
+  if (envelope.type == "run_sql_bound") {
+    // Broadcast-join transport: the Master ships a small build side, the
+    // join runs here next to the data, only joined rows go back. The temp
+    // table never outlives the request — dropped on success and failure
+    // alike — and the exclusive lock keeps the register/run/drop atomic
+    // against every other envelope.
+    MIP_ASSIGN_OR_RETURN(std::string temp_name, reader.ReadString());
+    MIP_ASSIGN_OR_RETURN(std::string sql, reader.ReadString());
+    MIP_ASSIGN_OR_RETURN(engine::Table bound,
+                         engine::DeserializeTable(&reader));
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    if (db_.HasTable(temp_name)) {
+      return Status::InvalidArgument("bound temp table '" + temp_name +
+                                     "' collides with an existing table on " +
+                                     id_);
+    }
+    MIP_RETURN_NOT_OK(db_.PutTable(temp_name, std::move(bound)));
+    Result<engine::Table> result = db_.ExecuteSql(sql);
+    const Status dropped = db_.DropTable(temp_name);
+    MIP_RETURN_NOT_OK(result.status());
+    MIP_RETURN_NOT_OK(dropped);
+    BufferWriter writer;
+    engine::SerializeTable(*result, &writer,
+                           engine::TableWireOptions{codecs});
     return writer.TakeBytes();
   }
   return Status::InvalidArgument("worker " + id_ +

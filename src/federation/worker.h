@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -96,7 +97,10 @@ class WorkerNode {
   /// process). Message types: "local_run" (returns the transfer),
   /// "local_run_secure" (imports the transfer into the SMPC cluster; only
   /// the shape goes back over the wire), "fetch_table" (serves REMOTE-table
-  /// scans), "run_sql" (merge-table pushdown).
+  /// scans), "get_schema" / "get_stats" (planner probes: schema and table
+  /// statistics without materializing), "run_sql" (merge-table pushdown),
+  /// "run_sql_bound" (broadcast joins: registers a shipped temp table, runs
+  /// the SQL, drops the temp).
   Status AttachToBus(net::Transport* transport);
 
   /// Wires the worker to the SMPC cluster for secure imports.
@@ -117,6 +121,12 @@ class WorkerNode {
   Result<std::vector<uint8_t>> HandleEnvelope(const Envelope& envelope);
 
   std::string id_;
+  /// Transports run handlers concurrently (the Master fans out from a
+  /// thread pool), so envelope types that mutate the catalog —
+  /// run_sql_bound's temp-table register/drop, run_sql DDL — take this
+  /// exclusively; read-only serving (fetch_table, get_schema, get_stats,
+  /// run_sql SELECTs) shares it.
+  std::shared_mutex db_mu_;
   engine::Database db_;
   std::shared_ptr<LocalFunctionRegistry> functions_;
   Rng rng_;

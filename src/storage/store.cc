@@ -646,6 +646,66 @@ Result<engine::Table> StorageEngine::IndexScanTable(
   return ScanLocked(it->second, prune_filter, stats, /*use_index=*/true);
 }
 
+Result<engine::TableStats> StorageEngine::StorageTableStats(
+    const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no disk table named '" + name + "'");
+  }
+  const TableState& state = it->second;
+  engine::TableStats stats;
+  stats.row_count = 0;
+  stats.columns.resize(state.schema.num_fields());
+  for (size_t f = 0; f < state.schema.num_fields(); ++f) {
+    stats.columns[f].name = state.schema.field(f).name;
+  }
+  auto fold = [&](const std::string& col_name, const ZoneMap& zone,
+                  engine::DataType type) {
+    const int f = state.schema.FieldIndex(col_name);
+    if (f < 0) return;  // hidden compaction column
+    engine::ColumnStats& cs = stats.columns[f];
+    cs.null_count += static_cast<int64_t>(zone.null_count);
+    if (!zone.has_range) return;
+    double lo = 0.0, hi = 0.0;
+    switch (type) {
+      case engine::DataType::kBool:
+      case engine::DataType::kInt64:
+        lo = static_cast<double>(zone.min_i);
+        hi = static_cast<double>(zone.max_i);
+        break;
+      case engine::DataType::kFloat64:
+        lo = zone.min_d;
+        hi = zone.max_d;
+        break;
+      case engine::DataType::kString:
+        return;  // numeric ranges only; the cost model ignores string ranges
+    }
+    if (!cs.has_range) {
+      cs.has_range = true;
+      cs.min_value = lo;
+      cs.max_value = hi;
+    } else {
+      cs.min_value = std::min(cs.min_value, lo);
+      cs.max_value = std::max(cs.max_value, hi);
+    }
+  };
+  for (const SegmentState& seg : state.segments) {
+    stats.row_count += static_cast<int64_t>(seg.footer.num_rows);
+    for (const SegmentColumn& col : seg.footer.columns) {
+      fold(col.name, col.zone, col.type);
+    }
+  }
+  for (const engine::Table& batch : state.memtable) {
+    stats.row_count += static_cast<int64_t>(batch.num_rows());
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      fold(batch.schema().field(c).name, ComputeZoneMap(batch.column(c)),
+           batch.column(c).type());
+    }
+  }
+  return stats;
+}
+
 Result<engine::ScanStats> StorageEngine::PrunePreview(
     const std::string& name, const engine::Expr* prune_filter) const {
   std::shared_lock lock(mu_);

@@ -117,6 +117,11 @@ class StorageEngine : public engine::TableStorage {
   Result<engine::IndexPreview> PreviewIndexScan(
       const std::string& name,
       const engine::Expr* prune_filter) const override;
+  /// Cost-model statistics from committed footer metadata (segment row
+  /// counts + zone maps) plus the live memtable — no data blocks decoded.
+  /// NDV is unknown (-1): footers carry no sketches.
+  Result<engine::TableStats> StorageTableStats(
+      const std::string& name) const override;
   engine::StorageCounters Counters() const override;
 
   /// Forces memtables into segments and commits a new manifest.

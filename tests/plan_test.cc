@@ -82,13 +82,68 @@ TEST_F(PlanTest, GoldenFilterAndLimitPushThroughMerge) {
 }
 
 TEST_F(PlanTest, GoldenJoin) {
+  // The WHERE conjunct sinks into the left input (the Filter above stays —
+  // pushes are individually sound, never load-bearing), and the cost model
+  // annotates its cardinality estimates: 50 rows * 1/3 for x > 0, 4 dim
+  // rows, 16.7 * 4 / max-NDV(k) = 7 for the join output.
   EXPECT_EQ(ExplainText(&db_, "SELECT g, x, label FROM p1 JOIN dim "
                               "ON p1.k = dim.k WHERE x > 0"),
             "Project g, x, label\n"
             "  Filter (x > 0)\n"
-            "    Join INNER on k = k\n"
-            "      Scan p1\n"
+            "    Join INNER on k = k est: left=17 right=4 out=10\n"
+            "      Filter (x > 0)\n"
+            "        Scan p1\n"
             "      Scan dim\n");
+}
+
+TEST_F(PlanTest, GoldenMultiWayJoinFoldsLeftDeep) {
+  // `a JOIN b ON .. JOIN c ON ..` parses as Join(Join(a, b), c); each Join
+  // carries its own estimates.
+  EXPECT_EQ(ExplainText(&db_, "SELECT label FROM p1 JOIN p2 ON p1.k = p2.k "
+                              "JOIN dim ON p1.k = dim.k"),
+            "Project label\n"
+            "  Join INNER on k = k est: left=357 right=4 out=357\n"
+            "    Join INNER on k = k est: left=50 right=50 out=357\n"
+            "      Scan p1\n"
+            "      Scan p2\n"
+            "    Scan dim\n");
+}
+
+TEST_F(PlanTest, GoldenHavingAndOrderByLowering) {
+  // HAVING lowers onto a Filter above the aggregate (over the hidden __agg
+  // slot), ORDER BY ... DESC onto the existing Sort node above the final
+  // projection — no new plan kinds.
+  EXPECT_EQ(ExplainText(&db_, "SELECT g, count(*) AS n FROM p1 GROUP BY g "
+                              "HAVING count(*) > 10 ORDER BY g DESC"),
+            "Sort g DESC\n"
+            "  Project __key0 AS g, __agg0 AS n\n"
+            "    Filter (__agg0 > 10)\n"
+            "      Aggregate keys=[g AS __key0] aggs=[count(*) AS __agg0]\n"
+            "        Scan p1 cols=[g]\n");
+}
+
+TEST_F(PlanTest, JoinFingerprintStableAcrossCostModelAndStrategy) {
+  // Strategy, estimates and costs are physical annotations: the canonical
+  // rendering omits them, so flipping the cost model or forcing a strategy
+  // never changes the fingerprint — a strategy flip must not fracture the
+  // gateway result cache.
+  const std::string sql =
+      "SELECT g, x, label FROM p1 JOIN dim ON p1.k = dim.k WHERE x > 0";
+  auto fingerprint = [&](int force, bool cost_model) {
+    db_.set_cost_model(cost_model);
+    db_.set_force_join_strategy(force);
+    Result<PlanPtr> plan = db_.TryPlanSelectSql(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? PlanFingerprint(**plan) : 0;
+  };
+  const uint64_t base = fingerprint(-1, true);
+  EXPECT_EQ(base, fingerprint(-1, false));
+  EXPECT_EQ(base,
+            fingerprint(static_cast<int>(JoinStrategy::kBroadcast), true));
+  EXPECT_EQ(base,
+            fingerprint(static_cast<int>(JoinStrategy::kCollect), true));
+  db_.set_force_join_strategy(-1);
+  db_.set_cost_model(true);
 }
 
 TEST_F(PlanTest, GoldenProjectionPruningAndEarlySort) {
@@ -299,6 +354,36 @@ TEST_F(PlanRemoteTest, GoldenMergeAggregatePartialsShipAsSql) {
       "        Project __key0 AS __key0, __agg0 AS __p0_a\n"
       "          Aggregate keys=[g AS __key0] aggs=[sum(x) AS __agg0]\n"
       "            Scan lp cols=[g, x]\n");
+}
+
+TEST_F(PlanRemoteTest, GoldenJoinDerivedKeyFilterReachesBothSides) {
+  // `rd.k = cohort.pid AND k = 1` implies `pid = 1` on every surviving row,
+  // so the equality reaches BOTH inputs: the remote scan ships it as its
+  // filter and the local side is filtered before the build. The original
+  // Filter stays above (pushes are individually sound, never load-bearing).
+  ASSERT_TRUE(
+      master_.ExecuteSql("CREATE TABLE cohort (pid bigint, label varchar)")
+          .ok());
+  ASSERT_TRUE(master_
+                  .ExecuteSql("INSERT INTO cohort VALUES (1, 'case'), "
+                              "(2, 'control')")
+                  .ok());
+  const std::string sql =
+      "SELECT label FROM rd JOIN cohort ON k = pid WHERE k = 1";
+  EXPECT_EQ(ExplainText(&master_, sql),
+            "Project label\n"
+            "  Filter (k = 1)\n"
+            "    Join INNER on k = pid\n"
+            "      RemoteScan rd on w1 remote=d filter=(k = 1)\n"
+            "      Filter (pid = 1)\n"
+            "        Scan cohort\n");
+  Result<Table> on = master_.ExecuteSql(sql);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  master_.set_optimizer_enabled(false);
+  Result<Table> off = master_.ExecuteSql(sql);
+  master_.set_optimizer_enabled(true);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_EQ(Bytes(*on), Bytes(*off));
 }
 
 TEST_F(PlanRemoteTest, OptimizerParityAcrossTheWire) {
